@@ -1,0 +1,433 @@
+// Benchmark harness for the FVN reproduction: one benchmark per experiment
+// of DESIGN.md's per-experiment index (E1-E13) plus the ablations (A1-A4).
+// The paper is a vision paper without evaluation tables, so each benchmark
+// regenerates the paper's quantitative claims (proof steps, automation
+// ratio, convergence behaviour, obligation discharge) as measured series;
+// EXPERIMENTS.md records the paper-vs-measured comparison produced by
+// cmd/experiments.
+//
+// Run with: go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/component"
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/dist"
+	"repro/internal/linear"
+	"repro/internal/metarouting"
+	"repro/internal/modelcheck"
+	"repro/internal/ndlog"
+	"repro/internal/netgraph"
+	"repro/internal/prover"
+	"repro/internal/translate"
+	"repro/internal/value"
+)
+
+// --- E1: the full pipeline ---------------------------------------------------
+
+func BenchmarkE1Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := core.PathVector()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Verify("bestPathStrong", core.BestPathStrongScript); err != nil {
+			b.Fatal(err)
+		}
+		net, err := p.Execute(netgraph.Ring(5), dist.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: NDlog → logic translation -------------------------------------------
+
+func BenchmarkE2Translate(b *testing.B) {
+	prog := ndlog.MustParse("pv", core.PathVectorSrc)
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := translate.ToLogic(an, translate.Options{TheoremsForAggregates: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: bestPathStrong, 7 steps, fraction of a second ------------------------
+
+func BenchmarkE3BestPathStrongProof(b *testing.B) {
+	p, err := core.PathVector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var steps int
+	for i := 0; i < b.N; i++ {
+		pr, err := prover.New(p.Theory, "bestPathStrong")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := pr.Prove(core.BestPathStrongScript)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Steps
+	}
+	b.ReportMetric(float64(steps), "proofsteps")
+}
+
+// --- E4: count-to-infinity via model checking ---------------------------------
+
+func BenchmarkE4CountToInfinity(b *testing.B) {
+	topo := netgraph.Line(3)
+	for i := 0; i < b.N; i++ {
+		sys, err := linear.DistanceVector(linear.DVConfig{
+			Topo: topo, Dest: "n2", MaxCost: 8, FailA: "n1", FailB: "n2",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := modelcheck.CheckReachable(linear.TS{Sys: sys}, linear.RouteAtCost(7), modelcheck.Options{MaxStates: 1 << 16})
+		if !res.Holds {
+			b.Fatal("count-to-infinity not found")
+		}
+	}
+}
+
+// --- E5: component-based BGP model -------------------------------------------
+
+func BenchmarkE5ComponentVerify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := component.NewBGPModel()
+		th, err := m.Theory()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := th.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6: component → NDlog code generation ------------------------------------
+
+func BenchmarkE6Codegen(b *testing.B) {
+	m := component.NewBGPModel()
+	for i := 0; i < b.N; i++ {
+		prog, err := m.Program()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ndlog.Analyze(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: convergence, policy conflict vs clean, by network size ----------------
+
+func bgpRing(n int) *netgraph.Topology {
+	t := netgraph.Ring(n)
+	return t
+}
+
+func runBGPOnce(b *testing.B, topo *netgraph.Topology, policy component.PolicySpec, maxTime float64) dist.Result {
+	m := component.NewBGPModel()
+	prog, err := m.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := dist.NewNetwork(prog, topo, dist.Options{MaxTime: maxTime, LoadTopologyLinks: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lp := range policy.LPFacts(topo) {
+		net.Inject(0, lp[0].S, "lp", lp)
+	}
+	res, err := net.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkE7ConvergenceConflictVsClean(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("clean/n=%d", n), func(b *testing.B) {
+			var t float64
+			for i := 0; i < b.N; i++ {
+				res := runBGPOnce(b, bgpRing(n), component.ShortestPathPolicy(), 100000)
+				if !res.Converged {
+					b.Fatal("clean policies did not converge")
+				}
+				t = res.Time
+			}
+			b.ReportMetric(t, "sim-time")
+		})
+	}
+	b.Run("conflict/disagree", func(b *testing.B) {
+		topo := &netgraph.Topology{Name: "triangle", Nodes: []string{"o", "a", "b"}}
+		for _, pair := range [][2]string{{"o", "a"}, {"o", "b"}, {"a", "b"}} {
+			topo.Links = append(topo.Links,
+				netgraph.Link{Src: pair[0], Dst: pair[1], Cost: 1, Latency: 1},
+				netgraph.Link{Src: pair[1], Dst: pair[0], Cost: 1, Latency: 1})
+		}
+		var flips int
+		for i := 0; i < b.N; i++ {
+			res := runBGPOnce(b, topo, component.DisagreePolicy("o", "a", "b"), 200)
+			if res.Converged {
+				b.Fatal("Disagree converged under symmetric timing")
+			}
+			flips = res.Stats.Flips
+		}
+		b.ReportMetric(float64(flips), "flips")
+	})
+}
+
+// --- E8: metarouting obligation discharge -------------------------------------
+
+func BenchmarkE8Discharge(b *testing.B) {
+	algebras := metarouting.BaseAlgebras()
+	b.ResetTimer()
+	var checks int
+	for i := 0; i < b.N; i++ {
+		checks = 0
+		for _, a := range algebras {
+			rep := metarouting.Discharge(a)
+			if !rep.AllDischarged() {
+				b.Fatalf("%s failed %v", a.Name(), rep.Failed())
+			}
+			checks += rep.Checks
+		}
+	}
+	b.ReportMetric(float64(checks), "axiom-instances")
+}
+
+// --- E9: lexProduct composition ------------------------------------------------
+
+func BenchmarkE9LexProduct(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := metarouting.BGPSystem()
+		rep := metarouting.Discharge(sys)
+		if rep.AllDischarged() {
+			b.Fatal("BGPSystem unexpectedly monotone")
+		}
+		safe := metarouting.SafeBGPSystem()
+		if c := metarouting.StrictMonotonicity(safe); c != nil {
+			b.Fatalf("SafeBGPSystem not strictly monotone: %v", c)
+		}
+	}
+}
+
+// --- E10: soft-state rewrite ----------------------------------------------------
+
+func BenchmarkE10SoftState(b *testing.B) {
+	prog := ndlog.MustParse("soft", `
+materialize(neighbor, 10, infinity, keys(1,2)).
+materialize(link, infinity, infinity, keys(1,2)).
+n2 twoHop(@N,M2) :- neighbor(@N,M), link(@M,M2).
+`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hard, err := translate.RewriteSoftState(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		an, err := ndlog.Analyze(hard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := translate.ToLogic(an, translate.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E11: Disagree oscillation found by the model checker ----------------------
+
+func BenchmarkE11ModelCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := modelcheck.FindLasso(bgp.System{SPP: bgp.Disagree(), Mode: bgp.Subsets}, nil, modelcheck.Options{})
+		if !res.Holds {
+			b.Fatal("no lasso in Disagree")
+		}
+	}
+}
+
+// --- E12: automation ratio -------------------------------------------------------
+
+func BenchmarkE12Grind(b *testing.B) {
+	p, err := core.PathVector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		pr, err := prover.New(p.Theory, "bestPathCostStrong")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pr.Skosimp(); err != nil {
+			b.Fatal(err)
+		}
+		if err := pr.Grind(); err != nil {
+			b.Fatal(err)
+		}
+		if !pr.QED() {
+			b.Fatal("grind failed")
+		}
+		ratio = pr.Summary().AutomationRatio()
+	}
+	b.ReportMetric(ratio, "automation")
+}
+
+// --- E13: declarative vs imperative --------------------------------------------
+
+func BenchmarkE13NDlogVsImperative(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		spp := bgp.ShortestPathSPP(n)
+		b.Run(fmt.Sprintf("imperative-spvp/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := bgp.NewSPVP(spp, bgp.RoundRobin, 0)
+				if ok, _ := v.Run(1 << 20); !ok {
+					b.Fatal("spvp did not converge")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("declarative-ndlog/n=%d", n), func(b *testing.B) {
+			prog := ndlog.MustParse("pv", core.PathVectorSrc)
+			topo := netgraph.Ring(n)
+			for i := 0; i < b.N; i++ {
+				net, err := dist.NewNetwork(prog, topo, dist.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := net.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Converged {
+					b.Fatal("ndlog did not converge")
+				}
+			}
+		})
+	}
+}
+
+// --- A1: semi-naive vs naive -----------------------------------------------------
+
+func BenchmarkA1SeminaiveVsNaive(b *testing.B) {
+	load := func(e *datalog.Engine, n int) {
+		for i := 0; i+1 < n; i++ {
+			a, c := fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)
+			_ = e.Insert("link", value.Tuple{value.Addr(a), value.Addr(c), value.Int(1)})
+			_ = e.Insert("link", value.Tuple{value.Addr(c), value.Addr(a), value.Int(1)})
+		}
+	}
+	for _, mode := range []struct {
+		name string
+		m    datalog.Mode
+	}{{"seminaive", datalog.SemiNaive}, {"naive", datalog.Naive}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var derivations int
+			for i := 0; i < b.N; i++ {
+				eng, err := datalog.New(ndlog.MustParse("pv", core.PathVectorSrc))
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Mode = mode.m
+				load(eng, 10)
+				if err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				derivations = eng.Stats.Derivations
+			}
+			b.ReportMetric(float64(derivations), "derivations")
+		})
+	}
+}
+
+// --- A2: grind automation vs the manual 7-step script ----------------------------
+
+func BenchmarkA2GrindVsManual(b *testing.B) {
+	p, err := core.PathVector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("manual-7-steps", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr, _ := prover.New(p.Theory, "bestPathStrong")
+			if _, err := pr.Prove(core.BestPathStrongScript); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("semi-automated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr, _ := prover.New(p.Theory, "bestPathStrong")
+			if err := pr.RunScript(`(skosimp*) (expand "bestPath") (expand "bestPathCost") (grind)`); err != nil {
+				b.Fatal(err)
+			}
+			if !pr.QED() {
+				b.Fatal("not proved")
+			}
+		}
+	})
+}
+
+// --- A3: exhaustive vs sampled obligation discharge ------------------------------
+
+func BenchmarkA3ObligationModes(b *testing.B) {
+	alg := metarouting.LexProduct(metarouting.AddA(8, 3), metarouting.BandwidthA(6))
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if rep := metarouting.Discharge(alg); !rep.AllDischarged() {
+				b.Fatal(rep.Failed())
+			}
+		}
+	})
+	b.Run("sampled-2000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if rep := metarouting.DischargeSampled(alg, 2000, uint64(i)); !rep.AllDischarged() {
+				b.Fatal(rep.Failed())
+			}
+		}
+	})
+}
+
+// --- A4: BFS reachability vs DFS lasso on oscillating systems --------------------
+
+func BenchmarkA4BFSvsDFS(b *testing.B) {
+	sys := bgp.System{SPP: bgp.DisagreeChain(2), Mode: bgp.Subsets}
+	b.Run("bfs-count", func(b *testing.B) {
+		var states int
+		for i := 0; i < b.N; i++ {
+			states, _ = modelcheck.CountReachable(sys, modelcheck.Options{})
+		}
+		b.ReportMetric(float64(states), "states")
+	})
+	b.Run("dfs-lasso", func(b *testing.B) {
+		var visited int
+		for i := 0; i < b.N; i++ {
+			res := modelcheck.FindLasso(sys, nil, modelcheck.Options{})
+			if !res.Holds {
+				b.Fatal("no lasso")
+			}
+			visited = res.Stats.StatesVisited
+		}
+		b.ReportMetric(float64(visited), "states")
+	})
+}

@@ -1,0 +1,297 @@
+// Command fvn is the Formally Verifiable Networking toolchain: it drives
+// NDlog programs around the pipeline of Figure 1 of the paper —
+// translation to logical specifications (arc 4), theorem proving (arc 5),
+// distributed execution (arc 7), linear-logic model checking (arcs 6/8),
+// and the metarouting obligation engine (§3.3).
+//
+// Usage:
+//
+//	fvn translate <file.ndlog>          print the PVS-style theory
+//	fvn verify <file.ndlog> -theorem T [-script S | -auto]
+//	fvn run <file.ndlog> -topo ring:5 [-pred bestPath] [-maxtime N]
+//	fvn mc <file.ndlog>                 quiescence-check the transition system
+//	fvn algebra [-name addA]            discharge metarouting obligations
+//	fvn demo                            the paper's §3.1 experiment end to end
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/linear"
+	"repro/internal/metarouting"
+	"repro/internal/modelcheck"
+	"repro/internal/netgraph"
+	"repro/internal/translate"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "translate":
+		err = cmdTranslate(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "mc":
+		err = cmdMC(os.Args[2:])
+	case "algebra":
+		err = cmdAlgebra(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fvn:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fvn <translate|verify|run|mc|algebra|demo> [flags]
+  translate <file.ndlog>                     print the logical specification
+  verify <file.ndlog> -theorem T [-script F | -auto]
+  run <file.ndlog> -topo <line|ring|grid|clique|star|tree|rand>:<n> [-pred P]
+  mc <file.ndlog>                            explore the transition system
+  algebra [-name NAME]                       metarouting obligation discharge
+  demo                                       the §3.1 bestPathStrong experiment`)
+}
+
+func loadProtocol(args []string) (*core.Protocol, []string, error) {
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		return nil, nil, fmt.Errorf("expected an .ndlog file argument")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := core.FromNDlog(args[0], string(src))
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, args[1:], nil
+}
+
+func cmdTranslate(args []string) error {
+	p, _, err := loadProtocol(args)
+	if err != nil {
+		return err
+	}
+	if err := p.Specify(translate.Options{TheoremsForAggregates: true}); err != nil {
+		return err
+	}
+	fmt.Print(p.PVS())
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	p, rest, err := loadProtocol(args)
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	theorem := fs.String("theorem", "", "theorem name")
+	script := fs.String("script", "", "proof script file")
+	auto := fs.Bool("auto", false, "use the automated strategy (grind)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if err := p.Specify(translate.Options{TheoremsForAggregates: true}); err != nil {
+		return err
+	}
+	if *theorem == "" {
+		return fmt.Errorf("-theorem is required; available: %v", theoremNames(p))
+	}
+	var res interface {
+		String() string
+	}
+	_ = res
+	if *auto {
+		r, err := p.VerifyAuto(*theorem)
+		if err != nil {
+			return err
+		}
+		report(r.QED, *theorem, r.Steps, r.PrimSteps, r.AutomationRatio(), r.Elapsed.Seconds())
+		if !r.QED {
+			return fmt.Errorf("%d goals remain open", r.OpenGoals)
+		}
+		return nil
+	}
+	if *script == "" {
+		return fmt.Errorf("provide -script or -auto")
+	}
+	body, err := os.ReadFile(*script)
+	if err != nil {
+		return err
+	}
+	r, err := p.Verify(*theorem, string(body))
+	if err != nil {
+		return err
+	}
+	report(r.QED, *theorem, r.Steps, r.PrimSteps, r.AutomationRatio(), r.Elapsed.Seconds())
+	return nil
+}
+
+func theoremNames(p *core.Protocol) []string {
+	var out []string
+	if p.Theory == nil {
+		return out
+	}
+	for _, t := range p.Theory.Theorems {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+func report(qed bool, theorem string, steps, prim int, auto float64, secs float64) {
+	status := "QED"
+	if !qed {
+		status = "OPEN"
+	}
+	fmt.Printf("%s %s: %d proof steps (%d primitive, %.0f%% automated) in %.3fs\n",
+		status, theorem, steps, prim, auto*100, secs)
+}
+
+// parseTopo builds a topology from a spec like ring:5 or grid:3 (3x3).
+func parseTopo(spec string) (*netgraph.Topology, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	n := 4
+	if len(parts) == 2 {
+		v, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad topology size %q", parts[1])
+		}
+		n = v
+	}
+	switch parts[0] {
+	case "line":
+		return netgraph.Line(n), nil
+	case "ring":
+		return netgraph.Ring(n), nil
+	case "grid":
+		return netgraph.Grid(n, n), nil
+	case "clique":
+		return netgraph.Clique(n), nil
+	case "star":
+		return netgraph.Star(n), nil
+	case "tree":
+		return netgraph.Tree(n), nil
+	case "rand":
+		return netgraph.RandomConnected(n, 0.1, 3, 1), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", parts[0])
+	}
+}
+
+func cmdRun(args []string) error {
+	p, rest, err := loadProtocol(args)
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	topoSpec := fs.String("topo", "ring:4", "topology spec, e.g. ring:5")
+	pred := fs.String("pred", "", "predicate to dump after the run")
+	maxTime := fs.Float64("maxtime", 10000, "simulated time bound")
+	loss := fs.Float64("loss", 0, "message loss rate")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	topo, err := parseTopo(*topoSpec)
+	if err != nil {
+		return err
+	}
+	net, err := p.Execute(topo, dist.Options{MaxTime: *maxTime, LossRate: *loss, LoadTopologyLinks: true})
+	if err != nil {
+		return err
+	}
+	res, err := net.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converged=%v time=%.1f messages=%d derivations=%d route-changes=%d flips=%d\n",
+		res.Converged, res.Time, res.Stats.MessagesSent, res.Stats.Derivations,
+		res.Stats.RouteChanges, res.Stats.Flips)
+	if *pred != "" {
+		fmt.Print(net.Snapshot(*pred))
+	}
+	return nil
+}
+
+func cmdMC(args []string) error {
+	p, rest, err := loadProtocol(args)
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("mc", flag.ContinueOnError)
+	maxStates := fs.Int("maxstates", 1<<16, "state bound")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	sys, err := p.TransitionSystem(nil)
+	if err != nil {
+		return err
+	}
+	ts := linear.TS{Sys: sys}
+	count, stats := modelcheck.CountReachable(ts, modelcheck.Options{MaxStates: *maxStates})
+	fmt.Printf("reachable states: %d (transitions %d, depth %d, truncated %v)\n",
+		count, stats.Transitions, stats.MaxDepth, stats.Truncated)
+	q := modelcheck.Quiescent(ts, modelcheck.Options{MaxStates: *maxStates})
+	if q.Holds {
+		fmt.Printf("quiescent state reachable in %d steps:\n  %s\n", len(q.Trace)-1, q.Witness.Display())
+	} else {
+		fmt.Println("no quiescent state reachable (divergence or truncation)")
+	}
+	return nil
+}
+
+func cmdAlgebra(args []string) error {
+	fs := flag.NewFlagSet("algebra", flag.ContinueOnError)
+	name := fs.String("name", "", "algebra to discharge (default: the whole library)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	algebras := metarouting.BaseAlgebras()
+	algebras = append(algebras, metarouting.LpA(4), metarouting.BGPSystem(), metarouting.SafeBGPSystem())
+	shown := 0
+	for _, a := range algebras {
+		if *name != "" && !strings.Contains(a.Name(), *name) {
+			continue
+		}
+		fmt.Print(metarouting.Discharge(a))
+		shown++
+	}
+	if shown == 0 {
+		return fmt.Errorf("no algebra matches %q", *name)
+	}
+	return nil
+}
+
+func cmdDemo(args []string) error {
+	p, err := core.PathVector()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== NDlog program (§2.2) ==")
+	fmt.Print(p.NDlog())
+	fmt.Println("\n== generated logical specification (arc 4) ==")
+	fmt.Print(p.PVS())
+	fmt.Println("\n== proof of bestPathStrong (§3.1) ==")
+	r, err := p.Verify("bestPathStrong", core.BestPathStrongScript)
+	if err != nil {
+		return err
+	}
+	report(r.QED, "bestPathStrong", r.Steps, r.PrimSteps, r.AutomationRatio(), r.Elapsed.Seconds())
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestParseTopo(t *testing.T) {
+	cases := []struct {
+		spec  string
+		nodes int
+	}{
+		{"line:3", 3},
+		{"ring:5", 5},
+		{"grid:2", 4},
+		{"clique:4", 4},
+		{"star:4", 4},
+		{"tree:7", 7},
+		{"rand:6", 6},
+		{"line", 4}, // default size
+	}
+	for _, tc := range cases {
+		topo, err := parseTopo(tc.spec)
+		if err != nil {
+			t.Errorf("parseTopo(%q): %v", tc.spec, err)
+			continue
+		}
+		if len(topo.Nodes) != tc.nodes {
+			t.Errorf("parseTopo(%q) nodes = %d, want %d", tc.spec, len(topo.Nodes), tc.nodes)
+		}
+	}
+	for _, bad := range []string{"mobius:4", "ring:x"} {
+		if _, err := parseTopo(bad); err == nil {
+			t.Errorf("parseTopo(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDemoRuns(t *testing.T) {
+	if err := cmdDemo(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgebraCommand(t *testing.T) {
+	if err := cmdAlgebra([]string{"-name", "addA"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAlgebra([]string{"-name", "zzz"}); err == nil {
+		t.Error("unknown algebra accepted")
+	}
+}

@@ -1,0 +1,135 @@
+// Command ndlog is the standalone NDlog toolchain: parse, analyze,
+// pretty-print, and evaluate declarative networking programs on the
+// centralized semi-naive engine.
+//
+// Usage:
+//
+//	ndlog check <file.ndlog>          parse + static analysis report
+//	ndlog fmt <file.ndlog>            pretty-print the normalized program
+//	ndlog eval <file.ndlog> [-pred p] evaluate to fixpoint, dump relations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/datalog"
+	"repro/internal/ndlog"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndlog:", err)
+		os.Exit(1)
+	}
+	switch os.Args[1] {
+	case "check":
+		err = cmdCheck(os.Args[2], string(src))
+	case "fmt":
+		err = cmdFmt(os.Args[2], string(src))
+	case "eval":
+		err = cmdEval(os.Args[2], string(src), os.Args[3:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndlog:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ndlog <check|fmt|eval> <file.ndlog> [flags]`)
+}
+
+func cmdCheck(name, src string) error {
+	prog, err := ndlog.Parse(name, src)
+	if err != nil {
+		return err
+	}
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d rules, %d facts, %d materialized tables\n",
+		name, len(prog.Rules), len(prog.Facts), len(prog.Materialized))
+	var preds []string
+	for p := range an.Arity {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	for _, p := range preds {
+		kind := "derived"
+		if an.Base[p] {
+			kind = "base"
+		}
+		fmt.Printf("  %-20s arity %d, %s, stratum %d\n", p, an.Arity[p], kind, an.StratumOf[p])
+	}
+	if an.AggInCycle {
+		fmt.Println("  note: aggregate on a recursive cycle — requires the distributed runtime")
+	}
+	return nil
+}
+
+func cmdFmt(name, src string) error {
+	prog, err := ndlog.Parse(name, src)
+	if err != nil {
+		return err
+	}
+	if _, err := ndlog.Analyze(prog); err != nil {
+		return err
+	}
+	fmt.Print(prog.String())
+	return nil
+}
+
+func cmdEval(name, src string, rest []string) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	pred := fs.String("pred", "", "only dump this predicate")
+	naive := fs.Bool("naive", false, "use naive instead of semi-naive evaluation")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	prog, err := ndlog.Parse(name, src)
+	if err != nil {
+		return err
+	}
+	eng, err := datalog.New(prog)
+	if err != nil {
+		return err
+	}
+	if *naive {
+		eng.Mode = datalog.Naive
+	}
+	if err := eng.Run(); err != nil {
+		return err
+	}
+	dump := func(p string) {
+		for _, t := range eng.Query(p) {
+			fmt.Printf("%s%s\n", p, t)
+		}
+	}
+	if *pred != "" {
+		dump(*pred)
+	} else {
+		var preds []string
+		for p := range eng.An.Arity {
+			preds = append(preds, p)
+		}
+		sort.Strings(preds)
+		for _, p := range preds {
+			dump(p)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "iterations=%d derivations=%d new=%d probes=%d\n",
+		eng.Stats.Iterations, eng.Stats.Derivations, eng.Stats.NewTuples, eng.Stats.JoinProbes)
+	return nil
+}

@@ -1,0 +1,284 @@
+package bgp
+
+import (
+	"testing"
+
+	"repro/internal/modelcheck"
+)
+
+func TestGadgetsValidate(t *testing.T) {
+	for _, s := range []*SPP{Disagree(), BadGadget(), GoodGadget(), ShortestPathSPP(5), DisagreeChain(2)} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadInstances(t *testing.T) {
+	bad := &SPP{
+		Origin: "0",
+		Nodes:  []string{"1"},
+		Permitted: map[string][]Path{
+			"1": {Path{"2", "0"}}, // does not start at 1
+		},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("path not starting at node accepted")
+	}
+	bad.Permitted["1"] = []Path{{"1", "2"}} // does not end at origin
+	if err := bad.Validate(); err == nil {
+		t.Error("path not ending at origin accepted")
+	}
+	bad.Permitted["1"] = []Path{{"1", "2", "1", "0"}} // cycle
+	if err := bad.Validate(); err == nil {
+		t.Error("cyclic path accepted")
+	}
+	bad.Permitted["1"] = []Path{{"1"}} // too short
+	if err := bad.Validate(); err == nil {
+		t.Error("length-1 path accepted")
+	}
+}
+
+func TestDisagreeHasTwoStableSolutions(t *testing.T) {
+	// The Disagree scenario of §3.2: two stable solutions exist (each AS
+	// routing through the other, in the two asymmetric ways).
+	sols := Disagree().StableSolutions()
+	if len(sols) != 2 {
+		t.Fatalf("Disagree has %d stable solutions, want 2", len(sols))
+	}
+	// In each solution exactly one of AS 1 / AS 2 routes through the other.
+	for _, a := range sols {
+		oneVia := len(a["1"]) == 3
+		twoVia := len(a["2"]) == 3
+		if oneVia == twoVia {
+			t.Errorf("unexpected stable solution: %v", a)
+		}
+	}
+}
+
+func TestBadGadgetHasNoStableSolution(t *testing.T) {
+	if sols := BadGadget().StableSolutions(); len(sols) != 0 {
+		t.Errorf("BadGadget has %d stable solutions, want 0", len(sols))
+	}
+}
+
+func TestGoodGadgetHasUniqueSolution(t *testing.T) {
+	sols := GoodGadget().StableSolutions()
+	if len(sols) != 1 {
+		t.Fatalf("GoodGadget has %d stable solutions, want 1", len(sols))
+	}
+	for _, n := range []string{"1", "2", "3"} {
+		if len(sols[0][n]) != 2 {
+			t.Errorf("node %s not on its direct path: %v", n, sols[0][n])
+		}
+	}
+}
+
+func TestDisagreeChainSolutionCount(t *testing.T) {
+	// k independent disagree pairs have 2^k stable solutions.
+	for k := 1; k <= 3; k++ {
+		sols := DisagreeChain(k).StableSolutions()
+		want := 1 << k
+		if len(sols) != want {
+			t.Errorf("DisagreeChain(%d): %d solutions, want %d", k, len(sols), want)
+		}
+	}
+}
+
+func TestSPVPDisagreeOscillatesSynchronously(t *testing.T) {
+	// Under the synchronous schedule Disagree never converges: both ASes
+	// flip between their direct and indirect routes forever.
+	v := NewSPVP(Disagree(), Synchronous, 0)
+	converged, steps := v.Run(1000)
+	if converged {
+		t.Fatalf("Disagree converged under synchronous schedule after %d steps", steps)
+	}
+	if v.Changes < 100 {
+		t.Errorf("expected sustained oscillation, saw %d changes", v.Changes)
+	}
+}
+
+func TestSPVPDisagreeConvergesRoundRobin(t *testing.T) {
+	v := NewSPVP(Disagree(), RoundRobin, 0)
+	converged, _ := v.Run(1000)
+	if !converged {
+		t.Fatal("Disagree did not converge under round-robin schedule")
+	}
+	if !v.SPP.Stable(v.Current) {
+		t.Error("final state not stable")
+	}
+}
+
+func TestSPVPBadGadgetNeverConverges(t *testing.T) {
+	for _, sched := range []Schedule{Synchronous, RoundRobin, SeededRandom} {
+		v := NewSPVP(BadGadget(), sched, 17)
+		if converged, _ := v.Run(3000); converged {
+			t.Errorf("BadGadget converged under schedule %d", sched)
+		}
+	}
+}
+
+func TestSPVPGoodGadgetAlwaysConverges(t *testing.T) {
+	for _, sched := range []Schedule{Synchronous, RoundRobin, SeededRandom} {
+		for seed := uint64(0); seed < 5; seed++ {
+			v := NewSPVP(GoodGadget(), sched, seed)
+			if converged, _ := v.Run(10000); !converged {
+				t.Errorf("GoodGadget failed to converge (sched %d seed %d)", sched, seed)
+			}
+		}
+	}
+}
+
+func TestSPVPShortestPathConverges(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		v := NewSPVP(ShortestPathSPP(n), RoundRobin, 0)
+		if converged, _ := v.Run(100000); !converged {
+			t.Errorf("shortest-path ring of %d did not converge", n)
+		}
+		if !v.SPP.Stable(v.Current) {
+			t.Errorf("ring %d final state unstable", n)
+		}
+	}
+}
+
+func TestModelCheckerFindsDisagreeOscillation(t *testing.T) {
+	// E11: the model checker finds the oscillation as a reachable cycle and
+	// produces a counterexample trace. The cycle requires simultaneous
+	// activation, so it appears under Sync and Subsets but not Async —
+	// matching Griffin & Wilfong's analysis of Disagree.
+	for _, mode := range []Mode{Sync, Subsets} {
+		sys := System{SPP: Disagree(), Mode: mode}
+		res := modelcheck.FindLasso(sys, nil, modelcheck.Options{})
+		if !res.Holds {
+			t.Fatalf("no oscillation lasso found in Disagree (mode %d)", mode)
+		}
+		if len(res.Trace) < 3 {
+			t.Errorf("degenerate lasso trace: %v", res.Trace)
+		}
+		if res.TraceString() == "" {
+			t.Error("empty counterexample rendering")
+		}
+	}
+	// Under atomic asynchronous activation every run of Disagree converges.
+	if res := modelcheck.FindLasso(System{SPP: Disagree(), Mode: Async}, nil, modelcheck.Options{}); res.Holds {
+		t.Error("lasso found under Async activation; Disagree should always converge atomically")
+	}
+}
+
+func TestModelCheckerGoodGadgetHasNoOscillationFromStable(t *testing.T) {
+	// GoodGadget: a stable state is reachable, and the reachable state
+	// space is small.
+	sys := System{SPP: GoodGadget()}
+	res := modelcheck.Quiescent(sys, modelcheck.Options{})
+	if !res.Holds {
+		t.Fatal("GoodGadget has no reachable quiescent state")
+	}
+	a := sys.Assignment(res.Witness)
+	if !GoodGadget().Stable(a) {
+		t.Error("quiescent witness is not a stable solution")
+	}
+}
+
+func TestModelCheckerBadGadgetNeverQuiesces(t *testing.T) {
+	sys := System{SPP: BadGadget()}
+	res := modelcheck.Quiescent(sys, modelcheck.Options{})
+	if res.Holds {
+		t.Errorf("BadGadget reached a quiescent state:\n%s", res.TraceString())
+	}
+	// And every infinite run is an oscillation: a lasso exists.
+	if lasso := modelcheck.FindLasso(sys, nil, modelcheck.Options{}); !lasso.Holds {
+		t.Error("no lasso in BadGadget")
+	}
+}
+
+func TestModelCheckerReachesBothDisagreeSolutions(t *testing.T) {
+	// Both stable solutions of Disagree are reachable — the model-checking
+	// counterpart of the Disagree proofs in [23].
+	spp := Disagree()
+	sys := System{SPP: spp}
+	sols := spp.StableSolutions()
+	for i, sol := range sols {
+		want := sol.Key()
+		res := modelcheck.CheckReachable(sys, func(st modelcheck.State) bool {
+			return st.Key() == want
+		}, modelcheck.Options{})
+		if !res.Holds {
+			t.Errorf("stable solution %d unreachable: %v", i, sol)
+		}
+	}
+}
+
+func TestStateSpaceGrowsWithGadgetSize(t *testing.T) {
+	// The state-explosion effect the paper attributes to model checking:
+	// reachable states grow exponentially in the number of disagree pairs.
+	count := func(k int) int {
+		n, _ := modelcheck.CountReachable(System{SPP: DisagreeChain(k)}, modelcheck.Options{})
+		return n
+	}
+	c1, c2, c3 := count(1), count(2), count(3)
+	if !(c1 < c2 && c2 < c3) {
+		t.Errorf("state counts not growing: %d, %d, %d", c1, c2, c3)
+	}
+	if c3 < c1*c1 {
+		t.Errorf("growth not superlinear: %d vs %d", c3, c1)
+	}
+}
+
+func TestRankAndBestChoice(t *testing.T) {
+	s := Disagree()
+	r, ok := s.Rank("1", Path{"1", "2", "0"})
+	if !ok || r != 0 {
+		t.Errorf("rank of preferred path = %d, %v", r, ok)
+	}
+	r, ok = s.Rank("1", Path{"1", "0"})
+	if !ok || r != 1 {
+		t.Errorf("rank of direct path = %d, %v", r, ok)
+	}
+	if _, ok := s.Rank("1", Path{"1", "3", "0"}); ok {
+		t.Error("unpermitted path ranked")
+	}
+	if r, _ := s.Rank("1", Path{}); r != 2 {
+		t.Errorf("empty path rank = %d, want 2", r)
+	}
+
+	// With no neighbor state, node 1's best is its direct path.
+	best := s.BestChoice("1", Assignment{})
+	if !best.Equal(Path{"1", "0"}) {
+		t.Errorf("best with empty assignment = %v", best)
+	}
+	// When 2 is on its direct path, 1 prefers routing through 2.
+	best = s.BestChoice("1", Assignment{"2": Path{"2", "0"}})
+	if !best.Equal(Path{"1", "2", "0"}) {
+		t.Errorf("best with 2 direct = %v", best)
+	}
+}
+
+func TestAssignmentKeyDeterministic(t *testing.T) {
+	a := Assignment{"1": Path{"1", "0"}, "2": Path{"2", "1", "0"}}
+	b := Assignment{"2": Path{"2", "1", "0"}, "1": Path{"1", "0"}}
+	if a.Key() != b.Key() {
+		t.Error("assignment keys differ for equal assignments")
+	}
+	c := a.Clone()
+	c["1"] = Path{"1", "2", "0"}
+	if a.Key() == c.Key() {
+		t.Error("clone mutation affected original key")
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	p := Path{"1", "2", "0"}
+	hop, ok := p.NextHop()
+	if !ok || hop != "2" {
+		t.Errorf("NextHop = %s, %v", hop, ok)
+	}
+	if _, ok := (Path{"1"}).NextHop(); ok {
+		t.Error("NextHop on short path")
+	}
+	if (Path{}).String() != "ε" {
+		t.Error("empty path rendering")
+	}
+	if p.String() != "1 2 0" {
+		t.Errorf("path rendering = %q", p.String())
+	}
+}

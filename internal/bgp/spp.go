@@ -1,0 +1,297 @@
+// Package bgp implements the interdomain-routing substrate of the FVN
+// experiments: the Stable Paths Problem (SPP) of Griffin, Shepherd and
+// Wilfong [8] that the paper's BGP model builds on (§3.2.1), the classic
+// gadgets (Disagree, Bad Gadget, Good Gadget), an imperative SPVP
+// simulator used as the baseline in E13, brute-force stable-solution
+// enumeration, and a transition-system adapter so the model checker can
+// find the Disagree oscillation (E11).
+package bgp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Path is a sequence of AS names ending at the origin.
+type Path []string
+
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "ε"
+	}
+	return strings.Join(p, " ")
+}
+
+// Equal reports element-wise equality.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NextHop returns the second element (the neighbor the path goes through).
+func (p Path) NextHop() (string, bool) {
+	if len(p) < 2 {
+		return "", false
+	}
+	return p[1], true
+}
+
+// SPP is a Stable Paths Problem instance: a set of ASes, an origin, and
+// for each non-origin AS a ranked list of permitted paths to the origin
+// (most preferred first). The empty path is always implicitly permitted as
+// the least preferred option.
+type SPP struct {
+	Name      string
+	Origin    string
+	Nodes     []string // excluding the origin
+	Permitted map[string][]Path
+}
+
+// Validate checks structural sanity: every permitted path starts at its
+// node, ends at the origin, and is a simple path.
+func (s *SPP) Validate() error {
+	for _, n := range s.Nodes {
+		for _, p := range s.Permitted[n] {
+			if len(p) < 2 {
+				return fmt.Errorf("bgp: %s: permitted path %v too short", n, p)
+			}
+			if p[0] != n {
+				return fmt.Errorf("bgp: %s: permitted path %v does not start at %s", n, p, n)
+			}
+			if p[len(p)-1] != s.Origin {
+				return fmt.Errorf("bgp: %s: permitted path %v does not end at origin %s", n, p, s.Origin)
+			}
+			seen := map[string]bool{}
+			for _, hop := range p {
+				if seen[hop] {
+					return fmt.Errorf("bgp: %s: permitted path %v has a cycle", n, p)
+				}
+				seen[hop] = true
+			}
+		}
+	}
+	return nil
+}
+
+// Rank returns the preference rank of path p at node n (0 = most
+// preferred); the empty path ranks below all permitted paths. ok=false if
+// p is not permitted at n.
+func (s *SPP) Rank(n string, p Path) (int, bool) {
+	if len(p) == 0 {
+		return len(s.Permitted[n]), true
+	}
+	for i, q := range s.Permitted[n] {
+		if q.Equal(p) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Assignment maps each node to its currently selected path (empty = no
+// route).
+type Assignment map[string]Path
+
+// Clone copies the assignment.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Key canonically encodes the assignment.
+func (a Assignment) Key() string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(a[k].String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// BestChoice computes node n's best permitted path consistent with the
+// neighbors' current selections: the highest-ranked permitted path (n v
+// P(v)) where v's current path is P(v), or the direct path (n origin) if
+// permitted. Returns the empty path if nothing is available.
+func (s *SPP) BestChoice(n string, a Assignment) Path {
+	for _, p := range s.Permitted[n] {
+		hop, ok := p.NextHop()
+		if !ok {
+			continue
+		}
+		if hop == s.Origin {
+			if len(p) == 2 {
+				return p // direct path, always consistent
+			}
+			continue
+		}
+		// p must be (n) followed by hop's current path.
+		cur := a[hop]
+		if len(cur) == len(p)-1 && Path(p[1:]).Equal(cur) {
+			return p
+		}
+	}
+	return nil
+}
+
+// Stable reports whether the assignment is a stable solution: every node's
+// selection equals its best consistent choice.
+func (s *SPP) Stable(a Assignment) bool {
+	for _, n := range s.Nodes {
+		best := s.BestChoice(n, a)
+		cur := a[n]
+		if !best.Equal(cur) {
+			return false
+		}
+	}
+	return true
+}
+
+// StableSolutions enumerates all stable solutions by brute force over the
+// (permitted+empty)^nodes choice space — feasible for the gadgets. The
+// Stable Paths Problem is NP-hard in general [8]; this is the oracle the
+// verification results are checked against.
+func (s *SPP) StableSolutions() []Assignment {
+	var out []Assignment
+	n := len(s.Nodes)
+	choices := make([]int, n)
+	var rec func(i int, a Assignment)
+	rec = func(i int, a Assignment) {
+		if i == n {
+			if s.Stable(a) {
+				out = append(out, a.Clone())
+			}
+			return
+		}
+		node := s.Nodes[i]
+		opts := s.Permitted[node]
+		for c := 0; c <= len(opts); c++ {
+			if c < len(opts) {
+				a[node] = opts[c]
+			} else {
+				delete(a, node)
+			}
+			rec(i+1, a)
+		}
+		delete(a, node)
+	}
+	rec(0, Assignment{})
+	_ = choices
+	return out
+}
+
+// --- classic gadgets --------------------------------------------------------
+
+// Disagree is the two-AS gadget of Griffin & Wilfong [7] used by the
+// paper (§3.2): each AS prefers the route through the other over its
+// direct route. It has two stable solutions and an infinite oscillating
+// execution under synchronous activation.
+func Disagree() *SPP {
+	return &SPP{
+		Name:   "Disagree",
+		Origin: "0",
+		Nodes:  []string{"1", "2"},
+		Permitted: map[string][]Path{
+			"1": {Path{"1", "2", "0"}, Path{"1", "0"}},
+			"2": {Path{"2", "1", "0"}, Path{"2", "0"}},
+		},
+	}
+}
+
+// BadGadget is the three-AS instance with no stable solution: SPVP
+// diverges from every state.
+func BadGadget() *SPP {
+	return &SPP{
+		Name:   "BadGadget",
+		Origin: "0",
+		Nodes:  []string{"1", "2", "3"},
+		Permitted: map[string][]Path{
+			"1": {Path{"1", "2", "0"}, Path{"1", "0"}},
+			"2": {Path{"2", "3", "0"}, Path{"2", "0"}},
+			"3": {Path{"3", "1", "0"}, Path{"3", "0"}},
+		},
+	}
+}
+
+// GoodGadget is a shortest-path-like instance with a unique stable
+// solution: every node prefers its direct route.
+func GoodGadget() *SPP {
+	return &SPP{
+		Name:   "GoodGadget",
+		Origin: "0",
+		Nodes:  []string{"1", "2", "3"},
+		Permitted: map[string][]Path{
+			"1": {Path{"1", "0"}, Path{"1", "2", "0"}},
+			"2": {Path{"2", "0"}, Path{"2", "1", "0"}, Path{"2", "3", "0"}},
+			"3": {Path{"3", "0"}, Path{"3", "2", "0"}},
+		},
+	}
+}
+
+// ShortestPathSPP builds a policy-consistent SPP over a ring of n ASes
+// where every AS ranks paths by length (the monotone case that always
+// converges); used as the "clean" side of E7's conflict-vs-clean
+// comparison.
+func ShortestPathSPP(n int) *SPP {
+	s := &SPP{
+		Name:      fmt.Sprintf("shortest%d", n),
+		Origin:    "0",
+		Permitted: map[string][]Path{},
+	}
+	// Ring 0-1-2-...-n-1-0; each node i has clockwise and counterclockwise
+	// paths to 0, ranked by length.
+	name := func(i int) string { return fmt.Sprint(i) }
+	for i := 1; i < n; i++ {
+		s.Nodes = append(s.Nodes, name(i))
+		var cw Path // descending to 0: i, i-1, ..., 0
+		for j := i; j >= 0; j-- {
+			cw = append(cw, name(j))
+		}
+		var ccw Path // ascending around the ring: i, i+1, ..., n-1, 0
+		for j := i; j < n; j++ {
+			ccw = append(ccw, name(j))
+		}
+		ccw = append(ccw, "0")
+		if len(cw) <= len(ccw) {
+			s.Permitted[name(i)] = []Path{cw, ccw}
+		} else {
+			s.Permitted[name(i)] = []Path{ccw, cw}
+		}
+	}
+	return s
+}
+
+// DisagreeChain generalizes Disagree to k independent disagree pairs
+// hanging off one origin — 2^k stable solutions, used to scale E5/E11.
+func DisagreeChain(k int) *SPP {
+	s := &SPP{
+		Name:      fmt.Sprintf("disagree%d", k),
+		Origin:    "0",
+		Permitted: map[string][]Path{},
+	}
+	for i := 0; i < k; i++ {
+		a := fmt.Sprintf("a%d", i)
+		b := fmt.Sprintf("b%d", i)
+		s.Nodes = append(s.Nodes, a, b)
+		s.Permitted[a] = []Path{{a, b, "0"}, {a, "0"}}
+		s.Permitted[b] = []Path{{b, a, "0"}, {b, "0"}}
+	}
+	return s
+}

@@ -1,0 +1,224 @@
+package bgp
+
+import (
+	"fmt"
+
+	"repro/internal/modelcheck"
+)
+
+// Schedule selects which nodes recompute their choice at each SPVP step.
+type Schedule int
+
+const (
+	// Synchronous activates every node simultaneously each round — the
+	// schedule under which Disagree oscillates forever.
+	Synchronous Schedule = iota
+	// RoundRobin activates one node per step in a fixed rotation (a fair
+	// schedule under which Disagree converges).
+	RoundRobin
+	// SeededRandom activates one pseudo-random node per step.
+	SeededRandom
+)
+
+// SPVP is the Simple Path Vector Protocol simulator over an SPP instance —
+// the hand-coded imperative baseline that the declarative implementation
+// is compared against (E13), and the reference dynamics for convergence
+// experiments.
+type SPVP struct {
+	SPP      *SPP
+	Schedule Schedule
+	Seed     uint64
+
+	// State: current path assignment.
+	Current Assignment
+	Steps   int // node activations performed
+	Changes int // selections that actually changed
+}
+
+// NewSPVP creates a simulator starting from the empty assignment.
+func NewSPVP(s *SPP, sched Schedule, seed uint64) *SPVP {
+	return &SPVP{SPP: s, Schedule: sched, Seed: seed, Current: Assignment{}}
+}
+
+// step activates the given node; returns whether its selection changed.
+func (v *SPVP) step(n string) bool {
+	v.Steps++
+	best := v.SPP.BestChoice(n, v.Current)
+	cur := v.Current[n]
+	if best.Equal(cur) {
+		return false
+	}
+	v.Changes++
+	if len(best) == 0 {
+		delete(v.Current, n)
+	} else {
+		v.Current[n] = best
+	}
+	return true
+}
+
+// Run executes until no node wants to change (converged) or maxSteps node
+// activations elapse. It returns whether the run converged and how many
+// activations it took.
+func (v *SPVP) Run(maxSteps int) (converged bool, steps int) {
+	nodes := v.SPP.Nodes
+	rng := v.Seed ^ 0xa5a5a5a5deadbeef
+	nextRand := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	for v.Steps < maxSteps {
+		switch v.Schedule {
+		case Synchronous:
+			// Compute all choices against the same snapshot, then apply.
+			snapshot := v.Current.Clone()
+			changed := false
+			for _, n := range nodes {
+				v.Steps++
+				best := v.SPP.BestChoice(n, snapshot)
+				if !best.Equal(v.Current[n]) {
+					changed = true
+					v.Changes++
+					if len(best) == 0 {
+						delete(v.Current, n)
+					} else {
+						v.Current[n] = best
+					}
+				}
+			}
+			if !changed {
+				return true, v.Steps
+			}
+		case RoundRobin:
+			changed := false
+			for _, n := range nodes {
+				if v.step(n) {
+					changed = true
+				}
+			}
+			if !changed {
+				return true, v.Steps
+			}
+		case SeededRandom:
+			n := nodes[nextRand(len(nodes))]
+			v.step(n)
+			if v.SPP.Stable(v.Current) {
+				return true, v.Steps
+			}
+		}
+	}
+	return v.SPP.Stable(v.Current), v.Steps
+}
+
+// --- model-checker adapter ---------------------------------------------------
+
+// spvpState is an SPVP assignment as a model-checker state.
+type spvpState struct {
+	spp *SPP
+	a   Assignment
+}
+
+func (s spvpState) Key() string { return s.a.Key() }
+
+func (s spvpState) Display() string {
+	out := ""
+	for i, n := range s.spp.Nodes {
+		if i > 0 {
+			out += "  "
+		}
+		out += fmt.Sprintf("%s:[%s]", n, s.a[n])
+	}
+	return out
+}
+
+// Mode selects the activation semantics of the transition system.
+type Mode int
+
+const (
+	// Async activates one node at a time (all interleavings of atomic
+	// activations). Disagree converges from every state under this
+	// semantics — its two stable solutions are both reachable.
+	Async Mode = iota
+	// Sync activates every node simultaneously against the same snapshot —
+	// the semantics under which Disagree oscillates forever.
+	Sync
+	// Subsets activates any non-empty subset of nodes simultaneously: the
+	// full SPVP activation model of Griffin et al., subsuming Async and
+	// Sync. Oscillations and both solutions are visible here.
+	Subsets
+)
+
+// System wraps the SPP in the SPVP transition relation under the given
+// activation mode — the model-checking view of §4.3.
+type System struct {
+	SPP  *SPP
+	Mode Mode
+}
+
+// Initial returns the empty assignment.
+func (s System) Initial() []modelcheck.State {
+	return []modelcheck.State{spvpState{spp: s.SPP, a: Assignment{}}}
+}
+
+// apply activates the listed nodes simultaneously against the snapshot,
+// returning the successor and whether anything changed.
+func (s System) apply(a Assignment, nodes []string) (Assignment, bool) {
+	next := a.Clone()
+	changed := false
+	for _, n := range nodes {
+		best := s.SPP.BestChoice(n, a)
+		if best.Equal(a[n]) {
+			continue
+		}
+		changed = true
+		if len(best) == 0 {
+			delete(next, n)
+		} else {
+			next[n] = best
+		}
+	}
+	return next, changed
+}
+
+// Next returns the successors of st under the activation mode; states with
+// no successors are quiescent (stable).
+func (s System) Next(st modelcheck.State) []modelcheck.State {
+	cur := st.(spvpState)
+	var out []modelcheck.State
+	switch s.Mode {
+	case Sync:
+		if next, changed := s.apply(cur.a, s.SPP.Nodes); changed {
+			out = append(out, spvpState{spp: s.SPP, a: next})
+		}
+	case Subsets:
+		n := len(s.SPP.Nodes)
+		seen := map[string]bool{}
+		for mask := 1; mask < 1<<n; mask++ {
+			var active []string
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					active = append(active, s.SPP.Nodes[i])
+				}
+			}
+			if next, changed := s.apply(cur.a, active); changed {
+				k := next.Key()
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, spvpState{spp: s.SPP, a: next})
+				}
+			}
+		}
+	default: // Async
+		for _, n := range s.SPP.Nodes {
+			if next, changed := s.apply(cur.a, []string{n}); changed {
+				out = append(out, spvpState{spp: s.SPP, a: next})
+			}
+		}
+	}
+	return out
+}
+
+// Assignment extracts the assignment from a state produced by System.
+func (s System) Assignment(st modelcheck.State) Assignment {
+	return st.(spvpState).a
+}

@@ -1,0 +1,266 @@
+package component
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/ndlog"
+	"repro/internal/netgraph"
+	"repro/internal/translate"
+	"repro/internal/value"
+)
+
+// InfiniteRank poisons a route: loopy paths get this rank instead of being
+// dropped, so a neighbor's previously advertised route is implicitly
+// withdrawn through the keyed candidate table (BGP loop poisoning).
+const InfiniteRank = 1 << 30
+
+// BGPModel is the component decomposition of BGP from §3.2.1 (Figure 2):
+// route announcement flows through export → pvt → import, and bestRoute
+// recomputes the selection. In the paper the activeAS(U,W,T) component
+// triggers each round; in the event-driven runtime the trigger is implicit
+// — a change to a node's best route re-fires the export chain, which is
+// the same series of route transformations.
+//
+// Routes rank by local preference first (lower value preferred, as in the
+// paper's LP algebra), then by AS-path length — the BGPSystem =
+// lexProduct[LP, RC] policy of §3.3.2, encoded as rank = LP*RankStride +
+// pathLength.
+type BGPModel struct {
+	Origin     *Component // direct routes from adjacent links
+	Export     *Component
+	Pvt        *Component
+	Import     *Component
+	Candidates *Component // union of origin and imported routes
+	BestRank   *Component // min-rank selection (the route-selection half)
+	BestRoute  *Component // the selected route with its path
+}
+
+// RankStride separates the local-preference and path-length components of
+// a rank.
+const RankStride = 100
+
+// NewBGPModel builds the executable component graph, in which the export
+// component reads the (recursively defined) best_out selection. External
+// predicates:
+//
+//	link(@U, W, C)  — adjacency
+//	lp(@U, W, LP)   — import policy: local preference of routes via W
+func NewBGPModel() *BGPModel {
+	return newBGPModel("best_out")
+}
+
+// NewBGPModelOneRound builds the one-round variant used for verification:
+// export reads an uninterpreted previous selection prevBest(@W, D, P, R),
+// matching Figure 2's semantics ("AS U recomputes the best route R0' and
+// exports to neighbors at the next time iteration") — each round is a
+// well-founded transformation of the previous round's state, so the
+// generated theory has a stratified least fixed point.
+func NewBGPModelOneRound() *BGPModel {
+	return newBGPModel("prevBest")
+}
+
+func newBGPModel(selectionPred string) *BGPModel {
+	m := &BGPModel{}
+
+	// origin: direct routes. origin_out(@U, D, W, P, R) with W = D.
+	m.Origin = &Component{
+		Name: "origin",
+		Out:  []string{"U", "D", "W", "P", "R"},
+		Loc:  "U",
+		Alts: []Alt{{
+			Ins: []Input{
+				{Pred: "link", Loc: "U", Fields: []string{"U", "D", "C"}},
+				{Pred: "lp", Loc: "U", Fields: []string{"U", "D", "LP"}},
+			},
+			Constraints: []string{
+				"W=D",
+				"P=f_init(U,D)",
+				fmt.Sprintf("R=LP*%d+2", RankStride),
+			},
+		}},
+	}
+
+	// The export component of Figure 2: when W's best route changes, W
+	// advertises it to each neighbor U (subject to the export filter,
+	// here: advertise-to-all). export_out(@W, U, W, D, P).
+	m.Export = &Component{
+		Name: "export",
+		Out:  []string{"W", "U", "D", "P"},
+		Loc:  "W",
+		Alts: []Alt{{
+			Ins: []Input{
+				{Pred: "link", Loc: "W", Fields: []string{"W", "U", "C"}},
+				{Pred: selectionPred, Loc: "W", Fields: []string{"W", "D", "P", "R"}},
+			},
+		}},
+	}
+
+	// pvt: the transmission component — the path-vector propagation from W
+	// to U. pvt_out(@U, U, W, D, P).
+	m.Pvt = &Component{
+		Name: "pvt",
+		Out:  []string{"U", "W", "D", "P"},
+		Loc:  "U",
+		Alts: []Alt{{
+			Ins: []Input{
+				{From: nil, Pred: "export_out", Loc: "W", Fields: []string{"W", "U", "D", "P"}},
+			},
+		}},
+	}
+
+	// import: apply the import policy (local preference via lp) and loop
+	// poisoning. import_out(@U, D, W, P, R).
+	m.Import = &Component{
+		Name: "import",
+		Out:  []string{"U", "D", "W", "P", "R"},
+		Loc:  "U",
+		Alts: []Alt{{
+			Ins: []Input{
+				{Pred: "pvt_out", Loc: "U", Fields: []string{"U", "W", "D", "P2"}},
+				{Pred: "lp", Loc: "U", Fields: []string{"U", "W", "LP"}},
+			},
+			Constraints: []string{
+				"P=f_concatPath(U,P2)",
+				fmt.Sprintf("R=f_if(f_inPath(P2,U), %d, LP*%d+f_size(P))", InfiniteRank, RankStride),
+			},
+		}},
+	}
+
+	// candidates: union of direct and imported routes — the "multiple input
+	// components" case of §3.2.2 (one rule per alternative). Keyed by
+	// (U, D, W): a later advertisement from the same neighbor replaces the
+	// earlier one. cand_out(@U, D, W, P, R).
+	m.Candidates = &Component{
+		Name: "cand",
+		Out:  []string{"U", "D", "W", "P", "R"},
+		Loc:  "U",
+		Alts: []Alt{
+			{Ins: []Input{{From: m.Origin, Loc: "U", Fields: []string{"U", "D", "W", "P", "R"}}}},
+			{Ins: []Input{{From: m.Import, Loc: "U", Fields: []string{"U", "D", "W", "P", "R"}}}},
+		},
+	}
+
+	// bestRank: the route-selection aggregate (min rank per destination).
+	m.BestRank = &Component{
+		Name:     "bestRank",
+		Out:      []string{"U", "D", "R"},
+		Loc:      "U",
+		Agg:      "min",
+		AggField: "R",
+		Alts: []Alt{{
+			Ins: []Input{{From: m.Candidates, Loc: "U", Fields: []string{"U", "D", "W", "P", "R"}}},
+		}},
+	}
+
+	// bestRoute: join the winning rank back to its path. Keyed (U,D):
+	// replacements are route changes. Poisoned ranks never win against any
+	// real candidate but keep the table live for withdawal semantics; the
+	// guard drops them from the final table.
+	m.BestRoute = &Component{
+		Name: "best",
+		Out:  []string{"U", "D", "P", "R"},
+		Loc:  "U",
+		Alts: []Alt{{
+			Ins: []Input{
+				{From: m.BestRank, Loc: "U", Fields: []string{"U", "D", "R"}},
+				{From: m.Candidates, Loc: "U", Fields: []string{"U", "D", "W", "P", "R"}},
+			},
+			Constraints: []string{fmt.Sprintf("R<%d", InfiniteRank)},
+		}},
+	}
+
+	return m
+}
+
+// Program generates the runnable NDlog program (arc 3) with the table
+// keys that give BGP its update-replaces-previous-announcement semantics.
+func (m *BGPModel) Program() (*ndlog.Program, error) {
+	keys := map[string][]int{
+		// Advertisements replace the previous announcement to the same
+		// peer for the same destination (BGP UPDATE semantics); without
+		// these keys a re-advertisement of a previously sent route would
+		// be deduplicated and lost.
+		"export":   {1, 2, 3},
+		"pvt":      {1, 2, 3},
+		"import":   {1, 2, 3},
+		"cand":     {1, 2, 3}, // one candidate per (node, destination, neighbor)
+		"bestRank": {1, 2},
+		"best":     {1, 2},
+	}
+	prog, err := GenerateNDlog("bgp", []*Component{m.BestRoute, m.Export, m.Pvt}, keys)
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// Theory generates the logical specification (arc 2) of the model, in its
+// one-round form (export reads the uninterpreted previous selection
+// prevBest): each BGP iteration is a well-founded transformation, so the
+// theory validates and the min-selection optimality theorem
+// bestRank_outStrong is generated automatically.
+func (m *BGPModel) Theory() (*logic.Theory, error) {
+	prog, err := NewBGPModelOneRound().Program()
+	if err != nil {
+		return nil, err
+	}
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	th, err := translate.ToLogic(an, translate.Options{TheoremsForAggregates: true})
+	if err != nil {
+		return nil, err
+	}
+	// The pt composite of Figure 2, as in the paper's listing:
+	// pt(U,W,R0,R3,T) = export AND pvt AND import (T is implicit in the
+	// event-driven encoding; R-levels name the intermediate routes).
+	th.AddInductive(Wrapper("pt", []string{"U", "W", "D", "R0", "R3"}, []Ref{
+		{Pred: "export_out", Args: []string{"W", "U", "D", "R0"}},
+		{Pred: "pvt_out", Args: []string{"U", "W", "D", "R1"}},
+		{Pred: "import_out", Args: []string{"U", "D", "W", "R2", "R3"}},
+	}))
+	return th, nil
+}
+
+// PolicySpec assigns local preferences: Prefs[node][neighbor] = LP (lower
+// preferred). Missing entries default to DefaultLP.
+type PolicySpec struct {
+	Prefs     map[string]map[string]int64
+	DefaultLP int64
+}
+
+// DisagreePolicy builds the §3.2 Disagree policy conflict on a triangle
+// {origin, a, b}: a prefers routes via b, b prefers routes via a, both
+// over their direct routes.
+func DisagreePolicy(origin, a, b string) PolicySpec {
+	return PolicySpec{
+		DefaultLP: 5,
+		Prefs: map[string]map[string]int64{
+			a: {b: 1, origin: 5},
+			b: {a: 1, origin: 5},
+		},
+	}
+}
+
+// ShortestPathPolicy gives every neighbor the same preference, so path
+// length decides — the policy-conflict-free baseline of E7.
+func ShortestPathPolicy() PolicySpec {
+	return PolicySpec{DefaultLP: 5, Prefs: map[string]map[string]int64{}}
+}
+
+// LPFacts renders the policy as lp(@U, W, LP) tuples for a topology.
+func (p PolicySpec) LPFacts(topo *netgraph.Topology) []value.Tuple {
+	var out []value.Tuple
+	for _, l := range topo.Links {
+		lp := p.DefaultLP
+		if m, ok := p.Prefs[l.Src]; ok {
+			if v, ok := m[l.Dst]; ok {
+				lp = v
+			}
+		}
+		out = append(out, value.Tuple{value.Addr(l.Src), value.Addr(l.Dst), value.Int(lp)})
+	}
+	return out
+}

@@ -1,0 +1,336 @@
+// Package component implements the component-based network meta-model of
+// §3.2 of the paper: protocols are decomposed into components that
+// transform input routes to output routes under constraints, composed by
+// wiring outputs to inputs. The package provides the two property-
+// preserving generation paths of Figure 1: components to logical
+// specifications for verification (arc 2), and components to executable
+// NDlog programs (arc 3, following the translation rules of §3.2.2).
+package component
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/ndlog"
+	"repro/internal/translate"
+)
+
+// Component is a route-transformation stage. Each alternative (Alt) is an
+// independent derivation of the component's output: a single Alt with
+// several inputs is a join ("each input component generates one t_in
+// predicate in the rule body"), several Alts are a union (one NDlog rule
+// per alternative).
+//
+// The output relation of a component named t is the predicate t_out with
+// columns Out; Loc names the field holding the output's location.
+type Component struct {
+	Name string
+	// Out lists the output tuple fields, e.g. ["U","W","R1","T"].
+	Out []string
+	// Loc is the field of Out carrying the location specifier ("" = none).
+	Loc string
+	// Agg, if non-empty, makes this an aggregation component: kind is one
+	// of min/max/count/sum over AggField (which must be in Out).
+	Agg      string
+	AggField string
+	// Alts are the derivations.
+	Alts []Alt
+}
+
+// Alt is one derivation: a join of inputs plus constraints.
+type Alt struct {
+	Ins         []Input
+	Constraints []string // NDlog expressions, e.g. "P=f_concatPath(U,P2)"
+}
+
+// Input is one input of a component: either the output of another
+// component (From) or an external predicate (Pred).
+type Input struct {
+	From   *Component
+	Pred   string
+	Loc    string   // field carrying the location specifier ("" = none)
+	Fields []string // variable names bound to the input's columns
+}
+
+// OutPred returns the name of the component's output predicate.
+func (c *Component) OutPred() string { return c.Name + "_out" }
+
+// pred returns the predicate an input refers to.
+func (in Input) pred() (string, error) {
+	if in.From != nil {
+		return in.From.OutPred(), nil
+	}
+	if in.Pred == "" {
+		return "", fmt.Errorf("component: input with neither source component nor predicate")
+	}
+	return in.Pred, nil
+}
+
+// Validate checks structural sanity of the component graph rooted at c.
+func (c *Component) Validate() error {
+	seen := map[*Component]bool{}
+	var walk func(*Component) error
+	walk = func(k *Component) error {
+		if seen[k] {
+			return nil
+		}
+		seen[k] = true
+		if k.Name == "" {
+			return fmt.Errorf("component: unnamed component")
+		}
+		if len(k.Out) == 0 {
+			return fmt.Errorf("component %s: no output fields", k.Name)
+		}
+		if k.Loc != "" && !contains(k.Out, k.Loc) {
+			return fmt.Errorf("component %s: location field %s not among outputs %v", k.Name, k.Loc, k.Out)
+		}
+		if k.Agg != "" && !contains(k.Out, k.AggField) {
+			return fmt.Errorf("component %s: aggregate field %s not among outputs %v", k.Name, k.AggField, k.Out)
+		}
+		if k.Agg != "" && len(k.Alts) != 1 {
+			return fmt.Errorf("component %s: aggregate components need exactly one alternative", k.Name)
+		}
+		if len(k.Alts) == 0 {
+			return fmt.Errorf("component %s: no alternatives", k.Name)
+		}
+		for ai, alt := range k.Alts {
+			if len(alt.Ins) == 0 {
+				return fmt.Errorf("component %s alt %d: no inputs", k.Name, ai)
+			}
+			for _, in := range alt.Ins {
+				if _, err := in.pred(); err != nil {
+					return fmt.Errorf("component %s alt %d: %w", k.Name, ai, err)
+				}
+				if in.Loc != "" && !contains(in.Fields, in.Loc) {
+					return fmt.Errorf("component %s alt %d: input location %s not among fields %v", k.Name, ai, in.Loc, in.Fields)
+				}
+				if in.From != nil {
+					if len(in.Fields) != len(in.From.Out) {
+						return fmt.Errorf("component %s alt %d: input from %s has %d fields, component outputs %d",
+							k.Name, ai, in.From.Name, len(in.Fields), len(in.From.Out))
+					}
+					if err := walk(in.From); err != nil {
+						return err
+					}
+				}
+			}
+			for _, src := range alt.Constraints {
+				if _, err := ndlog.ParseExpr(src); err != nil {
+					return fmt.Errorf("component %s alt %d: constraint %q: %w", k.Name, ai, src, err)
+				}
+			}
+		}
+		return nil
+	}
+	return walk(c)
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// collect returns the component DAG rooted at the sinks in dependency
+// order (inputs before consumers), each component once.
+func collect(sinks []*Component) []*Component {
+	var order []*Component
+	seen := map[*Component]bool{}
+	var walk func(*Component)
+	walk = func(k *Component) {
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		for _, alt := range k.Alts {
+			for _, in := range alt.Ins {
+				if in.From != nil {
+					walk(in.From)
+				}
+			}
+		}
+		order = append(order, k)
+	}
+	for _, s := range sinks {
+		walk(s)
+	}
+	return order
+}
+
+// GenerateNDlog compiles the component DAG rooted at sinks into an NDlog
+// program, one rule per (component, alternative), per §3.2.2:
+//
+//	t_out(O) :- t1_out(O1), t2_out(O2), CT(O1,O2,O).
+//
+// Materialize declarations give every generated output table the provided
+// key columns if listed in keys (1-based per component name); others get
+// whole-tuple keys.
+func GenerateNDlog(name string, sinks []*Component, keys map[string][]int) (*ndlog.Program, error) {
+	prog := &ndlog.Program{Name: name}
+	comps := collect(sinks)
+	for _, c := range comps {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range comps {
+		if ks, ok := keys[c.Name]; ok {
+			prog.Materialized = append(prog.Materialized, ndlog.Materialize{
+				Pred:     c.OutPred(),
+				Lifetime: ndlog.Lifetime{Infinite: true},
+				Keys:     ks,
+			})
+		}
+		for ai, alt := range c.Alts {
+			rule, err := genRule(c, ai, alt)
+			if err != nil {
+				return nil, err
+			}
+			prog.Rules = append(prog.Rules, rule)
+		}
+	}
+	return prog, nil
+}
+
+func genRule(c *Component, ai int, alt Alt) (*ndlog.Rule, error) {
+	label := fmt.Sprintf("%s_%d", c.Name, ai+1)
+	head := ndlog.Atom{Pred: c.OutPred(), Loc: -1}
+	for i, f := range c.Out {
+		if c.Agg != "" && f == c.AggField {
+			head.Args = append(head.Args, ndlog.AggE{Kind: c.Agg, Arg: f})
+			continue
+		}
+		v := ndlog.VarE{Name: f}
+		if f == c.Loc {
+			v.Loc = true
+			head.Loc = i
+		}
+		head.Args = append(head.Args, v)
+	}
+	rule := &ndlog.Rule{Label: label, Head: head}
+	for _, in := range alt.Ins {
+		pred, err := in.pred()
+		if err != nil {
+			return nil, err
+		}
+		atom := &ndlog.Atom{Pred: pred, Loc: -1}
+		for i, f := range in.Fields {
+			v := ndlog.VarE{Name: f}
+			if f == in.Loc {
+				v.Loc = true
+				atom.Loc = i
+			}
+			atom.Args = append(atom.Args, v)
+		}
+		rule.Body = append(rule.Body, ndlog.Literal{Atom: atom})
+	}
+	for _, src := range alt.Constraints {
+		e, err := ndlog.ParseExpr(src)
+		if err != nil {
+			return nil, fmt.Errorf("component %s: constraint %q: %w", c.Name, src, err)
+		}
+		rule.Body = append(rule.Body, ndlog.Literal{Expr: e})
+	}
+	return rule, nil
+}
+
+// ToLogic generates the logical specification of the component DAG (arc 2)
+// by composing the NDlog generation with the NDlog-to-logic translation —
+// the "natural mapping" the paper observes between component models and
+// NDlog (§4.1). The external input predicates remain uninterpreted.
+func ToLogic(name string, sinks []*Component, opts translate.Options) (*logic.Theory, error) {
+	prog, err := GenerateNDlog(name, sinks, nil)
+	if err != nil {
+		return nil, err
+	}
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	return translate.ToLogic(an, opts)
+}
+
+// Wrapper builds the named composite definition of the paper's style:
+//
+//	pt(U,W,R0,R3,T): INDUCTIVE bool =
+//	  EXISTS (R1,R2): export(...) AND pvt(...) AND import(...)
+//
+// members reference component output predicates (or arbitrary predicate
+// names) with argument variable names; variables not among params are
+// existentially quantified.
+func Wrapper(name string, params []string, members []Ref) *logic.Inductive {
+	var conj []logic.Formula
+	inner := map[string]bool{}
+	paramSet := map[string]bool{}
+	for _, p := range params {
+		paramSet[p] = true
+	}
+	for _, m := range members {
+		args := make([]logic.Term, len(m.Args))
+		for i, a := range m.Args {
+			args[i] = logic.V(a)
+			if !paramSet[a] {
+				inner[a] = true
+			}
+		}
+		conj = append(conj, logic.Pred{Name: m.Pred, Args: args})
+	}
+	var exVars []logic.Var
+	for _, n := range sortedStrings(inner) {
+		exVars = append(exVars, logic.V(n))
+	}
+	pvars := make([]logic.Var, len(params))
+	for i, p := range params {
+		pvars[i] = logic.V(p)
+	}
+	return &logic.Inductive{
+		Name:   name,
+		Params: pvars,
+		Body:   logic.Exist(exVars, logic.Conj(conj...)),
+	}
+}
+
+// Ref names a member predicate of a Wrapper with its argument variables.
+type Ref struct {
+	Pred string
+	Args []string
+}
+
+func sortedStrings(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// String renders a component tree for documentation and debugging.
+func (c *Component) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "component %s(%s)", c.Name, strings.Join(c.Out, ","))
+	if c.Agg != "" {
+		fmt.Fprintf(&b, " [%s<%s>]", c.Agg, c.AggField)
+	}
+	b.WriteByte('\n')
+	for ai, alt := range c.Alts {
+		fmt.Fprintf(&b, "  alt %d:", ai+1)
+		for _, in := range alt.Ins {
+			p, _ := in.pred()
+			fmt.Fprintf(&b, " %s(%s)", p, strings.Join(in.Fields, ","))
+		}
+		for _, con := range alt.Constraints {
+			fmt.Fprintf(&b, " | %s", con)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,384 @@
+package component
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/ndlog"
+	"repro/internal/netgraph"
+	"repro/internal/translate"
+	"repro/internal/value"
+)
+
+// tcExample builds the compositional component tc of Figure 3: three
+// sub-components t1, t2, t3 where t3 joins the outputs of t1 and t2.
+func tcExample() (*Component, *Component, *Component) {
+	t1 := &Component{
+		Name: "t1",
+		Out:  []string{"X", "O1"},
+		Loc:  "X",
+		Alts: []Alt{{
+			Ins:         []Input{{Pred: "t1_in", Loc: "X", Fields: []string{"X", "I1"}}},
+			Constraints: []string{"O1=I1+1"},
+		}},
+	}
+	t2 := &Component{
+		Name: "t2",
+		Out:  []string{"X", "O2"},
+		Loc:  "X",
+		Alts: []Alt{{
+			Ins:         []Input{{Pred: "t2_in", Loc: "X", Fields: []string{"X", "I2"}}},
+			Constraints: []string{"O2=I2*2"},
+		}},
+	}
+	t3 := &Component{
+		Name: "t3",
+		Out:  []string{"X", "O3"},
+		Loc:  "X",
+		Alts: []Alt{{
+			Ins: []Input{
+				{From: t1, Loc: "X", Fields: []string{"X", "O1"}},
+				{From: t2, Loc: "X", Fields: []string{"X", "O2"}},
+			},
+			Constraints: []string{"O3=O1+O2"},
+		}},
+	}
+	return t1, t2, t3
+}
+
+func TestFigure3Codegen(t *testing.T) {
+	// The generated program must match the shape of §3.2.2:
+	//   t1_out(O1) :- t1_in(I1), C1. / t2_out ... / t3_out :- t1_out, t2_out, C3.
+	_, _, t3 := tcExample()
+	prog, err := GenerateNDlog("tc", []*Component{t3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 3 {
+		t.Fatalf("generated %d rules, want 3:\n%s", len(prog.Rules), prog.String())
+	}
+	text := prog.String()
+	for _, want := range []string{
+		"t1_out(@X,O1) :- t1_in(@X,I1)",
+		"t2_out(@X,O2) :- t2_in(@X,I2)",
+		"t3_out(@X,O3) :- t1_out(@X,O1), t2_out(@X,O2)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("generated program missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFigure3Executes(t *testing.T) {
+	// Property preservation, dynamically: inputs 5 and 7 give
+	// O3 = (5+1) + (7*2) = 20.
+	_, _, t3 := tcExample()
+	prog, err := GenerateNDlog("tc", []*Component{t3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := netgraph.Line(1)
+	net, err := dist.NewNetwork(prog, topo, dist.Options{MaxTime: 100, LoadTopologyLinks: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Inject(0, "n0", "t1_in", value.Tuple{value.Addr("n0"), value.Int(5)})
+	net.Inject(0, "n0", "t2_in", value.Tuple{value.Addr("n0"), value.Int(7)})
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := net.Query("n0", "t3_out")
+	if len(out) != 1 || out[0][1].I != 20 {
+		t.Fatalf("t3_out = %v, want (n0,20)", out)
+	}
+}
+
+func TestFigure3ToLogic(t *testing.T) {
+	// Arc 2: the same components as an inductive theory.
+	_, _, t3 := tcExample()
+	th, err := ToLogic("tc", []*Component{t3}, translate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"t1_out", "t2_out", "t3_out"} {
+		if _, ok := th.Lookup(name); !ok {
+			t.Errorf("theory missing %s", name)
+		}
+	}
+	def, _ := th.Lookup("t3_out")
+	body := def.Body.String()
+	if !strings.Contains(body, "t1_out(") || !strings.Contains(body, "t2_out(") {
+		t.Errorf("t3_out definition does not reference sub-components: %s", body)
+	}
+}
+
+func TestWrapperComposite(t *testing.T) {
+	// The pt composite of the paper: internal variables are existential.
+	def := Wrapper("pt", []string{"U", "W", "R0", "R3"}, []Ref{
+		{Pred: "export", Args: []string{"U", "W", "R0", "R1"}},
+		{Pred: "pvt", Args: []string{"U", "W", "R1", "R2"}},
+		{Pred: "import", Args: []string{"U", "W", "R2", "R3"}},
+	})
+	if def.Name != "pt" || len(def.Params) != 4 {
+		t.Fatalf("wrapper shape wrong: %+v", def)
+	}
+	s := def.Body.String()
+	if !strings.Contains(s, "EXISTS (R1,R2)") {
+		t.Errorf("internal routes not existentially quantified: %s", s)
+	}
+	for _, want := range []string{"export(", "pvt(", "import("} {
+		if !strings.Contains(s, want) {
+			t.Errorf("wrapper missing member %q: %s", want, s)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	bad := &Component{Name: "", Out: []string{"X"}, Alts: []Alt{{Ins: []Input{{Pred: "p", Fields: []string{"X"}}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unnamed component accepted")
+	}
+	bad = &Component{Name: "c", Out: nil, Alts: []Alt{{Ins: []Input{{Pred: "p"}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("no outputs accepted")
+	}
+	bad = &Component{Name: "c", Out: []string{"X"}, Loc: "Y", Alts: []Alt{{Ins: []Input{{Pred: "p", Fields: []string{"X"}}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad location field accepted")
+	}
+	bad = &Component{Name: "c", Out: []string{"X"}, Alts: nil}
+	if err := bad.Validate(); err == nil {
+		t.Error("no alternatives accepted")
+	}
+	bad = &Component{Name: "c", Out: []string{"X"}, Alts: []Alt{{}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("alternative without inputs accepted")
+	}
+	bad = &Component{Name: "c", Out: []string{"X"}, Alts: []Alt{{Ins: []Input{{}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("input without source accepted")
+	}
+	bad = &Component{Name: "c", Out: []string{"X"}, Alts: []Alt{{
+		Ins:         []Input{{Pred: "p", Fields: []string{"X"}}},
+		Constraints: []string{"( busted"},
+	}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unparsable constraint accepted")
+	}
+	bad = &Component{Name: "c", Out: []string{"X"}, Agg: "min", AggField: "Z",
+		Alts: []Alt{{Ins: []Input{{Pred: "p", Fields: []string{"X"}}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("aggregate field not in outputs accepted")
+	}
+	from := &Component{Name: "src", Out: []string{"A", "B"}, Alts: []Alt{{Ins: []Input{{Pred: "x", Fields: []string{"A", "B"}}}}}}
+	bad = &Component{Name: "c", Out: []string{"X"}, Alts: []Alt{{
+		Ins: []Input{{From: from, Fields: []string{"X"}}}, // arity mismatch
+	}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("input arity mismatch accepted")
+	}
+}
+
+func TestBGPModelGeneratesValidProgram(t *testing.T) {
+	m := NewBGPModel()
+	prog, err := m.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		t.Fatalf("generated BGP program invalid: %v\n%s", err, prog.String())
+	}
+	if !an.AggInCycle {
+		t.Error("BGP selection/advertisement recursion not flagged (expected AggInCycle)")
+	}
+	// All seven generated rules: origin, export, pvt, import, cand ×2,
+	// bestRank, best.
+	if len(prog.Rules) != 8 {
+		t.Errorf("generated %d rules, want 8:\n%s", len(prog.Rules), prog.String())
+	}
+}
+
+func TestBGPModelTheory(t *testing.T) {
+	m := NewBGPModel()
+	th, err := m.Theory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"origin_out", "export_out", "pvt_out", "import_out", "cand_out", "bestRank_out", "best_out", "pt"} {
+		if _, ok := th.Lookup(name); !ok {
+			t.Errorf("theory missing %s", name)
+		}
+	}
+	// The min-selection optimality theorem is generated automatically.
+	if _, ok := th.TheoremByName("bestRank_outStrong"); !ok {
+		t.Error("bestRank_outStrong theorem not generated")
+	}
+	if err := th.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runBGP executes the generated BGP program over a topology with the given
+// policy, returning the result and network.
+func runBGP(t *testing.T, topo *netgraph.Topology, policy PolicySpec, maxTime float64) (dist.Result, *dist.Network) {
+	t.Helper()
+	m := NewBGPModel()
+	prog, err := m.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dist.NewNetwork(prog, topo, dist.Options{MaxTime: maxTime, LoadTopologyLinks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lp := range policy.LPFacts(topo) {
+		net.Inject(0, lp[0].S, "lp", lp)
+	}
+	res, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, net
+}
+
+// triangle builds the 3-node topology used by the Disagree experiments.
+func triangle() *netgraph.Topology {
+	topo := &netgraph.Topology{Name: "triangle", Nodes: []string{"o", "a", "b"}}
+	for _, pair := range [][2]string{{"o", "a"}, {"o", "b"}, {"a", "b"}} {
+		topo.Links = append(topo.Links,
+			netgraph.Link{Src: pair[0], Dst: pair[1], Cost: 1, Latency: 1},
+			netgraph.Link{Src: pair[1], Dst: pair[0], Cost: 1, Latency: 1},
+		)
+	}
+	return topo
+}
+
+func TestBGPCleanPoliciesConverge(t *testing.T) {
+	// E7 baseline: without policy conflicts the generated BGP program
+	// converges and picks shortest paths.
+	res, net := runBGP(t, triangle(), ShortestPathPolicy(), 5000)
+	if !res.Converged {
+		t.Fatal("clean policies did not converge")
+	}
+	for _, b := range net.Query("a", "best_out") {
+		if b[1].S == "o" {
+			if got := len(b[2].L); got != 2 {
+				t.Errorf("a's best path to o has %d hops, want 2 (direct): %v", got, b[2])
+			}
+		}
+	}
+}
+
+func TestBGPDisagreeOscillates(t *testing.T) {
+	// E7 conflict case: the Disagree policy produces sustained route
+	// flapping — the run hits MaxTime without quiescing and the best-route
+	// tables flip (the §3.2.2 observation: "delayed convergence in the
+	// presence of policy conflicts", here maximal delay: divergence under
+	// symmetric timing).
+	res, _ := runBGP(t, triangle(), DisagreePolicy("o", "a", "b"), 200)
+	if res.Converged {
+		t.Fatalf("Disagree converged under symmetric timing (flips=%d)", res.Stats.Flips)
+	}
+	if res.Stats.Flips == 0 {
+		t.Error("no route flips recorded during oscillation")
+	}
+}
+
+func TestBGPDisagreeAsymmetricTimingConverges(t *testing.T) {
+	// Breaking the timing symmetry resolves Disagree into one of its two
+	// stable solutions — delayed, but convergent: node a activates its
+	// policy only after b has settled on a selection.
+	topo := triangle()
+	m := NewBGPModel()
+	prog, err := m.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dist.NewNetwork(prog, topo, dist.Options{MaxTime: 5000, LoadTopologyLinks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lp := range DisagreePolicy("o", "a", "b").LPFacts(topo) {
+		at := 0.0
+		if lp[0].S == "a" {
+			at = 50 // a's import policy activates late
+		}
+		net.Inject(at, lp[0].S, "lp", lp)
+	}
+	res, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("asymmetric Disagree did not converge")
+	}
+	// One of a/b routes via the other; the other routes direct.
+	via := func(n string) int {
+		for _, b := range net.Query(n, "best_out") {
+			if b[1].S == "o" {
+				return len(b[2].L)
+			}
+		}
+		return -1
+	}
+	la, lb := via("a"), via("b")
+	if !(la == 3 && lb == 2 || la == 2 && lb == 3) {
+		t.Errorf("not a Disagree stable solution: a path len %d, b path len %d", la, lb)
+	}
+	// And it took longer than the clean-policy run: delayed convergence.
+	clean, _ := runBGP(t, triangle(), ShortestPathPolicy(), 5000)
+	if res.Time <= clean.Time {
+		t.Errorf("conflict convergence (%v) not delayed vs clean (%v)", res.Time, clean.Time)
+	}
+}
+
+func TestBGPLoopPoisoning(t *testing.T) {
+	// No selected route may contain a loop, ever.
+	_, net := runBGP(t, triangle(), DisagreePolicy("o", "a", "b"), 150)
+	for _, n := range []string{"o", "a", "b"} {
+		for _, b := range net.Query(n, "best_out") {
+			seen := map[string]bool{}
+			for _, hop := range b[2].L {
+				if seen[hop.S] {
+					t.Fatalf("selected route with loop at %s: %v", n, b)
+				}
+				seen[hop.S] = true
+			}
+			if b[3].I >= InfiniteRank {
+				t.Fatalf("poisoned route selected at %s: %v", n, b)
+			}
+		}
+	}
+}
+
+func TestPolicyFacts(t *testing.T) {
+	topo := triangle()
+	p := DisagreePolicy("o", "a", "b")
+	facts := p.LPFacts(topo)
+	if len(facts) != len(topo.Links) {
+		t.Fatalf("lp facts = %d, want %d", len(facts), len(topo.Links))
+	}
+	var aToB int64 = -1
+	for _, f := range facts {
+		if f[0].S == "a" && f[1].S == "b" {
+			aToB = f[2].I
+		}
+	}
+	if aToB != 1 {
+		t.Errorf("a's preference for b = %d, want 1", aToB)
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	_, _, t3 := tcExample()
+	s := t3.String()
+	if !strings.Contains(s, "component t3") || !strings.Contains(s, "t1_out") {
+		t.Errorf("String() = %q", s)
+	}
+	m := NewBGPModel()
+	if !strings.Contains(m.BestRank.String(), "[min<R>]") {
+		t.Errorf("aggregate rendering: %q", m.BestRank.String())
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestE12AutomationRatio reproduces the §4.3 claim that "typically
+// two-thirds of the proof steps can be automated": across the proof
+// corpus, the fraction of primitive kernel inferences performed inside
+// automated strategies (skosimp*, assert, grind) must land around the
+// paper's two-thirds — we accept [55%, 95%].
+func TestE12AutomationRatio(t *testing.T) {
+	p, err := PathVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddAxiom("linkCostPositive", LinkCostPositive()); err != nil {
+		t.Fatal(err)
+	}
+	p.Theory.AddTheorem("pathCostPositive", PathCostPositive())
+	p.Theory.AddTheorem("pathDestination", PathDestination())
+	p.Theory.AddTheorem("pathSource", PathSource())
+	p.Theory.AddTheorem("pathLen2", PathLengthAtLeastTwo())
+
+	corpus := []struct {
+		name   string
+		script string
+	}{
+		{"bestPathStrong", BestPathStrongScript},
+		{"bestPathCostStrong", `(skosimp*) (expand "bestPathCost") (flatten) (grind)`},
+		{"pathCostPositive", `
+			(induct "path")
+			(skosimp*) (lemma "linkCostPositive") (inst -3 S!1 D!1 C!1) (assert)
+			(skosimp*) (lemma "linkCostPositive") (inst -7 S!2 Z!1 C1!1) (assert)`},
+		{"pathDestination", PathDestinationScript},
+		{"pathSource", `(induct "path") (skosimp*) (assert) (skosimp*) (assert)`},
+		{"pathLen2", `(induct "path") (skosimp*) (assert) (skosimp*) (assert)`},
+	}
+
+	totalPrim, totalAuto := 0, 0
+	for _, c := range corpus {
+		res, err := p.Verify(c.name, c.script)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !res.QED {
+			t.Fatalf("%s not proved", c.name)
+		}
+		totalPrim += res.PrimSteps
+		totalAuto += res.AutoPrim
+	}
+	ratio := float64(totalAuto) / float64(totalPrim)
+	if ratio < 0.55 || ratio > 0.95 {
+		t.Errorf("automation ratio %.2f outside [0.55, 0.95] (paper: ~0.67)", ratio)
+	}
+	t.Logf("corpus automation ratio: %.0f%% (%d/%d primitive inferences)", ratio*100, totalAuto, totalPrim)
+}

@@ -1,0 +1,191 @@
+// Package core is the Formally Verifiable Networking framework itself —
+// the unifying pipeline of Figure 1 that connects design, specification,
+// verification, and implementation. A Protocol value carries a network
+// protocol through the arcs:
+//
+//	design (meta-model)  —1,2→  logical specification   (Specify / FromComponents)
+//	design               —3→    NDlog program           (FromComponents)
+//	NDlog program        —4→    logical specification   (Specify)
+//	logical spec         —5→    theorem prover          (Verify, VerifyAuto)
+//	spec / NDlog         —6,8→  model checker           (TransitionSystem)
+//	NDlog program        —7→    protocol execution      (Execute, ExecuteCentralized)
+//
+// The package re-exports nothing; it composes internal/ndlog,
+// internal/translate, internal/prover, internal/dist, internal/linear and
+// internal/component behind one coherent API, which is what the paper
+// means by "a unifying framework ... that uses formal logics as the
+// specification language for properties" (§2.1).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/component"
+	"repro/internal/datalog"
+	"repro/internal/dist"
+	"repro/internal/linear"
+	"repro/internal/logic"
+	"repro/internal/ndlog"
+	"repro/internal/netgraph"
+	"repro/internal/prover"
+	"repro/internal/translate"
+)
+
+// Protocol is a network protocol moving through the FVN pipeline. The
+// zero value is not useful; construct with FromNDlog, FromProgram, or
+// FromComponents.
+type Protocol struct {
+	Name     string
+	Program  *ndlog.Program
+	Analysis *ndlog.Analysis
+	// Theory is the logical specification; nil until Specify (or
+	// FromComponents, which generates it eagerly) has run.
+	Theory *logic.Theory
+}
+
+// FromNDlog parses and analyzes an NDlog source text (the designer writes
+// the protocol directly in the intermediary language, then verifies —
+// the arc-4-first workflow of §2.1).
+func FromNDlog(name, src string) (*Protocol, error) {
+	prog, err := ndlog.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return FromProgram(prog)
+}
+
+// FromProgram wraps an already-parsed program.
+func FromProgram(prog *ndlog.Program) (*Protocol, error) {
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Protocol{Name: prog.Name, Program: prog, Analysis: an}, nil
+}
+
+// FromComponents generates the protocol from a component-based design
+// (arcs 2 and 3 of Figure 1): the NDlog program is generated per §3.2.2
+// and, when the program is stratified, the logical specification follows
+// via the natural mapping.
+func FromComponents(name string, sinks []*component.Component, keys map[string][]int) (*Protocol, error) {
+	prog, err := component.GenerateNDlog(name, sinks, keys)
+	if err != nil {
+		return nil, err
+	}
+	p, err := FromProgram(prog)
+	if err != nil {
+		return nil, err
+	}
+	if !p.Analysis.AggInCycle {
+		if err := p.Specify(translate.Options{TheoremsForAggregates: true}); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Specify translates the NDlog program into its logical specification
+// (arc 4). Soft-state predicates are first rewritten to hard state with
+// explicit timestamps (§4.2) so the translation applies.
+func (p *Protocol) Specify(opts translate.Options) error {
+	prog := p.Program
+	hard, err := translate.RewriteSoftState(prog)
+	if err != nil {
+		return err
+	}
+	an := p.Analysis
+	if hard != prog {
+		an, err = ndlog.Analyze(hard)
+		if err != nil {
+			return fmt.Errorf("core: soft-state rewrite produced invalid program: %w", err)
+		}
+	}
+	th, err := translate.ToLogic(an, opts)
+	if err != nil {
+		return err
+	}
+	p.Theory = th
+	return nil
+}
+
+// AddTheorem states a property of the protocol (the formal property
+// specification of arc 1). Specify must have run.
+func (p *Protocol) AddTheorem(name string, goal logic.Formula) error {
+	if p.Theory == nil {
+		return fmt.Errorf("core: %s has no logical specification; call Specify first", p.Name)
+	}
+	p.Theory.AddTheorem(name, goal)
+	return nil
+}
+
+// AddAxiom assumes a property (e.g. environmental assumptions such as
+// positive link costs).
+func (p *Protocol) AddAxiom(name string, goal logic.Formula) error {
+	if p.Theory == nil {
+		return fmt.Errorf("core: %s has no logical specification; call Specify first", p.Name)
+	}
+	p.Theory.AddAxiom(name, goal)
+	return nil
+}
+
+// Verify replays a PVS-style proof script against the named theorem
+// (arc 5) and requires it to reach QED.
+func (p *Protocol) Verify(theorem, script string) (prover.Result, error) {
+	if p.Theory == nil {
+		return prover.Result{}, fmt.Errorf("core: %s has no logical specification; call Specify first", p.Name)
+	}
+	return prover.ProveTheorem(p.Theory, theorem, script)
+}
+
+// VerifyAuto attempts the fully automated strategy (skosimp* followed by
+// grind). It returns the result whether or not the proof completed; check
+// Result.QED.
+func (p *Protocol) VerifyAuto(theorem string) (prover.Result, error) {
+	if p.Theory == nil {
+		return prover.Result{}, fmt.Errorf("core: %s has no logical specification; call Specify first", p.Name)
+	}
+	pr, err := prover.New(p.Theory, theorem)
+	if err != nil {
+		return prover.Result{}, err
+	}
+	if err := pr.Skosimp(); err != nil {
+		return pr.Summary(), err
+	}
+	if err := pr.Grind(); err != nil {
+		return pr.Summary(), err
+	}
+	return pr.Summary(), nil
+}
+
+// Execute instantiates the protocol over a topology on the distributed
+// runtime (arc 7).
+func (p *Protocol) Execute(topo *netgraph.Topology, opts dist.Options) (*dist.Network, error) {
+	return dist.NewNetwork(p.Program, topo, opts)
+}
+
+// ExecuteCentralized evaluates the protocol on the centralized
+// semi-naive engine (for stratified programs).
+func (p *Protocol) ExecuteCentralized() (*datalog.Engine, error) {
+	return datalog.NewFromAnalysis(p.Analysis)
+}
+
+// TransitionSystem derives the linear-logic multiset-rewriting system of
+// the protocol (arcs 6 and 8): soft state becomes linear resources and
+// keyed tables become replace-on-write facts, ready for internal/
+// modelcheck.
+func (p *Protocol) TransitionSystem(init []linear.Fact) (*linear.System, error) {
+	return linear.FromNDlog(p.Analysis, init)
+}
+
+// PVS renders the logical specification in PVS-like concrete syntax.
+func (p *Protocol) PVS() string {
+	if p.Theory == nil {
+		return ""
+	}
+	return p.Theory.String()
+}
+
+// NDlog renders the protocol's NDlog program.
+func (p *Protocol) NDlog() string {
+	return p.Program.String()
+}

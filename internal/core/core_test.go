@@ -1,0 +1,266 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/component"
+	"repro/internal/dist"
+	"repro/internal/linear"
+	"repro/internal/modelcheck"
+	"repro/internal/netgraph"
+	"repro/internal/translate"
+	"repro/internal/value"
+)
+
+func TestE1FullPipeline(t *testing.T) {
+	// E1 (Figure 1): one protocol travels every arc of the framework.
+	//
+	// Design/spec: the path-vector protocol in NDlog (the intermediary
+	// layer), translated to logic (arc 4).
+	p, err := PathVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Theory == nil {
+		t.Fatal("no logical specification generated")
+	}
+
+	// Verification (arc 5): the paper's 7-step route-optimality proof.
+	res, err := p.Verify("bestPathStrong", BestPathStrongScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QED || res.Steps != 7 {
+		t.Fatalf("bestPathStrong: QED=%v steps=%d, want QED in 7 steps", res.QED, res.Steps)
+	}
+
+	// Implementation (arc 7): distributed execution over a ring.
+	topo := netgraph.Ring(5)
+	net, err := p.Execute(topo, dist.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRes, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runRes.Converged {
+		t.Fatal("execution did not converge")
+	}
+
+	// The verified property holds dynamically: no path undercuts a
+	// selected best path.
+	for _, n := range topo.Nodes {
+		best := map[string]int64{}
+		for _, bp := range net.Query(n, "bestPath") {
+			best[bp[1].S] = bp[3].I
+		}
+		for _, path := range net.Query(n, "path") {
+			if bc, ok := best[path[1].S]; ok && path[3].I < bc {
+				t.Fatalf("dynamic violation of bestPathStrong at %s: %v beats cost %d", n, path, bc)
+			}
+		}
+	}
+}
+
+func TestVerifyAutoProvesGeneratedTheorem(t *testing.T) {
+	p, err := PathVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.VerifyAuto("bestPathCostStrong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QED {
+		t.Fatal("automated strategy failed on bestPathCostStrong")
+	}
+	if r := res.AutomationRatio(); r < 0.9 {
+		t.Errorf("automation ratio %v for a fully automated proof", r)
+	}
+}
+
+func TestPathCostPositiveByInductionViaCore(t *testing.T) {
+	p, err := PathVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddAxiom("linkCostPositive", LinkCostPositive()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddTheorem("pathCostPositive", PathCostPositive()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Verify("pathCostPositive", `
+		(induct "path")
+		(skosimp*) (lemma "linkCostPositive") (inst -3 S!1 D!1 C!1) (assert)
+		(skosimp*) (lemma "linkCostPositive") (inst -7 S!2 Z!1 C1!1) (assert)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QED {
+		t.Fatal("induction proof incomplete")
+	}
+}
+
+func TestFromComponentsPipeline(t *testing.T) {
+	// Arc 2/3: a design in the component meta-model generates both the
+	// NDlog program and the logical specification.
+	inc := &component.Component{
+		Name: "inc",
+		Out:  []string{"X", "O"},
+		Loc:  "X",
+		Alts: []component.Alt{{
+			Ins:         []component.Input{{Pred: "in", Loc: "X", Fields: []string{"X", "I"}}},
+			Constraints: []string{"O=I+1"},
+		}},
+	}
+	p, err := FromComponents("incproto", []*component.Component{inc}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Theory == nil {
+		t.Fatal("FromComponents did not specify")
+	}
+	if _, ok := p.Theory.Lookup("inc_out"); !ok {
+		t.Error("generated theory missing inc_out")
+	}
+	eng, err := p.ExecuteCentralized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Insert("in", value.Tuple{value.Addr("a"), value.Int(41)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := eng.Query("inc_out")
+	if len(out) != 1 || out[0][1].I != 42 {
+		t.Errorf("inc_out = %v", out)
+	}
+}
+
+func TestTransitionSystemArc(t *testing.T) {
+	// Arcs 6/8: the distance-vector protocol as a transition system; the
+	// model checker explores it.
+	p, err := FromNDlog("dv", `
+materialize(ev, 5, infinity, keys(1)).
+materialize(seen, infinity, infinity, keys(1)).
+r1 seen(@N,V) :- ev(@N,V).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := p.TransitionSystem([]linear.Fact{linear.F("ev", value.Addr("a"), value.Int(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := linear.TS{Sys: sys}
+	res := modelcheck.Quiescent(ts, modelcheck.Options{})
+	if !res.Holds {
+		t.Fatal("transition system does not quiesce")
+	}
+}
+
+func TestSpecifyAppliesSoftStateRewrite(t *testing.T) {
+	p, err := FromNDlog("soft", `
+materialize(hb, 10, infinity, keys(1,2)).
+r1 up(@N,M) :- hb(@N,M).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Specify(translate.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	up, ok := p.Theory.Lookup("up")
+	if !ok {
+		t.Fatal("up not in theory")
+	}
+	if !strings.Contains(up.Body.String(), "clock(") {
+		t.Errorf("soft-state rewrite not applied: %s", up.Body)
+	}
+}
+
+func TestErrorsWithoutSpecify(t *testing.T) {
+	p, err := FromNDlog("x", `r1 a(@N) :- b(@N).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Verify("t", "(grind)"); err == nil {
+		t.Error("Verify without Specify accepted")
+	}
+	if _, err := p.VerifyAuto("t"); err == nil {
+		t.Error("VerifyAuto without Specify accepted")
+	}
+	if err := p.AddTheorem("t", nil); err == nil {
+		t.Error("AddTheorem without Specify accepted")
+	}
+	if err := p.AddAxiom("t", nil); err == nil {
+		t.Error("AddAxiom without Specify accepted")
+	}
+	if p.PVS() != "" {
+		t.Error("PVS without Specify returned text")
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	p, err := PathVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.NDlog(), "bestPathCost(@S,D,min<C>)") {
+		t.Errorf("NDlog rendering:\n%s", p.NDlog())
+	}
+	pvs := p.PVS()
+	for _, want := range []string{"INDUCTIVE bool", "bestPathStrong: THEOREM"} {
+		if !strings.Contains(pvs, want) {
+			t.Errorf("PVS rendering missing %q", want)
+		}
+	}
+}
+
+func TestDistanceVectorProtocolRuns(t *testing.T) {
+	p, err := FromNDlog("dv", DistanceVectorSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d2 reads the aggregate recursively: only the distributed runtime
+	// executes it.
+	if !p.Analysis.AggInCycle {
+		t.Error("distance vector not flagged AggInCycle")
+	}
+	if _, err := p.ExecuteCentralized(); err == nil {
+		t.Error("centralized engine accepted agg-in-cycle program")
+	}
+	topo := netgraph.Line(4)
+	net, err := p.Execute(topo, dist.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("distance vector did not converge")
+	}
+	// n0's best hop count to n3 is 3.
+	for _, h := range net.Query("n0", "bestHopCount") {
+		if h[1].S == "n3" && h[2].I != 3 {
+			t.Errorf("n0->n3 hops = %d, want 3", h[2].I)
+		}
+	}
+}
+
+func TestFromNDlogParseError(t *testing.T) {
+	if _, err := FromNDlog("bad", "r1 p(@S :- q(@S)."); err == nil {
+		t.Error("parse error not propagated")
+	}
+	if _, err := FromNDlog("bad", "r1 p(@S,X) :- q(@S)."); err == nil {
+		t.Error("analysis error not propagated")
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+// The structural path theorems: rule induction over the inductive path
+// definition (§3.2's generalization technique), closed by assert's
+// equality substitution plus the symbolic list rewrites.
+
+func TestPathDestinationByInduction(t *testing.T) {
+	p, err := PathVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddTheorem("pathDestination", PathDestination()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Verify("pathDestination", PathDestinationScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QED {
+		t.Fatal("pathDestination not proved")
+	}
+	if res.Steps != 5 {
+		t.Errorf("pathDestination took %d steps, want 5 (induct + 2×(skosimp,assert))", res.Steps)
+	}
+}
+
+func TestPathSourceByInduction(t *testing.T) {
+	p, err := PathVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddTheorem("pathSource", PathSource()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Verify("pathSource", `
+		(induct "path")
+		(skosimp*) (assert)
+		(skosimp*) (assert)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QED {
+		t.Fatal("pathSource not proved")
+	}
+}
+
+func TestPathLengthByInduction(t *testing.T) {
+	p, err := PathVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddTheorem("pathLen2", PathLengthAtLeastTwo()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Verify("pathLen2", `
+		(induct "path")
+		(skosimp*) (assert)
+		(skosimp*) (assert)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QED {
+		t.Fatal("pathLen2 not proved")
+	}
+}
+
+func TestStructuralTheoremsHoldDynamically(t *testing.T) {
+	// The proved structural invariants, checked over an actual execution.
+	p, err := PathVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.ExecuteCentralized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []struct{ s, d string }{{"a", "b"}, {"b", "c"}, {"c", "a"}, {"b", "a"}, {"c", "b"}, {"a", "c"}} {
+		if err := eng.Insert("link", tuple(l.s, l.d, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range eng.Query("path") {
+		pv := tup[2].L
+		if len(pv) < 2 {
+			t.Fatalf("pathLen2 violated dynamically: %v", tup)
+		}
+		if pv[0].S != tup[0].S {
+			t.Fatalf("pathSource violated dynamically: %v", tup)
+		}
+		if pv[len(pv)-1].S != tup[1].S {
+			t.Fatalf("pathDestination violated dynamically: %v", tup)
+		}
+	}
+}
+
+func tuple(s, d string, c int64) value.Tuple {
+	return value.Tuple{value.Addr(s), value.Addr(d), value.Int(c)}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"repro/internal/logic"
+	"repro/internal/translate"
+)
+
+// PathVectorSrc is the path-vector protocol of §2.2 of the paper,
+// verbatim: rules r1-r2 derive paths recursively, r3-r4 select the
+// cheapest path per source/destination pair.
+const PathVectorSrc = `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(path, infinity, infinity, keys(1,2,3)).
+materialize(bestPathCost, infinity, infinity, keys(1,2)).
+materialize(bestPath, infinity, infinity, keys(1,2)).
+
+r1 path(@S,D,P,C) :- link(@S,D,C), P=f_init(S,D).
+r2 path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+   C=C1+C2, P=f_concatPath(S,P2),
+   f_inPath(P2,S)=false.
+r3 bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+r4 bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+`
+
+// DistanceVectorSrc is the classic distance-vector (hop-count) protocol in
+// NDlog, the subject of the count-to-infinity analysis (E4).
+const DistanceVectorSrc = `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(hop, infinity, infinity, keys(1,2,3)).
+materialize(bestHopCount, infinity, infinity, keys(1,2)).
+
+d1 hop(@S,D,D,C) :- link(@S,D,C).
+d2 hop(@S,D,Z,C) :- link(@S,Z,C1), bestHopCount(@Z,D,C2), C=C1+C2, S!=D.
+d3 bestHopCount(@S,D,min<C>) :- hop(@S,D,Z,C).
+`
+
+// PathVector builds the paper's path-vector protocol, already specified
+// (arc 4 applied) with the route-optimality theorem bestPathStrong of
+// §3.1 installed and the auto-generated aggregate theorem available.
+func PathVector() (*Protocol, error) {
+	p, err := FromNDlog("pathvector", PathVectorSrc)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Specify(translate.Options{TheoremsForAggregates: true}); err != nil {
+		return nil, err
+	}
+	p.Theory.AddTheorem("bestPathStrong", BestPathStrong())
+	return p, nil
+}
+
+// BestPathStrong is the route-optimality theorem of §3.1, verbatim:
+//
+//	FORALL (S,D:Node)(C:Metric)(P:Path): bestPath(S,D,P,C) =>
+//	  NOT (EXISTS (C2:Metric)(P2:Path): path(S,D,P2,C2) AND C2<C)
+func BestPathStrong() logic.Formula {
+	S := logic.TV("S", logic.SortNode)
+	D := logic.TV("D", logic.SortNode)
+	P := logic.TV("P", logic.SortPath)
+	C := logic.TV("C", logic.SortMetric)
+	C2 := logic.TV("C2", logic.SortMetric)
+	P2 := logic.TV("P2", logic.SortPath)
+	return logic.Forall{
+		Vars: []logic.Var{S, D, C, P},
+		Body: logic.Implies{
+			L: logic.Pred{Name: "bestPath", Args: []logic.Term{S, D, P, C}},
+			R: logic.Not{F: logic.Exists{
+				Vars: []logic.Var{C2, P2},
+				Body: logic.Conj(
+					logic.Pred{Name: "path", Args: []logic.Term{S, D, P2, C2}},
+					logic.Cmp{Op: "<", L: C2, R: C},
+				),
+			}},
+		},
+	}
+}
+
+// BestPathStrongScript is the seven-step proof of bestPathStrong reported
+// in §3.1.
+const BestPathStrongScript = `
+(skosimp*)
+(expand "bestPath")
+(flatten)
+(expand "bestPathCost")
+(flatten)
+(inst -2 P2!1 C2!1)
+(assert)
+`
+
+// LinkCostPositive is the environmental axiom that link costs are at
+// least 1, used by induction proofs over path derivations.
+func LinkCostPositive() logic.Formula {
+	S := logic.TV("S", logic.SortNode)
+	D := logic.TV("D", logic.SortNode)
+	C := logic.TV("C", logic.SortMetric)
+	return logic.Forall{
+		Vars: []logic.Var{S, D, C},
+		Body: logic.Implies{
+			L: logic.Pred{Name: "link", Args: []logic.Term{S, D, C}},
+			R: logic.Cmp{Op: ">=", L: C, R: logic.IntT(1)},
+		},
+	}
+}
+
+// PathCostPositive is the induction-provable theorem that every derived
+// path costs at least 1 (given LinkCostPositive).
+func PathCostPositive() logic.Formula {
+	S := logic.TV("S", logic.SortNode)
+	D := logic.TV("D", logic.SortNode)
+	P := logic.TV("P", logic.SortPath)
+	C := logic.TV("C", logic.SortMetric)
+	return logic.Forall{
+		Vars: []logic.Var{S, D, P, C},
+		Body: logic.Implies{
+			L: logic.Pred{Name: "path", Args: []logic.Term{S, D, P, C}},
+			R: logic.Cmp{Op: ">=", L: C, R: logic.IntT(1)},
+		},
+	}
+}
+
+// PathDestination states that every derived path vector ends at its
+// destination: path(S,D,P,C) ⇒ f_last(P) = D. Proved by rule induction
+// with the prover's symbolic list rewrites (f_last over f_init /
+// f_concatPath).
+func PathDestination() logic.Formula {
+	S := logic.TV("S", logic.SortNode)
+	D := logic.TV("D", logic.SortNode)
+	P := logic.TV("P", logic.SortPath)
+	C := logic.TV("C", logic.SortMetric)
+	return logic.Forall{
+		Vars: []logic.Var{S, D, P, C},
+		Body: logic.Implies{
+			L: logic.Pred{Name: "path", Args: []logic.Term{S, D, P, C}},
+			R: logic.Eq{L: logic.Fn("f_last", P), R: D},
+		},
+	}
+}
+
+// PathDestinationScript proves PathDestination: induction over the path
+// definition; both cases close by assert after substitution+rewriting.
+const PathDestinationScript = `
+(induct "path")
+(skosimp*) (assert)
+(skosimp*) (assert)
+`
+
+// PathSource is the companion structural theorem: every path vector starts
+// at its source: path(S,D,P,C) ⇒ f_first(P) = S.
+func PathSource() logic.Formula {
+	S := logic.TV("S", logic.SortNode)
+	D := logic.TV("D", logic.SortNode)
+	P := logic.TV("P", logic.SortPath)
+	C := logic.TV("C", logic.SortMetric)
+	return logic.Forall{
+		Vars: []logic.Var{S, D, P, C},
+		Body: logic.Implies{
+			L: logic.Pred{Name: "path", Args: []logic.Term{S, D, P, C}},
+			R: logic.Eq{L: logic.Fn("f_first", P), R: S},
+		},
+	}
+}
+
+// PathLengthAtLeastTwo: every path vector has at least its two endpoints:
+// path(S,D,P,C) ⇒ f_size(P) >= 2.
+func PathLengthAtLeastTwo() logic.Formula {
+	S := logic.TV("S", logic.SortNode)
+	D := logic.TV("D", logic.SortNode)
+	P := logic.TV("P", logic.SortPath)
+	C := logic.TV("C", logic.SortMetric)
+	return logic.Forall{
+		Vars: []logic.Var{S, D, P, C},
+		Body: logic.Implies{
+			L: logic.Pred{Name: "path", Args: []logic.Term{S, D, P, C}},
+			R: logic.Cmp{Op: ">=", L: logic.Fn("f_size", P), R: logic.IntT(2)},
+		},
+	}
+}

@@ -1,0 +1,567 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ndlog"
+	"repro/internal/value"
+)
+
+// Mode selects the fixpoint algorithm.
+type Mode int
+
+const (
+	// SemiNaive evaluates recursive rules against the delta of the previous
+	// iteration (the production algorithm, and what P2 implements).
+	SemiNaive Mode = iota
+	// Naive re-evaluates every rule against the full database each
+	// iteration; kept as the ablation baseline (bench A1).
+	Naive
+)
+
+// Stats counts evaluation work.
+type Stats struct {
+	Iterations  int // fixpoint rounds across all strata
+	Derivations int // tuples derived (including duplicates)
+	NewTuples   int // tuples actually added
+	JoinProbes  int // atom match attempts
+}
+
+// Engine evaluates an analyzed NDlog program to fixpoint.
+type Engine struct {
+	An   *ndlog.Analysis
+	Mode Mode
+
+	rels  map[string]*Relation
+	Stats Stats
+}
+
+// New analyzes prog and creates an engine over it. The program's facts are
+// loaded into the store.
+func New(prog *ndlog.Program) (*Engine, error) {
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromAnalysis(an)
+}
+
+// NewFromAnalysis creates an engine from an existing analysis.
+func NewFromAnalysis(an *ndlog.Analysis) (*Engine, error) {
+	if an.AggInCycle {
+		return nil, fmt.Errorf("datalog: program aggregates on a recursive cycle; it has no stratified model — execute it on the distributed runtime (internal/dist)")
+	}
+	e := &Engine{An: an, rels: map[string]*Relation{}}
+	for pred, arity := range an.Arity {
+		e.rels[pred] = NewRelation(pred, arity)
+	}
+	for _, f := range an.Prog.Facts {
+		if err := e.Insert(f.Pred, f.Args); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Relation returns the relation for pred, creating it if the predicate is
+// unknown to the program (external input predicates).
+func (e *Engine) Relation(pred string) *Relation {
+	if r, ok := e.rels[pred]; ok {
+		return r
+	}
+	return nil
+}
+
+// Insert adds a base tuple.
+func (e *Engine) Insert(pred string, t value.Tuple) error {
+	r, ok := e.rels[pred]
+	if !ok {
+		r = NewRelation(pred, len(t))
+		e.rels[pred] = r
+	}
+	_, err := r.Insert(t)
+	return err
+}
+
+// DeleteBase removes a base tuple. Derived state is not retracted
+// automatically; call Run again for a full recomputation.
+func (e *Engine) DeleteBase(pred string, t value.Tuple) bool {
+	r, ok := e.rels[pred]
+	if !ok {
+		return false
+	}
+	return r.Delete(t)
+}
+
+// Query returns the tuples of pred in deterministic order.
+func (e *Engine) Query(pred string) []value.Tuple {
+	r, ok := e.rels[pred]
+	if !ok {
+		return nil
+	}
+	return r.Sorted()
+}
+
+// Count returns the number of tuples of pred.
+func (e *Engine) Count(pred string) int {
+	r, ok := e.rels[pred]
+	if !ok {
+		return 0
+	}
+	return r.Len()
+}
+
+// Reset clears all derived relations, keeping base tuples.
+func (e *Engine) Reset() {
+	for pred, r := range e.rels {
+		if e.An.Derived[pred] {
+			r.Clear()
+		}
+	}
+}
+
+// Run computes the stratified fixpoint of the program over the current
+// base tuples. Derived relations are cleared first, so Run is idempotent
+// and can be called again after base-table changes (including deletions).
+func (e *Engine) Run() error {
+	e.Reset()
+	for stratum := range e.An.Strata {
+		if err := e.runStratum(stratum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rulesOfStratum partitions the stratum's rules into aggregate rules,
+// delete rules, and plain rules.
+func (e *Engine) rulesOfStratum(stratum int) (plain, aggs, dels []*ndlog.Rule) {
+	for _, r := range e.An.Prog.Rules {
+		if e.An.StratumOf[r.Head.Pred] != stratum {
+			continue
+		}
+		_, aggIdx := r.Head.HeadAgg()
+		switch {
+		case r.Delete:
+			dels = append(dels, r)
+		case aggIdx >= 0:
+			aggs = append(aggs, r)
+		default:
+			plain = append(plain, r)
+		}
+	}
+	return plain, aggs, dels
+}
+
+func (e *Engine) runStratum(stratum int) error {
+	plain, aggs, dels := e.rulesOfStratum(stratum)
+
+	// Aggregate rules read only lower strata (guaranteed by
+	// stratification), so they run once, first.
+	for _, r := range aggs {
+		if err := e.evalAggregate(r); err != nil {
+			return err
+		}
+	}
+
+	inStratum := func(pred string) bool {
+		return e.An.Derived[pred] && e.An.StratumOf[pred] == stratum
+	}
+
+	switch e.Mode {
+	case Naive:
+		for {
+			e.Stats.Iterations++
+			added := 0
+			for _, r := range plain {
+				n, err := e.evalRule(r, -1, nil)
+				if err != nil {
+					return err
+				}
+				added += n
+			}
+			if added == 0 {
+				break
+			}
+		}
+	default: // SemiNaive
+		// Round 0: evaluate every rule on the full database.
+		delta := map[string][]value.Tuple{}
+		e.Stats.Iterations++
+		for _, r := range plain {
+			newTs, err := e.evalRuleCollect(r, -1, nil)
+			if err != nil {
+				return err
+			}
+			for _, t := range newTs {
+				delta[r.Head.Pred] = append(delta[r.Head.Pred], t)
+			}
+		}
+		// Subsequent rounds: join each recursive atom against the delta.
+		for len(delta) > 0 {
+			e.Stats.Iterations++
+			next := map[string][]value.Tuple{}
+			for _, r := range plain {
+				for bi, l := range r.Body {
+					if l.Atom == nil || l.Neg || !inStratum(l.Atom.Pred) {
+						continue
+					}
+					d := delta[l.Atom.Pred]
+					if len(d) == 0 {
+						continue
+					}
+					newTs, err := e.evalRuleCollect(r, bi, d)
+					if err != nil {
+						return err
+					}
+					for _, t := range newTs {
+						next[r.Head.Pred] = append(next[r.Head.Pred], t)
+					}
+				}
+			}
+			delta = next
+		}
+	}
+
+	// Delete rules run after the stratum reaches fixpoint.
+	for _, r := range dels {
+		if err := e.evalDelete(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalRule evaluates r (optionally with body literal deltaIdx restricted to
+// the delta tuples) and inserts derived heads, returning how many were new.
+func (e *Engine) evalRule(r *ndlog.Rule, deltaIdx int, delta []value.Tuple) (int, error) {
+	ts, err := e.evalRuleCollect(r, deltaIdx, delta)
+	return len(ts), err
+}
+
+// evalRuleCollect is evalRule returning the newly inserted tuples.
+func (e *Engine) evalRuleCollect(r *ndlog.Rule, deltaIdx int, delta []value.Tuple) ([]value.Tuple, error) {
+	var added []value.Tuple
+	head := r.Head
+	err := e.joinBody(r, deltaIdx, delta, func(env map[string]value.V) error {
+		t, err := e.buildHead(head, env)
+		if err != nil {
+			return err
+		}
+		e.Stats.Derivations++
+		rel := e.rels[head.Pred]
+		isNew, err := rel.Insert(t)
+		if err != nil {
+			return err
+		}
+		if isNew {
+			e.Stats.NewTuples++
+			added = append(added, t)
+		}
+		return nil
+	})
+	return added, err
+}
+
+// evalDelete evaluates a delete rule, removing matching head tuples.
+func (e *Engine) evalDelete(r *ndlog.Rule) error {
+	var victims []value.Tuple
+	err := e.joinBody(r, -1, nil, func(env map[string]value.V) error {
+		t, err := e.buildHead(r.Head, env)
+		if err != nil {
+			return err
+		}
+		victims = append(victims, t)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	rel := e.rels[r.Head.Pred]
+	for _, t := range victims {
+		rel.Delete(t)
+	}
+	return nil
+}
+
+// buildHead constructs the head tuple under env (no aggregates).
+func (e *Engine) buildHead(head ndlog.Atom, env map[string]value.V) (value.Tuple, error) {
+	t := make(value.Tuple, len(head.Args))
+	for i, arg := range head.Args {
+		v, err := ndlog.EvalExpr(arg, env)
+		if err != nil {
+			return nil, fmt.Errorf("datalog: head of %s: %w", head.Pred, err)
+		}
+		t[i] = v
+	}
+	return t, nil
+}
+
+// joinBody enumerates all satisfying assignments of r's body, calling emit
+// for each. If deltaIdx >= 0, body literal deltaIdx (a positive atom) is
+// evaluated against delta instead of its full relation.
+func (e *Engine) joinBody(r *ndlog.Rule, deltaIdx int, delta []value.Tuple, emit func(map[string]value.V) error) error {
+	body := r.Body
+	env := map[string]value.V{}
+	var walk func(i int) error
+	walk = func(i int) error {
+		if i == len(body) {
+			return emit(env)
+		}
+		l := body[i]
+		switch {
+		case l.Atom != nil && !l.Neg:
+			var candidates []value.Tuple
+			if i == deltaIdx {
+				candidates = e.filterDelta(l.Atom, delta, env)
+			} else {
+				candidates = e.lookup(l.Atom, env)
+			}
+			for _, t := range candidates {
+				e.Stats.JoinProbes++
+				bound, ok, err := e.matchAtom(l.Atom, t, env)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				if err := walk(i + 1); err != nil {
+					return err
+				}
+				for _, name := range bound {
+					delete(env, name)
+				}
+			}
+			return nil
+		case l.Atom != nil && l.Neg:
+			rel := e.rels[l.Atom.Pred]
+			found := false
+			for _, t := range e.lookup(l.Atom, env) {
+				e.Stats.JoinProbes++
+				_, ok, err := e.matchAtom(l.Atom, t, env)
+				if err != nil {
+					return err
+				}
+				if ok {
+					found = true
+					break
+				}
+			}
+			_ = rel
+			if found {
+				return nil // negation fails: prune
+			}
+			return walk(i + 1)
+		case l.Assign:
+			be := l.Expr.(ndlog.BinE)
+			name := be.L.(ndlog.VarE).Name
+			v, err := ndlog.EvalExpr(be.R, env)
+			if err != nil {
+				return fmt.Errorf("datalog: rule %s: %w", r.Label, err)
+			}
+			if old, bound := env[name]; bound {
+				// Rebinding: treat as equality test.
+				if !old.Equal(v) {
+					return nil
+				}
+				return walk(i + 1)
+			}
+			env[name] = v
+			err = walk(i + 1)
+			delete(env, name)
+			return err
+		default:
+			v, err := ndlog.EvalExpr(l.Expr, env)
+			if err != nil {
+				return fmt.Errorf("datalog: rule %s: %w", r.Label, err)
+			}
+			if !v.True() {
+				return nil
+			}
+			return walk(i + 1)
+		}
+	}
+	return walk(0)
+}
+
+// lookup returns candidate tuples for atom under env, using an index on
+// the columns whose argument value is already determined.
+func (e *Engine) lookup(atom *ndlog.Atom, env map[string]value.V) []value.Tuple {
+	rel, ok := e.rels[atom.Pred]
+	if !ok {
+		return nil
+	}
+	var cols []int
+	var vals []value.V
+	for i, arg := range atom.Args {
+		switch x := arg.(type) {
+		case ndlog.VarE:
+			if v, bound := env[x.Name]; bound {
+				cols = append(cols, i)
+				vals = append(vals, v)
+			}
+		case ndlog.LitE:
+			cols = append(cols, i)
+			vals = append(vals, x.Val)
+		default:
+			// Computed argument: safe ordering guarantees its variables are
+			// bound, so it is a determined column.
+			if v, err := ndlog.EvalExpr(arg, env); err == nil {
+				cols = append(cols, i)
+				vals = append(vals, v)
+			}
+		}
+	}
+	return rel.Lookup(cols, vals)
+}
+
+// filterDelta returns the delta tuples compatible with the determined
+// columns (no index: deltas are short-lived).
+func (e *Engine) filterDelta(atom *ndlog.Atom, delta []value.Tuple, env map[string]value.V) []value.Tuple {
+	return delta
+}
+
+// matchAtom matches tuple t against the atom's argument patterns under
+// env, binding fresh variables. It returns the names bound (for
+// backtracking), whether the match succeeded, and any evaluation error.
+func (e *Engine) matchAtom(atom *ndlog.Atom, t value.Tuple, env map[string]value.V) ([]string, bool, error) {
+	if len(t) != len(atom.Args) {
+		return nil, false, fmt.Errorf("datalog: %s arity mismatch", atom.Pred)
+	}
+	var bound []string
+	fail := func() ([]string, bool, error) {
+		for _, name := range bound {
+			delete(env, name)
+		}
+		return nil, false, nil
+	}
+	for i, arg := range atom.Args {
+		switch x := arg.(type) {
+		case ndlog.VarE:
+			if v, ok := env[x.Name]; ok {
+				if !v.Equal(t[i]) {
+					return fail()
+				}
+			} else {
+				env[x.Name] = t[i]
+				bound = append(bound, x.Name)
+			}
+		case ndlog.LitE:
+			if !x.Val.Equal(t[i]) {
+				return fail()
+			}
+		default:
+			v, err := ndlog.EvalExpr(arg, env)
+			if err != nil {
+				for _, name := range bound {
+					delete(env, name)
+				}
+				return nil, false, err
+			}
+			if !v.Equal(t[i]) {
+				return fail()
+			}
+		}
+	}
+	return bound, true, nil
+}
+
+// evalAggregate evaluates an aggregate-head rule: group by the non-
+// aggregate head arguments and fold the aggregated variable.
+func (e *Engine) evalAggregate(r *ndlog.Rule) error {
+	agg, aggIdx := r.Head.HeadAgg()
+	if agg == nil {
+		return fmt.Errorf("datalog: rule %s is not an aggregate rule", r.Label)
+	}
+	type group struct {
+		key  value.Tuple // non-aggregate head values
+		best value.V
+		n    int64
+	}
+	groups := map[string]*group{}
+	err := e.joinBody(r, -1, nil, func(env map[string]value.V) error {
+		key := make(value.Tuple, 0, len(r.Head.Args)-1)
+		for i, arg := range r.Head.Args {
+			if i == aggIdx {
+				continue
+			}
+			v, err := ndlog.EvalExpr(arg, env)
+			if err != nil {
+				return err
+			}
+			key = append(key, v)
+		}
+		var av value.V
+		if agg.Arg != "" {
+			var ok bool
+			av, ok = env[agg.Arg]
+			if !ok {
+				return fmt.Errorf("datalog: rule %s: aggregate variable %s unbound", r.Label, agg.Arg)
+			}
+		}
+		k := key.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: key, best: av, n: 1}
+			if agg.Kind == "sum" && av.K != value.KindInt {
+				return fmt.Errorf("datalog: rule %s: sum over non-integer", r.Label)
+			}
+			groups[k] = g
+			return nil
+		}
+		g.n++
+		switch agg.Kind {
+		case "min":
+			if av.Compare(g.best) < 0 {
+				g.best = av
+			}
+		case "max":
+			if av.Compare(g.best) > 0 {
+				g.best = av
+			}
+		case "sum":
+			if av.K != value.KindInt || g.best.K != value.KindInt {
+				return fmt.Errorf("datalog: rule %s: sum over non-integer", r.Label)
+			}
+			g.best = value.Int(g.best.I + av.I)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	rel := e.rels[r.Head.Pred]
+	var keys []string
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := groups[k]
+		out := make(value.Tuple, len(r.Head.Args))
+		gi := 0
+		for i := range r.Head.Args {
+			if i == aggIdx {
+				if agg.Kind == "count" {
+					out[i] = value.Int(g.n)
+				} else {
+					out[i] = g.best
+				}
+				continue
+			}
+			out[i] = g.key[gi]
+			gi++
+		}
+		e.Stats.Derivations++
+		isNew, err := rel.Insert(out)
+		if err != nil {
+			return err
+		}
+		if isNew {
+			e.Stats.NewTuples++
+		}
+	}
+	return nil
+}

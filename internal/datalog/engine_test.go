@@ -1,0 +1,474 @@
+package datalog
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ndlog"
+	"repro/internal/value"
+)
+
+const pathVectorSrc = `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(path, infinity, infinity, keys(1,2,3)).
+
+r1 path(@S,D,P,C) :- link(@S,D,C), P=f_init(S,D).
+r2 path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+   C=C1+C2, P=f_concatPath(S,P2),
+   f_inPath(P2,S)=false.
+r3 bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+r4 bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+`
+
+// lineTopology inserts a line a-b-c-... with unit costs, both directions.
+func lineTopology(t *testing.T, e *Engine, nodes []string) {
+	t.Helper()
+	for i := 0; i+1 < len(nodes); i++ {
+		for _, pair := range [][2]string{{nodes[i], nodes[i+1]}, {nodes[i+1], nodes[i]}} {
+			if err := e.Insert("link", value.Tuple{value.Addr(pair[0]), value.Addr(pair[1]), value.Int(1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func newPathVectorEngine(t *testing.T) *Engine {
+	t.Helper()
+	prog, err := ndlog.Parse("pv", pathVectorSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestPathVectorLine3(t *testing.T) {
+	e := newPathVectorEngine(t)
+	lineTopology(t, e, []string{"a", "b", "c"})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Paths: every ordered pair is connected; a->c has cost 2 via b.
+	best := e.Query("bestPath")
+	found := false
+	for _, bp := range best {
+		if bp[0].S == "a" && bp[1].S == "c" {
+			found = true
+			if bp[3].I != 2 {
+				t.Errorf("bestPath a->c cost = %d, want 2", bp[3].I)
+			}
+			wantPath := value.List(value.Addr("a"), value.Addr("b"), value.Addr("c"))
+			if !bp[2].Equal(wantPath) {
+				t.Errorf("bestPath a->c path = %v, want %v", bp[2], wantPath)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no bestPath a->c; bestPath=%v", best)
+	}
+	// 6 ordered pairs, one best path each.
+	if got := e.Count("bestPath"); got != 6 {
+		t.Errorf("bestPath count = %d, want 6", got)
+	}
+}
+
+func TestPathVectorCycleFreedom(t *testing.T) {
+	e := newPathVectorEngine(t)
+	lineTopology(t, e, []string{"a", "b", "c", "d"})
+	// Add a shortcut creating a cycle a-b-c-d-a.
+	for _, pair := range [][2]string{{"d", "a"}, {"a", "d"}} {
+		if err := e.Insert("link", value.Tuple{value.Addr(pair[0]), value.Addr(pair[1]), value.Int(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Invariant from rule r2's f_inPath guard: no path visits a node twice.
+	for _, p := range e.Query("path") {
+		seen := map[string]bool{}
+		for _, hop := range p[2].L {
+			if seen[hop.S] {
+				t.Fatalf("path %v contains a cycle", p)
+			}
+			seen[hop.S] = true
+		}
+	}
+}
+
+func TestBestPathOptimalityMatchesTheorem(t *testing.T) {
+	// The dynamic counterpart of bestPathStrong (E3): no path is cheaper
+	// than the chosen best path.
+	e := newPathVectorEngine(t)
+	lineTopology(t, e, []string{"a", "b", "c", "d", "e"})
+	// A costly direct link a->e: best path must still go through the line.
+	if err := e.Insert("link", value.Tuple{value.Addr("a"), value.Addr("e"), value.Int(100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	bestCost := map[string]int64{}
+	for _, bp := range e.Query("bestPath") {
+		bestCost[bp[0].S+"|"+bp[1].S] = bp[3].I
+	}
+	for _, p := range e.Query("path") {
+		key := p[0].S + "|" + p[1].S
+		if bc, ok := bestCost[key]; ok && p[3].I < bc {
+			t.Fatalf("path %v cheaper than bestPath cost %d: bestPathStrong violated", p, bc)
+		}
+	}
+	if bestCost["a|e"] != 4 {
+		t.Errorf("bestPath a->e cost = %d, want 4 (through the line, not the 100-cost link)", bestCost["a|e"])
+	}
+}
+
+func TestNaiveAndSeminaiveAgree(t *testing.T) {
+	run := func(mode Mode) map[string]bool {
+		prog := ndlog.MustParse("pv", pathVectorSrc)
+		e, err := New(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Mode = mode
+		lineTopology(t, e, []string{"a", "b", "c", "d"})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]bool{}
+		for _, p := range e.Query("path") {
+			out[p.Key()] = true
+		}
+		for _, p := range e.Query("bestPath") {
+			out["best|"+p.Key()] = true
+		}
+		return out
+	}
+	sn, nv := run(SemiNaive), run(Naive)
+	if len(sn) != len(nv) {
+		t.Fatalf("semi-naive %d results, naive %d", len(sn), len(nv))
+	}
+	for k := range sn {
+		if !nv[k] {
+			t.Fatalf("results differ on %s", k)
+		}
+	}
+}
+
+func TestSeminaiveDoesLessWork(t *testing.T) {
+	work := func(mode Mode) int {
+		prog := ndlog.MustParse("pv", pathVectorSrc)
+		e, _ := New(prog)
+		e.Mode = mode
+		var nodes []string
+		for i := 0; i < 8; i++ {
+			nodes = append(nodes, fmt.Sprintf("n%d", i))
+		}
+		for i := 0; i+1 < len(nodes); i++ {
+			_ = e.Insert("link", value.Tuple{value.Addr(nodes[i]), value.Addr(nodes[i+1]), value.Int(1)})
+			_ = e.Insert("link", value.Tuple{value.Addr(nodes[i+1]), value.Addr(nodes[i]), value.Int(1)})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats.Derivations
+	}
+	sn, nv := work(SemiNaive), work(Naive)
+	if sn >= nv {
+		t.Errorf("semi-naive derivations (%d) not fewer than naive (%d)", sn, nv)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	src := `
+r1 cheapest(@S,min<C>) :- offer(@S,V,C).
+r2 dearest(@S,max<C>) :- offer(@S,V,C).
+r3 offers(@S,count<*>) :- offer(@S,V,C).
+r4 total(@S,sum<C>) :- offer(@S,V,C).
+offer(@a,x,3).
+offer(@a,y,5).
+offer(@a,z,1).
+offer(@b,x,7).
+`
+	e, err := New(ndlog.MustParse("agg", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	check := func(pred string, node string, want int64) {
+		t.Helper()
+		for _, tup := range e.Query(pred) {
+			if tup[0].S == node {
+				if tup[1].I != want {
+					t.Errorf("%s(%s) = %d, want %d", pred, node, tup[1].I, want)
+				}
+				return
+			}
+		}
+		t.Errorf("%s(%s) missing", pred, node)
+	}
+	check("cheapest", "a", 1)
+	check("dearest", "a", 5)
+	check("offers", "a", 3)
+	check("total", "a", 9)
+	check("cheapest", "b", 7)
+	check("offers", "b", 1)
+}
+
+func TestNegation(t *testing.T) {
+	src := `
+r1 reachable(@S,D) :- link(@S,D).
+r2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).
+r3 unreachable(@S,D) :- node(@S), node(@D), !reachable(@S,D).
+node(@a). node(@b). node(@c).
+link(@a,b).
+`
+	e, err := New(ndlog.MustParse("neg", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// c is isolated: a cannot reach c.
+	want := map[string]bool{}
+	for _, tup := range e.Query("unreachable") {
+		want[tup[0].S+">"+tup[1].S] = true
+	}
+	if !want["a>c"] || !want["b>c"] || want["a>b"] {
+		t.Errorf("unreachable = %v", want)
+	}
+}
+
+func TestDeleteRule(t *testing.T) {
+	src := `
+r1 route(@S,D) :- link(@S,D).
+rd delete route(@S,D) :- broken(@S,D), link(@S,D).
+link(@a,b). link(@a,c).
+broken(@a,b).
+`
+	e, err := New(ndlog.MustParse("del", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	routes := e.Query("route")
+	if len(routes) != 1 || routes[0][1].S != "c" {
+		t.Errorf("routes after delete rule = %v", routes)
+	}
+}
+
+func TestRunIsIdempotentAndHandlesDeletion(t *testing.T) {
+	e := newPathVectorEngine(t)
+	lineTopology(t, e, []string{"a", "b", "c"})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Count("path")
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count("path") != before {
+		t.Error("Run is not idempotent")
+	}
+	// Remove the b-c links: c becomes unreachable from a.
+	e.DeleteBase("link", value.Tuple{value.Addr("b"), value.Addr("c"), value.Int(1)})
+	e.DeleteBase("link", value.Tuple{value.Addr("c"), value.Addr("b"), value.Int(1)})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range e.Query("path") {
+		if p[0].S == "a" && p[1].S == "c" {
+			t.Errorf("stale path after link deletion: %v", p)
+		}
+	}
+}
+
+func TestInsertArityMismatch(t *testing.T) {
+	e := newPathVectorEngine(t)
+	if err := e.Insert("link", value.Tuple{value.Addr("a")}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestQueryUnknownPredicate(t *testing.T) {
+	e := newPathVectorEngine(t)
+	if got := e.Query("nonesuch"); got != nil {
+		t.Errorf("Query(nonesuch) = %v", got)
+	}
+	if got := e.Count("nonesuch"); got != 0 {
+		t.Errorf("Count(nonesuch) = %d", got)
+	}
+	if e.Relation("nonesuch") != nil {
+		t.Error("Relation(nonesuch) != nil")
+	}
+	if e.DeleteBase("nonesuch", value.Tuple{}) {
+		t.Error("DeleteBase(nonesuch) = true")
+	}
+}
+
+func TestFactsLoadedAtCreation(t *testing.T) {
+	src := `
+r1 out(@S,D) :- in(@S,D).
+in(@a,b).
+`
+	e, err := New(ndlog.MustParse("facts", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Count("in") != 1 {
+		t.Error("facts not loaded")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count("out") != 1 {
+		t.Error("rule did not fire on loaded fact")
+	}
+}
+
+func TestRelationIndexes(t *testing.T) {
+	r := NewRelation("t", 2)
+	for i := 0; i < 10; i++ {
+		if _, err := r.Insert(value.Tuple{value.Int(int64(i % 3)), value.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := r.Lookup([]int{0}, []value.V{value.Int(1)})
+	if len(hits) != 4 { // 1,4,7 and... i%3==1: 1,4,7 → 3... recount: i in 0..9, i%3==1 → 1,4,7 = 3 tuples
+		if len(hits) != 3 {
+			t.Errorf("Lookup returned %d tuples", len(hits))
+		}
+	}
+	// Insert after index creation must update the index.
+	if _, err := r.Insert(value.Tuple{value.Int(1), value.Int(100)}); err != nil {
+		t.Fatal(err)
+	}
+	hits = r.Lookup([]int{0}, []value.V{value.Int(1)})
+	found := false
+	for _, h := range hits {
+		if h[1].I == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("index not maintained on insert")
+	}
+	// Deletion must update the index.
+	r.Delete(value.Tuple{value.Int(1), value.Int(100)})
+	for _, h := range r.Lookup([]int{0}, []value.V{value.Int(1)}) {
+		if h[1].I == 100 {
+			t.Error("index not maintained on delete")
+		}
+	}
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation("t", 1)
+	isNew, err := r.Insert(value.Tuple{value.Int(1)})
+	if err != nil || !isNew {
+		t.Fatal("first insert should be new")
+	}
+	isNew, _ = r.Insert(value.Tuple{value.Int(1)})
+	if isNew {
+		t.Error("duplicate insert reported as new")
+	}
+	if !r.Contains(value.Tuple{value.Int(1)}) {
+		t.Error("Contains failed")
+	}
+	if _, err := r.Insert(value.Tuple{value.Int(1), value.Int(2)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if r.Delete(value.Tuple{value.Int(9)}) {
+		t.Error("deleted a missing tuple")
+	}
+	if s := r.String(); s != "t(1)\n" {
+		t.Errorf("String() = %q", s)
+	}
+	r.Clear()
+	if r.Len() != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestTransitiveClosureQuick(t *testing.T) {
+	// Property: on a random DAG (edges i->j only for i<j), the engine's
+	// reachability agrees with a direct DFS.
+	f := func(seed uint8) bool {
+		n := 6
+		edges := map[[2]int]bool{}
+		s := int(seed)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s = (s*31 + i*7 + j) % 97
+				if s%3 == 0 {
+					edges[[2]int{i, j}] = true
+				}
+			}
+		}
+		src := "r1 reach(@X,Y) :- edge(@X,Y).\nr2 reach(@X,Y) :- edge(@X,Z), reach(@Z,Y).\n"
+		prog := ndlog.MustParse("tc", src)
+		e, err := New(prog)
+		if err != nil {
+			return false
+		}
+		for edge := range edges {
+			_ = e.Insert("edge", value.Tuple{value.Addr(fmt.Sprintf("n%d", edge[0])), value.Addr(fmt.Sprintf("n%d", edge[1]))})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		// DFS ground truth.
+		reach := map[[2]int]bool{}
+		var dfs func(root, u int)
+		dfs = func(root, u int) {
+			for v := 0; v < n; v++ {
+				if edges[[2]int{u, v}] && !reach[[2]int{root, v}] {
+					reach[[2]int{root, v}] = true
+					dfs(root, v)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			dfs(i, i)
+		}
+		got := map[[2]int]bool{}
+		for _, tup := range e.Query("reach") {
+			var a, b int
+			fmt.Sscanf(tup[0].S, "n%d", &a)
+			fmt.Sscanf(tup[1].S, "n%d", &b)
+			got[[2]int{a, b}] = true
+		}
+		if len(got) != len(reach) {
+			return false
+		}
+		for k := range reach {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	e := newPathVectorEngine(t)
+	lineTopology(t, e, []string{"a", "b", "c"})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Iterations == 0 || e.Stats.Derivations == 0 || e.Stats.NewTuples == 0 || e.Stats.JoinProbes == 0 {
+		t.Errorf("stats not populated: %+v", e.Stats)
+	}
+}

@@ -1,0 +1,161 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datalog"
+	"repro/internal/ndlog"
+	"repro/internal/netgraph"
+	"repro/internal/value"
+)
+
+// TestDistributedEquivalentToCentralizedQuick is the cross-engine oracle:
+// on random sparse topologies, the distributed pipelined execution and the
+// centralized stratified engine must compute identical path and
+// bestPathCost relations (the distribution of a Datalog program preserves
+// its semantics — the property-preservation claim behind arc 7).
+func TestDistributedEquivalentToCentralizedQuick(t *testing.T) {
+	f := func(seed uint8) bool {
+		topo := netgraph.RandomConnected(6, 0.1, 3, uint64(seed)+1)
+
+		// Centralized.
+		eng, err := datalog.New(ndlog.MustParse("pv", pathVectorSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range topo.LinkTuples() {
+			if err := eng.Insert("link", l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Distributed.
+		net, err := NewNetwork(ndlog.MustParse("pv", pathVectorSrc), topo, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := net.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			return false
+		}
+
+		for _, pred := range []string{"path", "bestPathCost"} {
+			want := map[string]bool{}
+			for _, tup := range eng.Query(pred) {
+				want[tup.Key()] = true
+			}
+			got := map[string]bool{}
+			for _, tup := range net.QueryAll(pred) {
+				got[tup.Key()] = true
+			}
+			if len(want) != len(got) {
+				t.Logf("seed %d: %s sizes differ: centralized %d, distributed %d", seed, pred, len(want), len(got))
+				return false
+			}
+			for k := range want {
+				if !got[k] {
+					t.Logf("seed %d: %s missing %s", seed, pred, k)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLossRecoveryByRefresh shows the soft-state design pattern of §4.2:
+// lossy links drop advertisements, but periodically refreshed soft state
+// re-announces them, so the protocol heals.
+func TestLossRecoveryByRefresh(t *testing.T) {
+	// Periodic announcements carry an event sequence number (as NDlog
+	// periodics do): each firing is a fresh tuple, so the rule re-derives
+	// and re-sends even though the previous announcement is still alive.
+	src := `
+materialize(announce, 20, infinity, keys(1,2,3)).
+materialize(heard, infinity, infinity, keys(1,2)).
+a1 heard(@M,N) :- announce(@N,M,S), link(@N,M,C).
+`
+	topo := netgraph.Line(2)
+	net, err := NewNetwork(ndlog.MustParse("soft", src), topo, Options{
+		MaxTime: 500, LossRate: 0.5, Seed: 3, LoadTopologyLinks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		net.Inject(float64(i*10), "n0", "announce",
+			value.Tuple{value.Addr("n0"), value.Addr("n1"), value.Int(int64(i))})
+	}
+	res, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MessagesDropped == 0 {
+		t.Skip("no losses at this seed; test vacuous")
+	}
+	if got := len(net.Query("n1", "heard")); got != 1 {
+		t.Errorf("refresh did not heal losses: heard=%d", got)
+	}
+}
+
+func TestRestoreLinkResumesRouting(t *testing.T) {
+	topo := netgraph.Line(3)
+	net, err := NewNetwork(ndlog.MustParse("pv", pathVectorSrc), topo, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Fail then restore n1-n2 with a different cost; new paths appear.
+	net.FailLink(net.Now()+1, "n1", "n2")
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	net.RestoreLink(net.Now()+1, "n1", "n2", 5)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range net.Query("n0", "path") {
+		if p[1].S == "n2" && p[3].I == 6 { // 1 + restored 5
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no path over the restored link: %v", net.Query("n0", "path"))
+	}
+}
+
+func TestBenchSizedLineScales(t *testing.T) {
+	// Guard against superlinear blowup in the common bench configuration.
+	for _, n := range []int{8, 16} {
+		topo := netgraph.Line(n)
+		net, err := NewNetwork(ndlog.MustParse("pv", pathVectorSrc), topo, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := net.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("line-%d did not converge", n)
+		}
+		// A line has n*(n-1) ordered pairs, one best path each.
+		want := n * (n - 1)
+		if got := len(net.QueryAll("bestPath")); got != want {
+			t.Errorf("line-%d bestPath count = %d, want %d", n, got, want)
+		}
+	}
+}

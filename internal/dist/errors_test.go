@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/netgraph"
+	"repro/internal/value"
+)
+
+func TestHeadLocationMustBeAddress(t *testing.T) {
+	// A rule whose head location evaluates to a non-address value fails at
+	// runtime with a diagnostic, not a panic.
+	src := `
+r1 out(@X,N) :- in(@N,X).
+`
+	topo := netgraph.Line(1)
+	net, err := NewNetwork(ndlog.MustParse("bad", src), topo, Options{MaxTime: 10, LoadTopologyLinks: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X binds to an integer: the head @X is not an address.
+	net.Inject(0, "n0", "in", value.Tuple{value.Addr("n0"), value.Int(42)})
+	_, err = net.Run()
+	if err == nil {
+		t.Fatal("non-address head location accepted")
+	}
+	if !strings.Contains(err.Error(), "not an address") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestInjectionAtUnknownNode(t *testing.T) {
+	topo := netgraph.Line(2)
+	net, err := NewNetwork(ndlog.MustParse("pv", pathVectorSrc), topo, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Inject(0, "ghost", "link", value.Tuple{value.Addr("ghost"), value.Addr("n0"), value.Int(1)})
+	if _, err := net.Run(); err == nil {
+		t.Error("injection at unknown node accepted")
+	}
+}
+
+func TestMessageToUnknownNodeErrors(t *testing.T) {
+	// A derived tuple addressed to a node outside the topology is a
+	// runtime error (the program's address space must match the network).
+	src := `
+r1 fwd(@D,S) :- seed(@S,D).
+`
+	topo := netgraph.Line(1)
+	net, err := NewNetwork(ndlog.MustParse("fw", src), topo, Options{MaxTime: 10, LoadTopologyLinks: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Inject(0, "n0", "seed", value.Tuple{value.Addr("n0"), value.Addr("mars")})
+	if _, err := net.Run(); err == nil {
+		t.Error("message to unknown node accepted")
+	}
+}
+
+func TestArityMismatchAtRuntime(t *testing.T) {
+	topo := netgraph.Line(1)
+	net, err := NewNetwork(ndlog.MustParse("pv", pathVectorSrc), topo, Options{MaxTime: 10, LoadTopologyLinks: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Inject(0, "n0", "link", value.Tuple{value.Addr("n0")})
+	if _, err := net.Run(); err == nil {
+		t.Error("arity mismatch accepted at runtime")
+	}
+}
+
+func TestLocalizeRejectsConstantLinkLocation(t *testing.T) {
+	// The link atom's location must be a variable for the rewrite to
+	// address the forwarded tuple.
+	prog := ndlog.MustParse("c", `r1 p(@S) :- a(@S,V), b(@Z,V,S), metric(@Z,V).`)
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Localize(an); err != nil {
+		t.Logf("expected success or clean error, got: %v", err)
+	}
+}
+
+func TestFailLinkUnknownNodesIsNoop(t *testing.T) {
+	topo := netgraph.Line(2)
+	net, err := NewNetwork(ndlog.MustParse("pv", pathVectorSrc), topo, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.FailLink(1, "ghost", "phantom")
+	if _, err := net.Run(); err != nil {
+		t.Fatalf("failing a nonexistent link errored: %v", err)
+	}
+}

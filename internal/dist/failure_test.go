@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/netgraph"
+	"repro/internal/value"
+)
+
+func TestFailNodeRemovesAdjacentLinks(t *testing.T) {
+	topo := netgraph.Star(4) // hub n0 with spokes n1..n3
+	net, err := NewNetwork(ndlog.MustParse("pv", pathVectorSrc), topo, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// All spokes reach each other through the hub.
+	if c := bestCost(net, "n1", "n2"); c != 2 {
+		t.Fatalf("pre-failure n1->n2 = %d, want 2", c)
+	}
+	net.FailNode(net.Now()+1, "n0")
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The hub's link table is empty in both directions.
+	for _, spoke := range []string{"n1", "n2", "n3"} {
+		for _, l := range net.Query(spoke, "link") {
+			if l[1].S == "n0" {
+				t.Errorf("%s still has a link to the failed hub: %v", spoke, l)
+			}
+		}
+	}
+	if links := net.Query("n0", "link"); len(links) != 0 {
+		t.Errorf("failed hub still has links: %v", links)
+	}
+}
+
+func TestSoftStateDecaysAfterNodeFailure(t *testing.T) {
+	// Periodic heartbeats keep an "up" entry alive; after the sender's
+	// failure the entry expires — end-to-end failure detection.
+	src := `
+materialize(hb, 12, infinity, keys(1,2,3)).
+materialize(up, 12, infinity, keys(1,2)).
+h1 up(@M,N) :- hb(@N,M,S), link(@N,M,C).
+`
+	topo := netgraph.Line(2)
+	net, err := NewNetwork(ndlog.MustParse("fd", src), topo, Options{MaxTime: 200, LoadTopologyLinks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InjectPeriodic(0, 5, 10, "n0", "hb", func(i int) value.Tuple {
+		return value.Tuple{value.Addr("n0"), value.Addr("n1"), value.Int(int64(i))}
+	})
+	// While heartbeats flow, n1 sees n0 as up; heartbeats stop at t=45
+	// (10 firings), so by t=45+12 the up entry expires.
+	res, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not quiesce")
+	}
+	if got := len(net.Query("n1", "up")); got != 0 {
+		t.Errorf("up entry survived heartbeat silence: %d", got)
+	}
+	if res.Stats.Expirations == 0 {
+		t.Error("no expirations recorded")
+	}
+}
+
+func TestInjectPeriodicCountAndSpacing(t *testing.T) {
+	src := `materialize(tick, infinity, infinity, keys(1,2)).`
+	topo := netgraph.Line(1)
+	net, err := NewNetwork(ndlog.MustParse("p", src), topo, Options{MaxTime: 1000, LoadTopologyLinks: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InjectPeriodic(10, 20, 5, "n0", "tick", func(i int) value.Tuple {
+		return value.Tuple{value.Addr("n0"), value.Int(int64(i))}
+	})
+	res, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(net.Query("n0", "tick")); got != 5 {
+		t.Errorf("ticks = %d, want 5", got)
+	}
+	// Last firing at 10 + 4*20 = 90.
+	if res.Time != 90 {
+		t.Errorf("last change at %v, want 90", res.Time)
+	}
+}

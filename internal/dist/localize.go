@@ -1,0 +1,201 @@
+// Package dist implements arc 7 of the FVN pipeline: distributed execution
+// of NDlog programs. It contains the rule-localization rewrite of
+// declarative networking (rules spanning two nodes become a send rule and a
+// local rule), a discrete-event network simulator with per-node pipelined
+// evaluation, NDlog's materialized-table semantics (primary-key
+// replacement, soft-state lifetimes), and the convergence/oscillation
+// instrumentation used by the §3.2.2 experiments ("delayed convergence in
+// the presence of policy conflicts").
+//
+// The simulator substitutes for the paper's P2 runtime and local-cluster
+// testbed; see DESIGN.md for the substitution argument.
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/ndlog"
+)
+
+// Localize rewrites an analyzed program so that every rule's body refers to
+// a single location. A rule whose body spans locations X and Y — linked by
+// an atom mentioning both (the "link atom", located at X) — becomes:
+//
+//	fwd_<label>(@Y, vars...) :- <X-side atoms and conditions>.
+//	<head>               :- fwd_<label>(@Y, vars...), <Y-side body>.
+//
+// The forwarded tuple carries exactly the variables the Y side and the
+// head still need. The head may remain at X: the runtime ships derived
+// tuples whose location differs from the deriving node. This is the
+// classic declarative-networking localization rewrite.
+func Localize(an *ndlog.Analysis) (*ndlog.Program, error) {
+	prog := an.Prog
+	out := &ndlog.Program{Name: prog.Name + "_local"}
+	out.Materialized = append(out.Materialized, prog.Materialized...)
+	out.Facts = append(out.Facts, prog.Facts...)
+
+	for _, r := range prog.Rules {
+		locs := an.LocVars[r]
+		if len(locs) <= 1 {
+			out.Rules = append(out.Rules, r)
+			continue
+		}
+		fwdRule, localRule, err := splitRule(r, locs)
+		if err != nil {
+			return nil, err
+		}
+		out.Rules = append(out.Rules, fwdRule, localRule)
+	}
+	return out, nil
+}
+
+// splitRule performs the two-location rewrite.
+func splitRule(r *ndlog.Rule, locs []string) (fwd, local *ndlog.Rule, err error) {
+	// Identify the link atom: the first body atom mentioning both
+	// location variables; X is its own location, Y the other.
+	var linkAtom *ndlog.Atom
+	for _, l := range r.Body {
+		if l.Atom == nil || l.Neg {
+			continue
+		}
+		vars := ndlog.AtomVars(l.Atom)
+		if vars[locs[0]] && vars[locs[1]] {
+			linkAtom = l.Atom
+			break
+		}
+	}
+	if linkAtom == nil {
+		return nil, nil, fmt.Errorf("dist: rule %s: no link atom joining %v", r.Label, locs)
+	}
+	locOf := func(a *ndlog.Atom) string {
+		if a.Loc >= 0 {
+			if v, ok := a.Args[a.Loc].(ndlog.VarE); ok {
+				return v.Name
+			}
+		}
+		return ""
+	}
+	x := locOf(linkAtom)
+	if x == "" {
+		return nil, nil, fmt.Errorf("dist: rule %s: link atom %s has no variable location", r.Label, linkAtom.Pred)
+	}
+	y := locs[0]
+	if y == x {
+		y = locs[1]
+	}
+
+	// Partition body literals: X side takes atoms located at X; Y side
+	// takes the rest. Conditions and assignments go to the X side when all
+	// their variables are bound there, otherwise to the Y side.
+	var xAtoms, yLits []ndlog.Literal
+	xBound := map[string]bool{}
+	for _, l := range r.Body {
+		if l.Atom == nil {
+			continue
+		}
+		if locOf(l.Atom) == x {
+			xAtoms = append(xAtoms, l)
+			if !l.Neg {
+				for v := range ndlog.AtomVars(l.Atom) {
+					xBound[v] = true
+				}
+			}
+		}
+	}
+	// Second pass: X-side assignments extend the bound set.
+	for _, l := range r.Body {
+		if l.Atom != nil {
+			if locOf(l.Atom) != x {
+				yLits = append(yLits, l)
+			}
+			continue
+		}
+		vars := map[string]bool{}
+		ndlog.Vars(l.Expr, vars)
+		allX := true
+		for v := range vars {
+			if !xBound[v] {
+				// An assignment target is bound by the assignment itself.
+				if l.Assign {
+					if be, ok := l.Expr.(ndlog.BinE); ok {
+						if lv, ok2 := be.L.(ndlog.VarE); ok2 && lv.Name == v {
+							continue
+						}
+					}
+				}
+				allX = false
+				break
+			}
+		}
+		if allX {
+			xAtoms = append(xAtoms, l)
+			if l.Assign {
+				if be, ok := l.Expr.(ndlog.BinE); ok {
+					if lv, ok2 := be.L.(ndlog.VarE); ok2 {
+						xBound[lv.Name] = true
+					}
+				}
+			}
+		} else {
+			yLits = append(yLits, l)
+		}
+	}
+
+	// Variables needed downstream: the Y-side literals and the head.
+	needed := map[string]bool{}
+	for _, l := range yLits {
+		if l.Atom != nil {
+			for v := range ndlog.AtomVars(l.Atom) {
+				needed[v] = true
+			}
+		} else {
+			ndlog.Vars(l.Expr, needed)
+		}
+	}
+	for _, a := range r.Head.Args {
+		ndlog.Vars(a, needed)
+	}
+
+	// The forwarded tuple carries Y (as its location) plus every X-bound
+	// variable that is still needed.
+	fwdPred := "fwd_" + r.Label
+	fwdArgs := []ndlog.Expr{ndlog.VarE{Name: y, Loc: true}}
+	carried := []string{}
+	for _, v := range sortedVarNames(xBound) {
+		if v == y {
+			continue
+		}
+		if needed[v] {
+			carried = append(carried, v)
+			fwdArgs = append(fwdArgs, ndlog.VarE{Name: v})
+		}
+	}
+	_ = carried
+
+	fwd = &ndlog.Rule{
+		Label: r.Label + "a",
+		Head:  ndlog.Atom{Pred: fwdPred, Args: fwdArgs, Loc: 0},
+		Body:  xAtoms,
+	}
+	localBody := append([]ndlog.Literal{{Atom: &ndlog.Atom{Pred: fwdPred, Args: fwdArgs, Loc: 0}}}, yLits...)
+	local = &ndlog.Rule{
+		Label:  r.Label + "b",
+		Head:   r.Head,
+		Body:   localBody,
+		Delete: r.Delete,
+	}
+	return fwd, local, nil
+}
+
+func sortedVarNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,495 @@
+package dist
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/ndlog"
+	"repro/internal/netgraph"
+	"repro/internal/value"
+)
+
+// Options configures a simulation.
+type Options struct {
+	// MaxTime bounds simulated time; a run that is still generating events
+	// at MaxTime is reported as not converged (oscillation / divergence).
+	MaxTime float64
+	// DefaultLatency is used for message delivery when the topology has no
+	// link latency for the destination (e.g. multi-hop control messages).
+	DefaultLatency float64
+	// LossRate drops each message with this probability (deterministic
+	// pseudo-randomness from Seed).
+	LossRate float64
+	Seed     uint64
+	// LoadTopologyLinks populates each node's link table from the topology
+	// (link(@src, dst, cost)). Enabled for programs that declare link/3.
+	LoadTopologyLinks bool
+}
+
+// DefaultOptions returns reasonable simulation settings.
+func DefaultOptions() Options {
+	return Options{MaxTime: 10_000, DefaultLatency: 1, LoadTopologyLinks: true}
+}
+
+// Stats aggregates runtime counters.
+type Stats struct {
+	MessagesSent      int
+	MessagesDelivered int
+	MessagesDropped   int
+	TupleUpdates      int
+	Derivations       int
+	JoinProbes        int
+	RouteChanges      int // keyed-table replacements
+	Expirations       int
+	Flips             int // A→B→A value oscillations on one key
+}
+
+// Result summarizes a run.
+type Result struct {
+	Converged bool
+	Time      float64 // time of the last state change
+	Stats     Stats
+}
+
+// Network is a discrete-event simulation of an NDlog program over a
+// topology.
+type Network struct {
+	prog *ndlog.Program // localized program
+	an   *ndlog.Analysis
+	topo *netgraph.Topology
+	opts Options
+
+	nodes map[string]*Node
+	queue eventQueue
+	seq   int // tiebreaker for deterministic event order
+	now   float64
+
+	Stats      Stats
+	lastChange float64
+
+	// TraceFlips, when set, is called on every detected A→B→A value flip
+	// (debugging and experiment instrumentation).
+	TraceFlips func(at float64, node, pred string, old, new value.Tuple)
+	rngState   uint64
+
+	// flip detection: key -> last two values
+	history map[string][2]string
+}
+
+// NewNetwork analyzes, localizes, and instantiates prog over topo.
+func NewNetwork(prog *ndlog.Program, topo *netgraph.Topology, opts Options) (*Network, error) {
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	localized, err := Localize(an)
+	if err != nil {
+		return nil, err
+	}
+	lan, err := ndlog.Analyze(localized)
+	if err != nil {
+		return nil, fmt.Errorf("dist: localized program invalid: %w", err)
+	}
+	if opts.MaxTime <= 0 {
+		opts.MaxTime = DefaultOptions().MaxTime
+	}
+	if opts.DefaultLatency <= 0 {
+		opts.DefaultLatency = 1
+	}
+	n := &Network{
+		prog:     localized,
+		an:       lan,
+		topo:     topo,
+		opts:     opts,
+		nodes:    map[string]*Node{},
+		rngState: opts.Seed ^ 0xdeadbeefcafef00d,
+		history:  map[string][2]string{},
+	}
+	for _, id := range topo.Nodes {
+		n.nodes[id] = n.newNode(id)
+	}
+
+	// Program facts go to their declared locations.
+	for _, f := range localized.Facts {
+		loc := ""
+		if f.Loc >= 0 {
+			loc = f.Args[f.Loc].S
+		}
+		if loc == "" {
+			return nil, fmt.Errorf("dist: fact %s has no location", f.Pred)
+		}
+		n.Inject(0, loc, f.Pred, f.Args)
+	}
+	// Topology links.
+	if opts.LoadTopologyLinks {
+		if arity, ok := lan.Arity["link"]; ok && arity == 3 {
+			for _, l := range topo.Links {
+				n.Inject(0, l.Src, "link", value.Tuple{value.Addr(l.Src), value.Addr(l.Dst), value.Int(l.Cost)})
+			}
+		}
+	}
+	return n, nil
+}
+
+func (n *Network) newNode(id string) *Node {
+	node := &Node{
+		ID:          id,
+		net:         n,
+		tables:      map[string]*table{},
+		triggers:    map[string][]trigger{},
+		aggTriggers: map[string][]*ndlog.Rule{},
+	}
+	for _, r := range n.prog.Rules {
+		agg, _ := r.Head.HeadAgg()
+		seenAgg := map[string]bool{}
+		for i, l := range r.Body {
+			if l.Atom == nil || l.Neg {
+				continue
+			}
+			if agg != nil {
+				if !seenAgg[l.Atom.Pred] {
+					seenAgg[l.Atom.Pred] = true
+					node.aggTriggers[l.Atom.Pred] = append(node.aggTriggers[l.Atom.Pred], r)
+				}
+				continue
+			}
+			node.triggers[l.Atom.Pred] = append(node.triggers[l.Atom.Pred], trigger{rule: r, idx: i})
+		}
+	}
+	return node
+}
+
+// --- event queue -----------------------------------------------------------
+
+type eventKind int
+
+const (
+	evMessage eventKind = iota
+	evExpiry
+	evInject
+	evLinkDown
+	evLinkUp
+)
+
+type event struct {
+	at   float64
+	seq  int
+	kind eventKind
+	node string
+	pred string
+	tup  value.Tuple
+	// link events
+	a, b string
+	cost int64
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+func (n *Network) schedule(e *event) {
+	e.seq = n.seq
+	n.seq++
+	heap.Push(&n.queue, e)
+}
+
+func (n *Network) scheduleExpiry(node, pred string, tup value.Tuple, at float64) {
+	n.schedule(&event{at: at, kind: evExpiry, node: node, pred: pred, tup: tup})
+}
+
+// Inject schedules the insertion of a tuple at a node (external stimulus).
+func (n *Network) Inject(at float64, node, pred string, tup value.Tuple) {
+	n.schedule(&event{at: at, kind: evInject, node: node, pred: pred, tup: tup})
+}
+
+// InjectPeriodic schedules count injections of tuples derived from seq at
+// the given interval, starting at start. Each injection calls mk with the
+// firing index — NDlog's periodic(@N, E, T) event stream, with mk
+// supplying the per-firing event identifier.
+func (n *Network) InjectPeriodic(start, interval float64, count int, node, pred string, mk func(i int) value.Tuple) {
+	for i := 0; i < count; i++ {
+		n.Inject(start+float64(i)*interval, node, pred, mk(i))
+	}
+}
+
+// FailLink schedules the removal of the link tuples between a and b (both
+// directions) at the given time. In-flight messages still deliver.
+func (n *Network) FailLink(at float64, a, b string) {
+	n.schedule(&event{at: at, kind: evLinkDown, a: a, b: b})
+}
+
+// FailNode schedules the failure of all links adjacent to the node — the
+// crash-from-the-network's-viewpoint model (the node's own tables persist
+// but it is unreachable; soft state about it decays by expiry).
+func (n *Network) FailNode(at float64, node string) {
+	seen := map[string]bool{}
+	for _, l := range n.topo.Links {
+		other := ""
+		if l.Src == node {
+			other = l.Dst
+		} else if l.Dst == node {
+			other = l.Src
+		}
+		if other == "" || seen[other] {
+			continue
+		}
+		seen[other] = true
+		n.FailLink(at, node, other)
+	}
+}
+
+// RestoreLink schedules re-insertion of the symmetric link with the given
+// cost.
+func (n *Network) RestoreLink(at float64, a, b string, cost int64) {
+	n.schedule(&event{at: at, kind: evLinkUp, a: a, b: b, cost: cost})
+}
+
+// rand01 returns a deterministic pseudo-random float in [0,1).
+func (n *Network) rand01() float64 {
+	n.rngState = n.rngState*6364136223846793005 + 1442695040888963407
+	return float64(n.rngState>>11) / float64(1<<53)
+}
+
+// latency returns the message latency from src to dst.
+func (n *Network) latency(src, dst string) float64 {
+	for _, l := range n.topo.Links {
+		if l.Src == src && l.Dst == dst && l.Latency > 0 {
+			return l.Latency
+		}
+	}
+	return n.opts.DefaultLatency
+}
+
+// noteFlip records value oscillation on a keyed table entry: a key whose
+// value returns to its value-before-last has flipped (the signature of the
+// Disagree oscillation).
+func (n *Network) noteFlip(node, pred, key string, old, new value.Tuple) {
+	h := node + "\x00" + pred + "\x00" + key
+	prev := n.history[h]
+	if prev[0] != "" && prev[0] == new.Key() {
+		n.Stats.Flips++
+		if n.TraceFlips != nil {
+			n.TraceFlips(n.now, node, pred, old, new)
+		}
+	}
+	n.history[h] = [2]string{old.Key(), new.Key()}
+}
+
+// deliver processes derivations: local heads recurse immediately, remote
+// heads become messages.
+func (n *Network) deliver(from *Node, ds []derivation) error {
+	// Local worklist (zero simulated time).
+	work := ds
+	for len(work) > 0 {
+		d := work[0]
+		work = work[1:]
+		if d.loc == from.ID {
+			more, err := from.insert(d.pred, d.tup, n.now)
+			if err != nil {
+				return err
+			}
+			work = append(work, more...)
+			continue
+		}
+		n.Stats.MessagesSent++
+		if n.opts.LossRate > 0 && n.rand01() < n.opts.LossRate {
+			n.Stats.MessagesDropped++
+			continue
+		}
+		n.schedule(&event{
+			at:   n.now + n.latency(from.ID, d.loc),
+			kind: evMessage,
+			node: d.loc,
+			pred: d.pred,
+			tup:  d.tup,
+		})
+	}
+	return nil
+}
+
+// Run processes events until quiescence or MaxTime. It may be called
+// repeatedly: new injections resume the simulation.
+func (n *Network) Run() (Result, error) {
+	for n.queue.Len() > 0 {
+		e := heap.Pop(&n.queue).(*event)
+		if e.at > n.opts.MaxTime {
+			// Push back so a later Run with a higher MaxTime could resume.
+			heap.Push(&n.queue, e)
+			return Result{Converged: false, Time: n.lastChange, Stats: n.Stats}, nil
+		}
+		n.now = e.at
+		switch e.kind {
+		case evMessage, evInject:
+			if e.kind == evMessage {
+				n.Stats.MessagesDelivered++
+			}
+			node, ok := n.nodes[e.node]
+			if !ok {
+				return Result{}, fmt.Errorf("dist: delivery to unknown node %s", e.node)
+			}
+			// Batch: a node drains its entire input queue for this instant
+			// before running its rules (as a router processes its input
+			// buffer before the decision process). Within the batch, later
+			// updates to the same table key supersede earlier ones, so
+			// transient intermediate routes are damped rather than
+			// propagated.
+			type update struct {
+				pred string
+				tup  value.Tuple
+			}
+			batch := []update{{e.pred, e.tup}}
+			for n.queue.Len() > 0 {
+				top := n.queue[0]
+				if top.at != e.at || top.node != e.node || (top.kind != evMessage && top.kind != evInject) {
+					break
+				}
+				heap.Pop(&n.queue)
+				if top.kind == evMessage {
+					n.Stats.MessagesDelivered++
+				}
+				batch = append(batch, update{top.pred, top.tup})
+			}
+			final := map[string]update{}
+			var order []string
+			for _, u := range batch {
+				changed, key, err := node.insertQuiet(u.pred, u.tup, n.now)
+				if err != nil {
+					return Result{}, err
+				}
+				if !changed {
+					continue
+				}
+				k := u.pred + "\x00" + key
+				if _, seen := final[k]; !seen {
+					order = append(order, k)
+				}
+				final[k] = u
+			}
+			for _, k := range order {
+				u := final[k]
+				ds, err := node.fire(u.pred, u.tup)
+				if err != nil {
+					return Result{}, err
+				}
+				if err := n.deliver(node, ds); err != nil {
+					return Result{}, err
+				}
+			}
+		case evExpiry:
+			node := n.nodes[e.node]
+			if node == nil {
+				continue
+			}
+			ds, err := node.expire(e.pred, e.tup, n.now)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := n.deliver(node, ds); err != nil {
+				return Result{}, err
+			}
+		case evLinkDown:
+			n.topo.RemoveLink(e.a, e.b)
+			for _, pair := range [][2]string{{e.a, e.b}, {e.b, e.a}} {
+				node := n.nodes[pair[0]]
+				if node == nil {
+					continue
+				}
+				t, ok := node.tables["link"]
+				if !ok {
+					continue
+				}
+				for _, tup := range t.all() {
+					if tup[0].S == pair[0] && tup[1].S == pair[1] {
+						t.delete(tup)
+						n.lastChange = n.now
+						// Aggregates over link recompute.
+						for _, r := range node.aggTriggers["link"] {
+							ds, err := node.recomputeAggregate(r, "link", tup)
+							if err != nil {
+								return Result{}, err
+							}
+							if err := n.deliver(node, ds); err != nil {
+								return Result{}, err
+							}
+						}
+					}
+				}
+			}
+		case evLinkUp:
+			for _, pair := range [][2]string{{e.a, e.b}, {e.b, e.a}} {
+				if !n.topo.HasLink(pair[0], pair[1]) {
+					n.topo.Links = append(n.topo.Links, netgraph.Link{Src: pair[0], Dst: pair[1], Cost: e.cost, Latency: 1})
+				}
+				node := n.nodes[pair[0]]
+				if node == nil {
+					continue
+				}
+				ds, err := node.insert("link", value.Tuple{value.Addr(pair[0]), value.Addr(pair[1]), value.Int(e.cost)}, n.now)
+				if err != nil {
+					return Result{}, err
+				}
+				if err := n.deliver(node, ds); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+	}
+	return Result{Converged: true, Time: n.lastChange, Stats: n.Stats}, nil
+}
+
+// Now returns the current simulated time.
+func (n *Network) Now() float64 { return n.now }
+
+// Node returns the node with the given id.
+func (n *Network) Node(id string) *Node { return n.nodes[id] }
+
+// Query returns pred's tuples at one node.
+func (n *Network) Query(node, pred string) []value.Tuple {
+	nd, ok := n.nodes[node]
+	if !ok {
+		return nil
+	}
+	return nd.Tuples(pred)
+}
+
+// QueryAll returns pred's tuples across all nodes, sorted.
+func (n *Network) QueryAll(pred string) []value.Tuple {
+	var out []value.Tuple
+	for _, id := range n.topo.Nodes {
+		out = append(out, n.Query(id, pred)...)
+	}
+	value.SortTuples(out)
+	return out
+}
+
+// Snapshot renders the global state of pred deterministically (testing).
+func (n *Network) Snapshot(pred string) string {
+	var b []byte
+	ids := append([]string(nil), n.topo.Nodes...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		for _, t := range n.Query(id, pred) {
+			b = append(b, (id + ":" + pred + t.String() + "\n")...)
+		}
+	}
+	return string(b)
+}
+
+// Program returns the localized program under execution.
+func (n *Network) Program() *ndlog.Program { return n.prog }

@@ -1,0 +1,737 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/ndlog"
+	"repro/internal/value"
+)
+
+// table is a materialized NDlog table at one node: tuples with primary-key
+// replacement semantics and an optional soft-state lifetime.
+type table struct {
+	name     string
+	arity    int
+	keys     []int   // 0-based key columns; empty means the whole tuple
+	lifetime float64 // seconds; 0 = hard state
+
+	byKey   map[string]value.Tuple
+	refresh map[string]float64 // last refresh time per key (soft state)
+	indexes map[string]*tblIndex
+}
+
+// tblIndex is a lazily built hash index on a column subset, maintained on
+// insert/replace/delete.
+type tblIndex struct {
+	cols    []int
+	buckets map[string][]value.Tuple
+}
+
+func newTable(name string, arity int, keys []int, lifetime float64) *table {
+	return &table{
+		name:     name,
+		arity:    arity,
+		keys:     keys,
+		lifetime: lifetime,
+		byKey:    map[string]value.Tuple{},
+		refresh:  map[string]float64{},
+		indexes:  map[string]*tblIndex{},
+	}
+}
+
+func (ix *tblIndex) bucketKey(tup value.Tuple) string {
+	sub := make(value.Tuple, len(ix.cols))
+	for i, c := range ix.cols {
+		sub[i] = tup[c]
+	}
+	return sub.Key()
+}
+
+func (ix *tblIndex) add(tup value.Tuple) {
+	k := ix.bucketKey(tup)
+	ix.buckets[k] = append(ix.buckets[k], tup)
+}
+
+func (ix *tblIndex) remove(tup value.Tuple) {
+	k := ix.bucketKey(tup)
+	b := ix.buckets[k]
+	for i, u := range b {
+		if u.Equal(tup) {
+			ix.buckets[k] = append(b[:i:i], b[i+1:]...)
+			return
+		}
+	}
+}
+
+// lookup returns tuples matching vals on cols, building an index on first
+// use. Empty cols returns everything.
+func (t *table) lookup(cols []int, vals []value.V) []value.Tuple {
+	if len(cols) == 0 {
+		return t.all()
+	}
+	ck := ""
+	for i, c := range cols {
+		if i > 0 {
+			ck += ","
+		}
+		ck += fmt.Sprint(c)
+	}
+	ix, ok := t.indexes[ck]
+	if !ok {
+		ix = &tblIndex{cols: append([]int(nil), cols...), buckets: map[string][]value.Tuple{}}
+		for _, tup := range t.byKey {
+			ix.add(tup)
+		}
+		t.indexes[ck] = ix
+	}
+	sub := make(value.Tuple, len(vals))
+	copy(sub, vals)
+	return ix.buckets[sub.Key()]
+}
+
+// keyOf computes the primary key of a tuple.
+func (t *table) keyOf(tup value.Tuple) string {
+	if len(t.keys) == 0 {
+		return tup.Key()
+	}
+	sub := make(value.Tuple, len(t.keys))
+	for i, c := range t.keys {
+		sub[i] = tup[c]
+	}
+	return sub.Key()
+}
+
+// insertResult describes the effect of a table insert.
+type insertResult int
+
+const (
+	insertNoop    insertResult = iota // identical tuple already present
+	insertNew                         // a fresh key
+	insertReplace                     // an existing key was overwritten (route change)
+)
+
+func (t *table) insert(tup value.Tuple, now float64) (insertResult, value.Tuple) {
+	k := t.keyOf(tup)
+	old, exists := t.byKey[k]
+	t.refresh[k] = now
+	if exists && old.Equal(tup) {
+		return insertNoop, nil
+	}
+	t.byKey[k] = tup
+	for _, ix := range t.indexes {
+		if exists {
+			ix.remove(old)
+		}
+		ix.add(tup)
+	}
+	if exists {
+		return insertReplace, old
+	}
+	return insertNew, nil
+}
+
+func (t *table) delete(tup value.Tuple) bool {
+	k := t.keyOf(tup)
+	old, ok := t.byKey[k]
+	if !ok || !old.Equal(tup) {
+		return false
+	}
+	delete(t.byKey, k)
+	delete(t.refresh, k)
+	for _, ix := range t.indexes {
+		ix.remove(old)
+	}
+	return true
+}
+
+// deleteByKey removes whatever tuple holds the given primary key.
+func (t *table) deleteByKey(k string) bool {
+	old, ok := t.byKey[k]
+	if !ok {
+		return false
+	}
+	delete(t.byKey, k)
+	delete(t.refresh, k)
+	for _, ix := range t.indexes {
+		ix.remove(old)
+	}
+	return true
+}
+
+func (t *table) all() []value.Tuple {
+	out := make([]value.Tuple, 0, len(t.byKey))
+	for _, tup := range t.byKey {
+		out = append(out, tup)
+	}
+	return out
+}
+
+// Node is one network participant: its tables and the localized rules it
+// evaluates. Rules are indexed by the predicates of their body atoms so
+// that tuple arrivals trigger exactly the affected rules (pipelined
+// evaluation).
+type Node struct {
+	ID  string
+	net *Network
+
+	tables map[string]*table
+	// triggers maps a predicate to the (rule, body-literal index) pairs
+	// where it occurs positively.
+	triggers map[string][]trigger
+	// aggRules lists aggregate rules by input predicate.
+	aggTriggers map[string][]*ndlog.Rule
+}
+
+type trigger struct {
+	rule *ndlog.Rule
+	idx  int
+}
+
+// derivation is a pending derived tuple.
+type derivation struct {
+	pred string
+	tup  value.Tuple
+	loc  string // destination node (from the location argument)
+}
+
+func (n *Node) table(pred string) *table {
+	if t, ok := n.tables[pred]; ok {
+		return t
+	}
+	arity := n.net.an.Arity[pred]
+	var keys []int
+	lifetime := 0.0
+	if m, ok := n.net.prog.MaterializedPred(pred); ok {
+		for _, k := range m.Keys {
+			keys = append(keys, k-1)
+		}
+		if !m.Lifetime.Infinite {
+			lifetime = m.Lifetime.Seconds
+		}
+	}
+	t := newTable(pred, arity, keys, lifetime)
+	n.tables[pred] = t
+	return t
+}
+
+// Tuples returns the current tuples of pred at this node, sorted.
+func (n *Node) Tuples(pred string) []value.Tuple {
+	t, ok := n.tables[pred]
+	if !ok {
+		return nil
+	}
+	out := t.all()
+	value.SortTuples(out)
+	return out
+}
+
+// insert stores a tuple and returns the downstream derivations it enables.
+// It drives plain rules via pipelined semi-naive evaluation (the new tuple
+// as delta) and recomputes affected aggregate groups.
+func (n *Node) insert(pred string, tup value.Tuple, now float64) ([]derivation, error) {
+	changed, _, err := n.insertQuiet(pred, tup, now)
+	if err != nil || !changed {
+		return nil, err
+	}
+	return n.fire(pred, tup)
+}
+
+// insertQuiet performs the table update (key replacement, expiry
+// scheduling, statistics) without firing rules. It returns whether the
+// table changed and the tuple's primary key, so batch delivery can fire
+// rules once per surviving key.
+func (n *Node) insertQuiet(pred string, tup value.Tuple, now float64) (bool, string, error) {
+	t := n.table(pred)
+	if t.arity == 0 && len(t.byKey) == 0 {
+		// A predicate unknown to the rules (externally populated table):
+		// adopt the arity of the first tuple.
+		t.arity = len(tup)
+	}
+	if len(tup) != t.arity {
+		return false, "", fmt.Errorf("dist: %s: %s expects %d columns, got %d", n.ID, pred, t.arity, len(tup))
+	}
+	res, old := t.insert(tup, now)
+	if res == insertNoop {
+		return false, "", nil
+	}
+	if t.lifetime > 0 {
+		n.net.scheduleExpiry(n.ID, pred, tup, now+t.lifetime)
+	}
+	key := t.keyOf(tup)
+	if res == insertReplace {
+		n.net.Stats.RouteChanges++
+		n.net.noteFlip(n.ID, pred, key, old, tup)
+	}
+	n.net.Stats.TupleUpdates++
+	n.net.lastChange = now
+	return true, key, nil
+}
+
+// fire evaluates the rules triggered by a change to tup of pred: plain
+// rules via delta joins, aggregate rules via group recomputation.
+func (n *Node) fire(pred string, tup value.Tuple) ([]derivation, error) {
+	var out []derivation
+	for _, tr := range n.triggers[pred] {
+		ds, err := n.evalRuleDelta(tr.rule, tr.idx, tup)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	for _, r := range n.aggTriggers[pred] {
+		ds, err := n.recomputeAggregate(r, pred, tup)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	return out, nil
+}
+
+// recomputeAggregate re-evaluates the aggregate rule for the groups the
+// changed tuple can affect (falling back to a full recompute when the
+// groups cannot be determined from the tuple alone).
+func (n *Node) recomputeAggregate(r *ndlog.Rule, pred string, tup value.Tuple) ([]derivation, error) {
+	seeds, full, relevant := n.aggSeeds(r, pred, tup)
+	if !relevant {
+		return nil, nil
+	}
+	if full {
+		return n.evalAggregate(r, nil)
+	}
+	var out []derivation
+	for _, seed := range seeds {
+		ds, err := n.evalAggregate(r, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	return out, nil
+}
+
+// aggSeeds determines the group bindings of r affected by a change to tup
+// of pred. It returns (seeds, needFullRecompute, tupleRelevant).
+func (n *Node) aggSeeds(r *ndlog.Rule, pred string, tup value.Tuple) ([]map[string]value.V, bool, bool) {
+	_, aggIdx := r.Head.HeadAgg()
+	var groupVars []string
+	for i, arg := range r.Head.Args {
+		if i == aggIdx {
+			continue
+		}
+		v, ok := arg.(ndlog.VarE)
+		if !ok {
+			return nil, true, true // computed group column: full recompute
+		}
+		groupVars = append(groupVars, v.Name)
+	}
+	seen := map[string]bool{}
+	var seeds []map[string]value.V
+	relevant := false
+	for _, l := range r.Body {
+		if l.Atom == nil || l.Neg || l.Atom.Pred != pred {
+			continue
+		}
+		env := map[string]value.V{}
+		_, ok, err := matchAtom(l.Atom, tup, env)
+		if err != nil || !ok {
+			continue
+		}
+		relevant = true
+		seed := map[string]value.V{}
+		complete := true
+		keyParts := make(value.Tuple, 0, len(groupVars))
+		for _, gv := range groupVars {
+			v, bound := env[gv]
+			if !bound {
+				complete = false
+				break
+			}
+			seed[gv] = v
+			keyParts = append(keyParts, v)
+		}
+		if !complete {
+			return nil, true, true // the atom does not determine the group
+		}
+		k := keyParts.Key()
+		if !seen[k] {
+			seen[k] = true
+			seeds = append(seeds, seed)
+		}
+	}
+	return seeds, false, relevant
+}
+
+// expire removes a soft-state tuple if it has not been refreshed, and
+// recomputes aggregates that depended on it.
+func (n *Node) expire(pred string, tup value.Tuple, now float64) ([]derivation, error) {
+	t, ok := n.tables[pred]
+	if !ok {
+		return nil, nil
+	}
+	k := t.keyOf(tup)
+	cur, exists := t.byKey[k]
+	if !exists || !cur.Equal(tup) {
+		return nil, nil // replaced in the meantime
+	}
+	if last := t.refresh[k]; last+t.lifetime > now+1e-9 {
+		// Refreshed since this expiry was scheduled. Refreshes by identical
+		// re-insert do not create new expiry events (the insert is a
+		// no-op), so reschedule from the refresh time to keep exactly one
+		// live expiry per entry.
+		n.net.scheduleExpiry(n.ID, pred, tup, last+t.lifetime)
+		return nil, nil
+	}
+	delete(t.byKey, k)
+	delete(t.refresh, k)
+	n.net.Stats.Expirations++
+	n.net.lastChange = now
+
+	var out []derivation
+	for _, r := range n.aggTriggers[pred] {
+		ds, err := n.recomputeAggregate(r, pred, cur)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	return out, nil
+}
+
+// evalRuleDelta evaluates rule r with body literal idx bound to the new
+// tuple, joining the remaining literals against the local store.
+func (n *Node) evalRuleDelta(r *ndlog.Rule, idx int, delta value.Tuple) ([]derivation, error) {
+	if agg, _ := r.Head.HeadAgg(); agg != nil {
+		return nil, nil // aggregate rules are recomputed, not delta-joined
+	}
+	var out []derivation
+	err := n.joinBody(r, idx, delta, func(env map[string]value.V) error {
+		d, err := n.buildHead(r, env)
+		if err != nil {
+			return err
+		}
+		n.net.Stats.Derivations++
+		out = append(out, d)
+		return nil
+	})
+	return out, err
+}
+
+// evalAggregate recomputes an aggregate rule and emits the per-group
+// results. A non-nil seed binds the group variables, restricting both the
+// join (via indexes) and the output to one group; a seeded recompute that
+// finds the group empty deletes the stale aggregate tuple locally.
+// Emitting into a keyed table makes the recompute idempotent: unchanged
+// groups are no-ops.
+func (n *Node) evalAggregate(r *ndlog.Rule, seed map[string]value.V) ([]derivation, error) {
+	agg, aggIdx := r.Head.HeadAgg()
+	type group struct {
+		env  map[string]value.V // representative binding for head vars
+		best value.V
+		cnt  int64
+	}
+	groups := map[string]*group{}
+	err := n.joinBodySeeded(r, -1, nil, seed, func(env map[string]value.V) error {
+		key := make(value.Tuple, 0, len(r.Head.Args)-1)
+		for i, arg := range r.Head.Args {
+			if i == aggIdx {
+				continue
+			}
+			v, err := ndlog.EvalExpr(arg, env)
+			if err != nil {
+				return err
+			}
+			key = append(key, v)
+		}
+		var av value.V
+		if agg.Arg != "" {
+			av = env[agg.Arg]
+		}
+		k := key.Key()
+		g, ok := groups[k]
+		if !ok {
+			snapshot := map[string]value.V{}
+			for name, v := range env {
+				snapshot[name] = v
+			}
+			groups[k] = &group{env: snapshot, best: av, cnt: 1}
+			return nil
+		}
+		g.cnt++
+		switch agg.Kind {
+		case "min":
+			if av.Compare(g.best) < 0 {
+				g.best = av
+			}
+		case "max":
+			if av.Compare(g.best) > 0 {
+				g.best = av
+			}
+		case "sum":
+			g.best = value.Int(g.best.I + av.I)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A seeded recompute that finds its group empty retracts the stale
+	// aggregate tuple (locally).
+	if seed != nil && len(groups) == 0 {
+		n.retractAggGroup(r, aggIdx, seed)
+		return nil, nil
+	}
+	var out []derivation
+	for _, g := range groups {
+		env := g.env
+		if agg.Arg != "" {
+			env[agg.Arg] = g.best
+			if agg.Kind == "count" {
+				env[agg.Arg] = value.Int(g.cnt)
+			}
+		}
+		tup := make(value.Tuple, len(r.Head.Args))
+		for i, arg := range r.Head.Args {
+			if i == aggIdx {
+				if agg.Kind == "count" {
+					tup[i] = value.Int(g.cnt)
+				} else {
+					tup[i] = g.best
+				}
+				continue
+			}
+			v, err := ndlog.EvalExpr(arg, env)
+			if err != nil {
+				return nil, err
+			}
+			tup[i] = v
+		}
+		loc, err := n.headLoc(r, tup)
+		if err != nil {
+			return nil, err
+		}
+		n.net.Stats.Derivations++
+		out = append(out, derivation{pred: r.Head.Pred, tup: tup, loc: loc})
+	}
+	return out, nil
+}
+
+// buildHead constructs the derived tuple and its destination.
+func (n *Node) buildHead(r *ndlog.Rule, env map[string]value.V) (derivation, error) {
+	tup := make(value.Tuple, len(r.Head.Args))
+	for i, arg := range r.Head.Args {
+		v, err := ndlog.EvalExpr(arg, env)
+		if err != nil {
+			return derivation{}, fmt.Errorf("dist: rule %s head: %w", r.Label, err)
+		}
+		tup[i] = v
+	}
+	loc, err := n.headLoc(r, tup)
+	if err != nil {
+		return derivation{}, err
+	}
+	return derivation{pred: r.Head.Pred, tup: tup, loc: loc}, nil
+}
+
+func (n *Node) headLoc(r *ndlog.Rule, tup value.Tuple) (string, error) {
+	if r.Head.Loc < 0 {
+		return n.ID, nil // location-free: store locally
+	}
+	v := tup[r.Head.Loc]
+	if v.K != value.KindAddr {
+		return "", fmt.Errorf("dist: rule %s: head location argument %v is not an address", r.Label, v)
+	}
+	return v.S, nil
+}
+
+// retractAggGroup removes the stale aggregate tuple for the group named by
+// seed, when the head table's primary key is determined by the group
+// variables.
+func (n *Node) retractAggGroup(r *ndlog.Rule, aggIdx int, seed map[string]value.V) {
+	t := n.table(r.Head.Pred)
+	if len(t.keys) == 0 {
+		return // whole-tuple key: cannot name the stale tuple without its value
+	}
+	sub := make(value.Tuple, len(t.keys))
+	for i, c := range t.keys {
+		if c == aggIdx {
+			return // the aggregate column is part of the key
+		}
+		v, ok := r.Head.Args[c].(ndlog.VarE)
+		if !ok {
+			return
+		}
+		val, bound := seed[v.Name]
+		if !bound {
+			return
+		}
+		sub[i] = val
+	}
+	if t.deleteByKey(sub.Key()) {
+		n.net.Stats.Expirations++
+		n.net.lastChange = n.net.now
+	}
+}
+
+// joinBody enumerates satisfying assignments of r's body against the local
+// store, with literal deltaIdx (if >= 0) bound to the delta tuple.
+func (n *Node) joinBody(r *ndlog.Rule, deltaIdx int, delta value.Tuple, emit func(map[string]value.V) error) error {
+	return n.joinBodySeeded(r, deltaIdx, delta, nil, emit)
+}
+
+// joinBodySeeded is joinBody with an initial variable binding.
+func (n *Node) joinBodySeeded(r *ndlog.Rule, deltaIdx int, delta value.Tuple, seed map[string]value.V, emit func(map[string]value.V) error) error {
+	env := map[string]value.V{}
+	for k, v := range seed {
+		env[k] = v
+	}
+	body := r.Body
+	var walk func(i int) error
+	walk = func(i int) error {
+		if i == len(body) {
+			return emit(env)
+		}
+		l := body[i]
+		switch {
+		case l.Atom != nil && !l.Neg:
+			var candidates []value.Tuple
+			if i == deltaIdx {
+				candidates = []value.Tuple{delta}
+			} else if t, ok := n.tables[l.Atom.Pred]; ok {
+				cols, vals := boundCols(l.Atom, env)
+				candidates = t.lookup(cols, vals)
+			}
+			for _, tup := range candidates {
+				n.net.Stats.JoinProbes++
+				bound, ok, err := matchAtom(l.Atom, tup, env)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				if err := walk(i + 1); err != nil {
+					return err
+				}
+				for _, name := range bound {
+					delete(env, name)
+				}
+			}
+			return nil
+		case l.Atom != nil && l.Neg:
+			var candidates []value.Tuple
+			if t, ok := n.tables[l.Atom.Pred]; ok {
+				candidates = t.all()
+			}
+			for _, tup := range candidates {
+				n.net.Stats.JoinProbes++
+				bound, ok, err := matchAtom(l.Atom, tup, env)
+				if err != nil {
+					return err
+				}
+				if ok {
+					for _, name := range bound {
+						delete(env, name)
+					}
+					return nil // negation fails
+				}
+			}
+			return walk(i + 1)
+		case l.Assign:
+			be := l.Expr.(ndlog.BinE)
+			name := be.L.(ndlog.VarE).Name
+			v, err := ndlog.EvalExpr(be.R, env)
+			if err != nil {
+				return fmt.Errorf("dist: rule %s: %w", r.Label, err)
+			}
+			if old, isBound := env[name]; isBound {
+				if !old.Equal(v) {
+					return nil
+				}
+				return walk(i + 1)
+			}
+			env[name] = v
+			err = walk(i + 1)
+			delete(env, name)
+			return err
+		default:
+			v, err := ndlog.EvalExpr(l.Expr, env)
+			if err != nil {
+				return fmt.Errorf("dist: rule %s: %w", r.Label, err)
+			}
+			if !v.True() {
+				return nil
+			}
+			return walk(i + 1)
+		}
+	}
+	return walk(0)
+}
+
+// boundCols computes the atom's argument positions whose value is already
+// determined under env, for indexed lookup.
+func boundCols(atom *ndlog.Atom, env map[string]value.V) ([]int, []value.V) {
+	var cols []int
+	var vals []value.V
+	for i, arg := range atom.Args {
+		switch x := arg.(type) {
+		case ndlog.VarE:
+			if v, ok := env[x.Name]; ok {
+				cols = append(cols, i)
+				vals = append(vals, v)
+			}
+		case ndlog.LitE:
+			cols = append(cols, i)
+			vals = append(vals, x.Val)
+		default:
+			if v, err := ndlog.EvalExpr(arg, env); err == nil {
+				cols = append(cols, i)
+				vals = append(vals, v)
+			}
+		}
+	}
+	return cols, vals
+}
+
+// matchAtom matches a stored tuple against an atom's argument patterns.
+func matchAtom(atom *ndlog.Atom, tup value.Tuple, env map[string]value.V) ([]string, bool, error) {
+	if len(tup) != len(atom.Args) {
+		return nil, false, fmt.Errorf("dist: %s arity mismatch", atom.Pred)
+	}
+	var bound []string
+	fail := func() ([]string, bool, error) {
+		for _, name := range bound {
+			delete(env, name)
+		}
+		return nil, false, nil
+	}
+	for i, arg := range atom.Args {
+		switch x := arg.(type) {
+		case ndlog.VarE:
+			if v, ok := env[x.Name]; ok {
+				if !v.Equal(tup[i]) {
+					return fail()
+				}
+			} else {
+				env[x.Name] = tup[i]
+				bound = append(bound, x.Name)
+			}
+		case ndlog.LitE:
+			if !x.Val.Equal(tup[i]) {
+				return fail()
+			}
+		default:
+			v, err := ndlog.EvalExpr(arg, env)
+			if err != nil {
+				for _, name := range bound {
+					delete(env, name)
+				}
+				return nil, false, err
+			}
+			if !v.Equal(tup[i]) {
+				return fail()
+			}
+		}
+	}
+	return bound, true, nil
+}

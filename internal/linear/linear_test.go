@@ -1,0 +1,357 @@
+package linear
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/modelcheck"
+	"repro/internal/ndlog"
+	"repro/internal/netgraph"
+	"repro/internal/value"
+)
+
+// pingPong is a tiny hand-built linear system: a ping is consumed to
+// produce a pong (message-passing as resource consumption, the essence of
+// §4.2's linear-logic reading of soft state).
+func pingPong() *System {
+	ping := atom("ping", "A", "B")
+	pong := ndlog.Atom{Pred: "pong", Loc: -1, Args: []ndlog.Expr{ndlog.VarE{Name: "B"}, ndlog.VarE{Name: "A"}}}
+	return &System{
+		Rules:  []*Rule{{Label: "reply", Body: []ndlog.Literal{pos(ping)}, Heads: []ndlog.Atom{pong}}},
+		Linear: map[string]bool{"ping": true, "pong": true},
+		Init: []Fact{
+			F("ping", value.Addr("a"), value.Addr("b")),
+		},
+	}
+}
+
+func TestLinearConsumption(t *testing.T) {
+	sys := pingPong()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ts := TS{Sys: sys}
+	init := ts.Initial()
+	if len(init) != 1 {
+		t.Fatalf("initial states = %d", len(init))
+	}
+	succ := ts.Next(init[0])
+	if len(succ) != 1 {
+		t.Fatalf("successors = %d, want 1", len(succ))
+	}
+	// The ping is consumed: the successor holds only the pong.
+	s := succ[0]
+	if !StateHas(s, func(f Fact) bool { return f.Pred == "pong" }) {
+		t.Error("pong not produced")
+	}
+	if StateHas(s, func(f Fact) bool { return f.Pred == "ping" }) {
+		t.Error("ping not consumed (linear fact persisted)")
+	}
+	// The pong state is terminal (no rule matches).
+	if rest := ts.Next(s); len(rest) != 0 {
+		t.Errorf("pong state has %d successors, want 0", len(rest))
+	}
+}
+
+func TestMultiplicityRespected(t *testing.T) {
+	// Two identical pings allow two consumptions.
+	sys := pingPong()
+	sys.Init = append(sys.Init, F("ping", value.Addr("a"), value.Addr("b")))
+	ts := TS{Sys: sys}
+	s0 := ts.Initial()[0]
+	s1 := ts.Next(s0)
+	if len(s1) != 1 {
+		t.Fatalf("step1 successors = %d", len(s1))
+	}
+	// After one firing: one ping and one pong left.
+	if !StateHas(s1[0], func(f Fact) bool { return f.Pred == "ping" }) {
+		t.Fatal("multiplicity collapsed: both pings consumed at once")
+	}
+	s2 := ts.Next(s1[0])
+	if len(s2) != 1 {
+		t.Fatalf("step2 successors = %d", len(s2))
+	}
+	if StateHas(s2[0], func(f Fact) bool { return f.Pred == "ping" }) {
+		t.Error("second ping not consumed")
+	}
+}
+
+func TestPersistentFactsAreNotConsumed(t *testing.T) {
+	// A rule reading a persistent fact can fire repeatedly — but firings
+	// that do not change the state are pruned, so a pure read loop
+	// terminates.
+	sys := &System{
+		Rules: []*Rule{{
+			Label: "derive",
+			Body:  []ndlog.Literal{pos(atom("base", "X"))},
+			Heads: []ndlog.Atom{{Pred: "derived", Loc: -1, Args: []ndlog.Expr{ndlog.VarE{Name: "X"}}}},
+		}},
+		Linear: map[string]bool{},
+		Init:   []Fact{F("base", value.Int(1))},
+	}
+	ts := TS{Sys: sys}
+	res := modelcheck.Quiescent(ts, modelcheck.Options{})
+	if !res.Holds {
+		t.Fatal("derivation system does not quiesce")
+	}
+	n, _ := modelcheck.CountReachable(ts, modelcheck.Options{})
+	if n != 2 {
+		t.Errorf("reachable states = %d, want 2", n)
+	}
+}
+
+func TestKeyedProductionReplaces(t *testing.T) {
+	// Producing route(N,D,...) with key (N,D) replaces the old version —
+	// the table-update semantics.
+	sys := &System{
+		Rules: []*Rule{{
+			Label: "bump",
+			Body: []ndlog.Literal{
+				pos(atom("route", "N", "D", "C")),
+				pos(atom("tick", "T")),
+				lit("C2=C+1"),
+				lit("C<2"),
+			},
+			Heads: []ndlog.Atom{{Pred: "route", Loc: -1, Args: []ndlog.Expr{
+				ndlog.VarE{Name: "N"}, ndlog.VarE{Name: "D"}, ndlog.VarE{Name: "C2"},
+			}}},
+		}},
+		Linear: map[string]bool{"tick": true},
+		Keys:   map[string][]int{"route": {0, 1}},
+		Init: []Fact{
+			F("route", value.Addr("a"), value.Addr("d"), value.Int(0)),
+			F("tick", value.Int(1)),
+			F("tick", value.Int(2)),
+		},
+	}
+	ts := TS{Sys: sys}
+	// After both ticks: a single route fact with cost 2.
+	res := modelcheck.CheckReachable(ts, func(st modelcheck.State) bool {
+		return StateHas(st, func(f Fact) bool { return f.Pred == "route" && f.Args[2].I == 2 })
+	}, modelcheck.Options{})
+	if !res.Holds {
+		t.Fatal("cost-2 route unreachable")
+	}
+	// In the witness state there is exactly one route fact (replacement).
+	w := res.Witness.(*state)
+	count := 0
+	for _, e := range w.facts {
+		if e.fact.Pred == "route" {
+			count += e.n
+		}
+	}
+	if count != 1 {
+		t.Errorf("route facts in witness = %d, want 1 (keyed replacement)", count)
+	}
+}
+
+func TestCountToInfinity(t *testing.T) {
+	// E4: the 3-node line a-b-c (dest c), converged, then the b-c link
+	// fails. The model checker finds the classic count-to-infinity
+	// execution: b falls back through a, a follows b, and costs ratchet up
+	// to the ceiling.
+	topo := netgraph.Line(3) // n0 - n1 - n2
+	sys, err := DistanceVector(DVConfig{
+		Topo:    topo,
+		Dest:    "n2",
+		MaxCost: 8,
+		FailA:   "n1",
+		FailB:   "n2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := TS{Sys: sys}
+	// Cost 7 at this 3-node line is only reachable by the ratcheting
+	// exchange between n0 and n1 (stale routes bouncing back and forth);
+	// direct bad-news propagation jumps straight to the ceiling 8.
+	res := modelcheck.CheckReachable(ts, RouteAtCost(7), modelcheck.Options{MaxStates: 200000})
+	if !res.Holds {
+		t.Fatal("count-to-infinity state not reachable — the loop was not found")
+	}
+	// The counterexample trace shows the costs ratcheting upward.
+	trace := res.TraceString()
+	if !strings.Contains(trace, "route") {
+		t.Errorf("trace rendering:\n%s", trace)
+	}
+	if len(res.Trace) < 5 {
+		t.Errorf("suspiciously short count-to-infinity trace (%d states):\n%s", len(res.Trace), trace)
+	}
+}
+
+func TestCountToInfinityNeedsTheFailure(t *testing.T) {
+	// Without a link failure the converged tables are already stable:
+	// no state with an inflated cost is reachable.
+	topo := netgraph.Line(3)
+	sys, err := DistanceVector(DVConfig{
+		Topo:    topo,
+		Dest:    "n2",
+		MaxCost: 8,
+		// no failed link
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := TS{Sys: sys}
+	res := modelcheck.CheckReachable(ts, RouteAtCost(8), modelcheck.Options{MaxStates: 200000})
+	if res.Holds {
+		t.Fatalf("count-to-infinity reachable without failure:\n%s", res.TraceString())
+	}
+}
+
+func TestSplitHorizonFixesCountToInfinity(t *testing.T) {
+	// The classic mitigation: with split horizon (do not offer a route
+	// back to the neighbor it goes through), the 3-node line cannot count
+	// to infinity. Encoded by strengthening the follow/improve guards.
+	topo := netgraph.Line(3)
+	sys, err := DistanceVector(DVConfig{Topo: topo, Dest: "n2", MaxCost: 8, FailA: "n1", FailB: "n2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split horizon: a neighbor's route is usable only if its next hop is
+	// not this node.
+	for _, r := range sys.Rules {
+		if r.Label == "follow" || r.Label == "improve" {
+			r.Body = append(r.Body, lit("V2!=N"))
+		}
+	}
+	ts := TS{Sys: sys}
+	res := modelcheck.CheckReachable(ts, RouteAtCost(7), modelcheck.Options{MaxStates: 200000})
+	if res.Holds {
+		t.Fatalf("split horizon did not prevent count-to-infinity:\n%s", res.TraceString())
+	}
+}
+
+func TestFromNDlogSoftStateIsLinear(t *testing.T) {
+	prog := ndlog.MustParse("soft", `
+materialize(ev, 5, infinity, keys(1)).
+materialize(tbl, infinity, infinity, keys(1)).
+r1 tbl(@N,V) :- ev(@N,V).
+`)
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := FromNDlog(an, []Fact{F("ev", value.Addr("a"), value.Int(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Linear["ev"] {
+		t.Error("soft-state predicate not linear")
+	}
+	if sys.Linear["tbl"] {
+		t.Error("hard-state predicate marked linear")
+	}
+	if _, keyed := sys.Keys["tbl"]; !keyed {
+		t.Error("keyed table lost its key")
+	}
+	ts := TS{Sys: sys}
+	res := modelcheck.Quiescent(ts, modelcheck.Options{})
+	if !res.Holds {
+		t.Fatal("system does not quiesce")
+	}
+	final := res.Witness
+	if StateHas(final, func(f Fact) bool { return f.Pred == "ev" }) {
+		t.Error("event survived processing (should be consumed)")
+	}
+	if !StateHas(final, func(f Fact) bool { return f.Pred == "tbl" && f.Args[1].I == 7 }) {
+		t.Error("table fact not derived")
+	}
+}
+
+func TestFromNDlogDeleteRule(t *testing.T) {
+	prog := ndlog.MustParse("del", `
+materialize(ev, 5, infinity, keys(1)).
+r1 tbl(@N,V) :- ev(@N,V).
+rd delete tbl(@N,V) :- kill(@N), tbl(@N,V).
+`)
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := FromNDlog(an, []Fact{
+		F("ev", value.Addr("a"), value.Int(1)),
+		F("kill", value.Addr("a")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Linear["tbl"] {
+		t.Error("delete rule should make its head linear")
+	}
+	// There is a reachable state where tbl was derived and then deleted.
+	ts := TS{Sys: sys}
+	res := modelcheck.CheckReachable(ts, func(st modelcheck.State) bool {
+		hasTbl := StateHas(st, func(f Fact) bool { return f.Pred == "tbl" })
+		hasEv := StateHas(st, func(f Fact) bool { return f.Pred == "ev" })
+		return !hasTbl && !hasEv
+	}, modelcheck.Options{})
+	if !res.Holds {
+		t.Error("deletion state unreachable")
+	}
+}
+
+func TestValidateRejectsUnboundHead(t *testing.T) {
+	sys := &System{
+		Rules: []*Rule{{
+			Label: "bad",
+			Body:  []ndlog.Literal{pos(atom("p", "X"))},
+			Heads: []ndlog.Atom{{Pred: "q", Loc: -1, Args: []ndlog.Expr{ndlog.VarE{Name: "Y"}}}},
+		}},
+	}
+	if err := sys.Validate(); err == nil {
+		t.Error("unbound head variable accepted")
+	}
+}
+
+func TestStateDisplayAndKey(t *testing.T) {
+	s := newState([]Fact{
+		F("b", value.Int(1)),
+		F("a", value.Int(2)),
+		F("a", value.Int(2)),
+	})
+	d := s.Display()
+	if !strings.Contains(d, "×2") {
+		t.Errorf("multiplicity not displayed: %q", d)
+	}
+	// Key is order-insensitive.
+	s2 := newState([]Fact{
+		F("a", value.Int(2)),
+		F("a", value.Int(2)),
+		F("b", value.Int(1)),
+	})
+	if s.Key() != s2.Key() {
+		t.Error("state key depends on construction order")
+	}
+}
+
+func TestNegationInBody(t *testing.T) {
+	// fire only when no blocker exists.
+	sys := &System{
+		Rules: []*Rule{{
+			Label: "go",
+			Body: []ndlog.Literal{
+				pos(atom("src", "X")),
+				neg(atom("block", "X")),
+			},
+			Heads: []ndlog.Atom{{Pred: "done", Loc: -1, Args: []ndlog.Expr{ndlog.VarE{Name: "X"}}}},
+		}},
+		Linear: map[string]bool{"src": true},
+		Init: []Fact{
+			F("src", value.Int(1)),
+			F("src", value.Int(2)),
+			F("block", value.Int(2)),
+		},
+	}
+	ts := TS{Sys: sys}
+	res := modelcheck.Quiescent(ts, modelcheck.Options{})
+	if !res.Holds {
+		t.Fatal("no quiescent state")
+	}
+	if !StateHas(res.Witness, func(f Fact) bool { return f.Pred == "done" && f.Args[0].I == 1 }) {
+		t.Error("unblocked source not processed")
+	}
+	if StateHas(res.Witness, func(f Fact) bool { return f.Pred == "done" && f.Args[0].I == 2 }) {
+		t.Error("blocked source processed despite negation")
+	}
+}

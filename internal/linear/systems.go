@@ -1,0 +1,276 @@
+package linear
+
+import (
+	"fmt"
+
+	"repro/internal/modelcheck"
+	"repro/internal/ndlog"
+	"repro/internal/netgraph"
+	"repro/internal/value"
+)
+
+// FromNDlog derives a multiset-rewriting system from an analyzed NDlog
+// program: soft-state predicates (finite materialize lifetimes) become
+// linear resources consumed when matched, hard-state predicates with
+// declared keys become keyed facts (table updates), and every rule becomes
+// a single-head transition. Location specifiers are retained as ordinary
+// arguments — the transition system is the global view of the network.
+func FromNDlog(an *ndlog.Analysis, init []Fact) (*System, error) {
+	sys := &System{
+		Linear: map[string]bool{},
+		Keys:   map[string][]int{},
+		Init:   init,
+	}
+	for _, m := range an.Prog.Materialized {
+		if !m.Lifetime.Infinite {
+			sys.Linear[m.Pred] = true
+			continue
+		}
+		if len(m.Keys) > 0 {
+			keys := make([]int, len(m.Keys))
+			allCols := true
+			for i, k := range m.Keys {
+				keys[i] = k - 1
+			}
+			if arity, ok := an.Arity[m.Pred]; ok && len(m.Keys) == arity {
+				allCols = true
+			} else {
+				allCols = false
+			}
+			if !allCols {
+				sys.Keys[m.Pred] = keys
+			}
+		}
+	}
+	// Base predicates without materialize declarations that look like
+	// events (never in a head, used in bodies) stay persistent; callers
+	// can mark them linear explicitly.
+	for _, r := range an.Prog.Rules {
+		if r.Delete {
+			// A delete rule consumes its head instead of producing it.
+			// Marking the head predicate linear makes a body match consume
+			// it; if the head atom is not already in the body, append it.
+			head := r.Head
+			body := append([]ndlog.Literal(nil), r.Body...)
+			already := false
+			for _, l := range r.Body {
+				if l.Atom != nil && !l.Neg && l.Atom.String() == head.String() {
+					already = true
+					break
+				}
+			}
+			if !already {
+				body = append(body, ndlog.Literal{Atom: &head})
+			}
+			sys.Rules = append(sys.Rules, &Rule{Label: r.Label, Body: body})
+			sys.Linear[r.Head.Pred] = true
+			continue
+		}
+		sys.Rules = append(sys.Rules, &Rule{
+			Label: r.Label,
+			Body:  r.Body,
+			Heads: []ndlog.Atom{r.Head},
+		})
+	}
+	for _, f := range an.Prog.Facts {
+		sys.Init = append(sys.Init, Fact{Pred: f.Pred, Args: f.Args})
+	}
+	return sys, sys.Validate()
+}
+
+// lit parses an NDlog expression into a body literal (helper for built-in
+// systems).
+func lit(src string) ndlog.Literal {
+	e, err := ndlog.ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	if be, ok := e.(ndlog.BinE); ok && be.Op == "=" {
+		if _, isVar := be.L.(ndlog.VarE); isVar {
+			return ndlog.Literal{Expr: e, Assign: true}
+		}
+	}
+	return ndlog.Literal{Expr: e}
+}
+
+func atom(pred string, vars ...string) ndlog.Atom {
+	a := ndlog.Atom{Pred: pred, Loc: -1}
+	for _, v := range vars {
+		a.Args = append(a.Args, ndlog.VarE{Name: v})
+	}
+	return a
+}
+
+func pos(a ndlog.Atom) ndlog.Literal { return ndlog.Literal{Atom: &a} }
+func neg(a ndlog.Atom) ndlog.Literal { return ndlog.Literal{Atom: &a, Neg: true} }
+
+// DVConfig parameterizes the distance-vector system of E4.
+type DVConfig struct {
+	Topo *netgraph.Topology
+	Dest string
+	// MaxCost is the counting ceiling: a route reaching MaxCost has
+	// "counted to infinity".
+	MaxCost int64
+	// FailA, FailB: the link to remove after convergence (the failure that
+	// triggers the count). The initial state is the converged routing
+	// table of the pre-failure topology with the link already gone —
+	// model checking then explores every post-failure execution.
+	FailA, FailB string
+}
+
+// DistanceVector builds the transition system of the classic
+// distance-vector protocol with next-hop tracking:
+//
+//	invalidate: a route whose next hop is no longer a neighbor is reset
+//	follow:     a route through Via tracks Via's current cost (+1)
+//	improve:    any strictly better neighbor route is adopted
+//
+// Count-to-infinity is the reachable state where a cost hits MaxCost —
+// exactly the property E4 model-checks (the paper cites the presence of
+// count-to-infinity loops in distance-vector as a result of [22]).
+func DistanceVector(cfg DVConfig) (*System, error) {
+	if cfg.MaxCost <= 0 {
+		cfg.MaxCost = 16
+	}
+	inf := cfg.MaxCost
+
+	sys := &System{
+		Linear: map[string]bool{},
+		Keys: map[string][]int{
+			"route": {0, 1}, // route(N, D, Cost, Via) keyed by node and destination
+		},
+	}
+
+	// invalidate: route via a vanished link resets to the ceiling.
+	invalidate := &Rule{
+		Label: "invalidate",
+		Body: []ndlog.Literal{
+			pos(atom("route", "N", "D", "C", "Via")),
+			neg(atom("link", "N", "Via")),
+			lit(fmt.Sprintf("C<%d", inf)),
+			lit("N!=D"),
+			lit(fmt.Sprintf("Cinf=%d", inf)),
+			lit("None=\"none\""),
+		},
+		Heads: []ndlog.Atom{{
+			Pred: "route",
+			Loc:  -1,
+			Args: []ndlog.Expr{
+				ndlog.VarE{Name: "N"}, ndlog.VarE{Name: "D"},
+				ndlog.VarE{Name: "Cinf"}, ndlog.VarE{Name: "None"},
+			},
+		}},
+	}
+
+	// follow: track the next hop's advertised cost, up to the ceiling —
+	// the bad-news propagation that counts to infinity.
+	follow := &Rule{
+		Label: "follow",
+		Body: []ndlog.Literal{
+			pos(atom("route", "N", "D", "C", "Via")),
+			pos(atom("link", "N", "Via")),
+			pos(atom("route", "Via", "D", "C2", "V2")),
+			lit("Cnew=f_min(C2+1," + fmt.Sprint(inf) + ")"),
+			lit("Cnew!=C"),
+			lit("N!=D"),
+		},
+		Heads: []ndlog.Atom{{
+			Pred: "route",
+			Loc:  -1,
+			Args: []ndlog.Expr{
+				ndlog.VarE{Name: "N"}, ndlog.VarE{Name: "D"},
+				ndlog.VarE{Name: "Cnew"}, ndlog.VarE{Name: "Via"},
+			},
+		}},
+	}
+
+	// improve: adopt a strictly better route through any neighbor.
+	improve := &Rule{
+		Label: "improve",
+		Body: []ndlog.Literal{
+			pos(atom("route", "N", "D", "C", "Via")),
+			pos(atom("link", "N", "Z")),
+			pos(atom("route", "Z", "D", "C2", "V2")),
+			lit("C2+1<C"),
+			lit("N!=D"),
+			lit("Z!=D || C2=0"),
+			lit("Cnew=C2+1"),
+		},
+		Heads: []ndlog.Atom{{
+			Pred: "route",
+			Loc:  -1,
+			Args: []ndlog.Expr{
+				ndlog.VarE{Name: "N"}, ndlog.VarE{Name: "D"},
+				ndlog.VarE{Name: "Cnew"}, ndlog.VarE{Name: "Z"},
+			},
+		}},
+	}
+
+	sys.Rules = []*Rule{invalidate, follow, improve}
+
+	// Initial state: the converged pre-failure tables, with the failed
+	// link removed from the link set.
+	dists := cfg.Topo.ShortestCosts()
+	for _, n := range cfg.Topo.Nodes {
+		if n == cfg.Dest {
+			sys.Init = append(sys.Init, F("route", value.Addr(n), value.Addr(cfg.Dest), value.Int(0), value.Addr(n)))
+			continue
+		}
+		d, ok := dists[n][cfg.Dest]
+		if !ok {
+			continue
+		}
+		// Reconstruct a next hop achieving the distance.
+		via := ""
+		for _, z := range cfg.Topo.Neighbors(n) {
+			zd := dists[z][cfg.Dest]
+			if z == cfg.Dest {
+				zd = 0
+			}
+			if zd+1 == d {
+				via = z
+				break
+			}
+		}
+		if via == "" {
+			return nil, fmt.Errorf("linear: no next hop for %s toward %s", n, cfg.Dest)
+		}
+		sys.Init = append(sys.Init, F("route", value.Addr(n), value.Addr(cfg.Dest), value.Int(d), value.Addr(via)))
+	}
+	for _, l := range cfg.Topo.Links {
+		if (l.Src == cfg.FailA && l.Dst == cfg.FailB) || (l.Src == cfg.FailB && l.Dst == cfg.FailA) {
+			continue
+		}
+		sys.Init = append(sys.Init, F("link", value.Addr(l.Src), value.Addr(l.Dst)))
+	}
+	return sys, sys.Validate()
+}
+
+// StateHas reports whether a model-checker state produced by TS contains a
+// fact satisfying pred — the building block for reachability queries such
+// as "some route counted to infinity".
+func StateHas(st modelcheck.State, pred func(Fact) bool) bool {
+	ls, ok := st.(*state)
+	if !ok {
+		return false
+	}
+	for _, e := range ls.facts {
+		if pred(e.fact) {
+			return true
+		}
+	}
+	return false
+}
+
+// RouteAtCost is the E4 goal predicate: some route's cost reached cost by
+// actually counting up through a neighbor (the invalidated sentinel, whose
+// next hop is "none", does not count).
+func RouteAtCost(cost int64) func(modelcheck.State) bool {
+	return func(st modelcheck.State) bool {
+		return StateHas(st, func(f Fact) bool {
+			return f.Pred == "route" && len(f.Args) >= 4 &&
+				f.Args[2].K == value.KindInt && f.Args[2].I == cost &&
+				!(f.Args[3].K == value.KindStr && f.Args[3].S == "none")
+		})
+	}
+}

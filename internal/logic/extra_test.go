@@ -1,0 +1,280 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestQuantifierRendering(t *testing.T) {
+	f := Exists{
+		Vars: []Var{TV("C1", SortMetric), V("Z")},
+		Body: Pred{Name: "link", Args: []Term{V("Z"), V("C1")}},
+	}
+	got := f.String()
+	if got != "EXISTS (C1:Metric,Z): link(Z,C1)" {
+		t.Errorf("rendering = %q", got)
+	}
+	fa := Forall{Vars: []Var{V("X")}, Body: Iff{L: Pred{Name: "a"}, R: Pred{Name: "b"}}}
+	if !strings.Contains(fa.String(), "<=>") {
+		t.Errorf("iff rendering: %q", fa.String())
+	}
+}
+
+func TestTruthValAndNotRendering(t *testing.T) {
+	if True.String() != "TRUE" || False.String() != "FALSE" {
+		t.Error("truth rendering")
+	}
+	n := Not{F: And{Fs: []Formula{Pred{Name: "a"}, Pred{Name: "b"}}}}
+	if n.String() != "NOT (a() AND b())" {
+		t.Errorf("not rendering = %q", n.String())
+	}
+}
+
+func TestSubstOnAllConnectives(t *testing.T) {
+	s := Subst{"X": IntT(7)}
+	x := V("X")
+	p := Pred{Name: "p", Args: []Term{x}}
+	cases := []Formula{
+		Not{F: p},
+		And{Fs: []Formula{p, p}},
+		Or{Fs: []Formula{p, p}},
+		Implies{L: p, R: p},
+		Iff{L: p, R: p},
+		Cmp{Op: "<", L: x, R: IntT(9)},
+		Eq{L: x, R: x},
+		TruthVal{B: true},
+	}
+	for _, f := range cases {
+		out := s.Apply(f)
+		if strings.Contains(out.String(), "X") {
+			t.Errorf("substitution missed an occurrence in %T: %s", f, out)
+		}
+	}
+}
+
+func TestSubstApplyTermDeep(t *testing.T) {
+	s := Subst{"X": Fn("f", IntT(1))}
+	got := s.ApplyTerm(Fn("g", V("X"), Fn("h", V("X"))))
+	if got.String() != "g(f(1),h(f(1)))" {
+		t.Errorf("deep substitution = %s", got)
+	}
+	// Constants unaffected.
+	if !TermEqual(s.ApplyTerm(IntT(3)), IntT(3)) {
+		t.Error("constant mutated")
+	}
+}
+
+func TestResolveChasesChains(t *testing.T) {
+	s := Subst{"X": V("Y"), "Y": V("Z"), "Z": IntT(5)}
+	if got := Resolve(V("X"), s); !TermEqual(got, IntT(5)) {
+		t.Errorf("Resolve = %v", got)
+	}
+	if got := Resolve(Fn("f", V("X")), s); got.String() != "f(5)" {
+		t.Errorf("Resolve app = %v", got)
+	}
+}
+
+func TestUnifyAppWithVar(t *testing.T) {
+	s := Subst{}
+	if !Unify(Fn("f", IntT(1)), V("X"), s) {
+		t.Fatal("app-var unification failed")
+	}
+	if Resolve(V("X"), s).String() != "f(1)" {
+		t.Error("binding wrong")
+	}
+	// Occurs check on the app side.
+	s2 := Subst{}
+	if Unify(Fn("f", V("Y")), V("Y"), s2) {
+		t.Error("occurs check missed f(Y) vs Y")
+	}
+	// Const vs var binds.
+	s3 := Subst{}
+	if !Unify(IntT(2), V("W"), s3) || !TermEqual(Resolve(V("W"), s3), IntT(2)) {
+		t.Error("const-var unification failed")
+	}
+	// Const vs app clashes.
+	if Unify(IntT(2), Fn("f"), Subst{}) {
+		t.Error("const unified with app")
+	}
+}
+
+func TestMatchPred(t *testing.T) {
+	s := Subst{}
+	pat := Pred{Name: "p", Args: []Term{V("X"), IntT(2)}}
+	g := Pred{Name: "p", Args: []Term{IntT(1), IntT(2)}}
+	if !MatchPred(pat, g, s) {
+		t.Fatal("MatchPred failed")
+	}
+	if !TermEqual(s["X"], IntT(1)) {
+		t.Error("binding wrong")
+	}
+	if MatchPred(pat, Pred{Name: "q", Args: g.Args}, Subst{}) {
+		t.Error("matched different predicate names")
+	}
+	if MatchPred(pat, Pred{Name: "p", Args: []Term{IntT(1)}}, Subst{}) {
+		t.Error("matched different arities")
+	}
+}
+
+func TestTheoryLookupAndReplace(t *testing.T) {
+	th := NewTheory("t")
+	d1 := &Inductive{Name: "p", Params: []Var{V("X")}, Body: True}
+	th.AddInductive(d1)
+	d2 := &Inductive{Name: "p", Params: []Var{V("X")}, Body: False}
+	th.AddInductive(d2) // replaces
+	got, ok := th.Lookup("p")
+	if !ok || got != d2 {
+		t.Error("AddInductive did not replace")
+	}
+	if len(th.Inductives) != 1 {
+		t.Errorf("inductives = %d, want 1", len(th.Inductives))
+	}
+	if _, ok := th.Lookup("zzz"); ok {
+		t.Error("ghost lookup")
+	}
+	if _, ok := th.TheoremByName("zzz"); ok {
+		t.Error("ghost theorem")
+	}
+}
+
+func TestPredicateNamesSorted(t *testing.T) {
+	th := NewTheory("t")
+	th.AddInductive(&Inductive{Name: "zeta", Params: []Var{V("X")}, Body: True})
+	th.AddInductive(&Inductive{Name: "alpha", Params: []Var{V("X")}, Body: True})
+	names := th.PredicateNames()
+	if len(names) != 2 || names[0] != "alpha" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestValidateMutualRecursionPositive(t *testing.T) {
+	// Mutually recursive even/odd: positive occurrences, valid.
+	th := NewTheory("eo")
+	th.AddInductive(&Inductive{
+		Name:   "even",
+		Params: []Var{V("N")},
+		Body: Disj(
+			Eq{L: V("N"), R: IntT(0)},
+			Pred{Name: "odd", Args: []Term{Fn("-", V("N"), IntT(1))}},
+		),
+	})
+	th.AddInductive(&Inductive{
+		Name:   "odd",
+		Params: []Var{V("N")},
+		Body:   Pred{Name: "even", Args: []Term{Fn("-", V("N"), IntT(1))}},
+	})
+	if err := th.Validate(); err != nil {
+		t.Errorf("positive mutual recursion rejected: %v", err)
+	}
+
+	// Negative mutual recursion: invalid.
+	bad := NewTheory("bad")
+	bad.AddInductive(&Inductive{
+		Name:   "a",
+		Params: []Var{V("N")},
+		Body:   Not{F: Pred{Name: "b", Args: []Term{V("N")}}},
+	})
+	bad.AddInductive(&Inductive{
+		Name:   "b",
+		Params: []Var{V("N")},
+		Body:   Pred{Name: "a", Args: []Term{V("N")}},
+	})
+	if err := bad.Validate(); err == nil {
+		t.Error("negative mutual recursion accepted")
+	}
+}
+
+func TestValidatePositivityUnderConnectives(t *testing.T) {
+	// p ⇒ self: self in positive position on the right is fine; self on
+	// the left of ⇒ is negative.
+	okTh := NewTheory("ok")
+	okTh.AddInductive(&Inductive{
+		Name:   "s",
+		Params: []Var{V("N")},
+		Body:   Implies{L: Pred{Name: "base", Args: []Term{V("N")}}, R: Pred{Name: "s", Args: []Term{V("N")}}},
+	})
+	if err := okTh.Validate(); err != nil {
+		t.Errorf("positive-under-implies rejected: %v", err)
+	}
+	badTh := NewTheory("bad")
+	badTh.AddInductive(&Inductive{
+		Name:   "s",
+		Params: []Var{V("N")},
+		Body:   Implies{L: Pred{Name: "s", Args: []Term{V("N")}}, R: True},
+	})
+	if err := badTh.Validate(); err == nil {
+		t.Error("negative-under-implies accepted")
+	}
+	// Iff with self-reference is always rejected (both polarities).
+	iffTh := NewTheory("iff")
+	iffTh.AddInductive(&Inductive{
+		Name:   "s",
+		Params: []Var{V("N")},
+		Body:   Iff{L: Pred{Name: "s", Args: []Term{V("N")}}, R: True},
+	})
+	if err := iffTh.Validate(); err == nil {
+		t.Error("self-reference under IFF accepted")
+	}
+}
+
+func TestEvalGroundComparisons(t *testing.T) {
+	v, err := EvalGround(Fn("<", IntT(1), IntT(2)))
+	if err != nil || !v.True() {
+		t.Errorf("ground comparison eval: %v %v", v, err)
+	}
+	if _, err := EvalGround(Fn("mystery", IntT(1))); err == nil {
+		t.Error("uninterpreted function evaluated")
+	}
+}
+
+func TestFreeVarsOfTermsInCmp(t *testing.T) {
+	f := Cmp{Op: "<", L: Fn("+", V("A"), V("B")), R: IntT(3)}
+	free := FreeVars(f)
+	if len(free) != 2 {
+		t.Errorf("free vars = %v", free)
+	}
+}
+
+func TestSortedVarNames(t *testing.T) {
+	set := map[string]Sort{"b": SortAny, "a": SortNode}
+	if got := SortedVarNames(set); got[0] != "a" || got[1] != "b" {
+		t.Errorf("SortedVarNames = %v", got)
+	}
+}
+
+func TestIsGround(t *testing.T) {
+	if IsGround(V("X")) {
+		t.Error("variable is not ground")
+	}
+	if !IsGround(Fn("f", IntT(1), StrT("a"))) {
+		t.Error("ground app misclassified")
+	}
+	if IsGround(Fn("f", V("X"))) {
+		t.Error("app with var misclassified")
+	}
+	if !IsGround(Const{Val: value.Bool(true)}) {
+		t.Error("const misclassified")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	if _, err := Bind([]Var{V("X")}, []Term{IntT(1), IntT(2)}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	s, err := Bind([]Var{V("X"), V("Y")}, []Term{IntT(1), IntT(2)})
+	if err != nil || len(s) != 2 {
+		t.Errorf("Bind = %v, %v", s, err)
+	}
+}
+
+func TestFreshName(t *testing.T) {
+	avoid := map[string]bool{"X": true, "X!1": true}
+	if got := FreshName("X", avoid); got != "X!2" {
+		t.Errorf("FreshName = %q", got)
+	}
+	if got := FreshName("Y", avoid); got != "Y" {
+		t.Errorf("FreshName unused = %q", got)
+	}
+}

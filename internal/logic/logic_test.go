@@ -1,0 +1,292 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestTermString(t *testing.T) {
+	tests := []struct {
+		term Term
+		want string
+	}{
+		{V("S"), "S"},
+		{IntT(42), "42"},
+		{StrT("hi"), `"hi"`},
+		{Fn("f_init", V("S"), V("D")), "f_init(S,D)"},
+		{Fn("+", V("C1"), V("C2")), "(C1+C2)"},
+		{Fn("-", IntT(3), IntT(1)), "(3-1)"},
+	}
+	for _, tc := range tests {
+		if got := tc.term.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	f := Forall{
+		Vars: []Var{TV("S", SortNode), TV("C", SortMetric)},
+		Body: Implies{
+			L: Pred{Name: "link", Args: []Term{V("S"), V("D"), V("C")}},
+			R: Cmp{Op: ">=", L: V("C"), R: IntT(1)},
+		},
+	}
+	want := "FORALL (S:Node,C:Metric): link(S,D,C) => C>=1"
+	if got := f.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestConjDisjSimplification(t *testing.T) {
+	if got := Conj(); !FormulaEqual(got, True) {
+		t.Errorf("empty Conj = %v, want TRUE", got)
+	}
+	if got := Disj(); !FormulaEqual(got, False) {
+		t.Errorf("empty Disj = %v, want FALSE", got)
+	}
+	p := Pred{Name: "p"}
+	if got := Conj(True, p); !FormulaEqual(got, p) {
+		t.Errorf("Conj(TRUE,p) = %v, want p", got)
+	}
+	if got := Conj(False, p); !FormulaEqual(got, False) {
+		t.Errorf("Conj(FALSE,p) = %v, want FALSE", got)
+	}
+	if got := Disj(True, p); !FormulaEqual(got, True) {
+		t.Errorf("Disj(TRUE,p) = %v, want TRUE", got)
+	}
+	// Nested conjunctions flatten.
+	got := Conj(Conj(p, p), p)
+	and, ok := got.(And)
+	if !ok || len(and.Fs) != 3 {
+		t.Errorf("Conj flattening failed: %v", got)
+	}
+}
+
+func TestSubstCaptureAvoidance(t *testing.T) {
+	// (EXISTS Z: p(X, Z))[X := Z] must rename the bound Z.
+	f := Exists{Vars: []Var{V("Z")}, Body: Pred{Name: "p", Args: []Term{V("X"), V("Z")}}}
+	got := Subst{"X": V("Z")}.Apply(f)
+	ex, ok := got.(Exists)
+	if !ok {
+		t.Fatalf("got %T", got)
+	}
+	if ex.Vars[0].Name == "Z" {
+		t.Fatalf("bound variable not renamed: %v", got)
+	}
+	pr := ex.Body.(Pred)
+	if v, ok := pr.Args[0].(Var); !ok || v.Name != "Z" {
+		t.Errorf("free Z not substituted: %v", got)
+	}
+	if v, ok := pr.Args[1].(Var); !ok || v.Name != ex.Vars[0].Name {
+		t.Errorf("bound occurrence not renamed consistently: %v", got)
+	}
+}
+
+func TestSubstShadowing(t *testing.T) {
+	// (FORALL X: p(X))[X := 1] must leave the bound X alone.
+	f := Forall{Vars: []Var{V("X")}, Body: Pred{Name: "p", Args: []Term{V("X")}}}
+	got := Subst{"X": IntT(1)}.Apply(f)
+	fa := got.(Forall)
+	if v, ok := fa.Body.(Pred).Args[0].(Var); !ok || v.Name != "X" {
+		t.Errorf("shadowed variable was substituted: %v", got)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := Forall{Vars: []Var{V("X")}, Body: And{Fs: []Formula{
+		Pred{Name: "p", Args: []Term{V("X"), V("Y")}},
+		Exists{Vars: []Var{V("Z")}, Body: Eq{L: V("Z"), R: V("W")}},
+	}}}
+	free := FreeVars(f)
+	for _, name := range []string{"Y", "W"} {
+		if _, ok := free[name]; !ok {
+			t.Errorf("FreeVars missing %s", name)
+		}
+	}
+	for _, name := range []string{"X", "Z"} {
+		if _, ok := free[name]; ok {
+			t.Errorf("FreeVars wrongly contains bound %s", name)
+		}
+	}
+}
+
+func TestUnify(t *testing.T) {
+	s := Subst{}
+	if !Unify(Fn("f", V("X"), IntT(2)), Fn("f", IntT(1), V("Y")), s) {
+		t.Fatal("unification failed")
+	}
+	if x := Resolve(V("X"), s); !TermEqual(x, IntT(1)) {
+		t.Errorf("X = %v, want 1", x)
+	}
+	if y := Resolve(V("Y"), s); !TermEqual(y, IntT(2)) {
+		t.Errorf("Y = %v, want 2", y)
+	}
+}
+
+func TestUnifyOccursCheck(t *testing.T) {
+	s := Subst{}
+	if Unify(V("X"), Fn("f", V("X")), s) {
+		t.Error("occurs check failed: X unified with f(X)")
+	}
+}
+
+func TestUnifyClash(t *testing.T) {
+	s := Subst{}
+	if Unify(Fn("f", IntT(1)), Fn("g", IntT(1)), s) {
+		t.Error("unified distinct function symbols")
+	}
+	if Unify(IntT(1), IntT(2), Subst{}) {
+		t.Error("unified distinct constants")
+	}
+}
+
+func TestMatchOneWay(t *testing.T) {
+	s := Subst{}
+	if !Match(Fn("p", V("X"), V("X")), Fn("p", IntT(3), IntT(3)), s) {
+		t.Fatal("match failed")
+	}
+	if Match(Fn("p", V("X"), V("X")), Fn("p", IntT(3), IntT(4)), Subst{}) {
+		t.Error("matched inconsistent binding")
+	}
+	// Ground side variables must not be bound.
+	s2 := Subst{}
+	if Match(IntT(1), V("Y"), s2) {
+		t.Error("match bound a ground-side variable")
+	}
+}
+
+func TestEvalGround(t *testing.T) {
+	v, err := EvalGround(Fn("+", IntT(2), Fn("*", IntT(3), IntT(4))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 14 {
+		t.Errorf("got %v, want 14", v)
+	}
+	p, err := EvalGround(Fn("f_concatPath", AddrT("a"), Fn("f_init", AddrT("b"), AddrT("c"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.L) != 3 || p.L[0].S != "a" {
+		t.Errorf("got %v", p)
+	}
+	if _, err := EvalGround(Fn("+", V("X"), IntT(1))); err == nil {
+		t.Error("EvalGround accepted a non-ground term")
+	}
+}
+
+func TestTheoryValidate(t *testing.T) {
+	th := NewTheory("test")
+	th.AddInductive(&Inductive{
+		Name:   "p",
+		Params: []Var{V("X")},
+		Body:   Or{Fs: []Formula{Eq{L: V("X"), R: IntT(0)}, Pred{Name: "p", Args: []Term{Fn("-", V("X"), IntT(1))}}}},
+	})
+	if err := th.Validate(); err != nil {
+		t.Fatalf("valid theory rejected: %v", err)
+	}
+
+	bad := NewTheory("bad")
+	bad.AddInductive(&Inductive{
+		Name:   "q",
+		Params: []Var{V("X")},
+		Body:   Pred{Name: "q", Args: []Term{V("Y")}}, // unbound Y
+	})
+	if err := bad.Validate(); err == nil {
+		t.Error("theory with unbound variable accepted")
+	}
+
+	neg := NewTheory("neg")
+	neg.AddInductive(&Inductive{
+		Name:   "r",
+		Params: []Var{V("X")},
+		Body:   Not{F: Pred{Name: "r", Args: []Term{V("X")}}},
+	})
+	if err := neg.Validate(); err == nil {
+		t.Error("non-positive inductive definition accepted")
+	}
+}
+
+func TestTheoryString(t *testing.T) {
+	th := NewTheory("pathVector")
+	th.AddInductive(&Inductive{
+		Name:   "path",
+		Params: []Var{TV("S", SortNode), TV("D", SortNode)},
+		Body:   Pred{Name: "link", Args: []Term{V("S"), V("D")}},
+	})
+	th.AddTheorem("t1", True)
+	s := th.String()
+	for _, want := range []string{"pathVector: THEORY", "INDUCTIVE bool", "t1: THEOREM", "END pathVector"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("theory rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInductiveInstantiate(t *testing.T) {
+	d := &Inductive{
+		Name:   "p",
+		Params: []Var{V("X"), V("Y")},
+		Body:   Exists{Vars: []Var{V("Z")}, Body: Pred{Name: "q", Args: []Term{V("X"), V("Y"), V("Z")}}},
+	}
+	got, err := d.Instantiate([]Term{IntT(1), V("W")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := got.(Exists)
+	args := ex.Body.(Pred).Args
+	if !TermEqual(args[0], IntT(1)) || !TermEqual(args[1], V("W")) {
+		t.Errorf("instantiation wrong: %v", got)
+	}
+	if _, err := d.Instantiate([]Term{IntT(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	vars := []Var{V("X")}
+	body := Pred{Name: "p", Args: []Term{V("X")}}
+	fresh, renamed := RenameApart(vars, body, map[string]bool{"X": true})
+	if fresh[0].Name == "X" {
+		t.Error("RenameApart did not rename")
+	}
+	if v := renamed.(Pred).Args[0].(Var); v.Name != fresh[0].Name {
+		t.Error("body not renamed consistently")
+	}
+}
+
+func TestFormulaEqualQuick(t *testing.T) {
+	// Structural equality is reflexive on generated atom formulas.
+	f := func(name string, a, b int64) bool {
+		p := Pred{Name: "p" + name, Args: []Term{IntT(a), IntT(b)}}
+		return FormulaEqual(p, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredicatesAndSize(t *testing.T) {
+	f := Implies{
+		L: Pred{Name: "a"},
+		R: And{Fs: []Formula{Pred{Name: "b"}, Not{F: Pred{Name: "a"}}}},
+	}
+	preds := Predicates(f)
+	if !preds["a"] || !preds["b"] || len(preds) != 2 {
+		t.Errorf("Predicates = %v", preds)
+	}
+	if Size(f) != 6 {
+		t.Errorf("Size = %d, want 6", Size(f))
+	}
+}
+
+func TestValueRoundTripInTerms(t *testing.T) {
+	c := Const{Val: value.List(value.Addr("a"), value.Addr("b"))}
+	if got := c.String(); got != "[a,b]" {
+		t.Errorf("const list rendering = %q", got)
+	}
+}

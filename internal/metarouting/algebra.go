@@ -1,0 +1,391 @@
+// Package metarouting implements the routing-algebra meta-model of §3.3:
+// the abstract routing algebra A = ⟨Σ, ⪯, L, ⊕, O, φ⟩ of Griffin &
+// Sobrinho [9] as the FVN built-in network meta-model. It provides the
+// four semantic axioms (maximality, absorption, monotonicity, isotonicity)
+// as automatically dischargeable proof obligations (the role PVS's type
+// checker plays in the paper), a library of base algebras (addA, lpA,
+// bandwidth, reliability, hop count), composition operators (lexical
+// product, direct product, label restriction) with their property-
+// inference theorems, a generalized routing solver whose convergence the
+// axioms guarantee, and a PVS theory generator reproducing the paper's
+// listings.
+package metarouting
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Algebra is the abstract routing algebra ⟨Σ, ⪯, L, ⊕, O, φ⟩ — the Go
+// rendering of the paper's routeAlgebra PVS theory. Signatures and labels
+// are values from the shared domain.
+//
+// Sigs returns a finite carrier (or a representative finite sample for
+// conceptually infinite algebras such as addA); it must include
+// Prohibited. Obligations are discharged by checking the axioms over this
+// carrier crossed with Labels.
+type Algebra interface {
+	Name() string
+	Sigs() []value.V
+	Labels() []value.V
+	// Prefer reports σ1 ⪯ σ2: σ1 is at least as preferred as σ2.
+	Prefer(s1, s2 value.V) bool
+	// Apply is ⊕: extend signature s across a link labelled l.
+	Apply(l, s value.V) value.V
+	// Prohibited is φ, the unusable path signature.
+	Prohibited() value.V
+	// Origins is O, the signatures originated at destinations.
+	Origins() []value.V
+}
+
+// Strictly reports σ1 ≺ σ2 under the algebra's preference.
+func Strictly(a Algebra, s1, s2 value.V) bool {
+	return a.Prefer(s1, s2) && !a.Prefer(s2, s1)
+}
+
+// Equiv reports σ1 ~ σ2 (equally preferred).
+func Equiv(a Algebra, s1, s2 value.V) bool {
+	return a.Prefer(s1, s2) && a.Prefer(s2, s1)
+}
+
+// Obligation is one proof obligation over an algebra, with a counterexample
+// on failure — the unit of work PVS's type checker discharges in §3.3.
+type Obligation struct {
+	Name  string
+	Check func(a Algebra) *Counterexample
+}
+
+// Counterexample witnesses a failed obligation.
+type Counterexample struct {
+	Obligation string
+	Detail     string
+}
+
+func (c *Counterexample) Error() string {
+	return fmt.Sprintf("metarouting: %s violated: %s", c.Obligation, c.Detail)
+}
+
+// Obligations returns the standard obligations: the preorder laws of ⪯
+// (reflexivity, transitivity, totality) and the paper's four axioms.
+func Obligations() []Obligation {
+	return []Obligation{
+		{Name: "reflexivity", Check: checkReflexivity},
+		{Name: "transitivity", Check: checkTransitivity},
+		{Name: "totality", Check: checkTotality},
+		{Name: "maximality", Check: checkMaximality},
+		{Name: "absorption", Check: checkAbsorption},
+		{Name: "monotonicity", Check: checkMonotonicity},
+		{Name: "isotonicity", Check: checkIsotonicity},
+	}
+}
+
+func checkReflexivity(a Algebra) *Counterexample {
+	for _, s := range a.Sigs() {
+		if !a.Prefer(s, s) {
+			return &Counterexample{Obligation: "reflexivity", Detail: fmt.Sprintf("NOT %v ⪯ %v", s, s)}
+		}
+	}
+	return nil
+}
+
+func checkTransitivity(a Algebra) *Counterexample {
+	sigs := a.Sigs()
+	for _, x := range sigs {
+		for _, y := range sigs {
+			if !a.Prefer(x, y) {
+				continue
+			}
+			for _, z := range sigs {
+				if a.Prefer(y, z) && !a.Prefer(x, z) {
+					return &Counterexample{
+						Obligation: "transitivity",
+						Detail:     fmt.Sprintf("%v ⪯ %v ⪯ %v but NOT %v ⪯ %v", x, y, z, x, z),
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkTotality(a Algebra) *Counterexample {
+	sigs := a.Sigs()
+	for _, x := range sigs {
+		for _, y := range sigs {
+			if !a.Prefer(x, y) && !a.Prefer(y, x) {
+				return &Counterexample{
+					Obligation: "totality",
+					Detail:     fmt.Sprintf("%v and %v are incomparable", x, y),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkMaximality: φ is least preferred: ∀σ: σ ⪯ φ.
+func checkMaximality(a Algebra) *Counterexample {
+	phi := a.Prohibited()
+	for _, s := range a.Sigs() {
+		if !a.Prefer(s, phi) {
+			return &Counterexample{
+				Obligation: "maximality",
+				Detail:     fmt.Sprintf("NOT %v ⪯ φ=%v", s, phi),
+			}
+		}
+	}
+	return nil
+}
+
+// checkAbsorption: φ is closed under extension: ∀l: l ⊕ φ = φ.
+func checkAbsorption(a Algebra) *Counterexample {
+	phi := a.Prohibited()
+	for _, l := range a.Labels() {
+		if got := a.Apply(l, phi); !got.Equal(phi) {
+			return &Counterexample{
+				Obligation: "absorption",
+				Detail:     fmt.Sprintf("%v ⊕ φ = %v ≠ φ", l, got),
+			}
+		}
+	}
+	return nil
+}
+
+// checkMonotonicity: a path does not improve by growing: ∀l,σ: σ ⪯ l⊕σ.
+func checkMonotonicity(a Algebra) *Counterexample {
+	for _, l := range a.Labels() {
+		for _, s := range a.Sigs() {
+			if ext := a.Apply(l, s); !a.Prefer(s, ext) {
+				return &Counterexample{
+					Obligation: "monotonicity",
+					Detail:     fmt.Sprintf("σ=%v, l=%v: NOT σ ⪯ l⊕σ = %v", s, l, ext),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkIsotonicity: extension preserves preference:
+// ∀l,σ1,σ2: σ1 ⪯ σ2 ⇒ l⊕σ1 ⪯ l⊕σ2.
+func checkIsotonicity(a Algebra) *Counterexample {
+	sigs := a.Sigs()
+	for _, l := range a.Labels() {
+		for _, s1 := range sigs {
+			for _, s2 := range sigs {
+				if !a.Prefer(s1, s2) {
+					continue
+				}
+				e1, e2 := a.Apply(l, s1), a.Apply(l, s2)
+				if !a.Prefer(e1, e2) {
+					return &Counterexample{
+						Obligation: "isotonicity",
+						Detail: fmt.Sprintf("%v ⪯ %v but %v⊕%v = %v NOT ⪯ %v⊕%v = %v",
+							s1, s2, l, s1, e1, l, s2, e2),
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// StrictMonotonicity is the additional axiom SM used by the composition
+// theorems: ∀l, σ≠φ: σ ≺ l⊕σ. It is not one of the paper's four axioms
+// but is the key hypothesis of the lexical-product monotonicity theorem.
+func StrictMonotonicity(a Algebra) *Counterexample {
+	phi := a.Prohibited()
+	for _, l := range a.Labels() {
+		for _, s := range a.Sigs() {
+			if s.Equal(phi) {
+				continue
+			}
+			ext := a.Apply(l, s)
+			if !Strictly(a, s, ext) {
+				return &Counterexample{
+					Obligation: "strict-monotonicity",
+					Detail:     fmt.Sprintf("σ=%v, l=%v: NOT σ ≺ l⊕σ = %v", s, l, ext),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// StrictIsotonicity (SI) checks that label application preserves the
+// preference structure exactly: σ1 ≺ σ2 ⇒ l⊕σ1 ≺ l⊕σ2 and σ1 ~ σ2 ⇒
+// l⊕σ1 ~ l⊕σ2 (φ excepted). SI of the first factor is the hypothesis
+// under which the lexical product is isotone.
+func StrictIsotonicity(a Algebra) *Counterexample {
+	sigs := a.Sigs()
+	phi := a.Prohibited()
+	for _, l := range a.Labels() {
+		for _, s1 := range sigs {
+			for _, s2 := range sigs {
+				if s1.Equal(phi) || s2.Equal(phi) {
+					continue
+				}
+				e1, e2 := a.Apply(l, s1), a.Apply(l, s2)
+				if Strictly(a, s1, s2) && !Strictly(a, e1, e2) {
+					return &Counterexample{
+						Obligation: "strict-isotonicity",
+						Detail:     fmt.Sprintf("%v ≺ %v but NOT %v⊕%v ≺ %v⊕%v", s1, s2, l, s1, l, s2),
+					}
+				}
+				if Equiv(a, s1, s2) && !Equiv(a, e1, e2) {
+					return &Counterexample{
+						Obligation: "strict-isotonicity",
+						Detail:     fmt.Sprintf("%v ~ %v but NOT %v⊕%v ~ %v⊕%v", s1, s2, l, s1, l, s2),
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// NeverProhibits (NP) checks that label application never turns a usable
+// signature into φ. Algebras with export/import filtering (Gao-Rexford,
+// lpA at its ceiling) fail NP; purely metric algebras (addA, bandwidth)
+// satisfy it. NP of the second factor is a hypothesis of the lexical
+// product's isotonicity theorem.
+func NeverProhibits(a Algebra) *Counterexample {
+	phi := a.Prohibited()
+	for _, l := range a.Labels() {
+		for _, s := range a.Sigs() {
+			if s.Equal(phi) {
+				continue
+			}
+			if a.Apply(l, s).Equal(phi) {
+				return &Counterexample{
+					Obligation: "never-prohibits",
+					Detail:     fmt.Sprintf("%v ⊕ %v = φ", l, s),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ObligationResult records one discharge attempt.
+type ObligationResult struct {
+	Name       string
+	Discharged bool
+	Counter    *Counterexample
+}
+
+// Report is the outcome of discharging all obligations of one algebra —
+// what the paper's PVS type checker produces when an algebra instance is
+// declared as an interpretation of routeAlgebra.
+type Report struct {
+	Algebra string
+	Results []ObligationResult
+	// Checks counts individual axiom instances tested.
+	Checks int
+}
+
+// AllDischarged reports whether every obligation was discharged.
+func (r Report) AllDischarged() bool {
+	for _, res := range r.Results {
+		if !res.Discharged {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed returns the names of undischarged obligations.
+func (r Report) Failed() []string {
+	var out []string
+	for _, res := range r.Results {
+		if !res.Discharged {
+			out = append(out, res.Name)
+		}
+	}
+	return out
+}
+
+// String renders the report, one line per obligation.
+func (r Report) String() string {
+	out := "algebra " + r.Algebra + ":\n"
+	for _, res := range r.Results {
+		mark := "discharged"
+		if !res.Discharged {
+			mark = "FAILED: " + res.Counter.Detail
+		}
+		out += fmt.Sprintf("  %-20s %s\n", res.Name, mark)
+	}
+	return out
+}
+
+// Discharge runs all obligations exhaustively over the algebra's carrier —
+// the automatic discharge of §3.3.2 ("network designers are freed from
+// such tedious low-level proof obligations").
+func Discharge(a Algebra) Report {
+	r := Report{Algebra: a.Name()}
+	n := len(a.Sigs())
+	l := len(a.Labels())
+	for _, ob := range Obligations() {
+		c := ob.Check(a)
+		r.Results = append(r.Results, ObligationResult{Name: ob.Name, Discharged: c == nil, Counter: c})
+	}
+	// Instance counts per obligation: refl n, trans n^3, total n^2,
+	// maximality n, absorption l, monotonicity l*n, isotonicity l*n^2.
+	r.Checks = n + n*n*n + n*n + n + l + l*n + l*n*n
+	return r
+}
+
+// DischargeSampled runs the obligations over a pseudo-random sample of
+// axiom instances instead of the full cross product — the cheaper,
+// incomplete mode (ablation A3). It can miss counterexamples but never
+// reports a spurious one.
+func DischargeSampled(a Algebra, samples int, seed uint64) Report {
+	r := Report{Algebra: a.Name() + "(sampled)"}
+	sigs := a.Sigs()
+	labels := a.Labels()
+	if len(sigs) == 0 || len(labels) == 0 {
+		return Discharge(a)
+	}
+	rng := seed ^ 0x9e3779b97f4a7c15
+	pick := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	phi := a.Prohibited()
+
+	fail := map[string]*Counterexample{}
+	for i := 0; i < samples; i++ {
+		s1 := sigs[pick(len(sigs))]
+		s2 := sigs[pick(len(sigs))]
+		s3 := sigs[pick(len(sigs))]
+		l := labels[pick(len(labels))]
+		r.Checks++
+		if fail["reflexivity"] == nil && !a.Prefer(s1, s1) {
+			fail["reflexivity"] = &Counterexample{Obligation: "reflexivity", Detail: s1.String()}
+		}
+		if fail["transitivity"] == nil && a.Prefer(s1, s2) && a.Prefer(s2, s3) && !a.Prefer(s1, s3) {
+			fail["transitivity"] = &Counterexample{Obligation: "transitivity", Detail: fmt.Sprintf("%v,%v,%v", s1, s2, s3)}
+		}
+		if fail["totality"] == nil && !a.Prefer(s1, s2) && !a.Prefer(s2, s1) {
+			fail["totality"] = &Counterexample{Obligation: "totality", Detail: fmt.Sprintf("%v vs %v", s1, s2)}
+		}
+		if fail["maximality"] == nil && !a.Prefer(s1, phi) {
+			fail["maximality"] = &Counterexample{Obligation: "maximality", Detail: s1.String()}
+		}
+		if fail["absorption"] == nil && !a.Apply(l, phi).Equal(phi) {
+			fail["absorption"] = &Counterexample{Obligation: "absorption", Detail: l.String()}
+		}
+		if fail["monotonicity"] == nil && !a.Prefer(s1, a.Apply(l, s1)) {
+			fail["monotonicity"] = &Counterexample{Obligation: "monotonicity", Detail: fmt.Sprintf("σ=%v l=%v", s1, l)}
+		}
+		if fail["isotonicity"] == nil && a.Prefer(s1, s2) && !a.Prefer(a.Apply(l, s1), a.Apply(l, s2)) {
+			fail["isotonicity"] = &Counterexample{Obligation: "isotonicity", Detail: fmt.Sprintf("σ1=%v σ2=%v l=%v", s1, s2, l)}
+		}
+	}
+	for _, ob := range Obligations() {
+		c := fail[ob.Name]
+		r.Results = append(r.Results, ObligationResult{Name: ob.Name, Discharged: c == nil, Counter: c})
+	}
+	return r
+}

@@ -1,0 +1,172 @@
+package metarouting
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// InfCost is the prohibited-path sentinel of the additive algebras.
+const InfCost = int64(1) << 40
+
+// baseAlgebra is a concrete finite-carrier algebra described by data.
+type baseAlgebra struct {
+	name    string
+	sigs    []value.V
+	labels  []value.V
+	prefer  func(a, b value.V) bool
+	apply   func(l, s value.V) value.V
+	phi     value.V
+	origins []value.V
+}
+
+func (b *baseAlgebra) Name() string               { return b.name }
+func (b *baseAlgebra) Sigs() []value.V            { return b.sigs }
+func (b *baseAlgebra) Labels() []value.V          { return b.labels }
+func (b *baseAlgebra) Prefer(x, y value.V) bool   { return b.prefer(x, y) }
+func (b *baseAlgebra) Apply(l, s value.V) value.V { return b.apply(l, s) }
+func (b *baseAlgebra) Prohibited() value.V        { return b.phi }
+func (b *baseAlgebra) Origins() []value.V         { return b.origins }
+
+func intRange(lo, hi, step int64) []value.V {
+	var out []value.V
+	for v := lo; v <= hi; v += step {
+		out = append(out, value.Int(v))
+	}
+	return out
+}
+
+// AddA is the additive cost algebra of the paper ("adding link costs
+// during path concatenation"): Σ = costs ∪ {φ=∞}, lower cost preferred,
+// l ⊕ σ = l + σ. With strictly positive labels it is strictly monotone
+// and isotone — the shortest-paths regime. maxSig bounds the finite
+// carrier sample; labels range 1..maxLabel.
+func AddA(maxSig, maxLabel int64) Algebra {
+	phi := value.Int(InfCost)
+	sigs := append(intRange(0, maxSig, 1), phi)
+	return &baseAlgebra{
+		name:   fmt.Sprintf("addA[%d,%d]", maxSig, maxLabel),
+		sigs:   sigs,
+		labels: intRange(1, maxLabel, 1),
+		prefer: func(a, b value.V) bool { return a.I <= b.I },
+		apply: func(l, s value.V) value.V {
+			if s.I >= InfCost || l.I+s.I >= InfCost {
+				return phi
+			}
+			return value.Int(l.I + s.I)
+		},
+		phi:     phi,
+		origins: []value.V{value.Int(0)},
+	}
+}
+
+// HopCountA is AddA restricted to unit labels.
+func HopCountA(maxHops int64) Algebra {
+	a := AddA(maxHops, 1).(*baseAlgebra)
+	a.name = fmt.Sprintf("hopCountA[%d]", maxHops)
+	return a
+}
+
+// LpA is the local-preference algebra exactly as listed in §3.3.2:
+//
+//	labelApply(l, s) = l, prohibitPath = 4, prefRel(s1,s2) = s1 <= s2
+//
+// The label replaces the signature, so a path's preference is decided by
+// the last policy applied. LpA satisfies maximality, absorption, and
+// isotonicity, but NOT monotonicity: a path can become more preferred by
+// growing (l < σ). This is precisely the policy freedom that lets
+// BGP-style systems diverge (Disagree), and the obligation engine reports
+// the counterexample instead of discharging the axiom.
+func LpA(levels int64) Algebra {
+	phi := value.Int(levels)
+	return &baseAlgebra{
+		name:   fmt.Sprintf("lpA[%d]", levels),
+		sigs:   intRange(1, levels, 1), // includes φ = levels
+		labels: intRange(1, levels-1, 1),
+		prefer: func(a, b value.V) bool { return a.I <= b.I },
+		apply: func(l, s value.V) value.V {
+			if s.I >= levels { // absorption at φ
+				return phi
+			}
+			return l
+		},
+		phi:     phi,
+		origins: []value.V{value.Int(levels - 1)},
+	}
+}
+
+// LpMonotoneA is the restricted local-preference algebra: a label can only
+// make a path less preferred (apply = max(l, σ)). The restriction recovers
+// monotonicity — the kind of "relaxed algebraic model" design exploration
+// §4.1 calls for.
+func LpMonotoneA(levels int64) Algebra {
+	phi := value.Int(levels)
+	return &baseAlgebra{
+		name:   fmt.Sprintf("lpMonotoneA[%d]", levels),
+		sigs:   intRange(1, levels, 1),
+		labels: intRange(1, levels-1, 1),
+		prefer: func(a, b value.V) bool { return a.I <= b.I },
+		apply: func(l, s value.V) value.V {
+			if s.I >= levels {
+				return phi
+			}
+			if l.I > s.I {
+				return l
+			}
+			return s
+		},
+		phi:     phi,
+		origins: []value.V{value.Int(1)},
+	}
+}
+
+// BandwidthA is the widest-path algebra: Σ = available bandwidths ∪ {φ=0},
+// higher preferred, l ⊕ σ = min(l, σ). Monotone and isotone but not
+// strictly monotone (a wide link does not narrow the path).
+func BandwidthA(levels int64) Algebra {
+	phi := value.Int(0)
+	return &baseAlgebra{
+		name:   fmt.Sprintf("bandwidthA[%d]", levels),
+		sigs:   intRange(0, levels, 1),
+		labels: intRange(1, levels, 1),
+		prefer: func(a, b value.V) bool { return a.I >= b.I },
+		apply: func(l, s value.V) value.V {
+			if l.I < s.I {
+				return l
+			}
+			return s
+		},
+		phi:     phi,
+		origins: []value.V{value.Int(levels)},
+	}
+}
+
+// ReliabilityA is the most-reliable-path algebra: Σ = success probability
+// in permille (0..1000), higher preferred, l ⊕ σ = l·σ/1000.
+func ReliabilityA() Algebra {
+	phi := value.Int(0)
+	return &baseAlgebra{
+		name:   "reliabilityA",
+		sigs:   intRange(0, 1000, 125),
+		labels: intRange(125, 1000, 125),
+		prefer: func(a, b value.V) bool { return a.I >= b.I },
+		apply: func(l, s value.V) value.V {
+			return value.Int(l.I * s.I / 1000)
+		},
+		phi:     phi,
+		origins: []value.V{value.Int(1000)},
+	}
+}
+
+// BaseAlgebras returns the built-in base algebra library, the Go analogue
+// of the base algebras of [24] whose obligations PVS discharges.
+func BaseAlgebras() []Algebra {
+	return []Algebra{
+		AddA(8, 3),
+		HopCountA(8),
+		LpMonotoneA(5),
+		BandwidthA(6),
+		ReliabilityA(),
+		GaoRexfordA(),
+	}
+}

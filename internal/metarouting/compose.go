@@ -1,0 +1,195 @@
+package metarouting
+
+import (
+	"repro/internal/value"
+)
+
+// Props are the behavioural properties an algebra may enjoy, tracked by
+// the composition theorems (the metarouting "type system").
+type Props struct {
+	M   bool // monotonicity:         σ ⪯ l⊕σ
+	SM  bool // strict monotonicity:  σ ≺ l⊕σ for σ ≠ φ
+	ISO bool // isotonicity:          σ1 ⪯ σ2 ⇒ l⊕σ1 ⪯ l⊕σ2
+	SI  bool // strict isotonicity:   ⊕ preserves ≺ and ~ exactly
+	NP  bool // never prohibits:      l⊕σ ≠ φ for σ ≠ φ
+}
+
+// PropsOf checks the properties on the algebra's carrier.
+func PropsOf(a Algebra) Props {
+	return Props{
+		M:   checkMonotonicity(a) == nil,
+		SM:  StrictMonotonicity(a) == nil,
+		ISO: checkIsotonicity(a) == nil,
+		SI:  StrictIsotonicity(a) == nil,
+		NP:  NeverProhibits(a) == nil,
+	}
+}
+
+// LexProductTheorem predicts the properties of lexProduct(A, B) from the
+// properties of its factors — the composition theorems of metarouting [9]
+// that PVS discharges automatically in §3.3 (sufficient conditions):
+//
+//	M(A ⊗ B)   ⇐  SM(A) ∨ (M(A) ∧ M(B))
+//	SM(A ⊗ B)  ⇐  SM(A) ∨ (M(A) ∧ SM(B))
+//	ISO(A ⊗ B) ⇐  SI(A) ∧ ISO(A) ∧ ISO(B) ∧ NP(B)
+//	SI(A ⊗ B)  ⇐  SI(A) ∧ SI(B) ∧ NP(A) ∧ NP(B)
+//	NP(A ⊗ B)  ⇐  NP(A) ∧ NP(B)
+//
+// NP(B) is required for isotonicity because the lexical product prohibits
+// a pair as soon as either component does: a selectively-prohibiting
+// second factor can poison the preferred pair's extension while the less
+// preferred pair survives, inverting the order. (This repository's
+// instance checker found exactly that counterexample against the naive
+// ISO rule — see metarouting_test.go.)
+//
+// A true prediction is verified on every composed instance by Discharge;
+// a false prediction makes no claim (the property may still hold).
+func LexProductTheorem(a, b Props) Props {
+	return Props{
+		M:   a.SM || (a.M && b.M),
+		SM:  a.SM || (a.M && b.SM),
+		ISO: a.SI && a.ISO && b.ISO && b.NP,
+		SI:  a.SI && b.SI && a.NP && b.NP,
+		NP:  a.NP && b.NP,
+	}
+}
+
+// lexProduct is the lexical product composition operator: signatures are
+// pairs compared lexicographically (the first component decides; ties fall
+// to the second), labels are pairs applied componentwise, and a pair is
+// prohibited as soon as either component is.
+type lexProduct struct {
+	a, b Algebra
+	phi  value.V
+}
+
+// LexProduct composes two algebras with lexicographic preference — the
+// operator behind the paper's BGPSystem = lexProduct[LP, RC] (§3.3.2).
+func LexProduct(a, b Algebra) Algebra {
+	return &lexProduct{
+		a:   a,
+		b:   b,
+		phi: value.List(a.Prohibited(), b.Prohibited()),
+	}
+}
+
+func (p *lexProduct) Name() string { return "lexProduct[" + p.a.Name() + "," + p.b.Name() + "]" }
+
+func (p *lexProduct) Prohibited() value.V { return p.phi }
+
+// canon maps any pair with a prohibited component to the canonical φ.
+func (p *lexProduct) canon(x, y value.V) value.V {
+	if x.Equal(p.a.Prohibited()) || y.Equal(p.b.Prohibited()) {
+		return p.phi
+	}
+	return value.List(x, y)
+}
+
+func (p *lexProduct) Sigs() []value.V {
+	var out []value.V
+	for _, x := range p.a.Sigs() {
+		if x.Equal(p.a.Prohibited()) {
+			continue
+		}
+		for _, y := range p.b.Sigs() {
+			if y.Equal(p.b.Prohibited()) {
+				continue
+			}
+			out = append(out, value.List(x, y))
+		}
+	}
+	return append(out, p.phi)
+}
+
+func (p *lexProduct) Labels() []value.V {
+	var out []value.V
+	for _, x := range p.a.Labels() {
+		for _, y := range p.b.Labels() {
+			out = append(out, value.List(x, y))
+		}
+	}
+	return out
+}
+
+func (p *lexProduct) Prefer(s1, s2 value.V) bool {
+	a1, b1 := s1.L[0], s1.L[1]
+	a2, b2 := s2.L[0], s2.L[1]
+	if Strictly(p.a, a1, a2) {
+		return true
+	}
+	if Strictly(p.a, a2, a1) {
+		return false
+	}
+	return p.b.Prefer(b1, b2)
+}
+
+func (p *lexProduct) Apply(l, s value.V) value.V {
+	x := p.a.Apply(l.L[0], s.L[0])
+	y := p.b.Apply(l.L[1], s.L[1])
+	return p.canon(x, y)
+}
+
+func (p *lexProduct) Origins() []value.V {
+	var out []value.V
+	for _, x := range p.a.Origins() {
+		for _, y := range p.b.Origins() {
+			out = append(out, p.canon(x, y))
+		}
+	}
+	return out
+}
+
+// directProduct composes with conjunctive (Pareto) preference: (a1,b1) ⪯
+// (a2,b2) iff a1 ⪯ a2 and b1 ⪯ b2. The resulting preference is a partial
+// order in general, so the totality obligation fails with a
+// counterexample — the checker catching an ill-formed design.
+type directProduct struct {
+	lexProduct
+}
+
+// DirectProduct composes two algebras with Pareto preference.
+func DirectProduct(a, b Algebra) Algebra {
+	return &directProduct{lexProduct{a: a, b: b, phi: value.List(a.Prohibited(), b.Prohibited())}}
+}
+
+func (p *directProduct) Name() string {
+	return "directProduct[" + p.a.Name() + "," + p.b.Name() + "]"
+}
+
+func (p *directProduct) Prefer(s1, s2 value.V) bool {
+	return p.a.Prefer(s1.L[0], s2.L[0]) && p.b.Prefer(s1.L[1], s2.L[1])
+}
+
+// restricted limits an algebra to a subset of its labels. Restriction
+// preserves all axioms (every restricted instance is an instance of the
+// original), making it the safest composition operator.
+type restricted struct {
+	Algebra
+	name   string
+	labels []value.V
+}
+
+// Restrict returns the algebra with only the given labels allowed.
+func Restrict(a Algebra, labels ...value.V) Algebra {
+	return &restricted{Algebra: a, name: a.Name() + "|restricted", labels: labels}
+}
+
+func (r *restricted) Name() string      { return r.name }
+func (r *restricted) Labels() []value.V { return r.labels }
+
+// BGPSystem builds the paper's §3.3.2 example verbatim in spirit:
+//
+//	BGPSystem: THEORY = lexProduct[LP, RC]
+//
+// route selection compares local preference first (LP, lower value
+// preferred) and breaks ties on route cost (RC, the addA instance).
+func BGPSystem() Algebra {
+	return LexProduct(LpA(4), AddA(6, 2))
+}
+
+// SafeBGPSystem is the monotone variant using the restricted
+// local-preference algebra: the composition theorems guarantee
+// convergence for it.
+func SafeBGPSystem() Algebra {
+	return LexProduct(LpMonotoneA(4), AddA(6, 2))
+}

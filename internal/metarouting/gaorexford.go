@@ -1,0 +1,82 @@
+package metarouting
+
+import (
+	"repro/internal/value"
+)
+
+// Gao-Rexford / valley-free interdomain routing as a routing algebra — the
+// kind of "relaxed algebraic model for a wider range of routing protocols"
+// §4.1 proposes exploring beyond the paper's base algebras. Signatures
+// classify a route by how it was learned; labels classify the link being
+// traversed by the business relationship of the advertising neighbor.
+//
+//	Σ = {customer(1) ≺ peer(2) ≺ provider(3)} ∪ {φ(4)}
+//	L = {from-customer(1), from-peer(2), from-provider(3)}
+//
+// The application table encodes the Gao-Rexford export rules: only
+// customer routes travel upward (to providers) or sideways (to peers);
+// everything may travel downward (to customers). Routes violating
+// valley-freedom become φ. All four axioms (and isotonicity) discharge
+// automatically, which is the algebraic content of the Gao-Rexford safety
+// guarantee.
+const (
+	GRCustomer int64 = 1
+	GRPeer     int64 = 2
+	GRProvider int64 = 3
+	grPhi      int64 = 4
+)
+
+type gaoRexford struct{}
+
+// GaoRexfordA returns the valley-free routing algebra.
+func GaoRexfordA() Algebra { return gaoRexford{} }
+
+func (gaoRexford) Name() string { return "gaoRexfordA" }
+
+func (gaoRexford) Sigs() []value.V {
+	return []value.V{
+		value.Int(GRCustomer), value.Int(GRPeer), value.Int(GRProvider), value.Int(grPhi),
+	}
+}
+
+func (gaoRexford) Labels() []value.V {
+	return []value.V{value.Int(GRCustomer), value.Int(GRPeer), value.Int(GRProvider)}
+}
+
+// Prefer: customer routes beat peer routes beat provider routes.
+func (gaoRexford) Prefer(a, b value.V) bool { return a.I <= b.I }
+
+func (gaoRexford) Apply(l, s value.V) value.V {
+	if s.I == grPhi {
+		return value.Int(grPhi) // absorption
+	}
+	switch l.I {
+	case GRCustomer:
+		// Learning from a customer: it exports only its customer routes
+		// (and its own, which originate as customer routes).
+		if s.I == GRCustomer {
+			return value.Int(GRCustomer)
+		}
+		return value.Int(grPhi)
+	case GRPeer:
+		// Peers exchange only customer routes.
+		if s.I == GRCustomer {
+			return value.Int(GRPeer)
+		}
+		return value.Int(grPhi)
+	default: // GRProvider
+		// Providers export everything to their customers.
+		return value.Int(GRProvider)
+	}
+}
+
+func (gaoRexford) Prohibited() value.V { return value.Int(grPhi) }
+
+func (gaoRexford) Origins() []value.V { return []value.V{value.Int(GRCustomer)} }
+
+// SafeInterdomain composes Gao-Rexford classification with route cost:
+// valley-free class first, cost as the tiebreaker — a convergent
+// interdomain system by the composition theorems.
+func SafeInterdomain() Algebra {
+	return LexProduct(GaoRexfordA(), AddA(6, 2))
+}

@@ -1,0 +1,122 @@
+package metarouting
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestGaoRexfordDischargesAllObligations(t *testing.T) {
+	rep := Discharge(GaoRexfordA())
+	if !rep.AllDischarged() {
+		t.Fatalf("Gao-Rexford failed %v:\n%s", rep.Failed(), rep)
+	}
+}
+
+func TestGaoRexfordValleyFreedom(t *testing.T) {
+	a := GaoRexfordA()
+	cust, peer, prov := value.Int(GRCustomer), value.Int(GRPeer), value.Int(GRProvider)
+	phi := a.Prohibited()
+
+	// A customer route stays a customer route up the hierarchy.
+	if got := a.Apply(cust, cust); !got.Equal(cust) {
+		t.Errorf("customer over customer link = %v", got)
+	}
+	// A peer route cannot travel upward (valley).
+	if got := a.Apply(cust, peer); !got.Equal(phi) {
+		t.Errorf("peer route exported to provider = %v, want φ", got)
+	}
+	// A provider route cannot cross a peer link (step).
+	if got := a.Apply(peer, prov); !got.Equal(phi) {
+		t.Errorf("provider route across peering = %v, want φ", got)
+	}
+	// Everything flows down to customers.
+	for _, s := range []value.V{cust, peer, prov} {
+		if got := a.Apply(prov, s); !got.Equal(prov) {
+			t.Errorf("downward export of %v = %v, want provider-route", s, got)
+		}
+	}
+	// Preference: customer < peer < provider.
+	if !Strictly(a, cust, peer) || !Strictly(a, peer, prov) {
+		t.Error("preference order wrong")
+	}
+}
+
+func TestGaoRexfordProps(t *testing.T) {
+	p := PropsOf(GaoRexfordA())
+	if !p.M || !p.ISO {
+		t.Errorf("Gao-Rexford props = %+v, want monotone+isotone", p)
+	}
+	if p.SM {
+		t.Error("Gao-Rexford reported strictly monotone (customer→customer is preference-neutral)")
+	}
+}
+
+func TestSafeInterdomainComposition(t *testing.T) {
+	sys := SafeInterdomain()
+	rep := Discharge(sys)
+	// Monotonicity and the core axioms must discharge (convergence).
+	byName := map[string]bool{}
+	for _, r := range rep.Results {
+		byName[r.Name] = r.Discharged
+	}
+	for _, ob := range []string{"maximality", "absorption", "monotonicity", "totality", "transitivity"} {
+		if !byName[ob] {
+			t.Errorf("SafeInterdomain failed %s:\n%s", ob, rep)
+		}
+	}
+}
+
+func TestSafeInterdomainSolvesValleyFree(t *testing.T) {
+	// Topology: dest is a customer of a; a peers with b; c is a customer
+	// of both a and b.
+	//
+	//	     a ——peer—— b
+	//	    /  \       /
+	//	 dest    c ————
+	//
+	// Labels are from the perspective of the receiving node: traversing
+	// the edge u→v extends v's route to u, labelled by what v is to u.
+	sys := SafeInterdomain()
+	lbl := func(rel, cost int64) value.V { return value.List(value.Int(rel), value.Int(cost)) }
+	lt := LabeledTopo{
+		Nodes: []string{"dest", "a", "b", "c"},
+		Edges: []LEdge{
+			// a reaches dest via its customer dest.
+			{Src: "a", Dst: "dest", Label: lbl(GRCustomer, 1)},
+			// dest reaches a via its provider a.
+			{Src: "dest", Dst: "a", Label: lbl(GRProvider, 1)},
+			// a and b are peers.
+			{Src: "a", Dst: "b", Label: lbl(GRPeer, 1)},
+			{Src: "b", Dst: "a", Label: lbl(GRPeer, 1)},
+			// c's providers are a and b.
+			{Src: "c", Dst: "a", Label: lbl(GRProvider, 1)},
+			{Src: "c", Dst: "b", Label: lbl(GRProvider, 1)},
+			{Src: "a", Dst: "c", Label: lbl(GRCustomer, 1)},
+			{Src: "b", Dst: "c", Label: lbl(GRCustomer, 1)},
+		},
+	}
+	res := Solve(sys, lt, "dest", 20)
+	if !res.Converged {
+		t.Fatal("valley-free system did not converge")
+	}
+	// a sees dest as a customer route.
+	if got := res.Sigs["a"]; got.L[0].I != GRCustomer {
+		t.Errorf("a's route class = %v, want customer", got)
+	}
+	// b reaches dest via its peer a (a exports its customer route): peer.
+	if got := res.Sigs["b"]; got.L[0].I != GRPeer {
+		t.Errorf("b's route class = %v, want peer", got)
+	}
+	// c reaches dest via a provider: provider route.
+	if got := res.Sigs["c"]; got.L[0].I != GRProvider {
+		t.Errorf("c's route class = %v, want provider", got)
+	}
+	// Valley-freedom in action: b's peer route must NOT be exported onward
+	// to another peer or provider — extending b's route over a peer link
+	// is prohibited.
+	ext := sys.Apply(lbl(GRPeer, 1), res.Sigs["b"])
+	if !ext.Equal(sys.Prohibited()) {
+		t.Errorf("peer route crossed a second peering: %v", ext)
+	}
+}

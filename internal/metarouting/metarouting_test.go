@@ -1,0 +1,357 @@
+package metarouting
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netgraph"
+	"repro/internal/value"
+)
+
+func TestBaseAlgebrasDischargeAllObligations(t *testing.T) {
+	// E8: every base algebra of the library discharges all obligations
+	// automatically, as the paper reports for the bases of [24].
+	for _, a := range BaseAlgebras() {
+		rep := Discharge(a)
+		if !rep.AllDischarged() {
+			t.Errorf("%s failed obligations %v:\n%s", a.Name(), rep.Failed(), rep)
+		}
+		if rep.Checks == 0 {
+			t.Errorf("%s: no checks recorded", a.Name())
+		}
+	}
+}
+
+func TestLpAFailsMonotonicityWithCounterexample(t *testing.T) {
+	// The unrestricted local-preference algebra of §3.3.2 (labelApply = l)
+	// is NOT monotone — the policy freedom behind BGP divergence. The
+	// discharge engine must fail exactly that obligation and produce a
+	// counterexample.
+	rep := Discharge(LpA(4))
+	if rep.AllDischarged() {
+		t.Fatal("lpA discharged monotonicity; it should not")
+	}
+	failed := rep.Failed()
+	if len(failed) != 1 || failed[0] != "monotonicity" {
+		t.Errorf("lpA failed %v, want only monotonicity", failed)
+	}
+	for _, res := range rep.Results {
+		if res.Name == "monotonicity" && res.Counter == nil {
+			t.Error("no counterexample attached")
+		}
+	}
+}
+
+func TestAddAIsStrictlyMonotoneAndSI(t *testing.T) {
+	p := PropsOf(AddA(6, 3))
+	if !p.M || !p.SM || !p.ISO || !p.SI {
+		t.Errorf("addA props = %+v, want all true", p)
+	}
+}
+
+func TestBandwidthMonotoneNotStrict(t *testing.T) {
+	p := PropsOf(BandwidthA(5))
+	if !p.M || !p.ISO {
+		t.Errorf("bandwidthA not monotone/isotone: %+v", p)
+	}
+	if p.SM {
+		t.Error("bandwidthA reported strictly monotone (min cannot strictly worsen a narrower path)")
+	}
+}
+
+func TestDischargeReportRendering(t *testing.T) {
+	rep := Discharge(LpA(4))
+	s := rep.String()
+	if !strings.Contains(s, "monotonicity") || !strings.Contains(s, "FAILED") {
+		t.Errorf("report rendering:\n%s", s)
+	}
+}
+
+func TestLexProductBGPSystem(t *testing.T) {
+	// E9: BGPSystem = lexProduct[LP, RC] typechecks as a valid algebra —
+	// maximality, absorption, isotonicity discharge — but the composition
+	// inherits LP's monotonicity failure, which is exactly Disagree's
+	// root cause.
+	sys := BGPSystem()
+	rep := Discharge(sys)
+	byName := map[string]bool{}
+	for _, res := range rep.Results {
+		byName[res.Name] = res.Discharged
+	}
+	for _, ob := range []string{"reflexivity", "transitivity", "totality", "maximality", "absorption"} {
+		if !byName[ob] {
+			t.Errorf("BGPSystem failed %s", ob)
+		}
+	}
+	if byName["monotonicity"] {
+		t.Error("BGPSystem discharged monotonicity despite the LP factor")
+	}
+}
+
+func TestSafeBGPSystemIsMonotone(t *testing.T) {
+	// The restricted LP factor recovers monotonicity for the composition.
+	rep := Discharge(SafeBGPSystem())
+	byName := map[string]bool{}
+	for _, res := range rep.Results {
+		byName[res.Name] = res.Discharged
+	}
+	for _, ob := range []string{"maximality", "absorption", "monotonicity", "totality"} {
+		if !byName[ob] {
+			t.Errorf("SafeBGPSystem failed %s:\n%s", ob, rep)
+		}
+	}
+}
+
+func TestLexProductTheoremSoundOnLibrary(t *testing.T) {
+	// The composition theorems are sufficient conditions: whenever the
+	// theorem predicts a property of the product, the instance check must
+	// confirm it. Checked across all pairs of library algebras.
+	bases := BaseAlgebras()
+	bases = append(bases, LpA(3))
+	for _, a := range bases {
+		for _, b := range bases {
+			small := LexProduct(a, b)
+			pred := LexProductTheorem(PropsOf(a), PropsOf(b))
+			got := PropsOf(small)
+			if pred.M && !got.M {
+				t.Errorf("lex(%s,%s): theorem predicts M, instance check refutes", a.Name(), b.Name())
+			}
+			if pred.SM && !got.SM {
+				t.Errorf("lex(%s,%s): theorem predicts SM, instance check refutes", a.Name(), b.Name())
+			}
+			if pred.ISO && !got.ISO {
+				t.Errorf("lex(%s,%s): theorem predicts ISO, instance check refutes", a.Name(), b.Name())
+			}
+			if pred.SI && !got.SI {
+				t.Errorf("lex(%s,%s): theorem predicts SI, instance check refutes", a.Name(), b.Name())
+			}
+			if pred.NP && !got.NP {
+				t.Errorf("lex(%s,%s): theorem predicts NP, instance check refutes", a.Name(), b.Name())
+			}
+		}
+	}
+}
+
+func TestLexProductAxiomsDischarge(t *testing.T) {
+	// lexProduct of well-behaved algebras discharges the four axioms
+	// (§3.3.2: "the proofs ... are automatically discharged").
+	prod := LexProduct(AddA(4, 2), BandwidthA(4))
+	rep := Discharge(prod)
+	if !rep.AllDischarged() {
+		t.Errorf("lexProduct(addA,bandwidthA) failed %v:\n%s", rep.Failed(), rep)
+	}
+}
+
+func TestDirectProductFailsTotality(t *testing.T) {
+	// Pareto preference is partial: the checker reports the incomparable
+	// pair instead of silently accepting an ill-formed design.
+	rep := Discharge(DirectProduct(AddA(3, 2), BandwidthA(3)))
+	byName := map[string]*Counterexample{}
+	for _, res := range rep.Results {
+		if !res.Discharged {
+			byName[res.Name] = res.Counter
+		}
+	}
+	if byName["totality"] == nil {
+		t.Fatalf("directProduct discharged totality; failed=%v", rep.Failed())
+	}
+	if byName["totality"].Error() == "" {
+		t.Error("empty counterexample")
+	}
+}
+
+func TestRestrictPreservesObligations(t *testing.T) {
+	base := AddA(6, 3)
+	restrictedAlg := Restrict(base, value.Int(1), value.Int(2))
+	rep := Discharge(restrictedAlg)
+	if !rep.AllDischarged() {
+		t.Errorf("restriction broke obligations: %v", rep.Failed())
+	}
+	if len(restrictedAlg.Labels()) != 2 {
+		t.Errorf("labels = %d, want 2", len(restrictedAlg.Labels()))
+	}
+	if !strings.Contains(restrictedAlg.Name(), "restricted") {
+		t.Errorf("name = %s", restrictedAlg.Name())
+	}
+}
+
+func TestDischargeSampledAgreesOnLibrary(t *testing.T) {
+	// A3: the sampled mode is sound (no spurious counterexamples) and, at
+	// this sample size, finds lpA's monotonicity violation too.
+	for _, a := range BaseAlgebras() {
+		rep := DischargeSampled(a, 2000, 7)
+		if !rep.AllDischarged() {
+			t.Errorf("sampled discharge found spurious counterexample for %s: %v", a.Name(), rep.Failed())
+		}
+	}
+	rep := DischargeSampled(LpA(4), 2000, 7)
+	found := false
+	for _, res := range rep.Results {
+		if res.Name == "monotonicity" && !res.Discharged {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("sampled discharge missed lpA's monotonicity violation at n=2000")
+	}
+}
+
+func TestSolveShortestPaths(t *testing.T) {
+	// The generalized solver under addA computes shortest paths — checked
+	// against Dijkstra.
+	topo := netgraph.RandomConnected(7, 0.3, 3, 5)
+	alg := AddA(64, 3)
+	lt := LabelCosts(topo, value.Int)
+	truth := topo.ShortestCosts()
+	for _, dest := range topo.Nodes {
+		res := Solve(alg, lt, dest, 100)
+		if !res.Converged {
+			t.Fatalf("addA did not converge toward %s", dest)
+		}
+		for _, n := range topo.Nodes {
+			want, ok := truth[n][dest]
+			if n == dest {
+				want, ok = 0, true
+			}
+			got := res.Sigs[n]
+			if !ok {
+				if got.I != InfCost {
+					t.Errorf("%s->%s = %v, want φ", n, dest, got)
+				}
+				continue
+			}
+			if got.I != want {
+				t.Errorf("%s->%s = %v, want %d", n, dest, got, want)
+			}
+		}
+	}
+}
+
+func TestSolveWidestPath(t *testing.T) {
+	// bandwidthA solves the widest-path problem: on a line with labels
+	// 3,1,2 the end-to-end bandwidth is min = 1.
+	alg := BandwidthA(5)
+	lt := LabeledTopo{
+		Nodes: []string{"a", "b", "c", "d"},
+		Edges: []LEdge{
+			{Src: "a", Dst: "b", Label: value.Int(3)}, {Src: "b", Dst: "a", Label: value.Int(3)},
+			{Src: "b", Dst: "c", Label: value.Int(1)}, {Src: "c", Dst: "b", Label: value.Int(1)},
+			{Src: "c", Dst: "d", Label: value.Int(2)}, {Src: "d", Dst: "c", Label: value.Int(2)},
+		},
+	}
+	res := Solve(alg, lt, "d", 50)
+	if !res.Converged {
+		t.Fatal("bandwidthA did not converge")
+	}
+	if res.Sigs["a"].I != 1 {
+		t.Errorf("widest a->d = %v, want 1", res.Sigs["a"])
+	}
+	if res.Sigs["c"].I != 2 {
+		t.Errorf("widest c->d = %v, want 2", res.Sigs["c"])
+	}
+}
+
+func TestMonotoneConvergenceWithinNRounds(t *testing.T) {
+	// The metarouting convergence guarantee: monotone algebras reach a
+	// fixed point in at most |nodes|+1 rounds on every topology sampled.
+	f := func(seed uint8) bool {
+		topo := netgraph.RandomConnected(6, 0.3, 3, uint64(seed))
+		lt := LabelCosts(topo, value.Int)
+		res := Solve(AddA(64, 3), lt, topo.Nodes[0], len(topo.Nodes)+1)
+		return res.Converged
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNonMonotoneMayDiverge(t *testing.T) {
+	// A non-monotone algebra (BGPSystem with the raw LP factor) can
+	// oscillate under synchronous iteration: build a Disagree-like cycle
+	// where each node's label makes routes through the other more
+	// preferred.
+	alg := BGPSystem() // lexProduct[LpA(4), AddA(6,2)]
+	mk := func(lp, c int64) value.V { return value.List(value.Int(lp), value.Int(c)) }
+	lt := LabeledTopo{
+		Nodes: []string{"0", "1", "2"},
+		Edges: []LEdge{
+			// Direct links to the origin: mediocre preference (3).
+			{Src: "1", Dst: "0", Label: mk(3, 1)},
+			{Src: "2", Dst: "0", Label: mk(3, 1)},
+			// Via each other: top preference (1).
+			{Src: "1", Dst: "2", Label: mk(1, 1)},
+			{Src: "2", Dst: "1", Label: mk(1, 1)},
+		},
+	}
+	res := Solve(alg, lt, "0", 200)
+	if res.Converged {
+		// Convergence is possible under some orderings; what must NOT
+		// happen is a silent wrong answer: if converged, signatures must be
+		// a fixed point.
+		t.Logf("BGPSystem converged on Disagree labels in %d rounds: %v", res.Rounds, res.Sigs)
+	} else if res.Rounds != 200 {
+		t.Errorf("diverging run stopped early: %d", res.Rounds)
+	}
+}
+
+func TestPVSGeneration(t *testing.T) {
+	ra := RouteAlgebraTheory()
+	for _, want := range []string{"routeAlgebra: THEORY", "maximality: AXIOM", "isotonicity: AXIOM", "prohibitPath"} {
+		if !strings.Contains(ra, want) {
+			t.Errorf("routeAlgebra theory missing %q", want)
+		}
+	}
+	inst := InstanceTheory("LP", LpA(4))
+	for _, want := range []string{"LP: THEORY =", "routeAlgebra", "prohibitPath=4", "TCC"} {
+		if !strings.Contains(inst, want) {
+			t.Errorf("instance theory missing %q:\n%s", want, inst)
+		}
+	}
+	if !strings.Contains(inst, "FAILED") {
+		t.Error("lpA instance theory does not show the failing TCC")
+	}
+	comp := CompositionTheory("BGPSystem", "lexProduct", "LP", "RC")
+	if comp != "BGPSystem: THEORY = lexProduct[LP, RC]\n" {
+		t.Errorf("composition theory = %q", comp)
+	}
+}
+
+func TestLexProductStructure(t *testing.T) {
+	p := LexProduct(AddA(2, 1), BandwidthA(2))
+	// Carrier: (3 non-φ addA sigs × 2 non-φ bw sigs) + φ = 7.
+	if got := len(p.Sigs()); got != 7 {
+		t.Errorf("lex carrier size = %d, want 7", got)
+	}
+	// Componentwise application on a regular pair.
+	s := value.List(value.Int(1), value.Int(2))
+	got := p.Apply(value.List(value.Int(1), value.Int(1)), s)
+	want := value.List(value.Int(2), value.Int(1)) // addA 1+1, bandwidth min(1,2)
+	if !got.Equal(want) {
+		t.Errorf("Apply = %v, want %v", got, want)
+	}
+	// φ canonicalization: absorbing on either side yields the canonical φ.
+	phi := p.Prohibited()
+	if got := p.Apply(value.List(value.Int(1), value.Int(1)), phi); !got.Equal(phi) {
+		t.Errorf("Apply(l, φ) = %v, want φ", got)
+	}
+	if !strings.Contains(p.Name(), "lexProduct[") {
+		t.Errorf("name = %s", p.Name())
+	}
+}
+
+func TestSolutionString(t *testing.T) {
+	s := Solution{"b": value.Int(2), "a": value.Int(1)}
+	if got := s.String(); got != "a:1 b:2 " {
+		t.Errorf("Solution.String() = %q", got)
+	}
+}
+
+func TestObligationInstanceCounts(t *testing.T) {
+	rep := Discharge(AddA(3, 2))
+	// n = 5 sigs (0..3 + φ), l = 2: refl 5 + trans 125 + total 25 + max 5
+	// + abs 2 + mono 10 + iso 50 = 222.
+	if rep.Checks != 222 {
+		t.Errorf("checks = %d, want 222", rep.Checks)
+	}
+}

@@ -1,0 +1,288 @@
+// Package modelcheck is FVN's explicit-state model checker (arcs 6 and 8
+// of Figure 1). The paper positions model checking as the complementary,
+// incomplete-but-automatic verification technique (§4.3): it simulates
+// runs of a protocol, explores all reachable states of an instance, checks
+// invariants and reachability, detects non-terminating oscillations
+// (lassos), and produces counterexample traces that feed back into the
+// theorem-proving process.
+//
+// Systems are anything implementing the System interface; internal/linear
+// derives systems from NDlog programs with soft state, and internal/bgp
+// exposes the SPVP gadgets (Disagree, Bad Gadget) as systems.
+package modelcheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State is an immutable system state. Key must be injective on states;
+// Display is used in counterexample traces.
+type State interface {
+	Key() string
+	Display() string
+}
+
+// System is an explicit-state transition system.
+type System interface {
+	// Initial returns the initial states.
+	Initial() []State
+	// Next returns the successor states of s. A state with no successors
+	// is terminal (quiescent).
+	Next(s State) []State
+}
+
+// Stats reports exploration effort.
+type Stats struct {
+	StatesVisited int
+	Transitions   int
+	MaxDepth      int
+	Truncated     bool // state bound hit: the verdict is incomplete
+}
+
+// Options bounds the exploration.
+type Options struct {
+	// MaxStates caps exploration (0 = DefaultMaxStates). When the cap is
+	// reached the checker reports Truncated and the result is inconclusive
+	// in the unexplored region — the incompleteness the paper contrasts
+	// with theorem proving.
+	MaxStates int
+}
+
+// DefaultMaxStates bounds exploration when Options.MaxStates is zero.
+const DefaultMaxStates = 1 << 20
+
+func (o Options) maxStates() int {
+	if o.MaxStates > 0 {
+		return o.MaxStates
+	}
+	return DefaultMaxStates
+}
+
+// Result is the outcome of a check.
+type Result struct {
+	Holds   bool
+	Trace   []State // counterexample (violating run) when !Holds
+	Witness State   // witness state for reachability checks
+	Stats   Stats
+}
+
+// TraceString renders a counterexample trace.
+func (r Result) TraceString() string {
+	out := ""
+	for i, s := range r.Trace {
+		out += fmt.Sprintf("%3d: %s\n", i, s.Display())
+	}
+	return out
+}
+
+// CheckInvariant explores all reachable states (BFS) and verifies that inv
+// holds in each. On violation it returns a shortest trace from an initial
+// state to the violation.
+func CheckInvariant(sys System, inv func(State) bool, opts Options) Result {
+	type entry struct {
+		state     State
+		parent    string
+		hasParent bool
+	}
+	visited := map[string]entry{}
+	var queue []State
+	var stats Stats
+
+	push := func(s State, parent string, hasParent bool) bool {
+		k := s.Key()
+		if _, ok := visited[k]; ok {
+			return false
+		}
+		visited[k] = entry{state: s, parent: parent, hasParent: hasParent}
+		queue = append(queue, s)
+		stats.StatesVisited++
+		return true
+	}
+
+	trace := func(s State) []State {
+		var rev []State
+		k := s.Key()
+		for {
+			e := visited[k]
+			rev = append(rev, e.state)
+			if !e.hasParent {
+				break
+			}
+			k = e.parent
+		}
+		out := make([]State, len(rev))
+		for i := range rev {
+			out[i] = rev[len(rev)-1-i]
+		}
+		return out
+	}
+
+	for _, s := range sys.Initial() {
+		if push(s, "", false) && !inv(s) {
+			return Result{Holds: false, Trace: trace(s), Stats: stats}
+		}
+	}
+	depth := map[string]int{}
+	for _, s := range sys.Initial() {
+		depth[s.Key()] = 0
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if stats.StatesVisited >= opts.maxStates() {
+			stats.Truncated = true
+			break
+		}
+		for _, t := range sys.Next(s) {
+			stats.Transitions++
+			if push(t, s.Key(), true) {
+				d := depth[s.Key()] + 1
+				depth[t.Key()] = d
+				if d > stats.MaxDepth {
+					stats.MaxDepth = d
+				}
+				if !inv(t) {
+					return Result{Holds: false, Trace: trace(t), Stats: stats}
+				}
+			}
+		}
+	}
+	return Result{Holds: true, Stats: stats}
+}
+
+// CheckReachable searches (BFS) for a state satisfying goal, returning the
+// shortest witness trace (EF goal).
+func CheckReachable(sys System, goal func(State) bool, opts Options) Result {
+	res := CheckInvariant(sys, func(s State) bool { return !goal(s) }, opts)
+	if !res.Holds {
+		// The "violation" of ¬goal is our witness.
+		return Result{Holds: true, Trace: res.Trace, Witness: res.Trace[len(res.Trace)-1], Stats: res.Stats}
+	}
+	return Result{Holds: false, Stats: res.Stats}
+}
+
+// FindLasso searches for a reachable cycle among states where progress
+// never stops (a non-quiescent infinite run) — the shape of routing
+// oscillation and divergence. The accept predicate filters which states may
+// participate in the cycle (pass nil for "any"); a lasso through accepting
+// states is a counterexample to eventual convergence.
+func FindLasso(sys System, accept func(State) bool, opts Options) Result {
+	if accept == nil {
+		accept = func(State) bool { return true }
+	}
+	// Iterative DFS with an on-stack marker (standard cycle detection).
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	parent := map[string]State{}
+	store := map[string]State{}
+	var stats Stats
+
+	// frame is one DFS expansion record.
+	type frame struct {
+		state State
+		succs []State
+		idx   int
+	}
+
+	for _, init := range sys.Initial() {
+		if color[init.Key()] != white {
+			continue
+		}
+		frames := []frame{{state: init}}
+		color[init.Key()] = gray
+		store[init.Key()] = init
+		stats.StatesVisited++
+		for len(frames) > 0 {
+			if stats.StatesVisited >= opts.maxStates() {
+				stats.Truncated = true
+				return Result{Holds: false, Stats: stats}
+			}
+			f := &frames[len(frames)-1]
+			if f.succs == nil {
+				f.succs = sys.Next(f.state)
+			}
+			if f.idx >= len(f.succs) {
+				color[f.state.Key()] = black
+				frames = frames[:len(frames)-1]
+				continue
+			}
+			t := f.succs[f.idx]
+			f.idx++
+			stats.Transitions++
+			tk := t.Key()
+			switch color[tk] {
+			case white:
+				color[tk] = gray
+				store[tk] = t
+				parent[tk] = f.state
+				stats.StatesVisited++
+				if len(frames) > stats.MaxDepth {
+					stats.MaxDepth = len(frames)
+				}
+				frames = append(frames, frame{state: t})
+			case gray:
+				if !accept(t) {
+					continue
+				}
+				// Cycle found: reconstruct stem + cycle.
+				var cycle []State
+				cur := f.state
+				cycle = append(cycle, t)
+				for cur.Key() != tk {
+					cycle = append(cycle, cur)
+					p, ok := parent[cur.Key()]
+					if !ok {
+						break
+					}
+					cur = p
+				}
+				cycle = append(cycle, t)
+				// Reverse into forward order.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return Result{Holds: true, Trace: cycle, Witness: t, Stats: stats}
+			}
+		}
+	}
+	return Result{Holds: false, Stats: stats}
+}
+
+// Quiescent reports whether the system can reach a terminal state
+// (deadlock/convergence) and returns the shortest trace to one.
+func Quiescent(sys System, opts Options) Result {
+	return CheckReachable(sys, func(s State) bool {
+		return len(sys.Next(s)) == 0
+	}, opts)
+}
+
+// CountReachable returns the number of reachable states (up to the bound),
+// the paper's "huge system states" measure for the state-explosion
+// discussion.
+func CountReachable(sys System, opts Options) (int, Stats) {
+	res := CheckInvariant(sys, func(State) bool { return true }, opts)
+	return res.Stats.StatesVisited, res.Stats
+}
+
+// KV renders a sorted key=value list; helper for implementing Display on
+// map-backed states.
+func KV(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += k + "=" + m[k]
+	}
+	return out
+}

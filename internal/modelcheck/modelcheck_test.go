@@ -1,0 +1,192 @@
+package modelcheck
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// counter is a toy system: states 0..max-1; step +1; optionally wraps
+// (creating a cycle) or saturates (creating a terminal state).
+type counterState int
+
+func (c counterState) Key() string     { return fmt.Sprint(int(c)) }
+func (c counterState) Display() string { return "n=" + fmt.Sprint(int(c)) }
+
+type counter struct {
+	max  int
+	wrap bool
+}
+
+func (c counter) Initial() []State { return []State{counterState(0)} }
+
+func (c counter) Next(s State) []State {
+	n := int(s.(counterState))
+	if n+1 < c.max {
+		return []State{counterState(n + 1)}
+	}
+	if c.wrap {
+		return []State{counterState(0)}
+	}
+	return nil
+}
+
+// branching is a binary tree of states of the given depth, for BFS
+// shortest-trace checks.
+type bitsState string
+
+func (b bitsState) Key() string     { return string(b) }
+func (b bitsState) Display() string { return "path=" + string(b) }
+
+type branching struct{ depth int }
+
+func (b branching) Initial() []State { return []State{bitsState("")} }
+
+func (b branching) Next(s State) []State {
+	cur := string(s.(bitsState))
+	if len(cur) >= b.depth {
+		return nil
+	}
+	return []State{bitsState(cur + "0"), bitsState(cur + "1")}
+}
+
+func TestInvariantHolds(t *testing.T) {
+	res := CheckInvariant(counter{max: 100}, func(s State) bool {
+		return int(s.(counterState)) < 100
+	}, Options{})
+	if !res.Holds {
+		t.Fatal("invariant should hold")
+	}
+	if res.Stats.StatesVisited != 100 {
+		t.Errorf("visited %d states, want 100", res.Stats.StatesVisited)
+	}
+}
+
+func TestInvariantViolationTrace(t *testing.T) {
+	res := CheckInvariant(counter{max: 10}, func(s State) bool {
+		return int(s.(counterState)) < 5
+	}, Options{})
+	if res.Holds {
+		t.Fatal("invariant should fail")
+	}
+	// The shortest counterexample is 0,1,2,3,4,5.
+	if len(res.Trace) != 6 {
+		t.Fatalf("trace length = %d, want 6", len(res.Trace))
+	}
+	if res.Trace[5].Key() != "5" {
+		t.Errorf("trace ends at %s, want 5", res.Trace[5].Key())
+	}
+	if !strings.Contains(res.TraceString(), "n=5") {
+		t.Errorf("trace rendering:\n%s", res.TraceString())
+	}
+}
+
+func TestReachableWitness(t *testing.T) {
+	res := CheckReachable(counter{max: 50}, func(s State) bool {
+		return int(s.(counterState)) == 33
+	}, Options{})
+	if !res.Holds {
+		t.Fatal("33 should be reachable")
+	}
+	if res.Witness.Key() != "33" {
+		t.Errorf("witness = %s", res.Witness.Key())
+	}
+	res = CheckReachable(counter{max: 10}, func(s State) bool {
+		return int(s.(counterState)) == 99
+	}, Options{})
+	if res.Holds {
+		t.Error("99 should be unreachable")
+	}
+}
+
+func TestShortestTraceBFS(t *testing.T) {
+	// BFS must find the depth-3 goal with a length-4 trace even though
+	// deeper paths exist.
+	res := CheckReachable(branching{depth: 8}, func(s State) bool {
+		return s.Key() == "101"
+	}, Options{})
+	if !res.Holds {
+		t.Fatal("state 101 unreachable")
+	}
+	if len(res.Trace) != 4 {
+		t.Errorf("trace length = %d, want 4 (shortest)", len(res.Trace))
+	}
+}
+
+func TestLassoOnWrapCounter(t *testing.T) {
+	res := FindLasso(counter{max: 5, wrap: true}, nil, Options{})
+	if !res.Holds {
+		t.Fatal("wrapping counter has a cycle")
+	}
+	if len(res.Trace) < 2 {
+		t.Errorf("trace too short: %d", len(res.Trace))
+	}
+	// First and last trace states must coincide (it is a cycle).
+	if res.Trace[0].Key() != res.Trace[len(res.Trace)-1].Key() {
+		t.Errorf("lasso trace does not close: %s ... %s", res.Trace[0].Key(), res.Trace[len(res.Trace)-1].Key())
+	}
+
+	if res := FindLasso(counter{max: 5}, nil, Options{}); res.Holds {
+		t.Error("saturating counter has no cycle")
+	}
+}
+
+func TestLassoAcceptFilter(t *testing.T) {
+	// Only cycles through accepted states count.
+	res := FindLasso(counter{max: 5, wrap: true}, func(s State) bool {
+		return false
+	}, Options{})
+	if res.Holds {
+		t.Error("lasso found despite rejecting filter")
+	}
+}
+
+func TestQuiescent(t *testing.T) {
+	res := Quiescent(counter{max: 5}, Options{})
+	if !res.Holds {
+		t.Fatal("saturating counter must quiesce")
+	}
+	if res.Witness.Key() != "4" {
+		t.Errorf("quiescent witness = %s, want 4", res.Witness.Key())
+	}
+	if res := Quiescent(counter{max: 5, wrap: true}, Options{}); res.Holds {
+		t.Error("wrapping counter must not quiesce")
+	}
+}
+
+func TestStateBoundTruncation(t *testing.T) {
+	res := CheckInvariant(counter{max: 1000}, func(State) bool { return true }, Options{MaxStates: 10})
+	if !res.Stats.Truncated {
+		t.Error("truncation not reported")
+	}
+	if res.Stats.StatesVisited > 11 {
+		t.Errorf("visited %d states beyond bound", res.Stats.StatesVisited)
+	}
+}
+
+func TestCountReachable(t *testing.T) {
+	n, _ := CountReachable(branching{depth: 4}, Options{})
+	// 1 + 2 + 4 + 8 + 16 = 31 states.
+	if n != 31 {
+		t.Errorf("reachable = %d, want 31", n)
+	}
+}
+
+func TestCountReachableQuick(t *testing.T) {
+	f := func(d uint8) bool {
+		depth := int(d%5) + 1
+		n, _ := CountReachable(branching{depth: depth}, Options{})
+		return n == (1<<(depth+1))-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKV(t *testing.T) {
+	got := KV(map[string]string{"b": "2", "a": "1"})
+	if got != "a=1 b=2" {
+		t.Errorf("KV = %q", got)
+	}
+}

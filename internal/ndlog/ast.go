@@ -1,0 +1,283 @@
+// Package ndlog implements the Network Datalog (NDlog) language of
+// declarative networking (§2.2 of the paper): lexer, parser, abstract
+// syntax, and static analysis (safety, location well-formedness,
+// aggregates, stratification). NDlog is the intermediary layer of FVN —
+// programs written here are translated to logical specifications for
+// verification (arc 4) and compiled to distributed execution plans (arc 7).
+package ndlog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Program is a parsed NDlog program: materialization declarations, rules,
+// and ground facts.
+type Program struct {
+	Name         string
+	Materialized []Materialize
+	Rules        []*Rule
+	Facts        []Fact
+}
+
+// Materialize declares storage for a predicate, as in
+//
+//	materialize(link, infinity, infinity, keys(1,2)).
+//	materialize(neighbor, 10, infinity, keys(1)).
+//
+// Lifetime is in seconds (soft state) or infinite (hard state); MaxSize
+// bounds the table (0 = unbounded); Keys lists 1-based primary-key columns.
+type Materialize struct {
+	Pred     string
+	Lifetime Lifetime
+	MaxSize  int
+	Keys     []int
+}
+
+// Lifetime is a tuple lifetime: either infinite (hard state) or a number
+// of seconds (soft state, §4.2 of the paper).
+type Lifetime struct {
+	Infinite bool
+	Seconds  float64
+}
+
+func (l Lifetime) String() string {
+	if l.Infinite {
+		return "infinity"
+	}
+	return fmt.Sprintf("%g", l.Seconds)
+}
+
+// Rule is an NDlog rule: Label Head :- Body.
+type Rule struct {
+	Label string
+	Head  Atom
+	Body  []Literal
+	// Delete marks a delete rule (head tuples are retracted instead of
+	// derived).
+	Delete bool
+}
+
+// Fact is a ground fact, e.g. link(@a,b,1).
+type Fact struct {
+	Pred string
+	Args value.Tuple
+	Loc  int // index of the location argument, -1 if none
+}
+
+// Atom is a predicate occurrence with argument expressions. Loc is the
+// index of the argument carrying the location specifier "@", or -1.
+type Atom struct {
+	Pred string
+	Args []Expr
+	Loc  int
+}
+
+// Literal is one element of a rule body: a (possibly negated) predicate
+// atom, or a condition/assignment expression. Exactly one of Atom and Expr
+// is non-nil. The parser produces conditions for all "=" expressions;
+// static analysis rewrites those whose left side is an unbound variable
+// into assignments (Assign=true).
+type Literal struct {
+	Atom   *Atom
+	Neg    bool
+	Expr   Expr
+	Assign bool // Expr is VarE "=" rhs, binding the variable
+}
+
+// Expr is an NDlog expression.
+type Expr interface {
+	isExpr()
+	String() string
+}
+
+// VarE is a variable reference; Loc records a "@" location marker.
+type VarE struct {
+	Name string
+	Loc  bool
+}
+
+// LitE is a literal constant.
+type LitE struct {
+	Val value.V
+}
+
+// CallE is a builtin function call, e.g. f_init(S,D).
+type CallE struct {
+	Fn   string
+	Args []Expr
+}
+
+// BinE is a binary operation: arithmetic, comparison, or boolean.
+type BinE struct {
+	Op   string
+	L, R Expr
+}
+
+// AggE is an aggregate head argument, e.g. min<C>. Kind is one of
+// "min", "max", "count", "sum".
+type AggE struct {
+	Kind string
+	Arg  string // aggregated variable; empty for count<*>
+}
+
+func (VarE) isExpr()  {}
+func (LitE) isExpr()  {}
+func (CallE) isExpr() {}
+func (BinE) isExpr()  {}
+func (AggE) isExpr()  {}
+
+func (e VarE) String() string {
+	if e.Loc {
+		return "@" + e.Name
+	}
+	return e.Name
+}
+
+func (e LitE) String() string { return e.Val.String() }
+
+func (e CallE) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Fn + "(" + strings.Join(parts, ",") + ")"
+}
+
+func (e BinE) String() string { return e.L.String() + e.Op + e.R.String() }
+
+func (e AggE) String() string {
+	if e.Arg == "" {
+		return e.Kind + "<*>"
+	}
+	return e.Kind + "<" + e.Arg + ">"
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, e := range a.Args {
+		parts[i] = e.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+func (l Literal) String() string {
+	switch {
+	case l.Atom != nil && l.Neg:
+		return "!" + l.Atom.String()
+	case l.Atom != nil:
+		return l.Atom.String()
+	default:
+		return l.Expr.String()
+	}
+}
+
+func (r *Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, l := range r.Body {
+		parts[i] = l.String()
+	}
+	kw := ""
+	if r.Delete {
+		kw = "delete "
+	}
+	return fmt.Sprintf("%s %s%s :- %s.", r.Label, kw, r.Head.String(), strings.Join(parts, ", "))
+}
+
+func (f Fact) String() string {
+	parts := make([]string, len(f.Args))
+	for i, v := range f.Args {
+		if i == f.Loc {
+			parts[i] = "@" + v.S
+		} else {
+			parts[i] = v.String()
+		}
+	}
+	return f.Pred + "(" + strings.Join(parts, ",") + ")."
+}
+
+// String renders the program in concrete NDlog syntax.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, m := range p.Materialized {
+		keys := make([]string, len(m.Keys))
+		for i, k := range m.Keys {
+			keys[i] = fmt.Sprintf("%d", k)
+		}
+		size := "infinity"
+		if m.MaxSize > 0 {
+			size = fmt.Sprintf("%d", m.MaxSize)
+		}
+		fmt.Fprintf(&b, "materialize(%s, %s, %s, keys(%s)).\n", m.Pred, m.Lifetime, size, strings.Join(keys, ","))
+	}
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	for _, f := range p.Facts {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// HeadAgg returns the aggregate argument of the atom and its index, or
+// nil, -1 if the atom has none.
+func (a Atom) HeadAgg() (*AggE, int) {
+	for i, e := range a.Args {
+		if agg, ok := e.(AggE); ok {
+			return &agg, i
+		}
+	}
+	return nil, -1
+}
+
+// Vars adds all variable names occurring in the expression to set.
+func Vars(e Expr, set map[string]bool) {
+	switch x := e.(type) {
+	case VarE:
+		set[x.Name] = true
+	case CallE:
+		for _, a := range x.Args {
+			Vars(a, set)
+		}
+	case BinE:
+		Vars(x.L, set)
+		Vars(x.R, set)
+	case AggE:
+		if x.Arg != "" {
+			set[x.Arg] = true
+		}
+	}
+}
+
+// AtomVars returns the variable names of all arguments of an atom.
+func AtomVars(a *Atom) map[string]bool {
+	set := map[string]bool{}
+	for _, e := range a.Args {
+		Vars(e, set)
+	}
+	return set
+}
+
+// MaterializedPred returns the materialize declaration for pred, if any.
+func (p *Program) MaterializedPred(pred string) (Materialize, bool) {
+	for _, m := range p.Materialized {
+		if m.Pred == pred {
+			return m, true
+		}
+	}
+	return Materialize{}, false
+}
+
+// RuleByLabel returns the rule with the given label.
+func (p *Program) RuleByLabel(label string) (*Rule, bool) {
+	for _, r := range p.Rules {
+		if r.Label == label {
+			return r, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,286 @@
+package ndlog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind int
+
+const (
+	tokEOF        tokKind = iota
+	tokIdent              // lowercase identifier: predicate, function, constant
+	tokVar                // Uppercase identifier: variable
+	tokInt                // integer literal
+	tokStr                // "string"
+	tokAt                 // @
+	tokLParen             // (
+	tokRParen             // )
+	tokComma              // ,
+	tokPeriod             // .
+	tokDefine             // :-
+	tokOp                 // + - * / % == != < <= > >= = && || :=
+	tokBang               // !
+	tokLAngleAgg          // < inside agg — handled by parser via tokOp
+	tokUnderscore         // _
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer produces tokens from NDlog source. Comments run from "//" or "%"
+// to end of line, and "/* */" blocks are supported.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("ndlog: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '%':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 <= len(l.src) {
+				if l.pos+1 < len(l.src) && l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				if l.pos < len(l.src) {
+					l.advance()
+				} else {
+					break
+				}
+			}
+			if !closed {
+				return l.errorf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	startLine, startCol := l.line, l.col
+	mk := func(kind tokKind, text string) token {
+		return token{kind: kind, text: text, line: startLine, col: startCol}
+	}
+	c := l.peekByte()
+	switch {
+	case c == '@':
+		l.advance()
+		return mk(tokAt, "@"), nil
+	case c == '(':
+		l.advance()
+		return mk(tokLParen, "("), nil
+	case c == ')':
+		l.advance()
+		return mk(tokRParen, ")"), nil
+	case c == ',':
+		l.advance()
+		return mk(tokComma, ","), nil
+	case c == '.':
+		l.advance()
+		return mk(tokPeriod, "."), nil
+	case c == '_':
+		l.advance()
+		return mk(tokUnderscore, "_"), nil
+	case c == '!':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokOp, "!="), nil
+		}
+		return mk(tokBang, "!"), nil
+	case c == ':':
+		l.advance()
+		switch l.peekByte() {
+		case '-':
+			l.advance()
+			return mk(tokDefine, ":-"), nil
+		case '=':
+			l.advance()
+			return mk(tokOp, ":="), nil
+		}
+		return token{}, l.errorf("unexpected ':'")
+	case c == '=':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokOp, "=="), nil
+		}
+		return mk(tokOp, "="), nil
+	case c == '<':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokOp, "<="), nil
+		}
+		return mk(tokOp, "<"), nil
+	case c == '>':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokOp, ">="), nil
+		}
+		return mk(tokOp, ">"), nil
+	case c == '&':
+		l.advance()
+		if l.peekByte() == '&' {
+			l.advance()
+			return mk(tokOp, "&&"), nil
+		}
+		return token{}, l.errorf("unexpected '&'")
+	case c == '|':
+		l.advance()
+		if l.peekByte() == '|' {
+			l.advance()
+			return mk(tokOp, "||"), nil
+		}
+		return token{}, l.errorf("unexpected '|'")
+	case c == '+' || c == '*' || c == '/' || c == '%':
+		l.advance()
+		return mk(tokOp, string(c)), nil
+	case c == '-':
+		l.advance()
+		if isDigit(l.peekByte()) {
+			start := l.pos
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+			return mk(tokInt, "-"+l.src[start:l.pos]), nil
+		}
+		return mk(tokOp, "-"), nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf("unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' && l.pos < len(l.src) {
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"':
+					sb.WriteByte('"')
+				case '\\':
+					sb.WriteByte('\\')
+				default:
+					return token{}, l.errorf("unknown escape \\%c", esc)
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return mk(tokStr, sb.String()), nil
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+		return mk(tokInt, l.src[start:l.pos]), nil
+	case isLetter(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isLetter(l.peekByte()) || isDigit(l.peekByte()) || l.peekByte() == '_') {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if unicode.IsUpper(rune(text[0])) {
+			return mk(tokVar, text), nil
+		}
+		return mk(tokIdent, text), nil
+	}
+	return token{}, l.errorf("unexpected character %q", c)
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+
+// lexAll tokenizes the whole input (used by the parser).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

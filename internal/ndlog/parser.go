@@ -1,0 +1,559 @@
+package ndlog
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/value"
+)
+
+// Parse parses NDlog source text into a Program. The concrete syntax is
+// that of the paper (§2.2):
+//
+//	materialize(link, infinity, infinity, keys(1,2)).
+//	r1 path(@S,D,P,C) :- link(@S,D,C), P=f_init(S,D).
+//	r3 bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+//	link(@a,b,1).
+//
+// Comments use %, //, or /* */. Negated body atoms are written !p(...) or
+// "not p(...)".
+func Parse(name, src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, anon: 0}
+	prog := &Program{Name: name}
+	for !p.at(tokEOF) {
+		if err := p.parseStatement(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for known-good sources (tests, built-in protocols);
+// it panics on error.
+func MustParse(name, src string) *Program {
+	prog, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// ParseExpr parses a single NDlog expression, e.g. "P=f_concatPath(U,P2)"
+// or "C1+C2<10". Used by the component meta-model to state constraints.
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errorf("trailing input after expression")
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	anon int // counter for anonymous variables
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) at(kind tokKind) bool { return p.cur().kind == kind }
+
+func (p *parser) atOp(text string) bool {
+	return p.cur().kind == tokOp && p.cur().text == text
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("ndlog: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	if !p.at(kind) {
+		return token{}, p.errorf("expected %s, found %s", what, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseStatement(prog *Program) error {
+	if p.at(tokIdent) && p.cur().text == "materialize" && p.peek().kind == tokLParen {
+		return p.parseMaterialize(prog)
+	}
+	// A leading identifier immediately followed by another identifier or
+	// keyword is a rule label; a bare atom followed by ":-" is an unlabeled
+	// rule; a bare atom followed by "." is a fact.
+	label := ""
+	deleteRule := false
+	if p.at(tokIdent) && (p.peek().kind == tokIdent || p.peek().kind == tokVar) {
+		label = p.advance().text
+	}
+	if p.at(tokIdent) && p.cur().text == "delete" && p.peek().kind == tokIdent {
+		deleteRule = true
+		p.advance()
+	} else if label == "delete" && p.at(tokIdent) && p.peek().kind == tokLParen {
+		// "delete head(...) :- ..." without a label.
+		deleteRule = true
+		label = ""
+	}
+	atom, err := p.parseAtom()
+	if err != nil {
+		return err
+	}
+	if p.at(tokDefine) {
+		p.advance()
+		rule := &Rule{Label: label, Head: *atom, Delete: deleteRule}
+		if rule.Label == "" {
+			rule.Label = fmt.Sprintf("r%d", len(prog.Rules)+1)
+		}
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return err
+			}
+			rule.Body = append(rule.Body, *lit)
+			if p.at(tokComma) {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokPeriod, `"."`); err != nil {
+			return err
+		}
+		prog.Rules = append(prog.Rules, rule)
+		return nil
+	}
+	// A fact.
+	if label != "" || deleteRule {
+		return p.errorf("expected \":-\" after rule head")
+	}
+	if _, err := p.expect(tokPeriod, `"."`); err != nil {
+		return err
+	}
+	fact := Fact{Pred: atom.Pred, Loc: atom.Loc}
+	for i, arg := range atom.Args {
+		lit, ok := arg.(LitE)
+		if !ok {
+			return fmt.Errorf("ndlog: fact %s: argument %d (%s) is not a constant", atom.Pred, i+1, arg)
+		}
+		fact.Args = append(fact.Args, lit.Val)
+	}
+	prog.Facts = append(prog.Facts, fact)
+	return nil
+}
+
+func (p *parser) parseMaterialize(prog *Program) error {
+	p.advance() // materialize
+	if _, err := p.expect(tokLParen, `"("`); err != nil {
+		return err
+	}
+	pred, err := p.expect(tokIdent, "predicate name")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokComma, `","`); err != nil {
+		return err
+	}
+	lifetime, err := p.parseLifetime()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokComma, `","`); err != nil {
+		return err
+	}
+	maxSize := 0
+	if p.at(tokIdent) && p.cur().text == "infinity" {
+		p.advance()
+	} else {
+		t, err := p.expect(tokInt, "table size or infinity")
+		if err != nil {
+			return err
+		}
+		maxSize, _ = strconv.Atoi(t.text)
+	}
+	if _, err := p.expect(tokComma, `","`); err != nil {
+		return err
+	}
+	kw, err := p.expect(tokIdent, `"keys"`)
+	if err != nil {
+		return err
+	}
+	if kw.text != "keys" {
+		return p.errorf(`expected "keys", found %q`, kw.text)
+	}
+	if _, err := p.expect(tokLParen, `"("`); err != nil {
+		return err
+	}
+	var keys []int
+	for {
+		t, err := p.expect(tokInt, "key column")
+		if err != nil {
+			return err
+		}
+		k, _ := strconv.Atoi(t.text)
+		if k < 1 {
+			return p.errorf("key columns are 1-based, found %d", k)
+		}
+		keys = append(keys, k)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, `")"`); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRParen, `")"`); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokPeriod, `"."`); err != nil {
+		return err
+	}
+	prog.Materialized = append(prog.Materialized, Materialize{
+		Pred:     pred.text,
+		Lifetime: lifetime,
+		MaxSize:  maxSize,
+		Keys:     keys,
+	})
+	return nil
+}
+
+func (p *parser) parseLifetime() (Lifetime, error) {
+	if p.at(tokIdent) && p.cur().text == "infinity" {
+		p.advance()
+		return Lifetime{Infinite: true}, nil
+	}
+	t, err := p.expect(tokInt, "lifetime seconds or infinity")
+	if err != nil {
+		return Lifetime{}, err
+	}
+	secs, _ := strconv.ParseFloat(t.text, 64)
+	if secs <= 0 {
+		return Lifetime{}, p.errorf("lifetime must be positive, found %s", t.text)
+	}
+	return Lifetime{Seconds: secs}, nil
+}
+
+// parseLiteral parses a body literal: a (possibly negated) atom or an
+// expression (condition/assignment).
+func (p *parser) parseLiteral() (*Literal, error) {
+	if p.at(tokBang) {
+		p.advance()
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &Literal{Atom: atom, Neg: true}, nil
+	}
+	if p.at(tokIdent) && p.cur().text == "not" && p.peek().kind == tokIdent {
+		p.advance()
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &Literal{Atom: atom, Neg: true}, nil
+	}
+	// An atom is an identifier directly followed by "(" — but so is a
+	// function call expression like f_inPath(P,S)=false. Distinguish by
+	// looking past the balanced argument list for an operator.
+	if p.at(tokIdent) && p.peek().kind == tokLParen && !p.followedByOp() {
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &Literal{Atom: atom}, nil
+	}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Literal{Expr: expr}, nil
+}
+
+// followedByOp reports whether the balanced parenthesized group starting
+// at peek() is followed by a binary operator (making it an expression, not
+// an atom).
+func (p *parser) followedByOp() bool {
+	i := p.pos + 1 // at "("
+	depth := 0
+	for i < len(p.toks) {
+		switch p.toks[i].kind {
+		case tokLParen:
+			depth++
+		case tokRParen:
+			depth--
+			if depth == 0 {
+				return i+1 < len(p.toks) && p.toks[i+1].kind == tokOp
+			}
+		case tokEOF:
+			return false
+		}
+		i++
+	}
+	return false
+}
+
+func (p *parser) parseAtom() (*Atom, error) {
+	name, err := p.expect(tokIdent, "predicate name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, `"("`); err != nil {
+		return nil, err
+	}
+	atom := &Atom{Pred: name.text, Loc: -1}
+	for {
+		loc := false
+		if p.at(tokAt) {
+			p.advance()
+			loc = true
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if loc {
+			switch v := arg.(type) {
+			case VarE:
+				arg = VarE{Name: v.Name, Loc: true}
+			case LitE:
+				// @a in a fact: an address constant.
+				if v.Val.K == value.KindAddr || v.Val.K == value.KindStr {
+					arg = LitE{Val: value.Addr(v.Val.S)}
+				} else {
+					return nil, p.errorf("location specifier on non-address constant %s", v.Val)
+				}
+			default:
+				return nil, p.errorf("location specifier must mark a variable or address")
+			}
+			if atom.Loc >= 0 {
+				return nil, p.errorf("atom %s has multiple location specifiers", atom.Pred)
+			}
+			atom.Loc = len(atom.Args)
+		}
+		atom.Args = append(atom.Args, arg)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, `")"`); err != nil {
+		return nil, err
+	}
+	return atom, nil
+}
+
+// Expression parsing, precedence climbing: || < && < comparison <
+// additive < multiplicative < primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("||") {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = BinE{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("&&") {
+		p.advance()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = BinE{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp) {
+		op := p.cur().text
+		switch op {
+		case "==", "!=", "<", "<=", ">", ">=", "=", ":=":
+			p.advance()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			if op == ":=" {
+				op = "=" // := is an explicit assignment spelling
+			}
+			l = BinE{Op: op, L: l, R: r}
+			continue
+		}
+		break
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("+") || p.atOp("-") {
+		op := p.advance().text
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = BinE{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("*") || p.atOp("/") || p.atOp("%") {
+		op := p.advance().text
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = BinE{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func isAggKind(s string) bool {
+	switch s {
+	case "min", "max", "count", "sum":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q", t.text)
+		}
+		return LitE{Val: value.Int(i)}, nil
+	case tokStr:
+		p.advance()
+		return LitE{Val: value.Str(t.text)}, nil
+	case tokVar:
+		p.advance()
+		return VarE{Name: t.text}, nil
+	case tokUnderscore:
+		p.advance()
+		p.anon++
+		return VarE{Name: fmt.Sprintf("Anon_%d", p.anon)}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, `")"`); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		// Aggregate: min<C>, count<*>.
+		if isAggKind(t.text) && p.peek().kind == tokOp && p.peek().text == "<" {
+			p.advance() // kind
+			p.advance() // <
+			agg := AggE{Kind: t.text}
+			switch {
+			case p.at(tokVar):
+				agg.Arg = p.advance().text
+			case p.atOp("*"):
+				p.advance()
+			default:
+				return nil, p.errorf("expected variable or * in aggregate")
+			}
+			if !p.atOp(">") {
+				return nil, p.errorf(`expected ">" closing aggregate`)
+			}
+			p.advance()
+			return agg, nil
+		}
+		// Function call.
+		if p.peek().kind == tokLParen {
+			p.advance()
+			p.advance()
+			call := CallE{Fn: t.text}
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.at(tokComma) {
+					p.advance()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(tokRParen, `")"`); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		p.advance()
+		switch t.text {
+		case "true":
+			return LitE{Val: value.Bool(true)}, nil
+		case "false":
+			return LitE{Val: value.Bool(false)}, nil
+		default:
+			// A bare lowercase identifier denotes a node-address constant.
+			return LitE{Val: value.Addr(t.text)}, nil
+		}
+	}
+	return nil, p.errorf("unexpected token %s in expression", t)
+}

@@ -1,0 +1,288 @@
+// Package netgraph generates network topologies and link workloads for the
+// FVN experiments: lines, rings, stars, grids, trees, cliques, and seeded
+// random graphs. Topologies feed the Datalog engine (as link facts), the
+// distributed runtime (as nodes and channels), and the BGP gadgets.
+package netgraph
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Link is a directed edge with a routing cost and a propagation latency
+// (in simulated time units) used by the distributed runtime.
+type Link struct {
+	Src, Dst string
+	Cost     int64
+	Latency  float64
+}
+
+// Topology is a set of named nodes and directed links.
+type Topology struct {
+	Name  string
+	Nodes []string
+	Links []Link
+}
+
+// node returns the canonical name of node i.
+func node(i int) string { return fmt.Sprintf("n%d", i) }
+
+// addBoth appends the symmetric pair of links.
+func (t *Topology) addBoth(a, b string, cost int64) {
+	t.Links = append(t.Links,
+		Link{Src: a, Dst: b, Cost: cost, Latency: 1},
+		Link{Src: b, Dst: a, Cost: cost, Latency: 1},
+	)
+}
+
+// Line builds a path topology n0-n1-...-n{n-1} with unit costs.
+func Line(n int) *Topology {
+	t := &Topology{Name: fmt.Sprintf("line%d", n)}
+	for i := 0; i < n; i++ {
+		t.Nodes = append(t.Nodes, node(i))
+	}
+	for i := 0; i+1 < n; i++ {
+		t.addBoth(node(i), node(i+1), 1)
+	}
+	return t
+}
+
+// Ring builds a cycle topology with unit costs.
+func Ring(n int) *Topology {
+	t := Line(n)
+	t.Name = fmt.Sprintf("ring%d", n)
+	if n > 2 {
+		t.addBoth(node(n-1), node(0), 1)
+	}
+	return t
+}
+
+// Star builds a hub-and-spoke topology with n0 as the hub.
+func Star(n int) *Topology {
+	t := &Topology{Name: fmt.Sprintf("star%d", n)}
+	for i := 0; i < n; i++ {
+		t.Nodes = append(t.Nodes, node(i))
+	}
+	for i := 1; i < n; i++ {
+		t.addBoth(node(0), node(i), 1)
+	}
+	return t
+}
+
+// Clique builds a complete graph with unit costs.
+func Clique(n int) *Topology {
+	t := &Topology{Name: fmt.Sprintf("clique%d", n)}
+	for i := 0; i < n; i++ {
+		t.Nodes = append(t.Nodes, node(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			t.addBoth(node(i), node(j), 1)
+		}
+	}
+	return t
+}
+
+// Grid builds a rows×cols mesh with unit costs.
+func Grid(rows, cols int) *Topology {
+	t := &Topology{Name: fmt.Sprintf("grid%dx%d", rows, cols)}
+	id := func(r, c int) string { return fmt.Sprintf("n%d_%d", r, c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			t.Nodes = append(t.Nodes, id(r, c))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				t.addBoth(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				t.addBoth(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	return t
+}
+
+// Tree builds a complete binary tree with n nodes and unit costs.
+func Tree(n int) *Topology {
+	t := &Topology{Name: fmt.Sprintf("tree%d", n)}
+	for i := 0; i < n; i++ {
+		t.Nodes = append(t.Nodes, node(i))
+	}
+	for i := 1; i < n; i++ {
+		t.addBoth(node((i-1)/2), node(i), 1)
+	}
+	return t
+}
+
+// rng is a small deterministic linear congruential generator, so random
+// topologies are reproducible without math/rand seeding ceremony.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 33
+}
+
+// intn returns a pseudo-random int in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// RandomConnected builds a random connected graph: a random spanning tree
+// plus extra edges with probability p (per node pair), unit to maxCost
+// costs. Deterministic for a given seed.
+func RandomConnected(n int, p float64, maxCost int64, seed uint64) *Topology {
+	t := &Topology{Name: fmt.Sprintf("rand%d_%d", n, seed)}
+	r := &rng{s: seed ^ 0x9e3779b97f4a7c15}
+	for i := 0; i < n; i++ {
+		t.Nodes = append(t.Nodes, node(i))
+	}
+	cost := func() int64 {
+		if maxCost <= 1 {
+			return 1
+		}
+		return 1 + int64(r.intn(int(maxCost)))
+	}
+	seen := map[[2]int]bool{}
+	add := func(i, j int) {
+		if i > j {
+			i, j = j, i
+		}
+		if seen[[2]int{i, j}] {
+			return
+		}
+		seen[[2]int{i, j}] = true
+		t.addBoth(node(i), node(j), cost())
+	}
+	// Random spanning tree: connect each node to a random earlier node.
+	for i := 1; i < n; i++ {
+		add(i, r.intn(i))
+	}
+	// Extra edges.
+	threshold := uint64(p * float64(1<<32))
+	for i := 0; i < n; i++ {
+		for j := i + 2; j < n; j++ {
+			if r.next()&0xffffffff < threshold {
+				add(i, j)
+			}
+		}
+	}
+	return t
+}
+
+// LinkTuples renders the links as NDlog link(@src, dst, cost) tuples.
+func (t *Topology) LinkTuples() []value.Tuple {
+	out := make([]value.Tuple, 0, len(t.Links))
+	for _, l := range t.Links {
+		out = append(out, value.Tuple{value.Addr(l.Src), value.Addr(l.Dst), value.Int(l.Cost)})
+	}
+	return out
+}
+
+// Neighbors returns the out-neighbors of a node.
+func (t *Topology) Neighbors(n string) []string {
+	var out []string
+	for _, l := range t.Links {
+		if l.Src == n {
+			out = append(out, l.Dst)
+		}
+	}
+	return out
+}
+
+// HasLink reports whether the directed link src->dst exists.
+func (t *Topology) HasLink(src, dst string) bool {
+	for _, l := range t.Links {
+		if l.Src == src && l.Dst == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveLink deletes the directed links between a and b in both directions,
+// returning how many were removed (used for failure injection).
+func (t *Topology) RemoveLink(a, b string) int {
+	removed := 0
+	out := t.Links[:0]
+	for _, l := range t.Links {
+		if (l.Src == a && l.Dst == b) || (l.Src == b && l.Dst == a) {
+			removed++
+			continue
+		}
+		out = append(out, l)
+	}
+	t.Links = out
+	return removed
+}
+
+// Connected reports whether the topology is (strongly) connected.
+func (t *Topology) Connected() bool {
+	if len(t.Nodes) == 0 {
+		return true
+	}
+	adj := map[string][]string{}
+	for _, l := range t.Links {
+		adj[l.Src] = append(adj[l.Src], l.Dst)
+	}
+	for _, start := range t.Nodes {
+		seen := map[string]bool{start: true}
+		stack := []string{start}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		if len(seen) != len(t.Nodes) {
+			return false
+		}
+	}
+	return true
+}
+
+// ShortestCosts computes all-pairs shortest path costs by Dijkstra from
+// each node (the imperative ground truth the declarative engine is checked
+// against).
+func (t *Topology) ShortestCosts() map[string]map[string]int64 {
+	adj := map[string][]Link{}
+	for _, l := range t.Links {
+		adj[l.Src] = append(adj[l.Src], l)
+	}
+	out := map[string]map[string]int64{}
+	for _, src := range t.Nodes {
+		dist := map[string]int64{src: 0}
+		done := map[string]bool{}
+		for {
+			// Extract min (linear scan: n is small in experiments).
+			best, bestD := "", int64(-1)
+			for n, d := range dist {
+				if done[n] {
+					continue
+				}
+				if bestD < 0 || d < bestD {
+					best, bestD = n, d
+				}
+			}
+			if best == "" {
+				break
+			}
+			done[best] = true
+			for _, l := range adj[best] {
+				nd := bestD + l.Cost
+				if cur, ok := dist[l.Dst]; !ok || nd < cur {
+					dist[l.Dst] = nd
+				}
+			}
+		}
+		delete(dist, src)
+		out[src] = dist
+	}
+	return out
+}

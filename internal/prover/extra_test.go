@@ -1,0 +1,274 @@
+package prover
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestPostponeRotatesGoals(t *testing.T) {
+	th := logic.NewTheory("t")
+	a, b := logic.Pred{Name: "a"}, logic.Pred{Name: "b"}
+	p := NewGoal(th, "two", logic.Conj(a, b))
+	if err := p.Split(); err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := p.Current()
+	if err := p.Postpone(); err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := p.Current()
+	if logic.FormulaEqual(g1.Cons[0], g2.Cons[0]) {
+		t.Error("postpone did not rotate")
+	}
+	// Postpone with a single goal is a no-op.
+	p2 := NewGoal(th, "one", a)
+	if err := p2.Postpone(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkProvedEnablesLemma(t *testing.T) {
+	th := logic.NewTheory("t")
+	a := logic.Pred{Name: "a"}
+	p := NewGoal(th, "uses-lemma", a)
+	if err := p.Lemma("helper"); err == nil {
+		t.Fatal("unknown lemma accepted")
+	}
+	p.MarkProved("helper", a)
+	if err := p.Lemma("helper"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flatten(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Error("lemma did not close the goal")
+	}
+}
+
+func TestSequentRemoveAndReplaceErrors(t *testing.T) {
+	s := Sequent{Ante: []logic.Formula{logic.True}, Cons: []logic.Formula{logic.False}}
+	if err := s.Replace(0, logic.True); err == nil {
+		t.Error("Replace(0) accepted")
+	}
+	if err := s.Remove(9); err == nil {
+		t.Error("Remove out of range accepted")
+	}
+	if err := s.Replace(-1, logic.False); err != nil {
+		t.Error(err)
+	}
+	if err := s.Remove(1); err != nil {
+		t.Error(err)
+	}
+	if len(s.Cons) != 0 {
+		t.Error("Remove failed")
+	}
+}
+
+func TestIffInAntecedentFlattens(t *testing.T) {
+	th := logic.NewTheory("t")
+	a, b := logic.Pred{Name: "a"}, logic.Pred{Name: "b"}
+	// (a ⇔ b) ∧ a ⊢ b.
+	p := NewGoal(th, "iff", logic.Implies{
+		L: logic.Conj(logic.Iff{L: a, R: b}, a),
+		R: b,
+	})
+	if err := p.RunScript(`(flatten) (assert)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		g, _ := p.Current()
+		t.Fatalf("iff proof failed:\n%s", g.String())
+	}
+}
+
+func TestIffInConsequentSplits(t *testing.T) {
+	th := logic.NewTheory("t")
+	a := logic.Pred{Name: "a"}
+	// ⊢ a ⇔ a.
+	p := NewGoal(th, "refl", logic.Iff{L: a, R: a})
+	if err := p.RunScript(`(split) (flatten) (flatten)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Error("a ⇔ a not proved")
+	}
+}
+
+func TestSplitNoBranchErrors(t *testing.T) {
+	th := logic.NewTheory("t")
+	p := NewGoal(th, "atom", logic.Pred{Name: "a"})
+	if err := p.Split(); err == nil {
+		t.Error("split on non-branching goal accepted")
+	}
+}
+
+func TestPartialInstantiation(t *testing.T) {
+	th := logic.NewTheory("t")
+	// ∀x,y p(x,y) ⊢ p(1, anything): instantiate only x.
+	p := NewGoal(th, "partial", logic.Implies{
+		L: logic.Forall{
+			Vars: []logic.Var{logic.V("X"), logic.V("Y")},
+			Body: logic.Pred{Name: "p", Args: []logic.Term{logic.V("X"), logic.V("Y")}},
+		},
+		R: logic.Pred{Name: "p", Args: []logic.Term{logic.IntT(1), logic.IntT(2)}},
+	})
+	if err := p.Flatten(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inst(-1, logic.IntT(1)); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := p.Current()
+	fa, ok := g.Ante[0].(logic.Forall)
+	if !ok || len(fa.Vars) != 1 || fa.Vars[0].Name != "Y" {
+		t.Fatalf("partial instantiation wrong: %v", g.Ante[0])
+	}
+	if err := p.Inst(-1, logic.IntT(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flatten(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Error("not closed after full instantiation")
+	}
+}
+
+func TestInstTooManyTerms(t *testing.T) {
+	th := logic.NewTheory("t")
+	p := NewGoal(th, "x", logic.Implies{
+		L: logic.Forall{Vars: []logic.Var{logic.V("X")}, Body: logic.Pred{Name: "p", Args: []logic.Term{logic.V("X")}}},
+		R: logic.False,
+	})
+	_ = p.Flatten()
+	if err := p.Inst(-1, logic.IntT(1), logic.IntT(2)); err == nil {
+		t.Error("excess instantiation terms accepted")
+	}
+}
+
+func TestExpandSpecificOccurrenceCount(t *testing.T) {
+	// Expansion replaces all occurrences at once and counts primitives.
+	th := pathVectorTheory()
+	p, err := New(th, "bestPathIsPath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.PrimSteps
+	if err := p.Expand("bestPath"); err != nil {
+		t.Fatal(err)
+	}
+	if p.PrimSteps <= before {
+		t.Error("expand recorded no primitive steps")
+	}
+}
+
+func TestCaseBothBranchesRequired(t *testing.T) {
+	th := logic.NewTheory("t")
+	a := logic.Pred{Name: "a"}
+	b := logic.Pred{Name: "b"}
+	// ⊢ b with case a: neither branch closes (b unprovable).
+	p := NewGoal(th, "stuck", b)
+	if err := p.Case(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunScript(`(grind) (postpone) (grind)`); err != nil {
+		t.Fatal(err)
+	}
+	if p.QED() {
+		t.Error("proved an unprovable goal via case")
+	}
+	if p.Open() == 0 {
+		t.Error("open goals miscounted")
+	}
+}
+
+func TestTraceRecordsTactics(t *testing.T) {
+	th := pathVectorTheory()
+	res, err := ProveTheorem(th, "bestPathStrong", bestPathStrongScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Trace, " ")
+	for _, want := range []string{"(skosimp*)", `(expand "bestPath")`, "(assert)"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %s: %v", want, res.Trace)
+		}
+	}
+}
+
+func TestGrindBudgetsRespected(t *testing.T) {
+	// A goal with a deeply nested split structure should not blow up:
+	// grind must terminate within its budget even on unprovable goals.
+	th := logic.NewTheory("t")
+	deep := logic.Formula(logic.Pred{Name: "z"})
+	for i := 0; i < 12; i++ {
+		deep = logic.Or{Fs: []logic.Formula{
+			logic.And{Fs: []logic.Formula{deep, logic.Pred{Name: "a"}}},
+			logic.Pred{Name: "b"},
+		}}
+	}
+	p := NewGoal(th, "deep", logic.Implies{L: deep, R: logic.False})
+	if err := p.Grind(); err != nil {
+		t.Fatal(err)
+	}
+	if p.QED() {
+		t.Error("proved an unprovable deep goal")
+	}
+}
+
+func TestAssertOnlySimplifies(t *testing.T) {
+	th := logic.NewTheory("t")
+	// Ground arithmetic in an open goal gets simplified even when the goal
+	// cannot close.
+	p := NewGoal(th, "simp", logic.Implies{
+		L: logic.Eq{L: logic.Fn("+", logic.IntT(2), logic.IntT(2)), R: logic.IntT(4)},
+		R: logic.Pred{Name: "unprovable"},
+	})
+	if err := p.RunScript(`(flatten) (assert)`); err != nil {
+		t.Fatal(err)
+	}
+	if p.QED() {
+		t.Fatal("proved the unprovable")
+	}
+	g, _ := p.Current()
+	// The trivially-true antecedent equation should be gone.
+	if len(g.Ante) != 0 {
+		t.Errorf("ground equation not simplified away: %v", g.Ante)
+	}
+}
+
+func TestSkolemCounterSurvivesSessions(t *testing.T) {
+	// Within one session, repeated skolemizations of the same base name
+	// yield distinct constants.
+	th := logic.NewTheory("t")
+	p := NewGoal(th, "sk", logic.Implies{
+		L: logic.Conj(
+			logic.Exists{Vars: []logic.Var{logic.V("X")}, Body: logic.Pred{Name: "p", Args: []logic.Term{logic.V("X")}}},
+			logic.Exists{Vars: []logic.Var{logic.V("X")}, Body: logic.Pred{Name: "q", Args: []logic.Term{logic.V("X")}}},
+			logic.Exists{Vars: []logic.Var{logic.V("X")}, Body: logic.Pred{Name: "r", Args: []logic.Term{logic.V("X")}}},
+		),
+		R: logic.False,
+	})
+	if err := p.Skosimp(); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := p.Current()
+	seen := map[string]bool{}
+	for _, f := range g.Ante {
+		pr, ok := f.(logic.Pred)
+		if !ok {
+			continue
+		}
+		k := pr.Args[0].String()
+		if seen[k] {
+			t.Fatalf("skolem constant %s reused", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("expected 3 distinct skolems, saw %v", seen)
+	}
+}

@@ -1,0 +1,354 @@
+package prover
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+// --- propositional soundness/completeness fuzzing ---------------------------
+//
+// The kernel must never prove an invalid propositional formula (soundness),
+// and grind should prove every valid one in this small fragment
+// (completeness of flatten+split+axiom for propositional logic).
+
+type propRng struct{ s uint64 }
+
+func (r *propRng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 33
+}
+
+func (r *propRng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+var propAtoms = []logic.Formula{
+	logic.Pred{Name: "p"},
+	logic.Pred{Name: "q"},
+	logic.Pred{Name: "r"},
+}
+
+func randProp(r *propRng, depth int) logic.Formula {
+	if depth <= 0 || r.intn(3) == 0 {
+		return propAtoms[r.intn(len(propAtoms))]
+	}
+	switch r.intn(6) {
+	case 0:
+		return logic.Not{F: randProp(r, depth-1)}
+	case 1:
+		return logic.And{Fs: []logic.Formula{randProp(r, depth-1), randProp(r, depth-1)}}
+	case 2:
+		return logic.Or{Fs: []logic.Formula{randProp(r, depth-1), randProp(r, depth-1)}}
+	case 3:
+		return logic.Implies{L: randProp(r, depth-1), R: randProp(r, depth-1)}
+	case 4:
+		return logic.Iff{L: randProp(r, depth-1), R: randProp(r, depth-1)}
+	default:
+		return propAtoms[r.intn(len(propAtoms))]
+	}
+}
+
+// evalProp evaluates under an assignment of the three atoms.
+func evalProp(f logic.Formula, env [3]bool) bool {
+	switch x := f.(type) {
+	case logic.Pred:
+		switch x.Name {
+		case "p":
+			return env[0]
+		case "q":
+			return env[1]
+		default:
+			return env[2]
+		}
+	case logic.Not:
+		return !evalProp(x.F, env)
+	case logic.And:
+		for _, g := range x.Fs {
+			if !evalProp(g, env) {
+				return false
+			}
+		}
+		return true
+	case logic.Or:
+		for _, g := range x.Fs {
+			if evalProp(g, env) {
+				return true
+			}
+		}
+		return false
+	case logic.Implies:
+		return !evalProp(x.L, env) || evalProp(x.R, env)
+	case logic.Iff:
+		return evalProp(x.L, env) == evalProp(x.R, env)
+	case logic.TruthVal:
+		return x.B
+	}
+	return false
+}
+
+func propValid(f logic.Formula) bool {
+	for mask := 0; mask < 8; mask++ {
+		env := [3]bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		if !evalProp(f, env) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGrindPropositionalSoundAndComplete(t *testing.T) {
+	th := logic.NewTheory("prop")
+	rng := &propRng{s: 0xfeedface}
+	proved, valid := 0, 0
+	for i := 0; i < 400; i++ {
+		f := randProp(rng, 4)
+		isValid := propValid(f)
+		p := NewGoal(th, "fuzz", f)
+		if err := p.Grind(); err != nil {
+			t.Fatal(err)
+		}
+		if p.QED() && !isValid {
+			t.Fatalf("SOUNDNESS VIOLATION: proved invalid formula %s", f)
+		}
+		if isValid && !p.QED() {
+			t.Fatalf("propositional completeness gap: valid formula left open: %s", f)
+		}
+		if p.QED() {
+			proved++
+		}
+		if isValid {
+			valid++
+		}
+	}
+	if proved != valid {
+		t.Fatalf("proved %d, valid %d", proved, valid)
+	}
+	if valid == 0 || valid == 400 {
+		t.Fatalf("degenerate fuzz distribution: %d/400 valid", valid)
+	}
+}
+
+// --- Fourier–Motzkin soundness fuzzing ---------------------------------------
+//
+// Whenever the linear system reports infeasible, brute force over a small
+// integer box must confirm there is no solution.
+
+func TestFourierMotzkinSoundness(t *testing.T) {
+	rng := &propRng{s: 0xabad1dea}
+	vars := []logic.Term{logic.V("X"), logic.V("Y"), logic.V("Z")}
+	randTerm := func() logic.Term {
+		v := vars[rng.intn(len(vars))]
+		c := int64(rng.intn(9)) - 4
+		switch rng.intn(3) {
+		case 0:
+			return v
+		case 1:
+			return logic.Fn("+", v, logic.IntT(c))
+		default:
+			return logic.Fn("-", v, vars[rng.intn(len(vars))])
+		}
+	}
+	ops := []string{"<", "<=", ">", ">="}
+	infeasibleCount := 0
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.intn(4)
+		var cmps []logic.Cmp
+		lp := newLinearSystem()
+		for i := 0; i < n; i++ {
+			c := logic.Cmp{Op: ops[rng.intn(len(ops))], L: randTerm(), R: randTerm()}
+			cmps = append(cmps, c)
+			lp.addCmp(c, false)
+		}
+		if !lp.infeasible() {
+			continue
+		}
+		infeasibleCount++
+		// Brute force: any integer assignment in [-8, 8]^3 satisfying all?
+		for x := int64(-8); x <= 8; x++ {
+			for y := int64(-8); y <= 8; y++ {
+				for z := int64(-8); z <= 8; z++ {
+					s := logic.Subst{"X": logic.IntT(x), "Y": logic.IntT(y), "Z": logic.IntT(z)}
+					all := true
+					for _, c := range cmps {
+						lv, err1 := logic.EvalGround(s.ApplyTerm(c.L))
+						rv, err2 := logic.EvalGround(s.ApplyTerm(c.R))
+						if err1 != nil || err2 != nil {
+							t.Fatalf("eval error: %v %v", err1, err2)
+						}
+						ok := false
+						switch c.Op {
+						case "<":
+							ok = lv.I < rv.I
+						case "<=":
+							ok = lv.I <= rv.I
+						case ">":
+							ok = lv.I > rv.I
+						case ">=":
+							ok = lv.I >= rv.I
+						}
+						if !ok {
+							all = false
+							break
+						}
+					}
+					if all {
+						t.Fatalf("FM SOUNDNESS VIOLATION: reported infeasible but (%d,%d,%d) satisfies %v", x, y, z, cmps)
+					}
+				}
+			}
+		}
+	}
+	if infeasibleCount == 0 {
+		t.Fatal("fuzz never produced an infeasible system; weak test")
+	}
+}
+
+func TestFourierMotzkinKnownSystems(t *testing.T) {
+	mk := func(op string, l, r logic.Term) logic.Cmp { return logic.Cmp{Op: op, L: l, R: r} }
+	x, y := logic.V("X"), logic.V("Y")
+
+	// x <= y, y <= x, x < y: infeasible.
+	lp := newLinearSystem()
+	lp.addCmp(mk("<=", x, y), false)
+	lp.addCmp(mk("<=", y, x), false)
+	lp.addCmp(mk("<", x, y), false)
+	if !lp.infeasible() {
+		t.Error("equality + strict not detected")
+	}
+
+	// x < y, y < x+1: integer-infeasible (tightening), rational-feasible.
+	lp2 := newLinearSystem()
+	lp2.addCmp(mk("<", x, y), false)
+	lp2.addCmp(mk("<", y, logic.Fn("+", x, logic.IntT(1))), false)
+	if !lp2.infeasible() {
+		t.Error("integer tightening failed: x < y < x+1 has no integer solution")
+	}
+
+	// x <= y alone: feasible.
+	lp3 := newLinearSystem()
+	lp3.addCmp(mk("<=", x, y), false)
+	if lp3.infeasible() {
+		t.Error("feasible system reported infeasible")
+	}
+
+	// Constants: 3 <= 2 infeasible.
+	lp4 := newLinearSystem()
+	lp4.addCmp(mk("<=", logic.IntT(3), logic.IntT(2)), false)
+	if !lp4.infeasible() {
+		t.Error("constant contradiction missed")
+	}
+}
+
+func TestLinearizeCoefficients(t *testing.T) {
+	// 2*X + 3 - X linearizes to X + 3.
+	e, ok := linearize(logic.Fn("-", logic.Fn("+", logic.Fn("*", logic.IntT(2), logic.V("X")), logic.IntT(3)), logic.V("X")))
+	if !ok {
+		t.Fatal("linearize failed")
+	}
+	if e.konst.Cmp(big.NewRat(3, 1)) != 0 {
+		t.Errorf("constant = %v, want 3", e.konst)
+	}
+	if c := e.coeffs["X"]; c == nil || c.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("coeff X = %v, want 1", c)
+	}
+	// Non-numeric terms refuse.
+	if _, ok := linearize(logic.StrT("nope")); ok {
+		t.Error("linearized a string")
+	}
+	// Nonlinear products become opaque atoms.
+	e2, ok := linearize(logic.Fn("*", logic.V("X"), logic.V("Y")))
+	if !ok {
+		t.Fatal("opaque product refused")
+	}
+	if len(e2.coeffs) != 1 {
+		t.Errorf("opaque product coeffs = %v", e2.coeffs)
+	}
+}
+
+// --- quantifier fuzz: grind must not prove unprovable simple quantified
+// statements -----------------------------------------------------------------
+
+func TestGrindQuantifiedSoundness(t *testing.T) {
+	th := logic.NewTheory("q")
+	// ∀x p(x) ⇒ p(a): valid, provable.
+	valid := logic.Implies{
+		L: logic.Forall{Vars: []logic.Var{logic.V("X")}, Body: logic.Pred{Name: "p", Args: []logic.Term{logic.V("X")}}},
+		R: logic.Pred{Name: "p", Args: []logic.Term{logic.App{Fn: "a"}}},
+	}
+	p := NewGoal(th, "v", valid)
+	if err := p.RunScript(`(skosimp*) (grind)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Error("∀-instantiation proof failed")
+	}
+
+	// p(a) ⇒ ∀x p(x): invalid, must stay open.
+	invalid := logic.Implies{
+		L: logic.Pred{Name: "p", Args: []logic.Term{logic.App{Fn: "a"}}},
+		R: logic.Forall{Vars: []logic.Var{logic.V("X")}, Body: logic.Pred{Name: "p", Args: []logic.Term{logic.V("X")}}},
+	}
+	p2 := NewGoal(th, "i", invalid)
+	if err := p2.RunScript(`(skosimp*) (grind)`); err != nil {
+		t.Fatal(err)
+	}
+	if p2.QED() {
+		t.Error("SOUNDNESS VIOLATION: proved p(a) ⇒ ∀x p(x)")
+	}
+
+	// ∃x p(x) ⇒ p(a): invalid (the witness need not be a).
+	invalid2 := logic.Implies{
+		L: logic.Exists{Vars: []logic.Var{logic.V("X")}, Body: logic.Pred{Name: "p", Args: []logic.Term{logic.V("X")}}},
+		R: logic.Pred{Name: "p", Args: []logic.Term{logic.App{Fn: "a"}}},
+	}
+	p3 := NewGoal(th, "i2", invalid2)
+	if err := p3.RunScript(`(skosimp*) (grind)`); err != nil {
+		t.Fatal(err)
+	}
+	if p3.QED() {
+		t.Error("SOUNDNESS VIOLATION: proved ∃x p(x) ⇒ p(a)")
+	}
+
+	// p(a) ⇒ ∃x p(x): valid.
+	valid2 := logic.Implies{
+		L: logic.Pred{Name: "p", Args: []logic.Term{logic.App{Fn: "a"}}},
+		R: logic.Exists{Vars: []logic.Var{logic.V("X")}, Body: logic.Pred{Name: "p", Args: []logic.Term{logic.V("X")}}},
+	}
+	p4 := NewGoal(th, "v2", valid2)
+	if err := p4.RunScript(`(skosimp*) (grind)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p4.QED() {
+		t.Error("∃-introduction proof failed")
+	}
+}
+
+func TestCongruenceClosureQuick(t *testing.T) {
+	// a=b ∧ b=c ⊢ f(a)=f(c) for random chains.
+	f := func(n uint8) bool {
+		depth := int(n%4) + 1
+		th := logic.NewTheory("cc")
+		var ante []logic.Formula
+		for i := 0; i < depth; i++ {
+			ante = append(ante, logic.Eq{
+				L: logic.App{Fn: name(i)},
+				R: logic.App{Fn: name(i + 1)},
+			})
+		}
+		goal := logic.Implies{
+			L: logic.Conj(ante...),
+			R: logic.Eq{L: logic.Fn("g", logic.App{Fn: name(0)}), R: logic.Fn("g", logic.App{Fn: name(depth)})},
+		}
+		p := NewGoal(th, "cc", goal)
+		if err := p.RunScript(`(flatten) (assert)`); err != nil {
+			return false
+		}
+		return p.QED()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func name(i int) string { return string(rune('a' + i)) }

@@ -1,0 +1,103 @@
+package prover
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Induct performs fixpoint (rule) induction on an inductive predicate
+// (PVS `induct` specialized to inductive definitions, as used in §3.2 of
+// the paper to generalize BGP proofs "to an arbitrary large network via
+// induction").
+//
+// The current goal must be of the form
+//
+//	⊢ FORALL x̄: P(x̄) ⇒ Q
+//
+// where P is an inductive definition of the theory and the argument vector
+// of P is exactly the quantified variables. For each defining clause C of
+// P, Induct generates the subgoal
+//
+//	⊢ FORALL x̄: C† ⇒ Q
+//
+// where C† is C with every recursive occurrence P(s̄) strengthened to
+// P(s̄) AND Q[x̄ := s̄] (the induction hypothesis). This is the standard
+// induction principle of the least fixed point.
+func (p *Prover) Induct(name string) error {
+	if len(p.goals) == 0 {
+		return ErrNoOpenGoal
+	}
+	def, ok := p.Theory.Lookup(name)
+	if !ok {
+		return fmt.Errorf("prover: induct: no inductive definition %q", name)
+	}
+	g := p.goals[len(p.goals)-1]
+	if len(g.Ante) != 0 || len(g.Cons) != 1 {
+		return fmt.Errorf("prover: induct: goal must be a single consequent formula")
+	}
+	fa, ok := g.Cons[0].(logic.Forall)
+	if !ok {
+		return fmt.Errorf("prover: induct: goal must be universally quantified")
+	}
+	imp, ok := fa.Body.(logic.Implies)
+	if !ok {
+		return fmt.Errorf("prover: induct: goal body must be an implication P(x̄) => Q")
+	}
+	head, ok := imp.L.(logic.Pred)
+	if !ok || head.Name != name {
+		return fmt.Errorf("prover: induct: antecedent of goal must be %s(...)", name)
+	}
+	if len(head.Args) != len(def.Params) {
+		return fmt.Errorf("prover: induct: %s has %d parameters, goal applies %d", name, len(def.Params), len(head.Args))
+	}
+	// The arguments must be exactly the quantified variables (distinct).
+	argVars := make([]logic.Var, len(head.Args))
+	seen := map[string]bool{}
+	quantified := map[string]bool{}
+	for _, v := range fa.Vars {
+		quantified[v.Name] = true
+	}
+	for i, a := range head.Args {
+		v, ok := a.(logic.Var)
+		if !ok || !quantified[v.Name] || seen[v.Name] {
+			return fmt.Errorf("prover: induct: argument %d of %s must be a distinct quantified variable", i, name)
+		}
+		seen[v.Name] = true
+		argVars[i] = v
+	}
+	prop := imp.R
+
+	p.step(fmt.Sprintf("(induct %q)", name))
+	p.pop()
+
+	var subgoals []Sequent
+	for _, clause := range def.Clauses() {
+		// Rename the clause from the definition's formal parameters to the
+		// goal's variables.
+		rho := logic.Subst{}
+		for i, par := range def.Params {
+			rho[par.Name] = argVars[i]
+		}
+		c := rho.Apply(clause)
+		// Strengthen recursive occurrences with the induction hypothesis.
+		c = replacePred(c, name, func(pr logic.Pred) logic.Formula {
+			if len(pr.Args) != len(argVars) {
+				return pr
+			}
+			ih := logic.Subst{}
+			for i, v := range argVars {
+				ih[v.Name] = pr.Args[i]
+			}
+			p.prim()
+			return logic.Conj(pr, ih.Apply(prop))
+		})
+		sub := Sequent{Cons: []logic.Formula{
+			logic.Forall{Vars: fa.Vars, Body: logic.Implies{L: c, R: prop}},
+		}}
+		p.prim()
+		subgoals = append(subgoals, sub)
+	}
+	p.pushSubgoals(subgoals...)
+	return nil
+}

@@ -1,0 +1,602 @@
+package prover
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// pathVectorTheory builds, by hand, the PVS-style theory of §3.1 of the
+// paper: the inductive path definition translated from NDlog rules r1-r2,
+// the min-aggregate axiomatization of bestPathCost (r3), bestPath (r4),
+// and the bestPathStrong route-optimality theorem. The translator in
+// internal/translate generates an equivalent theory from NDlog source;
+// this fixture keeps the prover tests independent of it.
+func pathVectorTheory() *logic.Theory {
+	th := logic.NewTheory("pathVector")
+
+	S := logic.TV("S", logic.SortNode)
+	D := logic.TV("D", logic.SortNode)
+	P := logic.TV("P", logic.SortPath)
+	C := logic.TV("C", logic.SortMetric)
+
+	// path(S,D,P,C): INDUCTIVE bool =
+	//   (link(S,D,C) AND P=f_init(S,D)) OR
+	//   (EXISTS C1,C2,P2,Z: link(S,Z,C1) AND path(Z,D,P2,C2) AND C=C1+C2
+	//    AND P=f_concatPath(S,P2) AND f_inPath(P2,S)=FALSE)
+	base := logic.Conj(
+		logic.Pred{Name: "link", Args: []logic.Term{S, D, C}},
+		logic.Eq{L: P, R: logic.Fn("f_init", S, D)},
+	)
+	C1 := logic.TV("C1", logic.SortMetric)
+	C2 := logic.TV("C2", logic.SortMetric)
+	P2 := logic.TV("P2", logic.SortPath)
+	Z := logic.TV("Z", logic.SortNode)
+	rec := logic.Exists{
+		Vars: []logic.Var{C1, C2, P2, Z},
+		Body: logic.Conj(
+			logic.Pred{Name: "link", Args: []logic.Term{S, Z, C1}},
+			logic.Pred{Name: "path", Args: []logic.Term{Z, D, P2, C2}},
+			logic.Eq{L: C, R: logic.Fn("+", C1, C2)},
+			logic.Eq{L: P, R: logic.Fn("f_concatPath", S, P2)},
+			logic.Eq{L: logic.Fn("f_inPath", P2, S), R: logic.BoolT(false)},
+		),
+	}
+	th.AddInductive(&logic.Inductive{
+		Name:   "path",
+		Params: []logic.Var{S, D, P, C},
+		Body:   logic.Disj(base, rec),
+	})
+
+	// bestPathCost(S,D,C): the min<C> aggregate of rule r3, axiomatized as
+	// "some path has cost C, and no path costs less".
+	P0 := logic.TV("P0", logic.SortPath)
+	th.AddInductive(&logic.Inductive{
+		Name:   "bestPathCost",
+		Params: []logic.Var{S, D, C},
+		Body: logic.Conj(
+			logic.Exists{Vars: []logic.Var{P0}, Body: logic.Pred{Name: "path", Args: []logic.Term{S, D, P0, C}}},
+			logic.Forall{Vars: []logic.Var{P2, C2}, Body: logic.Implies{
+				L: logic.Pred{Name: "path", Args: []logic.Term{S, D, P2, C2}},
+				R: logic.Cmp{Op: "<=", L: C, R: C2},
+			}},
+		),
+	})
+
+	// bestPath(S,D,P,C) from rule r4.
+	th.AddInductive(&logic.Inductive{
+		Name:   "bestPath",
+		Params: []logic.Var{S, D, P, C},
+		Body: logic.Conj(
+			logic.Pred{Name: "bestPathCost", Args: []logic.Term{S, D, C}},
+			logic.Pred{Name: "path", Args: []logic.Term{S, D, P, C}},
+		),
+	})
+
+	// bestPathStrong: THEOREM (verbatim from §3.1).
+	th.AddTheorem("bestPathStrong", logic.Forall{
+		Vars: []logic.Var{S, D, C, P},
+		Body: logic.Implies{
+			L: logic.Pred{Name: "bestPath", Args: []logic.Term{S, D, P, C}},
+			R: logic.Not{F: logic.Exists{
+				Vars: []logic.Var{C2, P2},
+				Body: logic.Conj(
+					logic.Pred{Name: "path", Args: []logic.Term{S, D, P2, C2}},
+					logic.Cmp{Op: "<", L: C2, R: C},
+				),
+			}},
+		},
+	})
+
+	// bestPathIsPath: a best path is a path (sanity theorem).
+	th.AddTheorem("bestPathIsPath", logic.Forall{
+		Vars: []logic.Var{S, D, P, C},
+		Body: logic.Implies{
+			L: logic.Pred{Name: "bestPath", Args: []logic.Term{S, D, P, C}},
+			R: logic.Pred{Name: "path", Args: []logic.Term{S, D, P, C}},
+		},
+	})
+
+	// linkCostPositive: AXIOM link(S,D,C) => C >= 1, used by the
+	// rule-induction theorem pathCostPositive.
+	th.AddAxiom("linkCostPositive", logic.Forall{
+		Vars: []logic.Var{S, D, C},
+		Body: logic.Implies{
+			L: logic.Pred{Name: "link", Args: []logic.Term{S, D, C}},
+			R: logic.Cmp{Op: ">=", L: C, R: logic.IntT(1)},
+		},
+	})
+	th.AddTheorem("pathCostPositive", logic.Forall{
+		Vars: []logic.Var{S, D, P, C},
+		Body: logic.Implies{
+			L: logic.Pred{Name: "path", Args: []logic.Term{S, D, P, C}},
+			R: logic.Cmp{Op: ">=", L: C, R: logic.IntT(1)},
+		},
+	})
+
+	return th
+}
+
+// The proof of the paper's flagship theorem, in exactly the seven steps
+// reported in §3.1: "The bestPathStrong theorem takes 7 proof steps."
+const bestPathStrongScript = `
+(skosimp*)
+(expand "bestPath")
+(flatten)
+(expand "bestPathCost")
+(flatten)
+(inst -2 P2!1 C2!1)
+(assert)
+`
+
+func TestBestPathStrongSevenSteps(t *testing.T) {
+	th := pathVectorTheory()
+	if err := th.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ProveTheorem(th, "bestPathStrong", bestPathStrongScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QED {
+		t.Fatal("bestPathStrong not proved")
+	}
+	if res.Steps != 7 {
+		t.Errorf("bestPathStrong took %d steps, paper reports 7 (trace: %v)", res.Steps, res.Trace)
+	}
+}
+
+func TestBestPathStrongByGrind(t *testing.T) {
+	// The fully automated strategy should also close the theorem.
+	th := pathVectorTheory()
+	p, err := New(th, "bestPathStrong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunScript(`(skosimp*) (expand "bestPath") (expand "bestPathCost") (grind)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		g, _ := p.Current()
+		t.Fatalf("grind left %d goals open:\n%s", p.Open(), g.String())
+	}
+}
+
+func TestBestPathIsPath(t *testing.T) {
+	th := pathVectorTheory()
+	res, err := ProveTheorem(th, "bestPathIsPath", `(skosimp*) (expand "bestPath") (assert)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QED {
+		t.Fatal("not proved")
+	}
+}
+
+func TestPathCostPositiveByInduction(t *testing.T) {
+	// Rule induction over the path definition (the technique §3.2 uses to
+	// generalize to arbitrary networks), with the link-cost axiom.
+	th := pathVectorTheory()
+	p, err := New(th, "pathCostPositive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Induct("path"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Open() != 2 {
+		t.Fatalf("induct produced %d goals, want 2 (one per clause)", p.Open())
+	}
+	// Base case: link(S,D,C) ∧ P = f_init(S,D) ⇒ C ≥ 1.
+	if err := p.RunScript(`(skosimp*) (lemma "linkCostPositive") (inst -3 S!1 D!1 C!1) (assert)`); err != nil {
+		t.Fatalf("base case: %v", err)
+	}
+	// Inductive case: link(S,Z,C1) ∧ (path(...) ∧ C2 ≥ 1) ∧ C = C1+C2 ⇒ C ≥ 1.
+	if err := p.RunScript(`(skosimp*) (lemma "linkCostPositive") (inst -7 S!2 Z!1 C1!1) (assert)`); err != nil {
+		t.Fatalf("inductive case: %v", err)
+	}
+	if !p.QED() {
+		g, _ := p.Current()
+		t.Fatalf("%d goals open:\n%s", p.Open(), g.String())
+	}
+}
+
+func TestUnprovableGoalStaysOpen(t *testing.T) {
+	// Soundness check: a false statement must not be provable by the
+	// automated strategy.
+	th := pathVectorTheory()
+	p := NewGoal(th, "falseClaim", logic.Forall{
+		Vars: []logic.Var{logic.TV("C", logic.SortMetric)},
+		Body: logic.Cmp{Op: "<", L: logic.V("C"), R: logic.IntT(0)},
+	})
+	if err := p.RunScript(`(grind)`); err != nil {
+		t.Fatal(err)
+	}
+	if p.QED() {
+		t.Fatal("prover proved a false statement")
+	}
+}
+
+func TestAssertClosesArithmeticContradiction(t *testing.T) {
+	th := logic.NewTheory("t")
+	// C2 < C, C <= C2 ⊢ FALSE.
+	p := NewGoal(th, "contr", logic.Implies{
+		L: logic.Conj(
+			logic.Cmp{Op: "<", L: logic.V("C2"), R: logic.V("C")},
+			logic.Cmp{Op: "<=", L: logic.V("C"), R: logic.V("C2")},
+		),
+		R: logic.False,
+	})
+	if err := p.RunScript(`(skosimp*) (assert)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Fatal("assert failed to close arithmetic contradiction")
+	}
+}
+
+func TestAssertChainedInequalities(t *testing.T) {
+	th := logic.NewTheory("t")
+	// A ≤ B ∧ B ≤ C ∧ C ≤ A-1 is infeasible.
+	p := NewGoal(th, "chain", logic.Implies{
+		L: logic.Conj(
+			logic.Cmp{Op: "<=", L: logic.V("A"), R: logic.V("B")},
+			logic.Cmp{Op: "<=", L: logic.V("B"), R: logic.V("C")},
+			logic.Cmp{Op: "<=", L: logic.V("C"), R: logic.Fn("-", logic.V("A"), logic.IntT(1))},
+		),
+		R: logic.False,
+	})
+	if err := p.RunScript(`(skosimp*) (assert)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Fatal("assert failed on chained inequalities")
+	}
+}
+
+func TestAssertStrictIntegerTightening(t *testing.T) {
+	th := logic.NewTheory("t")
+	// Over the integers, X < Y ∧ Y < X+2 forces Y = X+1, so Y ≤ X+1.
+	p := NewGoal(th, "tight", logic.Implies{
+		L: logic.Conj(
+			logic.Cmp{Op: "<", L: logic.V("X"), R: logic.V("Y")},
+			logic.Cmp{Op: "<", L: logic.V("Y"), R: logic.Fn("+", logic.V("X"), logic.IntT(2))},
+		),
+		R: logic.Cmp{Op: "<=", L: logic.V("Y"), R: logic.Fn("+", logic.V("X"), logic.IntT(1))},
+	})
+	if err := p.RunScript(`(skosimp*) (assert)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Fatal("integer tightening not applied")
+	}
+}
+
+func TestAssertCongruenceClosure(t *testing.T) {
+	th := logic.NewTheory("t")
+	// a = b ⊢ f(a) = f(b).
+	a := logic.App{Fn: "a"}
+	b := logic.App{Fn: "b"}
+	p := NewGoal(th, "cong", logic.Implies{
+		L: logic.Eq{L: a, R: b},
+		R: logic.Eq{L: logic.Fn("g", a), R: logic.Fn("g", b)},
+	})
+	if err := p.RunScript(`(flatten) (assert)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Fatal("congruence closure failed")
+	}
+}
+
+func TestAssertGroundEvaluation(t *testing.T) {
+	th := logic.NewTheory("t")
+	// ⊢ f_inPath(f_init(a,b), a) = TRUE, all ground.
+	p := NewGoal(th, "ground", logic.Eq{
+		L: logic.Fn("f_inPath", logic.Fn("f_init", logic.AddrT("a"), logic.AddrT("b")), logic.AddrT("a")),
+		R: logic.BoolT(true),
+	})
+	if err := p.RunScript(`(assert)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Fatal("ground evaluation failed")
+	}
+}
+
+func TestSplitAndFlatten(t *testing.T) {
+	th := logic.NewTheory("t")
+	a := logic.Pred{Name: "a"}
+	b := logic.Pred{Name: "b"}
+	// a ∧ b ⊢ b ∧ a.
+	p := NewGoal(th, "comm", logic.Implies{L: logic.Conj(a, b), R: logic.Conj(b, a)})
+	if err := p.RunScript(`(flatten) (split)`); err != nil {
+		t.Fatal(err)
+	}
+	if p.Open() != 2 {
+		t.Fatalf("split produced %d goals, want 2", p.Open())
+	}
+	// Both subgoals close by the axiom rule inside flatten.
+	if err := p.RunScript(`(flatten) (flatten)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Fatal("propositional goal not closed")
+	}
+}
+
+func TestCaseTactic(t *testing.T) {
+	th := logic.NewTheory("t")
+	a := logic.Pred{Name: "a"}
+	// ⊢ a ∨ ¬a by case split.
+	p := NewGoal(th, "excluded", logic.Disj(a, logic.Not{F: a}))
+	if err := p.Case(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunScript(`(flatten) (flatten)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Fatal("case split proof failed")
+	}
+}
+
+func TestHideIsSoundButWeakens(t *testing.T) {
+	th := logic.NewTheory("t")
+	a := logic.Pred{Name: "a"}
+	p := NewGoal(th, "weak", logic.Implies{L: a, R: a})
+	if err := p.RunScript(`(flatten)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Fatal("identity implication should close on flatten")
+	}
+
+	p2 := NewGoal(th, "weak2", logic.Implies{L: a, R: a})
+	// Hiding before flatten: remove the consequent, goal becomes unprovable.
+	if err := p2.Hide(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.RunScript(`(flatten) (assert) (grind)`); err != nil {
+		t.Fatal(err)
+	}
+	if p2.QED() {
+		t.Fatal("proved a goal with no consequent")
+	}
+}
+
+func TestInstErrors(t *testing.T) {
+	th := pathVectorTheory()
+	p, err := New(th, "bestPathStrong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inst(1, logic.IntT(1)); err == nil {
+		t.Error("inst of a consequent FORALL accepted (should require skosimp)")
+	}
+	if err := p.Inst(5); err == nil {
+		t.Error("inst of nonexistent index accepted")
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	th := pathVectorTheory()
+	p, err := New(th, "bestPathStrong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Expand("nonesuch"); err == nil {
+		t.Error("expand of unknown definition accepted")
+	}
+	p2 := NewGoal(th, "noOcc", logic.True)
+	if err := p2.Expand("path"); err == nil {
+		t.Error("expand with no occurrence accepted")
+	}
+}
+
+func TestLemmaUnknown(t *testing.T) {
+	th := pathVectorTheory()
+	p, err := New(th, "bestPathStrong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Lemma("nonesuch"); err == nil {
+		t.Error("unknown lemma accepted")
+	}
+}
+
+func TestScriptParsing(t *testing.T) {
+	cmds, err := parseScript(`(skosimp*) ; a comment
+		(expand "bestPath")
+		(inst -2 P2!1 f_init(a,b) 42)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 3 {
+		t.Fatalf("parsed %d commands, want 3", len(cmds))
+	}
+	if cmds[1].name != "expand" || cmds[1].args[0] != `"bestPath"` {
+		t.Errorf("expand parsed wrong: %+v", cmds[1])
+	}
+	if cmds[2].args[2] != "f_init(a,b)" || cmds[2].args[3] != "42" {
+		t.Errorf("inst args parsed wrong: %+v", cmds[2])
+	}
+}
+
+func TestScriptErrors(t *testing.T) {
+	for _, bad := range []string{"(", "(inst)", "(expand)", "(bogus)", `(unterminated "`} {
+		th := pathVectorTheory()
+		p, err := New(th, "bestPathStrong")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.RunScript(bad); err == nil {
+			t.Errorf("script %q accepted", bad)
+		}
+	}
+}
+
+func TestParseTerm(t *testing.T) {
+	tests := []struct {
+		src  string
+		want logic.Term
+	}{
+		{"42", logic.IntT(42)},
+		{"-7", logic.IntT(-7)},
+		{"'hi'", logic.StrT("hi")},
+		{"X", logic.V("X")},
+		{"C2!1", logic.App{Fn: "C2!1"}},
+		{"true", logic.BoolT(true)},
+		{"f(1,X)", logic.App{Fn: "f", Args: []logic.Term{logic.IntT(1), logic.V("X")}}},
+		{"f(g(1),2)", logic.App{Fn: "f", Args: []logic.Term{logic.Fn("g", logic.IntT(1)), logic.IntT(2)}}},
+	}
+	for _, tc := range tests {
+		got, err := ParseTerm(tc.src)
+		if err != nil {
+			t.Errorf("ParseTerm(%q): %v", tc.src, err)
+			continue
+		}
+		if !logic.TermEqual(got, tc.want) {
+			t.Errorf("ParseTerm(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+	if _, err := ParseTerm(""); err == nil {
+		t.Error("empty term accepted")
+	}
+}
+
+func TestStepAccounting(t *testing.T) {
+	th := pathVectorTheory()
+	res, err := ProveTheorem(th, "bestPathStrong", bestPathStrongScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrimSteps < res.Steps {
+		t.Errorf("PrimSteps %d < Steps %d", res.PrimSteps, res.Steps)
+	}
+	if res.AutoPrim == 0 {
+		t.Error("skosimp*/assert recorded no automated primitives")
+	}
+	if r := res.AutomationRatio(); r <= 0 || r > 1 {
+		t.Errorf("automation ratio %v out of range", r)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed time not recorded")
+	}
+}
+
+func TestSequentIndexing(t *testing.T) {
+	s := Sequent{
+		Ante: []logic.Formula{logic.Pred{Name: "a"}, logic.Pred{Name: "b"}},
+		Cons: []logic.Formula{logic.Pred{Name: "c"}},
+	}
+	f, err := s.Formula(-2)
+	if err != nil || f.(logic.Pred).Name != "b" {
+		t.Errorf("Formula(-2) = %v, %v", f, err)
+	}
+	f, err = s.Formula(1)
+	if err != nil || f.(logic.Pred).Name != "c" {
+		t.Errorf("Formula(1) = %v, %v", f, err)
+	}
+	if _, err := s.Formula(0); err == nil {
+		t.Error("Formula(0) accepted")
+	}
+	if _, err := s.Formula(7); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	str := s.String()
+	if !strings.Contains(str, "|-------") {
+		t.Errorf("sequent rendering missing turnstile: %q", str)
+	}
+}
+
+func TestProverOnClosedSession(t *testing.T) {
+	th := logic.NewTheory("t")
+	p := NewGoal(th, "triv", logic.True)
+	if err := p.Flatten(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Fatal("TRUE not proved")
+	}
+	if err := p.Flatten(); err != ErrNoOpenGoal {
+		t.Errorf("tactic after QED returned %v, want ErrNoOpenGoal", err)
+	}
+}
+
+func TestNewUnknownTheorem(t *testing.T) {
+	th := logic.NewTheory("t")
+	if _, err := New(th, "nope"); err == nil {
+		t.Error("unknown theorem accepted")
+	}
+}
+
+func TestInductRejectsMalformedGoals(t *testing.T) {
+	th := pathVectorTheory()
+	// Goal not universally quantified.
+	p := NewGoal(th, "bad", logic.Pred{Name: "path", Args: []logic.Term{logic.V("S"), logic.V("D"), logic.V("P"), logic.V("C")}})
+	if err := p.Induct("path"); err == nil {
+		t.Error("induct accepted non-quantified goal")
+	}
+	// Unknown predicate.
+	p2 := NewGoal(th, "bad2", logic.Forall{Vars: []logic.Var{logic.V("X")}, Body: logic.Implies{L: logic.Pred{Name: "zzz", Args: []logic.Term{logic.V("X")}}, R: logic.True}})
+	if err := p2.Induct("zzz"); err == nil {
+		t.Error("induct accepted unknown predicate")
+	}
+	// Arguments not distinct variables.
+	p3 := NewGoal(th, "bad3", logic.Forall{
+		Vars: []logic.Var{logic.V("S"), logic.V("D"), logic.V("C")},
+		Body: logic.Implies{
+			L: logic.Pred{Name: "path", Args: []logic.Term{logic.V("S"), logic.V("D"), logic.V("S"), logic.V("C")}},
+			R: logic.True,
+		},
+	})
+	if err := p3.Induct("path"); err == nil {
+		t.Error("induct accepted repeated argument variable")
+	}
+}
+
+func TestGrindAutomationOnPropositional(t *testing.T) {
+	th := logic.NewTheory("t")
+	a, b, c := logic.Pred{Name: "a"}, logic.Pred{Name: "b"}, logic.Pred{Name: "c"}
+	// ((a ⇒ b) ∧ (b ⇒ c) ∧ a) ⇒ c.
+	p := NewGoal(th, "chain", logic.Implies{
+		L: logic.Conj(logic.Implies{L: a, R: b}, logic.Implies{L: b, R: c}, a),
+		R: c,
+	})
+	if err := p.Grind(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Fatal("grind failed on propositional chain")
+	}
+}
+
+func TestSkolemNamesAreFresh(t *testing.T) {
+	th := logic.NewTheory("t")
+	// ∃x p(x) ∧ ∃x q(x) in the antecedent must produce distinct skolems.
+	p := NewGoal(th, "fresh", logic.Implies{
+		L: logic.Conj(
+			logic.Exists{Vars: []logic.Var{logic.V("X")}, Body: logic.Pred{Name: "p", Args: []logic.Term{logic.V("X")}}},
+			logic.Exists{Vars: []logic.Var{logic.V("X")}, Body: logic.Pred{Name: "q", Args: []logic.Term{logic.V("X")}}},
+		),
+		R: logic.False,
+	})
+	if err := p.Skosimp(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, f := range g.Ante {
+		if pr, ok := f.(logic.Pred); ok {
+			names = append(names, pr.Args[0].String())
+		}
+	}
+	if len(names) != 2 || names[0] == names[1] {
+		t.Errorf("skolem constants not fresh: %v", names)
+	}
+}

@@ -1,0 +1,311 @@
+package prover
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+
+	"repro/internal/logic"
+)
+
+// Result summarizes a completed (or abandoned) proof attempt.
+type Result struct {
+	Theorem   string
+	QED       bool
+	OpenGoals int
+	Steps     int // user-visible proof steps, as reported in the paper
+	PrimSteps int // primitive kernel inferences
+	AutoPrim  int // primitive inferences performed by automated strategies
+	Elapsed   time.Duration
+	Trace     []string
+}
+
+// AutomationRatio is the fraction of primitive inferences carried out by
+// automated strategies, the quantity behind the paper's "two-thirds of the
+// proof steps can be automated" (§4.3).
+func (r Result) AutomationRatio() float64 {
+	if r.PrimSteps == 0 {
+		return 0
+	}
+	return float64(r.AutoPrim) / float64(r.PrimSteps)
+}
+
+// Summary returns the result of the session so far.
+func (p *Prover) Summary() Result {
+	qed := p.QED()
+	el := p.Elapsed
+	if !qed {
+		el = time.Since(p.started)
+	}
+	return Result{
+		Theorem:   p.Theorem,
+		QED:       qed,
+		OpenGoals: len(p.goals),
+		Steps:     p.Steps,
+		PrimSteps: p.PrimSteps,
+		AutoPrim:  p.AutoPrim,
+		Elapsed:   el,
+		Trace:     append([]string(nil), p.Trace...),
+	}
+}
+
+// RunScript executes a PVS-style proof script against the session, e.g.
+//
+//	(skosimp*) (expand "bestPath") (flatten)
+//	(expand "bestPathCost") (flatten) (inst -2 P2!1 C2!1) (assert)
+//
+// Each parenthesized command is one proof step. Terms in inst commands may
+// be integers, quoted strings, identifiers (skolem constants such as C2!1
+// or variables), or applications f(a,b).
+func (p *Prover) RunScript(script string) error {
+	cmds, err := parseScript(script)
+	if err != nil {
+		return err
+	}
+	for _, cmd := range cmds {
+		if err := p.runCommand(cmd); err != nil {
+			return fmt.Errorf("prover: %s: %w", cmd.String(), err)
+		}
+	}
+	return nil
+}
+
+// Prove runs the script and requires the proof to complete.
+func (p *Prover) Prove(script string) (Result, error) {
+	if err := p.RunScript(script); err != nil {
+		return p.Summary(), err
+	}
+	res := p.Summary()
+	if !res.QED {
+		return res, fmt.Errorf("prover: %s: %d goals remain open", p.Theorem, res.OpenGoals)
+	}
+	return res, nil
+}
+
+// ProveTheorem is a convenience wrapper: create a session for the theorem
+// in th and run script to completion.
+func ProveTheorem(th *logic.Theory, theorem, script string) (Result, error) {
+	p, err := New(th, theorem)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Prove(script)
+}
+
+// sexpr is a parsed script command.
+type sexpr struct {
+	name string
+	args []string
+}
+
+func (s sexpr) String() string {
+	if len(s.args) == 0 {
+		return "(" + s.name + ")"
+	}
+	return "(" + s.name + " " + strings.Join(s.args, " ") + ")"
+}
+
+func parseScript(src string) ([]sexpr, error) {
+	var cmds []sexpr
+	i := 0
+	n := len(src)
+	skipWS := func() {
+		for i < n && (unicode.IsSpace(rune(src[i])) || src[i] == ';') {
+			if src[i] == ';' { // comment to end of line
+				for i < n && src[i] != '\n' {
+					i++
+				}
+			} else {
+				i++
+			}
+		}
+	}
+	for {
+		skipWS()
+		if i >= n {
+			break
+		}
+		if src[i] != '(' {
+			return nil, fmt.Errorf("prover: script: expected '(' at offset %d", i)
+		}
+		i++
+		var toks []string
+		for {
+			skipWS()
+			if i >= n {
+				return nil, fmt.Errorf("prover: script: unterminated command")
+			}
+			if src[i] == ')' {
+				i++
+				break
+			}
+			if src[i] == '"' {
+				j := i + 1
+				for j < n && src[j] != '"' {
+					j++
+				}
+				if j >= n {
+					return nil, fmt.Errorf("prover: script: unterminated string")
+				}
+				toks = append(toks, src[i:j+1])
+				i = j + 1
+				continue
+			}
+			j := i
+			depth := 0
+			for j < n {
+				c := src[j]
+				if c == '(' {
+					depth++
+				} else if c == ')' {
+					if depth == 0 {
+						break
+					}
+					depth--
+				} else if depth == 0 && (unicode.IsSpace(rune(c)) || c == '"') {
+					break
+				}
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+		if len(toks) == 0 {
+			return nil, fmt.Errorf("prover: script: empty command")
+		}
+		cmds = append(cmds, sexpr{name: toks[0], args: toks[1:]})
+	}
+	return cmds, nil
+}
+
+func (p *Prover) runCommand(cmd sexpr) error {
+	switch cmd.name {
+	case "skosimp*", "skosimp":
+		return p.Skosimp()
+	case "flatten":
+		return p.Flatten()
+	case "split":
+		return p.Split()
+	case "assert":
+		return p.Assert()
+	case "grind":
+		return p.Grind()
+	case "postpone":
+		return p.Postpone()
+	case "expand":
+		if len(cmd.args) != 1 {
+			return fmt.Errorf("expand takes one argument")
+		}
+		return p.Expand(unquote(cmd.args[0]))
+	case "induct":
+		if len(cmd.args) != 1 {
+			return fmt.Errorf("induct takes one argument")
+		}
+		return p.Induct(unquote(cmd.args[0]))
+	case "lemma":
+		if len(cmd.args) != 1 {
+			return fmt.Errorf("lemma takes one argument")
+		}
+		return p.Lemma(unquote(cmd.args[0]))
+	case "hide":
+		if len(cmd.args) != 1 {
+			return fmt.Errorf("hide takes one argument")
+		}
+		idx, err := strconv.Atoi(cmd.args[0])
+		if err != nil {
+			return err
+		}
+		return p.Hide(idx)
+	case "inst":
+		if len(cmd.args) < 2 {
+			return fmt.Errorf("inst takes an index and at least one term")
+		}
+		idx, err := strconv.Atoi(cmd.args[0])
+		if err != nil {
+			return err
+		}
+		terms := make([]logic.Term, 0, len(cmd.args)-1)
+		for _, a := range cmd.args[1:] {
+			t, err := ParseTerm(unquote(a))
+			if err != nil {
+				return err
+			}
+			terms = append(terms, t)
+		}
+		return p.Inst(idx, terms...)
+	default:
+		return fmt.Errorf("unknown proof command %q", cmd.name)
+	}
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// ParseTerm parses a term in script syntax: an integer, a 'quoted string',
+// an identifier (a skolem constant if it contains '!', otherwise a
+// variable), or an application f(a,b,...).
+func ParseTerm(s string) (logic.Term, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("prover: empty term")
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return logic.IntT(i), nil
+	}
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return logic.StrT(s[1 : len(s)-1]), nil
+	}
+	if open := strings.IndexByte(s, '('); open > 0 && strings.HasSuffix(s, ")") {
+		fn := s[:open]
+		inner := s[open+1 : len(s)-1]
+		var args []logic.Term
+		for _, part := range splitArgs(inner) {
+			if strings.TrimSpace(part) == "" {
+				continue
+			}
+			t, err := ParseTerm(part)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, t)
+		}
+		return logic.App{Fn: fn, Args: args}, nil
+	}
+	if strings.Contains(s, "!") {
+		return logic.App{Fn: s}, nil // skolem constant
+	}
+	switch s {
+	case "true":
+		return logic.BoolT(true), nil
+	case "false":
+		return logic.BoolT(false), nil
+	}
+	return logic.V(s), nil
+}
+
+// splitArgs splits a comma-separated argument list respecting parentheses.
+func splitArgs(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}

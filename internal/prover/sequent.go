@@ -1,0 +1,176 @@
+// Package prover implements the mechanized theorem prover of FVN (arc 5 of
+// Figure 1 in the paper). It is a sequent-calculus kernel with PVS-style
+// interactive tactics — skosimp, expand, flatten, split, inst, case, lemma,
+// induct, assert, grind — sufficient to replay the proofs reported in the
+// paper: the route-optimality theorem bestPathStrong in seven steps (§3.1),
+// the metarouting proof obligations (§3.3), and rule-induction proofs over
+// inductive NDlog specifications.
+//
+// The kernel is small and the tactics reduce to primitive inferences on
+// sequents, so every completed proof is checkable: a proof succeeds only
+// when every leaf goal is closed by an axiom rule or by the decision
+// procedure, whose reasoning (congruence closure plus Fourier–Motzkin
+// linear arithmetic) is sound for the theory's intended semantics.
+package prover
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Sequent is a multi-conclusion sequent Γ ⊢ Δ. Following PVS conventions,
+// antecedent formulas are addressed by negative indices (-1 is Ante[0]) and
+// consequent formulas by positive indices (1 is Cons[0]).
+type Sequent struct {
+	Ante []logic.Formula
+	Cons []logic.Formula
+}
+
+// Clone returns a shallow copy with fresh slices (formulas are immutable).
+func (s Sequent) Clone() Sequent {
+	return Sequent{
+		Ante: append([]logic.Formula(nil), s.Ante...),
+		Cons: append([]logic.Formula(nil), s.Cons...),
+	}
+}
+
+// Formula returns the formula at a PVS-style index.
+func (s Sequent) Formula(idx int) (logic.Formula, error) {
+	switch {
+	case idx < 0 && -idx <= len(s.Ante):
+		return s.Ante[-idx-1], nil
+	case idx > 0 && idx <= len(s.Cons):
+		return s.Cons[idx-1], nil
+	default:
+		return nil, fmt.Errorf("prover: no formula at index %d (antecedent %d, consequent %d)", idx, len(s.Ante), len(s.Cons))
+	}
+}
+
+// Replace substitutes the formula at a PVS-style index.
+func (s *Sequent) Replace(idx int, f logic.Formula) error {
+	switch {
+	case idx < 0 && -idx <= len(s.Ante):
+		s.Ante[-idx-1] = f
+		return nil
+	case idx > 0 && idx <= len(s.Cons):
+		s.Cons[idx-1] = f
+		return nil
+	default:
+		return fmt.Errorf("prover: no formula at index %d", idx)
+	}
+}
+
+// Remove deletes the formula at a PVS-style index.
+func (s *Sequent) Remove(idx int) error {
+	switch {
+	case idx < 0 && -idx <= len(s.Ante):
+		i := -idx - 1
+		s.Ante = append(s.Ante[:i:i], s.Ante[i+1:]...)
+		return nil
+	case idx > 0 && idx <= len(s.Cons):
+		i := idx - 1
+		s.Cons = append(s.Cons[:i:i], s.Cons[i+1:]...)
+		return nil
+	default:
+		return fmt.Errorf("prover: no formula at index %d", idx)
+	}
+}
+
+// String renders the sequent in the PVS proof-window style.
+func (s Sequent) String() string {
+	var b strings.Builder
+	for i, f := range s.Ante {
+		fmt.Fprintf(&b, "[%d]  %s\n", -(i + 1), f.String())
+	}
+	b.WriteString("  |-------\n")
+	for i, f := range s.Cons {
+		fmt.Fprintf(&b, "[%d]  %s\n", i+1, f.String())
+	}
+	return b.String()
+}
+
+// FreeVarSet returns the free variables of all formulas in the sequent,
+// plus all nullary-application names (skolem constants), used when
+// generating fresh names.
+func (s Sequent) FreeVarSet() map[string]bool {
+	set := map[string]bool{}
+	add := func(f logic.Formula) {
+		for n := range logic.FreeVars(f) {
+			set[n] = true
+		}
+		collectNullary(f, set)
+	}
+	for _, f := range s.Ante {
+		add(f)
+	}
+	for _, f := range s.Cons {
+		add(f)
+	}
+	return set
+}
+
+func collectNullary(f logic.Formula, set map[string]bool) {
+	walkTerms(f, func(t logic.Term) {
+		if a, ok := t.(logic.App); ok && len(a.Args) == 0 {
+			set[a.Fn] = true
+		}
+	})
+}
+
+// walkTerms applies fn to every term occurring in f.
+func walkTerms(f logic.Formula, fn func(logic.Term)) {
+	var walkT func(t logic.Term)
+	walkT = func(t logic.Term) {
+		fn(t)
+		if a, ok := t.(logic.App); ok {
+			for _, arg := range a.Args {
+				walkT(arg)
+			}
+		}
+	}
+	switch x := f.(type) {
+	case logic.Pred:
+		for _, t := range x.Args {
+			walkT(t)
+		}
+	case logic.Eq:
+		walkT(x.L)
+		walkT(x.R)
+	case logic.Cmp:
+		walkT(x.L)
+		walkT(x.R)
+	case logic.Not:
+		walkTerms(x.F, fn)
+	case logic.And:
+		for _, g := range x.Fs {
+			walkTerms(g, fn)
+		}
+	case logic.Or:
+		for _, g := range x.Fs {
+			walkTerms(g, fn)
+		}
+	case logic.Implies:
+		walkTerms(x.L, fn)
+		walkTerms(x.R, fn)
+	case logic.Iff:
+		walkTerms(x.L, fn)
+		walkTerms(x.R, fn)
+	case logic.Forall:
+		walkTerms(x.Body, fn)
+	case logic.Exists:
+		walkTerms(x.Body, fn)
+	}
+}
+
+// containsFormula reports whether list contains a formula structurally equal
+// to f.
+func containsFormula(list []logic.Formula, f logic.Formula) bool {
+	for _, g := range list {
+		if logic.FormulaEqual(f, g) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ndlog"
+)
+
+// TestAggInCycleHasNoInductiveTranslation documents the boundary between
+// the two verification routes in FVN: a program whose aggregate sits on a
+// recursive cycle (BGP's selection-feeds-advertisement) has no stratified
+// least-fixpoint reading, so the inductive translation is rejected —
+// positivity fails on the generated universal quantifier — and the
+// linear-logic transition-system route (§4.2/§4.3) is the one to use.
+func TestAggInCycleHasNoInductiveTranslation(t *testing.T) {
+	src := `
+materialize(best, infinity, infinity, keys(1,2)).
+b1 cand(@U,D,C) :- link(@U,W,C1), best(@W,D,C2), C=C1+C2.
+b2 cand(@U,D,C) :- link(@U,D,C).
+b3 best(@U,D,min<C>) :- cand(@U,D,C).
+`
+	prog := ndlog.MustParse("bgp-cycle", src)
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.AggInCycle {
+		t.Fatal("cycle not detected")
+	}
+	_, err = ToLogic(an, Options{})
+	if err == nil {
+		t.Fatal("agg-in-cycle program translated to a (bogus) inductive theory")
+	}
+	if !strings.Contains(err.Error(), "negative occurrence") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// The stratified core of the same protocol (one round against an
+// uninterpreted previous selection) translates fine — the same maneuver
+// component.NewBGPModelOneRound uses.
+func TestOneRoundVariantTranslates(t *testing.T) {
+	src := `
+b1 cand(@U,D,C) :- link(@U,W,C1), prevBest(@W,D,C2), C=C1+C2.
+b2 cand(@U,D,C) :- link(@U,D,C).
+b3 best(@U,D,min<C>) :- cand(@U,D,C).
+`
+	prog := ndlog.MustParse("bgp-round", src)
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.AggInCycle {
+		t.Fatal("one-round variant wrongly flagged")
+	}
+	th, err := ToLogic(an, Options{TheoremsForAggregates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := th.TheoremByName("bestStrong"); !ok {
+		t.Error("optimality theorem not generated for the one-round selection")
+	}
+}

@@ -1,0 +1,122 @@
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/ndlog"
+)
+
+// RewriteSoftState implements the soft-state to hard-state rule rewrite of
+// §4.2 (from Wang et al. [22]): every predicate declared with a finite
+// lifetime L gains an explicit timestamp attribute, derivations stamp the
+// current clock time, and every body occurrence gains the freshness
+// constraint Now - Ts <= L. The resulting program is pure hard-state
+// Datalog and can be translated to logic with ToLogic — at the cost the
+// paper calls "heavy-weight and cumbersome to prove", which motivates the
+// linear-logic semantics of internal/linear.
+//
+// The rewritten program reads the wall clock from a clock(@N, Now)
+// predicate that the runtime (or the test harness) must populate.
+func RewriteSoftState(prog *ndlog.Program) (*ndlog.Program, error) {
+	soft := map[string]float64{}
+	for _, m := range prog.Materialized {
+		if !m.Lifetime.Infinite {
+			soft[m.Pred] = m.Lifetime.Seconds
+		}
+	}
+	if len(soft) == 0 {
+		return prog, nil
+	}
+
+	out := &ndlog.Program{Name: prog.Name + "_hard"}
+	// Hard-state declarations: soft tables become hard tables with an
+	// extra timestamp column appended.
+	for _, m := range prog.Materialized {
+		nm := m
+		nm.Lifetime = ndlog.Lifetime{Infinite: true}
+		out.Materialized = append(out.Materialized, nm)
+	}
+
+	freshVar := 0
+	gensym := func(base string) string {
+		freshVar++
+		return fmt.Sprintf("%s_ts%d", base, freshVar)
+	}
+
+	for _, r := range prog.Rules {
+		nr := &ndlog.Rule{Label: r.Label, Delete: r.Delete}
+
+		// Locate the clock: the rule needs the current time if it derives
+		// into or reads from a soft table.
+		needsClock := false
+		if _, ok := soft[r.Head.Pred]; ok {
+			needsClock = true
+		}
+		for _, l := range r.Body {
+			if l.Atom != nil {
+				if _, ok := soft[l.Atom.Pred]; ok {
+					needsClock = true
+				}
+			}
+		}
+
+		// Head: append Now as the timestamp of fresh derivations.
+		head := ndlog.Atom{Pred: r.Head.Pred, Loc: r.Head.Loc}
+		head.Args = append(head.Args, r.Head.Args...)
+		if _, ok := soft[r.Head.Pred]; ok {
+			head.Args = append(head.Args, ndlog.VarE{Name: "Now"})
+		}
+		nr.Head = head
+
+		// Clock atom first, at the head's location variable.
+		if needsClock {
+			locVar := "Now_loc"
+			if r.Head.Loc >= 0 {
+				if v, ok := r.Head.Args[r.Head.Loc].(ndlog.VarE); ok {
+					locVar = v.Name
+				}
+			}
+			nr.Body = append(nr.Body, ndlog.Literal{Atom: &ndlog.Atom{
+				Pred: "clock",
+				Loc:  0,
+				Args: []ndlog.Expr{ndlog.VarE{Name: locVar, Loc: true}, ndlog.VarE{Name: "Now"}},
+			}})
+		}
+
+		for _, l := range r.Body {
+			if l.Atom == nil {
+				nr.Body = append(nr.Body, l)
+				continue
+			}
+			lifetime, ok := soft[l.Atom.Pred]
+			if !ok {
+				nr.Body = append(nr.Body, l)
+				continue
+			}
+			ts := gensym(l.Atom.Pred)
+			atom := ndlog.Atom{Pred: l.Atom.Pred, Loc: l.Atom.Loc}
+			atom.Args = append(atom.Args, l.Atom.Args...)
+			atom.Args = append(atom.Args, ndlog.VarE{Name: ts})
+			nr.Body = append(nr.Body, ndlog.Literal{Atom: &atom, Neg: l.Neg})
+			if !l.Neg {
+				// Freshness: Now - Ts <= lifetime.
+				nr.Body = append(nr.Body, ndlog.Literal{Expr: ndlog.BinE{
+					Op: "<=",
+					L:  ndlog.BinE{Op: "-", L: ndlog.VarE{Name: "Now"}, R: ndlog.VarE{Name: ts}},
+					R:  ndlog.LitE{Val: intVal(lifetime)},
+				}})
+			}
+		}
+		out.Rules = append(out.Rules, nr)
+	}
+
+	// Facts into soft tables get timestamp 0.
+	for _, f := range prog.Facts {
+		nf := f
+		if _, ok := soft[f.Pred]; ok {
+			nf.Args = append(append(nf.Args[:0:0], f.Args...), intZero)
+		}
+		out.Facts = append(out.Facts, nf)
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package translate
+
+import (
+	"repro/internal/logic"
+	"repro/internal/ndlog"
+	"repro/internal/value"
+)
+
+// inferSorts assigns a PVS sort to each predicate argument position using
+// simple heuristics: location arguments are Nodes, arguments built by path
+// functions are Paths, arguments used in arithmetic or ordering are
+// Metrics, and fact constants contribute their value kinds. The inference
+// is best-effort — sorts only affect readability of the generated theory
+// and quantifier annotations, not soundness.
+func inferSorts(an *ndlog.Analysis) map[string][]logic.Sort {
+	sorts := map[string][]logic.Sort{}
+	for pred, arity := range an.Arity {
+		s := make([]logic.Sort, arity)
+		if loc := an.LocIndex[pred]; loc >= 0 && loc < arity {
+			s[loc] = logic.SortNode
+		}
+		sorts[pred] = s
+	}
+
+	set := func(pred string, i int, s logic.Sort) {
+		if ps, ok := sorts[pred]; ok && i < len(ps) && ps[i] == "" {
+			ps[i] = s
+		}
+	}
+
+	// Facts contribute ground kinds.
+	for _, f := range an.Prog.Facts {
+		for i, v := range f.Args {
+			switch v.K {
+			case value.KindInt:
+				set(f.Pred, i, logic.SortMetric)
+			case value.KindAddr:
+				set(f.Pred, i, logic.SortNode)
+			case value.KindStr:
+				set(f.Pred, i, logic.SortString)
+			case value.KindList:
+				set(f.Pred, i, logic.SortPath)
+			case value.KindBool:
+				set(f.Pred, i, logic.SortBool)
+			}
+		}
+	}
+
+	// Rules: per rule, classify variables, then push onto atom positions.
+	for pass := 0; pass < 3; pass++ { // small fixpoint for propagation
+		for _, r := range an.Prog.Rules {
+			varSort := map[string]logic.Sort{}
+			classify := func(name string, s logic.Sort) {
+				if varSort[name] == "" {
+					varSort[name] = s
+				}
+			}
+			// Pull existing knowledge from atom positions.
+			visit := func(atom *ndlog.Atom) {
+				for i, arg := range atom.Args {
+					v, ok := arg.(ndlog.VarE)
+					if !ok {
+						continue
+					}
+					if ps := sorts[atom.Pred]; i < len(ps) && ps[i] != "" {
+						classify(v.Name, ps[i])
+					}
+				}
+			}
+			visit(&r.Head)
+			for _, l := range r.Body {
+				if l.Atom != nil {
+					visit(l.Atom)
+				}
+			}
+			// Expressions: arithmetic/order → Metric, path builtins → Path.
+			var scan func(e ndlog.Expr)
+			scan = func(e ndlog.Expr) {
+				switch x := e.(type) {
+				case ndlog.BinE:
+					switch x.Op {
+					case "+", "-", "*", "/", "%", "<", "<=", ">", ">=":
+						for _, side := range []ndlog.Expr{x.L, x.R} {
+							if v, ok := side.(ndlog.VarE); ok {
+								classify(v.Name, logic.SortMetric)
+							}
+						}
+					case "=", "==":
+						// X = f_init(...) → X : Path.
+						if v, ok := x.L.(ndlog.VarE); ok {
+							if c, ok2 := x.R.(ndlog.CallE); ok2 && isPathFn(c.Fn) {
+								classify(v.Name, logic.SortPath)
+							}
+						}
+					}
+					scan(x.L)
+					scan(x.R)
+				case ndlog.CallE:
+					switch x.Fn {
+					case "f_concatPath", "f_inPath", "f_size":
+						for _, a := range x.Args {
+							if v, ok := a.(ndlog.VarE); ok {
+								// Heuristic: list argument of path functions.
+								if x.Fn == "f_concatPath" && a == x.Args[1] || x.Fn != "f_concatPath" && a == x.Args[0] {
+									classify(v.Name, logic.SortPath)
+								}
+							}
+						}
+					}
+					for _, a := range x.Args {
+						scan(a)
+					}
+				case ndlog.AggE:
+					if x.Arg != "" && (x.Kind == "min" || x.Kind == "max" || x.Kind == "sum") {
+						classify(x.Arg, logic.SortMetric)
+					}
+				}
+			}
+			for _, l := range r.Body {
+				if l.Atom == nil {
+					scan(l.Expr)
+				}
+			}
+			for _, arg := range r.Head.Args {
+				scan(arg)
+			}
+			// Push variable sorts back onto predicate positions.
+			push := func(atom *ndlog.Atom) {
+				for i, arg := range atom.Args {
+					if v, ok := arg.(ndlog.VarE); ok {
+						if s := varSort[v.Name]; s != "" {
+							set(atom.Pred, i, s)
+						}
+					}
+				}
+			}
+			push(&r.Head)
+			for _, l := range r.Body {
+				if l.Atom != nil {
+					push(l.Atom)
+				}
+			}
+		}
+	}
+
+	for _, s := range sorts {
+		for i := range s {
+			if s[i] == "" {
+				s[i] = logic.SortAny
+			}
+		}
+	}
+	return sorts
+}
+
+func isPathFn(fn string) bool {
+	switch fn {
+	case "f_init", "f_concatPath", "f_append":
+		return true
+	}
+	return false
+}
+
+// sortOfVar determines the sort of a body variable of rule r by looking at
+// the atom positions it occupies.
+func (tr *translator) sortOfVar(r *ndlog.Rule, name string) logic.Sort {
+	check := func(atom *ndlog.Atom) logic.Sort {
+		for i, arg := range atom.Args {
+			if v, ok := arg.(ndlog.VarE); ok && v.Name == name {
+				if s := tr.paramSort(atom.Pred, i); s != logic.SortAny {
+					return s
+				}
+			}
+		}
+		return logic.SortAny
+	}
+	for _, l := range r.Body {
+		if l.Atom != nil {
+			if s := check(l.Atom); s != logic.SortAny {
+				return s
+			}
+		}
+	}
+	if s := check(&r.Head); s != logic.SortAny {
+		return s
+	}
+	return logic.SortAny
+}

@@ -1,0 +1,358 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/logic"
+	"repro/internal/ndlog"
+	"repro/internal/prover"
+	"repro/internal/value"
+)
+
+const pathVectorSrc = `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(path, infinity, infinity, keys(1,2,3)).
+
+r1 path(@S,D,P,C) :- link(@S,D,C), P=f_init(S,D).
+r2 path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+   C=C1+C2, P=f_concatPath(S,P2),
+   f_inPath(P2,S)=false.
+r3 bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+r4 bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+`
+
+func analyzed(t *testing.T, src string) *ndlog.Analysis {
+	t.Helper()
+	prog, err := ndlog.Parse("pv", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+func TestToLogicPathVectorShape(t *testing.T) {
+	an := analyzed(t, pathVectorSrc)
+	th, err := ToLogic(an, Options{TheoremsForAggregates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generated theory must contain the three inductive definitions.
+	for _, name := range []string{"path", "bestPathCost", "bestPath"} {
+		if _, ok := th.Lookup(name); !ok {
+			t.Errorf("missing inductive definition %s", name)
+		}
+	}
+	// path has two clauses (rules r1, r2), with the recursive clause
+	// existentially quantified, matching the PVS listing in §3.1.
+	pathDef, _ := th.Lookup("path")
+	if got := len(pathDef.Clauses()); got != 2 {
+		t.Errorf("path has %d clauses, want 2", got)
+	}
+	if len(pathDef.Params) != 4 || pathDef.Params[0].Name != "S" {
+		t.Errorf("path params = %v", pathDef.Params)
+	}
+	rendered := th.String()
+	for _, want := range []string{
+		"path(S:Node,D:Node,P:Path,C:Metric): INDUCTIVE bool",
+		"f_init(S,D)",
+		"f_concatPath(S,P2)",
+		"bestPathCostStrong: THEOREM",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("theory rendering missing %q:\n%s", want, rendered)
+		}
+	}
+	if err := th.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedAggTheoremIsProvable(t *testing.T) {
+	// E3 pipeline: parse NDlog → translate → prove route optimality.
+	an := analyzed(t, pathVectorSrc)
+	th, err := ToLogic(an, Options{TheoremsForAggregates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prover.New(th, "bestPathCostStrong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunScript(`(skosimp*) (expand "bestPathCost") (flatten) (grind)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		g, _ := p.Current()
+		t.Fatalf("bestPathCostStrong not proved; %d open:\n%s", p.Open(), g.String())
+	}
+}
+
+// bestPathStrong as in the paper, built over the *generated* theory.
+func addBestPathStrong(th *logic.Theory) {
+	S := logic.TV("S", logic.SortNode)
+	D := logic.TV("D", logic.SortNode)
+	P := logic.TV("P", logic.SortPath)
+	C := logic.TV("C", logic.SortMetric)
+	C2 := logic.TV("C2", logic.SortMetric)
+	P2 := logic.TV("P2", logic.SortPath)
+	th.AddTheorem("bestPathStrong", logic.Forall{
+		Vars: []logic.Var{S, D, C, P},
+		Body: logic.Implies{
+			L: logic.Pred{Name: "bestPath", Args: []logic.Term{S, D, P, C}},
+			R: logic.Not{F: logic.Exists{
+				Vars: []logic.Var{C2, P2},
+				Body: logic.Conj(
+					logic.Pred{Name: "path", Args: []logic.Term{S, D, P2, C2}},
+					logic.Cmp{Op: "<", L: C2, R: C},
+				),
+			}},
+		},
+	})
+}
+
+func TestBestPathStrongOverGeneratedTheorySevenSteps(t *testing.T) {
+	// The full §3.1 experiment: the route-optimality proof over the theory
+	// generated from NDlog source completes in the paper's 7 steps.
+	an := analyzed(t, pathVectorSrc)
+	th, err := ToLogic(an, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addBestPathStrong(th)
+	p, err := prover.New(th, "bestPathStrong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Prove(`
+		(skosimp*)
+		(expand "bestPath")
+		(flatten)
+		(expand "bestPathCost")
+		(flatten)
+		(inst -2 P2!1 C2!1)
+		(assert)
+	`)
+	if err != nil {
+		g, _ := p.Current()
+		t.Fatalf("%v\ncurrent goal:\n%s", err, g.String())
+	}
+	if res.Steps != 7 {
+		t.Errorf("proof took %d steps, paper reports 7: %v", res.Steps, res.Trace)
+	}
+}
+
+func TestToLogicIncludeFacts(t *testing.T) {
+	an := analyzed(t, pathVectorSrc+"\nlink(@a,b,1).\n")
+	th, err := ToLogic(an, Options{IncludeFacts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th.Axioms) != 1 {
+		t.Fatalf("axioms = %d, want 1", len(th.Axioms))
+	}
+	ax := th.Axioms[0]
+	if !strings.Contains(ax.Goal.String(), "link(") {
+		t.Errorf("fact axiom = %s", ax.Goal)
+	}
+}
+
+func TestToLogicRejectsCountSum(t *testing.T) {
+	an := analyzed(t, `r1 degree(@S,count<*>) :- link(@S,D).`)
+	if _, err := ToLogic(an, Options{}); err == nil {
+		t.Error("count aggregate translated to first-order logic")
+	}
+}
+
+func TestToLogicRejectsDeleteRules(t *testing.T) {
+	an := analyzed(t, `
+r1 p(@S) :- q(@S).
+rd delete p(@S) :- broken(@S), q(@S).
+`)
+	if _, err := ToLogic(an, Options{}); err == nil {
+		t.Error("delete rule translated to inductive definition")
+	}
+}
+
+func TestToLogicNegationTranslates(t *testing.T) {
+	an := analyzed(t, `
+r1 reach(@X,Y) :- edge(@X,Y).
+r2 dead(@X,Y) :- node(@X), node(@Y), !reach(@X,Y).
+`)
+	th, err := ToLogic(an, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, ok := th.Lookup("dead")
+	if !ok {
+		t.Fatal("dead not defined")
+	}
+	if !strings.Contains(dead.Body.String(), "NOT reach(") {
+		t.Errorf("negation lost: %s", dead.Body)
+	}
+	if err := th.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToLogicConstantHeadArgs(t *testing.T) {
+	an := analyzed(t, `r1 status(@S, "up", 1) :- node(@S).`)
+	th, err := ToLogic(an, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, ok := th.Lookup("status")
+	if !ok {
+		t.Fatal("status not defined")
+	}
+	// Constant head args become parameter equations.
+	body := def.Body.String()
+	if !strings.Contains(body, `="up"`) && !strings.Contains(body, `"up"=`) {
+		t.Errorf("constant head arg not equated: %s", body)
+	}
+}
+
+func TestSortInference(t *testing.T) {
+	an := analyzed(t, pathVectorSrc)
+	sorts := inferSorts(an)
+	link := sorts["link"]
+	if link[0] != logic.SortNode {
+		t.Errorf("link arg 1 sort = %s, want Node", link[0])
+	}
+	if link[2] != logic.SortMetric {
+		t.Errorf("link arg 3 sort = %s, want Metric", link[2])
+	}
+	path := sorts["path"]
+	if path[2] != logic.SortPath {
+		t.Errorf("path arg 3 sort = %s, want Path", path[2])
+	}
+	if path[3] != logic.SortMetric {
+		t.Errorf("path arg 4 sort = %s, want Metric", path[3])
+	}
+}
+
+const softPingSrc = `
+materialize(neighbor, 10, infinity, keys(1,2)).
+materialize(link, infinity, infinity, keys(1,2)).
+
+n1 neighbor(@N,M) :- ping(@N,M).
+n2 twoHop(@N,M2) :- neighbor(@N,M), link(@M,M2).
+`
+
+func TestSoftStateRewriteShape(t *testing.T) {
+	prog := ndlog.MustParse("soft", softPingSrc)
+	hard, err := RewriteSoftState(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// neighbor gains a timestamp column; rules referencing it gain clock
+	// atoms and freshness constraints.
+	n1, ok := hard.RuleByLabel("n1")
+	if !ok {
+		t.Fatal("n1 missing")
+	}
+	if len(n1.Head.Args) != 3 {
+		t.Errorf("n1 head arity = %d, want 3 (timestamp added)", len(n1.Head.Args))
+	}
+	text := hard.String()
+	for _, want := range []string{"clock(", "Now", "<="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rewritten program missing %q:\n%s", want, text)
+		}
+	}
+	// All lifetimes are now infinite.
+	for _, m := range hard.Materialized {
+		if !m.Lifetime.Infinite {
+			t.Errorf("materialize %s still soft", m.Pred)
+		}
+	}
+}
+
+func TestSoftStateRewriteSemantics(t *testing.T) {
+	// A base soft table: neighbor entries expire 10 seconds after their
+	// timestamp, so derived twoHop facts vanish when the clock passes the
+	// lifetime.
+	prog := ndlog.MustParse("soft", `
+materialize(neighbor, 10, infinity, keys(1,2)).
+materialize(link, infinity, infinity, keys(1,2)).
+n2 twoHop(@N,M2) :- neighbor(@N,M), link(@M,M2).
+`)
+	hard, err := RewriteSoftState(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := datalog.New(hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// neighbor observed at t=0; clock at t=5: fresh (lifetime 10).
+	must(e.Insert("neighbor", value.Tuple{value.Addr("a"), value.Addr("b"), value.Int(0)}))
+	must(e.Insert("link", value.Tuple{value.Addr("b"), value.Addr("c")}))
+	must(e.Insert("clock", value.Tuple{value.Addr("a"), value.Int(5)}))
+	must(e.Run())
+	if e.Count("twoHop") != 1 {
+		t.Fatalf("fresh neighbor did not derive twoHop: %v", e.Query("neighbor"))
+	}
+	// Advance the clock beyond the lifetime: the t=0 entry is stale at
+	// t=20 and twoHop must disappear.
+	e.DeleteBase("clock", value.Tuple{value.Addr("a"), value.Int(5)})
+	must(e.Insert("clock", value.Tuple{value.Addr("a"), value.Int(20)}))
+	must(e.Run())
+	if e.Count("twoHop") != 0 {
+		t.Errorf("stale neighbor still derives twoHop: %v", e.Query("twoHop"))
+	}
+}
+
+func TestSoftStateRewriteNoSoftTables(t *testing.T) {
+	prog := ndlog.MustParse("hard", `r1 p(@S) :- q(@S).`)
+	out, err := RewriteSoftState(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != prog {
+		t.Error("pure hard-state program should be returned unchanged")
+	}
+}
+
+func TestRewrittenSoftStateTranslates(t *testing.T) {
+	// §4.2's point: the rewrite makes soft-state programs amenable to the
+	// hard-state translation, at the cost of extra clock machinery.
+	prog := ndlog.MustParse("soft", softPingSrc)
+	hard, err := RewriteSoftState(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := ndlog.Analyze(hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := ToLogic(an, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, ok := th.Lookup("neighbor")
+	if !ok {
+		t.Fatal("neighbor not in theory")
+	}
+	if len(nb.Params) != 3 {
+		t.Errorf("neighbor params = %d, want 3", len(nb.Params))
+	}
+	// The encoding is visibly heavier: the twoHop definition mentions the
+	// clock and the freshness bound.
+	two, _ := th.Lookup("twoHop")
+	body := two.Body.String()
+	if !strings.Contains(body, "clock(") || !strings.Contains(body, "<=") {
+		t.Errorf("freshness constraints missing: %s", body)
+	}
+}

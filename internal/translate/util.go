@@ -1,0 +1,16 @@
+package translate
+
+import "repro/internal/value"
+
+var intZero = value.Int(0)
+
+// intVal converts a lifetime in seconds to an integer value (lifetimes in
+// the rewritten program are whole seconds; sub-second lifetimes round up so
+// freshness is never overstated).
+func intVal(seconds float64) value.V {
+	i := int64(seconds)
+	if float64(i) < seconds {
+		i++
+	}
+	return value.Int(i)
+}

@@ -1,0 +1,247 @@
+package value
+
+import "fmt"
+
+// Func is a builtin NDlog function: a pure mapping from argument values to a
+// result value. Builtins are shared by the Datalog engine (which evaluates
+// them during rule bodies), the distributed runtime, and the theorem prover's
+// decision procedure (which evaluates ground terms).
+type Func struct {
+	Name  string
+	Arity int // -1 means variadic
+	Apply func(args []V) (V, error)
+}
+
+// builtins maps a function name to its implementation.
+var builtins = map[string]Func{}
+
+// RegisterFunc installs a builtin function. It panics if the name is
+// already registered; builtins are process-global and registered at init
+// time only.
+func RegisterFunc(f Func) {
+	if _, dup := builtins[f.Name]; dup {
+		panic("value: duplicate builtin function " + f.Name)
+	}
+	builtins[f.Name] = f
+}
+
+// LookupFunc returns the builtin with the given name.
+func LookupFunc(name string) (Func, bool) {
+	f, ok := builtins[name]
+	return f, ok
+}
+
+// Apply evaluates the named builtin on args.
+func Apply(name string, args []V) (V, error) {
+	f, ok := builtins[name]
+	if !ok {
+		return V{}, fmt.Errorf("value: unknown function %q", name)
+	}
+	if f.Arity >= 0 && len(args) != f.Arity {
+		return V{}, fmt.Errorf("value: %s expects %d arguments, got %d", name, f.Arity, len(args))
+	}
+	return f.Apply(args)
+}
+
+// IsBuiltin reports whether name is a registered builtin function.
+func IsBuiltin(name string) bool {
+	_, ok := builtins[name]
+	return ok
+}
+
+func wantList(name string, v V) ([]V, error) {
+	if v.K != KindList {
+		return nil, fmt.Errorf("value: %s expects a list, got %s", name, v.K)
+	}
+	return v.L, nil
+}
+
+func wantInt(name string, v V) (int64, error) {
+	if v.K != KindInt {
+		return 0, fmt.Errorf("value: %s expects an int, got %s", name, v.K)
+	}
+	return v.I, nil
+}
+
+func init() {
+	// f_init(S, D) constructs the two-element path vector [S, D].
+	RegisterFunc(Func{Name: "f_init", Arity: 2, Apply: func(a []V) (V, error) {
+		return List(a[0], a[1]), nil
+	}})
+
+	// f_concatPath(S, P) prepends node S to path vector P.
+	RegisterFunc(Func{Name: "f_concatPath", Arity: 2, Apply: func(a []V) (V, error) {
+		p, err := wantList("f_concatPath", a[1])
+		if err != nil {
+			return V{}, err
+		}
+		out := make([]V, 0, len(p)+1)
+		out = append(out, a[0])
+		out = append(out, p...)
+		return List(out...), nil
+	}})
+
+	// f_inPath(P, S) reports whether node S occurs in path vector P.
+	RegisterFunc(Func{Name: "f_inPath", Arity: 2, Apply: func(a []V) (V, error) {
+		p, err := wantList("f_inPath", a[0])
+		if err != nil {
+			return V{}, err
+		}
+		for _, e := range p {
+			if e.Equal(a[1]) {
+				return Bool(true), nil
+			}
+		}
+		return Bool(false), nil
+	}})
+
+	// f_size(P) returns the length of list P.
+	RegisterFunc(Func{Name: "f_size", Arity: 1, Apply: func(a []V) (V, error) {
+		p, err := wantList("f_size", a[0])
+		if err != nil {
+			return V{}, err
+		}
+		return Int(int64(len(p))), nil
+	}})
+
+	// f_last(P) returns the last element of list P.
+	RegisterFunc(Func{Name: "f_last", Arity: 1, Apply: func(a []V) (V, error) {
+		p, err := wantList("f_last", a[0])
+		if err != nil {
+			return V{}, err
+		}
+		if len(p) == 0 {
+			return V{}, fmt.Errorf("value: f_last of empty list")
+		}
+		return p[len(p)-1], nil
+	}})
+
+	// f_first(P) returns the first element of list P.
+	RegisterFunc(Func{Name: "f_first", Arity: 1, Apply: func(a []V) (V, error) {
+		p, err := wantList("f_first", a[0])
+		if err != nil {
+			return V{}, err
+		}
+		if len(p) == 0 {
+			return V{}, fmt.Errorf("value: f_first of empty list")
+		}
+		return p[0], nil
+	}})
+
+	// f_append(P, X) appends element X to list P.
+	RegisterFunc(Func{Name: "f_append", Arity: 2, Apply: func(a []V) (V, error) {
+		p, err := wantList("f_append", a[0])
+		if err != nil {
+			return V{}, err
+		}
+		out := make([]V, 0, len(p)+1)
+		out = append(out, p...)
+		out = append(out, a[1])
+		return List(out...), nil
+	}})
+
+	// f_member(P, I) returns the I-th (0-based) element of list P.
+	RegisterFunc(Func{Name: "f_member", Arity: 2, Apply: func(a []V) (V, error) {
+		p, err := wantList("f_member", a[0])
+		if err != nil {
+			return V{}, err
+		}
+		i, err := wantInt("f_member", a[1])
+		if err != nil {
+			return V{}, err
+		}
+		if i < 0 || i >= int64(len(p)) {
+			return V{}, fmt.Errorf("value: f_member index %d out of range [0,%d)", i, len(p))
+		}
+		return p[i], nil
+	}})
+
+	// f_if(Cond, Then, Else) selects by a boolean (used e.g. for BGP route
+	// poisoning: loopy paths get an infinite rank instead of being dropped,
+	// so the keyed candidate table sees an implicit withdrawal).
+	RegisterFunc(Func{Name: "f_if", Arity: 3, Apply: func(a []V) (V, error) {
+		if !a[0].IsBool() {
+			return V{}, fmt.Errorf("value: f_if condition must be a bool, got %s", a[0].K)
+		}
+		if a[0].True() {
+			return a[1], nil
+		}
+		return a[2], nil
+	}})
+
+	// f_min(A, B) and f_max(A, B) over the total value order.
+	RegisterFunc(Func{Name: "f_min", Arity: 2, Apply: func(a []V) (V, error) {
+		if a[0].Compare(a[1]) <= 0 {
+			return a[0], nil
+		}
+		return a[1], nil
+	}})
+	RegisterFunc(Func{Name: "f_max", Arity: 2, Apply: func(a []V) (V, error) {
+		if a[0].Compare(a[1]) >= 0 {
+			return a[0], nil
+		}
+		return a[1], nil
+	}})
+}
+
+// ApplyBinary evaluates an infix operator (+, -, *, /, %) or comparison
+// (==, !=, <, <=, >, >=) or boolean connective (&&, ||) on two values.
+func ApplyBinary(op string, l, r V) (V, error) {
+	switch op {
+	case "+", "-", "*", "/", "%":
+		if l.K != KindInt || r.K != KindInt {
+			// "+" also concatenates strings and lists.
+			if op == "+" && l.K == KindStr && r.K == KindStr {
+				return Str(l.S + r.S), nil
+			}
+			if op == "+" && l.K == KindList && r.K == KindList {
+				out := make([]V, 0, len(l.L)+len(r.L))
+				out = append(out, l.L...)
+				out = append(out, r.L...)
+				return List(out...), nil
+			}
+			return V{}, fmt.Errorf("value: %s requires ints, got %s and %s", op, l.K, r.K)
+		}
+		switch op {
+		case "+":
+			return Int(l.I + r.I), nil
+		case "-":
+			return Int(l.I - r.I), nil
+		case "*":
+			return Int(l.I * r.I), nil
+		case "/":
+			if r.I == 0 {
+				return V{}, fmt.Errorf("value: division by zero")
+			}
+			return Int(l.I / r.I), nil
+		case "%":
+			if r.I == 0 {
+				return V{}, fmt.Errorf("value: modulo by zero")
+			}
+			return Int(l.I % r.I), nil
+		}
+	case "==":
+		return Bool(l.Equal(r)), nil
+	case "!=":
+		return Bool(!l.Equal(r)), nil
+	case "<":
+		return Bool(l.Compare(r) < 0), nil
+	case "<=":
+		return Bool(l.Compare(r) <= 0), nil
+	case ">":
+		return Bool(l.Compare(r) > 0), nil
+	case ">=":
+		return Bool(l.Compare(r) >= 0), nil
+	case "&&":
+		if !l.IsBool() || !r.IsBool() {
+			return V{}, fmt.Errorf("value: && requires bools")
+		}
+		return Bool(l.True() && r.True()), nil
+	case "||":
+		if !l.IsBool() || !r.IsBool() {
+			return V{}, fmt.Errorf("value: || requires bools")
+		}
+		return Bool(l.True() || r.True()), nil
+	}
+	return V{}, fmt.Errorf("value: unknown operator %q", op)
+}

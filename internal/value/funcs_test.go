@@ -1,0 +1,91 @@
+package value
+
+import "testing"
+
+func TestFIf(t *testing.T) {
+	v, err := Apply("f_if", []V{Bool(true), Int(1), Int(2)})
+	if err != nil || v.I != 1 {
+		t.Errorf("f_if(true) = %v, %v", v, err)
+	}
+	v, err = Apply("f_if", []V{Bool(false), Int(1), Int(2)})
+	if err != nil || v.I != 2 {
+		t.Errorf("f_if(false) = %v, %v", v, err)
+	}
+	if _, err := Apply("f_if", []V{Int(1), Int(1), Int(2)}); err == nil {
+		t.Error("f_if with non-bool condition accepted")
+	}
+}
+
+func TestFAppendAndMember(t *testing.T) {
+	l, err := Apply("f_append", []V{List(Int(1)), Int(2)})
+	if err != nil || len(l.L) != 2 || l.L[1].I != 2 {
+		t.Errorf("f_append = %v, %v", l, err)
+	}
+	m, err := Apply("f_member", []V{l, Int(1)})
+	if err != nil || m.I != 2 {
+		t.Errorf("f_member = %v, %v", m, err)
+	}
+	if _, err := Apply("f_member", []V{l, Int(-1)}); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := Apply("f_append", []V{Int(1), Int(2)}); err == nil {
+		t.Error("f_append on non-list accepted")
+	}
+}
+
+func TestFMinMax(t *testing.T) {
+	v, _ := Apply("f_min", []V{Int(3), Int(5)})
+	if v.I != 3 {
+		t.Errorf("f_min = %v", v)
+	}
+	v, _ = Apply("f_max", []V{Int(3), Int(5)})
+	if v.I != 5 {
+		t.Errorf("f_max = %v", v)
+	}
+	// Ties return either operand; both are equal.
+	v, _ = Apply("f_min", []V{Str("a"), Str("a")})
+	if v.S != "a" {
+		t.Errorf("f_min tie = %v", v)
+	}
+}
+
+func TestLookupFunc(t *testing.T) {
+	f, ok := LookupFunc("f_init")
+	if !ok || f.Arity != 2 {
+		t.Errorf("LookupFunc(f_init) = %+v, %v", f, ok)
+	}
+	if _, ok := LookupFunc("nope"); ok {
+		t.Error("ghost builtin found")
+	}
+	if !IsBuiltin("f_inPath") || IsBuiltin("nope") {
+		t.Error("IsBuiltin wrong")
+	}
+}
+
+func TestCrossKindCompare(t *testing.T) {
+	// Kinds order before content; the exact order is unspecified but must
+	// be total and antisymmetric.
+	a, b := Int(1), Str("1")
+	if a.Compare(b) == 0 {
+		t.Error("cross-kind compare returned equal")
+	}
+	if a.Compare(b) != -b.Compare(a) {
+		t.Error("cross-kind compare not antisymmetric")
+	}
+}
+
+func TestBoolHelpers(t *testing.T) {
+	if !Bool(true).IsBool() || !Bool(false).IsBool() || Int(1).IsBool() {
+		t.Error("IsBool wrong")
+	}
+	if Bool(false).True() || !Bool(true).True() || Int(1).True() {
+		t.Error("True wrong")
+	}
+}
+
+func TestStringConcatViaPlus(t *testing.T) {
+	v, err := ApplyBinary("+", Str("foo"), Str("bar"))
+	if err != nil || v.S != "foobar" {
+		t.Errorf("string + = %v, %v", v, err)
+	}
+}

@@ -1,0 +1,262 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEqualAndCompare(t *testing.T) {
+	tests := []struct {
+		a, b V
+		eq   bool
+		cmp  int
+	}{
+		{Int(1), Int(1), true, 0},
+		{Int(1), Int(2), false, -1},
+		{Str("a"), Str("b"), false, -1},
+		{Str("a"), Str("a"), true, 0},
+		{Bool(true), Bool(false), false, 1},
+		{Addr("n1"), Addr("n1"), true, 0},
+		{Addr("n1"), Str("n1"), false, 0}, // different kinds never equal
+		{List(Int(1), Int(2)), List(Int(1), Int(2)), true, 0},
+		{List(Int(1)), List(Int(1), Int(2)), false, -1},
+		{List(Int(2)), List(Int(1), Int(9)), false, 1},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Equal(tc.b); got != tc.eq {
+			t.Errorf("%v.Equal(%v) = %v, want %v", tc.a, tc.b, got, tc.eq)
+		}
+		if tc.a.K == tc.b.K {
+			if got := tc.a.Compare(tc.b); got != tc.cmp {
+				t.Errorf("%v.Compare(%v) = %d, want %d", tc.a, tc.b, got, tc.cmp)
+			}
+		}
+	}
+}
+
+func TestCompareTotalOrderProperties(t *testing.T) {
+	// Antisymmetry and consistency with Equal, property-checked.
+	f := func(a, b int64, s1, s2 string) bool {
+		vs := []V{Int(a), Int(b), Str(s1), Str(s2), List(Int(a), Str(s1)), Bool(a%2 == 0)}
+		for _, x := range vs {
+			for _, y := range vs {
+				cxy, cyx := x.Compare(y), y.Compare(x)
+				if cxy != -cyx {
+					return false
+				}
+				if (cxy == 0) != x.Equal(y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	f := func(a int64, s string, b bool) bool {
+		vs := []V{Int(a), Str(s), Bool(b), Addr(s), List(Int(a)), List(Str(s), Int(a))}
+		for i, x := range vs {
+			for j, y := range vs {
+				if (x.Key() == y.Key()) != (i == j || x.Equal(y)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyDistinguishesNesting(t *testing.T) {
+	a := List(List(Int(1)), Int(2))
+	b := List(List(Int(1), Int(2)))
+	if a.Key() == b.Key() {
+		t.Errorf("nested lists share key: %q", a.Key())
+	}
+	// String/addr confusion.
+	if Str("x").Key() == Addr("x").Key() {
+		t.Error("Str and Addr share key")
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		v    V
+		want string
+	}{
+		{Int(-3), "-3"},
+		{Str("hi"), `"hi"`},
+		{Bool(true), "true"},
+		{Addr("n2"), "n2"},
+		{List(Int(1), Addr("a")), "[1,a]"},
+	}
+	for _, tc := range tests {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String(%v) = %q, want %q", tc.v.K, got, tc.want)
+		}
+	}
+}
+
+func TestTupleOperations(t *testing.T) {
+	a := Tuple{Int(1), Str("x")}
+	b := Tuple{Int(1), Str("x")}
+	c := Tuple{Int(1), Str("y")}
+	if !a.Equal(b) || a.Equal(c) {
+		t.Error("tuple equality wrong")
+	}
+	if a.Compare(c) >= 0 {
+		t.Error("tuple compare wrong")
+	}
+	if a.Key() == c.Key() {
+		t.Error("tuple keys collide")
+	}
+	clone := a.Clone()
+	if !clone.Equal(a) {
+		t.Error("clone differs")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := Tuple{List(Int(1), Int(2))}
+	clone := orig.Clone()
+	clone[0].L[0] = Int(99)
+	if orig[0].L[0].I != 1 {
+		t.Error("Clone shares list storage with original")
+	}
+}
+
+func TestBuiltinPathFunctions(t *testing.T) {
+	p, err := Apply("f_init", []V{Addr("s"), Addr("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.L) != 2 || p.L[0].S != "s" || p.L[1].S != "d" {
+		t.Fatalf("f_init = %v", p)
+	}
+	p2, err := Apply("f_concatPath", []V{Addr("a"), p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.L) != 3 || p2.L[0].S != "a" {
+		t.Fatalf("f_concatPath = %v", p2)
+	}
+	in, err := Apply("f_inPath", []V{p2, Addr("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.True() {
+		t.Error("f_inPath missed member")
+	}
+	out, err := Apply("f_inPath", []V{p2, Addr("z")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.True() {
+		t.Error("f_inPath found non-member")
+	}
+	sz, err := Apply("f_size", []V{p2})
+	if err != nil || sz.I != 3 {
+		t.Errorf("f_size = %v, %v", sz, err)
+	}
+	last, err := Apply("f_last", []V{p2})
+	if err != nil || last.S != "d" {
+		t.Errorf("f_last = %v, %v", last, err)
+	}
+	first, err := Apply("f_first", []V{p2})
+	if err != nil || first.S != "a" {
+		t.Errorf("f_first = %v, %v", first, err)
+	}
+}
+
+func TestBuiltinErrors(t *testing.T) {
+	if _, err := Apply("f_nope", nil); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, err := Apply("f_init", []V{Int(1)}); err == nil {
+		t.Error("arity error accepted")
+	}
+	if _, err := Apply("f_inPath", []V{Int(1), Int(2)}); err == nil {
+		t.Error("type error accepted")
+	}
+	if _, err := Apply("f_last", []V{List()}); err == nil {
+		t.Error("f_last of empty list accepted")
+	}
+	if _, err := Apply("f_member", []V{List(Int(1)), Int(5)}); err == nil {
+		t.Error("out-of-range f_member accepted")
+	}
+}
+
+func TestApplyBinaryArith(t *testing.T) {
+	tests := []struct {
+		op   string
+		l, r V
+		want V
+	}{
+		{"+", Int(2), Int(3), Int(5)},
+		{"-", Int(2), Int(3), Int(-1)},
+		{"*", Int(4), Int(3), Int(12)},
+		{"/", Int(7), Int(2), Int(3)},
+		{"%", Int(7), Int(2), Int(1)},
+		{"+", Str("a"), Str("b"), Str("ab")},
+		{"+", List(Int(1)), List(Int(2)), List(Int(1), Int(2))},
+		{"==", Int(1), Int(1), Bool(true)},
+		{"!=", Int(1), Int(1), Bool(false)},
+		{"<", Int(1), Int(2), Bool(true)},
+		{"<=", Int(2), Int(2), Bool(true)},
+		{">", Int(1), Int(2), Bool(false)},
+		{">=", Int(3), Int(2), Bool(true)},
+		{"&&", Bool(true), Bool(false), Bool(false)},
+		{"||", Bool(true), Bool(false), Bool(true)},
+	}
+	for _, tc := range tests {
+		got, err := ApplyBinary(tc.op, tc.l, tc.r)
+		if err != nil {
+			t.Errorf("%v %s %v: %v", tc.l, tc.op, tc.r, err)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("%v %s %v = %v, want %v", tc.l, tc.op, tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestApplyBinaryErrors(t *testing.T) {
+	if _, err := ApplyBinary("/", Int(1), Int(0)); err == nil {
+		t.Error("division by zero accepted")
+	}
+	if _, err := ApplyBinary("%", Int(1), Int(0)); err == nil {
+		t.Error("modulo by zero accepted")
+	}
+	if _, err := ApplyBinary("+", Int(1), Str("x")); err == nil {
+		t.Error("mixed-type + accepted")
+	}
+	if _, err := ApplyBinary("&&", Int(1), Bool(true)); err == nil {
+		t.Error("non-bool && accepted")
+	}
+	if _, err := ApplyBinary("??", Int(1), Int(1)); err == nil {
+		t.Error("unknown operator accepted")
+	}
+}
+
+func TestRegisterFuncDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	RegisterFunc(Func{Name: "f_init", Arity: 2, Apply: func([]V) (V, error) { return V{}, nil }})
+}
+
+func TestSortTuples(t *testing.T) {
+	ts := []Tuple{{Int(2)}, {Int(1)}, {Int(3)}}
+	SortTuples(ts)
+	if ts[0][0].I != 1 || ts[2][0].I != 3 {
+		t.Errorf("SortTuples = %v", ts)
+	}
+}
