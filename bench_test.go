@@ -23,6 +23,7 @@ import (
 	"repro/internal/modelcheck"
 	"repro/internal/ndlog"
 	"repro/internal/netgraph"
+	"repro/internal/obs"
 	"repro/internal/prover"
 	"repro/internal/translate"
 	"repro/internal/value"
@@ -430,4 +431,58 @@ func BenchmarkA4BFSvsDFS(b *testing.B) {
 		}
 		b.ReportMetric(float64(visited), "states")
 	})
+}
+
+// --- Observability overhead --------------------------------------------------
+
+// BenchmarkObsOverhead pairs identical runs with observability disabled
+// (nil collector/tracer — the hot loops pay only nil checks) and fully
+// enabled (external collector, ring-buffered tracer). The disabled
+// variant is the default configuration and must stay within noise of the
+// pre-instrumentation baseline.
+func BenchmarkObsOverhead(b *testing.B) {
+	topo := netgraph.Ring(8)
+	runNet := func(b *testing.B, col *obs.Collector, tr *obs.Tracer) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			prog := ndlog.MustParse("pv", core.PathVectorSrc)
+			net, err := dist.NewNetwork(prog, topo, dist.Options{
+				MaxTime: 10000, LoadTopologyLinks: true, Obs: col, Trace: tr,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := net.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("dist/disabled", func(b *testing.B) { runNet(b, nil, nil) })
+	b.Run("dist/enabled", func(b *testing.B) {
+		runNet(b, obs.NewCollector(), obs.NewTracer(obs.NewRingSink(1<<16)))
+	})
+
+	runEng := func(b *testing.B, attach bool) {
+		b.ReportAllocs()
+		links := netgraph.Ring(8).LinkTuples()
+		for i := 0; i < b.N; i++ {
+			eng, err := datalog.New(ndlog.MustParse("pv", core.PathVectorSrc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if attach {
+				eng.Attach(obs.NewCollector(), obs.NewTracer(obs.NewRingSink(1<<16)))
+			}
+			for _, t := range links {
+				if err := eng.Insert("link", t); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("engine/disabled", func(b *testing.B) { runEng(b, false) })
+	b.Run("engine/enabled", func(b *testing.B) { runEng(b, true) })
 }

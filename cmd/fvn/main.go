@@ -27,6 +27,8 @@ import (
 	"repro/internal/metarouting"
 	"repro/internal/modelcheck"
 	"repro/internal/netgraph"
+	"repro/internal/obs"
+	"repro/internal/prover"
 	"repro/internal/translate"
 )
 
@@ -84,6 +86,44 @@ func loadProtocol(args []string) (*core.Protocol, []string, error) {
 	return p, args[1:], nil
 }
 
+// parseCmd parses a subcommand's flags, which may appear before and/or
+// after the single positional .ndlog file argument (Go's flag package
+// stops at the first non-flag, so `fvn run --explain f.ndlog` and
+// `fvn run f.ndlog --explain` must both work). It returns the loaded
+// protocol.
+func parseCmd(fs *flag.FlagSet, args []string) (*core.Protocol, error) {
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return nil, fmt.Errorf("expected an .ndlog file argument")
+	}
+	file := rest[0]
+	if err := fs.Parse(rest[1:]); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	p, _, err := loadProtocol([]string{file})
+	return p, err
+}
+
+// openTrace builds a tracer writing JSONL events to path; "" disables
+// tracing. The returned close function flushes and closes the file.
+func openTrace(path string) (*obs.Tracer, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := obs.NewTracer(obs.NewJSONLSink(f))
+	return tr, tr.Close, nil
+}
+
 func cmdTranslate(args []string) error {
 	p, _, err := loadProtocol(args)
 	if err != nil {
@@ -97,15 +137,14 @@ func cmdTranslate(args []string) error {
 }
 
 func cmdVerify(args []string) error {
-	p, rest, err := loadProtocol(args)
-	if err != nil {
-		return err
-	}
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	theorem := fs.String("theorem", "", "theorem name")
 	script := fs.String("script", "", "proof script file")
 	auto := fs.Bool("auto", false, "use the automated strategy (grind)")
-	if err := fs.Parse(rest); err != nil {
+	explain := fs.Bool("explain", false, "print per-tactic EXPLAIN ANALYZE after the proof")
+	tracePath := fs.String("trace", "", "write JSONL trace events to this file")
+	p, err := parseCmd(fs, args)
+	if err != nil {
 		return err
 	}
 	if err := p.Specify(translate.Options{TheoremsForAggregates: true}); err != nil {
@@ -114,33 +153,47 @@ func cmdVerify(args []string) error {
 	if *theorem == "" {
 		return fmt.Errorf("-theorem is required; available: %v", theoremNames(p))
 	}
-	var res interface {
-		String() string
+	tracer, closeTrace, err := openTrace(*tracePath)
+	if err != nil {
+		return err
 	}
-	_ = res
+	col := obs.NewCollector()
+	pr, err := prover.New(p.Theory, *theorem)
+	if err != nil {
+		return err
+	}
+	pr.Instrument(col, tracer)
 	if *auto {
-		r, err := p.VerifyAuto(*theorem)
+		// The automated strategy: skosimp* then grind (arc 5).
+		if err := pr.Skosimp(); err != nil {
+			return err
+		}
+		if err := pr.Grind(); err != nil {
+			return err
+		}
+	} else {
+		if *script == "" {
+			return fmt.Errorf("provide -script or -auto")
+		}
+		body, err := os.ReadFile(*script)
 		if err != nil {
 			return err
 		}
-		report(r.QED, *theorem, r.Steps, r.PrimSteps, r.AutomationRatio(), r.Elapsed.Seconds())
-		if !r.QED {
-			return fmt.Errorf("%d goals remain open", r.OpenGoals)
+		if err := pr.RunScript(string(body)); err != nil {
+			return err
 		}
-		return nil
 	}
-	if *script == "" {
-		return fmt.Errorf("provide -script or -auto")
-	}
-	body, err := os.ReadFile(*script)
-	if err != nil {
-		return err
-	}
-	r, err := p.Verify(*theorem, string(body))
-	if err != nil {
-		return err
-	}
+	r := pr.Summary()
 	report(r.QED, *theorem, r.Steps, r.PrimSteps, r.AutomationRatio(), r.Elapsed.Seconds())
+	if *explain {
+		obs.WriteTacticExplain(os.Stdout, col)
+	}
+	if err := closeTrace(); err != nil {
+		return err
+	}
+	if !r.QED {
+		return fmt.Errorf("%d goals remain open", r.OpenGoals)
+	}
 	return nil
 }
 
@@ -196,23 +249,31 @@ func parseTopo(spec string) (*netgraph.Topology, error) {
 }
 
 func cmdRun(args []string) error {
-	p, rest, err := loadProtocol(args)
-	if err != nil {
-		return err
-	}
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	topoSpec := fs.String("topo", "ring:4", "topology spec, e.g. ring:5")
 	pred := fs.String("pred", "", "predicate to dump after the run")
 	maxTime := fs.Float64("maxtime", 10000, "simulated time bound")
 	loss := fs.Float64("loss", 0, "message loss rate")
-	if err := fs.Parse(rest); err != nil {
+	explain := fs.Bool("explain", false, "print per-rule EXPLAIN ANALYZE after the run")
+	tracePath := fs.String("trace", "", "write JSONL trace events to this file")
+	p, err := parseCmd(fs, args)
+	if err != nil {
 		return err
 	}
 	topo, err := parseTopo(*topoSpec)
 	if err != nil {
 		return err
 	}
-	net, err := p.Execute(topo, dist.Options{MaxTime: *maxTime, LossRate: *loss, LoadTopologyLinks: true})
+	tracer, closeTrace, err := openTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	opts := dist.Options{MaxTime: *maxTime, LossRate: *loss, LoadTopologyLinks: true, Trace: tracer}
+	if *explain {
+		// An external collector switches on per-rule eval timing.
+		opts.Obs = obs.NewCollector()
+	}
+	net, err := p.Execute(topo, opts)
 	if err != nil {
 		return err
 	}
@@ -223,20 +284,26 @@ func cmdRun(args []string) error {
 	fmt.Printf("converged=%v time=%.1f messages=%d derivations=%d route-changes=%d flips=%d\n",
 		res.Converged, res.Time, res.Stats.MessagesSent, res.Stats.Derivations,
 		res.Stats.RouteChanges, res.Stats.Flips)
+	if *explain {
+		net.Explain(os.Stdout, p.Name)
+	}
 	if *pred != "" {
 		fmt.Print(net.Snapshot(*pred))
 	}
-	return nil
+	return closeTrace()
 }
 
 func cmdMC(args []string) error {
-	p, rest, err := loadProtocol(args)
+	fs := flag.NewFlagSet("mc", flag.ContinueOnError)
+	maxStates := fs.Int("maxstates", 1<<16, "state bound")
+	explain := fs.Bool("explain", false, "print exploration metrics after the check")
+	tracePath := fs.String("trace", "", "write JSONL trace events to this file")
+	p, err := parseCmd(fs, args)
 	if err != nil {
 		return err
 	}
-	fs := flag.NewFlagSet("mc", flag.ContinueOnError)
-	maxStates := fs.Int("maxstates", 1<<16, "state bound")
-	if err := fs.Parse(rest); err != nil {
+	tracer, closeTrace, err := openTrace(*tracePath)
+	if err != nil {
 		return err
 	}
 	sys, err := p.TransitionSystem(nil)
@@ -253,7 +320,21 @@ func cmdMC(args []string) error {
 	} else {
 		fmt.Println("no quiescent state reachable (divergence or truncation)")
 	}
-	return nil
+	col := obs.NewCollector()
+	col.Counter("mc", "states_visited", "").Add(int64(count))
+	col.Counter("mc", "transitions", "").Add(int64(stats.Transitions))
+	col.Counter("mc", "max_depth", "").Add(int64(stats.MaxDepth))
+	if tracer != nil {
+		name := "quiescent"
+		if !q.Holds {
+			name = "no-quiescence"
+		}
+		tracer.Emit(obs.Event{Kind: obs.EvRunEnd, Name: name, N: int64(count)})
+	}
+	if *explain {
+		obs.WriteMetrics(os.Stdout, col)
+	}
+	return closeTrace()
 }
 
 func cmdAlgebra(args []string) error {

@@ -1,6 +1,15 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
 
 func TestParseTopo(t *testing.T) {
 	cases := []struct {
@@ -45,5 +54,84 @@ func TestAlgebraCommand(t *testing.T) {
 	}
 	if err := cmdAlgebra([]string{"-name", "zzz"}); err == nil {
 		t.Error("unknown algebra accepted")
+	}
+}
+
+func TestParseCmdFlagPositions(t *testing.T) {
+	file := "../../examples/ndlog/pathvector.ndlog"
+	for _, args := range [][]string{
+		{"-topo", "line:3", file},
+		{file, "-topo", "line:3"},
+	} {
+		fs := flag.NewFlagSet("run", flag.ContinueOnError)
+		fs.String("topo", "ring:4", "")
+		p, err := parseCmd(fs, args)
+		if err != nil {
+			t.Errorf("parseCmd(%v): %v", args, err)
+			continue
+		}
+		if p == nil || len(p.Program.Rules) == 0 {
+			t.Errorf("parseCmd(%v): protocol not loaded", args)
+		}
+	}
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	if _, err := parseCmd(fs, []string{file, "extra"}); err == nil {
+		t.Error("parseCmd accepted a stray positional argument")
+	}
+	fs = flag.NewFlagSet("run", flag.ContinueOnError)
+	if _, err := parseCmd(fs, []string{"-x"}); err == nil {
+		t.Error("parseCmd accepted an unknown flag")
+	}
+}
+
+// TestRunExplainAndTrace covers the acceptance path: flags before the
+// file, EXPLAIN output, and a JSONL trace whose message events reconcile.
+func TestRunExplainAndTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "run.jsonl")
+	err := cmdRun([]string{"--explain", "--trace", trace, "-topo", "line:4", "-loss", "0.1",
+		"../../examples/ndlog/pathvector.ndlog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		counts[ev.Kind]++
+	}
+	if counts[obs.EvMessageSent] == 0 {
+		t.Fatal("no message_sent events in trace")
+	}
+	if got := counts[obs.EvMessageDelivered] + counts[obs.EvMessageDropped]; got != counts[obs.EvMessageSent] {
+		t.Errorf("delivered %d + dropped %d != sent %d",
+			counts[obs.EvMessageDelivered], counts[obs.EvMessageDropped], counts[obs.EvMessageSent])
+	}
+	if counts[obs.EvRunEnd] != 1 {
+		t.Errorf("run_end events = %d, want 1", counts[obs.EvRunEnd])
+	}
+}
+
+func TestVerifyAutoExplain(t *testing.T) {
+	err := cmdVerify([]string{"-auto", "--explain", "-theorem", "bestPathCostStrong",
+		"../../examples/ndlog/pathvector.ndlog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCExplain(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "mc.jsonl")
+	err := cmdMC([]string{"--explain", "--trace", trace, "../../examples/ndlog/pathvector.ndlog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(trace); err != nil || fi.Size() == 0 {
+		t.Errorf("mc trace file empty or missing: %v", err)
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/datalog"
 	"repro/internal/ndlog"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -95,6 +96,8 @@ func cmdEval(name, src string, rest []string) error {
 	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 	pred := fs.String("pred", "", "only dump this predicate")
 	naive := fs.Bool("naive", false, "use naive instead of semi-naive evaluation")
+	explain := fs.Bool("explain", false, "print per-rule EXPLAIN ANALYZE after evaluation")
+	tracePath := fs.String("trace", "", "write JSONL trace events to this file")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -105,6 +108,19 @@ func cmdEval(name, src string, rest []string) error {
 	eng, err := datalog.New(prog)
 	if err != nil {
 		return err
+	}
+	var closeTrace func() error
+	if *explain || *tracePath != "" {
+		var tracer *obs.Tracer
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			tracer = obs.NewTracer(obs.NewJSONLSink(f))
+			closeTrace = tracer.Close
+		}
+		eng.Attach(obs.NewCollector(), tracer)
 	}
 	if *naive {
 		eng.Mode = datalog.Naive
@@ -131,5 +147,11 @@ func cmdEval(name, src string, rest []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "iterations=%d derivations=%d new=%d probes=%d\n",
 		eng.Stats.Iterations, eng.Stats.Derivations, eng.Stats.NewTuples, eng.Stats.JoinProbes)
+	if *explain {
+		eng.Explain(os.Stdout, name)
+	}
+	if closeTrace != nil {
+		return closeTrace()
+	}
 	return nil
 }

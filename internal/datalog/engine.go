@@ -2,9 +2,13 @@ package datalog
 
 import (
 	"fmt"
+	"io"
 	"sort"
+	"strconv"
+	"time"
 
 	"repro/internal/ndlog"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -35,6 +39,43 @@ type Engine struct {
 
 	rels  map[string]*Relation
 	Stats Stats
+
+	// Observability (nil when disabled — see Attach). ruleObs carries
+	// pre-resolved per-rule metric handles so the hot loop pays only a
+	// nil-map lookup when instrumentation is off.
+	col     *obs.Collector
+	tracer  *obs.Tracer
+	ruleObs map[*ndlog.Rule]*ruleObs
+}
+
+// ruleObs bundles the per-rule metric handles of one rule.
+type ruleObs struct {
+	firings *obs.Counter
+	probes  *obs.Counter
+	emitted *obs.Counter
+	eval    *obs.Histogram
+}
+
+// Attach connects the engine to an observability collector and trace
+// stream under the "datalog" component. Per-rule handles (firings, join
+// probes, tuples emitted, eval time, keyed by rule label) are resolved
+// once here. Passing (nil, nil) detaches.
+func (e *Engine) Attach(c *obs.Collector, t *obs.Tracer) {
+	e.col, e.tracer = c, t
+	e.ruleObs = nil
+	if c == nil && t == nil {
+		return
+	}
+	// Handles resolve to nil-safe no-ops when only tracing is enabled.
+	e.ruleObs = make(map[*ndlog.Rule]*ruleObs, len(e.An.Prog.Rules))
+	for _, r := range e.An.Prog.Rules {
+		e.ruleObs[r] = &ruleObs{
+			firings: c.Counter("datalog", obs.MRuleFirings, r.Label),
+			probes:  c.Counter("datalog", obs.MRuleProbes, r.Label),
+			emitted: c.Counter("datalog", obs.MRuleEmitted, r.Label),
+			eval:    c.Histogram("datalog", obs.MRuleEval, r.Label),
+		}
+	}
 }
 
 // New analyzes prog and creates an engine over it. The program's facts are
@@ -62,6 +103,18 @@ func NewFromAnalysis(an *ndlog.Analysis) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// Explain renders the EXPLAIN ANALYZE view of the program — each rule
+// annotated with firings, join probes, tuples emitted, and cumulative
+// eval time — from the attached collector. Attach must have run with a
+// non-nil collector before the evaluation being explained.
+func (e *Engine) Explain(w io.Writer, title string) {
+	rules := make([]obs.RuleLine, 0, len(e.An.Prog.Rules))
+	for _, r := range e.An.Prog.Rules {
+		rules = append(rules, obs.RuleLine{Label: r.Label, Text: r.String()})
+	}
+	obs.WriteExplain(w, title, "datalog", rules, e.col)
 }
 
 // Relation returns the relation for pred, creating it if the predicate is
@@ -155,6 +208,22 @@ func (e *Engine) rulesOfStratum(stratum int) (plain, aggs, dels []*ndlog.Rule) {
 }
 
 func (e *Engine) runStratum(stratum int) error {
+	iter0 := e.Stats.Iterations
+	var t0 time.Time
+	if e.col != nil || e.tracer != nil {
+		t0 = time.Now()
+		if e.tracer != nil {
+			e.tracer.Emit(obs.Event{Kind: obs.EvStratumStart, N: int64(stratum)})
+		}
+		defer func() {
+			d := time.Since(t0)
+			e.col.Histogram("datalog", "stratum_eval", strconv.Itoa(stratum)).Observe(d)
+			if e.tracer != nil {
+				e.tracer.Emit(obs.Event{Kind: obs.EvStratumEnd, N: int64(e.Stats.Iterations - iter0), DurNs: int64(d)})
+			}
+		}()
+	}
+
 	plain, aggs, dels := e.rulesOfStratum(stratum)
 
 	// Aggregate rules read only lower strata (guaranteed by
@@ -242,6 +311,12 @@ func (e *Engine) evalRule(r *ndlog.Rule, deltaIdx int, delta []value.Tuple) (int
 
 // evalRuleCollect is evalRule returning the newly inserted tuples.
 func (e *Engine) evalRuleCollect(r *ndlog.Rule, deltaIdx int, delta []value.Tuple) ([]value.Tuple, error) {
+	ro := e.ruleObs[r]
+	var t0 time.Time
+	probes0 := e.Stats.JoinProbes
+	if ro != nil {
+		t0 = time.Now()
+	}
 	var added []value.Tuple
 	head := r.Head
 	err := e.joinBody(r, deltaIdx, delta, func(env map[string]value.V) error {
@@ -250,6 +325,7 @@ func (e *Engine) evalRuleCollect(r *ndlog.Rule, deltaIdx int, delta []value.Tupl
 			return err
 		}
 		e.Stats.Derivations++
+		ro.addFiring()
 		rel := e.rels[head.Pred]
 		isNew, err := rel.Insert(t)
 		if err != nil {
@@ -257,21 +333,49 @@ func (e *Engine) evalRuleCollect(r *ndlog.Rule, deltaIdx int, delta []value.Tupl
 		}
 		if isNew {
 			e.Stats.NewTuples++
+			if ro != nil {
+				ro.emitted.Add(1)
+				if e.tracer != nil {
+					e.tracer.Emit(obs.Event{Kind: obs.EvTupleDerived, Rule: r.Label, Pred: head.Pred, Tuple: t.String()})
+				}
+			}
 			added = append(added, t)
 		}
 		return nil
 	})
+	if ro != nil {
+		ro.probes.Add(int64(e.Stats.JoinProbes - probes0))
+		ro.eval.Observe(time.Since(t0))
+	}
 	return added, err
+}
+
+// addFiring counts one head derivation (nil-safe for the disabled path).
+func (ro *ruleObs) addFiring() {
+	if ro != nil {
+		ro.firings.Add(1)
+	}
 }
 
 // evalDelete evaluates a delete rule, removing matching head tuples.
 func (e *Engine) evalDelete(r *ndlog.Rule) error {
+	ro := e.ruleObs[r]
+	var t0 time.Time
+	probes0 := e.Stats.JoinProbes
+	if ro != nil {
+		t0 = time.Now()
+		defer func() {
+			ro.probes.Add(int64(e.Stats.JoinProbes - probes0))
+			ro.eval.Observe(time.Since(t0))
+		}()
+	}
 	var victims []value.Tuple
 	err := e.joinBody(r, -1, nil, func(env map[string]value.V) error {
 		t, err := e.buildHead(r.Head, env)
 		if err != nil {
 			return err
 		}
+		ro.addFiring()
 		victims = append(victims, t)
 		return nil
 	})
@@ -475,6 +579,16 @@ func (e *Engine) evalAggregate(r *ndlog.Rule) error {
 	if agg == nil {
 		return fmt.Errorf("datalog: rule %s is not an aggregate rule", r.Label)
 	}
+	ro := e.ruleObs[r]
+	var t0 time.Time
+	probes0 := e.Stats.JoinProbes
+	if ro != nil {
+		t0 = time.Now()
+		defer func() {
+			ro.probes.Add(int64(e.Stats.JoinProbes - probes0))
+			ro.eval.Observe(time.Since(t0))
+		}()
+	}
 	type group struct {
 		key  value.Tuple // non-aggregate head values
 		best value.V
@@ -555,12 +669,19 @@ func (e *Engine) evalAggregate(r *ndlog.Rule) error {
 			gi++
 		}
 		e.Stats.Derivations++
+		ro.addFiring()
 		isNew, err := rel.Insert(out)
 		if err != nil {
 			return err
 		}
 		if isNew {
 			e.Stats.NewTuples++
+			if ro != nil {
+				ro.emitted.Add(1)
+				if e.tracer != nil {
+					e.tracer.Emit(obs.Event{Kind: obs.EvTupleDerived, Rule: r.Label, Pred: r.Head.Pred, Tuple: out.String()})
+				}
+			}
 		}
 	}
 	return nil

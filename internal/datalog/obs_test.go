@@ -1,0 +1,161 @@
+package datalog
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+const pvObsSrc = `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(path, infinity, infinity, keys(1,2,3)).
+materialize(bestPathCost, infinity, infinity, keys(1,2)).
+materialize(bestPath, infinity, infinity, keys(1,2)).
+r1 path(@S,D,P,C) :- link(@S,D,C), P=f_init(S,D).
+r2 path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2), C=C1+C2, P=f_concatPath(S,P2), f_inPath(P2,S)=false.
+r3 bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+r4 bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+`
+
+func loadLine(t *testing.T, e *Engine, n int) {
+	t.Helper()
+	for i := 0; i+1 < n; i++ {
+		a, b := fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)
+		if err := e.Insert("link", value.Tuple{value.Addr(a), value.Addr(b), value.Int(1)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Insert("link", value.Tuple{value.Addr(b), value.Addr(a), value.Int(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPerRuleFiringCounts pins the per-rule derivation counts of the
+// paper's path-vector program on a 3-node line: 4 directed links give 4
+// one-hop paths (r1), 2 two-hop paths with semi-naive re-derivations
+// (r2), and 6 (src,dst) pairs for the aggregate and best-path rules.
+func TestPerRuleFiringCounts(t *testing.T) {
+	e, err := New(ndlog.MustParse("pv", pvObsSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := obs.NewCollector()
+	ring := obs.NewRingSink(1 << 16)
+	e.Attach(c, obs.NewTracer(ring))
+	loadLine(t, e, 3)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string][3]int64{ // rule -> {firings, emitted, probes}
+		"r1": {4, 4, 4},
+		"r2": {4, 2, 39},
+		"r3": {6, 6, 6},
+		"r4": {6, 6, 12},
+	}
+	var totF, totE, totP int64
+	for rule, w := range want {
+		f := c.Value("datalog", obs.MRuleFirings, rule)
+		em := c.Value("datalog", obs.MRuleEmitted, rule)
+		p := c.Value("datalog", obs.MRuleProbes, rule)
+		if f != w[0] || em != w[1] || p != w[2] {
+			t.Errorf("%s: firings/emitted/probes = %d/%d/%d, want %d/%d/%d",
+				rule, f, em, p, w[0], w[1], w[2])
+		}
+		totF += f
+		totE += em
+		totP += p
+	}
+	// The per-rule counters must reconcile exactly with the engine totals.
+	if totF != int64(e.Stats.Derivations) {
+		t.Errorf("sum of rule firings = %d, engine Derivations = %d", totF, e.Stats.Derivations)
+	}
+	if totE != int64(e.Stats.NewTuples) {
+		t.Errorf("sum of rule emissions = %d, engine NewTuples = %d", totE, e.Stats.NewTuples)
+	}
+	if totP != int64(e.Stats.JoinProbes) {
+		t.Errorf("sum of rule probes = %d, engine JoinProbes = %d", totP, e.Stats.JoinProbes)
+	}
+
+	// Trace stream: one TupleDerived per new tuple, bracketed by stratum
+	// markers.
+	derived, strata := 0, 0
+	for _, ev := range ring.Events() {
+		switch ev.Kind {
+		case obs.EvTupleDerived:
+			derived++
+		case obs.EvStratumStart:
+			strata++
+		}
+	}
+	if derived != e.Stats.NewTuples {
+		t.Errorf("TupleDerived events = %d, want %d", derived, e.Stats.NewTuples)
+	}
+	if strata != len(e.An.Strata) {
+		t.Errorf("StratumStart events = %d, want %d", strata, len(e.An.Strata))
+	}
+}
+
+// TestExplainOutput checks the EXPLAIN ANALYZE rendering end to end.
+func TestExplainOutput(t *testing.T) {
+	e, err := New(ndlog.MustParse("pv", pvObsSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Attach(obs.NewCollector(), nil)
+	loadLine(t, e, 3)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	e.Explain(&buf, "pv")
+	out := buf.String()
+	for _, want := range []string{
+		"EXPLAIN ANALYZE pv",
+		"r1 path(@S,D,P,C)",
+		"firings=4",
+		"firings=6",
+		"total: firings=20 join-probes=61 tuples-emitted=18",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDetachedEngineUnchanged guards the disabled path: running without
+// Attach must leave behaviour and Stats identical to an attached run.
+func TestDetachedEngineUnchanged(t *testing.T) {
+	run := func(attach bool) (Stats, []value.Tuple) {
+		e, err := New(ndlog.MustParse("pv", pvObsSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			e.Attach(obs.NewCollector(), nil)
+		}
+		loadLine(t, e, 4)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats, e.Query("bestPath")
+	}
+	sOff, qOff := run(false)
+	sOn, qOn := run(true)
+	if sOff != sOn {
+		t.Errorf("stats differ: detached %+v, attached %+v", sOff, sOn)
+	}
+	if len(qOff) != len(qOn) {
+		t.Fatalf("result sizes differ: %d vs %d", len(qOff), len(qOn))
+	}
+	for i := range qOff {
+		if !qOff[i].Equal(qOn[i]) {
+			t.Errorf("bestPath[%d] differs: %v vs %v", i, qOff[i], qOn[i])
+		}
+	}
+}

@@ -22,6 +22,7 @@ type Relation struct {
 	Arity int
 
 	tuples  map[string]value.Tuple
+	order   []value.Tuple // insertion order: scans and index builds are deterministic
 	indexes map[string]*index
 }
 
@@ -53,6 +54,7 @@ func (r *Relation) Insert(t value.Tuple) (bool, error) {
 		return false, nil
 	}
 	r.tuples[k] = t
+	r.order = append(r.order, t)
 	for _, idx := range r.indexes {
 		idx.add(t)
 	}
@@ -66,6 +68,12 @@ func (r *Relation) Delete(t value.Tuple) bool {
 		return false
 	}
 	delete(r.tuples, k)
+	for i, u := range r.order {
+		if u.Key() == k {
+			r.order = append(r.order[:i:i], r.order[i+1:]...)
+			break
+		}
+	}
 	for _, idx := range r.indexes {
 		idx.remove(t)
 	}
@@ -78,20 +86,16 @@ func (r *Relation) Contains(t value.Tuple) bool {
 	return ok
 }
 
-// All returns the tuples in unspecified order. The returned slice is
-// fresh; the tuples are shared and must not be mutated.
+// All returns the tuples in insertion order (deterministic across runs).
+// The returned slice aliases the store and must not be mutated.
 func (r *Relation) All() []value.Tuple {
-	out := make([]value.Tuple, 0, len(r.tuples))
-	for _, t := range r.tuples {
-		out = append(out, t)
-	}
-	return out
+	return r.order
 }
 
 // Sorted returns the tuples in lexicographic order, for deterministic
 // output.
 func (r *Relation) Sorted() []value.Tuple {
-	out := r.All()
+	out := append([]value.Tuple(nil), r.order...)
 	value.SortTuples(out)
 	return out
 }
@@ -99,6 +103,7 @@ func (r *Relation) Sorted() []value.Tuple {
 // Clear removes all tuples and indexes.
 func (r *Relation) Clear() {
 	r.tuples = map[string]value.Tuple{}
+	r.order = nil
 	r.indexes = map[string]*index{}
 }
 
@@ -155,7 +160,7 @@ func (r *Relation) Lookup(cols []int, vals []value.V) []value.Tuple {
 	ix, ok := r.indexes[ck]
 	if !ok {
 		ix = &index{cols: append([]int(nil), cols...), buckets: map[string][]value.Tuple{}}
-		for _, t := range r.tuples {
+		for _, t := range r.order {
 			ix.add(t)
 		}
 		r.indexes[ck] = ix

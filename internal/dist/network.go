@@ -3,10 +3,12 @@ package dist
 import (
 	"container/heap"
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/ndlog"
 	"repro/internal/netgraph"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -25,6 +27,14 @@ type Options struct {
 	// LoadTopologyLinks populates each node's link table from the topology
 	// (link(@src, dst, cost)). Enabled for programs that declare link/3.
 	LoadTopologyLinks bool
+	// Obs, when set, receives all runtime metrics (global counters under
+	// component "dist" plus per-rule firings/probes/eval-time for the
+	// localized rules). When nil the network keeps a private collector so
+	// Result.Stats still works, but per-rule eval timing is skipped.
+	Obs *obs.Collector
+	// Trace, when set, receives structured trace events (message
+	// lifecycle, tuple updates, route flips, expirations, link changes).
+	Trace *obs.Tracer
 }
 
 // DefaultOptions returns reasonable simulation settings.
@@ -52,6 +62,25 @@ type Result struct {
 	Stats     Stats
 }
 
+// netMetrics holds the pre-resolved global counter handles (component
+// "dist"); Stats() is a view over these.
+type netMetrics struct {
+	sent, delivered, dropped  *obs.Counter
+	tupleUpdates, derivations *obs.Counter
+	joinProbes, routeChanges  *obs.Counter
+	expirations, flips        *obs.Counter
+}
+
+// distRuleObs holds the per-rule handles for one localized rule. eval is
+// nil unless an external collector was attached: the private collector
+// serves Stats() without paying for clock reads on every rule evaluation.
+type distRuleObs struct {
+	firings *obs.Counter
+	probes  *obs.Counter
+	emitted *obs.Counter
+	eval    *obs.Histogram
+}
+
 // Network is a discrete-event simulation of an NDlog program over a
 // topology.
 type Network struct {
@@ -65,15 +94,24 @@ type Network struct {
 	seq   int // tiebreaker for deterministic event order
 	now   float64
 
-	Stats      Stats
+	col     *obs.Collector // never nil: private one when Options.Obs unset
+	tracer  *obs.Tracer    // nil when tracing disabled
+	nm      netMetrics
+	ruleObs map[*ndlog.Rule]*distRuleObs
+
 	lastChange float64
 
-	// TraceFlips, when set, is called on every detected A→B→A value flip
-	// (debugging and experiment instrumentation).
+	// TraceFlips, when set, is called on every detected A→B→A value flip.
+	//
+	// Deprecated: this is a thin adapter kept for older callers; new code
+	// should pass Options.Trace and watch for EvRouteFlip events instead.
 	TraceFlips func(at float64, node, pred string, old, new value.Tuple)
 	rngState   uint64
 
-	// flip detection: key -> last two values
+	// history backs flip detection: key -> last two values. One entry per
+	// (node, pred, table key) ever written, so it grows with total state
+	// touched, not with run length; it is cleared when a run converges
+	// (see Run) to bound growth across repeated Run calls.
 	history map[string][2]string
 }
 
@@ -106,6 +144,7 @@ func NewNetwork(prog *ndlog.Program, topo *netgraph.Topology, opts Options) (*Ne
 		rngState: opts.Seed ^ 0xdeadbeefcafef00d,
 		history:  map[string][2]string{},
 	}
+	n.initObs(opts.Obs, opts.Trace)
 	for _, id := range topo.Nodes {
 		n.nodes[id] = n.newNode(id)
 	}
@@ -130,6 +169,71 @@ func NewNetwork(prog *ndlog.Program, topo *netgraph.Topology, opts Options) (*Ne
 		}
 	}
 	return n, nil
+}
+
+// initObs resolves all metric handles once. A private collector backs the
+// Stats() view when the caller did not supply one; per-rule eval-time
+// histograms are only created for an external collector, so the default
+// path never reads the clock.
+func (n *Network) initObs(col *obs.Collector, tracer *obs.Tracer) {
+	timed := col != nil
+	if col == nil {
+		col = obs.NewCollector()
+	}
+	n.col = col
+	n.tracer = tracer
+	n.nm = netMetrics{
+		sent:         col.Counter("dist", obs.MMsgSent, ""),
+		delivered:    col.Counter("dist", obs.MMsgDelivered, ""),
+		dropped:      col.Counter("dist", obs.MMsgDropped, ""),
+		tupleUpdates: col.Counter("dist", obs.MTupleUpdates, ""),
+		derivations:  col.Counter("dist", obs.MDerivations, ""),
+		joinProbes:   col.Counter("dist", obs.MJoinProbes, ""),
+		routeChanges: col.Counter("dist", obs.MRouteChanges, ""),
+		expirations:  col.Counter("dist", obs.MExpirations, ""),
+		flips:        col.Counter("dist", obs.MFlips, ""),
+	}
+	n.ruleObs = make(map[*ndlog.Rule]*distRuleObs, len(n.prog.Rules))
+	for _, r := range n.prog.Rules {
+		ro := &distRuleObs{
+			firings: col.Counter("dist", obs.MRuleFirings, r.Label),
+			probes:  col.Counter("dist", obs.MRuleProbes, r.Label),
+			emitted: col.Counter("dist", obs.MRuleEmitted, r.Label),
+		}
+		if timed {
+			ro.eval = col.Histogram("dist", obs.MRuleEval, r.Label)
+		}
+		n.ruleObs[r] = ro
+	}
+}
+
+// Stats returns the runtime counters. It is the single read path: the
+// struct is derived from the collector on every call.
+func (n *Network) Stats() Stats {
+	return Stats{
+		MessagesSent:      int(n.nm.sent.Value()),
+		MessagesDelivered: int(n.nm.delivered.Value()),
+		MessagesDropped:   int(n.nm.dropped.Value()),
+		TupleUpdates:      int(n.nm.tupleUpdates.Value()),
+		Derivations:       int(n.nm.derivations.Value()),
+		JoinProbes:        int(n.nm.joinProbes.Value()),
+		RouteChanges:      int(n.nm.routeChanges.Value()),
+		Expirations:       int(n.nm.expirations.Value()),
+		Flips:             int(n.nm.flips.Value()),
+	}
+}
+
+// Collector exposes the metric registry backing Stats().
+func (n *Network) Collector() *obs.Collector { return n.col }
+
+// Explain renders the EXPLAIN ANALYZE view of the localized program with
+// the per-rule statistics collected so far.
+func (n *Network) Explain(w io.Writer, title string) {
+	rules := make([]obs.RuleLine, 0, len(n.prog.Rules))
+	for _, r := range n.prog.Rules {
+		rules = append(rules, obs.RuleLine{Label: r.Label, Text: r.String()})
+	}
+	obs.WriteExplain(w, title, "dist", rules, n.col)
 }
 
 func (n *Network) newNode(id string) *Node {
@@ -283,7 +387,10 @@ func (n *Network) noteFlip(node, pred, key string, old, new value.Tuple) {
 	h := node + "\x00" + pred + "\x00" + key
 	prev := n.history[h]
 	if prev[0] != "" && prev[0] == new.Key() {
-		n.Stats.Flips++
+		n.nm.flips.Add(1)
+		if n.tracer != nil {
+			n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvRouteFlip, Node: node, Pred: pred, Tuple: new.String()})
+		}
 		if n.TraceFlips != nil {
 			n.TraceFlips(n.now, node, pred, old, new)
 		}
@@ -307,9 +414,15 @@ func (n *Network) deliver(from *Node, ds []derivation) error {
 			work = append(work, more...)
 			continue
 		}
-		n.Stats.MessagesSent++
+		n.nm.sent.Add(1)
+		if n.tracer != nil {
+			n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvMessageSent, From: from.ID, To: d.loc, Pred: d.pred, Tuple: d.tup.String()})
+		}
 		if n.opts.LossRate > 0 && n.rand01() < n.opts.LossRate {
-			n.Stats.MessagesDropped++
+			n.nm.dropped.Add(1)
+			if n.tracer != nil {
+				n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvMessageDropped, From: from.ID, To: d.loc, Pred: d.pred, Tuple: d.tup.String()})
+			}
 			continue
 		}
 		n.schedule(&event{
@@ -331,13 +444,16 @@ func (n *Network) Run() (Result, error) {
 		if e.at > n.opts.MaxTime {
 			// Push back so a later Run with a higher MaxTime could resume.
 			heap.Push(&n.queue, e)
-			return Result{Converged: false, Time: n.lastChange, Stats: n.Stats}, nil
+			if n.tracer != nil {
+				n.tracer.Emit(obs.Event{T: n.lastChange, Kind: obs.EvRunEnd, Name: "truncated"})
+			}
+			return Result{Converged: false, Time: n.lastChange, Stats: n.Stats()}, nil
 		}
 		n.now = e.at
 		switch e.kind {
 		case evMessage, evInject:
 			if e.kind == evMessage {
-				n.Stats.MessagesDelivered++
+				n.noteDelivered(e)
 			}
 			node, ok := n.nodes[e.node]
 			if !ok {
@@ -361,7 +477,7 @@ func (n *Network) Run() (Result, error) {
 				}
 				heap.Pop(&n.queue)
 				if top.kind == evMessage {
-					n.Stats.MessagesDelivered++
+					n.noteDelivered(top)
 				}
 				batch = append(batch, update{top.pred, top.tup})
 			}
@@ -404,6 +520,9 @@ func (n *Network) Run() (Result, error) {
 				return Result{}, err
 			}
 		case evLinkDown:
+			if n.tracer != nil {
+				n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvLinkDown, From: e.a, To: e.b})
+			}
 			n.topo.RemoveLink(e.a, e.b)
 			for _, pair := range [][2]string{{e.a, e.b}, {e.b, e.a}} {
 				node := n.nodes[pair[0]]
@@ -432,6 +551,9 @@ func (n *Network) Run() (Result, error) {
 				}
 			}
 		case evLinkUp:
+			if n.tracer != nil {
+				n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvLinkUp, From: e.a, To: e.b, N: e.cost})
+			}
 			for _, pair := range [][2]string{{e.a, e.b}, {e.b, e.a}} {
 				if !n.topo.HasLink(pair[0], pair[1]) {
 					n.topo.Links = append(n.topo.Links, netgraph.Link{Src: pair[0], Dst: pair[1], Cost: e.cost, Latency: 1})
@@ -450,7 +572,21 @@ func (n *Network) Run() (Result, error) {
 			}
 		}
 	}
-	return Result{Converged: true, Time: n.lastChange, Stats: n.Stats}, nil
+	if n.tracer != nil {
+		n.tracer.Emit(obs.Event{T: n.lastChange, Kind: obs.EvRunEnd, Name: "converged"})
+	}
+	// The run is quiescent: flip-detection history cannot influence it any
+	// more, so release it (it grows with every table key ever touched).
+	n.history = map[string][2]string{}
+	return Result{Converged: true, Time: n.lastChange, Stats: n.Stats()}, nil
+}
+
+// noteDelivered records one message delivery.
+func (n *Network) noteDelivered(e *event) {
+	n.nm.delivered.Add(1)
+	if n.tracer != nil {
+		n.tracer.Emit(obs.Event{T: e.at, Kind: obs.EvMessageDelivered, Node: e.node, Pred: e.pred, Tuple: e.tup.String()})
+	}
 }
 
 // Now returns the current simulated time.

@@ -2,8 +2,10 @@ package dist
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/ndlog"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -158,6 +160,13 @@ func (t *table) deleteByKey(k string) bool {
 	return true
 }
 
+// all returns the tuples in Go map iteration order — deliberately
+// randomized. The per-scan shuffle is the simulator's implicit timing
+// jitter: with any fixed enumeration order, policy oscillations such as
+// BGP Disagree never resolve even under asymmetric timing, while real
+// networks (and randomized scans) settle into one of the stable
+// solutions. The centralized engine (internal/datalog) is the
+// deterministic counterpart.
 func (t *table) all() []value.Tuple {
 	out := make([]value.Tuple, 0, len(t.byKey))
 	for _, tup := range t.byKey {
@@ -259,10 +268,13 @@ func (n *Node) insertQuiet(pred string, tup value.Tuple, now float64) (bool, str
 	}
 	key := t.keyOf(tup)
 	if res == insertReplace {
-		n.net.Stats.RouteChanges++
+		n.net.nm.routeChanges.Add(1)
 		n.net.noteFlip(n.ID, pred, key, old, tup)
 	}
-	n.net.Stats.TupleUpdates++
+	n.net.nm.tupleUpdates.Add(1)
+	if n.net.tracer != nil {
+		n.net.tracer.Emit(obs.Event{T: now, Kind: obs.EvTupleDerived, Node: n.ID, Pred: pred, Tuple: tup.String()})
+	}
 	n.net.lastChange = now
 	return true, key, nil
 }
@@ -382,9 +394,11 @@ func (n *Node) expire(pred string, tup value.Tuple, now float64) ([]derivation, 
 		n.net.scheduleExpiry(n.ID, pred, tup, last+t.lifetime)
 		return nil, nil
 	}
-	delete(t.byKey, k)
-	delete(t.refresh, k)
-	n.net.Stats.Expirations++
+	t.deleteByKey(k)
+	n.net.nm.expirations.Add(1)
+	if n.net.tracer != nil {
+		n.net.tracer.Emit(obs.Event{T: now, Kind: obs.EvExpired, Node: n.ID, Pred: pred, Tuple: cur.String()})
+	}
 	n.net.lastChange = now
 
 	var out []derivation
@@ -404,16 +418,27 @@ func (n *Node) evalRuleDelta(r *ndlog.Rule, idx int, delta value.Tuple) ([]deriv
 	if agg, _ := r.Head.HeadAgg(); agg != nil {
 		return nil, nil // aggregate rules are recomputed, not delta-joined
 	}
+	ro := n.net.ruleObs[r]
+	if ro != nil && ro.eval != nil {
+		defer func(t0 time.Time) { ro.eval.Observe(time.Since(t0)) }(time.Now())
+	}
 	var out []derivation
-	err := n.joinBody(r, idx, delta, func(env map[string]value.V) error {
+	probes, err := n.joinBody(r, idx, delta, func(env map[string]value.V) error {
 		d, err := n.buildHead(r, env)
 		if err != nil {
 			return err
 		}
-		n.net.Stats.Derivations++
+		n.net.nm.derivations.Add(1)
+		if ro != nil {
+			ro.firings.Add(1)
+			ro.emitted.Add(1)
+		}
 		out = append(out, d)
 		return nil
 	})
+	if ro != nil {
+		ro.probes.Add(probes)
+	}
 	return out, err
 }
 
@@ -425,13 +450,17 @@ func (n *Node) evalRuleDelta(r *ndlog.Rule, idx int, delta value.Tuple) ([]deriv
 // groups are no-ops.
 func (n *Node) evalAggregate(r *ndlog.Rule, seed map[string]value.V) ([]derivation, error) {
 	agg, aggIdx := r.Head.HeadAgg()
+	ro := n.net.ruleObs[r]
+	if ro != nil && ro.eval != nil {
+		defer func(t0 time.Time) { ro.eval.Observe(time.Since(t0)) }(time.Now())
+	}
 	type group struct {
 		env  map[string]value.V // representative binding for head vars
 		best value.V
 		cnt  int64
 	}
 	groups := map[string]*group{}
-	err := n.joinBodySeeded(r, -1, nil, seed, func(env map[string]value.V) error {
+	probes, err := n.joinBodySeeded(r, -1, nil, seed, func(env map[string]value.V) error {
 		key := make(value.Tuple, 0, len(r.Head.Args)-1)
 		for i, arg := range r.Head.Args {
 			if i == aggIdx {
@@ -472,6 +501,9 @@ func (n *Node) evalAggregate(r *ndlog.Rule, seed map[string]value.V) ([]derivati
 		}
 		return nil
 	})
+	if ro != nil {
+		ro.probes.Add(probes)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -510,7 +542,11 @@ func (n *Node) evalAggregate(r *ndlog.Rule, seed map[string]value.V) ([]derivati
 		if err != nil {
 			return nil, err
 		}
-		n.net.Stats.Derivations++
+		n.net.nm.derivations.Add(1)
+		if ro != nil {
+			ro.firings.Add(1)
+			ro.emitted.Add(1)
+		}
 		out = append(out, derivation{pred: r.Head.Pred, tup: tup, loc: loc})
 	}
 	return out, nil
@@ -568,19 +604,24 @@ func (n *Node) retractAggGroup(r *ndlog.Rule, aggIdx int, seed map[string]value.
 		sub[i] = val
 	}
 	if t.deleteByKey(sub.Key()) {
-		n.net.Stats.Expirations++
+		n.net.nm.expirations.Add(1)
+		if n.net.tracer != nil {
+			n.net.tracer.Emit(obs.Event{T: n.net.now, Kind: obs.EvExpired, Node: n.ID, Pred: r.Head.Pred})
+		}
 		n.net.lastChange = n.net.now
 	}
 }
 
 // joinBody enumerates satisfying assignments of r's body against the local
-// store, with literal deltaIdx (if >= 0) bound to the delta tuple.
-func (n *Node) joinBody(r *ndlog.Rule, deltaIdx int, delta value.Tuple, emit func(map[string]value.V) error) error {
+// store, with literal deltaIdx (if >= 0) bound to the delta tuple. It
+// returns the number of join probes performed, for per-rule attribution.
+func (n *Node) joinBody(r *ndlog.Rule, deltaIdx int, delta value.Tuple, emit func(map[string]value.V) error) (int64, error) {
 	return n.joinBodySeeded(r, deltaIdx, delta, nil, emit)
 }
 
 // joinBodySeeded is joinBody with an initial variable binding.
-func (n *Node) joinBodySeeded(r *ndlog.Rule, deltaIdx int, delta value.Tuple, seed map[string]value.V, emit func(map[string]value.V) error) error {
+func (n *Node) joinBodySeeded(r *ndlog.Rule, deltaIdx int, delta value.Tuple, seed map[string]value.V, emit func(map[string]value.V) error) (int64, error) {
+	var probes int64
 	env := map[string]value.V{}
 	for k, v := range seed {
 		env[k] = v
@@ -602,7 +643,7 @@ func (n *Node) joinBodySeeded(r *ndlog.Rule, deltaIdx int, delta value.Tuple, se
 				candidates = t.lookup(cols, vals)
 			}
 			for _, tup := range candidates {
-				n.net.Stats.JoinProbes++
+				probes++
 				bound, ok, err := matchAtom(l.Atom, tup, env)
 				if err != nil {
 					return err
@@ -624,7 +665,7 @@ func (n *Node) joinBodySeeded(r *ndlog.Rule, deltaIdx int, delta value.Tuple, se
 				candidates = t.all()
 			}
 			for _, tup := range candidates {
-				n.net.Stats.JoinProbes++
+				probes++
 				bound, ok, err := matchAtom(l.Atom, tup, env)
 				if err != nil {
 					return err
@@ -665,7 +706,9 @@ func (n *Node) joinBodySeeded(r *ndlog.Rule, deltaIdx int, delta value.Tuple, se
 			return walk(i + 1)
 		}
 	}
-	return walk(0)
+	err := walk(0)
+	n.net.nm.joinProbes.Add(probes)
+	return probes, err
 }
 
 // boundCols computes the atom's argument positions whose value is already

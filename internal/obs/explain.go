@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// RuleLine names one rule of a program for the Explain renderer: the
+// metric label it was instrumented under and its source text.
+type RuleLine struct {
+	Label string
+	Text  string
+}
+
+// WriteExplain renders the EXPLAIN ANALYZE view: the program's rules
+// annotated per-rule with firings, join probes, tuples emitted, and
+// cumulative evaluation time, read back from the collector under the
+// given component ("datalog" for the centralized engine, "dist" for the
+// distributed runtime).
+func WriteExplain(w io.Writer, title, component string, rules []RuleLine, c *Collector) {
+	fmt.Fprintf(w, "EXPLAIN ANALYZE %s\n", title)
+	var totF, totP, totE int64
+	var totT time.Duration
+	for _, r := range rules {
+		f := c.Value(component, MRuleFirings, r.Label)
+		p := c.Value(component, MRuleProbes, r.Label)
+		e := c.Value(component, MRuleEmitted, r.Label)
+		h := c.FindHistogram(component, MRuleEval, r.Label)
+		totF += f
+		totP += p
+		totE += e
+		totT += h.Sum()
+		fmt.Fprintf(w, "  %s\n", r.Text)
+		fmt.Fprintf(w, "    | firings=%d join-probes=%d tuples-emitted=%d eval-time=%s\n",
+			f, p, e, fmtDur(h.Sum()))
+	}
+	fmt.Fprintf(w, "  total: firings=%d join-probes=%d tuples-emitted=%d eval-time=%s\n",
+		totF, totP, totE, fmtDur(totT))
+}
+
+// WriteTacticExplain renders the prover-side EXPLAIN ANALYZE: per-tactic
+// invocation counts, primitive inferences, and cumulative time.
+func WriteTacticExplain(w io.Writer, c *Collector) {
+	fmt.Fprintln(w, "EXPLAIN ANALYZE proof")
+	type row struct {
+		tactic      string
+		steps, prim int64
+		dur         time.Duration
+	}
+	byTactic := map[string]*row{}
+	for _, m := range c.Snapshot() {
+		if m.Component != "prover" {
+			continue
+		}
+		r := byTactic[m.Label]
+		if r == nil {
+			r = &row{tactic: m.Label}
+			byTactic[m.Label] = r
+		}
+		switch m.Name {
+		case MTacticSteps:
+			r.steps = m.Value
+		case MTacticPrim:
+			r.prim = m.Value
+		case MTacticMs:
+			r.dur = time.Duration(m.SumNs)
+		}
+	}
+	rows := make([]*row, 0, len(byTactic))
+	for _, r := range byTactic {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].prim > rows[j].prim })
+	var totSteps, totPrim int64
+	var totDur time.Duration
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-12s steps=%-3d primitive=%-4d time=%s\n",
+			r.tactic, r.steps, r.prim, fmtDur(r.dur))
+		totSteps += r.steps
+		totPrim += r.prim
+		totDur += r.dur
+	}
+	fmt.Fprintf(w, "  total: steps=%d primitive=%d time=%s\n", totSteps, totPrim, fmtDur(totDur))
+}
+
+// WriteMetrics dumps every metric of the collector, one per line, in
+// deterministic order — the plain-text companion of the JSONL trace.
+func WriteMetrics(w io.Writer, c *Collector) {
+	for _, m := range c.Snapshot() {
+		label := ""
+		if m.Label != "" {
+			label = fmt.Sprintf("{%s}", m.Label)
+		}
+		switch m.Kind {
+		case "histogram":
+			fmt.Fprintf(w, "%s/%s%s count=%d sum=%s max=%s\n",
+				m.Component, m.Name, label, m.Value, fmtDur(time.Duration(m.SumNs)), fmtDur(time.Duration(m.MaxNs)))
+		default:
+			fmt.Fprintf(w, "%s/%s%s %d\n", m.Component, m.Name, label, m.Value)
+		}
+	}
+}
+
+// fmtDur renders a duration compactly with ~3 significant digits.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0s"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

@@ -1,0 +1,298 @@
+// Package obs is the observability layer of the FVN reproduction: cheap
+// atomic counters and duration histograms keyed by (component, name,
+// label), a structured trace-event stream with pluggable sinks, and an
+// EXPLAIN ANALYZE renderer that annotates an NDlog program with collected
+// execution statistics.
+//
+// The package is zero-dependency (stdlib only) and disabled-by-default:
+// every handle type (*Counter, *Histogram, *Collector, *Tracer) is
+// nil-safe, so an uninstrumented run pays only a nil check and performs
+// zero allocations on the hot path. Components pre-resolve their handles
+// once at attach time and increment them directly thereafter.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metric names shared between the instrumented components and the Explain
+// renderers. Per-rule metrics are labelled with the rule label; per-tactic
+// metrics with the tactic name.
+const (
+	MRuleFirings = "rule_firings" // head tuples derived by the rule
+	MRuleProbes  = "rule_probes"  // join probes while evaluating the rule
+	MRuleEmitted = "rule_emitted" // tuples actually added (new)
+	MRuleEval    = "rule_eval"    // histogram: per-evaluation duration
+
+	MTacticSteps = "tactic_steps" // user-visible tactic invocations
+	MTacticPrim  = "tactic_prim"  // primitive inferences inside the tactic
+	MTacticMs    = "tactic_ms"    // histogram: per-invocation duration
+
+	// Distributed-runtime counters (component "dist", no label).
+	MMsgSent      = "msg_sent"
+	MMsgDelivered = "msg_delivered"
+	MMsgDropped   = "msg_dropped"
+	MTupleUpdates = "tuple_updates"
+	MDerivations  = "derivations"
+	MJoinProbes   = "join_probes"
+	MRouteChanges = "route_changes"
+	MExpirations  = "expirations"
+	MFlips        = "flips"
+)
+
+// Key identifies one metric: a component ("datalog", "dist", "prover"),
+// a metric name, and an optional label (rule label, tactic name, ...).
+type Key struct {
+	Component string
+	Name      string
+	Label     string
+}
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter is
+// a valid disabled handle: Add is a no-op and Value returns 0.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// histBuckets is the number of power-of-two duration buckets: bucket i
+// holds observations with bit-length i nanoseconds, covering sub-ns to
+// ~9 hours.
+const histBuckets = 45
+
+// Histogram records durations in power-of-two buckets with exact count,
+// sum, and max. A nil *Histogram is a valid disabled handle.
+type Histogram struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	maxNs   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		old := h.maxNs.Load()
+		if ns <= old || h.maxNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the cumulative observed duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load())
+}
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.maxNs.Load())
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) from the
+// power-of-two buckets, so Quantile(0.5) is within 2x of the true median.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			if i == 0 {
+				return 0
+			}
+			return time.Duration(int64(1) << uint(i)) // upper edge of bucket
+		}
+	}
+	return h.Max()
+}
+
+// Collector owns the metric registry. A nil *Collector is a valid
+// disabled collector: handle lookups return nil handles whose methods are
+// no-ops.
+type Collector struct {
+	mu       sync.RWMutex
+	counters map[Key]*Counter
+	hists    map[Key]*Histogram
+}
+
+// NewCollector returns an empty enabled collector.
+func NewCollector() *Collector {
+	return &Collector{
+		counters: map[Key]*Counter{},
+		hists:    map[Key]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the counter for the key. Returns a
+// nil handle on a nil collector.
+func (c *Collector) Counter(component, name, label string) *Counter {
+	if c == nil {
+		return nil
+	}
+	k := Key{component, name, label}
+	c.mu.RLock()
+	h, ok := c.counters[k]
+	c.mu.RUnlock()
+	if ok {
+		return h
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok = c.counters[k]; ok {
+		return h
+	}
+	h = &Counter{}
+	c.counters[k] = h
+	return h
+}
+
+// Histogram returns (creating if needed) the histogram for the key.
+func (c *Collector) Histogram(component, name, label string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	k := Key{component, name, label}
+	c.mu.RLock()
+	h, ok := c.hists[k]
+	c.mu.RUnlock()
+	if ok {
+		return h
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok = c.hists[k]; ok {
+		return h
+	}
+	h = &Histogram{}
+	c.hists[k] = h
+	return h
+}
+
+// Value returns the current value of a counter, 0 if it does not exist.
+func (c *Collector) Value(component, name, label string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	h := c.counters[Key{component, name, label}]
+	c.mu.RUnlock()
+	return h.Value()
+}
+
+// FindHistogram returns the histogram for the key without creating it
+// (nil if absent).
+func (c *Collector) FindHistogram(component, name, label string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	h := c.hists[Key{component, name, label}]
+	c.mu.RUnlock()
+	return h
+}
+
+// Metric is one entry of a collector snapshot.
+type Metric struct {
+	Key
+	Kind  string // "counter" or "histogram"
+	Value int64  // counter value, or histogram observation count
+	SumNs int64  // histograms only: cumulative nanoseconds
+	MaxNs int64  // histograms only
+}
+
+// Snapshot returns every metric in deterministic (component, name, label)
+// order.
+func (c *Collector) Snapshot() []Metric {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	out := make([]Metric, 0, len(c.counters)+len(c.hists))
+	for k, h := range c.counters {
+		out = append(out, Metric{Key: k, Kind: "counter", Value: h.Value()})
+	}
+	for k, h := range c.hists {
+		out = append(out, Metric{Key: k, Kind: "histogram", Value: h.Count(), SumNs: int64(h.Sum()), MaxNs: int64(h.Max())})
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Label < b.Label
+	})
+	return out
+}
+
+// Reset zeroes the registry (the handles themselves are discarded, so
+// components holding pre-resolved handles must re-attach).
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.counters = map[Key]*Counter{}
+	c.hists = map[Key]*Histogram{}
+	c.mu.Unlock()
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterAndValue(t *testing.T) {
+	c := NewCollector()
+	h := c.Counter("datalog", MRuleFirings, "r1")
+	h.Add(3)
+	h.Add(4)
+	if got := c.Value("datalog", MRuleFirings, "r1"); got != 7 {
+		t.Errorf("Value = %d, want 7", got)
+	}
+	if got := c.Value("datalog", MRuleFirings, "r2"); got != 0 {
+		t.Errorf("missing counter Value = %d, want 0", got)
+	}
+	// Same key returns the same handle.
+	if c.Counter("datalog", MRuleFirings, "r1") != h {
+		t.Error("Counter did not return the registered handle")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	c := NewCollector()
+	h := c.Histogram("prover", MTacticMs, "grind")
+	h.Observe(100 * time.Microsecond)
+	h.Observe(300 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Errorf("Count = %d, want 3", h.Count())
+	}
+	want := 100*time.Microsecond + 300*time.Microsecond + 2*time.Millisecond
+	if h.Sum() != want {
+		t.Errorf("Sum = %v, want %v", h.Sum(), want)
+	}
+	if h.Max() != 2*time.Millisecond {
+		t.Errorf("Max = %v, want 2ms", h.Max())
+	}
+	if q := h.Quantile(0.5); q < 100*time.Microsecond || q > time.Millisecond {
+		t.Errorf("Quantile(0.5) = %v, want within 2x of 300µs", q)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	c := NewCollector()
+	c.Counter("dist", "msg_sent", "").Add(2)
+	c.Counter("datalog", MRuleFirings, "r2").Add(1)
+	c.Counter("datalog", MRuleFirings, "r1").Add(1)
+	c.Histogram("prover", MTacticMs, "assert").Observe(time.Millisecond)
+	snap := c.Snapshot()
+	var keys []string
+	for _, m := range snap {
+		keys = append(keys, m.Component+"/"+m.Name+"{"+m.Label+"}")
+	}
+	want := []string{
+		"datalog/rule_firings{r1}",
+		"datalog/rule_firings{r2}",
+		"dist/msg_sent{}",
+		"prover/tactic_ms{assert}",
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("snapshot has %d entries, want %d", len(keys), len(want))
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("snapshot[%d] = %s, want %s", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var c *Collector
+	var tr *Tracer
+	cnt := c.Counter("x", "y", "z")
+	cnt.Add(1)
+	if cnt.Value() != 0 {
+		t.Error("nil counter accumulated")
+	}
+	h := c.Histogram("x", "y", "z")
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram accumulated")
+	}
+	if c.Value("x", "y", "z") != 0 || c.Snapshot() != nil {
+		t.Error("nil collector not empty")
+	}
+	tr.Emit(Event{Kind: EvTupleDerived})
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil tracer Close: %v", err)
+	}
+	c.Reset()
+}
+
+// TestDisabledZeroAlloc is the satellite requirement: a disabled (nil)
+// collector and tracer perform zero allocations on the hot path.
+func TestDisabledZeroAlloc(t *testing.T) {
+	var c *Collector
+	var cnt *Counter
+	var h *Histogram
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		cnt.Add(1)
+		h.Observe(time.Microsecond)
+		c.Counter("datalog", MRuleFirings, "r1").Add(1)
+		c.Value("dist", "msg_sent", "")
+		if tr != nil { // the guard instrumented code uses
+			tr.Emit(Event{Kind: EvMessageSent})
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestJSONLSinkParseable(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := NewTracer(sink)
+	tr.Emit(Event{T: 1.5, Kind: EvMessageSent, From: "n0", To: "n1", Pred: "path", Tuple: "(n0,n1)"})
+	tr.Emit(Event{Kind: EvProofStep, Name: "grind", N: 12, DurNs: 1000})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not parseable: %v", err)
+	}
+	if ev.Kind != EvMessageSent || ev.From != "n0" || ev.To != "n1" || ev.T != 1.5 {
+		t.Errorf("round trip mismatch: %+v", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != EvProofStep || ev.N != 12 {
+		t.Errorf("round trip mismatch: %+v", ev)
+	}
+}
+
+func TestRingSink(t *testing.T) {
+	r := NewRingSink(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{N: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 3 || r.Total() != 5 {
+		t.Fatalf("ring kept %d (total %d), want 3 (total 5)", len(evs), r.Total())
+	}
+	for i, ev := range evs {
+		if ev.N != int64(i+2) {
+			t.Errorf("ring[%d].N = %d, want %d (oldest first)", i, ev.N, i+2)
+		}
+	}
+}
+
+func TestWriteExplainAndMetrics(t *testing.T) {
+	c := NewCollector()
+	c.Counter("datalog", MRuleFirings, "r1").Add(4)
+	c.Counter("datalog", MRuleProbes, "r1").Add(10)
+	c.Counter("datalog", MRuleEmitted, "r1").Add(4)
+	c.Histogram("datalog", MRuleEval, "r1").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	WriteExplain(&buf, "test", "datalog", []RuleLine{{Label: "r1", Text: "r1 p(X) :- q(X)."}}, c)
+	out := buf.String()
+	for _, want := range []string{"EXPLAIN ANALYZE test", "r1 p(X) :- q(X).", "firings=4", "join-probes=10", "tuples-emitted=4", "total:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	WriteMetrics(&buf, c)
+	if !strings.Contains(buf.String(), "datalog/rule_firings{r1} 4") {
+		t.Errorf("metrics dump missing counter line:\n%s", buf.String())
+	}
+}

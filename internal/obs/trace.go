@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event kinds emitted by the instrumented components. The stream is a
+// superset union: every event carries only the fields meaningful for its
+// kind, and unused fields are omitted from the JSONL encoding.
+const (
+	// Engine / runtime evaluation.
+	EvTupleDerived = "tuple_derived" // a rule derived a (new) head tuple
+	EvStratumStart = "stratum_start" // centralized engine entered a stratum
+	EvStratumEnd   = "stratum_end"   // ... left it (N = fixpoint iterations)
+
+	// Distributed runtime message lifecycle.
+	EvMessageSent      = "message_sent"
+	EvMessageDelivered = "message_delivered"
+	EvMessageDropped   = "message_dropped"
+
+	// Distributed runtime state changes.
+	EvRouteFlip = "route_flip" // A->B->A oscillation on one table key
+	EvExpired   = "expired"    // soft-state tuple timed out
+	EvLinkDown  = "link_down"
+	EvLinkUp    = "link_up"
+	EvRunEnd    = "run_end" // simulation quiesced or hit MaxTime (N=1 if converged)
+
+	// Prover.
+	EvProofStep = "proof_step" // one user-visible tactic (N = primitive inferences)
+)
+
+// Event is one structured trace record. T is simulated time for runtime
+// events and 0 for engine/prover events (whose cost is in DurNs).
+type Event struct {
+	T     float64 `json:"t,omitempty"`
+	Kind  string  `json:"kind"`
+	Node  string  `json:"node,omitempty"`
+	From  string  `json:"from,omitempty"`
+	To    string  `json:"to,omitempty"`
+	Rule  string  `json:"rule,omitempty"`
+	Pred  string  `json:"pred,omitempty"`
+	Tuple string  `json:"tuple,omitempty"`
+	Name  string  `json:"name,omitempty"` // tactic, theorem, or phase name
+	N     int64   `json:"n,omitempty"`    // kind-specific count
+	DurNs int64   `json:"dur_ns,omitempty"`
+}
+
+// Sink consumes trace events.
+type Sink interface {
+	Emit(Event)
+	Close() error
+}
+
+// Tracer fans events out to its sinks. A nil *Tracer is a valid disabled
+// tracer; instrumentation sites guard event construction with a nil check
+// so a disabled trace stream costs exactly that check.
+type Tracer struct {
+	sinks []Sink
+}
+
+// NewTracer builds a tracer over the given sinks.
+func NewTracer(sinks ...Sink) *Tracer {
+	return &Tracer{sinks: sinks}
+}
+
+// Emit sends the event to every sink.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	for _, s := range t.sinks {
+		s.Emit(ev)
+	}
+}
+
+// Close closes every sink, returning the first error.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	var first error
+	for _, s := range t.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return nil
+}
+
+// JSONLSink writes one JSON object per line. Writes are buffered; Close
+// flushes and closes the underlying writer when it is an io.Closer.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w in a buffered JSONL encoder.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	s := &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit encodes the event; the first encoding error is sticky and returned
+// by Close.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(ev)
+	}
+	s.mu.Unlock()
+}
+
+// Close flushes the buffer and closes the underlying writer.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// RingSink keeps the last N events in memory (experiment post-mortems and
+// tests).
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int
+}
+
+// NewRingSink returns a ring buffer holding the most recent n events.
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{buf: make([]Event, 0, n)}
+}
+
+// Emit appends the event, evicting the oldest when full.
+func (r *RingSink) Emit(ev Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Close is a no-op.
+func (r *RingSink) Close() error { return nil }
+
+// Events returns the retained events, oldest first.
+func (r *RingSink) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns how many events were emitted (including evicted ones).
+func (r *RingSink) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

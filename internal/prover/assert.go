@@ -18,7 +18,7 @@ func (p *Prover) Assert() error {
 	if len(p.goals) == 0 {
 		return ErrNoOpenGoal
 	}
-	p.step("(assert)")
+	defer p.step("(assert)")()
 	wasAuto := p.inAuto
 	p.inAuto = true
 	defer func() { p.inAuto = wasAuto }()

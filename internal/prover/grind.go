@@ -21,7 +21,7 @@ func (p *Prover) Grind() error {
 	if len(p.goals) == 0 {
 		return ErrNoOpenGoal
 	}
-	p.step("(grind)")
+	defer p.step("(grind)")()
 	wasAuto := p.inAuto
 	p.inAuto = true
 	defer func() { p.inAuto = wasAuto }()

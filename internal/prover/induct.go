@@ -68,7 +68,7 @@ func (p *Prover) Induct(name string) error {
 	}
 	prop := imp.R
 
-	p.step(fmt.Sprintf("(induct %q)", name))
+	defer p.step(fmt.Sprintf("(induct %q)", name))()
 	p.pop()
 
 	var subgoals []Sequent

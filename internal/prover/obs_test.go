@@ -1,0 +1,123 @@
+package prover
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+func TestTacticName(t *testing.T) {
+	for in, want := range map[string]string{
+		"(skosimp*)":       "skosimp*",
+		"(grind)":          "grind",
+		`(expand "link")`:  "expand",
+		"(inst 1 ...)":     "inst",
+		`(lemma "sp_ax1")`: "lemma",
+	} {
+		if got := tacticName(in); got != want {
+			t.Errorf("tacticName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestInstrumentedProofReconciles runs an instrumented proof and checks
+// that the per-tactic counters and trace events reconcile with the
+// session's own Steps/PrimSteps accounting.
+func TestInstrumentedProofReconciles(t *testing.T) {
+	th := logic.NewTheory("t")
+	a, b := logic.Pred{Name: "a"}, logic.Pred{Name: "b"}
+	// (a ∧ b) ⇒ (b ∧ a): split then grind both branches.
+	goal := logic.Implies{L: logic.Conj(a, b), R: logic.Conj(b, a)}
+	p := NewGoal(th, "swap", goal)
+	c := obs.NewCollector()
+	ring := obs.NewRingSink(256)
+	p.Instrument(c, obs.NewTracer(ring))
+	if err := p.RunScript(`(flatten) (split) (grind) (grind)`); err != nil {
+		t.Fatal(err)
+	}
+	if !p.QED() {
+		t.Fatal("proof did not close")
+	}
+
+	var steps, prim int64
+	for _, m := range c.Snapshot() {
+		if m.Component != "prover" {
+			continue
+		}
+		switch m.Name {
+		case obs.MTacticSteps:
+			steps += m.Value
+		case obs.MTacticPrim:
+			prim += m.Value
+		}
+	}
+	if steps != int64(p.Steps) {
+		t.Errorf("sum of tactic steps = %d, Prover.Steps = %d", steps, p.Steps)
+	}
+	if prim != int64(p.PrimSteps) {
+		t.Errorf("sum of tactic prim = %d, Prover.PrimSteps = %d", prim, p.PrimSteps)
+	}
+	if got := c.Value("prover", obs.MTacticSteps, "grind"); got != 2 {
+		t.Errorf("grind steps = %d, want 2", got)
+	}
+	if h := c.FindHistogram("prover", obs.MTacticMs, "grind"); h.Count() != 2 {
+		t.Errorf("grind duration observations = %d, want 2", h.Count())
+	}
+
+	// One EvProofStep per tactic invocation, with primitive counts that
+	// sum to PrimSteps.
+	var evSteps int
+	var evPrim int64
+	for _, ev := range ring.Events() {
+		if ev.Kind == obs.EvProofStep {
+			evSteps++
+			evPrim += ev.N
+		}
+	}
+	if evSteps != p.Steps {
+		t.Errorf("ProofStep events = %d, Steps = %d", evSteps, p.Steps)
+	}
+	if evPrim != int64(p.PrimSteps) {
+		t.Errorf("ProofStep prim sum = %d, PrimSteps = %d", evPrim, p.PrimSteps)
+	}
+
+	var buf bytes.Buffer
+	obs.WriteTacticExplain(&buf, c)
+	out := buf.String()
+	for _, want := range []string{"EXPLAIN ANALYZE proof", "grind", "flatten", "split", "total:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tactic explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestUninstrumentedProverUnchanged guards the disabled path: identical
+// Steps/PrimSteps/Trace with and without instrumentation.
+func TestUninstrumentedProverUnchanged(t *testing.T) {
+	run := func(instrument bool) *Prover {
+		th := logic.NewTheory("t")
+		a, b := logic.Pred{Name: "a"}, logic.Pred{Name: "b"}
+		p := NewGoal(th, "swap", logic.Implies{L: logic.Conj(a, b), R: logic.Conj(b, a)})
+		if instrument {
+			p.Instrument(obs.NewCollector(), nil)
+		}
+		if err := p.RunScript(`(skosimp*) (split) (grind) (grind)`); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	off, on := run(false), run(true)
+	if !off.QED() || !on.QED() {
+		t.Fatal("proofs did not close")
+	}
+	if off.Steps != on.Steps || off.PrimSteps != on.PrimSteps || off.AutoPrim != on.AutoPrim {
+		t.Errorf("accounting differs: off %d/%d/%d, on %d/%d/%d",
+			off.Steps, off.PrimSteps, off.AutoPrim, on.Steps, on.PrimSteps, on.AutoPrim)
+	}
+	if strings.Join(off.Trace, " ") != strings.Join(on.Trace, " ") {
+		t.Errorf("traces differ:\n%v\n%v", off.Trace, on.Trace)
+	}
+}

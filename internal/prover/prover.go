@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // ErrNoOpenGoal is returned by tactics invoked after the proof is complete.
@@ -43,6 +45,20 @@ type Prover struct {
 	// inAuto marks that primitive steps are being driven by an automated
 	// strategy, for AutoPrim accounting.
 	inAuto bool
+
+	// Observability: per-tactic step counts, primitive-inference counts,
+	// and durations (component "prover", labelled by tactic name). Nil
+	// unless Instrument was called.
+	col    *obs.Collector
+	tracer *obs.Tracer
+}
+
+// Instrument attaches a metrics collector and/or trace stream to the
+// session. Each tactic invocation then records one MTacticSteps increment,
+// the primitive inferences it performed (MTacticPrim), its duration
+// (MTacticMs), and an EvProofStep trace event.
+func (p *Prover) Instrument(c *obs.Collector, t *obs.Tracer) {
+	p.col, p.tracer = c, t
 }
 
 // New creates a proof session for the named theorem of the theory.
@@ -94,9 +110,42 @@ func (p *Prover) Current() (Sequent, error) {
 	return p.goals[len(p.goals)-1], nil
 }
 
-func (p *Prover) step(name string) {
+// noopDone is the disabled-path return of step: one shared closure so an
+// uninstrumented session performs no allocation per tactic.
+var noopDone = func() {}
+
+// step records a user-visible tactic invocation and returns a completion
+// function the tactic must defer: it attributes the primitive inferences
+// and wall time spent inside the tactic to its per-tactic metrics.
+func (p *Prover) step(name string) func() {
 	p.Steps++
 	p.Trace = append(p.Trace, name)
+	if p.col == nil && p.tracer == nil {
+		return noopDone
+	}
+	tac := tacticName(name)
+	p.col.Counter("prover", obs.MTacticSteps, tac).Add(1)
+	prim0 := p.PrimSteps
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		prim := int64(p.PrimSteps - prim0)
+		p.col.Counter("prover", obs.MTacticPrim, tac).Add(prim)
+		p.col.Histogram("prover", obs.MTacticMs, tac).Observe(d)
+		if p.tracer != nil {
+			p.tracer.Emit(obs.Event{Kind: obs.EvProofStep, Name: tac, N: prim, DurNs: int64(d)})
+		}
+	}
+}
+
+// tacticName extracts the bare tactic name from a trace entry:
+// `(skosimp*)` -> `skosimp*`, `(expand "link") -> `expand`.
+func tacticName(step string) string {
+	s := strings.Trim(step, "()")
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		s = s[:i]
+	}
+	return s
 }
 
 func (p *Prover) prim() {
@@ -281,7 +330,7 @@ func (p *Prover) Flatten() error {
 	if len(p.goals) == 0 {
 		return ErrNoOpenGoal
 	}
-	p.step("(flatten)")
+	defer p.step("(flatten)")()
 	g := p.pop()
 	ng, closed := p.flattenFully(g)
 	if !closed {
@@ -296,7 +345,7 @@ func (p *Prover) Skosimp() error {
 	if len(p.goals) == 0 {
 		return ErrNoOpenGoal
 	}
-	p.step("(skosimp*)")
+	defer p.step("(skosimp*)")()
 	wasAuto := p.inAuto
 	p.inAuto = true
 	defer func() { p.inAuto = wasAuto }()
@@ -327,7 +376,7 @@ func (p *Prover) Split() error {
 	if len(p.goals) == 0 {
 		return ErrNoOpenGoal
 	}
-	p.step("(split)")
+	defer p.step("(split)")()
 	g := p.pop()
 
 	for i, f := range g.Cons {
@@ -391,7 +440,7 @@ func (p *Prover) Expand(name string) error {
 	if !ok {
 		return fmt.Errorf("prover: expand: no inductive definition %q", name)
 	}
-	p.step(fmt.Sprintf("(expand %q)", name))
+	defer p.step(fmt.Sprintf("(expand %q)", name))()
 	g := p.pop()
 	ng := g.Clone()
 	count := 0
@@ -509,7 +558,7 @@ func (p *Prover) Inst(idx int, terms ...logic.Term) error {
 			inst = logic.Exists{Vars: rest, Body: inst}
 		}
 	}
-	p.step(fmt.Sprintf("(inst %d ...)", idx))
+	defer p.step(fmt.Sprintf("(inst %d ...)", idx))()
 	p.prim()
 	ng := g.Clone()
 	_ = ng.Replace(idx, inst)
@@ -523,7 +572,7 @@ func (p *Prover) Case(f logic.Formula) error {
 	if len(p.goals) == 0 {
 		return ErrNoOpenGoal
 	}
-	p.step("(case ...)")
+	defer p.step("(case ...)")()
 	g := p.pop()
 	g1 := g.Clone()
 	g1.Ante = append(g1.Ante, f)
@@ -557,7 +606,7 @@ func (p *Prover) Lemma(name string) error {
 		// session; the caller vouches for it via MarkProved.
 		return fmt.Errorf("prover: lemma: no axiom or proved theorem %q", name)
 	}
-	p.step(fmt.Sprintf("(lemma %q)", name))
+	defer p.step(fmt.Sprintf("(lemma %q)", name))()
 	p.prim()
 	g := p.goals[len(p.goals)-1].Clone()
 	g.Ante = append(g.Ante, f)
@@ -576,7 +625,7 @@ func (p *Prover) Hide(idx int) error {
 	if len(p.goals) == 0 {
 		return ErrNoOpenGoal
 	}
-	p.step(fmt.Sprintf("(hide %d)", idx))
+	defer p.step(fmt.Sprintf("(hide %d)", idx))()
 	g := p.goals[len(p.goals)-1].Clone()
 	if err := g.Remove(idx); err != nil {
 		return err
