@@ -25,6 +25,7 @@ import (
 	"repro/internal/netgraph"
 	"repro/internal/obs"
 	"repro/internal/prover"
+	"repro/internal/store"
 	"repro/internal/translate"
 	"repro/internal/value"
 )
@@ -485,4 +486,290 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 	b.Run("engine/disabled", func(b *testing.B) { runEng(b, false) })
 	b.Run("engine/enabled", func(b *testing.B) { runEng(b, true) })
+}
+
+// --- PR2: compiled join plans vs. the seed nested-loop joiner ----------------
+
+// The seedJoin* helpers reimplement the growth seed's joiner verbatim: a
+// map[string]value.V environment threaded through a recursive walk over
+// the body literals in source order, with indexed lookups on the columns
+// the environment happens to bind. BenchmarkJoinPlan measures it against
+// the compiled plan executor on the same engine fixpoint, so the delta is
+// purely the join machinery (selectivity-ordered atoms, integer slots,
+// reusable frame, allocation-free index keys).
+
+func seedLookup(eng *datalog.Engine, atom *ndlog.Atom, env map[string]value.V) []value.Tuple {
+	rel := eng.Table(atom.Pred)
+	if rel == nil {
+		return nil
+	}
+	var cols []int
+	var vals []value.V
+	for i, arg := range atom.Args {
+		switch x := arg.(type) {
+		case ndlog.VarE:
+			if v, bound := env[x.Name]; bound {
+				cols = append(cols, i)
+				vals = append(vals, v)
+			}
+		case ndlog.LitE:
+			cols = append(cols, i)
+			vals = append(vals, x.Val)
+		default:
+			if v, err := ndlog.EvalExpr(arg, env); err == nil {
+				cols = append(cols, i)
+				vals = append(vals, v)
+			}
+		}
+	}
+	return rel.Lookup(cols, vals)
+}
+
+func seedMatchAtom(atom *ndlog.Atom, t value.Tuple, env map[string]value.V) ([]string, bool, error) {
+	var bound []string
+	fail := func() ([]string, bool, error) {
+		for _, name := range bound {
+			delete(env, name)
+		}
+		return nil, false, nil
+	}
+	for i, arg := range atom.Args {
+		switch x := arg.(type) {
+		case ndlog.VarE:
+			if v, ok := env[x.Name]; ok {
+				if !v.Equal(t[i]) {
+					return fail()
+				}
+			} else {
+				env[x.Name] = t[i]
+				bound = append(bound, x.Name)
+			}
+		case ndlog.LitE:
+			if !x.Val.Equal(t[i]) {
+				return fail()
+			}
+		default:
+			v, err := ndlog.EvalExpr(arg, env)
+			if err != nil {
+				return nil, false, err
+			}
+			if !v.Equal(t[i]) {
+				return fail()
+			}
+		}
+	}
+	return bound, true, nil
+}
+
+func seedJoinBody(eng *datalog.Engine, r *ndlog.Rule, emit func(map[string]value.V) error) error {
+	body := r.Body
+	env := map[string]value.V{}
+	var walk func(i int) error
+	walk = func(i int) error {
+		if i == len(body) {
+			return emit(env)
+		}
+		l := body[i]
+		switch {
+		case l.Atom != nil && !l.Neg:
+			for _, t := range seedLookup(eng, l.Atom, env) {
+				bound, ok, err := seedMatchAtom(l.Atom, t, env)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				if err := walk(i + 1); err != nil {
+					return err
+				}
+				for _, name := range bound {
+					delete(env, name)
+				}
+			}
+			return nil
+		case l.Atom != nil && l.Neg:
+			found := false
+			for _, t := range seedLookup(eng, l.Atom, env) {
+				_, ok, err := seedMatchAtom(l.Atom, t, env)
+				if err != nil {
+					return err
+				}
+				if ok {
+					found = true
+					break
+				}
+			}
+			if found {
+				return nil
+			}
+			return walk(i + 1)
+		case l.Assign:
+			be := l.Expr.(ndlog.BinE)
+			name := be.L.(ndlog.VarE).Name
+			v, err := ndlog.EvalExpr(be.R, env)
+			if err != nil {
+				return err
+			}
+			if old, bound := env[name]; bound {
+				if !old.Equal(v) {
+					return nil
+				}
+				return walk(i + 1)
+			}
+			env[name] = v
+			err = walk(i + 1)
+			delete(env, name)
+			return err
+		default:
+			v, err := ndlog.EvalExpr(l.Expr, env)
+			if err != nil {
+				return err
+			}
+			if !v.True() {
+				return nil
+			}
+			return walk(i + 1)
+		}
+	}
+	return walk(0)
+}
+
+func seedBuildHead(head ndlog.Atom, env map[string]value.V) (value.Tuple, error) {
+	t := make(value.Tuple, len(head.Args))
+	for i, arg := range head.Args {
+		v, err := ndlog.EvalExpr(arg, env)
+		if err != nil {
+			return nil, err
+		}
+		t[i] = v
+	}
+	return t, nil
+}
+
+// benchJoinSetup builds a path-vector engine at fixpoint over topo and
+// returns it together with its analysis and the recursive rule r2, the
+// join the benchmark re-evaluates.
+func benchJoinSetup(b *testing.B, topo *netgraph.Topology) (*datalog.Engine, *ndlog.Analysis, *ndlog.Rule) {
+	b.Helper()
+	an, err := ndlog.Analyze(ndlog.MustParse("pv", core.PathVectorSrc))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := datalog.NewFromAnalysis(an)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, t := range topo.LinkTuples() {
+		if err := eng.Insert("link", t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	var r2 *ndlog.Rule
+	for _, r := range an.Prog.Rules {
+		if r.Label == "r2" {
+			r2 = r
+		}
+	}
+	if r2 == nil {
+		b.Fatal("rule r2 not found")
+	}
+	return eng, an, r2
+}
+
+// BenchmarkJoinPlan re-evaluates the path-vector recursion r2 over a
+// converged engine: the seed's map-environment nested-loop joiner versus
+// the compiled plan executor, on ring and grid topologies. The probe
+// sub-benchmark runs a call-free two-hop join to pin the executor's
+// zero-allocations-per-operation inner loop (r2 itself allocates in
+// f_concatPath per derived path, which is head work, not join work).
+func BenchmarkJoinPlan(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		topo *netgraph.Topology
+	}{
+		{"ring:8", netgraph.Ring(8)},
+		{"grid:4x4", netgraph.Grid(4, 4)},
+	} {
+		eng, an, r2 := benchJoinSetup(b, tc.topo)
+		b.Run("seed/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				err := seedJoinBody(eng, r2, func(env map[string]value.V) error {
+					if _, err := seedBuildHead(r2.Head, env); err != nil {
+						return err
+					}
+					n++
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("seed joiner emitted nothing")
+				}
+			}
+		})
+		plan := an.Plans[r2].Full
+		b.Run("planned/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			x := store.NewExec(plan)
+			head := make(value.Tuple, len(plan.HeadExprs))
+			n := 0
+			emit := func([]value.V) error {
+				if err := plan.BuildHead(x.Env(), head); err != nil {
+					return err
+				}
+				n++
+				return nil
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n = 0
+				if _, err := x.Run(eng, nil, nil, emit); err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("planned joiner emitted nothing")
+				}
+			}
+		})
+	}
+
+	eng, _, _ := benchJoinSetup(b, netgraph.Ring(8))
+	probe := ndlog.MustParse("probe", `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(twoHop, infinity, infinity, keys(1,2)).
+t1 twoHop(@S,D) :- link(@S,Z,C1), link(@Z,D,C2).
+`)
+	pan, err := ndlog.Analyze(probe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pplan := pan.Plans[probe.Rules[0]].Full
+	b.Run("probe/ring:8", func(b *testing.B) {
+		b.ReportAllocs()
+		x := store.NewExec(pplan)
+		n := 0
+		emit := func([]value.V) error { n++; return nil }
+		// One warm-up run builds the lazy hash index and sizes the
+		// executor's key buffer; the measured loop must not allocate.
+		if _, err := x.Run(eng, nil, nil, emit); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n = 0
+			if _, err := x.Run(eng, nil, nil, emit); err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatal("probe join emitted nothing")
+			}
+		}
+	})
 }

@@ -1,0 +1,119 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document on stdout (or -o file). It exists so `make bench` can
+// emit machine-readable benchmark snapshots (BENCH_PR2.json) without any
+// dependency beyond the standard library.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Extra holds custom ReportMetric units, e.g. "steps/op".
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+type doc struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var d doc
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // tee: keep the human-readable stream visible
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			d.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			d.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			d.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			d.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				d.Benchmarks = append(d.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(&d, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkX/sub-8   1234   5678 ns/op   90 B/op   1 allocs/op
+func parseLine(line string) (result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: f[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			n := int64(v)
+			r.BytesPerOp = &n
+		case "allocs/op":
+			n := int64(v)
+			r.AllocsPerOp = &n
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, seen
+}

@@ -77,6 +77,12 @@ func cmdCheck(name, src string) error {
 	if an.AggInCycle {
 		fmt.Println("  note: aggregate on a recursive cycle — requires the distributed runtime")
 	}
+	fmt.Println("compiled join plans:")
+	for _, r := range prog.Rules {
+		if rp := an.Plans[r]; rp != nil && rp.Full != nil {
+			fmt.Printf("  %-4s %s\n", r.Label, rp.Full.Describe())
+		}
+	}
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ndlog"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/value"
 )
 
@@ -29,15 +30,19 @@ type Stats struct {
 	Iterations  int // fixpoint rounds across all strata
 	Derivations int // tuples derived (including duplicates)
 	NewTuples   int // tuples actually added
-	JoinProbes  int // atom match attempts
+	JoinProbes  int // candidate tuples probed by the plan executor
 }
 
-// Engine evaluates an analyzed NDlog program to fixpoint.
+// Engine evaluates an analyzed NDlog program to fixpoint. Rule bodies run
+// through the compiled join plans of the analysis (internal/ndlog) on the
+// shared plan executor (internal/store) — the same machinery the
+// distributed runtime uses.
 type Engine struct {
 	An   *ndlog.Analysis
 	Mode Mode
 
 	rels  map[string]*Relation
+	execs map[*ndlog.Plan]*store.Exec
 	Stats Stats
 
 	// Observability (nil when disabled — see Attach). ruleObs carries
@@ -93,7 +98,7 @@ func NewFromAnalysis(an *ndlog.Analysis) (*Engine, error) {
 	if an.AggInCycle {
 		return nil, fmt.Errorf("datalog: program aggregates on a recursive cycle; it has no stratified model — execute it on the distributed runtime (internal/dist)")
 	}
-	e := &Engine{An: an, rels: map[string]*Relation{}}
+	e := &Engine{An: an, rels: map[string]*Relation{}, execs: map[*ndlog.Plan]*store.Exec{}}
 	for pred, arity := range an.Arity {
 		e.rels[pred] = NewRelation(pred, arity)
 	}
@@ -106,24 +111,42 @@ func NewFromAnalysis(an *ndlog.Analysis) (*Engine, error) {
 }
 
 // Explain renders the EXPLAIN ANALYZE view of the program — each rule
-// annotated with firings, join probes, tuples emitted, and cumulative
-// eval time — from the attached collector. Attach must have run with a
-// non-nil collector before the evaluation being explained.
+// annotated with its compiled join order plus firings, join probes,
+// tuples emitted, and cumulative eval time — from the attached collector.
+// Attach must have run with a non-nil collector before the evaluation
+// being explained.
 func (e *Engine) Explain(w io.Writer, title string) {
 	rules := make([]obs.RuleLine, 0, len(e.An.Prog.Rules))
 	for _, r := range e.An.Prog.Rules {
-		rules = append(rules, obs.RuleLine{Label: r.Label, Text: r.String()})
+		line := obs.RuleLine{Label: r.Label, Text: r.String()}
+		if rp := e.An.Plans[r]; rp != nil {
+			line.Plan = rp.Full.Describe()
+		}
+		rules = append(rules, line)
 	}
 	obs.WriteExplain(w, title, "datalog", rules, e.col)
 }
 
-// Relation returns the relation for pred, creating it if the predicate is
-// unknown to the program (external input predicates).
+// Relation returns the relation for pred, or nil if the predicate is
+// unknown to the program.
 func (e *Engine) Relation(pred string) *Relation {
 	if r, ok := e.rels[pred]; ok {
 		return r
 	}
 	return nil
+}
+
+// Table implements store.TableSource for the plan executor.
+func (e *Engine) Table(pred string) *store.Table { return e.rels[pred] }
+
+// exec returns the cached executor for a plan.
+func (e *Engine) exec(p *ndlog.Plan) *store.Exec {
+	x, ok := e.execs[p]
+	if !ok {
+		x = store.NewExec(p)
+		e.execs[p] = x
+	}
+	return x
 }
 
 // Insert adds a base tuple.
@@ -244,11 +267,11 @@ func (e *Engine) runStratum(stratum int) error {
 			e.Stats.Iterations++
 			added := 0
 			for _, r := range plain {
-				n, err := e.evalRule(r, -1, nil)
+				ts, err := e.evalRuleCollect(r, -1, nil)
 				if err != nil {
 					return err
 				}
-				added += n
+				added += len(ts)
 			}
 			if added == 0 {
 				break
@@ -267,7 +290,8 @@ func (e *Engine) runStratum(stratum int) error {
 				delta[r.Head.Pred] = append(delta[r.Head.Pred], t)
 			}
 		}
-		// Subsequent rounds: join each recursive atom against the delta.
+		// Subsequent rounds: join each recursive atom against the delta,
+		// through the rule's per-literal delta plan.
 		for len(delta) > 0 {
 			e.Stats.Iterations++
 			next := map[string][]value.Tuple{}
@@ -302,31 +326,31 @@ func (e *Engine) runStratum(stratum int) error {
 	return nil
 }
 
-// evalRule evaluates r (optionally with body literal deltaIdx restricted to
-// the delta tuples) and inserts derived heads, returning how many were new.
-func (e *Engine) evalRule(r *ndlog.Rule, deltaIdx int, delta []value.Tuple) (int, error) {
-	ts, err := e.evalRuleCollect(r, deltaIdx, delta)
-	return len(ts), err
-}
-
-// evalRuleCollect is evalRule returning the newly inserted tuples.
+// evalRuleCollect evaluates r through its compiled plan (the full plan,
+// or the delta plan for body literal deltaIdx) and inserts derived heads,
+// returning the newly inserted tuples.
 func (e *Engine) evalRuleCollect(r *ndlog.Rule, deltaIdx int, delta []value.Tuple) ([]value.Tuple, error) {
+	plans := e.An.Plans[r]
+	plan := plans.Full
+	if deltaIdx >= 0 {
+		plan = plans.Delta[deltaIdx]
+	}
+	x := e.exec(plan)
+
 	ro := e.ruleObs[r]
 	var t0 time.Time
-	probes0 := e.Stats.JoinProbes
 	if ro != nil {
 		t0 = time.Now()
 	}
 	var added []value.Tuple
-	head := r.Head
-	err := e.joinBody(r, deltaIdx, delta, func(env map[string]value.V) error {
-		t, err := e.buildHead(head, env)
-		if err != nil {
-			return err
+	rel := e.rels[r.Head.Pred]
+	probes, err := x.Run(e, delta, nil, func([]value.V) error {
+		t := make(value.Tuple, len(plan.HeadExprs))
+		if err := plan.BuildHead(x.Env(), t); err != nil {
+			return fmt.Errorf("datalog: head of %s: %w", r.Head.Pred, err)
 		}
 		e.Stats.Derivations++
 		ro.addFiring()
-		rel := e.rels[head.Pred]
 		isNew, err := rel.Insert(t)
 		if err != nil {
 			return err
@@ -336,15 +360,16 @@ func (e *Engine) evalRuleCollect(r *ndlog.Rule, deltaIdx int, delta []value.Tupl
 			if ro != nil {
 				ro.emitted.Add(1)
 				if e.tracer != nil {
-					e.tracer.Emit(obs.Event{Kind: obs.EvTupleDerived, Rule: r.Label, Pred: head.Pred, Tuple: t.String()})
+					e.tracer.Emit(obs.Event{Kind: obs.EvTupleDerived, Rule: r.Label, Pred: r.Head.Pred, Tuple: t.String()})
 				}
 			}
 			added = append(added, t)
 		}
 		return nil
 	})
+	e.Stats.JoinProbes += int(probes)
 	if ro != nil {
-		ro.probes.Add(int64(e.Stats.JoinProbes - probes0))
+		ro.probes.Add(probes)
 		ro.eval.Observe(time.Since(t0))
 	}
 	return added, err
@@ -359,26 +384,29 @@ func (ro *ruleObs) addFiring() {
 
 // evalDelete evaluates a delete rule, removing matching head tuples.
 func (e *Engine) evalDelete(r *ndlog.Rule) error {
+	plan := e.An.Plans[r].Full
+	x := e.exec(plan)
+
 	ro := e.ruleObs[r]
 	var t0 time.Time
-	probes0 := e.Stats.JoinProbes
 	if ro != nil {
 		t0 = time.Now()
-		defer func() {
-			ro.probes.Add(int64(e.Stats.JoinProbes - probes0))
-			ro.eval.Observe(time.Since(t0))
-		}()
 	}
 	var victims []value.Tuple
-	err := e.joinBody(r, -1, nil, func(env map[string]value.V) error {
-		t, err := e.buildHead(r.Head, env)
-		if err != nil {
-			return err
+	probes, err := x.Run(e, nil, nil, func([]value.V) error {
+		t := make(value.Tuple, len(plan.HeadExprs))
+		if err := plan.BuildHead(x.Env(), t); err != nil {
+			return fmt.Errorf("datalog: head of %s: %w", r.Head.Pred, err)
 		}
 		ro.addFiring()
 		victims = append(victims, t)
 		return nil
 	})
+	e.Stats.JoinProbes += int(probes)
+	if ro != nil {
+		ro.probes.Add(probes)
+		ro.eval.Observe(time.Since(t0))
+	}
 	if err != nil {
 		return err
 	}
@@ -389,205 +417,19 @@ func (e *Engine) evalDelete(r *ndlog.Rule) error {
 	return nil
 }
 
-// buildHead constructs the head tuple under env (no aggregates).
-func (e *Engine) buildHead(head ndlog.Atom, env map[string]value.V) (value.Tuple, error) {
-	t := make(value.Tuple, len(head.Args))
-	for i, arg := range head.Args {
-		v, err := ndlog.EvalExpr(arg, env)
-		if err != nil {
-			return nil, fmt.Errorf("datalog: head of %s: %w", head.Pred, err)
-		}
-		t[i] = v
-	}
-	return t, nil
-}
-
-// joinBody enumerates all satisfying assignments of r's body, calling emit
-// for each. If deltaIdx >= 0, body literal deltaIdx (a positive atom) is
-// evaluated against delta instead of its full relation.
-func (e *Engine) joinBody(r *ndlog.Rule, deltaIdx int, delta []value.Tuple, emit func(map[string]value.V) error) error {
-	body := r.Body
-	env := map[string]value.V{}
-	var walk func(i int) error
-	walk = func(i int) error {
-		if i == len(body) {
-			return emit(env)
-		}
-		l := body[i]
-		switch {
-		case l.Atom != nil && !l.Neg:
-			var candidates []value.Tuple
-			if i == deltaIdx {
-				candidates = e.filterDelta(l.Atom, delta, env)
-			} else {
-				candidates = e.lookup(l.Atom, env)
-			}
-			for _, t := range candidates {
-				e.Stats.JoinProbes++
-				bound, ok, err := e.matchAtom(l.Atom, t, env)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					continue
-				}
-				if err := walk(i + 1); err != nil {
-					return err
-				}
-				for _, name := range bound {
-					delete(env, name)
-				}
-			}
-			return nil
-		case l.Atom != nil && l.Neg:
-			rel := e.rels[l.Atom.Pred]
-			found := false
-			for _, t := range e.lookup(l.Atom, env) {
-				e.Stats.JoinProbes++
-				_, ok, err := e.matchAtom(l.Atom, t, env)
-				if err != nil {
-					return err
-				}
-				if ok {
-					found = true
-					break
-				}
-			}
-			_ = rel
-			if found {
-				return nil // negation fails: prune
-			}
-			return walk(i + 1)
-		case l.Assign:
-			be := l.Expr.(ndlog.BinE)
-			name := be.L.(ndlog.VarE).Name
-			v, err := ndlog.EvalExpr(be.R, env)
-			if err != nil {
-				return fmt.Errorf("datalog: rule %s: %w", r.Label, err)
-			}
-			if old, bound := env[name]; bound {
-				// Rebinding: treat as equality test.
-				if !old.Equal(v) {
-					return nil
-				}
-				return walk(i + 1)
-			}
-			env[name] = v
-			err = walk(i + 1)
-			delete(env, name)
-			return err
-		default:
-			v, err := ndlog.EvalExpr(l.Expr, env)
-			if err != nil {
-				return fmt.Errorf("datalog: rule %s: %w", r.Label, err)
-			}
-			if !v.True() {
-				return nil
-			}
-			return walk(i + 1)
-		}
-	}
-	return walk(0)
-}
-
-// lookup returns candidate tuples for atom under env, using an index on
-// the columns whose argument value is already determined.
-func (e *Engine) lookup(atom *ndlog.Atom, env map[string]value.V) []value.Tuple {
-	rel, ok := e.rels[atom.Pred]
-	if !ok {
-		return nil
-	}
-	var cols []int
-	var vals []value.V
-	for i, arg := range atom.Args {
-		switch x := arg.(type) {
-		case ndlog.VarE:
-			if v, bound := env[x.Name]; bound {
-				cols = append(cols, i)
-				vals = append(vals, v)
-			}
-		case ndlog.LitE:
-			cols = append(cols, i)
-			vals = append(vals, x.Val)
-		default:
-			// Computed argument: safe ordering guarantees its variables are
-			// bound, so it is a determined column.
-			if v, err := ndlog.EvalExpr(arg, env); err == nil {
-				cols = append(cols, i)
-				vals = append(vals, v)
-			}
-		}
-	}
-	return rel.Lookup(cols, vals)
-}
-
-// filterDelta returns the delta tuples compatible with the determined
-// columns (no index: deltas are short-lived).
-func (e *Engine) filterDelta(atom *ndlog.Atom, delta []value.Tuple, env map[string]value.V) []value.Tuple {
-	return delta
-}
-
-// matchAtom matches tuple t against the atom's argument patterns under
-// env, binding fresh variables. It returns the names bound (for
-// backtracking), whether the match succeeded, and any evaluation error.
-func (e *Engine) matchAtom(atom *ndlog.Atom, t value.Tuple, env map[string]value.V) ([]string, bool, error) {
-	if len(t) != len(atom.Args) {
-		return nil, false, fmt.Errorf("datalog: %s arity mismatch", atom.Pred)
-	}
-	var bound []string
-	fail := func() ([]string, bool, error) {
-		for _, name := range bound {
-			delete(env, name)
-		}
-		return nil, false, nil
-	}
-	for i, arg := range atom.Args {
-		switch x := arg.(type) {
-		case ndlog.VarE:
-			if v, ok := env[x.Name]; ok {
-				if !v.Equal(t[i]) {
-					return fail()
-				}
-			} else {
-				env[x.Name] = t[i]
-				bound = append(bound, x.Name)
-			}
-		case ndlog.LitE:
-			if !x.Val.Equal(t[i]) {
-				return fail()
-			}
-		default:
-			v, err := ndlog.EvalExpr(arg, env)
-			if err != nil {
-				for _, name := range bound {
-					delete(env, name)
-				}
-				return nil, false, err
-			}
-			if !v.Equal(t[i]) {
-				return fail()
-			}
-		}
-	}
-	return bound, true, nil
-}
-
 // evalAggregate evaluates an aggregate-head rule: group by the non-
 // aggregate head arguments and fold the aggregated variable.
 func (e *Engine) evalAggregate(r *ndlog.Rule) error {
-	agg, aggIdx := r.Head.HeadAgg()
-	if agg == nil {
+	plan := e.An.Plans[r].Full
+	if plan.AggIdx < 0 {
 		return fmt.Errorf("datalog: rule %s is not an aggregate rule", r.Label)
 	}
+	x := e.exec(plan)
+
 	ro := e.ruleObs[r]
 	var t0 time.Time
-	probes0 := e.Stats.JoinProbes
 	if ro != nil {
 		t0 = time.Now()
-		defer func() {
-			ro.probes.Add(int64(e.Stats.JoinProbes - probes0))
-			ro.eval.Observe(time.Since(t0))
-		}()
 	}
 	type group struct {
 		key  value.Tuple // non-aggregate head values
@@ -595,38 +437,33 @@ func (e *Engine) evalAggregate(r *ndlog.Rule) error {
 		n    int64
 	}
 	groups := map[string]*group{}
-	err := e.joinBody(r, -1, nil, func(env map[string]value.V) error {
-		key := make(value.Tuple, 0, len(r.Head.Args)-1)
-		for i, arg := range r.Head.Args {
-			if i == aggIdx {
+	probes, err := x.Run(e, nil, nil, func(frame []value.V) error {
+		key := make(value.Tuple, 0, len(plan.HeadExprs)-1)
+		for i, ce := range plan.HeadExprs {
+			if i == plan.AggIdx {
 				continue
 			}
-			v, err := ndlog.EvalExpr(arg, env)
+			v, err := ce.Eval(x.Env())
 			if err != nil {
 				return err
 			}
 			key = append(key, v)
 		}
 		var av value.V
-		if agg.Arg != "" {
-			var ok bool
-			av, ok = env[agg.Arg]
-			if !ok {
-				return fmt.Errorf("datalog: rule %s: aggregate variable %s unbound", r.Label, agg.Arg)
-			}
+		if plan.AggSlot >= 0 {
+			av = frame[plan.AggSlot]
 		}
 		k := key.Key()
 		g, ok := groups[k]
 		if !ok {
-			g = &group{key: key, best: av, n: 1}
-			if agg.Kind == "sum" && av.K != value.KindInt {
+			if plan.AggKind == "sum" && av.K != value.KindInt {
 				return fmt.Errorf("datalog: rule %s: sum over non-integer", r.Label)
 			}
-			groups[k] = g
+			groups[k] = &group{key: key, best: av, n: 1}
 			return nil
 		}
 		g.n++
-		switch agg.Kind {
+		switch plan.AggKind {
 		case "min":
 			if av.Compare(g.best) < 0 {
 				g.best = av
@@ -643,6 +480,11 @@ func (e *Engine) evalAggregate(r *ndlog.Rule) error {
 		}
 		return nil
 	})
+	e.Stats.JoinProbes += int(probes)
+	if ro != nil {
+		ro.probes.Add(probes)
+		defer func() { ro.eval.Observe(time.Since(t0)) }()
+	}
 	if err != nil {
 		return err
 	}
@@ -657,8 +499,8 @@ func (e *Engine) evalAggregate(r *ndlog.Rule) error {
 		out := make(value.Tuple, len(r.Head.Args))
 		gi := 0
 		for i := range r.Head.Args {
-			if i == aggIdx {
-				if agg.Kind == "count" {
+			if i == plan.AggIdx {
+				if plan.AggKind == "count" {
 					out[i] = value.Int(g.n)
 				} else {
 					out[i] = g.best

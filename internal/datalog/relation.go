@@ -1,183 +1,26 @@
-// Package datalog implements bottom-up evaluation of NDlog programs: a
-// tuple store with hash indexes, stratified semi-naive fixpoint
-// computation, safe negation, and the min/max/count/sum head aggregates of
-// NDlog (§2.2 of the paper). The engine evaluates centralized programs;
-// internal/dist layers the distributed, pipelined execution model on top.
+// Package datalog implements bottom-up evaluation of NDlog programs:
+// stratified semi-naive fixpoint computation, safe negation, and the
+// min/max/count/sum head aggregates of NDlog (§2.2 of the paper), over
+// the shared tuple store and compiled join plans of internal/store. The
+// engine evaluates centralized programs; internal/dist layers the
+// distributed, pipelined execution model on top of the same store and
+// plan executor.
 package datalog
 
 import (
-	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 
-	"repro/internal/value"
+	"repro/internal/store"
 )
 
-// Relation is a set of tuples of fixed arity with optional hash indexes on
-// column subsets. Indexes are created lazily on first use and maintained
-// on insert.
-type Relation struct {
-	Name  string
-	Arity int
-
-	tuples  map[string]value.Tuple
-	order   []value.Tuple // insertion order: scans and index builds are deterministic
-	indexes map[string]*index
-}
-
-type index struct {
-	cols    []int
-	buckets map[string][]value.Tuple
-}
+// Relation is a set of tuples of fixed arity with hash indexes built
+// lazily on column subsets. It is the shared store.Table specialized to
+// whole-tuple identity (set semantics, no soft state).
+type Relation = store.Table
 
 // NewRelation creates an empty relation.
 func NewRelation(name string, arity int) *Relation {
-	return &Relation{
-		Name:    name,
-		Arity:   arity,
-		tuples:  map[string]value.Tuple{},
-		indexes: map[string]*index{},
-	}
-}
-
-// Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
-
-// Insert adds a tuple, reporting whether it was new.
-func (r *Relation) Insert(t value.Tuple) (bool, error) {
-	if len(t) != r.Arity {
-		return false, fmt.Errorf("datalog: %s expects %d columns, got %d", r.Name, r.Arity, len(t))
-	}
-	k := t.Key()
-	if _, dup := r.tuples[k]; dup {
-		return false, nil
-	}
-	r.tuples[k] = t
-	r.order = append(r.order, t)
-	for _, idx := range r.indexes {
-		idx.add(t)
-	}
-	return true, nil
-}
-
-// Delete removes a tuple, reporting whether it was present.
-func (r *Relation) Delete(t value.Tuple) bool {
-	k := t.Key()
-	if _, ok := r.tuples[k]; !ok {
-		return false
-	}
-	delete(r.tuples, k)
-	for i, u := range r.order {
-		if u.Key() == k {
-			r.order = append(r.order[:i:i], r.order[i+1:]...)
-			break
-		}
-	}
-	for _, idx := range r.indexes {
-		idx.remove(t)
-	}
-	return true
-}
-
-// Contains reports whether the tuple is present.
-func (r *Relation) Contains(t value.Tuple) bool {
-	_, ok := r.tuples[t.Key()]
-	return ok
-}
-
-// All returns the tuples in insertion order (deterministic across runs).
-// The returned slice aliases the store and must not be mutated.
-func (r *Relation) All() []value.Tuple {
-	return r.order
-}
-
-// Sorted returns the tuples in lexicographic order, for deterministic
-// output.
-func (r *Relation) Sorted() []value.Tuple {
-	out := append([]value.Tuple(nil), r.order...)
-	value.SortTuples(out)
-	return out
-}
-
-// Clear removes all tuples and indexes.
-func (r *Relation) Clear() {
-	r.tuples = map[string]value.Tuple{}
-	r.order = nil
-	r.indexes = map[string]*index{}
-}
-
-func colsKey(cols []int) string {
-	parts := make([]string, len(cols))
-	for i, c := range cols {
-		parts[i] = strconv.Itoa(c)
-	}
-	return strings.Join(parts, ",")
-}
-
-func bucketKey(cols []int, vals []value.V) string {
-	var b strings.Builder
-	for i := range cols {
-		if i > 0 {
-			b.WriteByte('|')
-		}
-		b.WriteString(vals[i].Key())
-	}
-	return b.String()
-}
-
-func (ix *index) add(t value.Tuple) {
-	vals := make([]value.V, len(ix.cols))
-	for i, c := range ix.cols {
-		vals[i] = t[c]
-	}
-	k := bucketKey(ix.cols, vals)
-	ix.buckets[k] = append(ix.buckets[k], t)
-}
-
-func (ix *index) remove(t value.Tuple) {
-	vals := make([]value.V, len(ix.cols))
-	for i, c := range ix.cols {
-		vals[i] = t[c]
-	}
-	k := bucketKey(ix.cols, vals)
-	bucket := ix.buckets[k]
-	for i, u := range bucket {
-		if u.Equal(t) {
-			ix.buckets[k] = append(bucket[:i:i], bucket[i+1:]...)
-			return
-		}
-	}
-}
-
-// Lookup returns tuples whose columns cols equal vals, using (and if
-// necessary building) a hash index. With no columns it returns all tuples.
-func (r *Relation) Lookup(cols []int, vals []value.V) []value.Tuple {
-	if len(cols) == 0 {
-		return r.All()
-	}
-	ck := colsKey(cols)
-	ix, ok := r.indexes[ck]
-	if !ok {
-		ix = &index{cols: append([]int(nil), cols...), buckets: map[string][]value.Tuple{}}
-		for _, t := range r.order {
-			ix.add(t)
-		}
-		r.indexes[ck] = ix
-	}
-	return ix.buckets[bucketKey(cols, vals)]
-}
-
-// String renders the relation contents deterministically, one tuple per
-// line.
-func (r *Relation) String() string {
-	var b strings.Builder
-	for _, t := range r.Sorted() {
-		b.WriteString(r.Name)
-		b.WriteString(t.String())
-		b.WriteByte('\n')
-	}
-	return b.String()
+	return store.New(name, arity, nil, 0)
 }
 
 // Names returns the sorted names of a relation map (helper for dumps).

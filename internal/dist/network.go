@@ -9,6 +9,7 @@ import (
 	"repro/internal/ndlog"
 	"repro/internal/netgraph"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/value"
 )
 
@@ -94,6 +95,20 @@ type Network struct {
 	seq   int // tiebreaker for deterministic event order
 	now   float64
 
+	// execs caches one executor per compiled plan, shared by all nodes
+	// (evaluation is single-threaded). shuf drives the seeded scan-order
+	// shuffle: full table scans enumerate in a pseudo-random order drawn
+	// from Options.Seed. The shuffle is the simulator's implicit timing
+	// jitter — with any fixed enumeration order, policy oscillations such
+	// as BGP Disagree never resolve even under asymmetric timing, while
+	// real networks (and randomized scans) settle into one of the stable
+	// solutions. Because the stream is seeded, two runs with the same
+	// Options.Seed are bit-for-bit identical; the centralized engine
+	// (internal/datalog) is the fully deterministic counterpart.
+	execs    map[*ndlog.Plan]*store.Exec
+	shuf     *store.Shuffler
+	deltaBuf [1]value.Tuple // reusable delta slice for pipelined evaluation
+
 	col     *obs.Collector // never nil: private one when Options.Obs unset
 	tracer  *obs.Tracer    // nil when tracing disabled
 	nm      netMetrics
@@ -141,6 +156,8 @@ func NewNetwork(prog *ndlog.Program, topo *netgraph.Topology, opts Options) (*Ne
 		topo:     topo,
 		opts:     opts,
 		nodes:    map[string]*Node{},
+		execs:    map[*ndlog.Plan]*store.Exec{},
+		shuf:     store.NewShuffler(opts.Seed),
 		rngState: opts.Seed ^ 0xdeadbeefcafef00d,
 		history:  map[string][2]string{},
 	}
@@ -231,16 +248,32 @@ func (n *Network) Collector() *obs.Collector { return n.col }
 func (n *Network) Explain(w io.Writer, title string) {
 	rules := make([]obs.RuleLine, 0, len(n.prog.Rules))
 	for _, r := range n.prog.Rules {
-		rules = append(rules, obs.RuleLine{Label: r.Label, Text: r.String()})
+		line := obs.RuleLine{Label: r.Label, Text: r.String()}
+		if rp := n.an.Plans[r]; rp != nil {
+			line.Plan = rp.Full.Describe()
+		}
+		rules = append(rules, line)
 	}
 	obs.WriteExplain(w, title, "dist", rules, n.col)
+}
+
+// exec returns the cached executor for a plan, with the seeded scan
+// shuffle attached.
+func (n *Network) exec(p *ndlog.Plan) *store.Exec {
+	x, ok := n.execs[p]
+	if !ok {
+		x = store.NewExec(p)
+		x.SetShuffle(n.shuf)
+		n.execs[p] = x
+	}
+	return x
 }
 
 func (n *Network) newNode(id string) *Node {
 	node := &Node{
 		ID:          id,
 		net:         n,
-		tables:      map[string]*table{},
+		tables:      map[string]*store.Table{},
 		triggers:    map[string][]trigger{},
 		aggTriggers: map[string][]*ndlog.Rule{},
 	}
@@ -533,9 +566,10 @@ func (n *Network) Run() (Result, error) {
 				if !ok {
 					continue
 				}
-				for _, tup := range t.all() {
+				// Snapshot: the loop deletes while iterating.
+				for _, tup := range t.Snapshot() {
 					if tup[0].S == pair[0] && tup[1].S == pair[1] {
-						t.delete(tup)
+						t.Delete(tup)
 						n.lastChange = n.now
 						// Aggregates over link recompute.
 						for _, r := range node.aggTriggers["link"] {

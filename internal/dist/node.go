@@ -6,184 +6,22 @@ import (
 
 	"repro/internal/ndlog"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/value"
 )
-
-// table is a materialized NDlog table at one node: tuples with primary-key
-// replacement semantics and an optional soft-state lifetime.
-type table struct {
-	name     string
-	arity    int
-	keys     []int   // 0-based key columns; empty means the whole tuple
-	lifetime float64 // seconds; 0 = hard state
-
-	byKey   map[string]value.Tuple
-	refresh map[string]float64 // last refresh time per key (soft state)
-	indexes map[string]*tblIndex
-}
-
-// tblIndex is a lazily built hash index on a column subset, maintained on
-// insert/replace/delete.
-type tblIndex struct {
-	cols    []int
-	buckets map[string][]value.Tuple
-}
-
-func newTable(name string, arity int, keys []int, lifetime float64) *table {
-	return &table{
-		name:     name,
-		arity:    arity,
-		keys:     keys,
-		lifetime: lifetime,
-		byKey:    map[string]value.Tuple{},
-		refresh:  map[string]float64{},
-		indexes:  map[string]*tblIndex{},
-	}
-}
-
-func (ix *tblIndex) bucketKey(tup value.Tuple) string {
-	sub := make(value.Tuple, len(ix.cols))
-	for i, c := range ix.cols {
-		sub[i] = tup[c]
-	}
-	return sub.Key()
-}
-
-func (ix *tblIndex) add(tup value.Tuple) {
-	k := ix.bucketKey(tup)
-	ix.buckets[k] = append(ix.buckets[k], tup)
-}
-
-func (ix *tblIndex) remove(tup value.Tuple) {
-	k := ix.bucketKey(tup)
-	b := ix.buckets[k]
-	for i, u := range b {
-		if u.Equal(tup) {
-			ix.buckets[k] = append(b[:i:i], b[i+1:]...)
-			return
-		}
-	}
-}
-
-// lookup returns tuples matching vals on cols, building an index on first
-// use. Empty cols returns everything.
-func (t *table) lookup(cols []int, vals []value.V) []value.Tuple {
-	if len(cols) == 0 {
-		return t.all()
-	}
-	ck := ""
-	for i, c := range cols {
-		if i > 0 {
-			ck += ","
-		}
-		ck += fmt.Sprint(c)
-	}
-	ix, ok := t.indexes[ck]
-	if !ok {
-		ix = &tblIndex{cols: append([]int(nil), cols...), buckets: map[string][]value.Tuple{}}
-		for _, tup := range t.byKey {
-			ix.add(tup)
-		}
-		t.indexes[ck] = ix
-	}
-	sub := make(value.Tuple, len(vals))
-	copy(sub, vals)
-	return ix.buckets[sub.Key()]
-}
-
-// keyOf computes the primary key of a tuple.
-func (t *table) keyOf(tup value.Tuple) string {
-	if len(t.keys) == 0 {
-		return tup.Key()
-	}
-	sub := make(value.Tuple, len(t.keys))
-	for i, c := range t.keys {
-		sub[i] = tup[c]
-	}
-	return sub.Key()
-}
-
-// insertResult describes the effect of a table insert.
-type insertResult int
-
-const (
-	insertNoop    insertResult = iota // identical tuple already present
-	insertNew                         // a fresh key
-	insertReplace                     // an existing key was overwritten (route change)
-)
-
-func (t *table) insert(tup value.Tuple, now float64) (insertResult, value.Tuple) {
-	k := t.keyOf(tup)
-	old, exists := t.byKey[k]
-	t.refresh[k] = now
-	if exists && old.Equal(tup) {
-		return insertNoop, nil
-	}
-	t.byKey[k] = tup
-	for _, ix := range t.indexes {
-		if exists {
-			ix.remove(old)
-		}
-		ix.add(tup)
-	}
-	if exists {
-		return insertReplace, old
-	}
-	return insertNew, nil
-}
-
-func (t *table) delete(tup value.Tuple) bool {
-	k := t.keyOf(tup)
-	old, ok := t.byKey[k]
-	if !ok || !old.Equal(tup) {
-		return false
-	}
-	delete(t.byKey, k)
-	delete(t.refresh, k)
-	for _, ix := range t.indexes {
-		ix.remove(old)
-	}
-	return true
-}
-
-// deleteByKey removes whatever tuple holds the given primary key.
-func (t *table) deleteByKey(k string) bool {
-	old, ok := t.byKey[k]
-	if !ok {
-		return false
-	}
-	delete(t.byKey, k)
-	delete(t.refresh, k)
-	for _, ix := range t.indexes {
-		ix.remove(old)
-	}
-	return true
-}
-
-// all returns the tuples in Go map iteration order — deliberately
-// randomized. The per-scan shuffle is the simulator's implicit timing
-// jitter: with any fixed enumeration order, policy oscillations such as
-// BGP Disagree never resolve even under asymmetric timing, while real
-// networks (and randomized scans) settle into one of the stable
-// solutions. The centralized engine (internal/datalog) is the
-// deterministic counterpart.
-func (t *table) all() []value.Tuple {
-	out := make([]value.Tuple, 0, len(t.byKey))
-	for _, tup := range t.byKey {
-		out = append(out, tup)
-	}
-	return out
-}
 
 // Node is one network participant: its tables and the localized rules it
 // evaluates. Rules are indexed by the predicates of their body atoms so
 // that tuple arrivals trigger exactly the affected rules (pipelined
-// evaluation).
+// evaluation). Tables are store.Table instances — the same storage layer
+// the centralized engine uses — and rule bodies run through the compiled
+// join plans of the localized program's analysis on the shared plan
+// executor.
 type Node struct {
 	ID  string
 	net *Network
 
-	tables map[string]*table
+	tables map[string]*store.Table
 	// triggers maps a predicate to the (rule, body-literal index) pairs
 	// where it occurs positively.
 	triggers map[string][]trigger
@@ -203,7 +41,14 @@ type derivation struct {
 	loc  string // destination node (from the location argument)
 }
 
-func (n *Node) table(pred string) *table {
+// Table implements store.TableSource for the plan executor: a nil result
+// (predicate never materialized at this node) matches nothing.
+func (n *Node) Table(pred string) *store.Table { return n.tables[pred] }
+
+// table returns the node's table for pred, creating it from the
+// materialize declaration (1-based key columns, soft-state lifetime) on
+// first use.
+func (n *Node) table(pred string) *store.Table {
 	if t, ok := n.tables[pred]; ok {
 		return t
 	}
@@ -218,7 +63,7 @@ func (n *Node) table(pred string) *table {
 			lifetime = m.Lifetime.Seconds
 		}
 	}
-	t := newTable(pred, arity, keys, lifetime)
+	t := store.New(pred, arity, keys, lifetime)
 	n.tables[pred] = t
 	return t
 }
@@ -229,9 +74,7 @@ func (n *Node) Tuples(pred string) []value.Tuple {
 	if !ok {
 		return nil
 	}
-	out := t.all()
-	value.SortTuples(out)
-	return out
+	return t.Sorted()
 }
 
 // insert stores a tuple and returns the downstream derivations it enables.
@@ -251,23 +94,26 @@ func (n *Node) insert(pred string, tup value.Tuple, now float64) ([]derivation, 
 // rules once per surviving key.
 func (n *Node) insertQuiet(pred string, tup value.Tuple, now float64) (bool, string, error) {
 	t := n.table(pred)
-	if t.arity == 0 && len(t.byKey) == 0 {
+	if t.Arity == 0 && t.Len() == 0 {
 		// A predicate unknown to the rules (externally populated table):
 		// adopt the arity of the first tuple.
-		t.arity = len(tup)
+		t.Arity = len(tup)
 	}
-	if len(tup) != t.arity {
-		return false, "", fmt.Errorf("dist: %s: %s expects %d columns, got %d", n.ID, pred, t.arity, len(tup))
+	if len(tup) != t.Arity {
+		return false, "", fmt.Errorf("dist: %s: %s expects %d columns, got %d", n.ID, pred, t.Arity, len(tup))
 	}
-	res, old := t.insert(tup, now)
-	if res == insertNoop {
+	res, old, err := t.Put(tup, now)
+	if err != nil {
+		return false, "", err
+	}
+	if res == store.PutNoop {
 		return false, "", nil
 	}
-	if t.lifetime > 0 {
-		n.net.scheduleExpiry(n.ID, pred, tup, now+t.lifetime)
+	if t.Lifetime > 0 {
+		n.net.scheduleExpiry(n.ID, pred, tup, now+t.Lifetime)
 	}
-	key := t.keyOf(tup)
-	if res == insertReplace {
+	key := t.KeyOf(tup)
+	if res == store.PutReplace {
 		n.net.nm.routeChanges.Add(1)
 		n.net.noteFlip(n.ID, pred, key, old, tup)
 	}
@@ -381,20 +227,20 @@ func (n *Node) expire(pred string, tup value.Tuple, now float64) ([]derivation, 
 	if !ok {
 		return nil, nil
 	}
-	k := t.keyOf(tup)
-	cur, exists := t.byKey[k]
+	k := t.KeyOf(tup)
+	cur, exists := t.Get(k)
 	if !exists || !cur.Equal(tup) {
 		return nil, nil // replaced in the meantime
 	}
-	if last := t.refresh[k]; last+t.lifetime > now+1e-9 {
+	if last, ok := t.RefreshAt(k); ok && last+t.Lifetime > now+1e-9 {
 		// Refreshed since this expiry was scheduled. Refreshes by identical
 		// re-insert do not create new expiry events (the insert is a
 		// no-op), so reschedule from the refresh time to keep exactly one
 		// live expiry per entry.
-		n.net.scheduleExpiry(n.ID, pred, tup, last+t.lifetime)
+		n.net.scheduleExpiry(n.ID, pred, tup, last+t.Lifetime)
 		return nil, nil
 	}
-	t.deleteByKey(k)
+	t.DeleteByKey(k)
 	n.net.nm.expirations.Add(1)
 	if n.net.tracer != nil {
 		n.net.tracer.Emit(obs.Event{T: now, Kind: obs.EvExpired, Node: n.ID, Pred: pred, Tuple: cur.String()})
@@ -413,7 +259,8 @@ func (n *Node) expire(pred string, tup value.Tuple, now float64) ([]derivation, 
 }
 
 // evalRuleDelta evaluates rule r with body literal idx bound to the new
-// tuple, joining the remaining literals against the local store.
+// tuple, running the rule's compiled per-literal delta plan on the shared
+// executor against the local store.
 func (n *Node) evalRuleDelta(r *ndlog.Rule, idx int, delta value.Tuple) ([]derivation, error) {
 	if agg, _ := r.Head.HeadAgg(); agg != nil {
 		return nil, nil // aggregate rules are recomputed, not delta-joined
@@ -422,9 +269,16 @@ func (n *Node) evalRuleDelta(r *ndlog.Rule, idx int, delta value.Tuple) ([]deriv
 	if ro != nil && ro.eval != nil {
 		defer func(t0 time.Time) { ro.eval.Observe(time.Since(t0)) }(time.Now())
 	}
+	plan := n.net.an.Plans[r].Delta[idx]
+	x := n.net.exec(plan)
 	var out []derivation
-	probes, err := n.joinBody(r, idx, delta, func(env map[string]value.V) error {
-		d, err := n.buildHead(r, env)
+	n.net.deltaBuf[0] = delta
+	probes, err := x.Run(n, n.net.deltaBuf[:], nil, func([]value.V) error {
+		tup := make(value.Tuple, len(plan.HeadExprs))
+		if err := plan.BuildHead(x.Env(), tup); err != nil {
+			return fmt.Errorf("dist: rule %s head: %w", r.Label, err)
+		}
+		loc, err := n.headLoc(r, tup)
 		if err != nil {
 			return err
 		}
@@ -433,9 +287,10 @@ func (n *Node) evalRuleDelta(r *ndlog.Rule, idx int, delta value.Tuple) ([]deriv
 			ro.firings.Add(1)
 			ro.emitted.Add(1)
 		}
-		out = append(out, d)
+		out = append(out, derivation{pred: r.Head.Pred, tup: tup, loc: loc})
 		return nil
 	})
+	n.net.nm.joinProbes.Add(probes)
 	if ro != nil {
 		ro.probes.Add(probes)
 	}
@@ -444,50 +299,62 @@ func (n *Node) evalRuleDelta(r *ndlog.Rule, idx int, delta value.Tuple) ([]deriv
 
 // evalAggregate recomputes an aggregate rule and emits the per-group
 // results. A non-nil seed binds the group variables, restricting both the
-// join (via indexes) and the output to one group; a seeded recompute that
-// finds the group empty deletes the stale aggregate tuple locally.
-// Emitting into a keyed table makes the recompute idempotent: unchanged
-// groups are no-ops.
+// join (via the compiled seeded plan) and the output to one group; a
+// seeded recompute that finds the group empty deletes the stale aggregate
+// tuple locally. Emitting into a keyed table makes the recompute
+// idempotent: unchanged groups are no-ops. Groups are emitted in
+// first-seen order, which is deterministic under the seeded scan shuffle.
 func (n *Node) evalAggregate(r *ndlog.Rule, seed map[string]value.V) ([]derivation, error) {
-	agg, aggIdx := r.Head.HeadAgg()
 	ro := n.net.ruleObs[r]
 	if ro != nil && ro.eval != nil {
 		defer func(t0 time.Time) { ro.eval.Observe(time.Since(t0)) }(time.Now())
 	}
+	rp := n.net.an.Plans[r]
+	plan := rp.Full
+	var seedVals []value.V
+	if seed != nil && rp.Seeded != nil {
+		plan = rp.Seeded
+		seedVals = make([]value.V, len(plan.SeedVars))
+		for i, name := range plan.SeedVars {
+			seedVals[i] = seed[name]
+		}
+	} else {
+		seed = nil // no seeded plan: recompute every group
+	}
+	x := n.net.exec(plan)
+
 	type group struct {
-		env  map[string]value.V // representative binding for head vars
+		key  value.Tuple // non-aggregate head values
 		best value.V
 		cnt  int64
 	}
 	groups := map[string]*group{}
-	probes, err := n.joinBodySeeded(r, -1, nil, seed, func(env map[string]value.V) error {
-		key := make(value.Tuple, 0, len(r.Head.Args)-1)
-		for i, arg := range r.Head.Args {
-			if i == aggIdx {
+	var order []string // first-seen group keys, for deterministic emission
+	probes, err := x.Run(n, nil, seedVals, func(frame []value.V) error {
+		key := make(value.Tuple, 0, len(plan.HeadExprs)-1)
+		for i, ce := range plan.HeadExprs {
+			if i == plan.AggIdx {
 				continue
 			}
-			v, err := ndlog.EvalExpr(arg, env)
+			v, err := ce.Eval(x.Env())
 			if err != nil {
 				return err
 			}
 			key = append(key, v)
 		}
 		var av value.V
-		if agg.Arg != "" {
-			av = env[agg.Arg]
+		if plan.AggSlot >= 0 {
+			av = frame[plan.AggSlot]
 		}
 		k := key.Key()
 		g, ok := groups[k]
 		if !ok {
-			snapshot := map[string]value.V{}
-			for name, v := range env {
-				snapshot[name] = v
-			}
-			groups[k] = &group{env: snapshot, best: av, cnt: 1}
+			groups[k] = &group{key: key, best: av, cnt: 1}
+			order = append(order, k)
 			return nil
 		}
 		g.cnt++
-		switch agg.Kind {
+		switch plan.AggKind {
 		case "min":
 			if av.Compare(g.best) < 0 {
 				g.best = av
@@ -501,6 +368,7 @@ func (n *Node) evalAggregate(r *ndlog.Rule, seed map[string]value.V) ([]derivati
 		}
 		return nil
 	})
+	n.net.nm.joinProbes.Add(probes)
 	if ro != nil {
 		ro.probes.Add(probes)
 	}
@@ -510,33 +378,25 @@ func (n *Node) evalAggregate(r *ndlog.Rule, seed map[string]value.V) ([]derivati
 	// A seeded recompute that finds its group empty retracts the stale
 	// aggregate tuple (locally).
 	if seed != nil && len(groups) == 0 {
-		n.retractAggGroup(r, aggIdx, seed)
+		n.retractAggGroup(r, plan.AggIdx, seed)
 		return nil, nil
 	}
 	var out []derivation
-	for _, g := range groups {
-		env := g.env
-		if agg.Arg != "" {
-			env[agg.Arg] = g.best
-			if agg.Kind == "count" {
-				env[agg.Arg] = value.Int(g.cnt)
-			}
-		}
+	for _, k := range order {
+		g := groups[k]
 		tup := make(value.Tuple, len(r.Head.Args))
-		for i, arg := range r.Head.Args {
-			if i == aggIdx {
-				if agg.Kind == "count" {
+		gi := 0
+		for i := range r.Head.Args {
+			if i == plan.AggIdx {
+				if plan.AggKind == "count" {
 					tup[i] = value.Int(g.cnt)
 				} else {
 					tup[i] = g.best
 				}
 				continue
 			}
-			v, err := ndlog.EvalExpr(arg, env)
-			if err != nil {
-				return nil, err
-			}
-			tup[i] = v
+			tup[i] = g.key[gi]
+			gi++
 		}
 		loc, err := n.headLoc(r, tup)
 		if err != nil {
@@ -550,23 +410,6 @@ func (n *Node) evalAggregate(r *ndlog.Rule, seed map[string]value.V) ([]derivati
 		out = append(out, derivation{pred: r.Head.Pred, tup: tup, loc: loc})
 	}
 	return out, nil
-}
-
-// buildHead constructs the derived tuple and its destination.
-func (n *Node) buildHead(r *ndlog.Rule, env map[string]value.V) (derivation, error) {
-	tup := make(value.Tuple, len(r.Head.Args))
-	for i, arg := range r.Head.Args {
-		v, err := ndlog.EvalExpr(arg, env)
-		if err != nil {
-			return derivation{}, fmt.Errorf("dist: rule %s head: %w", r.Label, err)
-		}
-		tup[i] = v
-	}
-	loc, err := n.headLoc(r, tup)
-	if err != nil {
-		return derivation{}, err
-	}
-	return derivation{pred: r.Head.Pred, tup: tup, loc: loc}, nil
 }
 
 func (n *Node) headLoc(r *ndlog.Rule, tup value.Tuple) (string, error) {
@@ -585,11 +428,11 @@ func (n *Node) headLoc(r *ndlog.Rule, tup value.Tuple) (string, error) {
 // variables.
 func (n *Node) retractAggGroup(r *ndlog.Rule, aggIdx int, seed map[string]value.V) {
 	t := n.table(r.Head.Pred)
-	if len(t.keys) == 0 {
+	if len(t.Keys) == 0 {
 		return // whole-tuple key: cannot name the stale tuple without its value
 	}
-	sub := make(value.Tuple, len(t.keys))
-	for i, c := range t.keys {
+	sub := make(value.Tuple, len(t.Keys))
+	for i, c := range t.Keys {
 		if c == aggIdx {
 			return // the aggregate column is part of the key
 		}
@@ -603,7 +446,7 @@ func (n *Node) retractAggGroup(r *ndlog.Rule, aggIdx int, seed map[string]value.
 		}
 		sub[i] = val
 	}
-	if t.deleteByKey(sub.Key()) {
+	if _, ok := t.DeleteByKey(sub.Key()); ok {
 		n.net.nm.expirations.Add(1)
 		if n.net.tracer != nil {
 			n.net.tracer.Emit(obs.Event{T: n.net.now, Kind: obs.EvExpired, Node: n.ID, Pred: r.Head.Pred})
@@ -612,131 +455,10 @@ func (n *Node) retractAggGroup(r *ndlog.Rule, aggIdx int, seed map[string]value.
 	}
 }
 
-// joinBody enumerates satisfying assignments of r's body against the local
-// store, with literal deltaIdx (if >= 0) bound to the delta tuple. It
-// returns the number of join probes performed, for per-rule attribution.
-func (n *Node) joinBody(r *ndlog.Rule, deltaIdx int, delta value.Tuple, emit func(map[string]value.V) error) (int64, error) {
-	return n.joinBodySeeded(r, deltaIdx, delta, nil, emit)
-}
-
-// joinBodySeeded is joinBody with an initial variable binding.
-func (n *Node) joinBodySeeded(r *ndlog.Rule, deltaIdx int, delta value.Tuple, seed map[string]value.V, emit func(map[string]value.V) error) (int64, error) {
-	var probes int64
-	env := map[string]value.V{}
-	for k, v := range seed {
-		env[k] = v
-	}
-	body := r.Body
-	var walk func(i int) error
-	walk = func(i int) error {
-		if i == len(body) {
-			return emit(env)
-		}
-		l := body[i]
-		switch {
-		case l.Atom != nil && !l.Neg:
-			var candidates []value.Tuple
-			if i == deltaIdx {
-				candidates = []value.Tuple{delta}
-			} else if t, ok := n.tables[l.Atom.Pred]; ok {
-				cols, vals := boundCols(l.Atom, env)
-				candidates = t.lookup(cols, vals)
-			}
-			for _, tup := range candidates {
-				probes++
-				bound, ok, err := matchAtom(l.Atom, tup, env)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					continue
-				}
-				if err := walk(i + 1); err != nil {
-					return err
-				}
-				for _, name := range bound {
-					delete(env, name)
-				}
-			}
-			return nil
-		case l.Atom != nil && l.Neg:
-			var candidates []value.Tuple
-			if t, ok := n.tables[l.Atom.Pred]; ok {
-				candidates = t.all()
-			}
-			for _, tup := range candidates {
-				probes++
-				bound, ok, err := matchAtom(l.Atom, tup, env)
-				if err != nil {
-					return err
-				}
-				if ok {
-					for _, name := range bound {
-						delete(env, name)
-					}
-					return nil // negation fails
-				}
-			}
-			return walk(i + 1)
-		case l.Assign:
-			be := l.Expr.(ndlog.BinE)
-			name := be.L.(ndlog.VarE).Name
-			v, err := ndlog.EvalExpr(be.R, env)
-			if err != nil {
-				return fmt.Errorf("dist: rule %s: %w", r.Label, err)
-			}
-			if old, isBound := env[name]; isBound {
-				if !old.Equal(v) {
-					return nil
-				}
-				return walk(i + 1)
-			}
-			env[name] = v
-			err = walk(i + 1)
-			delete(env, name)
-			return err
-		default:
-			v, err := ndlog.EvalExpr(l.Expr, env)
-			if err != nil {
-				return fmt.Errorf("dist: rule %s: %w", r.Label, err)
-			}
-			if !v.True() {
-				return nil
-			}
-			return walk(i + 1)
-		}
-	}
-	err := walk(0)
-	n.net.nm.joinProbes.Add(probes)
-	return probes, err
-}
-
-// boundCols computes the atom's argument positions whose value is already
-// determined under env, for indexed lookup.
-func boundCols(atom *ndlog.Atom, env map[string]value.V) ([]int, []value.V) {
-	var cols []int
-	var vals []value.V
-	for i, arg := range atom.Args {
-		switch x := arg.(type) {
-		case ndlog.VarE:
-			if v, ok := env[x.Name]; ok {
-				cols = append(cols, i)
-				vals = append(vals, v)
-			}
-		case ndlog.LitE:
-			cols = append(cols, i)
-			vals = append(vals, x.Val)
-		default:
-			if v, err := ndlog.EvalExpr(arg, env); err == nil {
-				cols = append(cols, i)
-				vals = append(vals, v)
-			}
-		}
-	}
-	return cols, vals
-}
-
-// matchAtom matches a stored tuple against an atom's argument patterns.
+// matchAtom matches a stored tuple against an atom's argument patterns,
+// extending env with bindings for unbound variables. The runtime's joins
+// run through the compiled plans; this interpreted matcher remains for
+// aggSeeds, which matches one tuple against one atom outside any plan.
 func matchAtom(atom *ndlog.Atom, tup value.Tuple, env map[string]value.V) ([]string, bool, error) {
 	if len(tup) != len(atom.Args) {
 		return nil, false, fmt.Errorf("dist: %s arity mismatch", atom.Pred)

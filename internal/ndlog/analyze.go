@@ -41,6 +41,11 @@ type Analysis struct {
 	// atoms, in first-appearance order. A rule with more than one location
 	// variable requires the distributed localization rewrite.
 	LocVars map[*Rule][]string
+
+	// Plans holds the compiled join plans of every rule (full, per-delta,
+	// and seeded aggregate variants), shared by the centralized engine and
+	// the distributed runtime.
+	Plans map[*Rule]*RulePlans
 }
 
 // Analyze performs safety, schema, aggregate, location, and stratification
@@ -72,6 +77,9 @@ func Analyze(prog *Program) (*Analysis, error) {
 		}
 	}
 	if err := a.stratify(); err != nil {
+		return nil, err
+	}
+	if err := a.buildPlans(); err != nil {
 		return nil, err
 	}
 	return a, nil

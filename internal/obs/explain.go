@@ -8,10 +8,12 @@ import (
 )
 
 // RuleLine names one rule of a program for the Explain renderer: the
-// metric label it was instrumented under and its source text.
+// metric label it was instrumented under, its source text, and the
+// compiled join-plan order (optional).
 type RuleLine struct {
 	Label string
 	Text  string
+	Plan  string
 }
 
 // WriteExplain renders the EXPLAIN ANALYZE view: the program's rules
@@ -33,6 +35,9 @@ func WriteExplain(w io.Writer, title, component string, rules []RuleLine, c *Col
 		totE += e
 		totT += h.Sum()
 		fmt.Fprintf(w, "  %s\n", r.Text)
+		if r.Plan != "" {
+			fmt.Fprintf(w, "    | plan: %s\n", r.Plan)
+		}
 		fmt.Fprintf(w, "    | firings=%d join-probes=%d tuples-emitted=%d eval-time=%s\n",
 			f, p, e, fmtDur(h.Sum()))
 	}

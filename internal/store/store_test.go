@@ -1,0 +1,253 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/value"
+)
+
+func tup(vs ...int64) value.Tuple {
+	t := make(value.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = value.Int(v)
+	}
+	return t
+}
+
+func TestPutReplaceNoop(t *testing.T) {
+	tb := New("r", 2, []int{0}, 0) // keyed on column 0
+	if res, _, _ := tb.Put(tup(1, 10), 0); res != PutNew {
+		t.Fatalf("first put = %v, want PutNew", res)
+	}
+	res, old, _ := tb.Put(tup(1, 20), 0)
+	if res != PutReplace || !old.Equal(tup(1, 10)) {
+		t.Fatalf("replace = %v old=%v", res, old)
+	}
+	if res, _, _ := tb.Put(tup(1, 20), 0); res != PutNoop {
+		t.Fatalf("identical re-put = %v, want PutNoop", res)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (key replacement)", tb.Len())
+	}
+	got, _ := tb.Get(tb.KeyOf(tup(1, 20)))
+	if !got.Equal(tup(1, 20)) {
+		t.Fatalf("Get after replace = %v", got)
+	}
+	if _, _, err := tb.Put(tup(1), 0); err == nil {
+		t.Fatal("arity mismatch not rejected")
+	}
+}
+
+func TestDeleteTombstonesAndCompaction(t *testing.T) {
+	tb := New("s", 1, nil, 0)
+	for i := int64(0); i < 100; i++ {
+		if _, err := tb.Insert(tup(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete every other tuple: O(1) per delete, tombstones accumulate
+	// until the next scan compacts them.
+	for i := int64(0); i < 100; i += 2 {
+		if !tb.Delete(tup(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tb.Delete(tup(0)) {
+		t.Fatal("double delete succeeded")
+	}
+	if tb.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", tb.Len())
+	}
+	all := tb.All()
+	if len(all) != 50 {
+		t.Fatalf("All after compaction = %d tuples, want 50", len(all))
+	}
+	// Insertion order survives compaction, and lookups still work.
+	for i, tp := range all {
+		if want := int64(2*i + 1); tp[0].I != want {
+			t.Fatalf("All[%d] = %v, want (%d)", i, tp, want)
+		}
+	}
+	if !tb.Contains(tup(51)) || tb.Contains(tup(50)) {
+		t.Fatal("Contains wrong after compaction")
+	}
+	// Delete-then-reinsert round-trips.
+	if _, err := tb.Insert(tup(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Contains(tup(0)) || tb.Len() != 51 {
+		t.Fatal("reinsert after delete failed")
+	}
+}
+
+func TestDeleteByKeyAndRefresh(t *testing.T) {
+	tb := New("soft", 2, []int{0}, 5.0)
+	tb.Put(tup(1, 10), 3.0)
+	if at, ok := tb.RefreshAt(tb.KeyOf(tup(1, 10))); !ok || at != 3.0 {
+		t.Fatalf("RefreshAt = %v,%v want 3,true", at, ok)
+	}
+	// An identical re-insert is a PutNoop but still refreshes soft state.
+	if res, _, _ := tb.Put(tup(1, 10), 7.0); res != PutNoop {
+		t.Fatal("expected noop")
+	}
+	if at, _ := tb.RefreshAt(tb.KeyOf(tup(1, 10))); at != 7.0 {
+		t.Fatalf("noop re-insert did not refresh: %v", at)
+	}
+	old, ok := tb.DeleteByKey(tb.KeyOf(tup(1, 99))) // key = col 0 only
+	if !ok || !old.Equal(tup(1, 10)) {
+		t.Fatalf("DeleteByKey = %v,%v", old, ok)
+	}
+	if _, ok := tb.RefreshAt(tb.KeyOf(tup(1, 10))); ok {
+		t.Fatal("refresh entry survived delete")
+	}
+}
+
+func TestIndexesMaintainedAcrossMutations(t *testing.T) {
+	tb := New("ix", 2, []int{0}, 0)
+	tb.Put(tup(1, 7), 0)
+	tb.Put(tup(2, 7), 0)
+	tb.Put(tup(3, 8), 0)
+	if got := len(tb.Lookup([]int{1}, []value.V{value.Int(7)})); got != 2 {
+		t.Fatalf("lookup col1=7: %d, want 2", got)
+	}
+	tb.Put(tup(1, 8), 0) // replace moves 1 from bucket 7 to bucket 8
+	if got := len(tb.Lookup([]int{1}, []value.V{value.Int(7)})); got != 1 {
+		t.Fatalf("after replace, col1=7: %d, want 1", got)
+	}
+	if got := len(tb.Lookup([]int{1}, []value.V{value.Int(8)})); got != 2 {
+		t.Fatalf("after replace, col1=8: %d, want 2", got)
+	}
+	tb.Delete(tup(3, 8))
+	if got := len(tb.Lookup([]int{1}, []value.V{value.Int(8)})); got != 1 {
+		t.Fatalf("after delete, col1=8: %d, want 1", got)
+	}
+	// Clear keeps previously handed-out Index handles valid.
+	ix := tb.IndexOn([]int{1})
+	tb.Clear()
+	if tb.Len() != 0 {
+		t.Fatal("Clear left tuples")
+	}
+	tb.Put(tup(5, 9), 0)
+	if got := len(ix.Bucket([]byte(value.Int(9).Key()))); got != 1 {
+		t.Fatalf("stale index handle after Clear: %d, want 1", got)
+	}
+}
+
+func TestSnapshotIsStable(t *testing.T) {
+	tb := New("snap", 1, nil, 0)
+	tb.Insert(tup(1))
+	tb.Insert(tup(2))
+	snap := tb.Snapshot()
+	tb.Delete(tup(1))
+	tb.Insert(tup(3))
+	if len(snap) != 2 || !snap[0].Equal(tup(1)) || !snap[1].Equal(tup(2)) {
+		t.Fatalf("snapshot mutated: %v", snap)
+	}
+}
+
+func TestShufflerDeterministic(t *testing.T) {
+	ts := make([]value.Tuple, 20)
+	for i := range ts {
+		ts[i] = tup(int64(i))
+	}
+	perm := func(seed uint64) []value.Tuple {
+		var buf []value.Tuple
+		return append([]value.Tuple(nil), NewShuffler(seed).Shuffle(ts, &buf)...)
+	}
+	a, b := perm(7), perm(7)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("same seed, different permutation at %d", i)
+		}
+	}
+	c := perm(8)
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical permutations")
+	}
+	// The input slice itself must not be mutated (scans iterate it live).
+	for i := range ts {
+		if ts[i][0].I != int64(i) {
+			t.Fatal("Shuffle mutated its input")
+		}
+	}
+}
+
+// execSource adapts a map to the executor's TableSource.
+type execSource map[string]*Table
+
+func (s execSource) Table(pred string) *Table { return s[pred] }
+
+// TestExecRunsCompiledPlan drives the executor directly over a compiled
+// plan: a two-atom join with an assignment, a filter, and a negation.
+func TestExecRunsCompiledPlan(t *testing.T) {
+	prog := ndlog.MustParse("x", `
+materialize(e, infinity, infinity, keys(1,2)).
+materialize(block, infinity, infinity, keys(1,2)).
+materialize(two, infinity, infinity, keys(1,2,3)).
+r1 two(@A,C,S) :- e(@A,B), e(@B,C), S=1+1, A != C, !block(@A,C).
+`)
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New("e", 2, nil, 0)
+	for _, pair := range [][2]string{{"a", "b"}, {"b", "c"}, {"b", "a"}, {"c", "d"}} {
+		e.Insert(value.Tuple{value.Addr(pair[0]), value.Addr(pair[1])})
+	}
+	block := New("block", 2, nil, 0)
+	block.Insert(value.Tuple{value.Addr("b"), value.Addr("d")})
+	src := execSource{"e": e, "block": block}
+
+	r := prog.Rules[0]
+	plan := an.Plans[r].Full
+	x := NewExec(plan)
+	var got []string
+	emit := func([]value.V) error {
+		out := make(value.Tuple, len(plan.HeadExprs))
+		if err := plan.BuildHead(x.Env(), out); err != nil {
+			return err
+		}
+		got = append(got, out.String())
+		return nil
+	}
+	probes, err := x.Run(src, nil, nil, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probes == 0 {
+		t.Fatal("no probes counted")
+	}
+	// a->b->c yes; b->c->d blocked; c->d nothing; a->b->a fails A != C;
+	// b->a->b fails A != C.
+	want := []string{"(a,c,2)"}
+	if len(got) != len(want) || got[0] != want[0] {
+		t.Fatalf("emissions = %v, want %v", got, want)
+	}
+
+	// The same rule through its delta plan: only joins seeded by the
+	// delta tuple fire.
+	dplan := an.Plans[r].Delta[0]
+	dx := NewExec(dplan)
+	got = nil
+	demit := func([]value.V) error {
+		out := make(value.Tuple, len(dplan.HeadExprs))
+		if err := dplan.BuildHead(dx.Env(), out); err != nil {
+			return err
+		}
+		got = append(got, out.String())
+		return nil
+	}
+	if _, err := dx.Run(src, []value.Tuple{{value.Addr("a"), value.Addr("b")}}, nil, demit); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "(a,c,2)" {
+		t.Fatalf("delta emissions = %v, want [(a,c,2)]", got)
+	}
+}

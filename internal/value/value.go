@@ -212,6 +212,44 @@ func (v V) appendKey(b *strings.Builder) {
 	}
 }
 
+// AppendKey appends the canonical encoding of v (identical to Key) to b
+// and returns the extended slice. It lets hot paths build map keys into a
+// reusable buffer and look them up with the non-allocating m[string(b)]
+// conversion.
+func (v V) AppendKey(b []byte) []byte {
+	switch v.K {
+	case KindInt:
+		b = append(b, 'i')
+		b = strconv.AppendInt(b, v.I, 10)
+	case KindBool:
+		b = append(b, 'b')
+		if v.I != 0 {
+			b = append(b, '1')
+		} else {
+			b = append(b, '0')
+		}
+	case KindStr:
+		b = append(b, 's')
+		b = strconv.AppendInt(b, int64(len(v.S)), 10)
+		b = append(b, ':')
+		b = append(b, v.S...)
+	case KindAddr:
+		b = append(b, 'a')
+		b = strconv.AppendInt(b, int64(len(v.S)), 10)
+		b = append(b, ':')
+		b = append(b, v.S...)
+	case KindList:
+		b = append(b, 'l')
+		b = strconv.AppendInt(b, int64(len(v.L)), 10)
+		b = append(b, '[')
+		for _, e := range v.L {
+			b = e.AppendKey(b)
+		}
+		b = append(b, ']')
+	}
+	return b
+}
+
 // Tuple is an ordered sequence of values, e.g. the arguments of a fact.
 type Tuple []V
 
@@ -225,6 +263,18 @@ func (t Tuple) Key() string {
 		v.appendKey(&b)
 	}
 	return b.String()
+}
+
+// AppendKey appends the canonical encoding of the tuple (identical to
+// Key) to b and returns the extended slice.
+func (t Tuple) AppendKey(b []byte) []byte {
+	for i, v := range t {
+		if i > 0 {
+			b = append(b, '|')
+		}
+		b = v.AppendKey(b)
+	}
+	return b
 }
 
 // Equal reports whether two tuples are element-wise equal.
