@@ -17,7 +17,7 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

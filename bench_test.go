@@ -268,6 +268,102 @@ func BenchmarkE11ModelCheck(b *testing.B) {
 	}
 }
 
+// --- PR3: parallel fingerprinted search core vs string-keyed reference --------
+
+// The seedMC* types reimplement the growth seed's model-checking pipeline
+// for the Subsets-mode SPVP system verbatim (the same pattern as the
+// seedJoin* helpers above): states are identified by canonical Key
+// strings, and the successor dedup inside Next builds and compares key
+// strings per generated successor — the costs the PR3 fingerprinted core
+// removes. SeqCountReachable supplies the matching string-keyed checker.
+
+type seedMCState struct {
+	spp *bgp.SPP
+	a   bgp.Assignment
+}
+
+func (s seedMCState) Key() string     { return s.a.Key() }
+func (s seedMCState) Display() string { return s.a.Key() }
+
+type seedMCSystem struct{ spp *bgp.SPP }
+
+func (s seedMCSystem) Initial() []modelcheck.State {
+	return []modelcheck.State{seedMCState{spp: s.spp, a: bgp.Assignment{}}}
+}
+
+func (s seedMCSystem) apply(a bgp.Assignment, nodes []string) (bgp.Assignment, bool) {
+	next := a.Clone()
+	changed := false
+	for _, n := range nodes {
+		best := s.spp.BestChoice(n, a)
+		if best.Equal(a[n]) {
+			continue
+		}
+		changed = true
+		if len(best) == 0 {
+			delete(next, n)
+		} else {
+			next[n] = best
+		}
+	}
+	return next, changed
+}
+
+func (s seedMCSystem) Next(st modelcheck.State) []modelcheck.State {
+	cur := st.(seedMCState)
+	var out []modelcheck.State
+	n := len(s.spp.Nodes)
+	seen := map[string]bool{}
+	for mask := 1; mask < 1<<n; mask++ {
+		var active []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				active = append(active, s.spp.Nodes[i])
+			}
+		}
+		if next, changed := s.apply(cur.a, active); changed {
+			k := next.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, seedMCState{spp: s.spp, a: next})
+			}
+		}
+	}
+	return out
+}
+
+// BenchmarkModelCheck measures the PR3 search core on the k=3 Disagree
+// chain under full subset activation (343 states, the heaviest E11
+// instance): the seed pipeline (string-keyed successor dedup + sequential
+// BFS over a Key-string visited set) against the fingerprinted system and
+// core at 1 and 4 workers.
+func BenchmarkModelCheck(b *testing.B) {
+	spp := bgp.DisagreeChain(3)
+	sys := bgp.System{SPP: spp, Mode: bgp.Subsets}
+	seed := seedMCSystem{spp: spp}
+	want, _ := modelcheck.CountReachable(sys, modelcheck.Options{})
+	if n, _ := modelcheck.SeqCountReachable(seed, modelcheck.Options{}); n != want {
+		b.Fatalf("seed pipeline counts %d states, fingerprinted %d", n, want)
+	}
+	run := func(b *testing.B, count func() int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if n := count(); n != want {
+				b.Fatalf("count %d, want %d", n, want)
+			}
+		}
+	}
+	b.Run("seed-seq-reference", func(b *testing.B) {
+		run(b, func() int { n, _ := modelcheck.SeqCountReachable(seed, modelcheck.Options{}); return n })
+	})
+	b.Run("fingerprint/workers=1", func(b *testing.B) {
+		run(b, func() int { n, _ := modelcheck.CountReachable(sys, modelcheck.Options{Workers: 1}); return n })
+	})
+	b.Run("fingerprint/workers=4", func(b *testing.B) {
+		run(b, func() int { n, _ := modelcheck.CountReachable(sys, modelcheck.Options{Workers: 4}); return n })
+	})
+}
+
 // --- E12: automation ratio -------------------------------------------------------
 
 func BenchmarkE12Grind(b *testing.B) {

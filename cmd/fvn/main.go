@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -295,7 +296,10 @@ func cmdRun(args []string) error {
 
 func cmdMC(args []string) error {
 	fs := flag.NewFlagSet("mc", flag.ContinueOnError)
-	maxStates := fs.Int("maxstates", 1<<16, "state bound")
+	var maxStates int
+	fs.IntVar(&maxStates, "max-states", 1<<16, "cap on admitted states (exact; a hit run is inconclusive)")
+	fs.IntVar(&maxStates, "maxstates", 1<<16, "alias for -max-states")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel expansion workers (1 = sequential)")
 	explain := fs.Bool("explain", false, "print exploration metrics after the check")
 	tracePath := fs.String("trace", "", "write JSONL trace events to this file")
 	p, err := parseCmd(fs, args)
@@ -311,25 +315,22 @@ func cmdMC(args []string) error {
 		return err
 	}
 	ts := linear.TS{Sys: sys}
-	count, stats := modelcheck.CountReachable(ts, modelcheck.Options{MaxStates: *maxStates})
-	fmt.Printf("reachable states: %d (transitions %d, depth %d, truncated %v)\n",
-		count, stats.Transitions, stats.MaxDepth, stats.Truncated)
-	q := modelcheck.Quiescent(ts, modelcheck.Options{MaxStates: *maxStates})
-	if q.Holds {
-		fmt.Printf("quiescent state reachable in %d steps:\n  %s\n", len(q.Trace)-1, q.Witness.Display())
-	} else {
-		fmt.Println("no quiescent state reachable (divergence or truncation)")
-	}
 	col := obs.NewCollector()
-	col.Counter("mc", "states_visited", "").Add(int64(count))
-	col.Counter("mc", "transitions", "").Add(int64(stats.Transitions))
-	col.Counter("mc", "max_depth", "").Add(int64(stats.MaxDepth))
-	if tracer != nil {
-		name := "quiescent"
-		if !q.Holds {
-			name = "no-quiescence"
-		}
-		tracer.Emit(obs.Event{Kind: obs.EvRunEnd, Name: name, N: int64(count)})
+	opts := modelcheck.Options{MaxStates: maxStates, Workers: *workers, Obs: col, Trace: tracer}
+	count, cres := modelcheck.CountReachable(ts, opts)
+	fmt.Printf("reachable states: %d (transitions %d, depth %d, %.0f states/s, workers %d)\n",
+		count, cres.Stats.Transitions, cres.Stats.MaxDepth, cres.Stats.StatesPerSecond(), *workers)
+	if cres.Stats.Truncated {
+		fmt.Printf("state bound %d hit: the count is a lower bound\n", maxStates)
+	}
+	q := modelcheck.Quiescent(ts, opts)
+	switch q.Verdict {
+	case modelcheck.VerdictHolds:
+		fmt.Printf("quiescent state reachable in %d steps:\n  %s\n", len(q.Trace)-1, q.Witness.Display())
+	case modelcheck.VerdictViolated:
+		fmt.Println("no quiescent state reachable (divergence)")
+	default:
+		fmt.Println("quiescence inconclusive: state bound hit before a quiescent state was found")
 	}
 	if *explain {
 		obs.WriteMetrics(os.Stdout, col)

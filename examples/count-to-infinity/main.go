@@ -30,8 +30,8 @@ func main() {
 	}
 	ts := linear.TS{Sys: sys}
 
-	count, stats := modelcheck.CountReachable(ts, modelcheck.Options{MaxStates: 1 << 16})
-	fmt.Printf("reachable states: %d (transitions %d)\n", count, stats.Transitions)
+	count, cres := modelcheck.CountReachable(ts, modelcheck.Options{MaxStates: 1 << 16})
+	fmt.Printf("reachable states: %d (transitions %d)\n", count, cres.Stats.Transitions)
 
 	res := modelcheck.CheckReachable(ts, linear.RouteAtCost(7), modelcheck.Options{MaxStates: 1 << 16})
 	fmt.Printf("\ncount-to-infinity state reachable: %v\n", res.Holds)

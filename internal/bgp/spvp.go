@@ -120,6 +120,22 @@ type spvpState struct {
 
 func (s spvpState) Key() string { return s.a.Key() }
 
+// Fingerprint hashes the assignment over the SPP's fixed node order,
+// length-prefixing each path so adjacent hops cannot alias — the
+// modelcheck.Fingerprinter fast path that lets the checker identify states
+// without building Key strings.
+func (s spvpState) Fingerprint() uint64 {
+	h := modelcheck.NewFP()
+	for _, n := range s.spp.Nodes {
+		p := s.a[n]
+		h = h.Int(int64(len(p)))
+		for _, hop := range p {
+			h = h.String(hop)
+		}
+	}
+	return uint64(h)
+}
+
 func (s spvpState) Display() string {
 	out := ""
 	for i, n := range s.spp.Nodes {
@@ -160,59 +176,59 @@ func (s System) Initial() []modelcheck.State {
 	return []modelcheck.State{spvpState{spp: s.SPP, a: Assignment{}}}
 }
 
-// apply activates the listed nodes simultaneously against the snapshot,
-// returning the successor and whether anything changed.
-func (s System) apply(a Assignment, nodes []string) (Assignment, bool) {
-	next := a.Clone()
-	changed := false
-	for _, n := range nodes {
-		best := s.SPP.BestChoice(n, a)
-		if best.Equal(a[n]) {
-			continue
-		}
-		changed = true
-		if len(best) == 0 {
-			delete(next, n)
-		} else {
-			next[n] = best
-		}
-	}
-	return next, changed
-}
-
 // Next returns the successors of st under the activation mode; states with
 // no successors are quiescent (stable).
+//
+// Best responses depend only on the snapshot assignment, never on which
+// activation set fires, so they are computed once per state. A successor
+// is determined by the intersection of the activation set with the delta
+// set D (the nodes whose selection would change): activating any node
+// outside D is a no-op. The distinct successors are therefore exactly the
+// non-empty subsets of D, enumerated directly — no per-mask best-response
+// recomputation, no wasted clones, no successor dedup. The seed pipeline
+// enumerated all 2^|Nodes|-1 activation sets and deduped the results by
+// canonical key string (see the seedMC reference in bench_test.go).
 func (s System) Next(st modelcheck.State) []modelcheck.State {
 	cur := st.(spvpState)
+	var delta []string
+	best := map[string]Path{}
+	for _, n := range s.SPP.Nodes {
+		b := s.SPP.BestChoice(n, cur.a)
+		if !b.Equal(cur.a[n]) {
+			best[n] = b
+			delta = append(delta, n)
+		}
+	}
+	applyDelta := func(active []string) Assignment {
+		next := cur.a.Clone()
+		for _, n := range active {
+			if b := best[n]; len(b) == 0 {
+				delete(next, n)
+			} else {
+				next[n] = b
+			}
+		}
+		return next
+	}
 	var out []modelcheck.State
 	switch s.Mode {
 	case Sync:
-		if next, changed := s.apply(cur.a, s.SPP.Nodes); changed {
-			out = append(out, spvpState{spp: s.SPP, a: next})
+		if len(delta) > 0 {
+			out = append(out, spvpState{spp: s.SPP, a: applyDelta(delta)})
 		}
 	case Subsets:
-		n := len(s.SPP.Nodes)
-		seen := map[string]bool{}
-		for mask := 1; mask < 1<<n; mask++ {
+		for mask := 1; mask < 1<<len(delta); mask++ {
 			var active []string
-			for i := 0; i < n; i++ {
+			for i := range delta {
 				if mask&(1<<i) != 0 {
-					active = append(active, s.SPP.Nodes[i])
+					active = append(active, delta[i])
 				}
 			}
-			if next, changed := s.apply(cur.a, active); changed {
-				k := next.Key()
-				if !seen[k] {
-					seen[k] = true
-					out = append(out, spvpState{spp: s.SPP, a: next})
-				}
-			}
+			out = append(out, spvpState{spp: s.SPP, a: applyDelta(active)})
 		}
 	default: // Async
-		for _, n := range s.SPP.Nodes {
-			if next, changed := s.apply(cur.a, []string{n}); changed {
-				out = append(out, spvpState{spp: s.SPP, a: next})
-			}
+		for _, n := range delta {
+			out = append(out, spvpState{spp: s.SPP, a: applyDelta([]string{n})})
 		}
 	}
 	return out

@@ -94,7 +94,11 @@ func (s *System) Validate() error {
 type state struct {
 	// facts maps fact key to (fact, multiplicity).
 	facts map[string]entry
-	key   string
+	// fp is the commutative multiset fingerprint, maintained incrementally
+	// on every add/remove: the sum over entries of a finalized
+	// per-(fact,multiplicity) hash. Summation is order-free, so equal
+	// multisets always fingerprint equal regardless of rule-firing order.
+	fp uint64
 }
 
 type entry struct {
@@ -105,26 +109,47 @@ type entry struct {
 func newState(facts []Fact) *state {
 	s := &state{facts: map[string]entry{}}
 	for _, f := range facts {
-		k := f.Key()
-		e := s.facts[k]
-		e.fact = f
-		e.n++
-		s.facts[k] = e
+		s.add(f)
 	}
-	s.computeKey()
 	return s
 }
 
-func (s *state) computeKey() {
+// factKeyHash hashes a fact's canonical key.
+func factKeyHash(k string) uint64 { return uint64(modelcheck.NewFP().String(k)) }
+
+// contrib is the state-fingerprint addend for one entry. Each
+// (hash, multiplicity) pair is scrambled through Mix64 before summing so
+// the commutative combination does not cancel structure.
+func contrib(h uint64, n int) uint64 {
+	return modelcheck.Mix64(h + uint64(n)*0x9e3779b97f4a7c15)
+}
+
+// bump adjusts fp for fact key k's multiplicity changing from → to.
+func (s *state) bump(k string, from, to int) {
+	h := factKeyHash(k)
+	if from > 0 {
+		s.fp -= contrib(h, from)
+	}
+	if to > 0 {
+		s.fp += contrib(h, to)
+	}
+}
+
+// Key canonically encodes the multiset. It is computed on demand and not
+// cached: the checker identifies states by Fingerprint, so successor
+// states usually never need a key, and the absence of a cache keeps the
+// state immutable under the parallel checker's concurrent Next calls.
+func (s *state) Key() string {
 	keys := make([]string, 0, len(s.facts))
 	for k, e := range s.facts {
 		keys = append(keys, fmt.Sprintf("%s*%d", k, e.n))
 	}
 	sort.Strings(keys)
-	s.key = strings.Join(keys, ";")
+	return strings.Join(keys, ";")
 }
 
-func (s *state) Key() string { return s.key }
+// Fingerprint implements modelcheck.Fingerprinter.
+func (s *state) Fingerprint() uint64 { return s.fp }
 
 func (s *state) Display() string {
 	var fs []string
@@ -141,7 +166,7 @@ func (s *state) Display() string {
 
 // clone deep-copies the multiset (facts themselves are immutable).
 func (s *state) clone() *state {
-	out := &state{facts: make(map[string]entry, len(s.facts))}
+	out := &state{facts: make(map[string]entry, len(s.facts)), fp: s.fp}
 	for k, e := range s.facts {
 		out.facts[k] = e
 	}
@@ -151,6 +176,7 @@ func (s *state) clone() *state {
 func (s *state) add(f Fact) {
 	k := f.Key()
 	e := s.facts[k]
+	s.bump(k, e.n, e.n+1)
 	e.fact = f
 	e.n++
 	s.facts[k] = e
@@ -162,6 +188,7 @@ func (s *state) remove(f Fact) {
 	if !ok {
 		return
 	}
+	s.bump(k, e.n, e.n-1)
 	e.n--
 	if e.n <= 0 {
 		delete(s.facts, k)
@@ -199,14 +226,16 @@ func (t TS) Initial() []modelcheck.State {
 func (t TS) Next(ms modelcheck.State) []modelcheck.State {
 	cur := ms.(*state)
 	var out []modelcheck.State
-	seen := map[string]bool{}
+	seen := map[uint64]bool{}
 	for _, r := range t.Sys.Rules {
 		t.fire(cur, r, func(next *state) {
-			next.computeKey()
-			if next.key == cur.key || seen[next.key] {
+			// Fingerprint comparison replaces the old key-string dedup:
+			// no-op firings and duplicate successors are dropped without
+			// materializing canonical keys.
+			if next.fp == cur.fp || seen[next.fp] {
 				return
 			}
-			seen[next.key] = true
+			seen[next.fp] = true
 			out = append(out, next)
 		})
 	}
@@ -342,6 +371,7 @@ func removeByKey(s *state, pred string, keys []int, tup value.Tuple) {
 			}
 		}
 		if same {
+			s.bump(k, e.n, 0)
 			delete(s.facts, k)
 		}
 	}

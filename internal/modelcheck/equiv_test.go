@@ -1,0 +1,274 @@
+package modelcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// graph is an explicit adjacency-list system for shaped-topology tests and
+// the randomized equivalence properties. With fingerprinted set, states
+// implement Fingerprinter (exercising the fast path); otherwise the
+// checker hashes their Key strings.
+type graph struct {
+	initial       []int
+	edges         map[int][]int
+	fingerprinted bool
+}
+
+type graphState int
+
+func (g graphState) Key() string     { return fmt.Sprint(int(g)) }
+func (g graphState) Display() string { return "v" + fmt.Sprint(int(g)) }
+
+type fpGraphState int
+
+func (g fpGraphState) Key() string     { return fmt.Sprint(int(g)) }
+func (g fpGraphState) Display() string { return "v" + fmt.Sprint(int(g)) }
+func (g fpGraphState) Fingerprint() uint64 {
+	return uint64(NewFP().Int(int64(g)))
+}
+
+func (g graph) wrap(v int) State {
+	if g.fingerprinted {
+		return fpGraphState(v)
+	}
+	return graphState(v)
+}
+
+func (g graph) unwrap(s State) int {
+	if f, ok := s.(fpGraphState); ok {
+		return int(f)
+	}
+	return int(s.(graphState))
+}
+
+func (g graph) Initial() []State {
+	out := make([]State, len(g.initial))
+	for i, v := range g.initial {
+		out[i] = g.wrap(v)
+	}
+	return out
+}
+
+func (g graph) Next(s State) []State {
+	succs := g.edges[g.unwrap(s)]
+	out := make([]State, len(succs))
+	for i, v := range succs {
+		out[i] = g.wrap(v)
+	}
+	return out
+}
+
+func traceKeys(tr []State) []string {
+	out := make([]string, len(tr))
+	for i, s := range tr {
+		out[i] = s.Key()
+	}
+	return out
+}
+
+// checkTraceValid asserts the trace is a real run of sys: it starts at an
+// initial state and every step is a transition.
+func checkTraceValid(t *testing.T, sys System, tr []State) {
+	t.Helper()
+	if len(tr) == 0 {
+		t.Fatal("empty trace")
+	}
+	found := false
+	for _, s := range sys.Initial() {
+		if s.Key() == tr[0].Key() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace start %s is not an initial state", tr[0].Key())
+	}
+	for i := 1; i < len(tr); i++ {
+		ok := false
+		for _, s := range sys.Next(tr[i-1]) {
+			if s.Key() == tr[i].Key() {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("trace step %s -> %s is not a transition", tr[i-1].Key(), tr[i].Key())
+		}
+	}
+}
+
+// randGraph generates a pseudo-random system: n states, each with 0-3
+// successors, 1-2 initial states. Only part of the graph is reachable.
+func randGraph(rng *rand.Rand, fingerprinted bool) graph {
+	n := 2 + rng.Intn(60)
+	g := graph{edges: map[int][]int{}, fingerprinted: fingerprinted}
+	for v := 0; v < n; v++ {
+		for d := rng.Intn(4); d > 0; d-- {
+			g.edges[v] = append(g.edges[v], rng.Intn(n))
+		}
+	}
+	g.initial = []int{rng.Intn(n)}
+	if rng.Intn(2) == 0 {
+		g.initial = append(g.initial, rng.Intn(n))
+	}
+	return g
+}
+
+// refReachable recomputes the reachable set of a graph independently of
+// the checker under test.
+func refReachable(g graph) map[int]bool {
+	seen := map[int]bool{}
+	stack := append([]int{}, g.initial...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		stack = append(stack, g.edges[v]...)
+	}
+	return seen
+}
+
+// refHasCycle reports whether any cycle is reachable in g (DFS colors).
+func refHasCycle(g graph) bool {
+	const (
+		gray  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	var visit func(v int) bool
+	visit = func(v int) bool {
+		color[v] = gray
+		for _, w := range g.edges[v] {
+			if color[w] == gray {
+				return true
+			}
+			if color[w] == 0 && visit(w) {
+				return true
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for _, v := range g.initial {
+		if color[v] == 0 && visit(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSeqParallelEquivalence is the randomized property of satellite 4:
+// on generated systems — with and without the Fingerprinter fast path —
+// the sequential reference checker and the fingerprinted core at 1 and 4
+// workers agree on verdicts, reachable-state counts, full-run statistics,
+// and shortest counterexample lengths.
+func TestSeqParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 60; round++ {
+		g := randGraph(rng, round%2 == 0)
+		reach := refReachable(g)
+
+		// A random invariant, violated on a random subset of states.
+		badMod := 2 + rng.Intn(7)
+		badRem := rng.Intn(badMod)
+		inv := func(s State) bool { return g.unwrap(s)%badMod != badRem }
+		violReachable := false
+		for v := range reach {
+			if v%badMod == badRem {
+				violReachable = true
+			}
+		}
+
+		ref := SeqCheckInvariant(g, inv, Options{})
+		for _, workers := range []int{1, 4} {
+			got := CheckInvariant(g, inv, Options{Workers: workers})
+			if got.Verdict != ref.Verdict {
+				t.Fatalf("round %d workers %d: verdict %s, reference %s", round, workers, got.Verdict, ref.Verdict)
+			}
+			if violReachable != (got.Verdict == VerdictViolated) {
+				t.Fatalf("round %d: verdict %s but violation reachable=%v", round, got.Verdict, violReachable)
+			}
+			if got.Verdict == VerdictViolated {
+				// BFS shortest-counterexample guarantee at any worker count.
+				if len(got.Trace) != len(ref.Trace) {
+					t.Fatalf("round %d workers %d: trace length %d, reference %d",
+						round, workers, len(got.Trace), len(ref.Trace))
+				}
+				checkTraceValid(t, g, got.Trace)
+				if inv(got.Trace[len(got.Trace)-1]) {
+					t.Fatalf("round %d: trace does not end in a violation", round)
+				}
+			} else {
+				// Full-run exploration statistics are deterministic.
+				if got.Stats.StatesVisited != len(reach) {
+					t.Fatalf("round %d workers %d: visited %d, reference reachable %d",
+						round, workers, got.Stats.StatesVisited, len(reach))
+				}
+				if got.Stats.Transitions != ref.Stats.Transitions || got.Stats.MaxDepth != ref.Stats.MaxDepth {
+					t.Fatalf("round %d workers %d: stats (%d trans, depth %d) vs reference (%d, %d)",
+						round, workers, got.Stats.Transitions, got.Stats.MaxDepth,
+						ref.Stats.Transitions, ref.Stats.MaxDepth)
+				}
+			}
+		}
+
+		// CountReachable agrees with the independent reference everywhere.
+		for _, workers := range []int{1, 4} {
+			if n, _ := CountReachable(g, Options{Workers: workers}); n != len(reach) {
+				t.Fatalf("round %d workers %d: count %d, reference %d", round, workers, n, len(reach))
+			}
+		}
+		if n, _ := SeqCountReachable(g, Options{}); n != len(reach) {
+			t.Fatalf("round %d: sequential count %d, reference %d", round, n, len(reach))
+		}
+
+		// FindLasso verdict matches independent cycle detection on full runs.
+		lres := FindLasso(g, nil, Options{})
+		if want := refHasCycle(g); (lres.Verdict == VerdictHolds) != want || !lres.Verdict.Definitive() {
+			t.Fatalf("round %d: lasso verdict %s, reference cycle=%v", round, lres.Verdict, want)
+		}
+		if lres.Holds {
+			checkTraceValid(t, g, lres.Trace)
+			if lres.Trace[lres.LassoStart].Key() != lres.Trace[len(lres.Trace)-1].Key() {
+				t.Fatalf("round %d: lasso does not close", round)
+			}
+		}
+	}
+}
+
+// TestTruncatedNeverDefinitiveRandom: under a tight state bound, at any
+// worker count, no entry point upgrades truncation to a proof — verdicts
+// may differ between schedules (different states fit under the cap) but
+// inconclusiveness must be honest in all of them.
+func TestTruncatedNeverDefinitiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 40; round++ {
+		g := randGraph(rng, round%2 == 1)
+		reach := refReachable(g)
+		capN := 1 + rng.Intn(len(reach)+2)
+		for _, workers := range []int{1, 4} {
+			opts := Options{MaxStates: capN, Workers: workers}
+			res := CheckInvariant(g, func(State) bool { return true }, opts)
+			if res.Stats.StatesVisited > capN {
+				t.Fatalf("round %d: admitted %d states over cap %d", round, res.Stats.StatesVisited, capN)
+			}
+			if capN >= len(reach) && res.Stats.Truncated {
+				t.Fatalf("round %d: cap %d >= reachable %d but truncated", round, capN, len(reach))
+			}
+			if res.Stats.Truncated && res.Verdict != VerdictInconclusive {
+				t.Fatalf("round %d: truncated invariant run verdict %s", round, res.Verdict)
+			}
+			if !res.Stats.Truncated && res.Verdict != VerdictHolds {
+				t.Fatalf("round %d: complete run verdict %s", round, res.Verdict)
+			}
+
+			unreach := CheckReachable(g, func(State) bool { return false }, opts)
+			if unreach.Stats.Truncated && unreach.Verdict == VerdictViolated {
+				t.Fatalf("round %d: truncated run claimed goal unreachable", round)
+			}
+		}
+	}
+}

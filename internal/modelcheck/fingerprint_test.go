@@ -1,0 +1,99 @@
+package modelcheck
+
+import "testing"
+
+func TestFPFieldBoundaries(t *testing.T) {
+	// Length-prefixing keeps adjacent string fields from aliasing.
+	if NewFP().String("ab").String("c") == NewFP().String("a").String("bc") {
+		t.Error(`"ab"+"c" and "a"+"bc" alias`)
+	}
+	if NewFP().Int(1).Int(2) == NewFP().Int(2).Int(1) {
+		t.Error("field order ignored")
+	}
+	if NewFP().Uint64(0) == NewFP() {
+		t.Error("zero field is a no-op")
+	}
+}
+
+func TestMix64(t *testing.T) {
+	// Bijective: a few million sequential inputs produce no duplicate
+	// outputs, and low-entropy inputs spread across the low bits used for
+	// shard selection.
+	shards := map[uint64]int{}
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1<<16; i++ {
+		m := Mix64(i)
+		if seen[m] {
+			t.Fatalf("Mix64 collision at %d", i)
+		}
+		seen[m] = true
+		shards[m&(numShards-1)]++
+	}
+	for s := uint64(0); s < numShards; s++ {
+		if shards[s] == 0 {
+			t.Errorf("shard %d never selected over 65536 sequential inputs", s)
+		}
+	}
+}
+
+func TestFingerprintOfFastPath(t *testing.T) {
+	// A Fingerprinter state must be identified by its own hash, not Key.
+	a, b := fpGraphState(7), graphState(7)
+	if fingerprintOf(a) == Mix64(uint64(NewFP().String(a.Key()))) {
+		t.Skip("fast path coincides with key hash (vanishingly unlikely)")
+	}
+	if fingerprintOf(a) != Mix64(a.Fingerprint()) {
+		t.Error("Fingerprinter fast path not used")
+	}
+	if fingerprintOf(b) != Mix64(uint64(NewFP().String(b.Key()))) {
+		t.Error("key-hash fallback changed")
+	}
+}
+
+func TestStateIDPacking(t *testing.T) {
+	for _, tc := range []struct{ shard, slot int }{{0, 0}, {3, 17}, {numShards - 1, maxSlots - 1}} {
+		id := packID(tc.shard, tc.slot)
+		if id < 0 || id.shard() != tc.shard || id.slot() != tc.slot {
+			t.Errorf("packID(%d,%d) round-trips to (%d,%d)", tc.shard, tc.slot, id.shard(), id.slot())
+		}
+	}
+}
+
+func TestFrontierFIFOAndGrowth(t *testing.T) {
+	f := &frontier{}
+	var pushed []stateID
+	for c := 0; c < 9; c++ {
+		chunk := make([]item, 0, 3)
+		for i := 0; i < 3; i++ {
+			id := stateID(c*3 + i)
+			chunk = append(chunk, item{id: id})
+			pushed = append(pushed, id)
+		}
+		f.pushChunk(chunk)
+	}
+	f.pushChunk(nil) // empty push is a no-op
+	if f.len() != len(pushed) {
+		t.Fatalf("len = %d, want %d", f.len(), len(pushed))
+	}
+	var popped []stateID
+	for {
+		c := f.popChunk()
+		if c == nil {
+			break
+		}
+		for _, it := range c {
+			popped = append(popped, it.id)
+		}
+	}
+	if f.len() != 0 {
+		t.Errorf("len after drain = %d", f.len())
+	}
+	if len(popped) != len(pushed) {
+		t.Fatalf("popped %d items, pushed %d", len(popped), len(pushed))
+	}
+	for i := range pushed {
+		if popped[i] != pushed[i] {
+			t.Fatalf("FIFO order broken at %d: %v vs %v", i, popped, pushed)
+		}
+	}
+}

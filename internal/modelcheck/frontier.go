@@ -1,0 +1,80 @@
+package modelcheck
+
+import "sync"
+
+// chunkSize is the granularity at which workers claim and publish frontier
+// work: large enough to amortize the queue lock, small enough that a BFS
+// level of a few hundred states still spreads across workers.
+const chunkSize = 256
+
+// item is one unit of frontier work. The state travels with its id so
+// workers never read the shard arenas (which other workers are appending
+// to) during expansion.
+type item struct {
+	id    stateID
+	state State
+}
+
+// frontier is a chunked FIFO ring buffer holding one BFS level. It
+// replaces the queue[1:] slice-advance of the old checker: popping a chunk
+// clears its ring slot, so dequeued states become collectable as soon as
+// the consumer drops them instead of staying pinned by the queue's backing
+// array for the whole search.
+type frontier struct {
+	mu     sync.Mutex
+	chunks [][]item
+	head   int // ring index of the oldest chunk
+	n      int // filled chunks
+	size   int // total items
+}
+
+// pushChunk appends a filled chunk; the frontier takes ownership.
+func (f *frontier) pushChunk(c []item) {
+	if len(c) == 0 {
+		return
+	}
+	f.mu.Lock()
+	if f.n == len(f.chunks) {
+		f.grow()
+	}
+	f.chunks[(f.head+f.n)%len(f.chunks)] = c
+	f.n++
+	f.size += len(c)
+	f.mu.Unlock()
+}
+
+// popChunk removes and returns the oldest chunk, nil when empty.
+func (f *frontier) popChunk() []item {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.n == 0 {
+		return nil
+	}
+	c := f.chunks[f.head]
+	f.chunks[f.head] = nil
+	f.head = (f.head + 1) % len(f.chunks)
+	f.n--
+	f.size -= len(c)
+	return c
+}
+
+// len returns the number of queued items.
+func (f *frontier) len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// grow doubles the ring, unwrapping the live chunks to the front.
+func (f *frontier) grow() {
+	next := 2 * len(f.chunks)
+	if next < 4 {
+		next = 4
+	}
+	ns := make([][]item, next)
+	for i := 0; i < f.n; i++ {
+		ns[i] = f.chunks[(f.head+i)%len(f.chunks)]
+	}
+	f.chunks = ns
+	f.head = 0
+}

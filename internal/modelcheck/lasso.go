@@ -1,0 +1,142 @@
+package modelcheck
+
+import "time"
+
+// FindLasso searches for a reachable cycle among states where progress
+// never stops (a non-quiescent infinite run) — the shape of routing
+// oscillation and divergence. The accept predicate filters which states
+// may participate in the cycle (pass nil for "any"); a lasso through
+// accepting states is a counterexample to eventual convergence.
+//
+// VerdictHolds means a lasso was found (definitive, even on a truncated
+// run): the trace runs from an initial state along the stem to the cycle
+// entry (Trace[LassoStart]) and around the cycle back to it.
+// VerdictViolated means the complete exploration contains no cycle; a
+// truncated run without a cycle is VerdictInconclusive — the unexplored
+// region may still oscillate.
+func FindLasso(sys System, accept func(State) bool, opts Options) Result {
+	if accept == nil {
+		accept = func(State) bool { return true }
+	}
+	start := time.Now()
+	max := opts.maxStates()
+
+	// Iterative DFS over fingerprint-identified states with an on-stack
+	// (gray) marker — standard cycle detection. States live in one arena;
+	// parent ids reconstruct both the stem and the cycle.
+	const (
+		gray  = 1
+		black = 2
+	)
+	type node struct {
+		state  State
+		parent int32
+		color  uint8
+	}
+	var nodes []node
+	index := map[uint64]int32{}
+	var stats Stats
+	truncated := false
+
+	// admit returns the node id and whether it is new; -1 when the state
+	// bound rejected a genuinely new state.
+	admit := func(s State, parent int32) (int32, bool) {
+		fp := fingerprintOf(s)
+		if id, ok := index[fp]; ok {
+			stats.DedupHits++
+			return id, false
+		}
+		if len(nodes) >= max {
+			truncated = true
+			return -1, false
+		}
+		id := int32(len(nodes))
+		nodes = append(nodes, node{state: s, parent: parent, color: gray})
+		index[fp] = id
+		return id, true
+	}
+
+	done := func(res Result) Result {
+		res.Stats.StatesVisited = len(nodes)
+		res.Stats.Transitions = stats.Transitions
+		res.Stats.MaxDepth = stats.MaxDepth
+		res.Stats.DedupHits = stats.DedupHits
+		res.Stats.Truncated = truncated
+		res.Stats.Elapsed = time.Since(start)
+		publishStats(opts.Obs, res.Stats)
+		emitEnd(opts.Trace, res.Verdict, res.Stats)
+		return res
+	}
+
+	// frame is one DFS expansion record.
+	type frame struct {
+		id    int32
+		succs []State
+		idx   int
+	}
+
+	for _, init := range sys.Initial() {
+		rootID, fresh := admit(init, -1)
+		if !fresh {
+			continue
+		}
+		frames := []frame{{id: rootID}}
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.succs == nil {
+				f.succs = sys.Next(nodes[f.id].state)
+				stats.Transitions += len(f.succs)
+			}
+			if f.idx >= len(f.succs) {
+				nodes[f.id].color = black
+				frames = frames[:len(frames)-1]
+				continue
+			}
+			t := f.succs[f.idx]
+			f.idx++
+			tid, fresh := admit(t, f.id)
+			if fresh {
+				frames = append(frames, frame{id: tid})
+				if len(frames) > stats.MaxDepth {
+					stats.MaxDepth = len(frames)
+				}
+				continue
+			}
+			if tid < 0 || nodes[tid].color != gray || !accept(t) {
+				continue
+			}
+			// Cycle found. The gray target tid sits on the current DFS
+			// stack, so parent links from f.id lead back to it, and from
+			// tid back to the initial state — stem and cycle in one walk.
+			var stem []State
+			for cur := tid; cur != -1; cur = nodes[cur].parent {
+				stem = append(stem, nodes[cur].state)
+			}
+			reverse(stem) // initial ... cycle entry
+			var cyc []State
+			for cur := f.id; cur != tid; cur = nodes[cur].parent {
+				cyc = append(cyc, nodes[cur].state)
+			}
+			reverse(cyc) // cycle interior, entry's successor ... f's state
+			trace := append(stem, cyc...)
+			trace = append(trace, nodes[tid].state)
+			return done(Result{
+				Verdict:    VerdictHolds,
+				Holds:      true,
+				Trace:      trace,
+				Witness:    nodes[tid].state,
+				LassoStart: len(stem) - 1,
+			})
+		}
+	}
+	if truncated {
+		return done(Result{Verdict: VerdictInconclusive})
+	}
+	return done(Result{Verdict: VerdictViolated})
+}
+
+func reverse(s []State) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

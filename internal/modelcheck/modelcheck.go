@@ -9,11 +9,22 @@
 // Systems are anything implementing the System interface; internal/linear
 // derives systems from NDlog programs with soft state, and internal/bgp
 // exposes the SPVP gadgets (Disagree, Bad Gadget) as systems.
+//
+// The search core is a parallel breadth-first exploration over a sharded
+// visited set keyed by 64-bit state fingerprints: states are identified by
+// compact int32 ids, parent links for trace reconstruction are id slices
+// rather than string maps, and the frontier is a chunked ring buffer. The
+// incompleteness the paper contrasts with theorem proving is surfaced
+// honestly: every entry point returns a three-valued Verdict, and a run
+// that hits the state bound is inconclusive, never a proof.
 package modelcheck
 
 import (
 	"fmt"
 	"sort"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // State is an immutable system state. Key must be injective on states;
@@ -23,30 +34,64 @@ type State interface {
 	Display() string
 }
 
+// Fingerprinter is an optional State fast path: a system whose states can
+// hash themselves to 64 bits lets the checker skip building Key strings
+// entirely. Fingerprint must be injective on states up to hash collision
+// (equal states hash equal; distinct states collide with probability
+// ~n²/2⁶⁵ for n states, the standard explicit-state fingerprinting
+// trade-off). Use FP to build fingerprints incrementally.
+type Fingerprinter interface {
+	Fingerprint() uint64
+}
+
 // System is an explicit-state transition system.
 type System interface {
 	// Initial returns the initial states.
 	Initial() []State
 	// Next returns the successor states of s. A state with no successors
-	// is terminal (quiescent).
+	// is terminal (quiescent). When Options.Workers > 1, Next is called
+	// concurrently from multiple goroutines (always on distinct states)
+	// and must not mutate shared state.
 	Next(s State) []State
 }
 
 // Stats reports exploration effort.
 type Stats struct {
-	StatesVisited int
-	Transitions   int
-	MaxDepth      int
-	Truncated     bool // state bound hit: the verdict is incomplete
+	StatesVisited int  // distinct states admitted to the visited set (exact)
+	Transitions   int  // successor states generated while expanding
+	MaxDepth      int  // deepest BFS level (or DFS stack for FindLasso)
+	Truncated     bool // state bound hit: some reachable state was NOT explored
+	DedupHits     int  // successor arrivals already in the visited set
+	FrontierPeak  int  // largest BFS level (0 for DFS-based FindLasso)
+	Elapsed       time.Duration
 }
 
-// Options bounds the exploration.
+// StatesPerSecond is the exploration rate of the run.
+func (s Stats) StatesPerSecond() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.StatesVisited) / s.Elapsed.Seconds()
+}
+
+// Options bounds and parallelizes the exploration.
 type Options struct {
-	// MaxStates caps exploration (0 = DefaultMaxStates). When the cap is
-	// reached the checker reports Truncated and the result is inconclusive
-	// in the unexplored region — the incompleteness the paper contrasts
-	// with theorem proving.
+	// MaxStates caps exploration (0 = DefaultMaxStates). The cap is
+	// enforced at enqueue: at most MaxStates states are ever admitted, and
+	// Truncated is set only when a genuinely new state was rejected — a
+	// cap equal to the exact reachable count does not truncate.
 	MaxStates int
+	// Workers is the number of expansion goroutines. 0 or 1 runs the
+	// search single-threaded (fully deterministic); higher values expand
+	// each BFS level in parallel. Verdicts, state counts on complete runs,
+	// and shortest-trace lengths are identical at any worker count.
+	Workers int
+	// Obs, when non-nil, receives exploration counters under component
+	// "mc" (states visited, transitions, dedup hits, frontier peak,
+	// per-worker expansion counts) and a per-level duration histogram.
+	Obs *obs.Collector
+	// Trace, when non-nil, receives EvSearchLevel/EvSearchEnd events.
+	Trace *obs.Tracer
 }
 
 // DefaultMaxStates bounds exploration when Options.MaxStates is zero.
@@ -59,12 +104,63 @@ func (o Options) maxStates() int {
 	return DefaultMaxStates
 }
 
+func (o Options) workers() int {
+	if o.Workers > 1 {
+		return o.Workers
+	}
+	return 1
+}
+
+// Verdict is the three-valued outcome of a check. The zero value is
+// VerdictInconclusive, so a Result can never default to a proof.
+type Verdict uint8
+
+const (
+	// VerdictInconclusive means the state bound was hit before the
+	// property could be decided: the unexplored region may hide either
+	// outcome. A truncated run is never reported as definitive.
+	VerdictInconclusive Verdict = iota
+	// VerdictHolds means the checked property was established: the
+	// invariant held on every reachable state, the goal state or lasso
+	// was found, etc.
+	VerdictHolds
+	// VerdictViolated means the property definitively fails: an invariant
+	// counterexample was found, or a complete exploration proved the goal
+	// unreachable / no lasso exists.
+	VerdictViolated
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictHolds:
+		return "holds"
+	case VerdictViolated:
+		return "violated"
+	default:
+		return "inconclusive"
+	}
+}
+
+// Definitive reports whether the verdict settles the property.
+func (v Verdict) Definitive() bool { return v != VerdictInconclusive }
+
 // Result is the outcome of a check.
 type Result struct {
+	// Verdict is the three-valued outcome for the property the entry
+	// point checks (invariant validity, goal reachability, lasso
+	// existence). Truncated runs without a witness are inconclusive.
+	Verdict Verdict
+	// Holds is Verdict == VerdictHolds — kept as the boolean shorthand
+	// used throughout the experiments.
 	Holds   bool
-	Trace   []State // counterexample (violating run) when !Holds
-	Witness State   // witness state for reachability checks
-	Stats   Stats
+	Trace   []State // counterexample or witness run
+	Witness State   // witness state for reachability/lasso checks
+	// LassoStart (FindLasso only) is the index in Trace where the cycle
+	// begins: Trace[:LassoStart+1] is the stem from an initial state and
+	// Trace[LassoStart] recurs as the final trace state.
+	LassoStart int
+	Stats      Stats
 }
 
 // TraceString renders a counterexample trace.
@@ -78,195 +174,67 @@ func (r Result) TraceString() string {
 
 // CheckInvariant explores all reachable states (BFS) and verifies that inv
 // holds in each. On violation it returns a shortest trace from an initial
-// state to the violation.
+// state to the violation (VerdictViolated — definitive even on a truncated
+// run). VerdictHolds requires complete exploration; a truncated run with
+// no violation is VerdictInconclusive.
 func CheckInvariant(sys System, inv func(State) bool, opts Options) Result {
-	type entry struct {
-		state     State
-		parent    string
-		hasParent bool
+	c := newSearch(sys, opts)
+	viol, stats := c.run(inv)
+	res := Result{Stats: stats}
+	switch {
+	case viol != noState:
+		res.Verdict = VerdictViolated
+		res.Trace = c.trace(viol)
+	case stats.Truncated:
+		res.Verdict = VerdictInconclusive
+	default:
+		res.Verdict = VerdictHolds
+		res.Holds = true
 	}
-	visited := map[string]entry{}
-	var queue []State
-	var stats Stats
-
-	push := func(s State, parent string, hasParent bool) bool {
-		k := s.Key()
-		if _, ok := visited[k]; ok {
-			return false
-		}
-		visited[k] = entry{state: s, parent: parent, hasParent: hasParent}
-		queue = append(queue, s)
-		stats.StatesVisited++
-		return true
-	}
-
-	trace := func(s State) []State {
-		var rev []State
-		k := s.Key()
-		for {
-			e := visited[k]
-			rev = append(rev, e.state)
-			if !e.hasParent {
-				break
-			}
-			k = e.parent
-		}
-		out := make([]State, len(rev))
-		for i := range rev {
-			out[i] = rev[len(rev)-1-i]
-		}
-		return out
-	}
-
-	for _, s := range sys.Initial() {
-		if push(s, "", false) && !inv(s) {
-			return Result{Holds: false, Trace: trace(s), Stats: stats}
-		}
-	}
-	depth := map[string]int{}
-	for _, s := range sys.Initial() {
-		depth[s.Key()] = 0
-	}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
-		if stats.StatesVisited >= opts.maxStates() {
-			stats.Truncated = true
-			break
-		}
-		for _, t := range sys.Next(s) {
-			stats.Transitions++
-			if push(t, s.Key(), true) {
-				d := depth[s.Key()] + 1
-				depth[t.Key()] = d
-				if d > stats.MaxDepth {
-					stats.MaxDepth = d
-				}
-				if !inv(t) {
-					return Result{Holds: false, Trace: trace(t), Stats: stats}
-				}
-			}
-		}
-	}
-	return Result{Holds: true, Stats: stats}
+	c.finish(res.Verdict, stats)
+	return res
 }
 
 // CheckReachable searches (BFS) for a state satisfying goal, returning the
-// shortest witness trace (EF goal).
+// shortest witness trace (EF goal). VerdictHolds means the goal was
+// reached (definitive); VerdictViolated means a complete exploration
+// proved it unreachable; a truncated run without a witness is
+// VerdictInconclusive, never "unreachable".
 func CheckReachable(sys System, goal func(State) bool, opts Options) Result {
-	res := CheckInvariant(sys, func(s State) bool { return !goal(s) }, opts)
-	if !res.Holds {
-		// The "violation" of ¬goal is our witness.
-		return Result{Holds: true, Trace: res.Trace, Witness: res.Trace[len(res.Trace)-1], Stats: res.Stats}
+	c := newSearch(sys, opts)
+	viol, stats := c.run(func(s State) bool { return !goal(s) })
+	res := Result{Stats: stats}
+	switch {
+	case viol != noState:
+		res.Verdict = VerdictHolds
+		res.Holds = true
+		res.Trace = c.trace(viol)
+		res.Witness = res.Trace[len(res.Trace)-1]
+	case stats.Truncated:
+		res.Verdict = VerdictInconclusive
+	default:
+		res.Verdict = VerdictViolated
 	}
-	return Result{Holds: false, Stats: res.Stats}
-}
-
-// FindLasso searches for a reachable cycle among states where progress
-// never stops (a non-quiescent infinite run) — the shape of routing
-// oscillation and divergence. The accept predicate filters which states may
-// participate in the cycle (pass nil for "any"); a lasso through accepting
-// states is a counterexample to eventual convergence.
-func FindLasso(sys System, accept func(State) bool, opts Options) Result {
-	if accept == nil {
-		accept = func(State) bool { return true }
-	}
-	// Iterative DFS with an on-stack marker (standard cycle detection).
-	const (
-		white = 0
-		gray  = 1
-		black = 2
-	)
-	color := map[string]int{}
-	parent := map[string]State{}
-	store := map[string]State{}
-	var stats Stats
-
-	// frame is one DFS expansion record.
-	type frame struct {
-		state State
-		succs []State
-		idx   int
-	}
-
-	for _, init := range sys.Initial() {
-		if color[init.Key()] != white {
-			continue
-		}
-		frames := []frame{{state: init}}
-		color[init.Key()] = gray
-		store[init.Key()] = init
-		stats.StatesVisited++
-		for len(frames) > 0 {
-			if stats.StatesVisited >= opts.maxStates() {
-				stats.Truncated = true
-				return Result{Holds: false, Stats: stats}
-			}
-			f := &frames[len(frames)-1]
-			if f.succs == nil {
-				f.succs = sys.Next(f.state)
-			}
-			if f.idx >= len(f.succs) {
-				color[f.state.Key()] = black
-				frames = frames[:len(frames)-1]
-				continue
-			}
-			t := f.succs[f.idx]
-			f.idx++
-			stats.Transitions++
-			tk := t.Key()
-			switch color[tk] {
-			case white:
-				color[tk] = gray
-				store[tk] = t
-				parent[tk] = f.state
-				stats.StatesVisited++
-				if len(frames) > stats.MaxDepth {
-					stats.MaxDepth = len(frames)
-				}
-				frames = append(frames, frame{state: t})
-			case gray:
-				if !accept(t) {
-					continue
-				}
-				// Cycle found: reconstruct stem + cycle.
-				var cycle []State
-				cur := f.state
-				cycle = append(cycle, t)
-				for cur.Key() != tk {
-					cycle = append(cycle, cur)
-					p, ok := parent[cur.Key()]
-					if !ok {
-						break
-					}
-					cur = p
-				}
-				cycle = append(cycle, t)
-				// Reverse into forward order.
-				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
-					cycle[i], cycle[j] = cycle[j], cycle[i]
-				}
-				return Result{Holds: true, Trace: cycle, Witness: t, Stats: stats}
-			}
-		}
-	}
-	return Result{Holds: false, Stats: stats}
+	c.finish(res.Verdict, stats)
+	return res
 }
 
 // Quiescent reports whether the system can reach a terminal state
-// (deadlock/convergence) and returns the shortest trace to one.
+// (deadlock/convergence) and returns the shortest trace to one. The
+// verdict semantics are those of CheckReachable.
 func Quiescent(sys System, opts Options) Result {
 	return CheckReachable(sys, func(s State) bool {
 		return len(sys.Next(s)) == 0
 	}, opts)
 }
 
-// CountReachable returns the number of reachable states (up to the bound),
-// the paper's "huge system states" measure for the state-explosion
-// discussion.
-func CountReachable(sys System, opts Options) (int, Stats) {
-	res := CheckInvariant(sys, func(State) bool { return true }, opts)
-	return res.Stats.StatesVisited, res.Stats
+// CountReachable returns the number of reachable states — the paper's
+// "huge system states" measure for the state-explosion discussion. The
+// count is exact when the result's verdict is VerdictHolds and a lower
+// bound (VerdictInconclusive, Stats.Truncated) when the bound was hit.
+func CountReachable(sys System, opts Options) (int, Result) {
+	res := CheckInvariant(sys, nil, opts)
+	return res.Stats.StatesVisited, res
 }
 
 // KV renders a sorted key=value list; helper for implementing Display on

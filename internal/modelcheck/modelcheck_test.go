@@ -116,19 +116,73 @@ func TestShortestTraceBFS(t *testing.T) {
 
 func TestLassoOnWrapCounter(t *testing.T) {
 	res := FindLasso(counter{max: 5, wrap: true}, nil, Options{})
-	if !res.Holds {
+	if !res.Holds || res.Verdict != VerdictHolds {
 		t.Fatal("wrapping counter has a cycle")
 	}
 	if len(res.Trace) < 2 {
 		t.Errorf("trace too short: %d", len(res.Trace))
 	}
-	// First and last trace states must coincide (it is a cycle).
-	if res.Trace[0].Key() != res.Trace[len(res.Trace)-1].Key() {
-		t.Errorf("lasso trace does not close: %s ... %s", res.Trace[0].Key(), res.Trace[len(res.Trace)-1].Key())
+	// The trace starts at the initial state and closes the cycle at
+	// Trace[LassoStart].
+	if res.Trace[0].Key() != "0" {
+		t.Errorf("trace starts at %s, want initial state 0", res.Trace[0].Key())
+	}
+	if res.Trace[res.LassoStart].Key() != res.Trace[len(res.Trace)-1].Key() {
+		t.Errorf("lasso trace does not close: Trace[%d]=%s ... %s",
+			res.LassoStart, res.Trace[res.LassoStart].Key(), res.Trace[len(res.Trace)-1].Key())
 	}
 
-	if res := FindLasso(counter{max: 5}, nil, Options{}); res.Holds {
-		t.Error("saturating counter has no cycle")
+	if res := FindLasso(counter{max: 5}, nil, Options{}); res.Verdict != VerdictViolated {
+		t.Error("saturating counter has no cycle; complete run must be definitive")
+	}
+}
+
+// TestLassoStemFromInitial pins the stem bug: the cycle 2->3->2 is NOT
+// through the initial state, and the returned trace must still begin at
+// the initial state and walk the stem 0,1 before entering the cycle.
+func TestLassoStemFromInitial(t *testing.T) {
+	g := graph{initial: []int{0}, edges: map[int][]int{0: {1}, 1: {2}, 2: {3}, 3: {2}}}
+	res := FindLasso(g, nil, Options{})
+	if !res.Holds {
+		t.Fatal("cycle 2->3->2 not found")
+	}
+	if got := res.Trace[0].Key(); got != "0" {
+		t.Fatalf("trace starts at %s, want the initial state 0", got)
+	}
+	want := []string{"0", "1", "2", "3", "2"}
+	if len(res.Trace) != len(want) {
+		t.Fatalf("trace length %d, want %d (%v)", len(res.Trace), len(want), traceKeys(res.Trace))
+	}
+	for i, k := range want {
+		if res.Trace[i].Key() != k {
+			t.Fatalf("trace %v, want %v", traceKeys(res.Trace), want)
+		}
+	}
+	if res.LassoStart != 2 {
+		t.Errorf("LassoStart = %d, want 2", res.LassoStart)
+	}
+	checkTraceValid(t, g, res.Trace)
+}
+
+// TestLassoTruncatedInconclusive pins the truncation bug: a DFS cut off by
+// the state bound used to report "no oscillation" — it must now be
+// inconclusive.
+func TestLassoTruncatedInconclusive(t *testing.T) {
+	res := FindLasso(counter{max: 1000}, nil, Options{MaxStates: 10})
+	if !res.Stats.Truncated {
+		t.Fatal("truncation not reported")
+	}
+	if res.Verdict != VerdictInconclusive {
+		t.Errorf("truncated lasso search verdict = %s, want inconclusive", res.Verdict)
+	}
+	if res.Holds {
+		t.Error("truncated lasso search must not claim a definitive answer")
+	}
+
+	// A cycle found before the bound bites is still definitive.
+	res = FindLasso(counter{max: 5, wrap: true}, nil, Options{MaxStates: 5})
+	if res.Verdict != VerdictHolds {
+		t.Errorf("cycle within bound: verdict = %s, want holds", res.Verdict)
 	}
 }
 
@@ -160,8 +214,72 @@ func TestStateBoundTruncation(t *testing.T) {
 	if !res.Stats.Truncated {
 		t.Error("truncation not reported")
 	}
-	if res.Stats.StatesVisited > 11 {
-		t.Errorf("visited %d states beyond bound", res.Stats.StatesVisited)
+	// The cap is enforced at enqueue: exactly MaxStates states admitted,
+	// never one more.
+	if res.Stats.StatesVisited != 10 {
+		t.Errorf("visited %d states, want exactly the bound 10", res.Stats.StatesVisited)
+	}
+	if res.Verdict != VerdictInconclusive || res.Holds {
+		t.Errorf("truncated invariant check verdict = %s, want inconclusive", res.Verdict)
+	}
+}
+
+// TestCapEqualToReachableNotTruncated pins the boundary: a bound equal to
+// the exact reachable count must complete without truncating.
+func TestCapEqualToReachableNotTruncated(t *testing.T) {
+	res := CheckInvariant(counter{max: 50}, func(State) bool { return true }, Options{MaxStates: 50})
+	if res.Stats.Truncated {
+		t.Error("cap == exact reachable count must not truncate")
+	}
+	if res.Verdict != VerdictHolds {
+		t.Errorf("verdict = %s, want holds", res.Verdict)
+	}
+	if res.Stats.StatesVisited != 50 {
+		t.Errorf("visited %d, want 50", res.Stats.StatesVisited)
+	}
+}
+
+// TestInconclusiveEveryEntryPoint pins satellite 1: a truncated run is
+// inconclusive from all five entry points, never a definitive verdict.
+func TestInconclusiveEveryEntryPoint(t *testing.T) {
+	big := counter{max: 1000} // invariant true everywhere, no goal, no cycle
+	opts := Options{MaxStates: 10}
+
+	if res := CheckInvariant(big, func(State) bool { return true }, opts); res.Verdict != VerdictInconclusive || res.Holds {
+		t.Errorf("CheckInvariant: verdict = %s holds=%v, want inconclusive", res.Verdict, res.Holds)
+	}
+	if res := CheckReachable(big, func(s State) bool { return int(s.(counterState)) == 999 }, opts); res.Verdict != VerdictInconclusive {
+		t.Errorf("CheckReachable: verdict = %s, want inconclusive (goal beyond bound is not 'unreachable')", res.Verdict)
+	}
+	if res := FindLasso(big, nil, opts); res.Verdict != VerdictInconclusive {
+		t.Errorf("FindLasso: verdict = %s, want inconclusive", res.Verdict)
+	}
+	if res := Quiescent(big, opts); res.Verdict != VerdictInconclusive {
+		t.Errorf("Quiescent: verdict = %s, want inconclusive (terminal state lies beyond the bound)", res.Verdict)
+	}
+	if n, res := CountReachable(big, opts); res.Verdict != VerdictInconclusive || n != 10 {
+		t.Errorf("CountReachable: verdict = %s n=%d, want inconclusive lower bound 10", res.Verdict, n)
+	}
+
+	// Witnesses found before the bound bites stay definitive.
+	if res := CheckReachable(big, func(s State) bool { return int(s.(counterState)) == 5 }, opts); res.Verdict != VerdictHolds {
+		t.Errorf("witness within bound: verdict = %s, want holds", res.Verdict)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	cases := map[Verdict]string{VerdictHolds: "holds", VerdictViolated: "violated", VerdictInconclusive: "inconclusive"}
+	for v, want := range cases {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+	if VerdictInconclusive.Definitive() || !VerdictHolds.Definitive() || !VerdictViolated.Definitive() {
+		t.Error("Definitive: inconclusive is not, holds/violated are")
+	}
+	var zero Verdict
+	if zero != VerdictInconclusive {
+		t.Error("the zero verdict must be inconclusive, never a default proof")
 	}
 }
 

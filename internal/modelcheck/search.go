@@ -1,0 +1,306 @@
+package modelcheck
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The visited set is split into shards so parallel workers rarely contend
+// on the same lock. A state id packs (shard, slot) into an int32: 5 shard
+// bits leave 26 slot bits, bounding each shard's arena at 64M states —
+// far above DefaultMaxStates.
+const (
+	shardBits = 5
+	numShards = 1 << shardBits
+	slotBits  = 31 - shardBits
+	maxSlots  = 1 << slotBits
+)
+
+// stateID is a compact state handle: shard index in the top bits, arena
+// slot in the low bits. Parent links and violation reports use these ids
+// instead of duplicating key strings.
+type stateID int32
+
+const noState stateID = -1
+
+func packID(shard, slot int) stateID { return stateID(shard<<slotBits | slot) }
+func (id stateID) shard() int        { return int(id) >> slotBits }
+func (id stateID) slot() int         { return int(id) & (maxSlots - 1) }
+
+// shard is one slice of the fingerprinted visited set plus the arena
+// holding the states and parent ids discovered through it. The arena is
+// only read back after the search joins (trace reconstruction); during
+// expansion the frontier carries the states.
+type shard struct {
+	mu      sync.Mutex
+	table   map[uint64]stateID
+	states  []State
+	parents []stateID
+}
+
+// insert outcomes.
+const (
+	insNew    = iota // state admitted; id valid
+	insDup           // fingerprint already visited; id is the existing state
+	insCapped        // rejected by MaxStates; search is truncated
+)
+
+// search is the parallel fingerprinted BFS core shared by every
+// invariant/reachability entry point.
+type search struct {
+	sys     System
+	max     int
+	workers int
+	obs     *obs.Collector
+	tracer  *obs.Tracer
+
+	shards    [numShards]shard
+	admitted  atomic.Int64
+	truncated atomic.Bool
+	dedup     atomic.Int64
+	trans     atomic.Int64
+	expanded  []int64 // per-worker expansion counts
+
+	cancel atomic.Bool
+	viol   atomic.Int64 // violating stateID+1; 0 = none
+}
+
+func newSearch(sys System, opts Options) *search {
+	c := &search{
+		sys:      sys,
+		max:      opts.maxStates(),
+		workers:  opts.workers(),
+		obs:      opts.Obs,
+		tracer:   opts.Trace,
+		expanded: make([]int64, opts.workers()),
+	}
+	for i := range c.shards {
+		c.shards[i].table = map[uint64]stateID{}
+	}
+	return c
+}
+
+// insert admits a state into the visited set, enforcing the MaxStates cap
+// at enqueue time: the counter is reserved before the arena write and
+// released on rejection, so StatesVisited is exact and a cap equal to the
+// reachable count never truncates.
+func (c *search) insert(s State, parent stateID) (stateID, int) {
+	fp := fingerprintOf(s)
+	sh := &c.shards[fp&(numShards-1)]
+	sh.mu.Lock()
+	if id, ok := sh.table[fp]; ok {
+		sh.mu.Unlock()
+		return id, insDup
+	}
+	slot := len(sh.states)
+	if n := c.admitted.Add(1); n > int64(c.max) || slot >= maxSlots {
+		c.admitted.Add(-1)
+		sh.mu.Unlock()
+		c.truncated.Store(true)
+		return noState, insCapped
+	}
+	sh.states = append(sh.states, s)
+	sh.parents = append(sh.parents, parent)
+	id := packID(int(fp&(numShards-1)), slot)
+	sh.table[fp] = id
+	sh.mu.Unlock()
+	return id, insNew
+}
+
+func (c *search) stateAt(id stateID) State    { return c.shards[id.shard()].states[id.slot()] }
+func (c *search) parentOf(id stateID) stateID { return c.shards[id.shard()].parents[id.slot()] }
+
+// violate records the first check failure and stops the search. All
+// failures surface while expanding the same BFS level, so whichever CAS
+// wins is at minimal depth and yields a shortest trace.
+func (c *search) violate(id stateID) {
+	c.viol.CompareAndSwap(0, int64(id)+1)
+	c.cancel.Store(true)
+}
+
+// run explores the state space level-synchronously: all states at depth d
+// are expanded before any state at depth d+1, which preserves the
+// shortest-trace guarantee at any worker count. check (nil = none) is
+// evaluated once on every admitted state; the first failing state ends
+// the search with its id.
+func (c *search) run(check func(State) bool) (stateID, Stats) {
+	start := time.Now()
+	var stats Stats
+
+	cur := &frontier{}
+	buf := make([]item, 0, chunkSize)
+	for _, s := range c.sys.Initial() {
+		id, how := c.insert(s, noState)
+		switch how {
+		case insDup:
+			stats.DedupHits++
+		case insNew:
+			if check != nil && !check(s) {
+				c.violate(id)
+			} else {
+				buf = append(buf, item{id, s})
+				if len(buf) == chunkSize {
+					cur.pushChunk(buf)
+					buf = make([]item, 0, chunkSize)
+				}
+			}
+		}
+	}
+	cur.pushChunk(buf)
+
+	depth := 0
+	peak := cur.len()
+	for cur.len() > 0 && !c.cancel.Load() {
+		next := &frontier{}
+		levelStart := time.Now()
+		c.expandLevel(cur, next, check)
+		discovered := next.len()
+		if c.viol.Load() != 0 || discovered > 0 {
+			depth++
+		}
+		if discovered > peak {
+			peak = discovered
+		}
+		if c.obs != nil {
+			c.obs.Histogram("mc", obs.MMCLevelMs, "").Observe(time.Since(levelStart))
+		}
+		if c.tracer != nil {
+			c.tracer.Emit(obs.Event{
+				Kind:  obs.EvSearchLevel,
+				N:     int64(discovered),
+				DurNs: int64(time.Since(levelStart)),
+			})
+		}
+		cur = next
+	}
+
+	stats.StatesVisited = int(c.admitted.Load())
+	stats.Transitions = int(c.trans.Load())
+	stats.MaxDepth = depth
+	stats.Truncated = c.truncated.Load()
+	stats.DedupHits += int(c.dedup.Load())
+	stats.FrontierPeak = peak
+	stats.Elapsed = time.Since(start)
+	return stateID(c.viol.Load() - 1), stats
+}
+
+// expandLevel drains cur into next. Tiny levels are expanded inline even
+// in parallel mode: spawning workers for a handful of states costs more
+// than the states themselves.
+func (c *search) expandLevel(cur, next *frontier, check func(State) bool) {
+	if c.workers == 1 || cur.len() < c.workers*4 {
+		c.worker(0, cur, next, check)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < c.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c.worker(w, cur, next, check)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// worker claims chunks of the current level, expands each state, and
+// publishes freshly discovered states to the next level. Counter traffic
+// is kept thread-local and flushed once at the end.
+func (c *search) worker(w int, cur, next *frontier, check func(State) bool) {
+	var trans, dedup, expanded int64
+	buf := make([]item, 0, chunkSize)
+	for !c.cancel.Load() {
+		chunk := cur.popChunk()
+		if chunk == nil {
+			break
+		}
+		for _, it := range chunk {
+			if c.cancel.Load() {
+				break
+			}
+			succs := c.sys.Next(it.state)
+			trans += int64(len(succs))
+			expanded++
+			for _, t := range succs {
+				id, how := c.insert(t, it.id)
+				switch how {
+				case insDup:
+					dedup++
+				case insNew:
+					if check != nil && !check(t) {
+						c.violate(id)
+						break
+					}
+					buf = append(buf, item{id, t})
+					if len(buf) == chunkSize {
+						next.pushChunk(buf)
+						buf = make([]item, 0, chunkSize)
+					}
+				}
+			}
+		}
+	}
+	next.pushChunk(buf)
+	c.trans.Add(trans)
+	c.dedup.Add(dedup)
+	c.expanded[w] += expanded
+}
+
+// trace reconstructs the run from an initial state to id by following
+// parent ids through the shard arenas. Only called after run returns, so
+// the arenas are quiescent.
+func (c *search) trace(id stateID) []State {
+	var rev []State
+	for cur := id; cur != noState; cur = c.parentOf(cur) {
+		rev = append(rev, c.stateAt(cur))
+	}
+	out := make([]State, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// finish publishes the run's counters and the end-of-search trace event.
+func (c *search) finish(verdict Verdict, stats Stats) {
+	publishStats(c.obs, stats)
+	if c.obs != nil {
+		for w, n := range c.expanded {
+			if n > 0 {
+				c.obs.Counter("mc", obs.MMCWorkerExpand, fmt.Sprintf("w%d", w)).Add(n)
+			}
+		}
+	}
+	emitEnd(c.tracer, verdict, stats)
+}
+
+// publishStats adds a run's exploration counters to the collector.
+func publishStats(col *obs.Collector, stats Stats) {
+	if col == nil {
+		return
+	}
+	col.Counter("mc", obs.MMCStates, "").Add(int64(stats.StatesVisited))
+	col.Counter("mc", obs.MMCTransitions, "").Add(int64(stats.Transitions))
+	col.Counter("mc", obs.MMCDedupHits, "").Add(int64(stats.DedupHits))
+	col.Counter("mc", obs.MMCFrontierPeak, "").Add(int64(stats.FrontierPeak))
+	if stats.Truncated {
+		col.Counter("mc", obs.MMCTruncated, "").Add(1)
+	}
+}
+
+// emitEnd emits the end-of-search event.
+func emitEnd(tr *obs.Tracer, verdict Verdict, stats Stats) {
+	if tr == nil {
+		return
+	}
+	tr.Emit(obs.Event{
+		Kind:  obs.EvSearchEnd,
+		Name:  verdict.String(),
+		N:     int64(stats.StatesVisited),
+		DurNs: int64(stats.Elapsed),
+	})
+}

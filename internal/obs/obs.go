@@ -42,6 +42,16 @@ const (
 	MRouteChanges = "route_changes"
 	MExpirations  = "expirations"
 	MFlips        = "flips"
+
+	// Model-checker search counters (component "mc"; worker expansions are
+	// labelled w0..wN-1, everything else is unlabelled).
+	MMCStates       = "states_visited"
+	MMCTransitions  = "transitions"
+	MMCDedupHits    = "dedup_hits"
+	MMCFrontierPeak = "frontier_peak"
+	MMCTruncated    = "truncated_runs"
+	MMCWorkerExpand = "worker_expansions"
+	MMCLevelMs      = "level_ms" // histogram: per-BFS-level duration
 )
 
 // Key identifies one metric: a component ("datalog", "dist", "prover"),

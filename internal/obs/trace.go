@@ -30,6 +30,10 @@ const (
 
 	// Prover.
 	EvProofStep = "proof_step" // one user-visible tactic (N = primitive inferences)
+
+	// Model-checker search.
+	EvSearchLevel = "mc_level" // one BFS level completed (N = states discovered)
+	EvSearchEnd   = "mc_end"   // search finished (Name = verdict, N = states visited)
 )
 
 // Event is one structured trace record. T is simulated time for runtime
