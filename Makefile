@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments
+.PHONY: all build vet test race bench chaos-smoke experiments
 
 all: vet build test
 
@@ -18,6 +18,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+
+chaos-smoke:
+	$(GO) run -race ./cmd/fvn chaos -n 25 -topo ring:6
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

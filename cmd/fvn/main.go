@@ -9,6 +9,7 @@
 //	fvn translate <file.ndlog>          print the PVS-style theory
 //	fvn verify <file.ndlog> -theorem T [-script S | -auto]
 //	fvn run <file.ndlog> -topo ring:5 [-pred bestPath] [-maxtime N]
+//	fvn chaos [-topo ring:8] [-n 50]    randomized fault campaign + invariants
 //	fvn mc <file.ndlog>                 quiescence-check the transition system
 //	fvn algebra [-name addA]            discharge metarouting obligations
 //	fvn demo                            the paper's §3.1 experiment end to end
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/faults"
 	"repro/internal/linear"
 	"repro/internal/metarouting"
 	"repro/internal/modelcheck"
@@ -46,6 +48,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "chaos":
+		err = cmdChaos(os.Args[2:])
 	case "mc":
 		err = cmdMC(os.Args[2:])
 	case "algebra":
@@ -63,10 +67,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fvn <translate|verify|run|mc|algebra|demo> [flags]
+	fmt.Fprintln(os.Stderr, `usage: fvn <translate|verify|run|chaos|mc|algebra|demo> [flags]
   translate <file.ndlog>                     print the logical specification
   verify <file.ndlog> -theorem T [-script F | -auto]
   run <file.ndlog> -topo <line|ring|grid|clique|star|tree|rand>:<n> [-pred P]
+      [-loss R] [-dup R] [-delay-jitter J] [-fault-plan F.json] [-seed N]
+  chaos [file.ndlog] [-topo ring:8] [-n 50] [-seed N] [-hard]
+      [-replay-seed N | -plan F.json]        fault campaign + invariant checks
   mc <file.ndlog>                            explore the transition system
   algebra [-name NAME]                       metarouting obligation discharge
   demo                                       the §3.1 bestPathStrong experiment`)
@@ -255,6 +262,10 @@ func cmdRun(args []string) error {
 	pred := fs.String("pred", "", "predicate to dump after the run")
 	maxTime := fs.Float64("maxtime", 10000, "simulated time bound")
 	loss := fs.Float64("loss", 0, "message loss rate")
+	dup := fs.Float64("dup", 0, "message duplication rate")
+	jitter := fs.Float64("delay-jitter", 0, "max extra per-message delay (uniform)")
+	planPath := fs.String("fault-plan", "", "apply a declarative fault plan (JSON file)")
+	seed := fs.Uint64("seed", 0, "PRNG seed for scan shuffle and fault channels")
 	explain := fs.Bool("explain", false, "print per-rule EXPLAIN ANALYZE after the run")
 	tracePath := fs.String("trace", "", "write JSONL trace events to this file")
 	p, err := parseCmd(fs, args)
@@ -269,7 +280,15 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := dist.Options{MaxTime: *maxTime, LossRate: *loss, LoadTopologyLinks: true, Trace: tracer}
+	opts := dist.Options{
+		MaxTime:           *maxTime,
+		LossRate:          *loss,
+		DupRate:           *dup,
+		DelayJitter:       *jitter,
+		Seed:              *seed,
+		LoadTopologyLinks: true,
+		Trace:             tracer,
+	}
 	if *explain {
 		// An external collector switches on per-rule eval timing.
 		opts.Obs = obs.NewCollector()
@@ -277,6 +296,19 @@ func cmdRun(args []string) error {
 	net, err := p.Execute(topo, opts)
 	if err != nil {
 		return err
+	}
+	if *planPath != "" {
+		data, err := os.ReadFile(*planPath)
+		if err != nil {
+			return err
+		}
+		plan, err := faults.Parse(data)
+		if err != nil {
+			return err
+		}
+		if err := net.ApplyPlan(plan); err != nil {
+			return err
+		}
 	}
 	res, err := net.Run()
 	if err != nil {
@@ -292,6 +324,112 @@ func cmdRun(args []string) error {
 		fmt.Print(net.Snapshot(*pred))
 	}
 	return closeTrace()
+}
+
+// cmdChaos runs a randomized fault campaign (or replays one run of it)
+// and checks the safety/liveness/conservation invariants after every
+// run. A nonzero exit means at least one invariant was violated.
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	topoSpec := fs.String("topo", "ring:8", "topology spec, e.g. ring:8")
+	runs := fs.Int("n", 20, "number of campaign runs")
+	seed := fs.Uint64("seed", 1, "campaign base seed (run i uses Mix(seed, i))")
+	replay := fs.Uint64("replay-seed", 0, "replay exactly the run with this seed (from a failure report)")
+	planPath := fs.String("plan", "", "run one explicit fault plan (JSON file) instead of generating")
+	hard := fs.Bool("hard", false, "skip the soft-state rewrite (negative control: expected to fail under link faults)")
+	horizon := fs.Float64("horizon", 0, "generated-plan fault horizon (0: generator default)")
+	// The program source is an optional positional .ndlog file; the
+	// paper's path-vector protocol is the default subject.
+	src := core.PathVectorSrc
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) > 0 {
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() > 0 {
+			return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+		}
+		data, err := os.ReadFile(rest[0])
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	}
+	gen := faults.DefaultGenOptions()
+	if *horizon > 0 {
+		gen.Horizon = *horizon
+	}
+	opts := dist.DefaultChaosOptions()
+	opts.Hard = *hard
+	c := &dist.Campaign{
+		Source:   src,
+		Topo:     func() *netgraph.Topology { t, _ := parseTopo(*topoSpec); return t },
+		Runs:     *runs,
+		BaseSeed: *seed,
+		Gen:      gen,
+		Opts:     opts,
+	}
+	// Validate the topology spec up front; the campaign's Topo closure
+	// cannot surface a parse error.
+	if _, err := parseTopo(*topoSpec); err != nil {
+		return err
+	}
+
+	reportOne := func(rep *dist.ChaosReport) error {
+		fmt.Printf("seed %d  %s\n", rep.Seed, rep.Plan.Summary())
+		fmt.Printf("  live=%d msgs=%d dup=%d drop=%d crash=%d restart=%d checked-at=%.1f\n",
+			len(rep.Live), rep.Stats.MessagesSent, rep.Stats.MessagesDuplicated,
+			rep.Stats.MessagesDropped, rep.Stats.Crashes, rep.Stats.Restarts, rep.CheckedAt)
+		if rep.Failed() {
+			for _, v := range rep.Violations {
+				fmt.Printf("  FAIL %s\n", v)
+			}
+			fmt.Printf("  plan: %s\n", rep.Plan.JSON())
+			return fmt.Errorf("invariants violated (seed %d)", rep.Seed)
+		}
+		fmt.Println("  all invariants hold")
+		return nil
+	}
+
+	switch {
+	case *planPath != "":
+		data, err := os.ReadFile(*planPath)
+		if err != nil {
+			return err
+		}
+		plan, err := faults.Parse(data)
+		if err != nil {
+			return err
+		}
+		o := opts
+		o.Seed = *seed
+		topo := c.Topo()
+		rep, err := dist.RunChaos(src, topo, plan, o)
+		if err != nil {
+			return err
+		}
+		return reportOne(rep)
+	case *replay != 0:
+		rep, err := c.RunSeed(*replay)
+		if err != nil {
+			return err
+		}
+		return reportOne(rep)
+	default:
+		reports, err := c.Execute(os.Stdout)
+		if err != nil {
+			return err
+		}
+		for _, rep := range reports {
+			if rep.Failed() {
+				return fmt.Errorf("campaign had failing runs (replay with -replay-seed)")
+			}
+		}
+		return nil
+	}
 }
 
 func cmdMC(args []string) error {

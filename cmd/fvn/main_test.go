@@ -117,6 +117,53 @@ func TestRunExplainAndTrace(t *testing.T) {
 	}
 }
 
+// TestRunWithFaultFlags drives the new channel flags and a fault plan
+// through cmdRun end to end.
+func TestRunWithFaultFlags(t *testing.T) {
+	plan := filepath.Join(t.TempDir(), "plan.json")
+	body := `{"links": [{"a": "n0", "b": "n1", "flaps": [{"down": 5, "up": 12}]}]}`
+	if err := os.WriteFile(plan, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdRun([]string{"-topo", "ring:4", "-loss", "0.05", "-dup", "0.2",
+		"-delay-jitter", "1.5", "-seed", "7", "-fault-plan", plan,
+		"../../examples/ndlog/pathvector.ndlog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A malformed plan is rejected.
+	if err := os.WriteFile(plan, []byte(`{"links": [{"a": "nX", "b": "n1"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = cmdRun([]string{"-topo", "ring:4", "-fault-plan", plan,
+		"../../examples/ndlog/pathvector.ndlog"})
+	if err == nil {
+		t.Error("cmdRun accepted a plan naming an unknown node")
+	}
+}
+
+// TestChaosCommand covers the campaign, the hard-mode negative control,
+// and seed replay through the CLI surface.
+func TestChaosCommand(t *testing.T) {
+	if err := cmdChaos([]string{"-n", "2", "-topo", "ring:5", "-seed", "9"}); err != nil {
+		t.Fatalf("clean campaign failed: %v", err)
+	}
+	// Hard mode with link faults must fail...
+	err := cmdChaos([]string{"-n", "2", "-topo", "ring:5", "-seed", "9", "-hard"})
+	if err == nil {
+		t.Fatal("hard-mode campaign reported no violation")
+	}
+	// ...and an explicit plan runs outside the generator.
+	plan := filepath.Join(t.TempDir(), "plan.json")
+	body := `{"partitions": [{"at": 10, "heal": 30, "group": ["n0", "n1"]}]}`
+	if err := os.WriteFile(plan, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdChaos([]string{"-topo", "ring:5", "-plan", plan}); err != nil {
+		t.Fatalf("explicit-plan chaos run failed: %v", err)
+	}
+}
+
 func TestVerifyAutoExplain(t *testing.T) {
 	err := cmdVerify([]string{"-auto", "--explain", "-theorem", "bestPathCostStrong",
 		"../../examples/ndlog/pathvector.ndlog"})

@@ -1,0 +1,327 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/ndlog"
+	"repro/internal/netgraph"
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+// This file is the chaos-campaign layer: execute a routing program under
+// a declarative fault plan, then check the paper's verified properties
+// against the ground truth of the surviving topology. A campaign runs N
+// such executions across derived seeds; any violation reports the seed
+// and plan for one-command replay.
+
+// ChaosOptions configures one chaos execution.
+type ChaosOptions struct {
+	// Seed drives everything random in the run (scan shuffle, fault
+	// channels); the same seed replays the identical run.
+	Seed uint64
+	// Lifetime is the soft-state lifetime every materialize declaration
+	// is rewritten to (unless Hard), so stale derivations expire instead
+	// of persisting forever — the paper's soft-state recovery argument.
+	Lifetime float64
+	// RefreshInterval spaces the soft-state refresh waves that keep live
+	// state alive (must be < Lifetime).
+	RefreshInterval float64
+	// Settle is how long after the plan's last fault the network gets to
+	// reconverge before the first sample. Stale soft state flushes in a
+	// staircase: a refresh wave can re-derive a stale downstream entry
+	// from a stale upstream one right up until the upstream expires, so a
+	// dead chain of depth k takes (k+1)·Lifetime to drain. Zero (the
+	// default) sizes the window to that bound: (nodes+1)·Lifetime plus
+	// two refresh intervals — no derivation chain is deeper than a
+	// simple path.
+	Settle float64
+	// Quiet is the gap between the two stability samples: a converged
+	// network shows identical bestPathCost digests Quiet apart.
+	Quiet float64
+	// MaxTime bounds the run outright (0: derived from the plan horizon).
+	MaxTime float64
+	// Hard skips the soft-state rewrite and the refresh driver, running
+	// the program exactly as written. Hard-state programs cannot retract
+	// routes through dead links, so under link faults the safety
+	// invariant is expected to fail — the campaign's own negative control
+	// (and the demonstration that replay reproduces a violation).
+	Hard bool
+	// Obs and Trace are passed through to the network.
+	Obs   *obs.Collector
+	Trace *obs.Tracer
+}
+
+// DefaultChaosOptions returns the campaign defaults: a short lifetime
+// with three refresh waves per lifetime (so live state never blinks) and
+// the settle window auto-sized to the staleness-flush bound.
+func DefaultChaosOptions() ChaosOptions {
+	return ChaosOptions{
+		Lifetime:        12,
+		RefreshInterval: 4,
+		Settle:          0, // auto: (nodes+1)·Lifetime + 2·RefreshInterval
+		Quiet:           12,
+	}
+}
+
+// ChaosReport is the outcome of one chaos execution.
+type ChaosReport struct {
+	Seed       uint64
+	Plan       *faults.Plan
+	Stable     bool     // bestPathCost digest unchanged across the Quiet window
+	Violations []string // invariant violations (empty = run passed)
+	Live       []string // nodes up at the end of the run
+	Stats      Stats
+	CheckedAt  float64 // simulated time of the final sample
+}
+
+// Failed reports whether the run violated any invariant.
+func (r *ChaosReport) Failed() bool { return len(r.Violations) > 0 }
+
+// RunChaos executes the program source over topo under plan and checks
+// the route invariants at quiescence. topo is mutated in place by the
+// faults; pass a fresh topology per run.
+func RunChaos(src string, topo *netgraph.Topology, plan *faults.Plan, o ChaosOptions) (*ChaosReport, error) {
+	if o.Lifetime <= 0 || o.RefreshInterval <= 0 || o.Quiet <= 0 {
+		d := DefaultChaosOptions()
+		if o.Lifetime <= 0 {
+			o.Lifetime = d.Lifetime
+		}
+		if o.RefreshInterval <= 0 {
+			o.RefreshInterval = d.RefreshInterval
+		}
+		if o.Quiet <= 0 {
+			o.Quiet = d.Quiet
+		}
+	}
+	if o.Settle <= 0 {
+		// Staleness-flush bound: each hop of a dead derivation chain takes
+		// one Lifetime to drain (the wave re-derives hop k from hop k-1
+		// until k-1 expires), and no chain is deeper than a simple path.
+		o.Settle = float64(len(topo.Nodes)+1)*o.Lifetime + 2*o.RefreshInterval
+	}
+	prog, err := ndlog.Parse("chaos", src)
+	if err != nil {
+		return nil, err
+	}
+	if !o.Hard {
+		soften(prog, o.Lifetime)
+	}
+	horizon := plan.Horizon()
+	stableFrom := horizon + o.Settle
+	checkAt := stableFrom + o.Quiet
+	maxTime := o.MaxTime
+	if maxTime < checkAt+1 {
+		maxTime = checkAt + 1
+	}
+	net, err := NewNetwork(prog, topo, Options{
+		MaxTime:           maxTime,
+		DefaultLatency:    1,
+		Seed:              o.Seed,
+		LoadTopologyLinks: true,
+		Obs:               o.Obs,
+		Trace:             o.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := net.ApplyPlan(plan); err != nil {
+		return nil, err
+	}
+	if !o.Hard {
+		net.InjectRefresh(o.RefreshInterval, o.RefreshInterval, checkAt+o.RefreshInterval)
+	}
+
+	rep := &ChaosReport{Seed: o.Seed, Plan: plan}
+	if _, err := net.RunUntil(stableFrom); err != nil {
+		return nil, err
+	}
+	d1 := net.Snapshot("bestPathCost")
+	if _, err := net.RunUntil(checkAt); err != nil {
+		return nil, err
+	}
+	d2 := net.Snapshot("bestPathCost")
+	rep.Stable = d1 == d2
+	rep.Live = net.LiveNodes()
+	rep.Stats = net.Stats()
+	rep.CheckedAt = net.Now()
+
+	if !rep.Stable {
+		rep.Violations = append(rep.Violations,
+			"liveness: bestPathCost still changing between samples (not converged)")
+	}
+	rep.Violations = append(rep.Violations, checkRoutes(net)...)
+	if v := checkConservation(net); v != "" {
+		rep.Violations = append(rep.Violations, v)
+	}
+	return rep, nil
+}
+
+// soften rewrites every materialize declaration to the given soft-state
+// lifetime, turning a hard-state program into the refresh-driven
+// soft-state form the paper's recovery argument assumes.
+func soften(p *ndlog.Program, lifetime float64) {
+	for i := range p.Materialized {
+		p.Materialized[i].Lifetime = ndlog.Lifetime{Seconds: lifetime}
+	}
+}
+
+// checkRoutes verifies the safety invariant: on every live node, the
+// bestPathCost table equals the all-pairs shortest costs of the surviving
+// topology (both directions: no stale or wrong entry, no missing route),
+// and every bestPath entry is a valid path of matching cost.
+func checkRoutes(net *Network) []string {
+	var out []string
+	truth := net.Topology().ShortestCosts()
+	hasLink := map[string]int64{}
+	for _, l := range net.Topology().Links {
+		hasLink[l.Src+"|"+l.Dst] = l.Cost
+	}
+	for _, src := range net.LiveNodes() {
+		want := truth[src]
+		got := map[string]int64{}
+		for _, tup := range net.Query(src, "bestPathCost") {
+			got[tup[1].S] = tup[2].I
+		}
+		for dst, c := range want {
+			if net.NodeDown(dst) {
+				continue // a reachable-by-topo but crashed node holds no state; routes to it are checked below
+			}
+			gc, ok := got[dst]
+			if !ok {
+				out = append(out, fmt.Sprintf("safety: %s has no bestPathCost to %s (want %d)", src, dst, c))
+			} else if gc != c {
+				out = append(out, fmt.Sprintf("safety: %s bestPathCost to %s = %d, want %d", src, dst, gc, c))
+			}
+		}
+		for dst, gc := range got {
+			if _, ok := want[dst]; !ok {
+				out = append(out, fmt.Sprintf("safety: %s has stale bestPathCost to unreachable %s (= %d)", src, dst, gc))
+			}
+		}
+		// bestPath entries: cost agrees with bestPathCost truth and the
+		// path vector is a real path in the surviving topology.
+		for _, tup := range net.Query(src, "bestPath") {
+			dst, p, c := tup[1].S, tup[2], tup[3].I
+			wc, ok := want[dst]
+			if !ok {
+				out = append(out, fmt.Sprintf("safety: %s has stale bestPath to unreachable %s", src, dst))
+				continue
+			}
+			if c != wc {
+				out = append(out, fmt.Sprintf("safety: %s bestPath to %s costs %d, want %d", src, dst, c, wc))
+			}
+			if msg := validPath(p, src, dst, c, hasLink); msg != "" {
+				out = append(out, fmt.Sprintf("safety: %s bestPath to %s: %s", src, dst, msg))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// validPath checks that p is a node list from src to dst whose links all
+// exist in the surviving topology and sum to cost.
+func validPath(p value.V, src, dst string, cost int64, hasLink map[string]int64) string {
+	if p.K != value.KindList || len(p.L) < 2 {
+		return fmt.Sprintf("path %s is not a node list", p)
+	}
+	if p.L[0].S != src || p.L[len(p.L)-1].S != dst {
+		return fmt.Sprintf("path %s does not run %s→%s", p, src, dst)
+	}
+	sum := int64(0)
+	for i := 0; i+1 < len(p.L); i++ {
+		c, ok := hasLink[p.L[i].S+"|"+p.L[i+1].S]
+		if !ok {
+			return fmt.Sprintf("path %s uses dead link %s→%s", p, p.L[i].S, p.L[i+1].S)
+		}
+		sum += c
+	}
+	if sum != cost {
+		return fmt.Sprintf("path %s sums to %d, claimed %d", p, sum, cost)
+	}
+	return ""
+}
+
+// checkConservation verifies message accounting on the (truncated) run:
+// every sent message was delivered, dropped, or is still in flight.
+func checkConservation(net *Network) string {
+	s := net.Stats()
+	pending := net.PendingMessages()
+	if s.MessagesSent != s.MessagesDelivered+s.MessagesDropped+pending {
+		return fmt.Sprintf("conservation: sent %d != delivered %d + dropped %d + pending %d",
+			s.MessagesSent, s.MessagesDelivered, s.MessagesDropped, pending)
+	}
+	return ""
+}
+
+// Campaign runs N chaos executions with independently derived seeds.
+type Campaign struct {
+	// Source is the NDlog program under test.
+	Source string
+	// Topo builds a fresh topology per run (each run mutates its own).
+	Topo func() *netgraph.Topology
+	// Runs is the number of seeds to execute.
+	Runs int
+	// BaseSeed derives each run's seed via faults.Mix(BaseSeed, i).
+	BaseSeed uint64
+	// Gen scales the random fault plans.
+	Gen faults.GenOptions
+	// Opts configures each execution (Seed is overwritten per run).
+	Opts ChaosOptions
+}
+
+// SeedFor returns the seed of run i — the value fvn chaos --replay-seed
+// takes to re-execute exactly that run.
+func (c *Campaign) SeedFor(i int) uint64 { return faults.Mix(c.BaseSeed, i) }
+
+// RunSeed executes one chaos run with an explicit seed (replay).
+func (c *Campaign) RunSeed(seed uint64) (*ChaosReport, error) {
+	topo := c.Topo()
+	plan := faults.Generate(seed, topo, c.Gen)
+	o := c.Opts
+	o.Seed = seed
+	return RunChaos(c.Source, topo, plan, o)
+}
+
+// RunOne executes run i of the campaign.
+func (c *Campaign) RunOne(i int) (*ChaosReport, error) { return c.RunSeed(c.SeedFor(i)) }
+
+// Execute runs the whole campaign, writing one line per run (and the
+// seed + plan of every failure, for replay) to w when non-nil. It
+// returns all reports; the error is reserved for setup failures, not
+// invariant violations.
+func (c *Campaign) Execute(w io.Writer) ([]*ChaosReport, error) {
+	var reports []*ChaosReport
+	failures := 0
+	for i := 0; i < c.Runs; i++ {
+		rep, err := c.RunOne(i)
+		if err != nil {
+			return reports, fmt.Errorf("chaos run %d (seed %d): %w", i, c.SeedFor(i), err)
+		}
+		reports = append(reports, rep)
+		if rep.Failed() {
+			failures++
+			if w != nil {
+				fmt.Fprintf(w, "run %3d seed %-20d FAIL  %s\n", i, rep.Seed, rep.Plan.Summary())
+				for _, v := range rep.Violations {
+					fmt.Fprintf(w, "      %s\n", v)
+				}
+				fmt.Fprintf(w, "      replay: fvn chaos --replay-seed %d\n      plan: %s\n",
+					rep.Seed, strings.ReplaceAll(string(rep.Plan.JSON()), "\n", "\n      "))
+			}
+		} else if w != nil {
+			fmt.Fprintf(w, "run %3d seed %-20d ok    live=%d msgs=%d dup=%d drop=%d crash=%d  %s\n",
+				i, rep.Seed, len(rep.Live), rep.Stats.MessagesSent, rep.Stats.MessagesDuplicated,
+				rep.Stats.MessagesDropped, rep.Stats.Crashes, rep.Plan.Summary())
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "campaign: %d runs, %d failed\n", c.Runs, failures)
+	}
+	return reports, nil
+}

@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/netgraph"
+	"repro/internal/obs"
+)
+
+// TestChaosCleanRun: no faults at all — the softened, refresh-driven
+// path-vector program must converge to the exact shortest-path truth.
+func TestChaosCleanRun(t *testing.T) {
+	rep, err := RunChaos(pathVectorSrc, netgraph.Ring(5), &faults.Plan{}, ChaosOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("clean run violated invariants:\n%v", rep.Violations)
+	}
+	if len(rep.Live) != 5 {
+		t.Errorf("live = %v, want all 5", rep.Live)
+	}
+}
+
+// TestChaosCampaignHoldsInvariants is the core acceptance check: random
+// fault plans (flaps, crash/restart, partitions with heal, channel
+// noise) across seeds, every run converging back to the shortest paths
+// of whatever topology survives.
+func TestChaosCampaignHoldsInvariants(t *testing.T) {
+	c := &Campaign{
+		Source:   pathVectorSrc,
+		Topo:     func() *netgraph.Topology { return netgraph.Ring(6) },
+		Runs:     8,
+		BaseSeed: 42,
+		Gen:      faults.DefaultGenOptions(),
+		Opts:     DefaultChaosOptions(),
+	}
+	reports, err := c.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reports {
+		if rep.Failed() {
+			t.Errorf("run %d (seed %d) failed:\n  plan: %s\n  violations: %v",
+				i, rep.Seed, rep.Plan.Summary(), rep.Violations)
+		}
+	}
+}
+
+// TestChaosHardModeViolatesAndReplays: hard state cannot retract routes
+// through dead links, so a plan that permanently kills a link must
+// produce a safety violation — and replaying the same seed must
+// reproduce the identical report (the one-command-replay contract).
+func TestChaosHardModeViolatesAndReplays(t *testing.T) {
+	plan := &faults.Plan{
+		Links: []faults.LinkFault{{A: "n0", B: "n1", Flaps: []faults.Flap{{Down: 10}}}},
+	}
+	o := DefaultChaosOptions()
+	o.Seed = 7
+	o.Hard = true
+	run := func() *ChaosReport {
+		rep, err := RunChaos(pathVectorSrc, netgraph.Ring(5), plan, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1, r2 := run(), run()
+	if !r1.Failed() {
+		t.Fatal("hard-state run with a permanent link failure reported no violation")
+	}
+	if !reflect.DeepEqual(r1.Violations, r2.Violations) || r1.Stats != r2.Stats {
+		t.Errorf("replay diverged:\n%v\n%v", r1.Violations, r2.Violations)
+	}
+}
+
+// TestChaosSameSeedBitForBit: the full chaos pipeline (generated plan
+// with flaps, crash/restart, channel noise) is bit-for-bit reproducible:
+// identical stats and identical trace streams.
+func TestChaosSameSeedBitForBit(t *testing.T) {
+	run := func() (Stats, []string) {
+		ring := obs.NewRingSink(100000)
+		c := &Campaign{
+			Source:   pathVectorSrc,
+			Topo:     func() *netgraph.Topology { return netgraph.Ring(6) },
+			BaseSeed: 3,
+			Gen:      faults.DefaultGenOptions(),
+			Opts:     DefaultChaosOptions(),
+		}
+		c.Opts.Trace = obs.NewTracer(ring)
+		rep, err := c.RunOne(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lines []string
+		for _, e := range ring.Events() {
+			lines = append(lines, fmt.Sprintf("%+v", e))
+		}
+		return rep.Stats, lines
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if s1 != s2 {
+		t.Errorf("stats diverge:\n%+v\n%+v", s1, s2)
+	}
+	if len(t1) != len(t2) {
+		t.Fatalf("trace lengths diverge: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("trace diverges at line %d:\n%s\n%s", i, t1[i], t2[i])
+		}
+	}
+}

@@ -40,17 +40,26 @@ func Localize(an *ndlog.Analysis) (*ndlog.Program, error) {
 			out.Rules = append(out.Rules, r)
 			continue
 		}
-		fwdRule, localRule, err := splitRule(r, locs)
+		fwdRule, localRule, fwdMat, err := splitRule(prog, r, locs)
 		if err != nil {
 			return nil, err
 		}
 		out.Rules = append(out.Rules, fwdRule, localRule)
+		if fwdMat != nil {
+			out.Materialized = append(out.Materialized, *fwdMat)
+		}
 	}
 	return out, nil
 }
 
-// splitRule performs the two-location rewrite.
-func splitRule(r *ndlog.Rule, locs []string) (fwd, local *ndlog.Rule, err error) {
+// splitRule performs the two-location rewrite. When the link atom's
+// predicate is materialized, the forwarded predicate inherits its
+// lifetime (and the projection of its primary key): the fwd tuple is a
+// replica of X-side state held at Y, so it must live — and expire —
+// exactly like its source. Without this, a soft-state program leaves an
+// immortal copy of every dead link at the far endpoint, and refresh
+// waves keep re-deriving routes over it forever.
+func splitRule(prog *ndlog.Program, r *ndlog.Rule, locs []string) (fwd, local *ndlog.Rule, fwdMat *ndlog.Materialize, err error) {
 	// Identify the link atom: the first body atom mentioning both
 	// location variables; X is its own location, Y the other.
 	var linkAtom *ndlog.Atom
@@ -65,7 +74,7 @@ func splitRule(r *ndlog.Rule, locs []string) (fwd, local *ndlog.Rule, err error)
 		}
 	}
 	if linkAtom == nil {
-		return nil, nil, fmt.Errorf("dist: rule %s: no link atom joining %v", r.Label, locs)
+		return nil, nil, nil, fmt.Errorf("dist: rule %s: no link atom joining %v", r.Label, locs)
 	}
 	locOf := func(a *ndlog.Atom) string {
 		if a.Loc >= 0 {
@@ -77,7 +86,7 @@ func splitRule(r *ndlog.Rule, locs []string) (fwd, local *ndlog.Rule, err error)
 	}
 	x := locOf(linkAtom)
 	if x == "" {
-		return nil, nil, fmt.Errorf("dist: rule %s: link atom %s has no variable location", r.Label, linkAtom.Pred)
+		return nil, nil, nil, fmt.Errorf("dist: rule %s: link atom %s has no variable location", r.Label, linkAtom.Pred)
 	}
 	y := locs[0]
 	if y == x {
@@ -184,7 +193,47 @@ func splitRule(r *ndlog.Rule, locs []string) (fwd, local *ndlog.Rule, err error)
 		Body:   localBody,
 		Delete: r.Delete,
 	}
-	return fwd, local, nil
+
+	// Inherit the link atom's materialization for the forwarded state.
+	if m, ok := prog.MaterializedPred(linkAtom.Pred); ok {
+		fwdMat = &ndlog.Materialize{
+			Pred:     fwdPred,
+			Lifetime: m.Lifetime,
+			MaxSize:  m.MaxSize,
+			Keys:     projectKeys(m.Keys, linkAtom, fwdArgs),
+		}
+	}
+	return fwd, local, fwdMat, nil
+}
+
+// projectKeys maps the link atom's primary-key columns onto the
+// forwarded tuple: each key column that is a variable carried by the fwd
+// tuple becomes the corresponding fwd column (1-based). If any key
+// column is not carried, the projection is lossy and the fwd tuple falls
+// back to full-tuple (set) keying — nil keys.
+func projectKeys(keys []int, linkAtom *ndlog.Atom, fwdArgs []ndlog.Expr) []int {
+	var out []int
+	for _, k := range keys {
+		if k < 1 || k > len(linkAtom.Args) {
+			return nil
+		}
+		v, ok := linkAtom.Args[k-1].(ndlog.VarE)
+		if !ok {
+			return nil
+		}
+		found := 0
+		for i, a := range fwdArgs {
+			if fv, ok := a.(ndlog.VarE); ok && fv.Name == v.Name {
+				found = i + 1
+				break
+			}
+		}
+		if found == 0 {
+			return nil
+		}
+		out = append(out, found)
+	}
+	return out
 }
 
 func sortedVarNames(set map[string]bool) []string {

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/ndlog"
 	"repro/internal/netgraph"
 	"repro/internal/obs"
@@ -22,9 +24,20 @@ type Options struct {
 	// link latency for the destination (e.g. multi-hop control messages).
 	DefaultLatency float64
 	// LossRate drops each message with this probability (deterministic
-	// pseudo-randomness from Seed).
+	// pseudo-randomness from Seed). It predates the fault-channel model
+	// below and draws from its own global stream, so existing seeded runs
+	// are unchanged by the channel machinery.
 	LossRate float64
-	Seed     uint64
+	// DupRate delivers an extra copy of each message with this
+	// probability; DelayJitter adds a uniform [0,DelayJitter) to each
+	// message's latency; ReorderRate additionally delays a message by up
+	// to twice the link latency so it can arrive behind later traffic.
+	// These populate the default fault channel (see internal/faults);
+	// per-link overrides come from ApplyPlan.
+	DupRate     float64
+	DelayJitter float64
+	ReorderRate float64
+	Seed        uint64
 	// LoadTopologyLinks populates each node's link table from the topology
 	// (link(@src, dst, cost)). Enabled for programs that declare link/3.
 	LoadTopologyLinks bool
@@ -45,15 +58,18 @@ func DefaultOptions() Options {
 
 // Stats aggregates runtime counters.
 type Stats struct {
-	MessagesSent      int
-	MessagesDelivered int
-	MessagesDropped   int
-	TupleUpdates      int
-	Derivations       int
-	JoinProbes        int
-	RouteChanges      int // keyed-table replacements
-	Expirations       int
-	Flips             int // A→B→A value oscillations on one key
+	MessagesSent       int
+	MessagesDelivered  int
+	MessagesDropped    int
+	MessagesDuplicated int // extra copies created by fault channels (each also counts as sent)
+	TupleUpdates       int
+	Derivations        int
+	JoinProbes         int
+	RouteChanges       int // keyed-table replacements
+	Expirations        int
+	Flips              int // A→B→A value oscillations on one key
+	Crashes            int
+	Restarts           int
 }
 
 // Result summarizes a run.
@@ -67,9 +83,13 @@ type Result struct {
 // "dist"); Stats() is a view over these.
 type netMetrics struct {
 	sent, delivered, dropped  *obs.Counter
+	duplicated                *obs.Counter
 	tupleUpdates, derivations *obs.Counter
 	joinProbes, routeChanges  *obs.Counter
 	expirations, flips        *obs.Counter
+	crashes, restarts         *obs.Counter
+	partitions                *obs.Counter
+	linkDowns, linkUps        *obs.Counter
 }
 
 // distRuleObs holds the per-rule handles for one localized rule. eval is
@@ -123,6 +143,49 @@ type Network struct {
 	TraceFlips func(at float64, node, pred string, old, new value.Tuple)
 	rngState   uint64
 
+	// Fault channels: defaultChan comes from Options (DupRate etc.) or a
+	// plan's Default; chanOverrides holds per-directed-link channels from
+	// ApplyPlan. chans caches resolved per-link channel state, each with
+	// its own Substream(seed, "chan", src, dst) PRNG, so channel draws are
+	// independent of creation order and of every other fault source.
+	// hasChans gates the whole machinery: when false, sends take exactly
+	// the pre-fault code path (bit-for-bit compatibility).
+	defaultChan   faults.Channel
+	chanOverrides map[string]faults.Channel
+	chans         map[string]*chanState
+	hasChans      bool
+
+	// linkEpoch counts the failures of each directed link. Messages in
+	// flight across a link are stamped with the epoch at send time and
+	// dropped on arrival if the link has since failed (see arrivalDropped).
+	linkEpoch map[string]int
+
+	// partCuts remembers, per partition id, exactly the links a partition
+	// cut, so a heal restores those and nothing else.
+	partCuts map[int][]netgraph.Link
+	nextPart int
+
+	// topoVer counts topology mutations (link up/down); comp caches the
+	// connected-component labels computed at compVer. Message delivery
+	// requires the endpoints to be in the same component at arrival time —
+	// the underlay can reroute around dead links, but it cannot cross a
+	// partition.
+	topoVer int
+	compVer int
+	comp    map[string]int
+
+	// Soft-state refresh driver (InjectRefresh): while refreshing, a
+	// no-op re-insert into a soft-state table re-fires the rules it
+	// triggers — NDlog's periodic refresh, which is what lets restarted
+	// nodes recover state and stale derivations expire. waveSeen dedups
+	// refresh firings per (node, pred, key) within one refresh interval,
+	// so a wave traverses the network once per tick instead of echoing
+	// between neighbors forever.
+	refreshing      bool
+	refreshInterval float64
+	refreshUntil    float64
+	waveSeen        map[string]bool
+
 	// history backs flip detection: key -> last two values. One entry per
 	// (node, pred, table key) ever written, so it grows with total state
 	// touched, not with run length; it is cleared when a run converges
@@ -160,7 +223,20 @@ func NewNetwork(prog *ndlog.Program, topo *netgraph.Topology, opts Options) (*Ne
 		shuf:     store.NewShuffler(opts.Seed),
 		rngState: opts.Seed ^ 0xdeadbeefcafef00d,
 		history:  map[string][2]string{},
+
+		defaultChan: faults.Channel{
+			Dup:     opts.DupRate,
+			Jitter:  opts.DelayJitter,
+			Reorder: opts.ReorderRate,
+		},
+		chanOverrides: map[string]faults.Channel{},
+		chans:         map[string]*chanState{},
+		linkEpoch:     map[string]int{},
+		partCuts:      map[int][]netgraph.Link{},
+		waveSeen:      map[string]bool{},
+		compVer:       -1, // force the first reachability query to compute
 	}
+	n.hasChans = !n.defaultChan.Zero()
 	n.initObs(opts.Obs, opts.Trace)
 	for _, id := range topo.Nodes {
 		n.nodes[id] = n.newNode(id)
@@ -203,12 +279,18 @@ func (n *Network) initObs(col *obs.Collector, tracer *obs.Tracer) {
 		sent:         col.Counter("dist", obs.MMsgSent, ""),
 		delivered:    col.Counter("dist", obs.MMsgDelivered, ""),
 		dropped:      col.Counter("dist", obs.MMsgDropped, ""),
+		duplicated:   col.Counter("dist", obs.MMsgDuplicated, ""),
 		tupleUpdates: col.Counter("dist", obs.MTupleUpdates, ""),
 		derivations:  col.Counter("dist", obs.MDerivations, ""),
 		joinProbes:   col.Counter("dist", obs.MJoinProbes, ""),
 		routeChanges: col.Counter("dist", obs.MRouteChanges, ""),
 		expirations:  col.Counter("dist", obs.MExpirations, ""),
 		flips:        col.Counter("dist", obs.MFlips, ""),
+		crashes:      col.Counter("dist", obs.MNodeCrashes, ""),
+		restarts:     col.Counter("dist", obs.MNodeRestarts, ""),
+		partitions:   col.Counter("dist", obs.MPartitions, ""),
+		linkDowns:    col.Counter("dist", obs.MLinkDowns, ""),
+		linkUps:      col.Counter("dist", obs.MLinkUps, ""),
 	}
 	n.ruleObs = make(map[*ndlog.Rule]*distRuleObs, len(n.prog.Rules))
 	for _, r := range n.prog.Rules {
@@ -228,15 +310,18 @@ func (n *Network) initObs(col *obs.Collector, tracer *obs.Tracer) {
 // struct is derived from the collector on every call.
 func (n *Network) Stats() Stats {
 	return Stats{
-		MessagesSent:      int(n.nm.sent.Value()),
-		MessagesDelivered: int(n.nm.delivered.Value()),
-		MessagesDropped:   int(n.nm.dropped.Value()),
-		TupleUpdates:      int(n.nm.tupleUpdates.Value()),
-		Derivations:       int(n.nm.derivations.Value()),
-		JoinProbes:        int(n.nm.joinProbes.Value()),
-		RouteChanges:      int(n.nm.routeChanges.Value()),
-		Expirations:       int(n.nm.expirations.Value()),
-		Flips:             int(n.nm.flips.Value()),
+		MessagesSent:       int(n.nm.sent.Value()),
+		MessagesDelivered:  int(n.nm.delivered.Value()),
+		MessagesDropped:    int(n.nm.dropped.Value()),
+		MessagesDuplicated: int(n.nm.duplicated.Value()),
+		TupleUpdates:       int(n.nm.tupleUpdates.Value()),
+		Derivations:        int(n.nm.derivations.Value()),
+		JoinProbes:         int(n.nm.joinProbes.Value()),
+		RouteChanges:       int(n.nm.routeChanges.Value()),
+		Expirations:        int(n.nm.expirations.Value()),
+		Flips:              int(n.nm.flips.Value()),
+		Crashes:            int(n.nm.crashes.Value()),
+		Restarts:           int(n.nm.restarts.Value()),
 	}
 }
 
@@ -307,6 +392,11 @@ const (
 	evInject
 	evLinkDown
 	evLinkUp
+	evNodeCrash
+	evNodeRestart
+	evPartition
+	evPartitionHeal
+	evRefresh
 )
 
 type event struct {
@@ -316,9 +406,19 @@ type event struct {
 	node string
 	pred string
 	tup  value.Tuple
+	// messages: origin, and the epoch of the traversed link at send time
+	// (direct is false for multi-hop sends with no topology link, which
+	// no single link failure can kill).
+	from   string
+	epoch  int
+	direct bool
 	// link events
 	a, b string
 	cost int64
+	lat  float64
+	// partition events
+	pid   int
+	group []string
 }
 
 type eventQueue []*event
@@ -347,7 +447,13 @@ func (n *Network) schedule(e *event) {
 }
 
 func (n *Network) scheduleExpiry(node, pred string, tup value.Tuple, at float64) {
-	n.schedule(&event{at: at, kind: evExpiry, node: node, pred: pred, tup: tup})
+	ep := 0
+	if nd := n.nodes[node]; nd != nil {
+		ep = nd.epoch
+	}
+	// The epoch pins the expiry to the node incarnation that scheduled it:
+	// a crash bumps the epoch, cancelling every pending expiry at once.
+	n.schedule(&event{at: at, kind: evExpiry, node: node, pred: pred, tup: tup, epoch: ep})
 }
 
 // Inject schedules the insertion of a tuple at a node (external stimulus).
@@ -366,7 +472,10 @@ func (n *Network) InjectPeriodic(start, interval float64, count int, node, pred 
 }
 
 // FailLink schedules the removal of the link tuples between a and b (both
-// directions) at the given time. In-flight messages still deliver.
+// directions) at the given time. Messages still in flight across the link
+// when it fails are dropped (and traced) on arrival: the failure bumps
+// the link's epoch, and arrivals stamped with an older epoch never left
+// the wire.
 func (n *Network) FailLink(at float64, a, b string) {
 	n.schedule(&event{at: at, kind: evLinkDown, a: a, b: b})
 }
@@ -394,7 +503,106 @@ func (n *Network) FailNode(at float64, node string) {
 // RestoreLink schedules re-insertion of the symmetric link with the given
 // cost.
 func (n *Network) RestoreLink(at float64, a, b string, cost int64) {
-	n.schedule(&event{at: at, kind: evLinkUp, a: a, b: b, cost: cost})
+	n.schedule(&event{at: at, kind: evLinkUp, a: a, b: b, cost: cost, lat: 1})
+}
+
+// CrashNode schedules a true crash: the node's tables are wiped, its
+// pending expiries cancelled, and its links cut — unlike FailNode, which
+// only makes the node unreachable while its state persists.
+func (n *Network) CrashNode(at float64, node string) {
+	n.schedule(&event{at: at, kind: evNodeCrash, node: node})
+}
+
+// RestartNode schedules the restart of a crashed node: it rejoins with
+// empty tables and the links it had when it crashed (less any with a
+// still-down far end) and must recover state via soft-state refresh.
+func (n *Network) RestartNode(at float64, node string) {
+	n.schedule(&event{at: at, kind: evNodeRestart, node: node})
+}
+
+// Partition schedules a cut of every link between group and the rest of
+// the topology, returning a partition id for HealPartition.
+func (n *Network) Partition(at float64, group []string) int {
+	pid := n.nextPart
+	n.nextPart++
+	n.schedule(&event{at: at, kind: evPartition, pid: pid, group: append([]string(nil), group...)})
+	return pid
+}
+
+// HealPartition schedules restoration of exactly the links the partition
+// cut (skipping links whose endpoints have since crashed).
+func (n *Network) HealPartition(at float64, pid int) {
+	n.schedule(&event{at: at, kind: evPartitionHeal, pid: pid})
+}
+
+// InjectRefresh installs the soft-state refresh driver: from start until
+// until, every interval, each live node re-inserts its live link facts,
+// and for the rest of the run no-op re-inserts into soft-state tables
+// re-fire their rules (once per table key per interval) — the periodic
+// refresh that keeps live soft state alive and lets restarted nodes
+// relearn routes, while stale state silently expires.
+func (n *Network) InjectRefresh(start, interval, until float64) {
+	if interval <= 0 {
+		interval = 1
+	}
+	n.refreshing = true
+	n.refreshInterval = interval
+	n.refreshUntil = until
+	n.schedule(&event{at: start, kind: evRefresh})
+}
+
+// ApplyPlan schedules a declarative fault plan against the network: it
+// validates the plan, installs per-link channel overrides, and schedules
+// every flap, crash/restart, and partition/heal. Call before Run.
+func (n *Network) ApplyPlan(p *faults.Plan) error {
+	if err := p.Validate(n.topo); err != nil {
+		return err
+	}
+	if !p.Default.Zero() {
+		n.defaultChan = p.Default
+	}
+	for _, lf := range p.Links {
+		if !lf.Channel.Zero() {
+			n.chanOverrides[lf.A+"|"+lf.B] = lf.Channel
+			n.chanOverrides[lf.B+"|"+lf.A] = lf.Channel
+		}
+		for _, f := range lf.Flaps {
+			n.FailLink(f.Down, lf.A, lf.B)
+			if f.Up > f.Down {
+				cost, lat := n.linkSpec(lf.A, lf.B)
+				n.schedule(&event{at: f.Up, kind: evLinkUp, a: lf.A, b: lf.B, cost: cost, lat: lat})
+			}
+		}
+	}
+	for _, nf := range p.Nodes {
+		n.CrashNode(nf.Crash, nf.Node)
+		if nf.Restart > nf.Crash {
+			n.RestartNode(nf.Restart, nf.Node)
+		}
+	}
+	for _, pt := range p.Partitions {
+		pid := n.Partition(pt.At, pt.Group)
+		if pt.Heal > pt.At {
+			n.HealPartition(pt.Heal, pid)
+		}
+	}
+	n.hasChans = !n.defaultChan.Zero() || len(n.chanOverrides) > 0
+	return nil
+}
+
+// linkSpec returns the current cost and latency of the a→b link (defaults
+// when absent).
+func (n *Network) linkSpec(a, b string) (int64, float64) {
+	for _, l := range n.topo.Links {
+		if l.Src == a && l.Dst == b {
+			lat := l.Latency
+			if lat <= 0 {
+				lat = 1
+			}
+			return l.Cost, lat
+		}
+	}
+	return 1, 1
 }
 
 // rand01 returns a deterministic pseudo-random float in [0,1).
@@ -403,14 +611,268 @@ func (n *Network) rand01() float64 {
 	return float64(n.rngState>>11) / float64(1<<53)
 }
 
-// latency returns the message latency from src to dst.
-func (n *Network) latency(src, dst string) float64 {
+// latency returns the message latency from src to dst and whether a
+// direct topology link carries it.
+func (n *Network) latency(src, dst string) (float64, bool) {
+	direct := false
 	for _, l := range n.topo.Links {
-		if l.Src == src && l.Dst == dst && l.Latency > 0 {
-			return l.Latency
+		if l.Src == src && l.Dst == dst {
+			if l.Latency > 0 {
+				return l.Latency, true
+			}
+			direct = true
 		}
 	}
-	return n.opts.DefaultLatency
+	return n.opts.DefaultLatency, direct
+}
+
+// chanState is the resolved noise model of one directed link, with its
+// own identity-derived PRNG stream.
+type chanState struct {
+	cfg faults.Channel
+	rng *faults.RNG
+}
+
+// chanFor resolves (and caches) the fault channel of the src→dst link:
+// a per-link override from the plan, else the default channel. A nil
+// result means the link is noiseless.
+func (n *Network) chanFor(src, dst string) *chanState {
+	if !n.hasChans {
+		return nil
+	}
+	k := src + "|" + dst
+	if ch, ok := n.chans[k]; ok {
+		return ch
+	}
+	cfg := n.defaultChan
+	if ov, ok := n.chanOverrides[k]; ok {
+		cfg = ov
+	}
+	var ch *chanState
+	if !cfg.Zero() {
+		ch = &chanState{cfg: cfg, rng: faults.Substream(n.opts.Seed, "chan", src, dst)}
+	}
+	n.chans[k] = ch
+	return ch
+}
+
+// sendMessage applies the link's fault channel to one outbound message:
+// duplication (each copy counts as sent and faces loss independently),
+// the legacy global LossRate, channel loss, delay jitter, and reordering
+// delay. Every scheduled copy is stamped with the link epoch so a later
+// link failure drops it in flight.
+func (n *Network) sendMessage(src, dst, pred string, tup value.Tuple) {
+	ch := n.chanFor(src, dst)
+	copies := 1
+	if ch != nil && ch.cfg.Dup > 0 && ch.rng.Float64() < ch.cfg.Dup {
+		copies = 2
+		n.nm.duplicated.Add(1)
+	}
+	lat, direct := n.latency(src, dst)
+	epoch := 0
+	if direct {
+		epoch = n.linkEpoch[src+"|"+dst]
+	}
+	for c := 0; c < copies; c++ {
+		n.nm.sent.Add(1)
+		if n.tracer != nil {
+			n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvMessageSent, From: src, To: dst, Pred: pred, Tuple: tup.String()})
+		}
+		if n.opts.LossRate > 0 && n.rand01() < n.opts.LossRate {
+			n.dropMessage(src, dst, pred, tup)
+			continue
+		}
+		if ch != nil && ch.cfg.Loss > 0 && ch.rng.Float64() < ch.cfg.Loss {
+			n.dropMessage(src, dst, pred, tup)
+			continue
+		}
+		delay := lat
+		if ch != nil {
+			if ch.cfg.Jitter > 0 {
+				delay += ch.rng.Float64() * ch.cfg.Jitter
+			}
+			if ch.cfg.Reorder > 0 && ch.rng.Float64() < ch.cfg.Reorder {
+				delay += ch.rng.Float64() * 2 * lat
+			}
+		}
+		n.schedule(&event{
+			at:     n.now + delay,
+			kind:   evMessage,
+			node:   dst,
+			pred:   pred,
+			tup:    tup,
+			from:   src,
+			epoch:  epoch,
+			direct: direct,
+		})
+	}
+}
+
+func (n *Network) dropMessage(src, dst, pred string, tup value.Tuple) {
+	n.nm.dropped.Add(1)
+	if n.tracer != nil {
+		n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvMessageDropped, From: src, To: dst, Pred: pred, Tuple: tup.String()})
+	}
+}
+
+// arrivalDropped reports (and accounts) a message that cannot be
+// delivered: its link failed while it was in flight, its destination is
+// down, or the endpoints are in different components at arrival time
+// (the underlay reroutes around dead links but cannot cross a
+// partition).
+func (n *Network) arrivalDropped(e *event) bool {
+	if dst := n.nodes[e.node]; dst != nil && dst.down {
+		n.dropMessage(e.from, e.node, e.pred, e.tup)
+		return true
+	}
+	if e.direct && n.linkEpoch[e.from+"|"+e.node] != e.epoch {
+		n.dropMessage(e.from, e.node, e.pred, e.tup)
+		return true
+	}
+	if !n.reachable(e.from, e.node) {
+		n.dropMessage(e.from, e.node, e.pred, e.tup)
+		return true
+	}
+	return false
+}
+
+// reachable reports whether a and b are in the same connected component
+// of the current topology. Components are recomputed lazily after each
+// link up/down.
+func (n *Network) reachable(a, b string) bool {
+	if a == b || a == "" {
+		return true
+	}
+	if n.compVer != n.topoVer {
+		n.recomputeComps()
+	}
+	ca, ok1 := n.comp[a]
+	cb, ok2 := n.comp[b]
+	return ok1 && ok2 && ca == cb
+}
+
+// recomputeComps labels the connected components of the (undirected)
+// surviving topology.
+func (n *Network) recomputeComps() {
+	adj := map[string][]string{}
+	for _, l := range n.topo.Links {
+		adj[l.Src] = append(adj[l.Src], l.Dst)
+		adj[l.Dst] = append(adj[l.Dst], l.Src)
+	}
+	n.comp = make(map[string]int, len(n.topo.Nodes))
+	label := 0
+	for _, start := range n.topo.Nodes {
+		if _, seen := n.comp[start]; seen {
+			continue
+		}
+		frontier := []string{start}
+		n.comp[start] = label
+		for len(frontier) > 0 {
+			cur := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			for _, next := range adj[cur] {
+				if _, seen := n.comp[next]; !seen {
+					n.comp[next] = label
+					frontier = append(frontier, next)
+				}
+			}
+		}
+		label++
+	}
+	n.compVer = n.topoVer
+}
+
+// refreshFire reports whether a no-op re-insert of tup into node's pred
+// table should still fire rules: only while the refresh driver is
+// installed, only for soft-state tables, and at most once per table key
+// per refresh interval (waveSeen is cleared on each refresh tick).
+func (n *Network) refreshFire(node *Node, pred string, tup value.Tuple) bool {
+	if !n.refreshing {
+		return false
+	}
+	t := node.tables[pred]
+	if t == nil || t.Lifetime <= 0 {
+		return false
+	}
+	k := node.ID + "\x00" + pred + "\x00" + t.KeyOf(tup)
+	if n.waveSeen[k] {
+		return false
+	}
+	n.waveSeen[k] = true
+	return true
+}
+
+// linkDown cuts the symmetric a–b link now: it bumps both directed link
+// epochs (dooming in-flight messages), removes the topology link, and
+// deletes the link tuples at both endpoints, recomputing any aggregates
+// over link.
+func (n *Network) linkDown(a, b string) error {
+	n.nm.linkDowns.Add(1)
+	if n.tracer != nil {
+		n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvLinkDown, From: a, To: b})
+	}
+	n.linkEpoch[a+"|"+b]++
+	n.linkEpoch[b+"|"+a]++
+	n.topo.RemoveLink(a, b)
+	n.topoVer++
+	for _, pair := range [][2]string{{a, b}, {b, a}} {
+		node := n.nodes[pair[0]]
+		if node == nil || node.down {
+			continue // a down node's tables are already empty
+		}
+		t, ok := node.tables["link"]
+		if !ok {
+			continue
+		}
+		// Snapshot: the loop deletes while iterating.
+		for _, tup := range t.Snapshot() {
+			if tup[0].S == pair[0] && tup[1].S == pair[1] {
+				t.Delete(tup)
+				n.lastChange = n.now
+				// Aggregates over link recompute.
+				for _, r := range node.aggTriggers["link"] {
+					ds, err := node.recomputeAggregate(r, "link", tup)
+					if err != nil {
+						return err
+					}
+					if err := n.deliver(node, ds); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// linkUp restores the symmetric a–b link now with the given cost and
+// latency, re-inserting the link tuples at both (live) endpoints.
+func (n *Network) linkUp(a, b string, cost int64, lat float64) error {
+	n.nm.linkUps.Add(1)
+	if n.tracer != nil {
+		n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvLinkUp, From: a, To: b, N: cost})
+	}
+	if lat <= 0 {
+		lat = 1
+	}
+	n.topoVer++
+	for _, pair := range [][2]string{{a, b}, {b, a}} {
+		if !n.topo.HasLink(pair[0], pair[1]) {
+			n.topo.Links = append(n.topo.Links, netgraph.Link{Src: pair[0], Dst: pair[1], Cost: cost, Latency: lat})
+		}
+		node := n.nodes[pair[0]]
+		if node == nil || node.down {
+			continue
+		}
+		ds, err := node.insert("link", value.Tuple{value.Addr(pair[0]), value.Addr(pair[1]), value.Int(cost)}, n.now)
+		if err != nil {
+			return err
+		}
+		if err := n.deliver(node, ds); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // noteFlip records value oscillation on a keyed table entry: a key whose
@@ -447,24 +909,7 @@ func (n *Network) deliver(from *Node, ds []derivation) error {
 			work = append(work, more...)
 			continue
 		}
-		n.nm.sent.Add(1)
-		if n.tracer != nil {
-			n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvMessageSent, From: from.ID, To: d.loc, Pred: d.pred, Tuple: d.tup.String()})
-		}
-		if n.opts.LossRate > 0 && n.rand01() < n.opts.LossRate {
-			n.nm.dropped.Add(1)
-			if n.tracer != nil {
-				n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvMessageDropped, From: from.ID, To: d.loc, Pred: d.pred, Tuple: d.tup.String()})
-			}
-			continue
-		}
-		n.schedule(&event{
-			at:   n.now + n.latency(from.ID, d.loc),
-			kind: evMessage,
-			node: d.loc,
-			pred: d.pred,
-			tup:  d.tup,
-		})
+		n.sendMessage(from.ID, d.loc, d.pred, d.tup)
 	}
 	return nil
 }
@@ -485,9 +930,6 @@ func (n *Network) Run() (Result, error) {
 		n.now = e.at
 		switch e.kind {
 		case evMessage, evInject:
-			if e.kind == evMessage {
-				n.noteDelivered(e)
-			}
 			node, ok := n.nodes[e.node]
 			if !ok {
 				return Result{}, fmt.Errorf("dist: delivery to unknown node %s", e.node)
@@ -497,22 +939,34 @@ func (n *Network) Run() (Result, error) {
 			// buffer before the decision process). Within the batch, later
 			// updates to the same table key supersede earlier ones, so
 			// transient intermediate routes are damped rather than
-			// propagated.
+			// propagated. Messages whose link died in flight, and all
+			// arrivals at a down node, never enter the batch (injections
+			// to a down node are skipped silently — the stimulus has no one
+			// to arrive at — while undeliverable messages count as drops).
 			type update struct {
 				pred string
 				tup  value.Tuple
 			}
-			batch := []update{{e.pred, e.tup}}
+			var batch []update
+			admit := func(ev *event) {
+				if ev.kind == evMessage {
+					if n.arrivalDropped(ev) {
+						return
+					}
+					n.noteDelivered(ev)
+				} else if node.down {
+					return
+				}
+				batch = append(batch, update{ev.pred, ev.tup})
+			}
+			admit(e)
 			for n.queue.Len() > 0 {
 				top := n.queue[0]
 				if top.at != e.at || top.node != e.node || (top.kind != evMessage && top.kind != evInject) {
 					break
 				}
 				heap.Pop(&n.queue)
-				if top.kind == evMessage {
-					n.noteDelivered(top)
-				}
-				batch = append(batch, update{top.pred, top.tup})
+				admit(top)
 			}
 			final := map[string]update{}
 			var order []string
@@ -522,7 +976,10 @@ func (n *Network) Run() (Result, error) {
 					return Result{}, err
 				}
 				if !changed {
-					continue
+					if !n.refreshFire(node, u.pred, u.tup) {
+						continue
+					}
+					key = node.table(u.pred).KeyOf(u.tup)
 				}
 				k := u.pred + "\x00" + key
 				if _, seen := final[k]; !seen {
@@ -542,8 +999,8 @@ func (n *Network) Run() (Result, error) {
 			}
 		case evExpiry:
 			node := n.nodes[e.node]
-			if node == nil {
-				continue
+			if node == nil || node.down || node.epoch != e.epoch {
+				continue // node gone, down, or crashed since scheduling
 			}
 			ds, err := node.expire(e.pred, e.tup, n.now)
 			if err != nil {
@@ -553,56 +1010,153 @@ func (n *Network) Run() (Result, error) {
 				return Result{}, err
 			}
 		case evLinkDown:
-			if n.tracer != nil {
-				n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvLinkDown, From: e.a, To: e.b})
+			if err := n.linkDown(e.a, e.b); err != nil {
+				return Result{}, err
 			}
-			n.topo.RemoveLink(e.a, e.b)
-			for _, pair := range [][2]string{{e.a, e.b}, {e.b, e.a}} {
-				node := n.nodes[pair[0]]
-				if node == nil {
+		case evLinkUp:
+			if err := n.linkUp(e.a, e.b, e.cost, e.lat); err != nil {
+				return Result{}, err
+			}
+		case evNodeCrash:
+			node := n.nodes[e.node]
+			if node == nil || node.down {
+				continue
+			}
+			n.nm.crashes.Add(1)
+			if n.tracer != nil {
+				n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvNodeCrash, Node: e.node})
+			}
+			node.down = true
+			node.epoch++ // cancels every pending expiry of the old incarnation
+			node.tables = map[string]*store.Table{}
+			n.lastChange = n.now
+			// Snapshot the adjacent links (for restart), then cut them.
+			seen := map[string]bool{}
+			var adj []netgraph.Link
+			for _, l := range n.topo.Links {
+				other, cost, lat := "", int64(0), 0.0
+				if l.Src == e.node {
+					other, cost, lat = l.Dst, l.Cost, l.Latency
+				} else if l.Dst == e.node {
+					other, cost, lat = l.Src, l.Cost, l.Latency
+				}
+				if other == "" || seen[other] {
 					continue
 				}
-				t, ok := node.tables["link"]
-				if !ok {
+				seen[other] = true
+				adj = append(adj, netgraph.Link{Src: e.node, Dst: other, Cost: cost, Latency: lat})
+			}
+			node.downLinks = adj
+			for _, l := range adj {
+				if err := n.linkDown(l.Src, l.Dst); err != nil {
+					return Result{}, err
+				}
+			}
+		case evNodeRestart:
+			node := n.nodes[e.node]
+			if node == nil || !node.down {
+				continue
+			}
+			n.nm.restarts.Add(1)
+			if n.tracer != nil {
+				n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvNodeRestart, Node: e.node})
+			}
+			node.down = false
+			n.lastChange = n.now
+			for _, l := range node.downLinks {
+				if far := n.nodes[l.Dst]; far != nil && far.down {
+					continue // far end crashed too; its restart restores the link
+				}
+				lat := l.Latency
+				if lat <= 0 {
+					lat = 1
+				}
+				if err := n.linkUp(l.Src, l.Dst, l.Cost, lat); err != nil {
+					return Result{}, err
+				}
+			}
+			node.downLinks = nil
+		case evPartition:
+			inGroup := map[string]bool{}
+			for _, g := range e.group {
+				inGroup[g] = true
+			}
+			n.nm.partitions.Add(1)
+			if n.tracer != nil {
+				n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvPartition, Name: strings.Join(e.group, ","), N: int64(e.pid)})
+			}
+			seen := map[string]bool{}
+			var cut []netgraph.Link
+			for _, l := range n.topo.Links {
+				if inGroup[l.Src] == inGroup[l.Dst] {
 					continue
 				}
-				// Snapshot: the loop deletes while iterating.
-				for _, tup := range t.Snapshot() {
-					if tup[0].S == pair[0] && tup[1].S == pair[1] {
-						t.Delete(tup)
-						n.lastChange = n.now
-						// Aggregates over link recompute.
-						for _, r := range node.aggTriggers["link"] {
-							ds, err := node.recomputeAggregate(r, "link", tup)
-							if err != nil {
-								return Result{}, err
-							}
-							if err := n.deliver(node, ds); err != nil {
-								return Result{}, err
-							}
-						}
+				a, b := l.Src, l.Dst
+				if a > b {
+					a, b = b, a
+				}
+				if seen[a+"|"+b] {
+					continue
+				}
+				seen[a+"|"+b] = true
+				cut = append(cut, l)
+			}
+			n.partCuts[e.pid] = cut
+			for _, l := range cut {
+				if err := n.linkDown(l.Src, l.Dst); err != nil {
+					return Result{}, err
+				}
+			}
+		case evPartitionHeal:
+			cut := n.partCuts[e.pid]
+			if cut == nil {
+				continue
+			}
+			delete(n.partCuts, e.pid)
+			if n.tracer != nil {
+				n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvPartitionHeal, N: int64(e.pid)})
+			}
+			for _, l := range cut {
+				if na := n.nodes[l.Src]; na != nil && na.down {
+					continue
+				}
+				if nb := n.nodes[l.Dst]; nb != nil && nb.down {
+					continue
+				}
+				lat := l.Latency
+				if lat <= 0 {
+					lat = 1
+				}
+				if err := n.linkUp(l.Src, l.Dst, l.Cost, lat); err != nil {
+					return Result{}, err
+				}
+			}
+		case evRefresh:
+			// New wave: every (node, pred, key) may refresh-fire once more.
+			n.waveSeen = map[string]bool{}
+			if ar, ok := n.an.Arity["link"]; !ok || ar != 3 {
+				continue // program has no link/3 relation to refresh
+			}
+			for _, id := range n.topo.Nodes {
+				node := n.nodes[id]
+				if node == nil || node.down {
+					continue
+				}
+				for _, l := range n.topo.Links {
+					if l.Src != id {
+						continue
+					}
+					ds, err := node.insert("link", value.Tuple{value.Addr(l.Src), value.Addr(l.Dst), value.Int(l.Cost)}, n.now)
+					if err != nil {
+						return Result{}, err
+					}
+					if err := n.deliver(node, ds); err != nil {
+						return Result{}, err
 					}
 				}
 			}
-		case evLinkUp:
-			if n.tracer != nil {
-				n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvLinkUp, From: e.a, To: e.b, N: e.cost})
-			}
-			for _, pair := range [][2]string{{e.a, e.b}, {e.b, e.a}} {
-				if !n.topo.HasLink(pair[0], pair[1]) {
-					n.topo.Links = append(n.topo.Links, netgraph.Link{Src: pair[0], Dst: pair[1], Cost: e.cost, Latency: 1})
-				}
-				node := n.nodes[pair[0]]
-				if node == nil {
-					continue
-				}
-				ds, err := node.insert("link", value.Tuple{value.Addr(pair[0]), value.Addr(pair[1]), value.Int(e.cost)}, n.now)
-				if err != nil {
-					return Result{}, err
-				}
-				if err := n.deliver(node, ds); err != nil {
-					return Result{}, err
-				}
+			if n.now+n.refreshInterval <= n.refreshUntil+1e-9 {
+				n.schedule(&event{at: n.now + n.refreshInterval, kind: evRefresh})
 			}
 		}
 	}
@@ -622,6 +1176,52 @@ func (n *Network) noteDelivered(e *event) {
 		n.tracer.Emit(obs.Event{T: e.at, Kind: obs.EvMessageDelivered, Node: e.node, Pred: e.pred, Tuple: e.tup.String()})
 	}
 }
+
+// RunUntil runs with MaxTime temporarily overridden to t: it processes
+// events up to t and returns, leaving later events queued so a further
+// Run/RunUntil resumes. The chaos campaign uses it to sample state at a
+// chosen instant of a run that never fully quiesces (refresh driver).
+func (n *Network) RunUntil(t float64) (Result, error) {
+	old := n.opts.MaxTime
+	n.opts.MaxTime = t
+	r, err := n.Run()
+	n.opts.MaxTime = old
+	return r, err
+}
+
+// PendingMessages counts the messages still in flight (scheduled but not
+// yet delivered or dropped) — the third leg of message conservation on
+// truncated runs: sent == delivered + dropped + pending.
+func (n *Network) PendingMessages() int {
+	c := 0
+	for _, e := range n.queue {
+		if e.kind == evMessage {
+			c++
+		}
+	}
+	return c
+}
+
+// NodeDown reports whether a node is currently crashed.
+func (n *Network) NodeDown(id string) bool {
+	nd := n.nodes[id]
+	return nd != nil && nd.down
+}
+
+// LiveNodes returns the currently-up nodes in topology order.
+func (n *Network) LiveNodes() []string {
+	var out []string
+	for _, id := range n.topo.Nodes {
+		if !n.NodeDown(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Topology returns the live topology (mutated in place by link and node
+// faults) — the surviving ground truth invariant checks run against.
+func (n *Network) Topology() *netgraph.Topology { return n.topo }
 
 // Now returns the current simulated time.
 func (n *Network) Now() float64 { return n.now }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ndlog"
+	"repro/internal/netgraph"
 	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/value"
@@ -27,6 +28,14 @@ type Node struct {
 	triggers map[string][]trigger
 	// aggRules lists aggregate rules by input predicate.
 	aggTriggers map[string][]*ndlog.Rule
+
+	// Crash state (see Network.CrashNode): down marks the node crashed;
+	// epoch counts crashes, so expiry events scheduled by an earlier
+	// incarnation are recognized as cancelled; downLinks snapshots the
+	// adjacent links at crash time for restoration on restart.
+	down      bool
+	epoch     int
+	downLinks []netgraph.Link
 }
 
 type trigger struct {
@@ -82,8 +91,11 @@ func (n *Node) Tuples(pred string) []value.Tuple {
 // as delta) and recomputes affected aggregate groups.
 func (n *Node) insert(pred string, tup value.Tuple, now float64) ([]derivation, error) {
 	changed, _, err := n.insertQuiet(pred, tup, now)
-	if err != nil || !changed {
+	if err != nil {
 		return nil, err
+	}
+	if !changed && !n.net.refreshFire(n, pred, tup) {
+		return nil, nil
 	}
 	return n.fire(pred, tup)
 }

@@ -1,0 +1,153 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/netgraph"
+)
+
+func TestSubstreamDeterministicAndIndependent(t *testing.T) {
+	a1 := Substream(42, "chan", "n0", "n1")
+	a2 := Substream(42, "chan", "n0", "n1")
+	b := Substream(42, "chan", "n1", "n0")
+	for i := 0; i < 100; i++ {
+		if a1.Uint64() != a2.Uint64() {
+			t.Fatalf("same-label substreams diverge at draw %d", i)
+		}
+	}
+	// Different labels: streams must not coincide (first draws differ).
+	a := Substream(42, "chan", "n0", "n1")
+	if a.Uint64() == b.Uint64() {
+		t.Error("differently-labelled substreams start identically")
+	}
+	// Different seeds: different streams.
+	if Substream(1, "x").Uint64() == Substream(2, "x").Uint64() {
+		t.Error("substreams ignore the seed")
+	}
+}
+
+func TestRNGBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if n := r.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %v", n)
+		}
+		if v := r.Range(2, 5); v < 2 || v >= 5 {
+			t.Fatalf("Range out of range: %v", v)
+		}
+	}
+}
+
+func TestMixSpreadsRunSeeds(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		s := Mix(1, i)
+		if seen[s] {
+			t.Fatalf("Mix(1, %d) collides", i)
+		}
+		seen[s] = true
+	}
+	if Mix(1, 3) != Mix(1, 3) {
+		t.Error("Mix not deterministic")
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := &Plan{
+		Default: Channel{Loss: 0.1, Jitter: 2},
+		Links: []LinkFault{{
+			A: "n0", B: "n1",
+			Channel: Channel{Dup: 0.2, Reorder: 0.3},
+			Flaps:   []Flap{{Down: 10, Up: 20}},
+		}},
+		Nodes:      []NodeFault{{Node: "n2", Crash: 30, Restart: 50}},
+		Partitions: []Partition{{At: 5, Heal: 15, Group: []string{"n0", "n1"}}},
+	}
+	q, err := Parse(p.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Errorf("round trip changed the plan:\n%+v\n%+v", p, q)
+	}
+	if _, err := Parse([]byte("{nope")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	topo := netgraph.Ring(4)
+	good := &Plan{
+		Links:      []LinkFault{{A: "n0", B: "n1", Flaps: []Flap{{Down: 1, Up: 2}}}},
+		Nodes:      []NodeFault{{Node: "n2", Crash: 5}},
+		Partitions: []Partition{{At: 1, Group: []string{"n0"}}},
+	}
+	if err := good.Validate(topo); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	for _, bad := range []*Plan{
+		{Default: Channel{Loss: 1.5}},
+		{Links: []LinkFault{{A: "n0", B: "zzz"}}},
+		{Links: []LinkFault{{A: "n0", B: "n2"}}}, // not a ring link
+		{Nodes: []NodeFault{{Node: "ghost", Crash: 1}}},
+		{Partitions: []Partition{{At: 1, Group: []string{"n0", "n1", "n2", "n3"}}}},
+		{Partitions: []Partition{{At: 1, Group: nil}}},
+	} {
+		if err := bad.Validate(topo); err == nil {
+			t.Errorf("invalid plan accepted: %+v", bad)
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	topo := netgraph.Ring(6)
+	o := DefaultGenOptions()
+	p1 := Generate(99, topo, o)
+	p2 := Generate(99, topo, o)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("same seed generated different plans:\n%s\n%s", p1.JSON(), p2.JSON())
+	}
+	p3 := Generate(100, topo, o)
+	if reflect.DeepEqual(p1, p3) {
+		t.Error("different seeds generated identical plans")
+	}
+}
+
+func TestGeneratePlansAreValidAndBounded(t *testing.T) {
+	o := DefaultGenOptions()
+	for seed := uint64(0); seed < 50; seed++ {
+		for _, topo := range []*netgraph.Topology{netgraph.Ring(6), netgraph.Grid(3, 3), netgraph.Star(5)} {
+			p := Generate(seed, topo, o)
+			if err := p.Validate(topo); err != nil {
+				t.Fatalf("seed %d on %s: generated invalid plan: %v\n%s", seed, topo.Name, err, p.JSON())
+			}
+			if h := p.Horizon(); h > o.Horizon {
+				t.Errorf("seed %d on %s: horizon %v exceeds bound %v", seed, topo.Name, h, o.Horizon)
+			}
+		}
+	}
+}
+
+func TestGenerateCrashWindowsDisjoint(t *testing.T) {
+	o := DefaultGenOptions()
+	o.Crashes = 3
+	o.RestartProb = 1
+	for seed := uint64(0); seed < 20; seed++ {
+		p := Generate(seed, netgraph.Ring(8), o)
+		for i := 0; i < len(p.Nodes); i++ {
+			for j := i + 1; j < len(p.Nodes); j++ {
+				a, b := p.Nodes[i], p.Nodes[j]
+				if a.Node == b.Node {
+					t.Fatalf("seed %d: node %s crashes twice", seed, a.Node)
+				}
+				if a.Crash < b.Restart && b.Crash < a.Restart {
+					t.Fatalf("seed %d: crash windows overlap: %+v %+v", seed, a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"sort"
+
+	"repro/internal/netgraph"
+)
+
+// GenOptions scales random plan generation. The zero value generates an
+// empty plan; DefaultGenOptions is the campaign default.
+type GenOptions struct {
+	// Horizon bounds the fault schedule: every flap, crash, restart,
+	// partition, and heal lands in [0, Horizon].
+	Horizon float64
+	// Flaps is how many link down→up cycles to schedule.
+	Flaps int
+	// Crashes is how many node crash/restart cycles to schedule. Crash
+	// windows never overlap (each cycle gets its own slot of the second
+	// half of the horizon), so restored links are never lost to
+	// concurrent crashes.
+	Crashes int
+	// RestartProb is the probability a crashed node restarts (vs staying
+	// down for the rest of the run).
+	RestartProb float64
+	// PartitionProb is the probability the plan includes one partition.
+	PartitionProb float64
+	// HealProb is the probability the partition heals before the horizon.
+	HealProb float64
+	// ChannelProb is the per-undirected-link probability of a noisy
+	// channel; magnitudes are drawn up to the Max* bounds.
+	ChannelProb float64
+	MaxLoss     float64
+	MaxDup      float64
+	MaxJitter   float64
+	MaxReorder  float64
+}
+
+// DefaultGenOptions returns the chaos-campaign defaults: a mix of
+// channel noise, two flaps, one crash/restart cycle, and an occasional
+// healed partition inside a 100-time-unit horizon.
+func DefaultGenOptions() GenOptions {
+	return GenOptions{
+		Horizon:       100,
+		Flaps:         2,
+		Crashes:       1,
+		RestartProb:   0.9,
+		PartitionProb: 0.4,
+		HealProb:      0.9,
+		ChannelProb:   0.5,
+		MaxLoss:       0.15,
+		MaxDup:        0.2,
+		MaxJitter:     2,
+		MaxReorder:    0.3,
+	}
+}
+
+// Generate builds a random fault plan for the topology, fully determined
+// by seed: every fault family draws from its own substream, so e.g.
+// changing the flap count never changes which channels are noisy.
+func Generate(seed uint64, topo *netgraph.Topology, o GenOptions) *Plan {
+	p := &Plan{}
+	links := undirected(topo)
+	if len(links) == 0 || o.Horizon <= 0 {
+		return p
+	}
+	byPair := map[string]*LinkFault{}
+	fault := func(l netgraph.Link) *LinkFault {
+		k := l.Src + "|" + l.Dst
+		if f, ok := byPair[k]; ok {
+			return f
+		}
+		p.Links = append(p.Links, LinkFault{A: l.Src, B: l.Dst})
+		f := &p.Links[len(p.Links)-1]
+		byPair[k] = f
+		return f
+	}
+
+	// Channel noise: one independent draw per undirected link.
+	chRNG := Substream(seed, "gen", "chan")
+	for _, l := range links {
+		if chRNG.Float64() >= o.ChannelProb {
+			continue
+		}
+		fault(l).Channel = Channel{
+			Loss:    chRNG.Float64() * o.MaxLoss,
+			Dup:     chRNG.Float64() * o.MaxDup,
+			Jitter:  chRNG.Float64() * o.MaxJitter,
+			Reorder: chRNG.Float64() * o.MaxReorder,
+		}
+	}
+
+	// Link flaps in the first half of the horizon, so the network has the
+	// second half to digest crashes and still reconverge.
+	flapRNG := Substream(seed, "gen", "flap")
+	for i := 0; i < o.Flaps; i++ {
+		l := links[flapRNG.Intn(len(links))]
+		down := flapRNG.Range(0.05, 0.35) * o.Horizon
+		up := down + flapRNG.Range(0.05, 0.15)*o.Horizon
+		fault(l).Flaps = append(fault(l).Flaps, Flap{Down: down, Up: up})
+	}
+
+	// One optional partition early in the run.
+	partRNG := Substream(seed, "gen", "partition")
+	if partRNG.Float64() < o.PartitionProb && len(topo.Nodes) >= 3 {
+		at := partRNG.Range(0.05, 0.2) * o.Horizon
+		heal := 0.0
+		if partRNG.Float64() < o.HealProb {
+			heal = at + partRNG.Range(0.1, 0.25)*o.Horizon
+		}
+		// A contiguous prefix of the sorted node list keeps ring/grid cuts
+		// small and both sides nonempty.
+		nodes := append([]string(nil), topo.Nodes...)
+		sort.Strings(nodes)
+		k := 1 + partRNG.Intn(len(nodes)-1)
+		p.Partitions = append(p.Partitions, Partition{At: at, Heal: heal, Group: nodes[:k]})
+	}
+
+	// Crash/restart cycles in disjoint slots of the second half.
+	crashRNG := Substream(seed, "gen", "crash")
+	if o.Crashes > 0 {
+		nodes := append([]string(nil), topo.Nodes...)
+		sort.Strings(nodes)
+		lo, hi := 0.5*o.Horizon, 0.95*o.Horizon
+		slot := (hi - lo) / float64(o.Crashes)
+		for i := 0; i < o.Crashes && len(nodes) > 0; i++ {
+			idx := crashRNG.Intn(len(nodes))
+			node := nodes[idx]
+			nodes = append(nodes[:idx], nodes[idx+1:]...) // each node crashes at most once
+			start := lo + float64(i)*slot
+			crash := start + crashRNG.Float64()*0.2*slot
+			restart := 0.0
+			if crashRNG.Float64() < o.RestartProb {
+				restart = crash + crashRNG.Range(0.2, 0.7)*slot
+			}
+			p.Nodes = append(p.Nodes, NodeFault{Node: node, Crash: crash, Restart: restart})
+		}
+	}
+	return p
+}

@@ -33,15 +33,23 @@ const (
 	MTacticMs    = "tactic_ms"    // histogram: per-invocation duration
 
 	// Distributed-runtime counters (component "dist", no label).
-	MMsgSent      = "msg_sent"
-	MMsgDelivered = "msg_delivered"
-	MMsgDropped   = "msg_dropped"
-	MTupleUpdates = "tuple_updates"
-	MDerivations  = "derivations"
-	MJoinProbes   = "join_probes"
-	MRouteChanges = "route_changes"
-	MExpirations  = "expirations"
-	MFlips        = "flips"
+	MMsgSent       = "msg_sent"
+	MMsgDelivered  = "msg_delivered"
+	MMsgDropped    = "msg_dropped"
+	MMsgDuplicated = "msg_duplicated" // extra copies created by fault channels
+	MTupleUpdates  = "tuple_updates"
+	MDerivations   = "derivations"
+	MJoinProbes    = "join_probes"
+	MRouteChanges  = "route_changes"
+	MExpirations   = "expirations"
+	MFlips         = "flips"
+
+	// Fault-injection counters (component "dist", no label).
+	MNodeCrashes  = "node_crashes"
+	MNodeRestarts = "node_restarts"
+	MPartitions   = "partitions"
+	MLinkDowns    = "link_downs"
+	MLinkUps      = "link_ups"
 
 	// Model-checker search counters (component "mc"; worker expansions are
 	// labelled w0..wN-1, everything else is unlabelled).

@@ -28,6 +28,12 @@ const (
 	EvLinkUp    = "link_up"
 	EvRunEnd    = "run_end" // simulation quiesced or hit MaxTime (N=1 if converged)
 
+	// Fault injection (see internal/faults and dist.ApplyPlan).
+	EvNodeCrash     = "node_crash"     // tables wiped, expiries cancelled, links cut
+	EvNodeRestart   = "node_restart"   // rejoins empty; recovers via refresh
+	EvPartition     = "partition"      // Name = group, N = partition id
+	EvPartitionHeal = "partition_heal" // N = partition id
+
 	// Prover.
 	EvProofStep = "proof_step" // one user-visible tactic (N = primitive inferences)
 
