@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench chaos-smoke experiments
+.PHONY: all build vet test race bench chaos-smoke verify-smoke experiments
 
 all: vet build test
 
@@ -17,10 +17,13 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_PR5.json
 
 chaos-smoke:
 	$(GO) run -race ./cmd/fvn chaos -n 25 -topo ring:6
+
+verify-smoke:
+	$(GO) run -race ./cmd/fvn verify -suite -workers 4 -explain
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

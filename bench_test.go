@@ -28,6 +28,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/translate"
 	"repro/internal/value"
+	"repro/internal/verify"
 )
 
 // --- E1: the full pipeline ---------------------------------------------------
@@ -868,4 +869,79 @@ t1 twoHop(@S,D) :- link(@S,Z,C1), link(@Z,D,C2).
 			}
 		}
 	})
+}
+
+// --- PR5: interned kernel and the proof-obligation pipeline --------------------
+
+// benchObligations builds the grind-heavy theorem workload: the path-vector
+// proof corpus plus the component preservation theorems, three copies each,
+// so the obligation cache has duplicates to amortize (as a real suite does
+// when composed systems share factor obligations).
+func benchObligations(b *testing.B) []verify.Obligation {
+	b.Helper()
+	pv, err := verify.PathVectorObligations()
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp, err := verify.ComponentObligations()
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := append(pv, comp...)
+	var out []verify.Obligation
+	for copyN := 0; copyN < 3; copyN++ {
+		for _, ob := range base {
+			ob.Name = fmt.Sprintf("%s#%d", ob.Name, copyN)
+			out = append(out, ob)
+		}
+	}
+	return out
+}
+
+// BenchmarkProveObligations compares the retained seed kernel against the
+// interned kernel, the obligation cache, and the worker pool on the same
+// obligation suite. A fresh pipeline per iteration keeps the cache
+// honest: hits come only from duplicates within the suite.
+func BenchmarkProveObligations(b *testing.B) {
+	obls := benchObligations(b)
+	run := func(b *testing.B, opts verify.Options) {
+		for i := 0; i < b.N; i++ {
+			rep := verify.NewPipeline(opts).Run(obls)
+			if !rep.AllProved() {
+				b.Fatalf("%d obligations failed", rep.Failed())
+			}
+		}
+	}
+	b.Run("seed", func(b *testing.B) { run(b, verify.Options{Workers: 1, Structural: true}) })
+	b.Run("interned", func(b *testing.B) { run(b, verify.Options{Workers: 1}) })
+	b.Run("interned_cache", func(b *testing.B) { run(b, verify.Options{Workers: 1, Cache: true}) })
+	b.Run("workers_1", func(b *testing.B) { run(b, verify.Options{Workers: 1, Cache: true}) })
+	b.Run("workers_2", func(b *testing.B) { run(b, verify.Options{Workers: 2, Cache: true}) })
+	b.Run("workers_4", func(b *testing.B) { run(b, verify.Options{Workers: 4, Cache: true}) })
+}
+
+// BenchmarkGrindSplitWorkers measures parallel split-branch discharge
+// inside a single grind call (the other parallelism axis).
+func BenchmarkGrindSplitWorkers(b *testing.B) {
+	p, err := core.PathVector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers_%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pr, err := prover.New(p.Theory, "bestPathCostStrong")
+				if err != nil {
+					b.Fatal(err)
+				}
+				pr.EnableWorkers(w)
+				if err := pr.RunScript(`(skosimp*) (expand "bestPathCost") (flatten) (grind)`); err != nil {
+					b.Fatal(err)
+				}
+				if !pr.QED() {
+					b.Fatal("grind failed")
+				}
+			}
+		})
+	}
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prover"
 	"repro/internal/translate"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -45,7 +46,11 @@ func main() {
 	case "translate":
 		err = cmdTranslate(os.Args[2:])
 	case "verify":
-		err = cmdVerify(os.Args[2:])
+		if hasFlag(os.Args[2:], "suite") {
+			err = cmdVerifySuite(os.Args[2:])
+		} else {
+			err = cmdVerify(os.Args[2:])
+		}
 	case "run":
 		err = cmdRun(os.Args[2:])
 	case "chaos":
@@ -69,7 +74,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fvn <translate|verify|run|chaos|mc|algebra|demo> [flags]
   translate <file.ndlog>                     print the logical specification
-  verify <file.ndlog> -theorem T [-script F | -auto]
+  verify <file.ndlog> -theorem T [-script F | -auto] [-workers N]
+  verify -suite [-workers N] [-cache=false] [-seed-kernel] [-explain]
+                                             discharge the full obligation suite
   run <file.ndlog> -topo <line|ring|grid|clique|star|tree|rand>:<n> [-pred P]
       [-loss R] [-dup R] [-delay-jitter J] [-fault-plan F.json] [-seed N]
   chaos [file.ndlog] [-topo ring:8] [-n 50] [-seed N] [-hard]
@@ -144,11 +151,62 @@ func cmdTranslate(args []string) error {
 	return nil
 }
 
+// hasFlag reports whether args contains -name or --name (with or without
+// a =value suffix), so suite mode can be routed before the positional
+// .ndlog argument is required.
+func hasFlag(args []string, name string) bool {
+	for _, a := range args {
+		a = strings.TrimPrefix(a, "-")
+		a = strings.TrimPrefix(a, "-")
+		if a == name || strings.HasPrefix(a, name+"=") {
+			return true
+		}
+	}
+	return false
+}
+
+// cmdVerifySuite discharges the standard proof-obligation suite — the
+// path-vector proof corpus, the component-model preservation theorems, and
+// the metarouting algebra laws — on the parallel pipeline.
+func cmdVerifySuite(args []string) error {
+	fs := flag.NewFlagSet("verify -suite", flag.ContinueOnError)
+	fs.Bool("suite", true, "run the standard obligation suite")
+	workers := fs.Int("workers", 1, "concurrent obligation discharge")
+	cache := fs.Bool("cache", true, "reuse results for identical obligations")
+	seedKernel := fs.Bool("seed-kernel", false, "use the seed structural kernel (sequential reference)")
+	explain := fs.Bool("explain", false, "print per-obligation EXPLAIN ANALYZE after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	obls, err := verify.StandardSuite()
+	if err != nil {
+		return err
+	}
+	col := obs.NewCollector()
+	pl := verify.NewPipeline(verify.Options{
+		Workers:    *workers,
+		Cache:      *cache,
+		Structural: *seedKernel,
+		Col:        col,
+	})
+	rep := pl.Run(obls)
+	rep.WriteTable(os.Stdout)
+	if *explain {
+		obs.WriteObligationExplain(os.Stdout, col)
+		obs.WriteTacticExplain(os.Stdout, col)
+	}
+	if !rep.AllProved() {
+		return fmt.Errorf("%d obligations failed", rep.Failed())
+	}
+	return nil
+}
+
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	theorem := fs.String("theorem", "", "theorem name")
 	script := fs.String("script", "", "proof script file")
 	auto := fs.Bool("auto", false, "use the automated strategy (grind)")
+	workers := fs.Int("workers", 1, "parallel grind split branches")
 	explain := fs.Bool("explain", false, "print per-tactic EXPLAIN ANALYZE after the proof")
 	tracePath := fs.String("trace", "", "write JSONL trace events to this file")
 	p, err := parseCmd(fs, args)
@@ -171,6 +229,7 @@ func cmdVerify(args []string) error {
 		return err
 	}
 	pr.Instrument(col, tracer)
+	pr.EnableWorkers(*workers)
 	if *auto {
 		// The automated strategy: skosimp* then grind (arc 5).
 		if err := pr.Skosimp(); err != nil {

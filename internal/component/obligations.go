@@ -1,0 +1,58 @@
+package component
+
+import (
+	"repro/internal/logic"
+)
+
+// VerificationTheory returns the generated BGP component theory extended
+// with the property-preservation theorems of §3.2 — the component-model
+// proof obligations fed to the verification pipeline — together with the
+// proof script for each theorem.
+//
+// The three obligations are:
+//
+//   - bestRank_outStrong: the route-selection component's optimality
+//     theorem (no candidate route outranks the selected one), proved with
+//     the 7-step bestPathStrong pattern.
+//   - bestCarriesWinningRank: a selected best route carries the winning
+//     rank — best_out(U,D,P,R) ⇒ bestRank_out(U,D,R).
+//   - ptHasTransmission: the Figure 2 composite decomposes — a pt
+//     transformation implies its pvt transmission stage occurred.
+func VerificationTheory() (*logic.Theory, map[string]string, error) {
+	m := NewBGPModel()
+	th, err := m.Theory()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	U := logic.TV("U", logic.SortNode)
+	D := logic.TV("D", logic.SortNode)
+	P := logic.TV("P", logic.SortPath)
+	R := logic.TV("R", logic.SortMetric)
+	th.AddTheorem("bestCarriesWinningRank", logic.Forall{
+		Vars: []logic.Var{U, D, P, R},
+		Body: logic.Implies{
+			L: logic.Pred{Name: "best_out", Args: []logic.Term{U, D, P, R}},
+			R: logic.Pred{Name: "bestRank_out", Args: []logic.Term{U, D, R}},
+		},
+	})
+
+	ptVars := []logic.Var{logic.V("U"), logic.V("W"), logic.V("D"), logic.V("R0"), logic.V("R3")}
+	th.AddTheorem("ptHasTransmission", logic.Forall{
+		Vars: ptVars,
+		Body: logic.Implies{
+			L: logic.Pred{Name: "pt", Args: []logic.Term{logic.V("U"), logic.V("W"), logic.V("D"), logic.V("R0"), logic.V("R3")}},
+			R: logic.Exists{
+				Vars: []logic.Var{logic.V("R1")},
+				Body: logic.Pred{Name: "pvt_out", Args: []logic.Term{logic.V("U"), logic.V("W"), logic.V("D"), logic.V("R1")}},
+			},
+		},
+	})
+
+	scripts := map[string]string{
+		"bestRank_outStrong":     `(skosimp*) (expand "bestRank_out") (flatten) (inst -2 P_b!1 W_b!1 R_b!1) (assert)`,
+		"bestCarriesWinningRank": `(skosimp*) (expand "best_out") (grind)`,
+		"ptHasTransmission":      `(skosimp*) (expand "pt") (skosimp*) (inst 1 R1!1) (assert)`,
+	}
+	return th, scripts, nil
+}

@@ -136,12 +136,7 @@ type Network struct {
 
 	lastChange float64
 
-	// TraceFlips, when set, is called on every detected A→B→A value flip.
-	//
-	// Deprecated: this is a thin adapter kept for older callers; new code
-	// should pass Options.Trace and watch for EvRouteFlip events instead.
-	TraceFlips func(at float64, node, pred string, old, new value.Tuple)
-	rngState   uint64
+	rngState uint64
 
 	// Fault channels: defaultChan comes from Options (DupRate etc.) or a
 	// plan's Default; chanOverrides holds per-directed-link channels from
@@ -885,9 +880,6 @@ func (n *Network) noteFlip(node, pred, key string, old, new value.Tuple) {
 		n.nm.flips.Add(1)
 		if n.tracer != nil {
 			n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvRouteFlip, Node: node, Pred: pred, Tuple: new.String()})
-		}
-		if n.TraceFlips != nil {
-			n.TraceFlips(n.now, node, pred, old, new)
 		}
 	}
 	n.history[h] = [2]string{old.Key(), new.Key()}

@@ -114,9 +114,9 @@ func TestTraceReconcilesWithStats(t *testing.T) {
 	}
 }
 
-// TestTraceFlipsAdapterStillFires guards the deprecated TraceFlips hook:
-// it must keep firing alongside the EvRouteFlip trace events.
-func TestTraceFlipsAdapterStillFires(t *testing.T) {
+// TestRouteFlipTraceEventFires guards the EvRouteFlip trace event, the
+// replacement for the removed TraceFlips callback hook.
+func TestRouteFlipTraceEventFires(t *testing.T) {
 	// A two-node "disagree"-style oscillation is hard to build inline;
 	// instead drive flips directly: alternate a keyed tuple's value.
 	prog := ndlog.MustParse("flip", `
@@ -131,10 +131,6 @@ materialize(pref, infinity, infinity, keys(1)).
 	if err != nil {
 		t.Fatal(err)
 	}
-	var adapterCalls int
-	net.TraceFlips = func(at float64, node, pred string, old, new value.Tuple) {
-		adapterCalls++
-	}
 	mk := func(v string) value.Tuple {
 		return value.Tuple{value.Addr("a"), value.Str(v)}
 	}
@@ -147,9 +143,6 @@ materialize(pref, infinity, infinity, keys(1)).
 	}
 	if res.Stats.Flips != 1 {
 		t.Fatalf("flips = %d, want 1", res.Stats.Flips)
-	}
-	if adapterCalls != 1 {
-		t.Errorf("deprecated TraceFlips fired %d times, want 1", adapterCalls)
 	}
 	flipEvents := 0
 	for _, ev := range ring.Events() {

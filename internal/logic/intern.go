@@ -1,0 +1,761 @@
+package logic
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/value"
+)
+
+// This file implements hash-consing (interning) of terms and formulas.
+//
+// Interning attaches a *meta to a node: a process-unique id, a 64-bit
+// structural hash, and a free-variable bloom filter. Two interned nodes are
+// structurally equal iff their ids are equal, so TermEqual/FormulaEqual
+// degrade to an integer comparison on interned data, hashing is free, and
+// substitution can skip entire subtrees whose variables are disjoint from
+// the substitution's domain.
+//
+// Design notes:
+//
+//   - Nodes remain the ordinary value structs (Var, App, And, ...); the meta
+//     pointer is an unexported extra field. Interning returns the *input*
+//     struct carrying a shared meta pointer rather than a canonical node, so
+//     per-instance presentation data that equality ignores (e.g. Var.Sort —
+//     TermEqual compares names only) is preserved.
+//
+//   - Formula ids are assigned modulo the Conj/Disj smart-constructor
+//     normalization (flatten And/Or spines, drop TRUE/FALSE units,
+//     short-circuit, unwrap singletons): And{a, TRUE} receives the id of a.
+//     This keeps FormulaEqual consistent with what the constructors build.
+//
+//   - Soundness: the hash is only an index. An id is reused solely when a
+//     bucket exemplar is *fully structurally equal* to the candidate, so a
+//     64-bit hash collision costs a bucket scan, never a conflation of
+//     distinct formulas.
+type meta struct {
+	id   uint64
+	hash uint64
+	// vars is a bloom filter over variable names occurring in the node
+	// (including bound occurrences — a conservative superset of the free
+	// variables). vars == 0 implies the node is ground.
+	vars uint64
+}
+
+// Structural tags mixed into hashes so different node kinds with equal
+// children hash apart.
+const (
+	tagVar = iota + 1
+	tagConst
+	tagApp
+	tagPred
+	tagEq
+	tagCmp
+	tagNot
+	tagAnd
+	tagOr
+	tagImplies
+	tagIff
+	tagForall
+	tagExists
+	tagTrue
+	tagFalse
+	tagInductive
+	tagAxiom
+)
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// mix64 is the splitmix64 finalizer (same idiom as internal/faults and
+// internal/modelcheck), used to scatter combined hashes.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// fold combines an accumulated hash with the next component,
+// order-sensitively.
+func fold(h, x uint64) uint64 {
+	return (h ^ x) * fnvPrime
+}
+
+func hashSeed(tag uint64) uint64 {
+	return fold(fnvOffset, mix64(tag))
+}
+
+// varBit returns the bloom-filter bit for a variable name.
+func varBit(name string) uint64 {
+	return 1 << (hashString(name) & 63)
+}
+
+// hashValue hashes a constant value consistently with value.V.Equal: only
+// the fields Equal inspects contribute.
+func hashValue(v value.V) uint64 {
+	h := fold(hashSeed(tagConst), mix64(uint64(v.K)))
+	switch v.K {
+	case value.KindInt, value.KindBool:
+		h = fold(h, mix64(uint64(v.I)))
+	case value.KindStr, value.KindAddr:
+		h = fold(h, hashString(v.S))
+	case value.KindList:
+		for _, e := range v.L {
+			h = fold(h, hashValue(e))
+		}
+	}
+	return mix64(h)
+}
+
+// --- the global interner ---
+
+const internShards = 64
+
+type internShard struct {
+	mu    sync.Mutex
+	terms map[uint64][]Term
+	forms map[uint64][]Formula
+}
+
+var interner [internShards]internShard
+
+var internIDs atomic.Uint64
+
+func init() {
+	for i := range interner {
+		interner[i].terms = map[uint64][]Term{}
+		interner[i].forms = map[uint64][]Formula{}
+	}
+}
+
+func termMetaOf(t Term) *meta {
+	switch x := t.(type) {
+	case Var:
+		return x.m
+	case Const:
+		return x.m
+	case App:
+		return x.m
+	}
+	return nil
+}
+
+func formulaMetaOf(f Formula) *meta {
+	switch x := f.(type) {
+	case Pred:
+		return x.m
+	case Eq:
+		return x.m
+	case Cmp:
+		return x.m
+	case Not:
+		return x.m
+	case And:
+		return x.m
+	case Or:
+		return x.m
+	case Implies:
+		return x.m
+	case Iff:
+		return x.m
+	case Forall:
+		return x.m
+	case Exists:
+		return x.m
+	case TruthVal:
+		return x.m
+	}
+	return nil
+}
+
+// TermID returns the interning identity of t, or 0 if t is not interned.
+func TermID(t Term) uint64 {
+	if m := termMetaOf(t); m != nil {
+		return m.id
+	}
+	return 0
+}
+
+// FormulaID returns the interning identity of f, or 0 if f is not interned.
+// Equal ids imply structural equality (modulo Conj/Disj normalization).
+func FormulaID(f Formula) uint64 {
+	if m := formulaMetaOf(f); m != nil {
+		return m.id
+	}
+	return 0
+}
+
+// internTermNode registers a candidate term (whose children are already
+// interned) under hash h, returning the canonical meta. The exemplar match
+// requires full structural equality; the hash only selects the bucket.
+func internTermNode(t Term, h, vars uint64) *meta {
+	sh := &interner[h&(internShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, c := range sh.terms[h] {
+		if TermEqual(c, t) {
+			return termMetaOf(c)
+		}
+	}
+	m := &meta{id: internIDs.Add(1), hash: h, vars: vars}
+	sh.terms[h] = append(sh.terms[h], withTermMeta(t, m))
+	return m
+}
+
+func internFormulaNode(f Formula, h, vars uint64) *meta {
+	sh := &interner[h&(internShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, c := range sh.forms[h] {
+		if FormulaEqual(c, f) {
+			return formulaMetaOf(c)
+		}
+	}
+	m := &meta{id: internIDs.Add(1), hash: h, vars: vars}
+	sh.forms[h] = append(sh.forms[h], withFormulaMeta(f, m))
+	return m
+}
+
+func withTermMeta(t Term, m *meta) Term {
+	switch x := t.(type) {
+	case Var:
+		x.m = m
+		return x
+	case Const:
+		x.m = m
+		return x
+	case App:
+		x.m = m
+		return x
+	}
+	return t
+}
+
+func withFormulaMeta(f Formula, m *meta) Formula {
+	switch x := f.(type) {
+	case Pred:
+		x.m = m
+		return x
+	case Eq:
+		x.m = m
+		return x
+	case Cmp:
+		x.m = m
+		return x
+	case Not:
+		x.m = m
+		return x
+	case And:
+		x.m = m
+		return x
+	case Or:
+		x.m = m
+		return x
+	case Implies:
+		x.m = m
+		return x
+	case Iff:
+		x.m = m
+		return x
+	case Forall:
+		x.m = m
+		return x
+	case Exists:
+		x.m = m
+		return x
+	case TruthVal:
+		x.m = m
+		return x
+	}
+	return f
+}
+
+// internTerms interns every element of args, copying the slice only when a
+// child actually needs interning.
+func internTerms(args []Term) []Term {
+	copied := false
+	for i, a := range args {
+		if termMetaOf(a) != nil {
+			continue
+		}
+		if !copied {
+			na := make([]Term, len(args))
+			copy(na, args)
+			args = na
+			copied = true
+		}
+		args[i] = InternTerm(a)
+	}
+	return args
+}
+
+func internFormulas(fs []Formula) []Formula {
+	copied := false
+	for i, f := range fs {
+		if formulaMetaOf(f) != nil {
+			continue
+		}
+		if !copied {
+			nf := make([]Formula, len(fs))
+			copy(nf, fs)
+			fs = nf
+			copied = true
+		}
+		fs[i] = InternFormula(f)
+	}
+	return fs
+}
+
+// InternTerm interns t (and, recursively, its subterms), returning a term
+// that carries interning metadata. Already-interned terms are returned
+// unchanged.
+func InternTerm(t Term) Term {
+	switch x := t.(type) {
+	case Var:
+		if x.m != nil {
+			return x
+		}
+		h := mix64(fold(hashSeed(tagVar), hashString(x.Name)))
+		x.m = internTermNode(x, h, varBit(x.Name))
+		return x
+	case Const:
+		if x.m != nil {
+			return x
+		}
+		x.m = internTermNode(x, hashValue(x.Val), 0)
+		return x
+	case App:
+		if x.m != nil {
+			return x
+		}
+		x.Args = internTerms(x.Args)
+		h := fold(hashSeed(tagApp), hashString(x.Fn))
+		var vars uint64
+		for _, a := range x.Args {
+			am := termMetaOf(a)
+			h = fold(h, am.hash)
+			vars |= am.vars
+		}
+		x.m = internTermNode(x, mix64(h), vars)
+		return x
+	}
+	return t
+}
+
+// hashQuantVars folds the bound-variable names of a quantifier. Equality
+// compares names only, so sorts must not contribute.
+func hashQuantVars(h uint64, vars []Var) (uint64, uint64) {
+	var bits uint64
+	for _, v := range vars {
+		h = fold(h, hashString(v.Name))
+		bits |= varBit(v.Name)
+	}
+	return h, bits
+}
+
+// flattenConj normalizes a conjunct list the way repeated Conj application
+// would: nested Ands are spliced recursively, TRUE units are dropped, and a
+// FALSE unit short-circuits (reported via the second result). The input
+// slice is never modified.
+func flattenConj(fs []Formula) ([]Formula, bool) {
+	flat := true
+	for _, f := range fs {
+		switch f.(type) {
+		case And, TruthVal:
+			flat = false
+		}
+	}
+	if flat {
+		return fs, false
+	}
+	out := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		switch x := f.(type) {
+		case And:
+			sub, isFalse := flattenConj(x.Fs)
+			if isFalse {
+				return nil, true
+			}
+			out = append(out, sub...)
+		case TruthVal:
+			if !x.B {
+				return nil, true
+			}
+		default:
+			out = append(out, f)
+		}
+	}
+	return out, false
+}
+
+// flattenDisj is the dual of flattenConj: TRUE short-circuits (second
+// result), FALSE units are dropped.
+func flattenDisj(fs []Formula) ([]Formula, bool) {
+	flat := true
+	for _, f := range fs {
+		switch f.(type) {
+		case Or, TruthVal:
+			flat = false
+		}
+	}
+	if flat {
+		return fs, false
+	}
+	out := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		switch x := f.(type) {
+		case Or:
+			sub, isTrue := flattenDisj(x.Fs)
+			if isTrue {
+				return nil, true
+			}
+			out = append(out, sub...)
+		case TruthVal:
+			if x.B {
+				return nil, true
+			}
+		default:
+			out = append(out, f)
+		}
+	}
+	return out, false
+}
+
+// isFlatSpine reports whether fs contains no element a flatten pass would
+// rewrite: no TruthVal, and no nested And (disj=false) or Or (disj=true).
+func isFlatSpine(fs []Formula, disj bool) bool {
+	for _, f := range fs {
+		switch f.(type) {
+		case TruthVal:
+			return false
+		case And:
+			if !disj {
+				return false
+			}
+		case Or:
+			if disj {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// normTop rewrites the top of f to the Conj/Disj normal form: And/Or spines
+// are flattened, units dropped, short-circuits applied, and empty/singleton
+// lists unwrapped. Non-And/Or formulas are returned unchanged.
+func normTop(f Formula) Formula {
+	switch x := f.(type) {
+	case And:
+		if len(x.Fs) >= 2 && isFlatSpine(x.Fs, false) {
+			return f
+		}
+		fs, isFalse := flattenConj(x.Fs)
+		if isFalse {
+			return False
+		}
+		switch len(fs) {
+		case 0:
+			return True
+		case 1:
+			return normTop(fs[0])
+		}
+		return And{Fs: fs, m: x.m}
+	case Or:
+		if len(x.Fs) >= 2 && isFlatSpine(x.Fs, true) {
+			return f
+		}
+		fs, isTrue := flattenDisj(x.Fs)
+		if isTrue {
+			return True
+		}
+		switch len(fs) {
+		case 0:
+			return False
+		case 1:
+			return normTop(fs[0])
+		}
+		return Or{Fs: fs, m: x.m}
+	}
+	return f
+}
+
+// InternFormula interns f (and, recursively, its subformulas and terms).
+// The id assigned to an And/Or is that of its Conj/Disj normal form, so
+// e.g. FormulaID(And{Fs: []Formula{a, True}}) == FormulaID(a).
+func InternFormula(f Formula) Formula {
+	switch x := f.(type) {
+	case Pred:
+		if x.m != nil {
+			return x
+		}
+		x.Args = internTerms(x.Args)
+		h := fold(hashSeed(tagPred), hashString(x.Name))
+		var vars uint64
+		for _, a := range x.Args {
+			am := termMetaOf(a)
+			h = fold(h, am.hash)
+			vars |= am.vars
+		}
+		x.m = internFormulaNode(x, mix64(h), vars)
+		return x
+	case Eq:
+		if x.m != nil {
+			return x
+		}
+		x.L, x.R = InternTerm(x.L), InternTerm(x.R)
+		lm, rm := termMetaOf(x.L), termMetaOf(x.R)
+		h := mix64(fold(fold(hashSeed(tagEq), lm.hash), rm.hash))
+		x.m = internFormulaNode(x, h, lm.vars|rm.vars)
+		return x
+	case Cmp:
+		if x.m != nil {
+			return x
+		}
+		x.L, x.R = InternTerm(x.L), InternTerm(x.R)
+		lm, rm := termMetaOf(x.L), termMetaOf(x.R)
+		h := mix64(fold(fold(fold(hashSeed(tagCmp), hashString(x.Op)), lm.hash), rm.hash))
+		x.m = internFormulaNode(x, h, lm.vars|rm.vars)
+		return x
+	case Not:
+		if x.m != nil {
+			return x
+		}
+		x.F = InternFormula(x.F)
+		fm := formulaMetaOf(x.F)
+		x.m = internFormulaNode(x, mix64(fold(hashSeed(tagNot), fm.hash)), fm.vars)
+		return x
+	case And:
+		if x.m != nil {
+			return x
+		}
+		x.Fs = internFormulas(x.Fs)
+		norm := normTop(x)
+		if na, ok := norm.(And); ok {
+			h := hashSeed(tagAnd)
+			var vars uint64
+			for _, g := range na.Fs {
+				gm := formulaMetaOf(g)
+				h = fold(h, gm.hash)
+				vars |= gm.vars
+			}
+			x.m = internFormulaNode(na, mix64(h), vars)
+		} else {
+			// Normal form is not a conjunction (TRUE, FALSE, or the sole
+			// conjunct): share its identity.
+			x.m = formulaMetaOf(InternFormula(norm))
+		}
+		return x
+	case Or:
+		if x.m != nil {
+			return x
+		}
+		x.Fs = internFormulas(x.Fs)
+		norm := normTop(x)
+		if no, ok := norm.(Or); ok {
+			h := hashSeed(tagOr)
+			var vars uint64
+			for _, g := range no.Fs {
+				gm := formulaMetaOf(g)
+				h = fold(h, gm.hash)
+				vars |= gm.vars
+			}
+			x.m = internFormulaNode(no, mix64(h), vars)
+		} else {
+			x.m = formulaMetaOf(InternFormula(norm))
+		}
+		return x
+	case Implies:
+		if x.m != nil {
+			return x
+		}
+		x.L, x.R = InternFormula(x.L), InternFormula(x.R)
+		lm, rm := formulaMetaOf(x.L), formulaMetaOf(x.R)
+		h := mix64(fold(fold(hashSeed(tagImplies), lm.hash), rm.hash))
+		x.m = internFormulaNode(x, h, lm.vars|rm.vars)
+		return x
+	case Iff:
+		if x.m != nil {
+			return x
+		}
+		x.L, x.R = InternFormula(x.L), InternFormula(x.R)
+		lm, rm := formulaMetaOf(x.L), formulaMetaOf(x.R)
+		h := mix64(fold(fold(hashSeed(tagIff), lm.hash), rm.hash))
+		x.m = internFormulaNode(x, h, lm.vars|rm.vars)
+		return x
+	case Forall:
+		if x.m != nil {
+			return x
+		}
+		x.Body = InternFormula(x.Body)
+		bm := formulaMetaOf(x.Body)
+		h, bits := hashQuantVars(hashSeed(tagForall), x.Vars)
+		x.m = internFormulaNode(x, mix64(fold(h, bm.hash)), bm.vars|bits)
+		return x
+	case Exists:
+		if x.m != nil {
+			return x
+		}
+		x.Body = InternFormula(x.Body)
+		bm := formulaMetaOf(x.Body)
+		h, bits := hashQuantVars(hashSeed(tagExists), x.Vars)
+		x.m = internFormulaNode(x, mix64(fold(h, bm.hash)), bm.vars|bits)
+		return x
+	case TruthVal:
+		if x.m != nil {
+			return x
+		}
+		tag := uint64(tagFalse)
+		if x.B {
+			tag = tagTrue
+		}
+		x.m = internFormulaNode(x, mix64(hashSeed(tag)), 0)
+		return x
+	}
+	return f
+}
+
+// TermHash returns the structural hash of t: free for interned terms,
+// computed on the fly otherwise. Structurally equal terms hash equal.
+func TermHash(t Term) uint64 {
+	if m := termMetaOf(t); m != nil {
+		return m.hash
+	}
+	switch x := t.(type) {
+	case Var:
+		return mix64(fold(hashSeed(tagVar), hashString(x.Name)))
+	case Const:
+		return hashValue(x.Val)
+	case App:
+		h := fold(hashSeed(tagApp), hashString(x.Fn))
+		for _, a := range x.Args {
+			h = fold(h, TermHash(a))
+		}
+		return mix64(h)
+	}
+	return 0
+}
+
+// FormulaHash returns the structural hash of f, computed over the Conj/Disj
+// normal form so formulas equal under FormulaEqual hash equal.
+func FormulaHash(f Formula) uint64 {
+	if m := formulaMetaOf(f); m != nil {
+		return m.hash
+	}
+	switch x := f.(type) {
+	case Pred:
+		h := fold(hashSeed(tagPred), hashString(x.Name))
+		for _, a := range x.Args {
+			h = fold(h, TermHash(a))
+		}
+		return mix64(h)
+	case Eq:
+		return mix64(fold(fold(hashSeed(tagEq), TermHash(x.L)), TermHash(x.R)))
+	case Cmp:
+		return mix64(fold(fold(fold(hashSeed(tagCmp), hashString(x.Op)), TermHash(x.L)), TermHash(x.R)))
+	case Not:
+		return mix64(fold(hashSeed(tagNot), FormulaHash(x.F)))
+	case And, Or:
+		norm := normTop(f)
+		switch nx := norm.(type) {
+		case And:
+			h := hashSeed(tagAnd)
+			for _, g := range nx.Fs {
+				h = fold(h, FormulaHash(g))
+			}
+			return mix64(h)
+		case Or:
+			h := hashSeed(tagOr)
+			for _, g := range nx.Fs {
+				h = fold(h, FormulaHash(g))
+			}
+			return mix64(h)
+		default:
+			return FormulaHash(norm)
+		}
+	case Implies:
+		return mix64(fold(fold(hashSeed(tagImplies), FormulaHash(x.L)), FormulaHash(x.R)))
+	case Iff:
+		return mix64(fold(fold(hashSeed(tagIff), FormulaHash(x.L)), FormulaHash(x.R)))
+	case Forall:
+		h, _ := hashQuantVars(hashSeed(tagForall), x.Vars)
+		return mix64(fold(h, FormulaHash(x.Body)))
+	case Exists:
+		h, _ := hashQuantVars(hashSeed(tagExists), x.Vars)
+		return mix64(fold(h, FormulaHash(x.Body)))
+	case TruthVal:
+		if x.B {
+			return mix64(hashSeed(tagTrue))
+		}
+		return mix64(hashSeed(tagFalse))
+	}
+	return 0
+}
+
+var internTheoryMu sync.Mutex
+
+// InternTheory interns every formula of the theory in place: inductive
+// bodies and parameters, axioms, and theorem goals. It is idempotent and
+// safe for concurrent callers on the same theory; the proof-obligation
+// pipeline calls it before fanning a theory out to workers.
+func InternTheory(t *Theory) {
+	if t == nil {
+		return
+	}
+	internTheoryMu.Lock()
+	defer internTheoryMu.Unlock()
+	if t.interned {
+		return
+	}
+	for _, d := range t.Inductives {
+		for i, p := range d.Params {
+			d.Params[i] = InternTerm(p).(Var)
+		}
+		d.Body = InternFormula(d.Body)
+	}
+	for i := range t.Axioms {
+		t.Axioms[i].Goal = InternFormula(t.Axioms[i].Goal)
+	}
+	for i := range t.Theorems {
+		t.Theorems[i].Goal = InternFormula(t.Theorems[i].Goal)
+	}
+	t.interned = true
+}
+
+// TheoryFingerprint hashes the proof-relevant content of a theory — its
+// inductive definitions and axioms (theorems do not affect provability of
+// other goals). Mixing is order-insensitive (XOR of per-item hashes), so
+// declaration order does not change the fingerprint. The fingerprint is the
+// theory half of the obligation-cache key.
+func TheoryFingerprint(t *Theory) uint64 {
+	if t == nil {
+		return 0
+	}
+	var acc uint64
+	for _, d := range t.Inductives {
+		h := fold(hashSeed(tagInductive), hashString(d.Name))
+		for _, p := range d.Params {
+			h = fold(h, hashString(p.Name))
+		}
+		h = fold(h, FormulaHash(d.Body))
+		acc ^= mix64(h)
+	}
+	for _, a := range t.Axioms {
+		acc ^= mix64(fold(fold(hashSeed(tagAxiom), hashString(a.Name)), FormulaHash(a.Goal)))
+	}
+	return mix64(acc)
+}

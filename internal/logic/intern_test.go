@@ -1,0 +1,107 @@
+package logic
+
+import (
+	"testing"
+)
+
+// Satellite tests for the hash-consing layer: constructor results carry
+// interned identities, equality is consistent with Conj/Disj variadic
+// normalization, and ids never conflate structurally distinct formulas.
+
+func TestTermInterningIdentity(t *testing.T) {
+	a := Fn("f", V("X"), IntT(3))
+	b := Fn("f", V("X"), IntT(3))
+	if TermID(a) == 0 || TermID(a) != TermID(b) {
+		t.Errorf("identical terms got ids %d and %d", TermID(a), TermID(b))
+	}
+	if TermID(a) == TermID(Fn("f", V("X"), IntT(4))) {
+		t.Error("distinct terms share an id")
+	}
+	// Uninterned literals have no id but equality still works structurally.
+	raw := App{Fn: "f", Args: []Term{Var{Name: "X"}, IntT(3)}}
+	if TermID(raw) != 0 {
+		t.Error("composite literal unexpectedly interned")
+	}
+	if !TermEqual(a, raw) {
+		t.Error("interned term not equal to identical literal")
+	}
+	// Sorts annotate but do not distinguish: TermEqual ignores Var.Sort.
+	if !TermEqual(V("X"), TV("X", SortNode)) {
+		t.Error("sort annotation changed term identity")
+	}
+	// A nullary App is not a Var or Const of the same spelling.
+	if TermEqual(Fn("x"), V("x")) {
+		t.Error("nullary app equals var")
+	}
+}
+
+func TestFormulaEqualConsistentWithConjNormalization(t *testing.T) {
+	a := Pred{Name: "p", Args: []Term{IntT(1)}}
+	b := Pred{Name: "q", Args: []Term{IntT(2)}}
+	c := Pred{Name: "rr"}
+
+	cases := []struct {
+		name string
+		x, y Formula
+		want bool
+	}{
+		{"constructor vs literal", Conj(a, b), And{Fs: []Formula{a, b}}, true},
+		{"nested flatten", And{Fs: []Formula{And{Fs: []Formula{a, b}}, c}}, Conj(a, b, c), true},
+		{"true unit dropped", And{Fs: []Formula{a, True}}, a, true},
+		{"false unit dropped in or", Or{Fs: []Formula{False, a}}, a, true},
+		{"empty conj is true", And{}, True, true},
+		{"empty disj is false", Or{}, False, true},
+		{"singleton unwraps", And{Fs: []Formula{a}}, a, true},
+		{"false short-circuits and", And{Fs: []Formula{a, False}}, False, true},
+		{"true short-circuits or", Or{Fs: []Formula{b, True, a}}, True, true},
+		{"deep nesting both sides", And{Fs: []Formula{a, And{Fs: []Formula{b, c}}}}, And{Fs: []Formula{And{Fs: []Formula{a, b}}, c}}, true},
+		{"order matters", Conj(a, b), Conj(b, a), false},
+		{"and is not or", Conj(a, b), Disj(a, b), false},
+		{"arity matters", Conj(a, b, c), Conj(a, b), false},
+	}
+	for _, tc := range cases {
+		if got := FormulaEqual(tc.x, tc.y); got != tc.want {
+			t.Errorf("%s: FormulaEqual(%v, %v) = %v, want %v", tc.name, tc.x, tc.y, got, tc.want)
+		}
+		if got := FormulaEqual(tc.y, tc.x); got != tc.want {
+			t.Errorf("%s (flipped): FormulaEqual = %v, want %v", tc.name, got, tc.want)
+		}
+		// Hashes and interned ids must agree with equality.
+		if tc.want {
+			if FormulaHash(tc.x) != FormulaHash(tc.y) {
+				t.Errorf("%s: equal formulas hash differently", tc.name)
+			}
+			if FormulaID(InternFormula(tc.x)) != FormulaID(InternFormula(tc.y)) {
+				t.Errorf("%s: equal formulas intern to different ids", tc.name)
+			}
+		} else if FormulaID(InternFormula(tc.x)) == FormulaID(InternFormula(tc.y)) {
+			t.Errorf("%s: distinct formulas intern to the same id", tc.name)
+		}
+	}
+}
+
+func TestInternFormulaSharesConstructorIdentity(t *testing.T) {
+	a := Pred{Name: "p"}
+	b := Pred{Name: "q"}
+	built := Conj(a, b, True)
+	spelled := InternFormula(And{Fs: []Formula{a, And{Fs: []Formula{b}}}})
+	if FormulaID(built) == 0 {
+		t.Fatal("Conj result not interned")
+	}
+	if FormulaID(built) != FormulaID(spelled) {
+		t.Errorf("Conj(p,q,TRUE) id %d != interned And{p,And{q}} id %d", FormulaID(built), FormulaID(spelled))
+	}
+}
+
+func TestQuantifierInterning(t *testing.T) {
+	body := Pred{Name: "p", Args: []Term{V("X")}}
+	f1 := InternFormula(Forall{Vars: []Var{V("X")}, Body: body})
+	f2 := InternFormula(Forall{Vars: []Var{V("X")}, Body: body})
+	if FormulaID(f1) == 0 || FormulaID(f1) != FormulaID(f2) {
+		t.Error("identical quantified formulas intern differently")
+	}
+	g := InternFormula(Exists{Vars: []Var{V("X")}, Body: body})
+	if FormulaID(f1) == FormulaID(g) {
+		t.Error("forall and exists share an id")
+	}
+}

@@ -56,7 +56,8 @@ type Theory struct {
 	Axioms     []Theorem // assumed without proof
 	Theorems   []Theorem // to be proved
 
-	byName map[string]*Inductive
+	byName   map[string]*Inductive
+	interned bool // set by InternTheory; guards re-interning
 }
 
 // NewTheory creates an empty theory.

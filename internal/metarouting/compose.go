@@ -75,6 +75,11 @@ func LexProduct(a, b Algebra) Algebra {
 
 func (p *lexProduct) Name() string { return "lexProduct[" + p.a.Name() + "," + p.b.Name() + "]" }
 
+// Factors exposes the component algebras, so obligation producers can also
+// discharge the factors' laws (and the obligation cache can share them
+// across compositions).
+func (p *lexProduct) Factors() []Algebra { return []Algebra{p.a, p.b} }
+
 func (p *lexProduct) Prohibited() value.V { return p.phi }
 
 // canon maps any pair with a prohibited component to the canonical φ.
@@ -176,6 +181,9 @@ func Restrict(a Algebra, labels ...value.V) Algebra {
 
 func (r *restricted) Name() string      { return r.name }
 func (r *restricted) Labels() []value.V { return r.labels }
+
+// Factors exposes the unrestricted base algebra.
+func (r *restricted) Factors() []Algebra { return []Algebra{r.Algebra} }
 
 // BGPSystem builds the paper's §3.3.2 example verbatim in spirit:
 //

@@ -90,6 +90,35 @@ func WriteTacticExplain(w io.Writer, c *Collector) {
 	fmt.Fprintf(w, "  total: steps=%d primitive=%d time=%s\n", totSteps, totPrim, fmtDur(totDur))
 }
 
+// WriteObligationExplain renders the pipeline-side EXPLAIN ANALYZE:
+// the obligation totals followed by the per-obligation duration
+// histograms, slowest first.
+func WriteObligationExplain(w io.Writer, c *Collector) {
+	fmt.Fprintln(w, "EXPLAIN ANALYZE obligations")
+	fmt.Fprintf(w, "  total=%d cached=%d failed=%d\n",
+		c.Value("verify", MObligations, ""),
+		c.Value("verify", MObligationsCached, ""),
+		c.Value("verify", MObligationsFailed, ""))
+	type row struct {
+		name  string
+		count int64
+		sum   time.Duration
+		max   time.Duration
+	}
+	var rows []row
+	for _, m := range c.Snapshot() {
+		if m.Component != "verify" || m.Name != MObligationMs || m.Kind != "histogram" {
+			continue
+		}
+		rows = append(rows, row{name: m.Label, count: m.Value,
+			sum: time.Duration(m.SumNs), max: time.Duration(m.MaxNs)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].sum > rows[j].sum })
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-52s runs=%-2d time=%-9s max=%s\n", r.name, r.count, fmtDur(r.sum), fmtDur(r.max))
+	}
+}
+
 // WriteMetrics dumps every metric of the collector, one per line, in
 // deterministic order — the plain-text companion of the JSONL trace.
 func WriteMetrics(w io.Writer, c *Collector) {

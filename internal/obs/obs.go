@@ -60,6 +60,13 @@ const (
 	MMCTruncated    = "truncated_runs"
 	MMCWorkerExpand = "worker_expansions"
 	MMCLevelMs      = "level_ms" // histogram: per-BFS-level duration
+
+	// Proof-obligation pipeline counters (component "verify"; the duration
+	// histogram is labelled with the obligation name).
+	MObligations       = "obligations_total"
+	MObligationsCached = "obligations_cached"
+	MObligationsFailed = "obligations_failed"
+	MObligationMs      = "obligation_ms"
 )
 
 // Key identifies one metric: a component ("datalog", "dist", "prover"),

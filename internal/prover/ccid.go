@@ -1,0 +1,122 @@
+package prover
+
+import (
+	"repro/internal/logic"
+)
+
+// icc is the interned-kernel congruence-closure engine: terms are keyed by
+// their hash-consing id (an O(1) map probe instead of rendering the term to
+// a string), the union-find is a dense int slice, and application argument
+// node indexes are precomputed so the congruence fixpoint never re-walks
+// terms. It mirrors the seed engine's semantics exactly: unions prefer
+// constant representatives, merging two distinct constants marks the system
+// inconsistent, and close() runs the same pairwise fixpoint — so both
+// engines compute identical equivalence classes.
+type icc struct {
+	ids    map[uint64]int // interned term id -> node index
+	terms  []logic.Term
+	parent []int
+	apps   []iccApp
+	incons bool
+}
+
+type iccApp struct {
+	n    int
+	fn   string
+	args []int
+}
+
+func newICC() *icc {
+	return &icc{ids: map[uint64]int{}}
+}
+
+// node interns t and returns its dense node index, creating it (and its
+// subterm nodes) on first sight.
+func (c *icc) node(t logic.Term) int {
+	it := logic.InternTerm(t)
+	id := logic.TermID(it)
+	if n, ok := c.ids[id]; ok {
+		return n
+	}
+	n := len(c.terms)
+	c.ids[id] = n
+	c.terms = append(c.terms, it)
+	c.parent = append(c.parent, n)
+	if a, ok := it.(logic.App); ok {
+		args := make([]int, len(a.Args))
+		for i, arg := range a.Args {
+			args[i] = c.node(arg)
+		}
+		c.apps = append(c.apps, iccApp{n: n, fn: a.Fn, args: args})
+	}
+	return n
+}
+
+func (c *icc) addTerm(t logic.Term) { c.node(t) }
+
+func (c *icc) find(n int) int {
+	for c.parent[n] != n {
+		c.parent[n] = c.parent[c.parent[n]]
+		n = c.parent[n]
+	}
+	return n
+}
+
+func (c *icc) union(a, b int) {
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		return
+	}
+	// Prefer constants as representatives so contradiction detection sees
+	// them (same policy as the seed engine).
+	ca, aIsConst := c.terms[ra].(logic.Const)
+	cb, bIsConst := c.terms[rb].(logic.Const)
+	if aIsConst && bIsConst && !ca.Val.Equal(cb.Val) {
+		c.incons = true
+	}
+	if bIsConst {
+		c.parent[ra] = rb
+	} else {
+		c.parent[rb] = ra
+	}
+}
+
+func (c *icc) merge(l, r logic.Term) {
+	ln, rn := c.node(l), c.node(r)
+	c.union(ln, rn)
+}
+
+func (c *icc) same(l, r logic.Term) bool {
+	return c.find(c.node(l)) == c.find(c.node(r))
+}
+
+func (c *icc) bad() bool { return c.incons }
+
+// close propagates congruence: f(a...) ~ f(b...) whenever a_i ~ b_i.
+func (c *icc) close() {
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(c.apps); i++ {
+			for j := i + 1; j < len(c.apps); j++ {
+				a, b := c.apps[i], c.apps[j]
+				if a.fn != b.fn || len(a.args) != len(b.args) {
+					continue
+				}
+				if c.find(a.n) == c.find(b.n) {
+					continue
+				}
+				cong := true
+				for k := range a.args {
+					if c.find(a.args[k]) != c.find(b.args[k]) {
+						cong = false
+						break
+					}
+				}
+				if cong {
+					c.union(a.n, b.n)
+					changed = true
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package prover
 
 import (
+	"sort"
+	"sync"
+
 	"repro/internal/logic"
 )
 
@@ -26,10 +29,30 @@ func (p *Prover) Grind() error {
 	p.inAuto = true
 	defer func() { p.inAuto = wasAuto }()
 
+	// Computed once per grind: the sorted auto-expandable definitions (the
+	// sort also makes expansion order deterministic) and, for the interned
+	// kernel, the sub-goal memo. Both are inherited by branch clones.
+	p.nonRecN = p.nonRecSortedNames()
+	if !p.structural && p.memo == nil {
+		p.memo = newGrindMemo()
+	}
+
 	g := p.pop()
 	residual := p.solve(g, grindMaxDepth)
 	p.push(residual...)
 	return nil
+}
+
+// nonRecSortedNames returns the auto-expandable definition names in sorted
+// order.
+func (p *Prover) nonRecSortedNames() []string {
+	nonRec := p.nonRecursiveDefs()
+	names := make([]string, 0, len(nonRec))
+	for name := range nonRec {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // nonRecursiveDefs returns the definitions that never (transitively) reach
@@ -67,10 +90,29 @@ func (p *Prover) nonRecursiveDefs() map[string]bool {
 }
 
 // solve attempts to close g, returning residual open goals (nil if closed).
+// The interned kernel consults the sub-goal memo first: a repeated
+// sub-sequent at the same depth replays the recorded primitive-inference
+// count instead of re-searching, so step accounting matches the uncached
+// run exactly (a hit replays precisely what recomputing would have counted).
 func (p *Prover) solve(g Sequent, depth int) []Sequent {
 	if depth <= 0 {
 		return []Sequent{g}
 	}
+	if p.memo != nil {
+		if prim, ok := p.memo.lookup(g, depth); ok {
+			p.addPrim(prim)
+			return nil
+		}
+	}
+	prim0 := p.PrimSteps
+	res := p.solveBody(g, depth)
+	if res == nil && p.memo != nil {
+		p.memo.store(g, depth, p.PrimSteps-prim0)
+	}
+	return res
+}
+
+func (p *Prover) solveBody(g Sequent, depth int) []Sequent {
 	// Saturate with skolemization + flattening.
 	cur := &g
 	for {
@@ -97,16 +139,13 @@ func (p *Prover) solve(g Sequent, depth int) []Sequent {
 		return p.solve(expanded, depth-1)
 	}
 
-	// Branch on the first splittable formula.
+	// Branch on the first splittable formula. The branches are independent
+	// sub-proofs, so with workers enabled they run concurrently.
 	if subs, ok := p.splitGoal(*cur); ok {
 		if len(subs) > grindMaxBranches {
 			return []Sequent{*cur}
 		}
-		var residual []Sequent
-		for _, sg := range subs {
-			residual = append(residual, p.solve(sg, depth-1)...)
-		}
-		return residual
+		return p.solveAll(subs, depth-1)
 	}
 
 	// Heuristic quantifier instantiation.
@@ -119,16 +158,75 @@ func (p *Prover) solve(g Sequent, depth int) []Sequent {
 	return []Sequent{*cur}
 }
 
+// solveAll discharges independent split branches, returning the
+// concatenated residuals in branch order. Without workers it is a plain
+// sequential loop. With workers, each extra branch runs on a clone when a
+// semaphore slot is free (inline otherwise — acquisition never blocks, so
+// nested splits cannot deadlock), and the clones' step counters and skolem
+// counters are merged in branch order after the join. Branch verdicts and
+// counts do not depend on scheduling: each branch's search is a function of
+// its sub-goal alone, and merging sums are order-insensitive.
+func (p *Prover) solveAll(subs []Sequent, depth int) []Sequent {
+	if p.sem == nil || len(subs) < 2 {
+		var residual []Sequent
+		for _, sg := range subs {
+			residual = append(residual, p.solve(sg, depth)...)
+		}
+		return residual
+	}
+	results := make([][]Sequent, len(subs))
+	clones := make([]*Prover, len(subs))
+	var wg sync.WaitGroup
+	var inline []int
+	for i := 1; i < len(subs); i++ {
+		select {
+		case p.sem <- struct{}{}:
+			c := p.branchClone()
+			clones[i] = c
+			wg.Add(1)
+			go func(i int, c *Prover) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				results[i] = c.solve(subs[i], depth)
+			}(i, c)
+		default:
+			inline = append(inline, i)
+		}
+	}
+	results[0] = p.solve(subs[0], depth)
+	for _, i := range inline {
+		results[i] = p.solve(subs[i], depth)
+	}
+	wg.Wait()
+	var residual []Sequent
+	for i, r := range results {
+		if c := clones[i]; c != nil {
+			p.PrimSteps += c.PrimSteps
+			p.AutoPrim += c.AutoPrim
+			for base, n := range c.skCounter {
+				if n > p.skCounter[base] {
+					p.skCounter[base] = n
+				}
+			}
+		}
+		residual = append(residual, r...)
+	}
+	return residual
+}
+
 // autoExpand expands all occurrences of non-recursive definitions.
 func (p *Prover) autoExpand(g Sequent) (Sequent, bool) {
-	nonRec := p.nonRecursiveDefs()
+	nonRec := p.nonRecN
+	if nonRec == nil {
+		nonRec = p.nonRecSortedNames()
+	}
 	if len(nonRec) == 0 {
 		return g, false
 	}
 	ng := g.Clone()
 	count := 0
 	rewrite := func(f logic.Formula) logic.Formula {
-		for name := range nonRec {
+		for _, name := range nonRec {
 			def, ok := p.Theory.Lookup(name)
 			if !ok {
 				continue

@@ -1,0 +1,186 @@
+package prover
+
+import (
+	"sync"
+
+	"repro/internal/logic"
+)
+
+// Kernel modes. The default kernel is the interned one: congruence closure
+// keyed by hash-consed term ids, memoized simplification, a grind sub-goal
+// memo, and (when workers are enabled) parallel discharge of independent
+// split branches. UseSeedKernel switches a session back to the seed
+// structural kernel — string-keyed congruence closure, no memos, strictly
+// sequential — which SeqProve exposes as the oracle for equivalence tests.
+
+// UseSeedKernel switches the session to the seed structural kernel. It must
+// be called before running tactics.
+func (p *Prover) UseSeedKernel() {
+	p.structural = true
+	p.workers = 0
+	p.sem = nil
+}
+
+// EnableWorkers lets grind discharge up to n independent split branches
+// concurrently. n <= 1 (or the seed kernel) keeps grind sequential. Branch
+// results are merged in branch order, so step counts and verdicts do not
+// depend on scheduling.
+func (p *Prover) EnableWorkers(n int) {
+	if p.structural || n <= 1 {
+		p.workers = 0
+		p.sem = nil
+		return
+	}
+	p.workers = n
+	// The calling goroutine counts as one worker; the semaphore holds the
+	// extra slots. Acquisition is non-blocking (run inline on failure), so
+	// nested splits cannot deadlock.
+	p.sem = make(chan struct{}, n-1)
+}
+
+// Workers returns the configured grind concurrency (0 or 1 = sequential).
+func (p *Prover) Workers() int {
+	if p.workers == 0 {
+		return 1
+	}
+	return p.workers
+}
+
+// branchClone builds a lightweight prover for one grind branch. The clone
+// shares the read-only session state (theory, proved lemmas, grind memo,
+// worker semaphore) and gets its own step counters — zeroed, so the parent
+// can merge the deltas — and its own skolem counter snapshot, so branch
+// skolem names do not depend on sibling scheduling.
+func (p *Prover) branchClone() *Prover {
+	sk := make(map[string]int, len(p.skCounter))
+	for k, v := range p.skCounter {
+		sk[k] = v
+	}
+	return &Prover{
+		Theory:     p.Theory,
+		Theorem:    p.Theorem,
+		proved:     p.proved,
+		skCounter:  sk,
+		started:    p.started,
+		inAuto:     true,
+		structural: p.structural,
+		workers:    p.workers,
+		sem:        p.sem,
+		memo:       p.memo,
+		nonRecN:    p.nonRecN,
+	}
+}
+
+// addPrim replays n primitive inferences into the step accounting (memo
+// hits and branch merges).
+func (p *Prover) addPrim(n int) {
+	p.PrimSteps += n
+	if p.inAuto {
+		p.AutoPrim += n
+	}
+}
+
+// newCC picks the congruence-closure engine for the session's kernel.
+func (p *Prover) newCC() ccEngine {
+	if p.structural {
+		return newCongruence()
+	}
+	return newICC()
+}
+
+// SeqProve replays a proof script against the named theorem using the seed
+// structural kernel, strictly sequentially — the seed prover retained as
+// the oracle the randomized equivalence tests and benchmarks compare the
+// interned parallel pipeline against. Like ProveTheorem, it errors if the
+// script fails or leaves goals open.
+func SeqProve(th *logic.Theory, theorem, script string) (Result, error) {
+	p, err := New(th, theorem)
+	if err != nil {
+		return Result{}, err
+	}
+	p.UseSeedKernel()
+	return p.Prove(script)
+}
+
+// --- grind sub-goal memo ---------------------------------------------------
+
+// grindMemo caches closed grind sub-goals by (sequent, exact depth): a
+// repeated sub-sequent is proved once and later hits replay the recorded
+// primitive-inference count, keeping step accounting identical to the
+// uncached run. Only closed results are stored (open residuals depend on
+// the surrounding search), and the depth must match exactly because the
+// search is depth-bounded. Lookups verify full structural equality; the
+// hash only selects the bucket.
+type grindMemo struct {
+	mu sync.Mutex
+	m  map[grindMemoKey][]grindMemoEnt
+}
+
+type grindMemoKey struct {
+	hash  uint64
+	depth int
+}
+
+type grindMemoEnt struct {
+	g    Sequent
+	prim int
+}
+
+func newGrindMemo() *grindMemo {
+	return &grindMemo{m: map[grindMemoKey][]grindMemoEnt{}}
+}
+
+func sequentHash(g Sequent) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, f := range g.Ante {
+		h = (h ^ logic.FormulaHash(f)) * 0x100000001b3
+	}
+	h = (h ^ 0xabcd) * 0x100000001b3
+	for _, f := range g.Cons {
+		h = (h ^ logic.FormulaHash(f)) * 0x100000001b3
+	}
+	return h
+}
+
+func sequentEqual(a, b Sequent) bool {
+	if len(a.Ante) != len(b.Ante) || len(a.Cons) != len(b.Cons) {
+		return false
+	}
+	for i := range a.Ante {
+		if !logic.FormulaEqual(a.Ante[i], b.Ante[i]) {
+			return false
+		}
+	}
+	for i := range a.Cons {
+		if !logic.FormulaEqual(a.Cons[i], b.Cons[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the recorded primitive count for a previously closed
+// identical sub-goal at the same depth.
+func (mm *grindMemo) lookup(g Sequent, depth int) (int, bool) {
+	key := grindMemoKey{hash: sequentHash(g), depth: depth}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	for _, e := range mm.m[key] {
+		if sequentEqual(e.g, g) {
+			return e.prim, true
+		}
+	}
+	return 0, false
+}
+
+func (mm *grindMemo) store(g Sequent, depth, prim int) {
+	key := grindMemoKey{hash: sequentHash(g), depth: depth}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	for _, e := range mm.m[key] {
+		if sequentEqual(e.g, g) {
+			return
+		}
+	}
+	mm.m[key] = append(mm.m[key], grindMemoEnt{g: g, prim: prim})
+}

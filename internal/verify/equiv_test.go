@@ -1,0 +1,194 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/prover"
+)
+
+// The equivalence tests pit the interned parallel pipeline against the
+// retained seed kernel (prover.SeqProve's structural, sequential prover)
+// on randomized proof obligations: verdicts and step counts must agree
+// exactly, with the cache on and off and at every worker count. This is
+// the soundness regression net for the hash-consing refactor — interning,
+// memoization, and branch parallelism are only allowed to change speed,
+// never what is proved or how many inferences it takes.
+
+type eqRng struct{ s uint64 }
+
+func (r *eqRng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 11
+}
+
+func (r *eqRng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// randEqTerm builds ground terms over a few integer constants and the
+// uninterpreted functions f (unary) and g (binary), the fragment the
+// congruence-closure engines chew on.
+func randEqTerm(r *eqRng, depth int) logic.Term {
+	if depth <= 0 || r.intn(3) == 0 {
+		return logic.IntT(int64(r.intn(4)))
+	}
+	if r.intn(2) == 0 {
+		return logic.Fn("f", randEqTerm(r, depth-1))
+	}
+	return logic.Fn("g", randEqTerm(r, depth-1), randEqTerm(r, depth-1))
+}
+
+// randEqFormula builds propositional combinations of ground predicate
+// atoms and equalities — goals that drive flatten, split, the congruence
+// engine, and grind's backtracking search. Validity is irrelevant: the
+// kernels must agree on provable and unprovable goals alike.
+func randEqFormula(r *eqRng, depth int) logic.Formula {
+	if depth <= 0 || r.intn(4) == 0 {
+		if r.intn(2) == 0 {
+			return logic.Eq{L: randEqTerm(r, 2), R: randEqTerm(r, 2)}
+		}
+		preds := []string{"p", "q", "rr"}
+		return logic.Pred{Name: preds[r.intn(len(preds))], Args: []logic.Term{randEqTerm(r, 1)}}
+	}
+	switch r.intn(5) {
+	case 0:
+		return logic.Not{F: randEqFormula(r, depth-1)}
+	case 1:
+		return logic.Conj(randEqFormula(r, depth-1), randEqFormula(r, depth-1))
+	case 2:
+		return logic.Disj(randEqFormula(r, depth-1), randEqFormula(r, depth-1))
+	case 3:
+		return logic.Implies{L: randEqFormula(r, depth-1), R: randEqFormula(r, depth-1)}
+	default:
+		return logic.Iff{L: randEqFormula(r, depth-1), R: randEqFormula(r, depth-1)}
+	}
+}
+
+// randObligations builds a deterministic batch of random theories, each
+// with a couple of random axioms and one goal, discharged by the default
+// skosimp*+grind script.
+func randObligations(seed uint64, n int) []Obligation {
+	r := &eqRng{s: seed}
+	var out []Obligation
+	for i := 0; i < n; i++ {
+		th := logic.NewTheory(fmt.Sprintf("rand%d", i))
+		for a := 0; a < 1+r.intn(2); a++ {
+			th.AddAxiom(fmt.Sprintf("ax%d", a), randEqFormula(r, 2))
+		}
+		th.AddTheorem("goal", randEqFormula(r, 3))
+		out = append(out, Obligation{
+			Name:    fmt.Sprintf("rand/%d", i),
+			Theory:  th,
+			Theorem: "goal",
+		})
+	}
+	return out
+}
+
+func sameOutcome(t *testing.T, ctx string, want, got Result) {
+	t.Helper()
+	if want.Proved != got.Proved || want.Steps != got.Steps ||
+		want.PrimSteps != got.PrimSteps || want.AutoPrim != got.AutoPrim {
+		t.Errorf("%s %s: seed=(proved=%v steps=%d prim=%d auto=%d) got=(proved=%v steps=%d prim=%d auto=%d)",
+			ctx, want.Name,
+			want.Proved, want.Steps, want.PrimSteps, want.AutoPrim,
+			got.Proved, got.Steps, got.PrimSteps, got.AutoPrim)
+	}
+}
+
+// TestPipelineMatchesSeedKernelOnRandomGoals is the randomized
+// interned-vs-structural and sequential-vs-parallel equivalence test: the
+// seed kernel's verdicts and proof-step counts are the oracle, and every
+// pipeline configuration — interned sequential, interned parallel, cache
+// off, cache on with duplicated obligations — must reproduce them exactly.
+func TestPipelineMatchesSeedKernelOnRandomGoals(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		obls := randObligations(seed, 25)
+
+		oracle := NewPipeline(Options{Workers: 1, Structural: true}).Run(obls)
+
+		configs := []struct {
+			name string
+			opts Options
+		}{
+			{"interned_w1", Options{Workers: 1}},
+			{"interned_w1_cache", Options{Workers: 1, Cache: true}},
+			{"interned_w4", Options{Workers: 4}},
+			{"interned_w4_cache", Options{Workers: 4, Cache: true}},
+		}
+		for _, cfg := range configs {
+			got := NewPipeline(cfg.opts).Run(obls)
+			for i := range obls {
+				sameOutcome(t, fmt.Sprintf("seed=%d %s", seed, cfg.name), oracle.Results[i], got.Results[i])
+			}
+		}
+
+		// Cache replay: duplicate the whole batch; the copies must come back
+		// Cached with counts identical to the oracle's fresh proofs.
+		dup := append(append([]Obligation{}, obls...), obls...)
+		got := NewPipeline(Options{Workers: 4, Cache: true}).Run(dup)
+		if got.Cached() != len(obls) {
+			t.Errorf("seed=%d: duplicated batch cached %d obligations, want %d", seed, got.Cached(), len(obls))
+		}
+		for i := range obls {
+			sameOutcome(t, fmt.Sprintf("seed=%d dup-orig", seed), oracle.Results[i], got.Results[i])
+			sameOutcome(t, fmt.Sprintf("seed=%d dup-copy", seed), oracle.Results[i], got.Results[i+len(obls)])
+			if !got.Results[i+len(obls)].Cached {
+				t.Errorf("seed=%d: duplicate %d not served from cache", seed, i)
+			}
+		}
+	}
+}
+
+// TestGrindWorkersMatchSeqProve exercises the other parallelism axis —
+// concurrent split branches inside one grind call — against the seed
+// sequential prover on the same random goals.
+func TestGrindWorkersMatchSeqProve(t *testing.T) {
+	obls := randObligations(1234, 40)
+	for _, ob := range obls {
+		seq, seqErr := prover.SeqProve(ob.Theory, ob.Theorem, DefaultScript)
+
+		p, err := prover.New(ob.Theory, ob.Theorem)
+		if err != nil {
+			t.Fatalf("%s: %v", ob.Name, err)
+		}
+		p.EnableWorkers(4)
+		runErr := p.RunScript(DefaultScript)
+		par := p.Summary()
+
+		if (seqErr == nil) != (runErr == nil && par.QED) {
+			t.Errorf("%s: seed proved=%v (err=%v), parallel proved=%v (err=%v)",
+				ob.Name, seqErr == nil, seqErr, runErr == nil && par.QED, runErr)
+			continue
+		}
+		if seq.Steps != par.Steps || seq.PrimSteps != par.PrimSteps || seq.AutoPrim != par.AutoPrim {
+			t.Errorf("%s: seed steps=%d prim=%d auto=%d, parallel steps=%d prim=%d auto=%d",
+				ob.Name, seq.Steps, seq.PrimSteps, seq.AutoPrim, par.Steps, par.PrimSteps, par.AutoPrim)
+		}
+	}
+}
+
+// TestStandardSuiteKernelsAgree runs the full standard suite under the
+// seed kernel and the interned parallel pipeline: everything proves under
+// both, with identical step counts, and the lex product's factor laws hit
+// the cache.
+func TestStandardSuiteKernelsAgree(t *testing.T) {
+	obls, err := StandardSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewPipeline(Options{Workers: 1, Structural: true}).Run(obls)
+	if !oracle.AllProved() {
+		t.Fatalf("seed kernel failed %d obligations", oracle.Failed())
+	}
+	got := NewPipeline(Options{Workers: 4, Cache: true}).Run(obls)
+	if !got.AllProved() {
+		t.Fatalf("interned pipeline failed %d obligations", got.Failed())
+	}
+	for i := range obls {
+		sameOutcome(t, "suite", oracle.Results[i], got.Results[i])
+	}
+	if got.Cached() == 0 {
+		t.Error("standard suite produced no cache hits (factor laws should dedupe)")
+	}
+}

@@ -1,0 +1,386 @@
+// Package verify is the unified proof-obligation pipeline of the FVN
+// verification stack (arcs 4–6 of Figure 1): it collects named proof
+// obligations from the three producers — translate (NDlog→inductive-
+// definition theories), metarouting (algebra laws), and component
+// (property-preservation checks) — and discharges them on a worker pool
+// with a result cache keyed by interned-formula id plus theory
+// fingerprint, so identical obligations (shared algebra laws across
+// composed algebras, repeated goals across suites) are proved once.
+package verify
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/logic"
+	"repro/internal/obs"
+	"repro/internal/prover"
+)
+
+// Obligation is one named unit of verification work. Exactly one of the
+// two payloads is set:
+//
+//   - a theorem obligation carries a Theory, a Theorem name, and a proof
+//     Script (empty = "(skosimp*) (grind)");
+//   - a check obligation carries a Check function (e.g. a metarouting
+//     algebra law) plus a CheckKey identifying it for the cache.
+type Obligation struct {
+	Name string
+
+	Theory  *logic.Theory
+	Theorem string
+	Script  string
+
+	Check    func() error
+	CheckKey string
+}
+
+// Result is the outcome of one obligation.
+type Result struct {
+	Name      string
+	Proved    bool
+	Cached    bool // satisfied by the result cache, not a fresh proof
+	Err       string
+	Steps     int
+	PrimSteps int
+	AutoPrim  int
+	Elapsed   time.Duration
+}
+
+// Report is the outcome of a pipeline run, results in input order.
+type Report struct {
+	Results []Result
+	Elapsed time.Duration
+}
+
+// Proved counts discharged obligations (including cached ones).
+func (r Report) Proved() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Proved {
+			n++
+		}
+	}
+	return n
+}
+
+// Cached counts obligations satisfied from the result cache.
+func (r Report) Cached() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Cached {
+			n++
+		}
+	}
+	return n
+}
+
+// Failed counts undischarged obligations.
+func (r Report) Failed() int { return len(r.Results) - r.Proved() }
+
+// AllProved reports whether every obligation was discharged.
+func (r Report) AllProved() bool { return r.Failed() == 0 }
+
+// WriteTable renders the per-obligation results.
+func (r Report) WriteTable(w io.Writer) {
+	for _, res := range r.Results {
+		status := "proved"
+		if !res.Proved {
+			status = "FAILED"
+		}
+		cached := ""
+		if res.Cached {
+			cached = " (cached)"
+		}
+		fmt.Fprintf(w, "  %-52s %s%s  steps=%d prim=%d  %v\n",
+			res.Name, status, cached, res.Steps, res.PrimSteps, res.Elapsed.Round(time.Microsecond))
+		if res.Err != "" {
+			fmt.Fprintf(w, "      %s\n", res.Err)
+		}
+	}
+	fmt.Fprintf(w, "  %d obligations: %d proved (%d cached), %d failed, %v\n",
+		len(r.Results), r.Proved(), r.Cached(), r.Failed(), r.Elapsed.Round(time.Microsecond))
+}
+
+// Options configures a Pipeline.
+type Options struct {
+	// Workers bounds concurrent obligation discharge (<=1 = sequential).
+	Workers int
+	// Cache enables the cross-obligation result cache. Identical
+	// obligations — same theory fingerprint, interned goal id, and script
+	// — are proved once; later ones replay the recorded verdict and step
+	// counts. Ignored under Structural (the seed kernel has no interned
+	// ids to key by).
+	Cache bool
+	// Structural discharges theorem obligations with the seed structural
+	// kernel (SeqProve's kernel) instead of the interned one — the oracle
+	// configuration for equivalence tests.
+	Structural bool
+
+	// Observability (optional): obligation counters land in component
+	// "verify"; per-obligation durations in the MObligationMs histogram.
+	Col *obs.Collector
+	// Tracer receives per-tactic proof events. Only attached when
+	// Workers <= 1 (trace sinks are not synchronized).
+	Tracer *obs.Tracer
+}
+
+// Pipeline discharges obligations. The result cache persists across Run
+// calls, so a second Run over an overlapping suite replays prior proofs.
+type Pipeline struct {
+	opts Options
+
+	mu   sync.Mutex
+	thms map[thmKey]Result
+	chks map[string]Result
+}
+
+type thmKey struct {
+	theory uint64 // logic.TheoryFingerprint
+	goal   uint64 // interned goal id
+	script uint64
+}
+
+// NewPipeline creates a pipeline with the given options.
+func NewPipeline(opts Options) *Pipeline {
+	if opts.Structural {
+		opts.Cache = false
+	}
+	return &Pipeline{opts: opts, thms: map[thmKey]Result{}, chks: map[string]Result{}}
+}
+
+// DefaultScript is the automation fallback for theorem obligations without
+// an explicit proof script.
+const DefaultScript = "(skosimp*) (grind)"
+
+// Run discharges the obligations and returns their results in input order.
+// Scheduling cannot change results: duplicate obligations are grouped
+// before the pool starts (the first occurrence proves, the rest replay),
+// and each proof is a deterministic function of its obligation.
+func (pl *Pipeline) Run(obls []Obligation) Report {
+	start := time.Now()
+
+	// Intern each distinct theory once, up front, so pool workers share
+	// read-only interned structures.
+	if !pl.opts.Structural {
+		seen := map[*logic.Theory]bool{}
+		for _, ob := range obls {
+			if ob.Theory != nil && !seen[ob.Theory] {
+				seen[ob.Theory] = true
+				logic.InternTheory(ob.Theory)
+			}
+		}
+	}
+
+	results := make([]Result, len(obls))
+	var run []int // indices that need a fresh proof
+	// rep[i] >= 0 marks i a duplicate of the earlier index rep[i].
+	rep := make([]int, len(obls))
+	if pl.opts.Cache {
+		group := map[interface{}]int{}
+		for i, ob := range obls {
+			key := pl.key(ob)
+			if key == nil {
+				rep[i] = -1
+				run = append(run, i)
+				continue
+			}
+			if cached, ok := pl.cacheGet(key); ok {
+				rep[i] = -1
+				results[i] = replay(cached, ob.Name)
+				continue
+			}
+			if j, ok := group[key]; ok {
+				rep[i] = j
+				continue
+			}
+			group[key] = i
+			rep[i] = -1
+			run = append(run, i)
+		}
+	} else {
+		for i := range obls {
+			rep[i] = -1
+			run = append(run, i)
+		}
+	}
+
+	// Discharge the fresh obligations on the pool.
+	workers := pl.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(run) {
+		workers = len(run)
+	}
+	if workers <= 1 {
+		for _, i := range run {
+			results[i] = pl.run1(obls[i])
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i] = pl.run1(obls[i])
+				}
+			}()
+		}
+		for _, i := range run {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	// Store fresh results in the cache and replay duplicates.
+	if pl.opts.Cache {
+		for _, i := range run {
+			if key := pl.key(obls[i]); key != nil {
+				pl.cachePut(key, results[i])
+			}
+		}
+		for i := range obls {
+			if j := rep[i]; j >= 0 {
+				results[i] = replay(results[j], obls[i].Name)
+			}
+		}
+	}
+
+	if c := pl.opts.Col; c != nil {
+		var cached, failed int64
+		for _, res := range results {
+			if res.Cached {
+				cached++
+			}
+			if !res.Proved {
+				failed++
+			}
+			c.Histogram("verify", obs.MObligationMs, res.Name).Observe(res.Elapsed)
+		}
+		c.Counter("verify", obs.MObligations, "").Add(int64(len(results)))
+		c.Counter("verify", obs.MObligationsCached, "").Add(cached)
+		c.Counter("verify", obs.MObligationsFailed, "").Add(failed)
+	}
+
+	return Report{Results: results, Elapsed: time.Since(start)}
+}
+
+// replay turns a proved-once result into the duplicate's: same verdict and
+// step counts (exactly what re-proving would have produced), marked Cached.
+func replay(src Result, name string) Result {
+	src.Name = name
+	src.Cached = true
+	src.Elapsed = 0
+	return src
+}
+
+// key computes the cache identity of an obligation, or nil when it has
+// none. Theorem keys combine the theory fingerprint (inductives + axioms),
+// the interned goal id, and the script; interning cannot conflate distinct
+// goals (ids are assigned by full structural comparison), so equal keys
+// mean provably interchangeable obligations.
+func (pl *Pipeline) key(ob Obligation) interface{} {
+	if ob.Check != nil {
+		if ob.CheckKey == "" {
+			return nil
+		}
+		return ob.CheckKey
+	}
+	if ob.Theory == nil {
+		return nil
+	}
+	thm, ok := ob.Theory.TheoremByName(ob.Theorem)
+	if !ok {
+		return nil
+	}
+	goal := logic.FormulaID(logic.InternFormula(thm.Goal))
+	script := ob.Script
+	if script == "" {
+		script = DefaultScript
+	}
+	var sh uint64 = 14695981039346656037
+	for i := 0; i < len(script); i++ {
+		sh ^= uint64(script[i])
+		sh *= 1099511628211
+	}
+	return thmKey{theory: logic.TheoryFingerprint(ob.Theory), goal: goal, script: sh}
+}
+
+func (pl *Pipeline) cacheGet(key interface{}) (Result, bool) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	switch k := key.(type) {
+	case thmKey:
+		r, ok := pl.thms[k]
+		return r, ok
+	case string:
+		r, ok := pl.chks[k]
+		return r, ok
+	}
+	return Result{}, false
+}
+
+func (pl *Pipeline) cachePut(key interface{}, r Result) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	switch k := key.(type) {
+	case thmKey:
+		pl.thms[k] = r
+	case string:
+		pl.chks[k] = r
+	}
+}
+
+// run1 discharges one obligation from scratch.
+func (pl *Pipeline) run1(ob Obligation) Result {
+	t0 := time.Now()
+	if ob.Check != nil {
+		err := ob.Check()
+		res := Result{Name: ob.Name, Proved: err == nil, Elapsed: time.Since(t0)}
+		if err != nil {
+			res.Err = err.Error()
+		}
+		return res
+	}
+
+	p, err := prover.New(ob.Theory, ob.Theorem)
+	if err != nil {
+		return Result{Name: ob.Name, Err: err.Error(), Elapsed: time.Since(t0)}
+	}
+	if pl.opts.Structural {
+		p.UseSeedKernel()
+	}
+	tr := pl.opts.Tracer
+	if pl.opts.Workers > 1 {
+		tr = nil
+	}
+	if pl.opts.Col != nil || tr != nil {
+		p.Instrument(pl.opts.Col, tr)
+	}
+	script := ob.Script
+	if script == "" {
+		script = DefaultScript
+	}
+	runErr := p.RunScript(script)
+	sum := p.Summary()
+	res := Result{
+		Name:      ob.Name,
+		Proved:    runErr == nil && sum.QED,
+		Steps:     sum.Steps,
+		PrimSteps: sum.PrimSteps,
+		AutoPrim:  sum.AutoPrim,
+		Elapsed:   time.Since(t0),
+	}
+	if runErr != nil {
+		res.Err = runErr.Error()
+	} else if !sum.QED {
+		res.Err = fmt.Sprintf("%d goals remain open", sum.OpenGoals)
+	}
+	return res
+}

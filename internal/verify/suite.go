@@ -1,0 +1,125 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/component"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/metarouting"
+)
+
+// TheoryObligations emits one theorem obligation per theorem declared in
+// the theory, in declaration order, named "<prefix>/<theorem>". Scripts
+// come from the map (missing entries fall back to DefaultScript).
+func TheoryObligations(prefix string, th *logic.Theory, scripts map[string]string) []Obligation {
+	var out []Obligation
+	for _, thm := range th.Theorems {
+		out = append(out, Obligation{
+			Name:    prefix + "/" + thm.Name,
+			Theory:  th,
+			Theorem: thm.Name,
+			Script:  scripts[thm.Name],
+		})
+	}
+	return out
+}
+
+// AlgebraObligations emits the seven metarouting law checks for the
+// algebra, then recurses into its factors (lexical products expose both
+// components, restrictions their base algebra), so a composition also
+// discharges its constituents' laws. The CheckKey is the algebra name plus
+// the law, so a factor shared between compositions — or appearing both
+// standalone and inside a product — is checked once under the cache.
+func AlgebraObligations(a metarouting.Algebra) []Obligation {
+	var out []Obligation
+	for _, law := range metarouting.Obligations() {
+		law := law
+		out = append(out, Obligation{
+			Name: "algebra/" + a.Name() + "/" + law.Name,
+			Check: func() error {
+				if c := law.Check(a); c != nil {
+					return c
+				}
+				return nil
+			},
+			CheckKey: "alg:" + a.Name() + ":" + law.Name,
+		})
+	}
+	if f, ok := a.(interface{ Factors() []metarouting.Algebra }); ok {
+		for _, sub := range f.Factors() {
+			out = append(out, AlgebraObligations(sub)...)
+		}
+	}
+	return out
+}
+
+// ComponentObligations emits the component-model property-preservation
+// obligations of §3.2 (the BGP component theory's generated optimality
+// theorem plus the hand-stated preservation theorems).
+func ComponentObligations() ([]Obligation, error) {
+	th, scripts, err := component.VerificationTheory()
+	if err != nil {
+		return nil, fmt.Errorf("component theory: %w", err)
+	}
+	return TheoryObligations("component", th, scripts), nil
+}
+
+// pathVectorScripts is the E12 proof corpus (§4.3) for the translated
+// path-vector protocol.
+var pathVectorScripts = map[string]string{
+	"bestPathStrong":     core.BestPathStrongScript,
+	"bestPathCostStrong": `(skosimp*) (expand "bestPathCost") (flatten) (grind)`,
+	"pathCostPositive": `
+		(induct "path")
+		(skosimp*) (lemma "linkCostPositive") (inst -3 S!1 D!1 C!1) (assert)
+		(skosimp*) (lemma "linkCostPositive") (inst -7 S!2 Z!1 C1!1) (assert)`,
+	"pathDestination": core.PathDestinationScript,
+	"pathSource":      `(induct "path") (skosimp*) (assert) (skosimp*) (assert)`,
+	"pathLen2":        `(induct "path") (skosimp*) (assert) (skosimp*) (assert)`,
+}
+
+// PathVectorObligations emits the translate-producer obligations: the
+// path-vector NDlog program's generated theory extended with the E12 proof
+// corpus (safety lemmas proved by induction over the generated inductive
+// definitions).
+func PathVectorObligations() ([]Obligation, error) {
+	p, err := core.PathVector()
+	if err != nil {
+		return nil, fmt.Errorf("pathvector protocol: %w", err)
+	}
+	th := p.Theory
+	th.AddAxiom("linkCostPositive", core.LinkCostPositive())
+	th.AddTheorem("pathCostPositive", core.PathCostPositive())
+	th.AddTheorem("pathDestination", core.PathDestination())
+	th.AddTheorem("pathSource", core.PathSource())
+	th.AddTheorem("pathLen2", core.PathLengthAtLeastTwo())
+	return TheoryObligations("pathvector", th, pathVectorScripts), nil
+}
+
+// StandardSuite collects the full verification workload from all three
+// producers: the translated path-vector theory with its proof corpus, the
+// component-model preservation theorems, and the metarouting algebra
+// library (bases plus a lexical product whose factor laws the cache shares
+// with the standalone bases).
+func StandardSuite() ([]Obligation, error) {
+	var out []Obligation
+	pv, err := PathVectorObligations()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, pv...)
+	comp, err := ComponentObligations()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, comp...)
+	for _, a := range metarouting.BaseAlgebras() {
+		out = append(out, AlgebraObligations(a)...)
+	}
+	// lexProduct[addA[8,3],hopCountA[8]] discharges all seven laws, and its
+	// factors carry the same names as two base-library entries, so their 14
+	// law checks hit the cache when it is enabled.
+	out = append(out, AlgebraObligations(metarouting.LexProduct(metarouting.AddA(8, 3), metarouting.HopCountA(8)))...)
+	return out, nil
+}
