@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench chaos-smoke verify-smoke experiments
+.PHONY: all build vet test race bench chaos-smoke prov-smoke verify-smoke fmt-check experiments
 
 all: vet build test
 
@@ -17,10 +17,14 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_PR5.json
+	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_PR6.json
 
 chaos-smoke:
 	$(GO) run -race ./cmd/fvn chaos -n 25 -topo ring:6
+
+prov-smoke:
+	$(GO) run -race ./cmd/fvn chaos -n 8 -topo ring:6 -prov
+	$(GO) run -race ./cmd/fvn why -topo ring:6 -tuple 'bestPathCost(n0,n1,1)'
 
 verify-smoke:
 	$(GO) run -race ./cmd/fvn verify -suite -workers 4 -explain

@@ -24,6 +24,7 @@ import (
 	"repro/internal/ndlog"
 	"repro/internal/netgraph"
 	"repro/internal/obs"
+	"repro/internal/prov"
 	"repro/internal/prover"
 	"repro/internal/store"
 	"repro/internal/translate"
@@ -583,6 +584,54 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 	b.Run("engine/disabled", func(b *testing.B) { runEng(b, false) })
 	b.Run("engine/enabled", func(b *testing.B) { runEng(b, true) })
+}
+
+// BenchmarkProvOverhead pairs identical distributed runs with provenance
+// recording disabled (nil recorder — the hot loops pay only nil checks)
+// and enabled (interned-term derivation graph). The disabled variant is
+// the default configuration; its contract is pinned by recorder/nil-calls,
+// which must report 0 allocs/op.
+func BenchmarkProvOverhead(b *testing.B) {
+	topo := netgraph.Ring(8)
+	runNet := func(b *testing.B, mk func() *prov.Recorder) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			prog := ndlog.MustParse("pv", core.PathVectorSrc)
+			net, err := dist.NewNetwork(prog, topo, dist.Options{
+				MaxTime: 10000, LoadTopologyLinks: true, Prov: mk(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := net.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("dist/disabled", func(b *testing.B) { runNet(b, func() *prov.Recorder { return nil }) })
+	b.Run("dist/enabled", func(b *testing.B) { runNet(b, prov.New) })
+
+	// The zero-alloc contract of the disabled path: every recorder entry
+	// point on the nil recorder is a no-op that allocates nothing.
+	b.Run("recorder/nil-calls", func(b *testing.B) {
+		b.ReportAllocs()
+		var rec *prov.Recorder
+		tup := value.Tuple{value.Addr("n0"), value.Addr("n1"), value.Int(1)}
+		for i := 0; i < b.N; i++ {
+			if rec.Enabled() {
+				b.Fatal("nil recorder reports enabled")
+			}
+			rec.Tuple(0, "n0", "link", tup, 0)
+			rec.Rule(0, "n0", "r1", nil)
+			rec.Message(0, "n0", "n1", "path", 1, 1, 0)
+			rec.Fault(0, "link_down", "n0", "n1", 0)
+			rec.Retract(0, "n0", "link", tup, "test", 0)
+			rec.Drop("n0", "link", tup)
+			if rec.Current("n0", "link", tup) != 0 {
+				b.Fatal("nil recorder resolved a tuple")
+			}
+		}
+	})
 }
 
 // --- PR2: compiled join plans vs. the seed nested-loop joiner ----------------

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/prov"
+)
+
+// obsFlags is the uniform observability flag surface of the fvn
+// subcommands: --explain (post-run EXPLAIN ANALYZE / metrics), --trace
+// FILE (JSONL event trace), and — on commands that execute a program —
+// --prov (derivation provenance recording, see `fvn why`). Registering
+// them through one helper keeps names, defaults, and help text identical
+// everywhere instead of each subcommand re-declaring its own variants.
+type obsFlags struct {
+	Explain bool
+	Trace   string
+	Prov    bool
+}
+
+// register adds --explain and --trace to fs; withProv additionally
+// registers --prov.
+func (o *obsFlags) register(fs *flag.FlagSet, withProv bool) {
+	fs.BoolVar(&o.Explain, "explain", false, "print EXPLAIN ANALYZE metrics after the command")
+	fs.StringVar(&o.Trace, "trace", "", "write JSONL trace events to this file")
+	if withProv {
+		fs.BoolVar(&o.Prov, "prov", false, "record derivation provenance (inspect with `fvn why`)")
+	}
+}
+
+// tracer builds the JSONL tracer of --trace; an empty path disables
+// tracing. The returned close function flushes and closes the file.
+func (o *obsFlags) tracer() (*obs.Tracer, func() error, error) {
+	if o.Trace == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(o.Trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := obs.NewTracer(obs.NewJSONLSink(f))
+	return tr, tr.Close, nil
+}
+
+// recorder returns a fresh provenance recorder when --prov is set, and
+// the nil (disabled, zero-cost) recorder otherwise.
+func (o *obsFlags) recorder() *prov.Recorder {
+	if !o.Prov {
+		return nil
+	}
+	return prov.New()
+}
+
+// parseOptionalSrc parses a subcommand whose single positional argument —
+// an .ndlog file — is optional and may appear before and/or after flags.
+// It returns the file's contents, or def when no file is given.
+func parseOptionalSrc(fs *flag.FlagSet, args []string, def string) (string, error) {
+	if err := fs.Parse(args); err != nil {
+		return "", err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return def, nil
+	}
+	if err := fs.Parse(rest[1:]); err != nil {
+		return "", err
+	}
+	if fs.NArg() > 0 {
+		return "", fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	data, err := os.ReadFile(rest[0])
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -35,6 +36,10 @@ import (
 	"repro/internal/translate"
 	"repro/internal/verify"
 )
+
+// stdout is the output sink of the subcommands; tests swap it for a
+// buffer to assert on rendered reports.
+var stdout io.Writer = os.Stdout
 
 func main() {
 	if len(os.Args) < 2 {
@@ -55,6 +60,10 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "chaos":
 		err = cmdChaos(os.Args[2:])
+	case "why":
+		err = cmdWhy(os.Args[2:])
+	case "why-not", "whynot":
+		err = cmdWhyNot(os.Args[2:])
 	case "mc":
 		err = cmdMC(os.Args[2:])
 	case "algebra":
@@ -72,18 +81,23 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fvn <translate|verify|run|chaos|mc|algebra|demo> [flags]
+	fmt.Fprintln(os.Stderr, `usage: fvn <translate|verify|run|chaos|why|why-not|mc|algebra|demo> [flags]
   translate <file.ndlog>                     print the logical specification
   verify <file.ndlog> -theorem T [-script F | -auto] [-workers N]
-  verify -suite [-workers N] [-cache=false] [-seed-kernel] [-explain]
+  verify -suite [-workers N] [-cache=false] [-seed-kernel]
                                              discharge the full obligation suite
   run <file.ndlog> -topo <line|ring|grid|clique|star|tree|rand>:<n> [-pred P]
-      [-loss R] [-dup R] [-delay-jitter J] [-fault-plan F.json] [-seed N]
-  chaos [file.ndlog] [-topo ring:8] [-n 50] [-seed N] [-hard]
+      [-loss R] [-dup R] [-delay-jitter J] [-fault-plan F.json] [-seed N] [-prov]
+  chaos [file.ndlog] [-topo ring:8] [-n 50] [-seed N] [-hard] [-prov] [-json]
       [-replay-seed N | -plan F.json]        fault campaign + invariant checks
+  why [file.ndlog] -tuple 'bestPathCost(n0,n1,1)' [-topo ring:6] [-json]
+                                             derivation tree of a tuple
+  why-not [file.ndlog] -tuple 'pred(...)' [-topo ring:6] [-json]
+                                             why a tuple is absent
   mc <file.ndlog>                            explore the transition system
   algebra [-name NAME]                       metarouting obligation discharge
-  demo                                       the §3.1 bestPathStrong experiment`)
+  demo                                       the §3.1 bestPathStrong experiment
+every executing/proving subcommand also takes --explain and --trace FILE`)
 }
 
 func loadProtocol(args []string) (*core.Protocol, []string, error) {
@@ -125,20 +139,6 @@ func parseCmd(fs *flag.FlagSet, args []string) (*core.Protocol, error) {
 	return p, err
 }
 
-// openTrace builds a tracer writing JSONL events to path; "" disables
-// tracing. The returned close function flushes and closes the file.
-func openTrace(path string) (*obs.Tracer, func() error, error) {
-	if path == "" {
-		return nil, func() error { return nil }, nil
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	tr := obs.NewTracer(obs.NewJSONLSink(f))
-	return tr, tr.Close, nil
-}
-
 func cmdTranslate(args []string) error {
 	p, _, err := loadProtocol(args)
 	if err != nil {
@@ -174,11 +174,16 @@ func cmdVerifySuite(args []string) error {
 	workers := fs.Int("workers", 1, "concurrent obligation discharge")
 	cache := fs.Bool("cache", true, "reuse results for identical obligations")
 	seedKernel := fs.Bool("seed-kernel", false, "use the seed structural kernel (sequential reference)")
-	explain := fs.Bool("explain", false, "print per-obligation EXPLAIN ANALYZE after the run")
+	var of obsFlags
+	of.register(fs, false)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	obls, err := verify.StandardSuite()
+	if err != nil {
+		return err
+	}
+	tracer, closeTrace, err := of.tracer()
 	if err != nil {
 		return err
 	}
@@ -188,12 +193,16 @@ func cmdVerifySuite(args []string) error {
 		Cache:      *cache,
 		Structural: *seedKernel,
 		Col:        col,
+		Tracer:     tracer,
 	})
 	rep := pl.Run(obls)
-	rep.WriteTable(os.Stdout)
-	if *explain {
-		obs.WriteObligationExplain(os.Stdout, col)
-		obs.WriteTacticExplain(os.Stdout, col)
+	rep.WriteTable(stdout)
+	if of.Explain {
+		obs.WriteObligationExplain(stdout, col)
+		obs.WriteTacticExplain(stdout, col)
+	}
+	if err := closeTrace(); err != nil {
+		return err
 	}
 	if !rep.AllProved() {
 		return fmt.Errorf("%d obligations failed", rep.Failed())
@@ -207,8 +216,8 @@ func cmdVerify(args []string) error {
 	script := fs.String("script", "", "proof script file")
 	auto := fs.Bool("auto", false, "use the automated strategy (grind)")
 	workers := fs.Int("workers", 1, "parallel grind split branches")
-	explain := fs.Bool("explain", false, "print per-tactic EXPLAIN ANALYZE after the proof")
-	tracePath := fs.String("trace", "", "write JSONL trace events to this file")
+	var of obsFlags
+	of.register(fs, false)
 	p, err := parseCmd(fs, args)
 	if err != nil {
 		return err
@@ -219,7 +228,7 @@ func cmdVerify(args []string) error {
 	if *theorem == "" {
 		return fmt.Errorf("-theorem is required; available: %v", theoremNames(p))
 	}
-	tracer, closeTrace, err := openTrace(*tracePath)
+	tracer, closeTrace, err := of.tracer()
 	if err != nil {
 		return err
 	}
@@ -252,8 +261,8 @@ func cmdVerify(args []string) error {
 	}
 	r := pr.Summary()
 	report(r.QED, *theorem, r.Steps, r.PrimSteps, r.AutomationRatio(), r.Elapsed.Seconds())
-	if *explain {
-		obs.WriteTacticExplain(os.Stdout, col)
+	if of.Explain {
+		obs.WriteTacticExplain(stdout, col)
 	}
 	if err := closeTrace(); err != nil {
 		return err
@@ -325,8 +334,8 @@ func cmdRun(args []string) error {
 	jitter := fs.Float64("delay-jitter", 0, "max extra per-message delay (uniform)")
 	planPath := fs.String("fault-plan", "", "apply a declarative fault plan (JSON file)")
 	seed := fs.Uint64("seed", 0, "PRNG seed for scan shuffle and fault channels")
-	explain := fs.Bool("explain", false, "print per-rule EXPLAIN ANALYZE after the run")
-	tracePath := fs.String("trace", "", "write JSONL trace events to this file")
+	var of obsFlags
+	of.register(fs, true)
 	p, err := parseCmd(fs, args)
 	if err != nil {
 		return err
@@ -335,7 +344,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	tracer, closeTrace, err := openTrace(*tracePath)
+	tracer, closeTrace, err := of.tracer()
 	if err != nil {
 		return err
 	}
@@ -347,8 +356,9 @@ func cmdRun(args []string) error {
 		Seed:              *seed,
 		LoadTopologyLinks: true,
 		Trace:             tracer,
+		Prov:              of.recorder(),
 	}
-	if *explain {
+	if of.Explain {
 		// An external collector switches on per-rule eval timing.
 		opts.Obs = obs.NewCollector()
 	}
@@ -373,14 +383,20 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("converged=%v time=%.1f messages=%d derivations=%d route-changes=%d flips=%d\n",
+	fmt.Fprintf(stdout, "converged=%v time=%.1f messages=%d derivations=%d route-changes=%d flips=%d\n",
 		res.Converged, res.Time, res.Stats.MessagesSent, res.Stats.Derivations,
 		res.Stats.RouteChanges, res.Stats.Flips)
-	if *explain {
-		net.Explain(os.Stdout, p.Name)
+	if rec := net.Prov(); rec.Enabled() {
+		fmt.Fprintf(stdout, "provenance: %d entries recorded (inspect with `fvn why`)\n", rec.Len())
+		if opts.Obs != nil {
+			rec.RecordMetrics(opts.Obs)
+		}
+	}
+	if of.Explain {
+		net.Explain(stdout, p.Name)
 	}
 	if *pred != "" {
-		fmt.Print(net.Snapshot(*pred))
+		fmt.Fprint(stdout, net.Snapshot(*pred))
 	}
 	return closeTrace()
 }
@@ -397,32 +413,30 @@ func cmdChaos(args []string) error {
 	planPath := fs.String("plan", "", "run one explicit fault plan (JSON file) instead of generating")
 	hard := fs.Bool("hard", false, "skip the soft-state rewrite (negative control: expected to fail under link faults)")
 	horizon := fs.Float64("horizon", 0, "generated-plan fault horizon (0: generator default)")
+	jsonOut := fs.Bool("json", false, "print each run's report as one machine-readable JSON line")
+	var of obsFlags
+	of.register(fs, true)
 	// The program source is an optional positional .ndlog file; the
 	// paper's path-vector protocol is the default subject.
-	src := core.PathVectorSrc
-	if err := fs.Parse(args); err != nil {
+	src, err := parseOptionalSrc(fs, args, core.PathVectorSrc)
+	if err != nil {
 		return err
 	}
-	rest := fs.Args()
-	if len(rest) > 0 {
-		if err := fs.Parse(rest[1:]); err != nil {
-			return err
-		}
-		if fs.NArg() > 0 {
-			return fmt.Errorf("unexpected argument %q", fs.Arg(0))
-		}
-		data, err := os.ReadFile(rest[0])
-		if err != nil {
-			return err
-		}
-		src = string(data)
+	tracer, closeTrace, err := of.tracer()
+	if err != nil {
+		return err
 	}
+	defer closeTrace()
 	gen := faults.DefaultGenOptions()
 	if *horizon > 0 {
 		gen.Horizon = *horizon
 	}
 	opts := dist.DefaultChaosOptions()
 	opts.Hard = *hard
+	opts.Trace = tracer
+	if of.Explain {
+		opts.Obs = obs.NewCollector()
+	}
 	c := &dist.Campaign{
 		Source:   src,
 		Topo:     func() *netgraph.Topology { t, _ := parseTopo(*topoSpec); return t },
@@ -430,6 +444,7 @@ func cmdChaos(args []string) error {
 		BaseSeed: *seed,
 		Gen:      gen,
 		Opts:     opts,
+		Prov:     of.Prov,
 	}
 	// Validate the topology spec up front; the campaign's Topo closure
 	// cannot surface a parse error.
@@ -438,18 +453,32 @@ func cmdChaos(args []string) error {
 	}
 
 	reportOne := func(rep *dist.ChaosReport) error {
-		fmt.Printf("seed %d  %s\n", rep.Seed, rep.Plan.Summary())
-		fmt.Printf("  live=%d msgs=%d dup=%d drop=%d crash=%d restart=%d checked-at=%.1f\n",
-			len(rep.Live), rep.Stats.MessagesSent, rep.Stats.MessagesDuplicated,
-			rep.Stats.MessagesDropped, rep.Stats.Crashes, rep.Stats.Restarts, rep.CheckedAt)
+		if *jsonOut {
+			fmt.Fprintf(stdout, "%s\n", rep.JSON())
+		} else {
+			fmt.Fprintf(stdout, "seed %d  %s\n", rep.Seed, rep.Plan.Summary())
+			fmt.Fprintf(stdout, "  live=%d msgs=%d dup=%d drop=%d crash=%d restart=%d checked-at=%.1f\n",
+				len(rep.Live), rep.Stats.MessagesSent, rep.Stats.MessagesDuplicated,
+				rep.Stats.MessagesDropped, rep.Stats.Crashes, rep.Stats.Restarts, rep.CheckedAt)
+		}
+		if of.Explain && opts.Obs != nil {
+			obs.WriteMetrics(stdout, opts.Obs)
+		}
 		if rep.Failed() {
-			for _, v := range rep.Violations {
-				fmt.Printf("  FAIL %s\n", v)
+			if !*jsonOut {
+				for _, v := range rep.Violations {
+					fmt.Fprintf(stdout, "  FAIL %s\n", v)
+				}
+				for _, rc := range rep.RootCause {
+					fmt.Fprintf(stdout, "  root cause: %s\n", rc)
+				}
+				fmt.Fprintf(stdout, "  plan: %s\n", rep.Plan.JSON())
 			}
-			fmt.Printf("  plan: %s\n", rep.Plan.JSON())
 			return fmt.Errorf("invariants violated (seed %d)", rep.Seed)
 		}
-		fmt.Println("  all invariants hold")
+		if !*jsonOut {
+			fmt.Fprintln(stdout, "  all invariants hold")
+		}
 		return nil
 	}
 
@@ -465,6 +494,7 @@ func cmdChaos(args []string) error {
 		}
 		o := opts
 		o.Seed = *seed
+		o.Prov = of.recorder()
 		topo := c.Topo()
 		rep, err := dist.RunChaos(src, topo, plan, o)
 		if err != nil {
@@ -478,7 +508,25 @@ func cmdChaos(args []string) error {
 		}
 		return reportOne(rep)
 	default:
-		reports, err := c.Execute(os.Stdout)
+		if *jsonOut {
+			// One JSON line per run, no prose — the harness-friendly mode.
+			failures := 0
+			for i := 0; i < *runs; i++ {
+				rep, err := c.RunOne(i)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "%s\n", rep.JSON())
+				if rep.Failed() {
+					failures++
+				}
+			}
+			if failures > 0 {
+				return fmt.Errorf("campaign had %d failing runs (replay with -replay-seed)", failures)
+			}
+			return nil
+		}
+		reports, err := c.Execute(stdout)
 		if err != nil {
 			return err
 		}
@@ -497,13 +545,13 @@ func cmdMC(args []string) error {
 	fs.IntVar(&maxStates, "max-states", 1<<16, "cap on admitted states (exact; a hit run is inconclusive)")
 	fs.IntVar(&maxStates, "maxstates", 1<<16, "alias for -max-states")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel expansion workers (1 = sequential)")
-	explain := fs.Bool("explain", false, "print exploration metrics after the check")
-	tracePath := fs.String("trace", "", "write JSONL trace events to this file")
+	var of obsFlags
+	of.register(fs, false)
 	p, err := parseCmd(fs, args)
 	if err != nil {
 		return err
 	}
-	tracer, closeTrace, err := openTrace(*tracePath)
+	tracer, closeTrace, err := of.tracer()
 	if err != nil {
 		return err
 	}
@@ -529,8 +577,8 @@ func cmdMC(args []string) error {
 	default:
 		fmt.Println("quiescence inconclusive: state bound hit before a quiescent state was found")
 	}
-	if *explain {
-		obs.WriteMetrics(os.Stdout, col)
+	if of.Explain {
+		obs.WriteMetrics(stdout, col)
 	}
 	return closeTrace()
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"os"
@@ -10,6 +11,16 @@ import (
 
 	"repro/internal/obs"
 )
+
+// captureStdout swaps the subcommand output sink for a buffer.
+func captureStdout(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var b bytes.Buffer
+	old := stdout
+	stdout = &b
+	t.Cleanup(func() { stdout = old })
+	return &b
+}
 
 func TestParseTopo(t *testing.T) {
 	cases := []struct {
@@ -161,6 +172,96 @@ func TestChaosCommand(t *testing.T) {
 	}
 	if err := cmdChaos([]string{"-topo", "ring:5", "-plan", plan}); err != nil {
 		t.Fatalf("explicit-plan chaos run failed: %v", err)
+	}
+}
+
+// TestWhyCommandGolden is the acceptance golden: `fvn why` on ring:6
+// reproduces the derivation tree of a known one-hop route exactly.
+func TestWhyCommandGolden(t *testing.T) {
+	out := captureStdout(t)
+	if err := cmdWhy([]string{"-topo", "ring:6", "-tuple", "bestPathCost(n0,n1,1)"}); err != nil {
+		t.Fatal(err)
+	}
+	const want = `why bestPathCost(n0,n1,1) @n0:
+  bestPathCost(n0,n1,1) @n0  t=0s
+    rule r3 @n0  t=0s
+      path(n0,n1,[n0,n1],1) @n0  t=0s
+        rule r1 @n0  t=0s
+          link(n0,n1,1) @n0  [base]  t=0s
+`
+	if out.String() != want {
+		t.Errorf("why golden mismatch:\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+// TestWhyJSONAndWhyNot covers the -json rendering and the why-not
+// explanations through the CLI surface.
+func TestWhyJSONAndWhyNot(t *testing.T) {
+	out := captureStdout(t)
+	if err := cmdWhy([]string{"-json", "-topo", "ring:6", "-tuple", "bestPathCost(n0,n2,2)"}); err != nil {
+		t.Fatal(err)
+	}
+	var tree map[string]any
+	if err := json.Unmarshal(out.Bytes(), &tree); err != nil {
+		t.Fatalf("why -json is not valid JSON: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), `"kind": "message"`) {
+		t.Errorf("two-hop why -json tree has no message edge:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := cmdWhyNot([]string{"-topo", "ring:6", "-tuple", "bestPathCost(n0,n1,9)"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "primary key is held by bestPathCost(n0,n1,1)") {
+		t.Errorf("why-not missing key-occupant explanation:\n%s", out.String())
+	}
+
+	// A why on an absent tuple points at why-not.
+	if err := cmdWhy([]string{"-topo", "ring:6", "-tuple", "bestPathCost(n0,n1,9)"}); err == nil {
+		t.Error("why on an absent tuple succeeded")
+	}
+	// -tuple is mandatory.
+	if err := cmdWhy([]string{"-topo", "ring:6"}); err == nil {
+		t.Error("why without -tuple succeeded")
+	}
+}
+
+// TestChaosJSONReport: a failing hard-state run with -prov -json emits a
+// machine-readable report naming the violated check, the violating
+// tuple, and a root-cause chain matched to the plan's fault event.
+func TestChaosJSONReport(t *testing.T) {
+	plan := filepath.Join(t.TempDir(), "flap.json")
+	body := `{"links": [{"a": "n0", "b": "n1", "flaps": [{"down": 10}]}]}`
+	if err := os.WriteFile(plan, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t)
+	err := cmdChaos([]string{"-topo", "ring:5", "-plan", plan, "-hard", "-prov", "-json"})
+	if err == nil {
+		t.Fatal("hard-state run under a permanent link failure reported no violation")
+	}
+	var rep struct {
+		Violations []struct {
+			Check string `json:"check"`
+			Pred  string `json:"pred"`
+			Tuple string `json:"tuple"`
+		} `json:"violations"`
+		RootCause []string `json:"root_cause"`
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(out.Bytes()), &rep); err != nil {
+		t.Fatalf("chaos -json is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("report has no violations")
+	}
+	v := rep.Violations[0]
+	if v.Check != "safety" || v.Pred == "" || v.Tuple == "" {
+		t.Errorf("violation lacks machine-readable fields: %+v", v)
+	}
+	rc := strings.Join(rep.RootCause, "\n")
+	if !strings.Contains(rc, "link_down") || !strings.Contains(rc, "[plan: link_down n0-n1 @10s]") {
+		t.Errorf("root cause does not name the plan's link fault:\n%s", rc)
 	}
 }
 

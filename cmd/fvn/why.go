@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/obs"
+	"repro/internal/prov"
+	"repro/internal/value"
+)
+
+// cmdWhy renders the derivation tree of a materialized tuple: it executes
+// the program (default: the paper's path-vector protocol) with provenance
+// recording on, locates the tuple's current version, and walks its
+// lineage — rule firings, consumed antecedents, causal message edges —
+// down to base facts.
+func cmdWhy(args []string) error { return whyCmd("why", args) }
+
+// cmdWhyNot explains why a tuple is absent after the run: the occupant of
+// its primary key, any recorded retraction, and per candidate rule the
+// deepest point where an interpreted body search fails.
+func cmdWhyNot(args []string) error { return whyCmd("why-not", args) }
+
+func whyCmd(name string, args []string) error {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	topoSpec := fs.String("topo", "ring:6", "topology spec, e.g. ring:6")
+	tupleSpec := fs.String("tuple", "", "target tuple, e.g. 'bestPathCost(n0,n1,1)'")
+	jsonOut := fs.Bool("json", false, "machine-readable output")
+	seed := fs.Uint64("seed", 0, "PRNG seed for scan shuffle")
+	maxTime := fs.Float64("maxtime", 10000, "simulated time bound")
+	var of obsFlags
+	of.register(fs, false)
+	src, err := parseOptionalSrc(fs, args, core.PathVectorSrc)
+	if err != nil {
+		return err
+	}
+	if *tupleSpec == "" {
+		return fmt.Errorf("-tuple is required, e.g. -tuple 'bestPathCost(n0,n1,1)'")
+	}
+	pred, tup, err := prov.ParseTupleSpec(*tupleSpec)
+	if err != nil {
+		return err
+	}
+	topo, err := parseTopo(*topoSpec)
+	if err != nil {
+		return err
+	}
+	p, err := core.FromNDlog(name+".ndlog", src)
+	if err != nil {
+		return err
+	}
+	tracer, closeTrace, err := of.tracer()
+	if err != nil {
+		return err
+	}
+	net, err := p.Execute(topo, dist.Options{
+		MaxTime:           *maxTime,
+		Seed:              *seed,
+		LoadTopologyLinks: true,
+		Prov:              prov.New(),
+		Trace:             tracer,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := net.Run(); err != nil {
+		return err
+	}
+	if err := whyReport(net, name, pred, tup, *jsonOut); err != nil {
+		return err
+	}
+	if of.Explain {
+		col := obs.NewCollector()
+		net.Prov().RecordMetrics(col)
+		obs.WriteMetrics(stdout, col)
+	}
+	return closeTrace()
+}
+
+// whyReport prints the why / why-not answer for pred(tup) on a network
+// that ran with provenance recording.
+func whyReport(net *dist.Network, name, pred string, tup value.Tuple, jsonOut bool) error {
+	if name == "why-not" {
+		out := net.WhyNot(pred, tup)
+		if jsonOut {
+			js, err := json.Marshal(map[string]string{
+				"query":       pred + tup.String(),
+				"explanation": out,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, string(js))
+			return nil
+		}
+		fmt.Fprint(stdout, out)
+		return nil
+	}
+	node, id := net.WhyID(pred, tup)
+	if id == 0 {
+		return fmt.Errorf("%s%s is not materialized anywhere — try `fvn why-not -tuple '%s%s'`",
+			pred, tup, pred, tup)
+	}
+	if jsonOut {
+		js, err := net.Prov().TreeJSON(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(js))
+		return nil
+	}
+	fmt.Fprintf(stdout, "why %s%s @%s:\n", pred, tup, node)
+	net.Prov().WriteTree(stdout, id)
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ndlog"
 	"repro/internal/obs"
+	"repro/internal/prov"
 	"repro/internal/store"
 	"repro/internal/value"
 )
@@ -51,6 +52,11 @@ type Engine struct {
 	col     *obs.Collector
 	tracer  *obs.Tracer
 	ruleObs map[*ndlog.Rule]*ruleObs
+
+	// Provenance (nil when disabled — see AttachProv). provAnts is the
+	// reusable antecedent scratch buffer of the emit path.
+	prov     *prov.Recorder
+	provAnts []prov.ID
 }
 
 // ruleObs bundles the per-rule metric handles of one rule.
@@ -82,6 +88,16 @@ func (e *Engine) Attach(c *obs.Collector, t *obs.Tracer) {
 		}
 	}
 }
+
+// AttachProv connects the engine to a provenance recorder. Every tuple
+// inserted afterwards gets a derivation entry: base facts become leaves,
+// rule emissions record the firing plus the antecedent tuple versions the
+// join consumed. The centralized engine records under the empty node name
+// at t=0 (it has no clock). Passing nil detaches.
+func (e *Engine) AttachProv(rec *prov.Recorder) { e.prov = rec }
+
+// Prov returns the attached provenance recorder (nil when detached).
+func (e *Engine) Prov() *prov.Recorder { return e.prov }
 
 // New analyzes prog and creates an engine over it. The program's facts are
 // loaded into the store.
@@ -156,7 +172,10 @@ func (e *Engine) Insert(pred string, t value.Tuple) error {
 		r = NewRelation(pred, len(t))
 		e.rels[pred] = r
 	}
-	_, err := r.Insert(t)
+	isNew, err := r.Insert(t)
+	if isNew && err == nil {
+		e.prov.Tuple(0, "", pred, t, 0)
+	}
 	return err
 }
 
@@ -167,7 +186,11 @@ func (e *Engine) DeleteBase(pred string, t value.Tuple) bool {
 	if !ok {
 		return false
 	}
-	return r.Delete(t)
+	if r.Delete(t) {
+		e.prov.Retract(0, "", pred, t, "delete_base", 0)
+		return true
+	}
+	return false
 }
 
 // Query returns the tuples of pred in deterministic order.
@@ -363,6 +386,10 @@ func (e *Engine) evalRuleCollect(r *ndlog.Rule, deltaIdx int, delta []value.Tupl
 					e.tracer.Emit(obs.Event{Kind: obs.EvTupleDerived, Rule: r.Label, Pred: r.Head.Pred, Tuple: t.String()})
 				}
 			}
+			if e.prov.Enabled() {
+				cause := e.prov.Rule(0, "", r.Label, e.collectAnts(plan, x))
+				e.prov.Tuple(0, "", r.Head.Pred, t, cause)
+			}
 			added = append(added, t)
 		}
 		return nil
@@ -373,6 +400,20 @@ func (e *Engine) evalRuleCollect(r *ndlog.Rule, deltaIdx int, delta []value.Tupl
 		ro.eval.Observe(time.Since(t0))
 	}
 	return added, err
+}
+
+// collectAnts resolves the tuples currently bound by the plan's scan and
+// delta steps to their provenance ids — the antecedents of the firing.
+func (e *Engine) collectAnts(plan *ndlog.Plan, x *store.Exec) []prov.ID {
+	ants := e.provAnts[:0]
+	for _, si := range plan.AntSteps {
+		st := &plan.Steps[si]
+		if id := e.prov.Current("", st.Pred, x.CurTuple(si)); id != 0 {
+			ants = append(ants, id)
+		}
+	}
+	e.provAnts = ants
+	return ants
 }
 
 // addFiring counts one head derivation (nil-safe for the disabled path).
@@ -412,7 +453,9 @@ func (e *Engine) evalDelete(r *ndlog.Rule) error {
 	}
 	rel := e.rels[r.Head.Pred]
 	for _, t := range victims {
-		rel.Delete(t)
+		if rel.Delete(t) {
+			e.prov.Retract(0, "", r.Head.Pred, t, "delete_rule "+r.Label, 0)
+		}
 	}
 	return nil
 }
@@ -435,8 +478,34 @@ func (e *Engine) evalAggregate(r *ndlog.Rule) error {
 		key  value.Tuple // non-aggregate head values
 		best value.V
 		n    int64
+		ants []prov.ID // contributing tuple versions (capped)
 	}
+	// maxAggAnts bounds the antecedents recorded per aggregate group so a
+	// wide group cannot bloat the provenance arena.
+	const maxAggAnts = 16
 	groups := map[string]*group{}
+	collect := func(g *group) {
+		if !e.prov.Enabled() || len(g.ants) >= maxAggAnts {
+			return
+		}
+	next:
+		for _, si := range plan.AntSteps {
+			st := &plan.Steps[si]
+			id := e.prov.Current("", st.Pred, x.CurTuple(si))
+			if id == 0 {
+				continue
+			}
+			for _, have := range g.ants {
+				if have == id {
+					continue next
+				}
+			}
+			g.ants = append(g.ants, id)
+			if len(g.ants) >= maxAggAnts {
+				return
+			}
+		}
+	}
 	probes, err := x.Run(e, nil, nil, func(frame []value.V) error {
 		key := make(value.Tuple, 0, len(plan.HeadExprs)-1)
 		for i, ce := range plan.HeadExprs {
@@ -459,10 +528,13 @@ func (e *Engine) evalAggregate(r *ndlog.Rule) error {
 			if plan.AggKind == "sum" && av.K != value.KindInt {
 				return fmt.Errorf("datalog: rule %s: sum over non-integer", r.Label)
 			}
-			groups[k] = &group{key: key, best: av, n: 1}
+			g = &group{key: key, best: av, n: 1}
+			groups[k] = g
+			collect(g)
 			return nil
 		}
 		g.n++
+		collect(g)
 		switch plan.AggKind {
 		case "min":
 			if av.Compare(g.best) < 0 {
@@ -523,6 +595,10 @@ func (e *Engine) evalAggregate(r *ndlog.Rule) error {
 				if e.tracer != nil {
 					e.tracer.Emit(obs.Event{Kind: obs.EvTupleDerived, Rule: r.Label, Pred: r.Head.Pred, Tuple: out.String()})
 				}
+			}
+			if e.prov.Enabled() {
+				cause := e.prov.Rule(0, "", r.Label, g.ants)
+				e.prov.Tuple(0, "", r.Head.Pred, out, cause)
 			}
 		}
 	}

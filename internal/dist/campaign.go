@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/ndlog"
 	"repro/internal/netgraph"
 	"repro/internal/obs"
+	"repro/internal/prov"
 	"repro/internal/value"
 )
 
@@ -54,6 +56,10 @@ type ChaosOptions struct {
 	// Obs and Trace are passed through to the network.
 	Obs   *obs.Collector
 	Trace *obs.Tracer
+	// Prov, when set, records derivation provenance; a failing run then
+	// carries a root-cause chain from each violating tuple back to the
+	// fault events on its lineage.
+	Prov *prov.Recorder
 }
 
 // DefaultChaosOptions returns the campaign defaults: a short lifetime
@@ -68,19 +74,49 @@ func DefaultChaosOptions() ChaosOptions {
 	}
 }
 
+// Violation is one invariant breach, with the violating tuple in
+// machine-readable form when the check can name one. Msg carries the
+// full human-readable sentence; String returns it, so formatted output
+// is unchanged from the era when violations were plain strings.
+type Violation struct {
+	Check string `json:"check"`           // "safety", "liveness", "conservation"
+	Node  string `json:"node,omitempty"`  // node holding the violating state
+	Pred  string `json:"pred,omitempty"`  // predicate of the violating tuple
+	Tuple string `json:"tuple,omitempty"` // rendered violating tuple
+	Msg   string `json:"msg"`
+
+	tup value.Tuple // the violating tuple, for provenance lookup
+}
+
+func (v Violation) String() string { return v.Msg }
+
 // ChaosReport is the outcome of one chaos execution.
 type ChaosReport struct {
-	Seed       uint64
-	Plan       *faults.Plan
-	Stable     bool     // bestPathCost digest unchanged across the Quiet window
-	Violations []string // invariant violations (empty = run passed)
-	Live       []string // nodes up at the end of the run
-	Stats      Stats
-	CheckedAt  float64 // simulated time of the final sample
+	Seed       uint64       `json:"seed"`
+	Plan       *faults.Plan `json:"plan"`
+	Stable     bool         `json:"stable"` // bestPathCost digest unchanged across the Quiet window
+	Violations []Violation  `json:"violations,omitempty"`
+	Live       []string     `json:"live"` // nodes up at the end of the run
+	Stats      Stats        `json:"stats"`
+	CheckedAt  float64      `json:"checked_at"` // simulated time of the final sample
+	// RootCause holds one provenance-derived chain per violating tuple
+	// (requires ChaosOptions.Prov): the fault events on the tuple's
+	// lineage, matched against the plan's scheduled events.
+	RootCause []string `json:"root_cause,omitempty"`
 }
 
 // Failed reports whether the run violated any invariant.
 func (r *ChaosReport) Failed() bool { return len(r.Violations) > 0 }
+
+// JSON renders the report as a single machine-readable line, so test
+// harnesses can assert the violating check and tuple of a replay.
+func (r *ChaosReport) JSON() []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return []byte(fmt.Sprintf(`{"seed":%d,"error":%q}`, r.Seed, err))
+	}
+	return b
+}
 
 // RunChaos executes the program source over topo under plan and checks
 // the route invariants at quiescence. topo is mutated in place by the
@@ -125,6 +161,7 @@ func RunChaos(src string, topo *netgraph.Topology, plan *faults.Plan, o ChaosOpt
 		LoadTopologyLinks: true,
 		Obs:               o.Obs,
 		Trace:             o.Trace,
+		Prov:              o.Prov,
 	})
 	if err != nil {
 		return nil, err
@@ -151,14 +188,67 @@ func RunChaos(src string, topo *netgraph.Topology, plan *faults.Plan, o ChaosOpt
 	rep.CheckedAt = net.Now()
 
 	if !rep.Stable {
-		rep.Violations = append(rep.Violations,
-			"liveness: bestPathCost still changing between samples (not converged)")
+		rep.Violations = append(rep.Violations, Violation{
+			Check: "liveness",
+			Msg:   "liveness: bestPathCost still changing between samples (not converged)",
+		})
 	}
 	rep.Violations = append(rep.Violations, checkRoutes(net)...)
 	if v := checkConservation(net); v != "" {
-		rep.Violations = append(rep.Violations, v)
+		rep.Violations = append(rep.Violations, Violation{Check: "conservation", Msg: v})
+	}
+	if rep.Failed() && net.Prov().Enabled() {
+		rep.RootCause = rootCause(net, plan, rep.Violations)
 	}
 	return rep, nil
+}
+
+// rootCause walks each violating tuple's recorded lineage and collects
+// the fault events implicated in it (faults that retracted lineage
+// support, crashes of lineage nodes, failures of crossed links),
+// annotating each with the matching scheduled event of the fault plan.
+func rootCause(net *Network, plan *faults.Plan, vs []Violation) []string {
+	rec := net.Prov()
+	events := plan.Events()
+	var out []string
+	for _, v := range vs {
+		if v.Pred == "" || v.tup == nil {
+			continue
+		}
+		id := rec.Current(v.Node, v.Pred, v.tup)
+		if id == 0 {
+			continue
+		}
+		lin := rec.Lineage(id, 0)
+		fids := rec.FaultsOn(lin)
+		if len(fids) == 0 {
+			out = append(out, fmt.Sprintf("%s%s @%s: lineage of %d entries, no fault event implicated",
+				v.Pred, v.tup, v.Node, len(lin)))
+			continue
+		}
+		parts := make([]string, len(fids))
+		for i, fid := range fids {
+			parts[i] = rec.Describe(fid)
+			if pe := matchPlanEvent(events, rec.Get(fid).T); pe != "" {
+				parts[i] += " [plan: " + pe + "]"
+			}
+		}
+		out = append(out, fmt.Sprintf("%s%s @%s <- %s", v.Pred, v.tup, v.Node, strings.Join(parts, "; ")))
+	}
+	return out
+}
+
+// matchPlanEvent names the plan events scheduled at time t (fault
+// entries recorded by the runtime carry the simulated time their plan
+// event fired at).
+func matchPlanEvent(events []faults.PlanEvent, t float64) string {
+	var hits []string
+	for _, e := range events {
+		if e.At > t-1e-9 && e.At < t+1e-9 {
+			hits = append(hits, e.String())
+		}
+	}
+	return strings.Join(hits, ", ")
 }
 
 // soften rewrites every materialize declaration to the given soft-state
@@ -174,8 +264,15 @@ func soften(p *ndlog.Program, lifetime float64) {
 // bestPathCost table equals the all-pairs shortest costs of the surviving
 // topology (both directions: no stale or wrong entry, no missing route),
 // and every bestPath entry is a valid path of matching cost.
-func checkRoutes(net *Network) []string {
-	var out []string
+func checkRoutes(net *Network) []Violation {
+	var out []Violation
+	safety := func(msg string, node, pred string, tup value.Tuple) {
+		v := Violation{Check: "safety", Node: node, Pred: pred, Msg: msg, tup: tup}
+		if tup != nil {
+			v.Tuple = tup.String()
+		}
+		out = append(out, v)
+	}
 	truth := net.Topology().ShortestCosts()
 	hasLink := map[string]int64{}
 	for _, l := range net.Topology().Links {
@@ -193,14 +290,17 @@ func checkRoutes(net *Network) []string {
 			}
 			gc, ok := got[dst]
 			if !ok {
-				out = append(out, fmt.Sprintf("safety: %s has no bestPathCost to %s (want %d)", src, dst, c))
+				safety(fmt.Sprintf("safety: %s has no bestPathCost to %s (want %d)", src, dst, c),
+					src, "bestPathCost", nil)
 			} else if gc != c {
-				out = append(out, fmt.Sprintf("safety: %s bestPathCost to %s = %d, want %d", src, dst, gc, c))
+				safety(fmt.Sprintf("safety: %s bestPathCost to %s = %d, want %d", src, dst, gc, c),
+					src, "bestPathCost", value.Tuple{value.Addr(src), value.Addr(dst), value.Int(gc)})
 			}
 		}
 		for dst, gc := range got {
 			if _, ok := want[dst]; !ok {
-				out = append(out, fmt.Sprintf("safety: %s has stale bestPathCost to unreachable %s (= %d)", src, dst, gc))
+				safety(fmt.Sprintf("safety: %s has stale bestPathCost to unreachable %s (= %d)", src, dst, gc),
+					src, "bestPathCost", value.Tuple{value.Addr(src), value.Addr(dst), value.Int(gc)})
 			}
 		}
 		// bestPath entries: cost agrees with bestPathCost truth and the
@@ -209,18 +309,21 @@ func checkRoutes(net *Network) []string {
 			dst, p, c := tup[1].S, tup[2], tup[3].I
 			wc, ok := want[dst]
 			if !ok {
-				out = append(out, fmt.Sprintf("safety: %s has stale bestPath to unreachable %s", src, dst))
+				safety(fmt.Sprintf("safety: %s has stale bestPath to unreachable %s", src, dst),
+					src, "bestPath", tup)
 				continue
 			}
 			if c != wc {
-				out = append(out, fmt.Sprintf("safety: %s bestPath to %s costs %d, want %d", src, dst, c, wc))
+				safety(fmt.Sprintf("safety: %s bestPath to %s costs %d, want %d", src, dst, c, wc),
+					src, "bestPath", tup)
 			}
 			if msg := validPath(p, src, dst, c, hasLink); msg != "" {
-				out = append(out, fmt.Sprintf("safety: %s bestPath to %s: %s", src, dst, msg))
+				safety(fmt.Sprintf("safety: %s bestPath to %s: %s", src, dst, msg),
+					src, "bestPath", tup)
 			}
 		}
 	}
-	sort.Strings(out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Msg < out[j].Msg })
 	return out
 }
 
@@ -273,6 +376,10 @@ type Campaign struct {
 	Gen faults.GenOptions
 	// Opts configures each execution (Seed is overwritten per run).
 	Opts ChaosOptions
+	// Prov gives each run a fresh provenance recorder, so failure
+	// reports carry root-cause chains (Opts.Prov, when set, takes
+	// precedence and is shared across runs — replay use only).
+	Prov bool
 }
 
 // SeedFor returns the seed of run i — the value fvn chaos --replay-seed
@@ -285,6 +392,9 @@ func (c *Campaign) RunSeed(seed uint64) (*ChaosReport, error) {
 	plan := faults.Generate(seed, topo, c.Gen)
 	o := c.Opts
 	o.Seed = seed
+	if c.Prov && o.Prov == nil {
+		o.Prov = prov.New()
+	}
 	return RunChaos(c.Source, topo, plan, o)
 }
 
@@ -311,6 +421,10 @@ func (c *Campaign) Execute(w io.Writer) ([]*ChaosReport, error) {
 				for _, v := range rep.Violations {
 					fmt.Fprintf(w, "      %s\n", v)
 				}
+				for _, rc := range rep.RootCause {
+					fmt.Fprintf(w, "      root cause: %s\n", rc)
+				}
+				fmt.Fprintf(w, "      report: %s\n", rep.JSON())
 				fmt.Fprintf(w, "      replay: fvn chaos --replay-seed %d\n      plan: %s\n",
 					rep.Seed, strings.ReplaceAll(string(rep.Plan.JSON()), "\n", "\n      "))
 			}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ndlog"
 	"repro/internal/netgraph"
 	"repro/internal/obs"
+	"repro/internal/prov"
 	"repro/internal/store"
 	"repro/internal/value"
 )
@@ -49,6 +50,10 @@ type Options struct {
 	// Trace, when set, receives structured trace events (message
 	// lifecycle, tuple updates, route flips, expirations, link changes).
 	Trace *obs.Tracer
+	// Prov, when set, records the derivation graph of every materialized
+	// tuple (rule firings, message deliveries, fault events, and
+	// retractions); nil disables provenance at zero cost.
+	Prov *prov.Recorder
 }
 
 // DefaultOptions returns reasonable simulation settings.
@@ -134,6 +139,9 @@ type Network struct {
 	nm      netMetrics
 	ruleObs map[*ndlog.Rule]*distRuleObs
 
+	prov     *prov.Recorder // nil when provenance disabled
+	provAnts []prov.ID      // reusable antecedent scratch
+
 	lastChange float64
 
 	rngState uint64
@@ -218,6 +226,7 @@ func NewNetwork(prog *ndlog.Program, topo *netgraph.Topology, opts Options) (*Ne
 		shuf:     store.NewShuffler(opts.Seed),
 		rngState: opts.Seed ^ 0xdeadbeefcafef00d,
 		history:  map[string][2]string{},
+		prov:     opts.Prov,
 
 		defaultChan: faults.Channel{
 			Dup:     opts.DupRate,
@@ -414,6 +423,9 @@ type event struct {
 	// partition events
 	pid   int
 	group []string
+	// messages: the sender-side provenance entry (rule firing) that
+	// emitted the carried tuple; resolved into a delivery edge on admit.
+	cause prov.ID
 }
 
 type eventQueue []*event
@@ -656,7 +668,7 @@ func (n *Network) chanFor(src, dst string) *chanState {
 // the legacy global LossRate, channel loss, delay jitter, and reordering
 // delay. Every scheduled copy is stamped with the link epoch so a later
 // link failure drops it in flight.
-func (n *Network) sendMessage(src, dst, pred string, tup value.Tuple) {
+func (n *Network) sendMessage(src, dst, pred string, tup value.Tuple, cause prov.ID) {
 	ch := n.chanFor(src, dst)
 	copies := 1
 	if ch != nil && ch.cfg.Dup > 0 && ch.rng.Float64() < ch.cfg.Dup {
@@ -699,6 +711,7 @@ func (n *Network) sendMessage(src, dst, pred string, tup value.Tuple) {
 			from:   src,
 			epoch:  epoch,
 			direct: direct,
+			cause:  cause,
 		})
 	}
 }
@@ -806,6 +819,7 @@ func (n *Network) linkDown(a, b string) error {
 	if n.tracer != nil {
 		n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvLinkDown, From: a, To: b})
 	}
+	fid := n.prov.Fault(n.now, "link_down", a, b, 0)
 	n.linkEpoch[a+"|"+b]++
 	n.linkEpoch[b+"|"+a]++
 	n.topo.RemoveLink(a, b)
@@ -823,6 +837,7 @@ func (n *Network) linkDown(a, b string) error {
 		for _, tup := range t.Snapshot() {
 			if tup[0].S == pair[0] && tup[1].S == pair[1] {
 				t.Delete(tup)
+				n.prov.Retract(n.now, pair[0], "link", tup, "link_down", fid)
 				n.lastChange = n.now
 				// Aggregates over link recompute.
 				for _, r := range node.aggTriggers["link"] {
@@ -850,6 +865,7 @@ func (n *Network) linkUp(a, b string, cost int64, lat float64) error {
 	if lat <= 0 {
 		lat = 1
 	}
+	fid := n.prov.Fault(n.now, "link_up", a, b, cost)
 	n.topoVer++
 	for _, pair := range [][2]string{{a, b}, {b, a}} {
 		if !n.topo.HasLink(pair[0], pair[1]) {
@@ -859,7 +875,7 @@ func (n *Network) linkUp(a, b string, cost int64, lat float64) error {
 		if node == nil || node.down {
 			continue
 		}
-		ds, err := node.insert("link", value.Tuple{value.Addr(pair[0]), value.Addr(pair[1]), value.Int(cost)}, n.now)
+		ds, err := node.insert("link", value.Tuple{value.Addr(pair[0]), value.Addr(pair[1]), value.Int(cost)}, n.now, fid)
 		if err != nil {
 			return err
 		}
@@ -894,14 +910,14 @@ func (n *Network) deliver(from *Node, ds []derivation) error {
 		d := work[0]
 		work = work[1:]
 		if d.loc == from.ID {
-			more, err := from.insert(d.pred, d.tup, n.now)
+			more, err := from.insert(d.pred, d.tup, n.now, d.cause)
 			if err != nil {
 				return err
 			}
 			work = append(work, more...)
 			continue
 		}
-		n.sendMessage(from.ID, d.loc, d.pred, d.tup)
+		n.sendMessage(from.ID, d.loc, d.pred, d.tup, d.cause)
 	}
 	return nil
 }
@@ -936,20 +952,26 @@ func (n *Network) Run() (Result, error) {
 			// to a down node are skipped silently — the stimulus has no one
 			// to arrive at — while undeliverable messages count as drops).
 			type update struct {
-				pred string
-				tup  value.Tuple
+				pred  string
+				tup   value.Tuple
+				cause prov.ID
 			}
 			var batch []update
 			admit := func(ev *event) {
+				cause := ev.cause
 				if ev.kind == evMessage {
 					if n.arrivalDropped(ev) {
 						return
 					}
 					n.noteDelivered(ev)
+					// The delivery edge is recorded even when the insert
+					// below turns out to be a no-op: the message crossing
+					// the link is a real causal event either way.
+					cause = n.prov.Message(ev.at, ev.from, ev.node, ev.pred, ev.epoch, int64(ev.seq), ev.cause)
 				} else if node.down {
 					return
 				}
-				batch = append(batch, update{ev.pred, ev.tup})
+				batch = append(batch, update{ev.pred, ev.tup, cause})
 			}
 			admit(e)
 			for n.queue.Len() > 0 {
@@ -963,7 +985,7 @@ func (n *Network) Run() (Result, error) {
 			final := map[string]update{}
 			var order []string
 			for _, u := range batch {
-				changed, key, err := node.insertQuiet(u.pred, u.tup, n.now)
+				changed, key, err := node.insertQuiet(u.pred, u.tup, n.now, u.cause)
 				if err != nil {
 					return Result{}, err
 				}
@@ -1018,6 +1040,8 @@ func (n *Network) Run() (Result, error) {
 			if n.tracer != nil {
 				n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvNodeCrash, Node: e.node})
 			}
+			n.prov.Fault(n.now, "crash", e.node, "", 0)
+			n.prov.DropNode(e.node)
 			node.down = true
 			node.epoch++ // cancels every pending expiry of the old incarnation
 			node.tables = map[string]*store.Table{}
@@ -1053,6 +1077,7 @@ func (n *Network) Run() (Result, error) {
 			if n.tracer != nil {
 				n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvNodeRestart, Node: e.node})
 			}
+			n.prov.Fault(n.now, "restart", e.node, "", 0)
 			node.down = false
 			n.lastChange = n.now
 			for _, l := range node.downLinks {
@@ -1077,6 +1102,7 @@ func (n *Network) Run() (Result, error) {
 			if n.tracer != nil {
 				n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvPartition, Name: strings.Join(e.group, ","), N: int64(e.pid)})
 			}
+			n.prov.Fault(n.now, "partition", strings.Join(e.group, ","), "", int64(e.pid))
 			seen := map[string]bool{}
 			var cut []netgraph.Link
 			for _, l := range n.topo.Links {
@@ -1138,7 +1164,7 @@ func (n *Network) Run() (Result, error) {
 					if l.Src != id {
 						continue
 					}
-					ds, err := node.insert("link", value.Tuple{value.Addr(l.Src), value.Addr(l.Dst), value.Int(l.Cost)}, n.now)
+					ds, err := node.insert("link", value.Tuple{value.Addr(l.Src), value.Addr(l.Dst), value.Int(l.Cost)}, n.now, 0)
 					if err != nil {
 						return Result{}, err
 					}
@@ -1255,3 +1281,18 @@ func (n *Network) Snapshot(pred string) string {
 
 // Program returns the localized program under execution.
 func (n *Network) Program() *ndlog.Program { return n.prog }
+
+// Prov returns the provenance recorder (nil when disabled).
+func (n *Network) Prov() *prov.Recorder { return n.prov }
+
+// WhyID locates the live version of pred(tup) in the provenance
+// recorder, searching nodes in topology order, and returns the node
+// that materializes it and its entry id (0 when no node holds it).
+func (n *Network) WhyID(pred string, tup value.Tuple) (string, prov.ID) {
+	for _, id := range n.topo.Nodes {
+		if eid := n.prov.Current(id, pred, tup); eid != 0 {
+			return id, eid
+		}
+	}
+	return "", 0
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ndlog"
 	"repro/internal/netgraph"
 	"repro/internal/obs"
+	"repro/internal/prov"
 	"repro/internal/store"
 	"repro/internal/value"
 )
@@ -45,9 +46,10 @@ type trigger struct {
 
 // derivation is a pending derived tuple.
 type derivation struct {
-	pred string
-	tup  value.Tuple
-	loc  string // destination node (from the location argument)
+	pred  string
+	tup   value.Tuple
+	loc   string  // destination node (from the location argument)
+	cause prov.ID // the rule firing that produced it (0 when disabled)
 }
 
 // Table implements store.TableSource for the plan executor: a nil result
@@ -89,8 +91,8 @@ func (n *Node) Tuples(pred string) []value.Tuple {
 // insert stores a tuple and returns the downstream derivations it enables.
 // It drives plain rules via pipelined semi-naive evaluation (the new tuple
 // as delta) and recomputes affected aggregate groups.
-func (n *Node) insert(pred string, tup value.Tuple, now float64) ([]derivation, error) {
-	changed, _, err := n.insertQuiet(pred, tup, now)
+func (n *Node) insert(pred string, tup value.Tuple, now float64, cause prov.ID) ([]derivation, error) {
+	changed, _, err := n.insertQuiet(pred, tup, now, cause)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +106,7 @@ func (n *Node) insert(pred string, tup value.Tuple, now float64) ([]derivation, 
 // scheduling, statistics) without firing rules. It returns whether the
 // table changed and the tuple's primary key, so batch delivery can fire
 // rules once per surviving key.
-func (n *Node) insertQuiet(pred string, tup value.Tuple, now float64) (bool, string, error) {
+func (n *Node) insertQuiet(pred string, tup value.Tuple, now float64, cause prov.ID) (bool, string, error) {
 	t := n.table(pred)
 	if t.Arity == 0 && t.Len() == 0 {
 		// A predicate unknown to the rules (externally populated table):
@@ -128,7 +130,11 @@ func (n *Node) insertQuiet(pred string, tup value.Tuple, now float64) (bool, str
 	if res == store.PutReplace {
 		n.net.nm.routeChanges.Add(1)
 		n.net.noteFlip(n.ID, pred, key, old, tup)
+		// The new version supersedes the old by key replacement; forget
+		// the old content version so Current resolves to the live tuple.
+		n.net.prov.Drop(n.ID, pred, old)
 	}
+	n.net.prov.Tuple(now, n.ID, pred, tup, cause)
 	n.net.nm.tupleUpdates.Add(1)
 	if n.net.tracer != nil {
 		n.net.tracer.Emit(obs.Event{T: now, Kind: obs.EvTupleDerived, Node: n.ID, Pred: pred, Tuple: tup.String()})
@@ -254,6 +260,7 @@ func (n *Node) expire(pred string, tup value.Tuple, now float64) ([]derivation, 
 	}
 	t.DeleteByKey(k)
 	n.net.nm.expirations.Add(1)
+	n.net.prov.Retract(now, n.ID, pred, cur, "expired", 0)
 	if n.net.tracer != nil {
 		n.net.tracer.Emit(obs.Event{T: now, Kind: obs.EvExpired, Node: n.ID, Pred: pred, Tuple: cur.String()})
 	}
@@ -299,7 +306,13 @@ func (n *Node) evalRuleDelta(r *ndlog.Rule, idx int, delta value.Tuple) ([]deriv
 			ro.firings.Add(1)
 			ro.emitted.Add(1)
 		}
-		out = append(out, derivation{pred: r.Head.Pred, tup: tup, loc: loc})
+		var cause prov.ID
+		if n.net.prov.Enabled() {
+			ants := n.collectAnts(plan, x, n.net.provAnts[:0])
+			n.net.provAnts = ants
+			cause = n.net.prov.Rule(n.net.now, n.ID, r.Label, ants)
+		}
+		out = append(out, derivation{pred: r.Head.Pred, tup: tup, loc: loc, cause: cause})
 		return nil
 	})
 	n.net.nm.joinProbes.Add(probes)
@@ -308,6 +321,25 @@ func (n *Node) evalRuleDelta(r *ndlog.Rule, idx int, delta value.Tuple) ([]deriv
 	}
 	return out, err
 }
+
+// collectAnts resolves the antecedent tuple versions of the frame the
+// executor is currently emitting: for each scan/delta step, the bound
+// candidate tuple's live provenance entry at this node. Tuples with no
+// recorded version (externally populated tables) are skipped.
+func (n *Node) collectAnts(plan *ndlog.Plan, x *store.Exec, ants []prov.ID) []prov.ID {
+	for _, si := range plan.AntSteps {
+		st := &plan.Steps[si]
+		if id := n.net.prov.Current(n.ID, st.Pred, x.CurTuple(si)); id != 0 {
+			ants = append(ants, id)
+		}
+	}
+	return ants
+}
+
+// maxAggAnts bounds the antecedents retained per aggregate group: an
+// aggregate over a large group cites its first contributors rather than
+// growing an unbounded lineage list.
+const maxAggAnts = 16
 
 // evalAggregate recomputes an aggregate rule and emits the per-group
 // results. A non-nil seed binds the group variables, restricting both the
@@ -339,9 +371,29 @@ func (n *Node) evalAggregate(r *ndlog.Rule, seed map[string]value.V) ([]derivati
 		key  value.Tuple // non-aggregate head values
 		best value.V
 		cnt  int64
+		ants []prov.ID // contributing tuple versions (capped)
 	}
 	groups := map[string]*group{}
 	var order []string // first-seen group keys, for deterministic emission
+	collect := func(g *group) {
+		if !n.net.prov.Enabled() || len(g.ants) >= maxAggAnts {
+			return
+		}
+		tmp := n.collectAnts(plan, x, n.net.provAnts[:0])
+		n.net.provAnts = tmp
+	next:
+		for _, id := range tmp {
+			if len(g.ants) >= maxAggAnts {
+				break
+			}
+			for _, have := range g.ants {
+				if have == id {
+					continue next
+				}
+			}
+			g.ants = append(g.ants, id)
+		}
+	}
 	probes, err := x.Run(n, nil, seedVals, func(frame []value.V) error {
 		key := make(value.Tuple, 0, len(plan.HeadExprs)-1)
 		for i, ce := range plan.HeadExprs {
@@ -361,11 +413,14 @@ func (n *Node) evalAggregate(r *ndlog.Rule, seed map[string]value.V) ([]derivati
 		k := key.Key()
 		g, ok := groups[k]
 		if !ok {
-			groups[k] = &group{key: key, best: av, cnt: 1}
+			g = &group{key: key, best: av, cnt: 1}
+			groups[k] = g
 			order = append(order, k)
+			collect(g)
 			return nil
 		}
 		g.cnt++
+		collect(g)
 		switch plan.AggKind {
 		case "min":
 			if av.Compare(g.best) < 0 {
@@ -419,7 +474,11 @@ func (n *Node) evalAggregate(r *ndlog.Rule, seed map[string]value.V) ([]derivati
 			ro.firings.Add(1)
 			ro.emitted.Add(1)
 		}
-		out = append(out, derivation{pred: r.Head.Pred, tup: tup, loc: loc})
+		var cause prov.ID
+		if n.net.prov.Enabled() {
+			cause = n.net.prov.Rule(n.net.now, n.ID, r.Label, g.ants)
+		}
+		out = append(out, derivation{pred: r.Head.Pred, tup: tup, loc: loc, cause: cause})
 	}
 	return out, nil
 }
@@ -458,8 +517,9 @@ func (n *Node) retractAggGroup(r *ndlog.Rule, aggIdx int, seed map[string]value.
 		}
 		sub[i] = val
 	}
-	if _, ok := t.DeleteByKey(sub.Key()); ok {
+	if old, ok := t.DeleteByKey(sub.Key()); ok {
 		n.net.nm.expirations.Add(1)
+		n.net.prov.Retract(n.net.now, n.ID, r.Head.Pred, old, "agg_empty", 0)
 		if n.net.tracer != nil {
 			n.net.tracer.Emit(obs.Event{T: n.net.now, Kind: obs.EvExpired, Node: n.ID, Pred: r.Head.Pred})
 		}

@@ -1,0 +1,184 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/ndlog"
+	"repro/internal/netgraph"
+	"repro/internal/prov"
+	"repro/internal/value"
+)
+
+// provNet builds a converged path-vector network with provenance on.
+func provNet(t *testing.T, topo *netgraph.Topology, seed uint64) *Network {
+	t.Helper()
+	prog := ndlog.MustParse("pv", pathVectorSrc)
+	net, err := NewNetwork(prog, topo, Options{Seed: seed, Prov: prov.New(), LoadTopologyLinks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestWhyGoldenRing6: the derivation tree of a known one-hop route on
+// ring:6 is exactly the localized r1 derivation from the base link fact
+// — the `fvn why` golden of the acceptance criteria.
+func TestWhyGoldenRing6(t *testing.T) {
+	net := provNet(t, netgraph.Ring(6), 0)
+	tup := value.Tuple{value.Addr("n0"), value.Addr("n1"), value.Int(1)}
+	node, id := net.WhyID("bestPathCost", tup)
+	if node != "n0" || id == 0 {
+		t.Fatalf("WhyID = (%q, %d), want tuple at n0", node, id)
+	}
+	var b strings.Builder
+	net.Prov().WriteTree(&b, id)
+	const golden = `  bestPathCost(n0,n1,1) @n0  t=0s
+    rule r3 @n0  t=0s
+      path(n0,n1,[n0,n1],1) @n0  t=0s
+        rule r1 @n0  t=0s
+          link(n0,n1,1) @n0  [base]  t=0s
+`
+	if b.String() != golden {
+		t.Errorf("why tree mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+}
+
+// TestWhyMultiHopStructure: a two-hop route's lineage crosses a message
+// edge and bottoms out in base link facts at both nodes.
+func TestWhyMultiHopStructure(t *testing.T) {
+	net := provNet(t, netgraph.Ring(6), 0)
+	tup := value.Tuple{value.Addr("n0"), value.Addr("n2"), value.Int(2)}
+	node, id := net.WhyID("bestPathCost", tup)
+	if node != "n0" || id == 0 {
+		t.Fatalf("WhyID = (%q, %d), want tuple at n0", node, id)
+	}
+	rec := net.Prov()
+	lin := rec.Lineage(id, 0)
+	kinds := map[prov.Kind]int{}
+	rules := map[string]bool{}
+	for _, e := range lin {
+		en := rec.Get(e)
+		kinds[en.Kind]++
+		if en.Kind == prov.KindRule {
+			rules[rec.Str(en.Lbl)] = true
+		}
+	}
+	if kinds[prov.KindMessage] == 0 {
+		t.Errorf("two-hop route lineage has no message edge: %v", kinds)
+	}
+	// The localized program derives multi-hop paths via the split rule
+	// pair r2a (forward) + r2b (local join) and aggregates via r3.
+	for _, want := range []string{"r2a", "r2b", "r3"} {
+		if !rules[want] {
+			t.Errorf("lineage missing rule %s (got %v)", want, rules)
+		}
+	}
+	// JSON rendering carries the same structure.
+	js, err := rec.TreeJSON(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"kind": "message"`, `"label": "r3"`} {
+		if !strings.Contains(string(js), want) {
+			t.Errorf("tree JSON missing %q", want)
+		}
+	}
+}
+
+// TestWhyNotExplanations: the interpreted why-not search names the
+// concrete blocker for absent tuples.
+func TestWhyNotExplanations(t *testing.T) {
+	net := provNet(t, netgraph.Ring(6), 0)
+
+	// A wrong-cost route: the key is occupied by the real route.
+	out := net.WhyNot("bestPathCost", value.Tuple{value.Addr("n0"), value.Addr("n1"), value.Int(9)})
+	if !strings.Contains(out, "primary key is held by bestPathCost(n0,n1,1) at n0") {
+		t.Errorf("why-not missing key-occupant line:\n%s", out)
+	}
+	if !strings.Contains(out, "rule r3") {
+		t.Errorf("why-not missing rule analysis:\n%s", out)
+	}
+
+	// A present tuple.
+	out = net.WhyNot("bestPathCost", value.Tuple{value.Addr("n0"), value.Addr("n1"), value.Int(1)})
+	if !strings.Contains(out, "IS present at n0") {
+		t.Errorf("why-not on present tuple:\n%s", out)
+	}
+
+	// A base predicate with no deriving rule.
+	out = net.WhyNot("link", value.Tuple{value.Addr("n0"), value.Addr("n3"), value.Int(1)})
+	if !strings.Contains(out, "can only be injected as a base fact") {
+		t.Errorf("why-not on base pred:\n%s", out)
+	}
+
+	// A route to a node outside the ring: r1 lacks the link.
+	out = net.WhyNot("path", value.Tuple{value.Addr("n0"), value.Addr("nX"), value.List(value.Addr("n0"), value.Addr("nX")), value.Int(1)})
+	if !strings.Contains(out, "missing antecedent") {
+		t.Errorf("why-not for unreachable dest should name a missing antecedent:\n%s", out)
+	}
+}
+
+// TestChaosRootCauseNamesFault: the acceptance scenario — a hard-state
+// run with a permanent link flap violates safety, and the report's
+// root-cause chain names the link_down fault event from the plan on the
+// violating tuple's lineage.
+func TestChaosRootCauseNamesFault(t *testing.T) {
+	plan := &faults.Plan{
+		Links: []faults.LinkFault{{A: "n0", B: "n1", Flaps: []faults.Flap{{Down: 10}}}},
+	}
+	o := DefaultChaosOptions()
+	o.Seed = 7
+	o.Hard = true
+	o.Prov = prov.New()
+	rep, err := RunChaos(pathVectorSrc, netgraph.Ring(5), plan, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("hard-state run with a permanent link failure reported no violation")
+	}
+	if len(rep.RootCause) == 0 {
+		t.Fatalf("failing run with provenance recorded no root cause; violations: %v", rep.Violations)
+	}
+	joined := strings.Join(rep.RootCause, "\n")
+	if !strings.Contains(joined, "link_down") {
+		t.Errorf("root cause does not name the link fault:\n%s", joined)
+	}
+	if !strings.Contains(joined, "[plan: link_down n0-n1 @10s]") {
+		t.Errorf("root cause not matched to the plan event:\n%s", joined)
+	}
+
+	// The machine-readable report carries check and tuple per violation.
+	js := string(rep.JSON())
+	for _, want := range []string{`"check":"safety"`, `"pred":"bestPathCost"`, `"root_cause"`} {
+		if !strings.Contains(js, want) {
+			t.Errorf("report JSON missing %s:\n%s", want, js)
+		}
+	}
+}
+
+// TestProvDisabledIdentical: a provenance-enabled run must not perturb
+// the simulation — same stats and same state as the disabled run.
+func TestProvDisabledIdentical(t *testing.T) {
+	run := func(rec *prov.Recorder) (Stats, string) {
+		prog := ndlog.MustParse("pv", pathVectorSrc)
+		net, err := NewNetwork(prog, netgraph.Ring(6), Options{Seed: 42, Prov: rec, LoadTopologyLinks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return net.Stats(), net.Snapshot("bestPathCost")
+	}
+	s1, d1 := run(nil)
+	s2, d2 := run(prov.New())
+	if s1 != s2 || d1 != d2 {
+		t.Errorf("provenance recording perturbed the run:\n%+v\n%+v", s1, s2)
+	}
+}

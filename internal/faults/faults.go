@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/netgraph"
 )
@@ -167,6 +168,58 @@ func (p *Plan) Horizon() float64 {
 		up(pt.Heal)
 	}
 	return h
+}
+
+// PlanEvent is one scheduled fault transition of a plan in normalized
+// form: Kind is "link_down", "link_up", "crash", "restart",
+// "partition", or "heal". Provenance-annotated failure reports match
+// the fault leaves on a violating tuple's lineage against these.
+type PlanEvent struct {
+	Kind  string   `json:"kind"`
+	A     string   `json:"a,omitempty"`
+	B     string   `json:"b,omitempty"`
+	At    float64  `json:"at"`
+	Group []string `json:"group,omitempty"`
+}
+
+// String renders the event compactly, e.g. "link_down n0-n1 @10s".
+func (e PlanEvent) String() string {
+	where := e.A
+	switch e.Kind {
+	case "link_down", "link_up":
+		where = e.A + "-" + e.B
+	case "partition", "heal":
+		where = "{" + strings.Join(e.Group, ",") + "}"
+	}
+	return fmt.Sprintf("%s %s @%gs", e.Kind, where, e.At)
+}
+
+// Events returns every scheduled fault transition of the plan in
+// normalized form, sorted by time (ties: declaration order).
+func (p *Plan) Events() []PlanEvent {
+	var out []PlanEvent
+	for _, l := range p.Links {
+		for _, f := range l.Flaps {
+			out = append(out, PlanEvent{Kind: "link_down", A: l.A, B: l.B, At: f.Down})
+			if f.Up > f.Down {
+				out = append(out, PlanEvent{Kind: "link_up", A: l.A, B: l.B, At: f.Up})
+			}
+		}
+	}
+	for _, n := range p.Nodes {
+		out = append(out, PlanEvent{Kind: "crash", A: n.Node, At: n.Crash})
+		if n.Restart > n.Crash {
+			out = append(out, PlanEvent{Kind: "restart", A: n.Node, At: n.Restart})
+		}
+	}
+	for _, pt := range p.Partitions {
+		out = append(out, PlanEvent{Kind: "partition", At: pt.At, Group: pt.Group})
+		if pt.Heal > pt.At {
+			out = append(out, PlanEvent{Kind: "heal", At: pt.Heal, Group: pt.Group})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
 }
 
 // Validate checks the plan against a topology: every named node must

@@ -165,6 +165,11 @@ type Plan struct {
 	// plans. Order lists body-literal indices in executed order.
 	DeltaIdx int
 	Order    []int
+
+	// AntSteps lists the step indices that bind a candidate tuple
+	// (StepScan and StepDelta), in step order: the antecedent positions
+	// a provenance recorder reads back via Exec.CurTuple.
+	AntSteps []int
 }
 
 // RulePlans groups the compiled plan variants of one rule.
@@ -328,6 +333,11 @@ func planRule(r *Rule, deltaIdx int, seedVars []string) (*Plan, error) {
 		remaining--
 	}
 
+	for i, st := range p.plan.Steps {
+		if st.Kind == StepScan || st.Kind == StepDelta {
+			p.plan.AntSteps = append(p.plan.AntSteps, i)
+		}
+	}
 	return p.plan, p.compileHead()
 }
 

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRingSinkWraparound exercises the eviction boundary: exactly-full,
+// one-past-full, and multiple full wrap cycles must all return the most
+// recent events oldest-first.
+func TestRingSinkWraparound(t *testing.T) {
+	// Exactly full: nothing evicted, insertion order preserved.
+	r := NewRingSink(4)
+	for i := 0; i < 4; i++ {
+		r.Emit(Event{N: int64(i)})
+	}
+	if evs := r.Events(); len(evs) != 4 || evs[0].N != 0 || evs[3].N != 3 {
+		t.Errorf("exactly-full ring = %v", evs)
+	}
+
+	// One past full: the oldest event is the only eviction.
+	r.Emit(Event{N: 4})
+	evs := r.Events()
+	if len(evs) != 4 || evs[0].N != 1 || evs[3].N != 4 {
+		t.Errorf("one-past-full ring = %v", evs)
+	}
+
+	// Several complete wrap cycles land on every next-index value.
+	for total := 5; total <= 17; total++ {
+		r.Emit(Event{N: int64(total)})
+		evs := r.Events()
+		if len(evs) != 4 {
+			t.Fatalf("after %d emits ring holds %d", total+1, len(evs))
+		}
+		for i, ev := range evs {
+			if want := int64(total - 3 + i); ev.N != want {
+				t.Fatalf("after %d emits ring[%d].N = %d, want %d", total+1, i, ev.N, want)
+			}
+		}
+	}
+	if r.Total() != 18 {
+		t.Errorf("Total = %d, want 18", r.Total())
+	}
+
+	// A non-positive capacity clamps to 1 (keep the latest event).
+	r1 := NewRingSink(0)
+	r1.Emit(Event{N: 1})
+	r1.Emit(Event{N: 2})
+	if evs := r1.Events(); len(evs) != 1 || evs[0].N != 2 {
+		t.Errorf("clamped ring = %v, want just the last event", evs)
+	}
+}
+
+// TestWriteExplainEmptyCollector: rendering against a collector that
+// never saw a metric (and against the nil disabled collector) must not
+// panic and must render zero rows.
+func TestWriteExplainEmptyCollector(t *testing.T) {
+	rules := []RuleLine{{Label: "r1", Text: "r1 p(X) :- q(X).", Plan: "scan q"}}
+	for _, c := range []*Collector{NewCollector(), nil} {
+		var buf bytes.Buffer
+		WriteExplain(&buf, "empty", "datalog", rules, c)
+		out := buf.String()
+		for _, want := range []string{
+			"EXPLAIN ANALYZE empty",
+			"firings=0 join-probes=0 tuples-emitted=0 eval-time=0s",
+			"total: firings=0 join-probes=0 tuples-emitted=0 eval-time=0s",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("empty-collector explain missing %q:\n%s", want, out)
+			}
+		}
+	}
+	// An empty collector renders no metric lines at all.
+	var buf bytes.Buffer
+	WriteMetrics(&buf, NewCollector())
+	if buf.Len() != 0 {
+		t.Errorf("WriteMetrics on empty collector wrote %q", buf.String())
+	}
+	WriteMetrics(&buf, nil)
+	if buf.Len() != 0 {
+		t.Errorf("WriteMetrics on nil collector wrote %q", buf.String())
+	}
+}
+
+// TestZeroDurationHistogram: observations of zero duration must count
+// without perturbing sum, max, or quantiles, and render as "0s".
+func TestZeroDurationHistogram(t *testing.T) {
+	c := NewCollector()
+	h := c.Histogram("datalog", MRuleEval, "r1")
+	for i := 0; i < 3; i++ {
+		h.Observe(0)
+	}
+	// Negative durations clamp to zero rather than corrupting the sum.
+	h.Observe(-time.Second)
+	if h.Count() != 4 || h.Sum() != 0 || h.Max() != 0 {
+		t.Errorf("zero-duration histogram: count=%d sum=%v max=%v", h.Count(), h.Sum(), h.Max())
+	}
+	for _, q := range []float64{0.001, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	c.Counter("datalog", MRuleFirings, "r1").Add(4)
+	var buf bytes.Buffer
+	WriteExplain(&buf, "zero", "datalog", []RuleLine{{Label: "r1", Text: "r1."}}, c)
+	if !strings.Contains(buf.String(), "eval-time=0s") {
+		t.Errorf("zero-duration eval not rendered as 0s:\n%s", buf.String())
+	}
+	buf.Reset()
+	WriteMetrics(&buf, c)
+	if !strings.Contains(buf.String(), "count=4 sum=0s max=0s") {
+		t.Errorf("metrics dump of zero-duration histogram:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,245 @@
+package prov
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+func tup(vs ...value.V) value.Tuple { return value.Tuple(vs) }
+
+func TestNilRecorderIsDisabledAndFree(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	link := tup(value.Addr("a"), value.Addr("b"), value.Int(1))
+	allocs := testing.AllocsPerRun(100, func() {
+		if id := r.Tuple(0, "a", "link", link, 0); id != 0 {
+			t.Fatal("nil Tuple returned nonzero id")
+		}
+		r.Rule(0, "a", "r1", nil)
+		r.Message(0, "a", "b", "path", 1, 2, 0)
+		r.Fault(0, "link_down", "a", "b", 0)
+		r.Retract(0, "a", "link", link, "expired", 0)
+		r.Drop("a", "link", link)
+		r.DropNode("a")
+		r.Current("a", "link", link)
+		r.Lineage(1, 0)
+		r.FaultsOn(nil)
+		r.RecordMetrics(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %.1f per run", allocs)
+	}
+}
+
+func TestDerivationLineage(t *testing.T) {
+	r := New()
+	link := tup(value.Addr("a"), value.Addr("b"), value.Int(1))
+	lid := r.Tuple(0, "a", "link", link, 0)
+	if got := r.Current("a", "link", link); got != lid {
+		t.Fatalf("Current = %d, want %d", got, lid)
+	}
+	fire := r.Rule(0.5, "a", "r1", []ID{lid})
+	path := tup(value.Addr("a"), value.Addr("b"), value.Int(1))
+	pid := r.Tuple(0.5, "a", "path", path, fire)
+
+	// Deliver the path to b over a message edge.
+	msg := r.Message(1, "a", "b", "path", 0, 7, pid)
+	rpid := r.Tuple(1, "b", "path", path, msg)
+
+	lin := r.Lineage(rpid, 0)
+	want := []ID{rpid, msg, pid, fire, lid}
+	if len(lin) != len(want) {
+		t.Fatalf("lineage %v, want %v", lin, want)
+	}
+	for i := range want {
+		if lin[i] != want[i] {
+			t.Fatalf("lineage %v, want %v", lin, want)
+		}
+	}
+
+	e := r.Get(msg)
+	if e.Kind != KindMessage || r.Str(e.From) != "a" || r.Str(e.Node) != "b" || e.Seq != 7 {
+		t.Fatalf("message entry mismatch: %+v", e)
+	}
+	if e := r.Get(lid); len(r.Ants(lid)) != 0 || e.Kind != KindTuple {
+		t.Fatalf("base leaf should have no antecedents: %+v", e)
+	}
+}
+
+func TestCurrentTracksReplaceRetractAndCrash(t *testing.T) {
+	r := New()
+	link := tup(value.Addr("a"), value.Addr("b"), value.Int(1))
+	old := r.Tuple(0, "a", "link", link, 0)
+
+	// Key replacement: Drop forgets the superseded content version.
+	r.Drop("a", "link", link)
+	if got := r.Current("a", "link", link); got != 0 {
+		t.Fatalf("Current after Drop = %d, want 0", got)
+	}
+	cur := r.Tuple(1, "a", "link", link, 0)
+	if got := r.Current("a", "link", link); got != cur {
+		t.Fatalf("Current = %d, want %d", got, cur)
+	}
+
+	// Fault-driven retraction links victim -> fault.
+	f := r.Fault(2, "link_down", "a", "b", 0)
+	rid := r.Retract(2, "a", "link", link, "link_down", f)
+	if rid == 0 {
+		t.Fatal("Retract of live tuple returned 0")
+	}
+	if got := r.Current("a", "link", link); got != 0 {
+		t.Fatalf("Current after Retract = %d, want 0", got)
+	}
+	if got, ok := r.RetractionOf(cur); !ok || got != rid {
+		t.Fatalf("RetractionOf = %d,%v want %d,true", got, ok, rid)
+	}
+	if _, ok := r.RetractionOf(old); ok {
+		t.Fatal("dropped version should not be marked retracted")
+	}
+	// Retracting an unknown tuple is a no-op.
+	if id := r.Retract(3, "a", "link", link, "expired", 0); id != 0 {
+		t.Fatalf("Retract of absent tuple = %d, want 0", id)
+	}
+
+	// Crash wipes a node's current map, and only that node's.
+	r.Tuple(4, "a", "link", link, 0)
+	bl := r.Tuple(4, "b", "link", link, 0)
+	r.DropNode("a")
+	if got := r.Current("a", "link", link); got != 0 {
+		t.Fatal("DropNode left node-a tuple current")
+	}
+	if got := r.Current("b", "link", link); got != bl {
+		t.Fatal("DropNode clobbered node-b tuple")
+	}
+}
+
+func TestFaultsOn(t *testing.T) {
+	r := New()
+	link := tup(value.Addr("a"), value.Addr("b"), value.Int(1))
+	lid := r.Tuple(0, "a", "link", link, 0)
+	fire := r.Rule(0, "a", "r1", []ID{lid})
+	path := tup(value.Addr("a"), value.Addr("b"), value.Int(1))
+	pid := r.Tuple(0, "a", "path", path, fire)
+	msg := r.Message(1, "a", "b", "path", 0, 1, pid)
+	rpid := r.Tuple(1, "b", "path", path, msg)
+
+	// A fault that retracted lineage support is implicated.
+	fDown := r.Fault(2, "link_down", "a", "b", 0)
+	r.Retract(2, "a", "link", link, "link_down", fDown)
+	// A crash on a lineage node is implicated; one elsewhere is not.
+	fCrash := r.Fault(3, "crash", "b", "", 0)
+	fOther := r.Fault(3, "crash", "zzz", "", 0)
+	// A link fault on an uncrossed link is not implicated.
+	fFar := r.Fault(4, "link_down", "x", "y", 0)
+
+	got := r.FaultsOn(r.Lineage(rpid, 0))
+	if len(got) != 2 || got[0] != fDown || got[1] != fCrash {
+		t.Fatalf("FaultsOn = %v, want [%d %d] (not %d/%d)", got, fDown, fCrash, fOther, fFar)
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	r := New()
+	link := tup(value.Addr("a"), value.Addr("b"), value.Int(1))
+	lid := r.Tuple(0, "a", "link", link, 0)
+	fire := r.Rule(0.25, "a", "r1", []ID{lid, lid}) // shared antecedent
+	path := tup(value.Addr("a"), value.Addr("b"), value.Int(1))
+	pid := r.Tuple(0.25, "a", "path", path, fire)
+
+	n := r.Tree(pid)
+	if n == nil || len(n.Children) != 1 || len(n.Children[0].Children) != 2 {
+		t.Fatalf("unexpected tree shape: %+v", n)
+	}
+	if !n.Children[0].Children[1].Ref {
+		t.Fatal("second occurrence of shared antecedent should be a ref")
+	}
+
+	var b strings.Builder
+	r.WriteTree(&b, pid)
+	out := b.String()
+	for _, want := range []string{"path(a,b,1) @a", "rule r1 @a", "link(a,b,1) @a", "[base]", "[see above]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree text missing %q:\n%s", want, out)
+		}
+	}
+
+	js, err := r.TreeJSON(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"kind": "rule"`, `"label": "r1"`, `"tuple": "(a,b,1)"`} {
+		if !strings.Contains(string(js), want) {
+			t.Fatalf("tree JSON missing %q:\n%s", want, js)
+		}
+	}
+
+	if r.Tree(0) != nil {
+		t.Fatal("Tree(0) should be nil")
+	}
+	var nilRec *Recorder
+	b.Reset()
+	nilRec.WriteTree(&b, 1)
+	if !strings.Contains(b.String(), "no provenance") {
+		t.Fatalf("nil WriteTree output: %q", b.String())
+	}
+}
+
+func TestRecordMetrics(t *testing.T) {
+	r := New()
+	link := tup(value.Addr("a"), value.Addr("b"), value.Int(1))
+	lid := r.Tuple(0, "a", "link", link, 0)
+	r.Rule(0, "a", "r1", []ID{lid})
+	col := obs.NewCollector()
+	r.RecordMetrics(col)
+	if got := col.Value("prov", "entries", "tuple"); got != 1 {
+		t.Fatalf("tuple entries metric = %d, want 1", got)
+	}
+	if got := col.Value("prov", "entries", "rule"); got != 1 {
+		t.Fatalf("rule entries metric = %d, want 1", got)
+	}
+	if got := col.Value("prov", "antecedent_edges", ""); got != 1 {
+		t.Fatalf("antecedent edges metric = %d, want 1", got)
+	}
+}
+
+func TestParseTupleSpec(t *testing.T) {
+	pred, tu, err := ParseTupleSpec(`bestPathCost(n0,n2,2)`)
+	if err != nil || pred != "bestPathCost" {
+		t.Fatalf("ParseTupleSpec: %v pred=%q", err, pred)
+	}
+	want := tup(value.Addr("n0"), value.Addr("n2"), value.Int(2))
+	if !tu.Equal(want) {
+		t.Fatalf("tuple = %v, want %v", tu, want)
+	}
+
+	pred, tu, err = ParseTupleSpec(` bestPath( n0 , n2 , 2 , [n0,n1,n2] ). `)
+	if err != nil || pred != "bestPath" {
+		t.Fatalf("ParseTupleSpec list: %v pred=%q", err, pred)
+	}
+	if tu[3].K != value.KindList || len(tu[3].L) != 3 || !tu[3].L[1].Equal(value.Addr("n1")) {
+		t.Fatalf("list arg = %v", tu[3])
+	}
+
+	_, tu, err = ParseTupleSpec(`p("hi, there",true,-3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tu.Equal(tup(value.Str("hi, there"), value.Bool(true), value.Int(-3))) {
+		t.Fatalf("mixed args = %v", tu)
+	}
+
+	if _, tu, err = ParseTupleSpec(`empty()`); err != nil || len(tu) != 0 {
+		t.Fatalf("empty args: %v %v", err, tu)
+	}
+
+	for _, bad := range []string{"nope", "p(", "p(a", "p(a))", `p("x)`, "(a,b)", "p([a)"} {
+		if _, _, err := ParseTupleSpec(bad); err == nil {
+			t.Fatalf("ParseTupleSpec(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package prov
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TreeNode is the resolved, render-ready form of one provenance entry.
+// Repeated entries (a tuple feeding two antecedent positions) appear
+// once in full; later occurrences are marked Ref with no children, so
+// trees stay finite and compact on shared sub-derivations.
+type TreeNode struct {
+	ID       ID          `json:"id"`
+	Kind     string      `json:"kind"`
+	Node     string      `json:"node,omitempty"`
+	From     string      `json:"from,omitempty"`
+	Label    string      `json:"label,omitempty"`
+	Tuple    string      `json:"tuple,omitempty"`
+	T        float64     `json:"t"`
+	Epoch    int64       `json:"epoch,omitempty"`
+	Seq      int64       `json:"seq,omitempty"`
+	Ref      bool        `json:"ref,omitempty"`
+	Children []*TreeNode `json:"children,omitempty"`
+}
+
+// Tree resolves the derivation tree rooted at id.
+func (r *Recorder) Tree(id ID) *TreeNode {
+	if r == nil || id == 0 {
+		return nil
+	}
+	return r.tree(id, map[ID]bool{})
+}
+
+func (r *Recorder) tree(id ID, seen map[ID]bool) *TreeNode {
+	e := r.Get(id)
+	n := &TreeNode{
+		ID: id, Kind: e.Kind.String(),
+		Node: r.Str(e.Node), From: r.Str(e.From),
+		Label: r.Str(e.Lbl), Tuple: r.Str(e.Tup),
+		T: e.T,
+	}
+	if e.Kind == KindMessage {
+		n.Epoch, n.Seq = e.N, e.Seq
+	}
+	if seen[id] {
+		n.Ref = true
+		return n
+	}
+	seen[id] = true
+	for _, a := range r.Ants(id) {
+		n.Children = append(n.Children, r.tree(a, seen))
+	}
+	return n
+}
+
+// line renders one node in the EXPLAIN house style.
+func (n *TreeNode) line() string {
+	var s string
+	switch n.Kind {
+	case "tuple":
+		s = fmt.Sprintf("%s%s @%s", n.Label, n.Tuple, n.Node)
+		if len(n.Children) == 0 && !n.Ref {
+			s += "  [base]"
+		}
+	case "rule":
+		s = fmt.Sprintf("rule %s @%s", n.Label, n.Node)
+	case "message":
+		s = fmt.Sprintf("recv %s  %s -> %s  (epoch %d, send #%d)", n.Label, n.From, n.Node, n.Epoch, n.Seq)
+	case "fault":
+		s = fmt.Sprintf("fault %s %s", n.Label, faultWhere(n.Label, n.Node, n.From))
+	case "retract":
+		s = fmt.Sprintf("retract %s @%s (%s)", n.Tuple, n.Node, n.Label)
+	default:
+		s = fmt.Sprintf("entry #%d", n.ID)
+	}
+	s += fmt.Sprintf("  t=%s", fmtT(n.T))
+	if n.Ref {
+		s += "  [see above]"
+	}
+	return s
+}
+
+func faultWhere(kind, a, b string) string {
+	switch kind {
+	case "link_down", "link_up":
+		return a + "--" + b
+	default:
+		return a
+	}
+}
+
+func fmtT(t float64) string {
+	s := fmt.Sprintf("%.3f", t)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		s = "0"
+	}
+	return s + "s"
+}
+
+// WriteTree renders the derivation tree rooted at id as indented text,
+// matching the obs EXPLAIN renderer's layout conventions.
+func (r *Recorder) WriteTree(w io.Writer, id ID) {
+	n := r.Tree(id)
+	if n == nil {
+		fmt.Fprintln(w, "  (no provenance recorded)")
+		return
+	}
+	writeTree(w, n, "  ")
+}
+
+func writeTree(w io.Writer, n *TreeNode, indent string) {
+	fmt.Fprintf(w, "%s%s\n", indent, n.line())
+	for _, c := range n.Children {
+		writeTree(w, c, indent+"  ")
+	}
+}
+
+// TreeJSON renders the derivation tree rooted at id as indented JSON.
+func (r *Recorder) TreeJSON(id ID) ([]byte, error) {
+	n := r.Tree(id)
+	if n == nil {
+		return []byte("null"), nil
+	}
+	return json.MarshalIndent(n, "", "  ")
+}
+
+// Describe renders one entry as a single line (used by root-cause
+// chains and lineage listings).
+func (r *Recorder) Describe(id ID) string {
+	if r == nil || id == 0 {
+		return "(none)"
+	}
+	n := &TreeNode{}
+	e := r.Get(id)
+	n.ID, n.Kind = id, e.Kind.String()
+	n.Node, n.From = r.Str(e.Node), r.Str(e.From)
+	n.Label, n.Tuple = r.Str(e.Lbl), r.Str(e.Tup)
+	n.T = e.T
+	if e.Kind == KindMessage {
+		n.Epoch, n.Seq = e.N, e.Seq
+	}
+	return n.line()
+}

@@ -1,0 +1,120 @@
+package prov
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// ParseTupleSpec parses a tuple written in NDlog fact syntax, e.g.
+// `bestPathCost(n0,n2,2)`, into its predicate and value tuple. Bare
+// identifiers become addresses, digit runs integers, quoted strings
+// strings, true/false booleans, and [..] lists.
+func ParseTupleSpec(spec string) (string, value.Tuple, error) {
+	spec = strings.TrimSpace(spec)
+	spec = strings.TrimSuffix(spec, ".")
+	open := strings.IndexByte(spec, '(')
+	if open <= 0 || !strings.HasSuffix(spec, ")") {
+		return "", nil, fmt.Errorf("prov: tuple spec must look like pred(arg,...): %q", spec)
+	}
+	pred := strings.TrimSpace(spec[:open])
+	body := spec[open+1 : len(spec)-1]
+	args, err := splitArgs(body)
+	if err != nil {
+		return "", nil, fmt.Errorf("prov: %v in %q", err, spec)
+	}
+	tup := make(value.Tuple, 0, len(args))
+	for _, a := range args {
+		v, err := parseVal(a)
+		if err != nil {
+			return "", nil, fmt.Errorf("prov: %v in %q", err, spec)
+		}
+		tup = append(tup, v)
+	}
+	return pred, tup, nil
+}
+
+// splitArgs splits a comma-separated argument list, respecting nested
+// brackets and quoted strings. An empty body yields no arguments.
+func splitArgs(body string) ([]string, error) {
+	if strings.TrimSpace(body) == "" {
+		return nil, nil
+	}
+	var args []string
+	depth, start := 0, 0
+	inStr := false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if inStr {
+			switch c {
+			case '\\':
+				i++
+			case '"':
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '[', '(':
+			depth++
+		case ']', ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced brackets")
+			}
+		case ',':
+			if depth == 0 {
+				args = append(args, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 || inStr {
+		return nil, fmt.Errorf("unbalanced brackets")
+	}
+	args = append(args, body[start:])
+	return args, nil
+}
+
+func parseVal(s string) (value.V, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return value.V{}, fmt.Errorf("empty argument")
+	case s == "true":
+		return value.Bool(true), nil
+	case s == "false":
+		return value.Bool(false), nil
+	case s[0] == '"':
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return value.V{}, fmt.Errorf("bad string %s", s)
+		}
+		return value.Str(u), nil
+	case s[0] == '[':
+		if !strings.HasSuffix(s, "]") {
+			return value.V{}, fmt.Errorf("bad list %s", s)
+		}
+		elems, err := splitArgs(s[1 : len(s)-1])
+		if err != nil {
+			return value.V{}, err
+		}
+		l := make([]value.V, 0, len(elems))
+		for _, e := range elems {
+			v, err := parseVal(e)
+			if err != nil {
+				return value.V{}, err
+			}
+			l = append(l, v)
+		}
+		return value.List(l...), nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return value.Int(i), nil
+	}
+	return value.Addr(s), nil
+}

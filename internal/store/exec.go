@@ -24,6 +24,7 @@ type Exec struct {
 	scratch [][]value.Tuple // per-step shuffle buffers
 	idx     []map[*Table]*Index
 	shuffle *Shuffler
+	cur     []value.Tuple // per-step candidate bound by the active frame
 
 	// per-Run state
 	ts     TableSource
@@ -42,6 +43,7 @@ func NewExec(p *ndlog.Plan) *Exec {
 	}
 	x.scratch = make([][]value.Tuple, len(p.Steps))
 	x.idx = make([]map[*Table]*Index, len(p.Steps))
+	x.cur = make([]value.Tuple, len(p.Steps))
 	return x
 }
 
@@ -72,6 +74,12 @@ func (x *Exec) Probes() int64 { return x.probes }
 // Env returns the executor's evaluation environment, for evaluating the
 // plan's head expressions inside an emit callback.
 func (x *Exec) Env() *ndlog.EvalEnv { return &x.env }
+
+// CurTuple returns the candidate tuple bound at step i for the frame
+// currently being emitted. Valid only inside an emit callback, and only
+// for scan/delta steps (Plan.AntSteps); provenance recorders use it to
+// resolve a firing's antecedent tuples.
+func (x *Exec) CurTuple(i int) value.Tuple { return x.cur[i] }
 
 func (x *Exec) index(i int, t *Table, cols []int) *Index {
 	m := x.idx[i]
@@ -123,6 +131,7 @@ func (x *Exec) step(i int) error {
 			if !ok {
 				continue
 			}
+			x.cur[i] = tup
 			if err := x.step(i + 1); err != nil {
 				return err
 			}
@@ -141,6 +150,7 @@ func (x *Exec) step(i int) error {
 			if !ok {
 				continue
 			}
+			x.cur[i] = tup
 			if err := x.step(i + 1); err != nil {
 				return err
 			}
