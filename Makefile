@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench chaos-smoke prov-smoke verify-smoke fmt-check experiments
+.PHONY: all build vet test race bench chaos-smoke prov-smoke verify-smoke serve-smoke fmt-check experiments
 
 all: vet build test
 
@@ -17,7 +17,7 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_PR6.json
+	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_PR7.json
 
 chaos-smoke:
 	$(GO) run -race ./cmd/fvn chaos -n 25 -topo ring:6
@@ -28,6 +28,9 @@ prov-smoke:
 
 verify-smoke:
 	$(GO) run -race ./cmd/fvn verify -suite -workers 4 -explain
+
+serve-smoke:
+	$(GO) test -race -run TestServeSmoke -v ./cmd/fvn
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -103,7 +104,7 @@ func BenchmarkE4CountToInfinity(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res := modelcheck.CheckReachable(linear.TS{Sys: sys}, linear.RouteAtCost(7), modelcheck.Options{MaxStates: 1 << 16})
+		res := modelcheck.CheckReachable(context.Background(), linear.TS{Sys: sys}, linear.RouteAtCost(7), modelcheck.Options{MaxStates: 1 << 16})
 		if !res.Holds {
 			b.Fatal("count-to-infinity not found")
 		}
@@ -263,7 +264,7 @@ n2 twoHop(@N,M2) :- neighbor(@N,M), link(@M,M2).
 
 func BenchmarkE11ModelCheck(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := modelcheck.FindLasso(bgp.System{SPP: bgp.Disagree(), Mode: bgp.Subsets}, nil, modelcheck.Options{})
+		res := modelcheck.FindLasso(context.Background(), bgp.System{SPP: bgp.Disagree(), Mode: bgp.Subsets}, nil, modelcheck.Options{})
 		if !res.Holds {
 			b.Fatal("no lasso in Disagree")
 		}
@@ -343,7 +344,7 @@ func BenchmarkModelCheck(b *testing.B) {
 	spp := bgp.DisagreeChain(3)
 	sys := bgp.System{SPP: spp, Mode: bgp.Subsets}
 	seed := seedMCSystem{spp: spp}
-	want, _ := modelcheck.CountReachable(sys, modelcheck.Options{})
+	want, _ := modelcheck.CountReachable(context.Background(), sys, modelcheck.Options{})
 	if n, _ := modelcheck.SeqCountReachable(seed, modelcheck.Options{}); n != want {
 		b.Fatalf("seed pipeline counts %d states, fingerprinted %d", n, want)
 	}
@@ -359,10 +360,16 @@ func BenchmarkModelCheck(b *testing.B) {
 		run(b, func() int { n, _ := modelcheck.SeqCountReachable(seed, modelcheck.Options{}); return n })
 	})
 	b.Run("fingerprint/workers=1", func(b *testing.B) {
-		run(b, func() int { n, _ := modelcheck.CountReachable(sys, modelcheck.Options{Workers: 1}); return n })
+		run(b, func() int {
+			n, _ := modelcheck.CountReachable(context.Background(), sys, modelcheck.Options{Workers: 1})
+			return n
+		})
 	})
 	b.Run("fingerprint/workers=4", func(b *testing.B) {
-		run(b, func() int { n, _ := modelcheck.CountReachable(sys, modelcheck.Options{Workers: 4}); return n })
+		run(b, func() int {
+			n, _ := modelcheck.CountReachable(context.Background(), sys, modelcheck.Options{Workers: 4})
+			return n
+		})
 	})
 }
 
@@ -515,14 +522,14 @@ func BenchmarkA4BFSvsDFS(b *testing.B) {
 	b.Run("bfs-count", func(b *testing.B) {
 		var states int
 		for i := 0; i < b.N; i++ {
-			states, _ = modelcheck.CountReachable(sys, modelcheck.Options{})
+			states, _ = modelcheck.CountReachable(context.Background(), sys, modelcheck.Options{})
 		}
 		b.ReportMetric(float64(states), "states")
 	})
 	b.Run("dfs-lasso", func(b *testing.B) {
 		var visited int
 		for i := 0; i < b.N; i++ {
-			res := modelcheck.FindLasso(sys, nil, modelcheck.Options{})
+			res := modelcheck.FindLasso(context.Background(), sys, nil, modelcheck.Options{})
 			if !res.Holds {
 				b.Fatal("no lasso")
 			}
@@ -955,7 +962,7 @@ func BenchmarkProveObligations(b *testing.B) {
 	obls := benchObligations(b)
 	run := func(b *testing.B, opts verify.Options) {
 		for i := 0; i < b.N; i++ {
-			rep := verify.NewPipeline(opts).Run(obls)
+			rep := verify.NewPipeline(opts).Run(context.Background(), obls)
 			if !rep.AllProved() {
 				b.Fatalf("%d obligations failed", rep.Failed())
 			}

@@ -1,34 +1,51 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/prov"
 )
 
-// obsFlags is the uniform observability flag surface of the fvn
-// subcommands: --explain (post-run EXPLAIN ANALYZE / metrics), --trace
-// FILE (JSONL event trace), and — on commands that execute a program —
-// --prov (derivation provenance recording, see `fvn why`). Registering
-// them through one helper keeps names, defaults, and help text identical
-// everywhere instead of each subcommand re-declaring its own variants.
+// obsFlags is the uniform observability and resource flag surface of the
+// fvn subcommands: --explain (post-run EXPLAIN ANALYZE / metrics),
+// --trace FILE (JSONL event trace), --timeout D (wall-clock bound;
+// expiry reports inconclusive partial results and exits 3), and — on
+// commands that execute a program — --prov (derivation provenance
+// recording, see `fvn why`). Registering them through one helper keeps
+// names, defaults, and help text identical everywhere instead of each
+// subcommand re-declaring its own variants.
 type obsFlags struct {
 	Explain bool
 	Trace   string
 	Prov    bool
+	Timeout time.Duration
 }
 
-// register adds --explain and --trace to fs; withProv additionally
-// registers --prov.
+// register adds --explain, --trace, and --timeout to fs; withProv
+// additionally registers --prov.
 func (o *obsFlags) register(fs *flag.FlagSet, withProv bool) {
 	fs.BoolVar(&o.Explain, "explain", false, "print EXPLAIN ANALYZE metrics after the command")
 	fs.StringVar(&o.Trace, "trace", "", "write JSONL trace events to this file")
+	fs.DurationVar(&o.Timeout, "timeout", 0, "wall-clock bound (e.g. 30s); on expiry the command reports inconclusive partial results and exits 3")
 	if withProv {
 		fs.BoolVar(&o.Prov, "prov", false, "record derivation provenance (inspect with `fvn why`)")
 	}
+}
+
+// context returns the command's run context: Background when no
+// --timeout was given (the zero-overhead path — callees skip their
+// cancellation machinery entirely), or a deadline context otherwise.
+// The returned cancel must be deferred either way.
+func (o *obsFlags) context() (context.Context, context.CancelFunc) {
+	if o.Timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), o.Timeout)
 }
 
 // tracer builds the JSONL tracer of --trace; an empty path disables
@@ -59,17 +76,17 @@ func (o *obsFlags) recorder() *prov.Recorder {
 // It returns the file's contents, or def when no file is given.
 func parseOptionalSrc(fs *flag.FlagSet, args []string, def string) (string, error) {
 	if err := fs.Parse(args); err != nil {
-		return "", err
+		return "", fmt.Errorf("%w: %v", errUsage, err)
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
 		return def, nil
 	}
 	if err := fs.Parse(rest[1:]); err != nil {
-		return "", err
+		return "", fmt.Errorf("%w: %v", errUsage, err)
 	}
 	if fs.NArg() > 0 {
-		return "", fmt.Errorf("unexpected argument %q", fs.Arg(0))
+		return "", fmt.Errorf("%w: unexpected argument %q", errUsage, fs.Arg(0))
 	}
 	data, err := os.ReadFile(rest[0])
 	if err != nil {

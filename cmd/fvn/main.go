@@ -16,6 +16,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/faults"
@@ -41,47 +44,84 @@ import (
 // buffer to assert on rendered reports.
 var stdout io.Writer = os.Stdout
 
+// Exit codes. Every path out of main funnels through fvnMain so the
+// mapping below is the whole contract — scripts can rely on it.
+const (
+	exitOK           = 0 // command succeeded; all checks passed / proofs closed
+	exitFailed       = 1 // a definite negative: violation found, proof failed, or an error
+	exitUsage        = 2 // bad command line
+	exitInconclusive = 3 // bounded or cancelled before an answer: timeout, ctrl-c, state cap
+)
+
+// errUsage marks command-line errors (exit 2); errInconclusive marks
+// runs stopped by a deadline, cancellation, or a state bound before a
+// definite verdict (exit 3) — deliberately distinct from failure, so a
+// timed-out check is never mistaken for a passing or failing one.
+var (
+	errUsage        = errors.New("usage")
+	errInconclusive = errors.New("inconclusive")
+)
+
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(fvnMain(os.Args[1:]))
+}
+
+// fvnMain dispatches the subcommand and maps its error to an exit code —
+// the single exit path of the CLI.
+func fvnMain(args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "translate":
-		err = cmdTranslate(os.Args[2:])
+		err = cmdTranslate(args[1:])
 	case "verify":
-		if hasFlag(os.Args[2:], "suite") {
-			err = cmdVerifySuite(os.Args[2:])
+		if hasFlag(args[1:], "suite") {
+			err = cmdVerifySuite(args[1:])
 		} else {
-			err = cmdVerify(os.Args[2:])
+			err = cmdVerify(args[1:])
 		}
 	case "run":
-		err = cmdRun(os.Args[2:])
+		err = cmdRun(args[1:])
 	case "chaos":
-		err = cmdChaos(os.Args[2:])
+		err = cmdChaos(args[1:])
 	case "why":
-		err = cmdWhy(os.Args[2:])
+		err = cmdWhy(args[1:])
 	case "why-not", "whynot":
-		err = cmdWhyNot(os.Args[2:])
+		err = cmdWhyNot(args[1:])
 	case "mc":
-		err = cmdMC(os.Args[2:])
+		err = cmdMC(args[1:])
 	case "algebra":
-		err = cmdAlgebra(os.Args[2:])
+		err = cmdAlgebra(args[1:])
+	case "serve":
+		err = cmdServe(args[1:])
 	case "demo":
-		err = cmdDemo(os.Args[2:])
+		err = cmdDemo(args[1:])
 	default:
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, flag.ErrHelp):
+		return exitUsage
+	case errors.Is(err, errUsage):
 		fmt.Fprintln(os.Stderr, "fvn:", err)
-		os.Exit(1)
+		return exitUsage
+	case errors.Is(err, errInconclusive), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "fvn:", err)
+		return exitInconclusive
+	default:
+		fmt.Fprintln(os.Stderr, "fvn:", err)
+		return exitFailed
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fvn <translate|verify|run|chaos|why|why-not|mc|algebra|demo> [flags]
+	fmt.Fprintln(os.Stderr, `usage: fvn <translate|verify|run|chaos|why|why-not|mc|algebra|serve|demo> [flags]
   translate <file.ndlog>                     print the logical specification
   verify <file.ndlog> -theorem T [-script F | -auto] [-workers N]
   verify -suite [-workers N] [-cache=false] [-seed-kernel]
@@ -96,13 +136,15 @@ func usage() {
                                              why a tuple is absent
   mc <file.ndlog>                            explore the transition system
   algebra [-name NAME]                       metarouting obligation discharge
+  serve [-addr HOST:PORT] [-cache-file F]    HTTP verification service
   demo                                       the §3.1 bestPathStrong experiment
-every executing/proving subcommand also takes --explain and --trace FILE`)
+every executing/proving subcommand also takes --explain, --trace FILE, and
+--timeout D (exit codes: 0 ok, 1 violated/failed, 2 usage, 3 inconclusive)`)
 }
 
 func loadProtocol(args []string) (*core.Protocol, []string, error) {
 	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
-		return nil, nil, fmt.Errorf("expected an .ndlog file argument")
+		return nil, nil, fmt.Errorf("%w: expected an .ndlog file argument", errUsage)
 	}
 	src, err := os.ReadFile(args[0])
 	if err != nil {
@@ -122,18 +164,18 @@ func loadProtocol(args []string) (*core.Protocol, []string, error) {
 // protocol.
 func parseCmd(fs *flag.FlagSet, args []string) (*core.Protocol, error) {
 	if err := fs.Parse(args); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", errUsage, err)
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return nil, fmt.Errorf("expected an .ndlog file argument")
+		return nil, fmt.Errorf("%w: expected an .ndlog file argument", errUsage)
 	}
 	file := rest[0]
 	if err := fs.Parse(rest[1:]); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", errUsage, err)
 	}
 	if fs.NArg() > 0 {
-		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+		return nil, fmt.Errorf("%w: unexpected argument %q", errUsage, fs.Arg(0))
 	}
 	p, _, err := loadProtocol([]string{file})
 	return p, err
@@ -172,13 +214,16 @@ func cmdVerifySuite(args []string) error {
 	fs := flag.NewFlagSet("verify -suite", flag.ContinueOnError)
 	fs.Bool("suite", true, "run the standard obligation suite")
 	workers := fs.Int("workers", 1, "concurrent obligation discharge")
-	cache := fs.Bool("cache", true, "reuse results for identical obligations")
+	cacheOn := fs.Bool("cache", true, "reuse results for identical obligations")
+	cacheFile := fs.String("cache-file", "", "persistent result cache (JSONL; shared across runs and with `fvn serve`)")
 	seedKernel := fs.Bool("seed-kernel", false, "use the seed structural kernel (sequential reference)")
 	var of obsFlags
 	of.register(fs, false)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", errUsage, err)
 	}
+	ctx, cancel := of.context()
+	defer cancel()
 	obls, err := verify.StandardSuite()
 	if err != nil {
 		return err
@@ -187,15 +232,23 @@ func cmdVerifySuite(args []string) error {
 	if err != nil {
 		return err
 	}
+	var persist *cache.Store
+	if *cacheFile != "" {
+		if persist, err = cache.Open(*cacheFile); err != nil {
+			return err
+		}
+		defer persist.Close()
+	}
 	col := obs.NewCollector()
 	pl := verify.NewPipeline(verify.Options{
 		Workers:    *workers,
-		Cache:      *cache,
+		Cache:      *cacheOn,
+		Persist:    persist,
 		Structural: *seedKernel,
 		Col:        col,
 		Tracer:     tracer,
 	})
-	rep := pl.Run(obls)
+	rep := pl.Run(ctx, obls)
 	rep.WriteTable(stdout)
 	if of.Explain {
 		obs.WriteObligationExplain(stdout, col)
@@ -203,6 +256,10 @@ func cmdVerifySuite(args []string) error {
 	}
 	if err := closeTrace(); err != nil {
 		return err
+	}
+	if rep.Cancelled {
+		return fmt.Errorf("%w: suite cancelled with %d/%d obligations discharged",
+			errInconclusive, rep.Proved(), len(obls))
 	}
 	if !rep.AllProved() {
 		return fmt.Errorf("%d obligations failed", rep.Failed())
@@ -226,8 +283,10 @@ func cmdVerify(args []string) error {
 		return err
 	}
 	if *theorem == "" {
-		return fmt.Errorf("-theorem is required; available: %v", theoremNames(p))
+		return fmt.Errorf("%w: -theorem is required; available: %v", errUsage, theoremNames(p))
 	}
+	ctx, cancel := of.context()
+	defer cancel()
 	tracer, closeTrace, err := of.tracer()
 	if err != nil {
 		return err
@@ -239,25 +298,20 @@ func cmdVerify(args []string) error {
 	}
 	pr.Instrument(col, tracer)
 	pr.EnableWorkers(*workers)
-	if *auto {
-		// The automated strategy: skosimp* then grind (arc 5).
-		if err := pr.Skosimp(); err != nil {
-			return err
-		}
-		if err := pr.Grind(); err != nil {
-			return err
-		}
-	} else {
+	body := verify.DefaultScript // the automated strategy: skosimp* then grind (arc 5)
+	if !*auto {
 		if *script == "" {
-			return fmt.Errorf("provide -script or -auto")
+			return fmt.Errorf("%w: provide -script or -auto", errUsage)
 		}
-		body, err := os.ReadFile(*script)
+		data, err := os.ReadFile(*script)
 		if err != nil {
 			return err
 		}
-		if err := pr.RunScript(string(body)); err != nil {
-			return err
-		}
+		body = string(data)
+	}
+	runErr := pr.RunScriptCtx(ctx, body)
+	if runErr != nil && !errors.Is(runErr, prover.ErrCancelled) {
+		return runErr
 	}
 	r := pr.Summary()
 	report(r.QED, *theorem, r.Steps, r.PrimSteps, r.AutomationRatio(), r.Elapsed.Seconds())
@@ -266,6 +320,10 @@ func cmdVerify(args []string) error {
 	}
 	if err := closeTrace(); err != nil {
 		return err
+	}
+	if errors.Is(runErr, prover.ErrCancelled) {
+		return fmt.Errorf("%w: proof cancelled after %d steps with %d goals open",
+			errInconclusive, r.Steps, r.OpenGoals)
 	}
 	if !r.QED {
 		return fmt.Errorf("%d goals remain open", r.OpenGoals)
@@ -379,13 +437,20 @@ func cmdRun(args []string) error {
 			return err
 		}
 	}
-	res, err := net.Run()
+	ctx, cancel := of.context()
+	defer cancel()
+	res, err := net.RunCtx(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "converged=%v time=%.1f messages=%d derivations=%d route-changes=%d flips=%d\n",
 		res.Converged, res.Time, res.Stats.MessagesSent, res.Stats.Derivations,
 		res.Stats.RouteChanges, res.Stats.Flips)
+	if res.Cancelled {
+		closeTrace()
+		return fmt.Errorf("%w: run cancelled at simulated time %.1f (%d messages processed)",
+			errInconclusive, res.Time, res.Stats.MessagesDelivered)
+	}
 	if rec := net.Prov(); rec.Enabled() {
 		fmt.Fprintf(stdout, "provenance: %d entries recorded (inspect with `fvn why`)\n", rec.Len())
 		if opts.Obs != nil {
@@ -422,6 +487,8 @@ func cmdChaos(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel := of.context()
+	defer cancel()
 	tracer, closeTrace, err := of.tracer()
 	if err != nil {
 		return err
@@ -464,6 +531,10 @@ func cmdChaos(args []string) error {
 		if of.Explain && opts.Obs != nil {
 			obs.WriteMetrics(stdout, opts.Obs)
 		}
+		if rep.Cancelled {
+			return fmt.Errorf("%w: run cancelled at simulated time %.1f (invariants unchecked)",
+				errInconclusive, rep.CheckedAt)
+		}
 		if rep.Failed() {
 			if !*jsonOut {
 				for _, v := range rep.Violations {
@@ -496,13 +567,13 @@ func cmdChaos(args []string) error {
 		o.Seed = *seed
 		o.Prov = of.recorder()
 		topo := c.Topo()
-		rep, err := dist.RunChaos(src, topo, plan, o)
+		rep, err := dist.RunChaos(ctx, src, topo, plan, o)
 		if err != nil {
 			return err
 		}
 		return reportOne(rep)
 	case *replay != 0:
-		rep, err := c.RunSeed(*replay)
+		rep, err := c.RunSeed(ctx, *replay)
 		if err != nil {
 			return err
 		}
@@ -512,11 +583,14 @@ func cmdChaos(args []string) error {
 			// One JSON line per run, no prose — the harness-friendly mode.
 			failures := 0
 			for i := 0; i < *runs; i++ {
-				rep, err := c.RunOne(i)
+				rep, err := c.RunOne(ctx, i)
 				if err != nil {
 					return err
 				}
 				fmt.Fprintf(stdout, "%s\n", rep.JSON())
+				if rep.Cancelled {
+					return fmt.Errorf("%w: campaign cancelled after %d of %d runs", errInconclusive, i, *runs)
+				}
 				if rep.Failed() {
 					failures++
 				}
@@ -526,14 +600,20 @@ func cmdChaos(args []string) error {
 			}
 			return nil
 		}
-		reports, err := c.Execute(stdout)
+		reports, err := c.Execute(ctx, stdout)
 		if err != nil {
 			return err
 		}
+		cancelled := len(reports) < *runs
 		for _, rep := range reports {
-			if rep.Failed() {
+			if rep.Cancelled {
+				cancelled = true
+			} else if rep.Failed() {
 				return fmt.Errorf("campaign had failing runs (replay with -replay-seed)")
 			}
+		}
+		if cancelled {
+			return fmt.Errorf("%w: campaign cancelled with %d of %d runs completed", errInconclusive, len(reports), *runs)
 		}
 		return nil
 	}
@@ -559,28 +639,41 @@ func cmdMC(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel := of.context()
+	defer cancel()
 	ts := linear.TS{Sys: sys}
 	col := obs.NewCollector()
 	opts := modelcheck.Options{MaxStates: maxStates, Workers: *workers, Obs: col, Trace: tracer}
-	count, cres := modelcheck.CountReachable(ts, opts)
-	fmt.Printf("reachable states: %d (transitions %d, depth %d, %.0f states/s, workers %d)\n",
+	count, cres := modelcheck.CountReachable(ctx, ts, opts)
+	fmt.Fprintf(stdout, "reachable states: %d (transitions %d, depth %d, %.0f states/s, workers %d)\n",
 		count, cres.Stats.Transitions, cres.Stats.MaxDepth, cres.Stats.StatesPerSecond(), *workers)
 	if cres.Stats.Truncated {
-		fmt.Printf("state bound %d hit: the count is a lower bound\n", maxStates)
+		fmt.Fprintf(stdout, "state bound %d hit: the count is a lower bound\n", maxStates)
 	}
-	q := modelcheck.Quiescent(ts, opts)
+	if cres.Stats.Cancelled {
+		closeTrace()
+		return fmt.Errorf("%w: search cancelled after %d states (%d transitions) — the count is a lower bound",
+			errInconclusive, cres.Stats.StatesVisited, cres.Stats.Transitions)
+	}
+	q := modelcheck.Quiescent(ctx, ts, opts)
 	switch q.Verdict {
 	case modelcheck.VerdictHolds:
-		fmt.Printf("quiescent state reachable in %d steps:\n  %s\n", len(q.Trace)-1, q.Witness.Display())
+		fmt.Fprintf(stdout, "quiescent state reachable in %d steps:\n  %s\n", len(q.Trace)-1, q.Witness.Display())
 	case modelcheck.VerdictViolated:
-		fmt.Println("no quiescent state reachable (divergence)")
+		fmt.Fprintln(stdout, "no quiescent state reachable (divergence)")
 	default:
-		fmt.Println("quiescence inconclusive: state bound hit before a quiescent state was found")
+		fmt.Fprintln(stdout, "quiescence inconclusive: state bound hit or search cancelled before a quiescent state was found")
 	}
 	if of.Explain {
 		obs.WriteMetrics(stdout, col)
 	}
-	return closeTrace()
+	if err := closeTrace(); err != nil {
+		return err
+	}
+	if q.Verdict == modelcheck.VerdictInconclusive {
+		return fmt.Errorf("%w: quiescence undecided with %d states visited", errInconclusive, q.Stats.StatesVisited)
+	}
+	return nil
 }
 
 func cmdAlgebra(args []string) error {

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end service smoke test (make serve-smoke):
+// it builds the fvn binary under the race detector, runs `fvn serve` as a
+// real subprocess, drives concurrent verify+mc+chaos jobs over HTTP,
+// checks that resubmitting the verify suite hits the cache, SIGTERMs the
+// server and expects a clean drain, then restarts it on the same cache
+// file and expects the suite to be served from the persisted cache.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "fvn")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building fvn -race: %v\n%s", err, out)
+	}
+	cachePath := filepath.Join(tmp, "cache.jsonl")
+	addr := freeAddr(t)
+
+	// --- first server lifetime -------------------------------------------
+	srv := startServe(t, bin, addr, cachePath)
+
+	jobs := []struct{ path, body string }{
+		{"/verify", `{"workers": 4}`},
+		{"/verify", `{}`},
+		{"/mc", `{"max_states": 2048}`},
+		{"/chaos", `{"runs": 2, "topo": "ring:4"}`},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(jobs))
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := postJob(addr, j.path, j.body); err != nil {
+				errs <- fmt.Errorf("%s: %v", j.path, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		srv.stop(t)
+		t.FailNow()
+	}
+
+	res, err := postJob(addr, "/verify", `{}`)
+	if err != nil {
+		t.Fatalf("resubmitted verify: %v", err)
+	}
+	if res["cached"] != res["obligations"] {
+		t.Errorf("resubmitted suite: %v of %v obligations cached, want all",
+			res["cached"], res["obligations"])
+	}
+
+	srv.stop(t) // SIGTERM; asserts exit 0 and the drain message
+
+	// --- second lifetime, same cache file --------------------------------
+	srv = startServe(t, bin, addr, cachePath)
+	res, err = postJob(addr, "/verify", `{}`)
+	if err != nil {
+		t.Fatalf("post-restart verify: %v", err)
+	}
+	if res["cached"] != res["obligations"] {
+		t.Errorf("post-restart suite: %v of %v obligations cached, want all (persistent cache)",
+			res["cached"], res["obligations"])
+	}
+	srv.stop(t)
+}
+
+type serveProc struct {
+	cmd *exec.Cmd
+	out *bytes.Buffer
+}
+
+func startServe(t *testing.T, bin, addr, cachePath string) *serveProc {
+	t.Helper()
+	var out bytes.Buffer
+	cmd := exec.Command(bin, "serve", "-addr", addr, "-cache-file", cachePath)
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting fvn serve: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fvn serve never became healthy\n%s", out.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return &serveProc{cmd: cmd, out: &out}
+}
+
+// stop SIGTERMs the server and asserts a clean graceful drain.
+func (p *serveProc) stop(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signalling fvn serve: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("fvn serve exited uncleanly on SIGTERM: %v\n%s", err, p.out.String())
+		}
+	case <-time.After(30 * time.Second):
+		p.cmd.Process.Kill()
+		t.Fatalf("fvn serve did not drain within 30s of SIGTERM\n%s", p.out.String())
+	}
+	if !strings.Contains(p.out.String(), "drained cleanly") {
+		t.Errorf("graceful drain message missing from server output:\n%s", p.out.String())
+	}
+}
+
+func postJob(addr, path, body string) (map[string]any, error) {
+	resp, err := http.Post("http://"+addr+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	var env struct {
+		Result map[string]any `json:"result"`
+	}
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("bad envelope %q: %v", b, err)
+	}
+	if env.Result == nil {
+		return nil, fmt.Errorf("envelope has no result: %s", b)
+	}
+	return env.Result, nil
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}

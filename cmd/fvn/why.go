@@ -66,8 +66,16 @@ func whyCmd(name string, args []string) error {
 	if err != nil {
 		return err
 	}
-	if _, err := net.Run(); err != nil {
+	ctx, cancel := of.context()
+	defer cancel()
+	res, err := net.RunCtx(ctx)
+	if err != nil {
 		return err
+	}
+	if res.Cancelled {
+		closeTrace()
+		return fmt.Errorf("%w: %s cancelled before the run completed (t=%.1f); provenance is partial",
+			errInconclusive, name, res.Time)
 	}
 	if err := whyReport(net, name, pred, tup, *jsonOut); err != nil {
 		return err

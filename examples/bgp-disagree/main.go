@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -98,7 +99,7 @@ func main() {
 	for i, sol := range spp.StableSolutions() {
 		fmt.Printf("  solution %d: AS1=[%s]  AS2=[%s]\n", i+1, sol["1"], sol["2"])
 	}
-	lasso := modelcheck.FindLasso(bgp.System{SPP: spp, Mode: bgp.Sync}, nil, modelcheck.Options{})
+	lasso := modelcheck.FindLasso(context.Background(), bgp.System{SPP: spp, Mode: bgp.Sync}, nil, modelcheck.Options{})
 	fmt.Printf("model checker: oscillation lasso found=%v, counterexample:\n%s", lasso.Holds, lasso.TraceString())
 
 	bad := bgp.BadGadget()

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,10 +31,10 @@ func main() {
 	}
 	ts := linear.TS{Sys: sys}
 
-	count, cres := modelcheck.CountReachable(ts, modelcheck.Options{MaxStates: 1 << 16})
+	count, cres := modelcheck.CountReachable(context.Background(), ts, modelcheck.Options{MaxStates: 1 << 16})
 	fmt.Printf("reachable states: %d (transitions %d)\n", count, cres.Stats.Transitions)
 
-	res := modelcheck.CheckReachable(ts, linear.RouteAtCost(7), modelcheck.Options{MaxStates: 1 << 16})
+	res := modelcheck.CheckReachable(context.Background(), ts, linear.RouteAtCost(7), modelcheck.Options{MaxStates: 1 << 16})
 	fmt.Printf("\ncount-to-infinity state reachable: %v\n", res.Holds)
 	if res.Holds {
 		fmt.Println("counterexample trace (costs ratchet up as n0 and n1 bounce stale routes):")
@@ -56,6 +57,6 @@ func main() {
 			r.Body = append(r.Body, ndlog.Literal{Expr: e})
 		}
 	}
-	resSH := modelcheck.CheckReachable(linear.TS{Sys: sysSH}, linear.RouteAtCost(7), modelcheck.Options{MaxStates: 1 << 16})
+	resSH := modelcheck.CheckReachable(context.Background(), linear.TS{Sys: sysSH}, linear.RouteAtCost(7), modelcheck.Options{MaxStates: 1 << 16})
 	fmt.Printf("count-to-infinity state reachable: %v — split horizon closes the loop\n", resSH.Holds)
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -70,7 +71,7 @@ func main() {
 	fmt.Printf("linear predicates: heartbeat=%v alive=%v (peer persists: %v)\n",
 		sys.Linear["heartbeat"], sys.Linear["alive"], !sys.Linear["peer"])
 	ts := linear.TS{Sys: sys}
-	q := modelcheck.Quiescent(ts, modelcheck.Options{})
+	q := modelcheck.Quiescent(context.Background(), ts, modelcheck.Options{})
 	fmt.Printf("model checker: quiescent state reachable=%v, final state: %s\n", q.Holds, q.Witness.Display())
 
 	// Route 3: operational semantics on the runtime — expiry and refresh.

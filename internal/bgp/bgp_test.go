@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/modelcheck"
@@ -148,7 +149,7 @@ func TestModelCheckerFindsDisagreeOscillation(t *testing.T) {
 	// matching Griffin & Wilfong's analysis of Disagree.
 	for _, mode := range []Mode{Sync, Subsets} {
 		sys := System{SPP: Disagree(), Mode: mode}
-		res := modelcheck.FindLasso(sys, nil, modelcheck.Options{})
+		res := modelcheck.FindLasso(context.Background(), sys, nil, modelcheck.Options{})
 		if !res.Holds {
 			t.Fatalf("no oscillation lasso found in Disagree (mode %d)", mode)
 		}
@@ -160,7 +161,7 @@ func TestModelCheckerFindsDisagreeOscillation(t *testing.T) {
 		}
 	}
 	// Under atomic asynchronous activation every run of Disagree converges.
-	if res := modelcheck.FindLasso(System{SPP: Disagree(), Mode: Async}, nil, modelcheck.Options{}); res.Holds {
+	if res := modelcheck.FindLasso(context.Background(), System{SPP: Disagree(), Mode: Async}, nil, modelcheck.Options{}); res.Holds {
 		t.Error("lasso found under Async activation; Disagree should always converge atomically")
 	}
 }
@@ -169,7 +170,7 @@ func TestModelCheckerGoodGadgetHasNoOscillationFromStable(t *testing.T) {
 	// GoodGadget: a stable state is reachable, and the reachable state
 	// space is small.
 	sys := System{SPP: GoodGadget()}
-	res := modelcheck.Quiescent(sys, modelcheck.Options{})
+	res := modelcheck.Quiescent(context.Background(), sys, modelcheck.Options{})
 	if !res.Holds {
 		t.Fatal("GoodGadget has no reachable quiescent state")
 	}
@@ -181,12 +182,12 @@ func TestModelCheckerGoodGadgetHasNoOscillationFromStable(t *testing.T) {
 
 func TestModelCheckerBadGadgetNeverQuiesces(t *testing.T) {
 	sys := System{SPP: BadGadget()}
-	res := modelcheck.Quiescent(sys, modelcheck.Options{})
+	res := modelcheck.Quiescent(context.Background(), sys, modelcheck.Options{})
 	if res.Holds {
 		t.Errorf("BadGadget reached a quiescent state:\n%s", res.TraceString())
 	}
 	// And every infinite run is an oscillation: a lasso exists.
-	if lasso := modelcheck.FindLasso(sys, nil, modelcheck.Options{}); !lasso.Holds {
+	if lasso := modelcheck.FindLasso(context.Background(), sys, nil, modelcheck.Options{}); !lasso.Holds {
 		t.Error("no lasso in BadGadget")
 	}
 }
@@ -199,7 +200,7 @@ func TestModelCheckerReachesBothDisagreeSolutions(t *testing.T) {
 	sols := spp.StableSolutions()
 	for i, sol := range sols {
 		want := sol.Key()
-		res := modelcheck.CheckReachable(sys, func(st modelcheck.State) bool {
+		res := modelcheck.CheckReachable(context.Background(), sys, func(st modelcheck.State) bool {
 			return st.Key() == want
 		}, modelcheck.Options{})
 		if !res.Holds {
@@ -212,7 +213,7 @@ func TestStateSpaceGrowsWithGadgetSize(t *testing.T) {
 	// The state-explosion effect the paper attributes to model checking:
 	// reachable states grow exponentially in the number of disagree pairs.
 	count := func(k int) int {
-		n, _ := modelcheck.CountReachable(System{SPP: DisagreeChain(k)}, modelcheck.Options{})
+		n, _ := modelcheck.CountReachable(context.Background(), System{SPP: DisagreeChain(k)}, modelcheck.Options{})
 		return n
 	}
 	c1, c2, c3 := count(1), count(2), count(3)

@@ -1,0 +1,185 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type val struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", val{N: 1, S: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", val{N: 2, S: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", val{N: 3, S: "z"}); err != nil { // overwrite: later wins
+		t.Fatal(err)
+	}
+	var v val
+	if !s.Get("a", &v) || v.N != 3 {
+		t.Fatalf("Get(a) = %+v, want n=3", v)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second process (fresh Open) sees everything.
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2", s2.Len())
+	}
+	if !s2.Get("a", &v) || v.N != 3 || v.S != "z" {
+		t.Fatalf("reopened Get(a) = %+v, want {3 z}", v)
+	}
+	if !s2.Get("b", &v) || v.N != 2 {
+		t.Fatalf("reopened Get(b) = %+v, want n=2", v)
+	}
+	if st := s2.Stats(); st.Loaded != 2 || st.Corrupt != 0 {
+		t.Fatalf("stats after clean reopen: %+v", st)
+	}
+}
+
+func TestCorruptLinesAreSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if err := s.Put(k, val{N: len(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Mangle the middle entry and truncate the last one mid-line (the
+	// crash-during-append shape).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 4 { // header + 3 entries
+		t.Fatalf("file has %d lines, want 4", len(lines))
+	}
+	lines[2] = `{"k":"k2","v":{"n":` // malformed JSON
+	lines[3] = lines[3][:len(lines[3])/2]
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var v val
+	if !s2.Get("k1", &v) || v.N != 2 {
+		t.Fatalf("surviving entry lost: %+v", v)
+	}
+	if s2.Get("k2", &v) || s2.Get("k3", &v) {
+		t.Fatal("corrupt entries resurrected")
+	}
+	if st := s2.Stats(); st.Corrupt != 2 || st.Loaded != 1 {
+		t.Fatalf("stats = %+v, want corrupt=2 loaded=1", st)
+	}
+
+	// The store keeps working after a damaged load.
+	if err := s2.Put("k2", val{N: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Get("k2", &v) || v.N != 9 {
+		t.Fatalf("re-put after damage: %+v", v)
+	}
+}
+
+func TestUnknownVersionQuarantined(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	body := `{"fvn_cache":"v","version":999}` + "\n" + `{"k":"a","v":{"n":1}}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 0 {
+		t.Fatalf("future-version file was read: %d entries", s.Len())
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("future-version file not quarantined: %v", err)
+	}
+}
+
+func TestNilStoreIsDisabled(t *testing.T) {
+	var s *Store
+	var v val
+	if s.Get("a", &v) {
+		t.Fatal("nil store hit")
+	}
+	if err := s.Put("a", val{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Stats().Puts != 0 {
+		t.Fatal("nil store counted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				k := string(rune('a'+w)) + "-key"
+				if err := s.Put(k, val{N: i}); err != nil {
+					t.Error(err)
+					return
+				}
+				var v val
+				s.Get(k, &v)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 4 {
+		t.Fatalf("reloaded %d keys, want 4", s2.Len())
+	}
+	var v val
+	if !s2.Get("a-key", &v) || v.N != 49 {
+		t.Fatalf("later-wins reload: %+v", v)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -159,7 +160,7 @@ r1 seen(@N,V) :- ev(@N,V).
 		t.Fatal(err)
 	}
 	ts := linear.TS{Sys: sys}
-	res := modelcheck.Quiescent(ts, modelcheck.Options{})
+	res := modelcheck.Quiescent(context.Background(), ts, modelcheck.Options{})
 	if !res.Holds {
 		t.Fatal("transition system does not quiesce")
 	}

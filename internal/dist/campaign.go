@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -92,13 +93,18 @@ func (v Violation) String() string { return v.Msg }
 
 // ChaosReport is the outcome of one chaos execution.
 type ChaosReport struct {
-	Seed       uint64       `json:"seed"`
-	Plan       *faults.Plan `json:"plan"`
-	Stable     bool         `json:"stable"` // bestPathCost digest unchanged across the Quiet window
-	Violations []Violation  `json:"violations,omitempty"`
-	Live       []string     `json:"live"` // nodes up at the end of the run
-	Stats      Stats        `json:"stats"`
-	CheckedAt  float64      `json:"checked_at"` // simulated time of the final sample
+	Seed   uint64       `json:"seed"`
+	Plan   *faults.Plan `json:"plan"`
+	Stable bool         `json:"stable"` // bestPathCost digest unchanged across the Quiet window
+	// Cancelled marks a run stopped mid-simulation by context
+	// cancellation: the invariant checks were skipped (partial state is
+	// inconclusive, not a violation) and only the stats up to the stop
+	// point are reported.
+	Cancelled  bool        `json:"cancelled,omitempty"`
+	Violations []Violation `json:"violations,omitempty"`
+	Live       []string    `json:"live"` // nodes up at the end of the run
+	Stats      Stats       `json:"stats"`
+	CheckedAt  float64     `json:"checked_at"` // simulated time of the final sample
 	// RootCause holds one provenance-derived chain per violating tuple
 	// (requires ChaosOptions.Prov): the fault events on the tuple's
 	// lineage, matched against the plan's scheduled events.
@@ -120,8 +126,11 @@ func (r *ChaosReport) JSON() []byte {
 
 // RunChaos executes the program source over topo under plan and checks
 // the route invariants at quiescence. topo is mutated in place by the
-// faults; pass a fresh topology per run.
-func RunChaos(src string, topo *netgraph.Topology, plan *faults.Plan, o ChaosOptions) (*ChaosReport, error) {
+// faults; pass a fresh topology per run. Cancelling ctx stops the
+// simulation between events and returns a report with Cancelled set and
+// the invariant checks skipped — a cancelled run is inconclusive, never
+// a pass or a violation.
+func RunChaos(ctx context.Context, src string, topo *netgraph.Topology, plan *faults.Plan, o ChaosOptions) (*ChaosReport, error) {
 	if o.Lifetime <= 0 || o.RefreshInterval <= 0 || o.Quiet <= 0 {
 		d := DefaultChaosOptions()
 		if o.Lifetime <= 0 {
@@ -174,12 +183,27 @@ func RunChaos(src string, topo *netgraph.Topology, plan *faults.Plan, o ChaosOpt
 	}
 
 	rep := &ChaosReport{Seed: o.Seed, Plan: plan}
-	if _, err := net.RunUntil(stableFrom); err != nil {
+	partial := func() (*ChaosReport, error) {
+		rep.Cancelled = true
+		rep.Live = net.LiveNodes()
+		rep.Stats = net.Stats()
+		rep.CheckedAt = net.Now()
+		return rep, nil
+	}
+	r1, err := net.RunUntilCtx(ctx, stableFrom)
+	if err != nil {
 		return nil, err
 	}
+	if r1.Cancelled {
+		return partial()
+	}
 	d1 := net.Snapshot("bestPathCost")
-	if _, err := net.RunUntil(checkAt); err != nil {
+	r2, err := net.RunUntilCtx(ctx, checkAt)
+	if err != nil {
 		return nil, err
+	}
+	if r2.Cancelled {
+		return partial()
 	}
 	d2 := net.Snapshot("bestPathCost")
 	rep.Stable = d1 == d2
@@ -387,7 +411,7 @@ type Campaign struct {
 func (c *Campaign) SeedFor(i int) uint64 { return faults.Mix(c.BaseSeed, i) }
 
 // RunSeed executes one chaos run with an explicit seed (replay).
-func (c *Campaign) RunSeed(seed uint64) (*ChaosReport, error) {
+func (c *Campaign) RunSeed(ctx context.Context, seed uint64) (*ChaosReport, error) {
 	topo := c.Topo()
 	plan := faults.Generate(seed, topo, c.Gen)
 	o := c.Opts
@@ -395,25 +419,44 @@ func (c *Campaign) RunSeed(seed uint64) (*ChaosReport, error) {
 	if c.Prov && o.Prov == nil {
 		o.Prov = prov.New()
 	}
-	return RunChaos(c.Source, topo, plan, o)
+	return RunChaos(ctx, c.Source, topo, plan, o)
 }
 
 // RunOne executes run i of the campaign.
-func (c *Campaign) RunOne(i int) (*ChaosReport, error) { return c.RunSeed(c.SeedFor(i)) }
+func (c *Campaign) RunOne(ctx context.Context, i int) (*ChaosReport, error) {
+	return c.RunSeed(ctx, c.SeedFor(i))
+}
 
 // Execute runs the whole campaign, writing one line per run (and the
 // seed + plan of every failure, for replay) to w when non-nil. It
 // returns all reports; the error is reserved for setup failures, not
-// invariant violations.
-func (c *Campaign) Execute(w io.Writer) ([]*ChaosReport, error) {
+// invariant violations. Cancelling ctx stops the campaign between runs
+// (and, via RunChaos, mid-run): the reports of completed runs are
+// returned as-is — each is a pure function of its seed, so a later
+// replay of the same seeds reproduces them exactly — and a run stopped
+// mid-flight is appended with Cancelled set.
+func (c *Campaign) Execute(ctx context.Context, w io.Writer) ([]*ChaosReport, error) {
 	var reports []*ChaosReport
 	failures := 0
 	for i := 0; i < c.Runs; i++ {
-		rep, err := c.RunOne(i)
+		if ctx.Err() != nil {
+			if w != nil {
+				fmt.Fprintf(w, "campaign: cancelled after %d of %d runs\n", i, c.Runs)
+			}
+			return reports, nil
+		}
+		rep, err := c.RunOne(ctx, i)
 		if err != nil {
 			return reports, fmt.Errorf("chaos run %d (seed %d): %w", i, c.SeedFor(i), err)
 		}
 		reports = append(reports, rep)
+		if rep.Cancelled {
+			if w != nil {
+				fmt.Fprintf(w, "run %3d seed %-20d CANCELLED (partial, invariants unchecked)\n", i, rep.Seed)
+				fmt.Fprintf(w, "campaign: cancelled after %d of %d runs\n", i, c.Runs)
+			}
+			return reports, nil
+		}
 		if rep.Failed() {
 			failures++
 			if w != nil {

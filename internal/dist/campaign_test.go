@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -13,7 +14,7 @@ import (
 // TestChaosCleanRun: no faults at all — the softened, refresh-driven
 // path-vector program must converge to the exact shortest-path truth.
 func TestChaosCleanRun(t *testing.T) {
-	rep, err := RunChaos(pathVectorSrc, netgraph.Ring(5), &faults.Plan{}, ChaosOptions{Seed: 1})
+	rep, err := RunChaos(context.Background(), pathVectorSrc, netgraph.Ring(5), &faults.Plan{}, ChaosOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestChaosCampaignHoldsInvariants(t *testing.T) {
 		Gen:      faults.DefaultGenOptions(),
 		Opts:     DefaultChaosOptions(),
 	}
-	reports, err := c.Execute(nil)
+	reports, err := c.Execute(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestChaosHardModeViolatesAndReplays(t *testing.T) {
 	o.Seed = 7
 	o.Hard = true
 	run := func() *ChaosReport {
-		rep, err := RunChaos(pathVectorSrc, netgraph.Ring(5), plan, o)
+		rep, err := RunChaos(context.Background(), pathVectorSrc, netgraph.Ring(5), plan, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,7 +92,7 @@ func TestChaosSameSeedBitForBit(t *testing.T) {
 			Opts:     DefaultChaosOptions(),
 		}
 		c.Opts.Trace = obs.NewTracer(ring)
-		rep, err := c.RunOne(0)
+		rep, err := c.RunOne(context.Background(), 0)
 		if err != nil {
 			t.Fatal(err)
 		}

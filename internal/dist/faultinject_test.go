@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/faults"
@@ -113,7 +114,7 @@ h1 up(@M,N) :- hb(@N,M,S), link(@N,M,C).
 // refresh waves — the paper's soft-state recovery argument, end to end.
 func TestCrashRestartRecoversViaRefresh(t *testing.T) {
 	plan := &faults.Plan{Nodes: []faults.NodeFault{{Node: "n1", Crash: 20, Restart: 40}}}
-	rep, err := RunChaos(pathVectorSrc, netgraph.Ring(4), plan, ChaosOptions{Seed: 5})
+	rep, err := RunChaos(context.Background(), pathVectorSrc, netgraph.Ring(4), plan, ChaosOptions{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestPartitionHealReconverges(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			plan := &faults.Plan{Partitions: []faults.Partition{{At: 10, Heal: 45, Group: tc.group}}}
-			rep, err := RunChaos(pathVectorSrc, tc.topo(), plan, ChaosOptions{Seed: 11})
+			rep, err := RunChaos(context.Background(), pathVectorSrc, tc.topo(), plan, ChaosOptions{Seed: 11})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -194,7 +195,7 @@ func TestPartitionHealReconverges(t *testing.T) {
 // paths with no routes across the cut.
 func TestPermanentPartitionConvergesPerSide(t *testing.T) {
 	plan := &faults.Plan{Partitions: []faults.Partition{{At: 10, Group: []string{"n0", "n1", "n2"}}}}
-	rep, err := RunChaos(pathVectorSrc, netgraph.Ring(6), plan, ChaosOptions{Seed: 13})
+	rep, err := RunChaos(context.Background(), pathVectorSrc, netgraph.Ring(6), plan, ChaosOptions{Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}

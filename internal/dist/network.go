@@ -2,6 +2,7 @@ package dist
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -80,6 +81,10 @@ type Stats struct {
 // Result summarizes a run.
 type Result struct {
 	Converged bool
+	// Cancelled is set when the run was stopped by context cancellation
+	// (RunCtx/RunUntilCtx). The pending events stay queued, so a further
+	// Run can resume; a cancelled result is inconclusive, not converged.
+	Cancelled bool
 	Time      float64 // time of the last state change
 	Stats     Stats
 }
@@ -924,8 +929,26 @@ func (n *Network) deliver(from *Node, ds []derivation) error {
 
 // Run processes events until quiescence or MaxTime. It may be called
 // repeatedly: new injections resume the simulation.
-func (n *Network) Run() (Result, error) {
+func (n *Network) Run() (Result, error) { return n.RunCtx(context.Background()) }
+
+// RunCtx is Run with cancellation: the context is polled every few events
+// (a coarse boundary — rule firing dominates, so the check is off the hot
+// path, and with a Background context it costs one nil comparison per
+// event). On cancellation the run stops between events with the queue
+// intact, so the result carries the partial stats and a later Run resumes
+// exactly where this one stopped.
+func (n *Network) RunCtx(ctx context.Context) (Result, error) {
+	done := ctx.Done()
+	polled := 0
 	for n.queue.Len() > 0 {
+		if done != nil {
+			if polled++; polled&0x3f == 1 && ctx.Err() != nil {
+				if n.tracer != nil {
+					n.tracer.Emit(obs.Event{T: n.lastChange, Kind: obs.EvRunEnd, Name: "cancelled"})
+				}
+				return Result{Converged: false, Cancelled: true, Time: n.lastChange, Stats: n.Stats()}, nil
+			}
+		}
 		e := heap.Pop(&n.queue).(*event)
 		if e.at > n.opts.MaxTime {
 			// Push back so a later Run with a higher MaxTime could resume.
@@ -1200,9 +1223,14 @@ func (n *Network) noteDelivered(e *event) {
 // Run/RunUntil resumes. The chaos campaign uses it to sample state at a
 // chosen instant of a run that never fully quiesces (refresh driver).
 func (n *Network) RunUntil(t float64) (Result, error) {
+	return n.RunUntilCtx(context.Background(), t)
+}
+
+// RunUntilCtx is RunUntil with cancellation (see RunCtx).
+func (n *Network) RunUntilCtx(ctx context.Context, t float64) (Result, error) {
 	old := n.opts.MaxTime
 	n.opts.MaxTime = t
-	r, err := n.Run()
+	r, err := n.RunCtx(ctx)
 	n.opts.MaxTime = old
 	return r, err
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -135,7 +136,7 @@ func TestChaosRootCauseNamesFault(t *testing.T) {
 	o.Seed = 7
 	o.Hard = true
 	o.Prov = prov.New()
-	rep, err := RunChaos(pathVectorSrc, netgraph.Ring(5), plan, o)
+	rep, err := RunChaos(context.Background(), pathVectorSrc, netgraph.Ring(5), plan, o)
 	if err != nil {
 		t.Fatal(err)
 	}

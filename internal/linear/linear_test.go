@@ -1,6 +1,7 @@
 package linear
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -90,11 +91,11 @@ func TestPersistentFactsAreNotConsumed(t *testing.T) {
 		Init:   []Fact{F("base", value.Int(1))},
 	}
 	ts := TS{Sys: sys}
-	res := modelcheck.Quiescent(ts, modelcheck.Options{})
+	res := modelcheck.Quiescent(context.Background(), ts, modelcheck.Options{})
 	if !res.Holds {
 		t.Fatal("derivation system does not quiesce")
 	}
-	n, _ := modelcheck.CountReachable(ts, modelcheck.Options{})
+	n, _ := modelcheck.CountReachable(context.Background(), ts, modelcheck.Options{})
 	if n != 2 {
 		t.Errorf("reachable states = %d, want 2", n)
 	}
@@ -126,7 +127,7 @@ func TestKeyedProductionReplaces(t *testing.T) {
 	}
 	ts := TS{Sys: sys}
 	// After both ticks: a single route fact with cost 2.
-	res := modelcheck.CheckReachable(ts, func(st modelcheck.State) bool {
+	res := modelcheck.CheckReachable(context.Background(), ts, func(st modelcheck.State) bool {
 		return StateHas(st, func(f Fact) bool { return f.Pred == "route" && f.Args[2].I == 2 })
 	}, modelcheck.Options{})
 	if !res.Holds {
@@ -165,7 +166,7 @@ func TestCountToInfinity(t *testing.T) {
 	// Cost 7 at this 3-node line is only reachable by the ratcheting
 	// exchange between n0 and n1 (stale routes bouncing back and forth);
 	// direct bad-news propagation jumps straight to the ceiling 8.
-	res := modelcheck.CheckReachable(ts, RouteAtCost(7), modelcheck.Options{MaxStates: 200000})
+	res := modelcheck.CheckReachable(context.Background(), ts, RouteAtCost(7), modelcheck.Options{MaxStates: 200000})
 	if !res.Holds {
 		t.Fatal("count-to-infinity state not reachable — the loop was not found")
 	}
@@ -193,7 +194,7 @@ func TestCountToInfinityNeedsTheFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts := TS{Sys: sys}
-	res := modelcheck.CheckReachable(ts, RouteAtCost(8), modelcheck.Options{MaxStates: 200000})
+	res := modelcheck.CheckReachable(context.Background(), ts, RouteAtCost(8), modelcheck.Options{MaxStates: 200000})
 	if res.Holds {
 		t.Fatalf("count-to-infinity reachable without failure:\n%s", res.TraceString())
 	}
@@ -216,7 +217,7 @@ func TestSplitHorizonFixesCountToInfinity(t *testing.T) {
 		}
 	}
 	ts := TS{Sys: sys}
-	res := modelcheck.CheckReachable(ts, RouteAtCost(7), modelcheck.Options{MaxStates: 200000})
+	res := modelcheck.CheckReachable(context.Background(), ts, RouteAtCost(7), modelcheck.Options{MaxStates: 200000})
 	if res.Holds {
 		t.Fatalf("split horizon did not prevent count-to-infinity:\n%s", res.TraceString())
 	}
@@ -246,7 +247,7 @@ r1 tbl(@N,V) :- ev(@N,V).
 		t.Error("keyed table lost its key")
 	}
 	ts := TS{Sys: sys}
-	res := modelcheck.Quiescent(ts, modelcheck.Options{})
+	res := modelcheck.Quiescent(context.Background(), ts, modelcheck.Options{})
 	if !res.Holds {
 		t.Fatal("system does not quiesce")
 	}
@@ -281,7 +282,7 @@ rd delete tbl(@N,V) :- kill(@N), tbl(@N,V).
 	}
 	// There is a reachable state where tbl was derived and then deleted.
 	ts := TS{Sys: sys}
-	res := modelcheck.CheckReachable(ts, func(st modelcheck.State) bool {
+	res := modelcheck.CheckReachable(context.Background(), ts, func(st modelcheck.State) bool {
 		hasTbl := StateHas(st, func(f Fact) bool { return f.Pred == "tbl" })
 		hasEv := StateHas(st, func(f Fact) bool { return f.Pred == "ev" })
 		return !hasTbl && !hasEv
@@ -344,7 +345,7 @@ func TestNegationInBody(t *testing.T) {
 		},
 	}
 	ts := TS{Sys: sys}
-	res := modelcheck.Quiescent(ts, modelcheck.Options{})
+	res := modelcheck.Quiescent(context.Background(), ts, modelcheck.Options{})
 	if !res.Holds {
 		t.Fatal("no quiescent state")
 	}

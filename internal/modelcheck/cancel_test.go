@@ -1,0 +1,133 @@
+package modelcheck
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// cancelNext wraps branching and cancels the context after a fixed
+// number of expansions, then briefly yields so the cancellation watcher
+// (context.AfterFunc) flips the search's stop flag before the worker
+// claims many more states.
+type cancelNext struct {
+	branching
+	after  int64
+	n      atomic.Int64
+	cancel context.CancelFunc
+}
+
+func (c *cancelNext) Next(s State) []State {
+	if c.n.Add(1) == c.after {
+		c.cancel()
+		time.Sleep(20 * time.Millisecond)
+	}
+	return c.branching.Next(s)
+}
+
+// TestCancelMidSearchInconclusive is the cancellation contract: a
+// context fired mid-BFS yields VerdictInconclusive — never a fake
+// "holds" — with exact partial stats (the admission counter reserves
+// per admitted state, so StatesVisited counts precisely the states the
+// truncated exploration admitted).
+func TestCancelMidSearchInconclusive(t *testing.T) {
+	inv := func(State) bool { return true }
+	full := CheckInvariant(context.Background(), branching{depth: 12}, inv, Options{Workers: 1})
+	total := full.Stats.StatesVisited // 2^13 - 1
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sys := &cancelNext{branching: branching{depth: 12}, after: 50, cancel: cancel}
+	res := CheckInvariant(ctx, sys, inv, Options{Workers: 1})
+
+	if res.Verdict != VerdictInconclusive {
+		t.Fatalf("cancelled search verdict = %v, want inconclusive", res.Verdict)
+	}
+	if res.Holds {
+		t.Fatal("cancelled search claims the invariant holds — a fabricated proof")
+	}
+	if !res.Stats.Cancelled {
+		t.Error("Stats.Cancelled not set on a cancelled run")
+	}
+	if res.Stats.StatesVisited <= 0 || res.Stats.StatesVisited >= total {
+		t.Errorf("partial StatesVisited = %d, want in (0, %d)", res.Stats.StatesVisited, total)
+	}
+	// Exactness: every admitted state was discovered by one of the n
+	// recorded expansions (branching factor 2) or is the initial state,
+	// so the reported count must be consistent with the expansion log.
+	if max := 1 + 2*int(sys.n.Load()); res.Stats.StatesVisited > max {
+		t.Errorf("StatesVisited = %d exceeds the %d states the %d expansions could admit",
+			res.Stats.StatesVisited, max, sys.n.Load())
+	}
+}
+
+// TestViolationBeatsCancellation: a violation discovered in the same
+// instant the context fires is still reported as VerdictViolated — a
+// definite negative outranks an inconclusive stop.
+func TestViolationBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel during the very first expansion; the invariant fails on that
+	// expansion's successors, which the worker still checks as it
+	// publishes them.
+	sys := &cancelNext{branching: branching{depth: 6}, after: 1, cancel: cancel}
+	res := CheckInvariant(ctx, sys, func(s State) bool {
+		return len(string(s.(bitsState))) < 1 // fails at depth 1
+	}, Options{Workers: 1})
+	if res.Verdict != VerdictViolated {
+		t.Fatalf("verdict = %v, want violated (violation must beat cancellation)", res.Verdict)
+	}
+	if len(res.Trace) == 0 {
+		t.Error("violated verdict carries no trace")
+	}
+}
+
+// TestCancelReachableNeverUnreachable: a cancelled reachability search
+// must not claim the goal is unreachable.
+func TestCancelReachableNeverUnreachable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sys := &cancelNext{branching: branching{depth: 12}, after: 20, cancel: cancel}
+	res := CheckReachable(ctx, sys, func(s State) bool {
+		return false // the goal is genuinely unreachable
+	}, Options{Workers: 1})
+	if res.Verdict == VerdictViolated {
+		t.Fatal("cancelled reachability search claims a definitive 'unreachable'")
+	}
+	if res.Verdict != VerdictInconclusive {
+		t.Fatalf("verdict = %v, want inconclusive", res.Verdict)
+	}
+}
+
+// TestCancelParallelWorkersStop: all workers observe the stop flag and
+// the run joins with exact accounting at every worker count.
+func TestCancelParallelWorkersStop(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		sys := &cancelNext{branching: branching{depth: 14}, after: 200, cancel: cancel}
+		res := CheckInvariant(ctx, sys, func(State) bool { return true }, Options{Workers: workers})
+		cancel()
+		if res.Verdict != VerdictInconclusive || !res.Stats.Cancelled {
+			t.Errorf("workers=%d: verdict=%v cancelled=%v, want inconclusive+cancelled",
+				workers, res.Verdict, res.Stats.Cancelled)
+		}
+		if res.Stats.StatesVisited >= 1<<15-1 {
+			t.Errorf("workers=%d: search ran to completion despite cancellation", workers)
+		}
+	}
+}
+
+// TestLassoCancelInconclusive covers the DFS-based liveness search.
+func TestLassoCancelInconclusive(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancel() // fire before the search starts
+	res := FindLasso(ctx, counter{max: 1 << 20, wrap: true}, nil, Options{})
+	if res.Verdict != VerdictInconclusive {
+		t.Fatalf("cancelled lasso verdict = %v, want inconclusive", res.Verdict)
+	}
+	if !res.Stats.Cancelled {
+		t.Error("Stats.Cancelled not set on cancelled lasso search")
+	}
+}

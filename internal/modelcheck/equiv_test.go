@@ -1,6 +1,7 @@
 package modelcheck
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -184,7 +185,7 @@ func TestSeqParallelEquivalence(t *testing.T) {
 
 		ref := SeqCheckInvariant(g, inv, Options{})
 		for _, workers := range []int{1, 4} {
-			got := CheckInvariant(g, inv, Options{Workers: workers})
+			got := CheckInvariant(context.Background(), g, inv, Options{Workers: workers})
 			if got.Verdict != ref.Verdict {
 				t.Fatalf("round %d workers %d: verdict %s, reference %s", round, workers, got.Verdict, ref.Verdict)
 			}
@@ -217,7 +218,7 @@ func TestSeqParallelEquivalence(t *testing.T) {
 
 		// CountReachable agrees with the independent reference everywhere.
 		for _, workers := range []int{1, 4} {
-			if n, _ := CountReachable(g, Options{Workers: workers}); n != len(reach) {
+			if n, _ := CountReachable(context.Background(), g, Options{Workers: workers}); n != len(reach) {
 				t.Fatalf("round %d workers %d: count %d, reference %d", round, workers, n, len(reach))
 			}
 		}
@@ -226,7 +227,7 @@ func TestSeqParallelEquivalence(t *testing.T) {
 		}
 
 		// FindLasso verdict matches independent cycle detection on full runs.
-		lres := FindLasso(g, nil, Options{})
+		lres := FindLasso(context.Background(), g, nil, Options{})
 		if want := refHasCycle(g); (lres.Verdict == VerdictHolds) != want || !lres.Verdict.Definitive() {
 			t.Fatalf("round %d: lasso verdict %s, reference cycle=%v", round, lres.Verdict, want)
 		}
@@ -251,7 +252,7 @@ func TestTruncatedNeverDefinitiveRandom(t *testing.T) {
 		capN := 1 + rng.Intn(len(reach)+2)
 		for _, workers := range []int{1, 4} {
 			opts := Options{MaxStates: capN, Workers: workers}
-			res := CheckInvariant(g, func(State) bool { return true }, opts)
+			res := CheckInvariant(context.Background(), g, func(State) bool { return true }, opts)
 			if res.Stats.StatesVisited > capN {
 				t.Fatalf("round %d: admitted %d states over cap %d", round, res.Stats.StatesVisited, capN)
 			}
@@ -265,7 +266,7 @@ func TestTruncatedNeverDefinitiveRandom(t *testing.T) {
 				t.Fatalf("round %d: complete run verdict %s", round, res.Verdict)
 			}
 
-			unreach := CheckReachable(g, func(State) bool { return false }, opts)
+			unreach := CheckReachable(context.Background(), g, func(State) bool { return false }, opts)
 			if unreach.Stats.Truncated && unreach.Verdict == VerdictViolated {
 				t.Fatalf("round %d: truncated run claimed goal unreachable", round)
 			}

@@ -1,6 +1,9 @@
 package modelcheck
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // FindLasso searches for a reachable cycle among states where progress
 // never stops (a non-quiescent infinite run) — the shape of routing
@@ -12,14 +15,17 @@ import "time"
 // run): the trace runs from an initial state along the stem to the cycle
 // entry (Trace[LassoStart]) and around the cycle back to it.
 // VerdictViolated means the complete exploration contains no cycle; a
-// truncated run without a cycle is VerdictInconclusive — the unexplored
-// region may still oscillate.
-func FindLasso(sys System, accept func(State) bool, opts Options) Result {
+// truncated or cancelled run without a cycle is VerdictInconclusive — the
+// unexplored region may still oscillate. ctx is polled once per node
+// expansion (coarse; no allocations on the Background path).
+func FindLasso(ctx context.Context, sys System, accept func(State) bool, opts Options) Result {
 	if accept == nil {
 		accept = func(State) bool { return true }
 	}
 	start := time.Now()
 	max := opts.maxStates()
+	done := ctx.Done()
+	cancelled := false
 
 	// Iterative DFS over fingerprint-identified states with an on-stack
 	// (gray) marker — standard cycle detection. States live in one arena;
@@ -56,12 +62,13 @@ func FindLasso(sys System, accept func(State) bool, opts Options) Result {
 		return id, true
 	}
 
-	done := func(res Result) Result {
+	finish := func(res Result) Result {
 		res.Stats.StatesVisited = len(nodes)
 		res.Stats.Transitions = stats.Transitions
 		res.Stats.MaxDepth = stats.MaxDepth
 		res.Stats.DedupHits = stats.DedupHits
 		res.Stats.Truncated = truncated
+		res.Stats.Cancelled = cancelled
 		res.Stats.Elapsed = time.Since(start)
 		publishStats(opts.Obs, res.Stats)
 		emitEnd(opts.Trace, res.Verdict, res.Stats)
@@ -76,6 +83,9 @@ func FindLasso(sys System, accept func(State) bool, opts Options) Result {
 	}
 
 	for _, init := range sys.Initial() {
+		if cancelled {
+			break
+		}
 		rootID, fresh := admit(init, -1)
 		if !fresh {
 			continue
@@ -84,6 +94,10 @@ func FindLasso(sys System, accept func(State) bool, opts Options) Result {
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
 			if f.succs == nil {
+				if done != nil && ctx.Err() != nil {
+					cancelled = true
+					break
+				}
 				f.succs = sys.Next(nodes[f.id].state)
 				stats.Transitions += len(f.succs)
 			}
@@ -120,7 +134,7 @@ func FindLasso(sys System, accept func(State) bool, opts Options) Result {
 			reverse(cyc) // cycle interior, entry's successor ... f's state
 			trace := append(stem, cyc...)
 			trace = append(trace, nodes[tid].state)
-			return done(Result{
+			return finish(Result{
 				Verdict:    VerdictHolds,
 				Holds:      true,
 				Trace:      trace,
@@ -129,10 +143,10 @@ func FindLasso(sys System, accept func(State) bool, opts Options) Result {
 			})
 		}
 	}
-	if truncated {
-		return done(Result{Verdict: VerdictInconclusive})
+	if truncated || cancelled {
+		return finish(Result{Verdict: VerdictInconclusive})
 	}
-	return done(Result{Verdict: VerdictViolated})
+	return finish(Result{Verdict: VerdictViolated})
 }
 
 func reverse(s []State) {

@@ -20,6 +20,7 @@
 package modelcheck
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -61,6 +62,7 @@ type Stats struct {
 	Transitions   int  // successor states generated while expanding
 	MaxDepth      int  // deepest BFS level (or DFS stack for FindLasso)
 	Truncated     bool // state bound hit: some reachable state was NOT explored
+	Cancelled     bool // context cancelled/deadlined before the search finished
 	DedupHits     int  // successor arrivals already in the visited set
 	FrontierPeak  int  // largest BFS level (0 for DFS-based FindLasso)
 	Elapsed       time.Duration
@@ -175,17 +177,25 @@ func (r Result) TraceString() string {
 // CheckInvariant explores all reachable states (BFS) and verifies that inv
 // holds in each. On violation it returns a shortest trace from an initial
 // state to the violation (VerdictViolated — definitive even on a truncated
-// run). VerdictHolds requires complete exploration; a truncated run with
-// no violation is VerdictInconclusive.
-func CheckInvariant(sys System, inv func(State) bool, opts Options) Result {
+// run). VerdictHolds requires complete exploration; a truncated or
+// cancelled run with no violation is VerdictInconclusive.
+//
+// ctx bounds the search: when it is cancelled or its deadline passes,
+// workers stop at the next state boundary and the run returns an
+// inconclusive Result whose Stats are exact for the explored region
+// (Stats.Cancelled is set; StatesVisited counts every admitted state).
+// Cancellation can never turn into a fake proof. The context is only
+// consulted at coarse boundaries, so context.Background() costs one nil
+// check and no allocations.
+func CheckInvariant(ctx context.Context, sys System, inv func(State) bool, opts Options) Result {
 	c := newSearch(sys, opts)
-	viol, stats := c.run(inv)
+	viol, stats := c.run(ctx, inv)
 	res := Result{Stats: stats}
 	switch {
 	case viol != noState:
 		res.Verdict = VerdictViolated
 		res.Trace = c.trace(viol)
-	case stats.Truncated:
+	case stats.Truncated || stats.Cancelled:
 		res.Verdict = VerdictInconclusive
 	default:
 		res.Verdict = VerdictHolds
@@ -197,12 +207,12 @@ func CheckInvariant(sys System, inv func(State) bool, opts Options) Result {
 
 // CheckReachable searches (BFS) for a state satisfying goal, returning the
 // shortest witness trace (EF goal). VerdictHolds means the goal was
-// reached (definitive); VerdictViolated means a complete exploration
-// proved it unreachable; a truncated run without a witness is
-// VerdictInconclusive, never "unreachable".
-func CheckReachable(sys System, goal func(State) bool, opts Options) Result {
+// reached (definitive, even on a cancelled run); VerdictViolated means a
+// complete exploration proved it unreachable; a truncated or cancelled run
+// without a witness is VerdictInconclusive, never "unreachable".
+func CheckReachable(ctx context.Context, sys System, goal func(State) bool, opts Options) Result {
 	c := newSearch(sys, opts)
-	viol, stats := c.run(func(s State) bool { return !goal(s) })
+	viol, stats := c.run(ctx, func(s State) bool { return !goal(s) })
 	res := Result{Stats: stats}
 	switch {
 	case viol != noState:
@@ -210,7 +220,7 @@ func CheckReachable(sys System, goal func(State) bool, opts Options) Result {
 		res.Holds = true
 		res.Trace = c.trace(viol)
 		res.Witness = res.Trace[len(res.Trace)-1]
-	case stats.Truncated:
+	case stats.Truncated || stats.Cancelled:
 		res.Verdict = VerdictInconclusive
 	default:
 		res.Verdict = VerdictViolated
@@ -222,8 +232,8 @@ func CheckReachable(sys System, goal func(State) bool, opts Options) Result {
 // Quiescent reports whether the system can reach a terminal state
 // (deadlock/convergence) and returns the shortest trace to one. The
 // verdict semantics are those of CheckReachable.
-func Quiescent(sys System, opts Options) Result {
-	return CheckReachable(sys, func(s State) bool {
+func Quiescent(ctx context.Context, sys System, opts Options) Result {
+	return CheckReachable(ctx, sys, func(s State) bool {
 		return len(sys.Next(s)) == 0
 	}, opts)
 }
@@ -231,9 +241,10 @@ func Quiescent(sys System, opts Options) Result {
 // CountReachable returns the number of reachable states — the paper's
 // "huge system states" measure for the state-explosion discussion. The
 // count is exact when the result's verdict is VerdictHolds and a lower
-// bound (VerdictInconclusive, Stats.Truncated) when the bound was hit.
-func CountReachable(sys System, opts Options) (int, Result) {
-	res := CheckInvariant(sys, nil, opts)
+// bound (VerdictInconclusive; Stats.Truncated or Stats.Cancelled) when the
+// bound was hit or the context fired.
+func CountReachable(ctx context.Context, sys System, opts Options) (int, Result) {
+	res := CheckInvariant(ctx, sys, nil, opts)
 	return res.Stats.StatesVisited, res
 }
 

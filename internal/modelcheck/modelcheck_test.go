@@ -1,6 +1,7 @@
 package modelcheck
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -52,7 +53,7 @@ func (b branching) Next(s State) []State {
 }
 
 func TestInvariantHolds(t *testing.T) {
-	res := CheckInvariant(counter{max: 100}, func(s State) bool {
+	res := CheckInvariant(context.Background(), counter{max: 100}, func(s State) bool {
 		return int(s.(counterState)) < 100
 	}, Options{})
 	if !res.Holds {
@@ -64,7 +65,7 @@ func TestInvariantHolds(t *testing.T) {
 }
 
 func TestInvariantViolationTrace(t *testing.T) {
-	res := CheckInvariant(counter{max: 10}, func(s State) bool {
+	res := CheckInvariant(context.Background(), counter{max: 10}, func(s State) bool {
 		return int(s.(counterState)) < 5
 	}, Options{})
 	if res.Holds {
@@ -83,7 +84,7 @@ func TestInvariantViolationTrace(t *testing.T) {
 }
 
 func TestReachableWitness(t *testing.T) {
-	res := CheckReachable(counter{max: 50}, func(s State) bool {
+	res := CheckReachable(context.Background(), counter{max: 50}, func(s State) bool {
 		return int(s.(counterState)) == 33
 	}, Options{})
 	if !res.Holds {
@@ -92,7 +93,7 @@ func TestReachableWitness(t *testing.T) {
 	if res.Witness.Key() != "33" {
 		t.Errorf("witness = %s", res.Witness.Key())
 	}
-	res = CheckReachable(counter{max: 10}, func(s State) bool {
+	res = CheckReachable(context.Background(), counter{max: 10}, func(s State) bool {
 		return int(s.(counterState)) == 99
 	}, Options{})
 	if res.Holds {
@@ -103,7 +104,7 @@ func TestReachableWitness(t *testing.T) {
 func TestShortestTraceBFS(t *testing.T) {
 	// BFS must find the depth-3 goal with a length-4 trace even though
 	// deeper paths exist.
-	res := CheckReachable(branching{depth: 8}, func(s State) bool {
+	res := CheckReachable(context.Background(), branching{depth: 8}, func(s State) bool {
 		return s.Key() == "101"
 	}, Options{})
 	if !res.Holds {
@@ -115,7 +116,7 @@ func TestShortestTraceBFS(t *testing.T) {
 }
 
 func TestLassoOnWrapCounter(t *testing.T) {
-	res := FindLasso(counter{max: 5, wrap: true}, nil, Options{})
+	res := FindLasso(context.Background(), counter{max: 5, wrap: true}, nil, Options{})
 	if !res.Holds || res.Verdict != VerdictHolds {
 		t.Fatal("wrapping counter has a cycle")
 	}
@@ -132,7 +133,7 @@ func TestLassoOnWrapCounter(t *testing.T) {
 			res.LassoStart, res.Trace[res.LassoStart].Key(), res.Trace[len(res.Trace)-1].Key())
 	}
 
-	if res := FindLasso(counter{max: 5}, nil, Options{}); res.Verdict != VerdictViolated {
+	if res := FindLasso(context.Background(), counter{max: 5}, nil, Options{}); res.Verdict != VerdictViolated {
 		t.Error("saturating counter has no cycle; complete run must be definitive")
 	}
 }
@@ -142,7 +143,7 @@ func TestLassoOnWrapCounter(t *testing.T) {
 // the initial state and walk the stem 0,1 before entering the cycle.
 func TestLassoStemFromInitial(t *testing.T) {
 	g := graph{initial: []int{0}, edges: map[int][]int{0: {1}, 1: {2}, 2: {3}, 3: {2}}}
-	res := FindLasso(g, nil, Options{})
+	res := FindLasso(context.Background(), g, nil, Options{})
 	if !res.Holds {
 		t.Fatal("cycle 2->3->2 not found")
 	}
@@ -168,7 +169,7 @@ func TestLassoStemFromInitial(t *testing.T) {
 // the state bound used to report "no oscillation" — it must now be
 // inconclusive.
 func TestLassoTruncatedInconclusive(t *testing.T) {
-	res := FindLasso(counter{max: 1000}, nil, Options{MaxStates: 10})
+	res := FindLasso(context.Background(), counter{max: 1000}, nil, Options{MaxStates: 10})
 	if !res.Stats.Truncated {
 		t.Fatal("truncation not reported")
 	}
@@ -180,7 +181,7 @@ func TestLassoTruncatedInconclusive(t *testing.T) {
 	}
 
 	// A cycle found before the bound bites is still definitive.
-	res = FindLasso(counter{max: 5, wrap: true}, nil, Options{MaxStates: 5})
+	res = FindLasso(context.Background(), counter{max: 5, wrap: true}, nil, Options{MaxStates: 5})
 	if res.Verdict != VerdictHolds {
 		t.Errorf("cycle within bound: verdict = %s, want holds", res.Verdict)
 	}
@@ -188,7 +189,7 @@ func TestLassoTruncatedInconclusive(t *testing.T) {
 
 func TestLassoAcceptFilter(t *testing.T) {
 	// Only cycles through accepted states count.
-	res := FindLasso(counter{max: 5, wrap: true}, func(s State) bool {
+	res := FindLasso(context.Background(), counter{max: 5, wrap: true}, func(s State) bool {
 		return false
 	}, Options{})
 	if res.Holds {
@@ -197,20 +198,20 @@ func TestLassoAcceptFilter(t *testing.T) {
 }
 
 func TestQuiescent(t *testing.T) {
-	res := Quiescent(counter{max: 5}, Options{})
+	res := Quiescent(context.Background(), counter{max: 5}, Options{})
 	if !res.Holds {
 		t.Fatal("saturating counter must quiesce")
 	}
 	if res.Witness.Key() != "4" {
 		t.Errorf("quiescent witness = %s, want 4", res.Witness.Key())
 	}
-	if res := Quiescent(counter{max: 5, wrap: true}, Options{}); res.Holds {
+	if res := Quiescent(context.Background(), counter{max: 5, wrap: true}, Options{}); res.Holds {
 		t.Error("wrapping counter must not quiesce")
 	}
 }
 
 func TestStateBoundTruncation(t *testing.T) {
-	res := CheckInvariant(counter{max: 1000}, func(State) bool { return true }, Options{MaxStates: 10})
+	res := CheckInvariant(context.Background(), counter{max: 1000}, func(State) bool { return true }, Options{MaxStates: 10})
 	if !res.Stats.Truncated {
 		t.Error("truncation not reported")
 	}
@@ -227,7 +228,7 @@ func TestStateBoundTruncation(t *testing.T) {
 // TestCapEqualToReachableNotTruncated pins the boundary: a bound equal to
 // the exact reachable count must complete without truncating.
 func TestCapEqualToReachableNotTruncated(t *testing.T) {
-	res := CheckInvariant(counter{max: 50}, func(State) bool { return true }, Options{MaxStates: 50})
+	res := CheckInvariant(context.Background(), counter{max: 50}, func(State) bool { return true }, Options{MaxStates: 50})
 	if res.Stats.Truncated {
 		t.Error("cap == exact reachable count must not truncate")
 	}
@@ -245,24 +246,24 @@ func TestInconclusiveEveryEntryPoint(t *testing.T) {
 	big := counter{max: 1000} // invariant true everywhere, no goal, no cycle
 	opts := Options{MaxStates: 10}
 
-	if res := CheckInvariant(big, func(State) bool { return true }, opts); res.Verdict != VerdictInconclusive || res.Holds {
+	if res := CheckInvariant(context.Background(), big, func(State) bool { return true }, opts); res.Verdict != VerdictInconclusive || res.Holds {
 		t.Errorf("CheckInvariant: verdict = %s holds=%v, want inconclusive", res.Verdict, res.Holds)
 	}
-	if res := CheckReachable(big, func(s State) bool { return int(s.(counterState)) == 999 }, opts); res.Verdict != VerdictInconclusive {
+	if res := CheckReachable(context.Background(), big, func(s State) bool { return int(s.(counterState)) == 999 }, opts); res.Verdict != VerdictInconclusive {
 		t.Errorf("CheckReachable: verdict = %s, want inconclusive (goal beyond bound is not 'unreachable')", res.Verdict)
 	}
-	if res := FindLasso(big, nil, opts); res.Verdict != VerdictInconclusive {
+	if res := FindLasso(context.Background(), big, nil, opts); res.Verdict != VerdictInconclusive {
 		t.Errorf("FindLasso: verdict = %s, want inconclusive", res.Verdict)
 	}
-	if res := Quiescent(big, opts); res.Verdict != VerdictInconclusive {
+	if res := Quiescent(context.Background(), big, opts); res.Verdict != VerdictInconclusive {
 		t.Errorf("Quiescent: verdict = %s, want inconclusive (terminal state lies beyond the bound)", res.Verdict)
 	}
-	if n, res := CountReachable(big, opts); res.Verdict != VerdictInconclusive || n != 10 {
+	if n, res := CountReachable(context.Background(), big, opts); res.Verdict != VerdictInconclusive || n != 10 {
 		t.Errorf("CountReachable: verdict = %s n=%d, want inconclusive lower bound 10", res.Verdict, n)
 	}
 
 	// Witnesses found before the bound bites stay definitive.
-	if res := CheckReachable(big, func(s State) bool { return int(s.(counterState)) == 5 }, opts); res.Verdict != VerdictHolds {
+	if res := CheckReachable(context.Background(), big, func(s State) bool { return int(s.(counterState)) == 5 }, opts); res.Verdict != VerdictHolds {
 		t.Errorf("witness within bound: verdict = %s, want holds", res.Verdict)
 	}
 }
@@ -284,7 +285,7 @@ func TestVerdictStrings(t *testing.T) {
 }
 
 func TestCountReachable(t *testing.T) {
-	n, _ := CountReachable(branching{depth: 4}, Options{})
+	n, _ := CountReachable(context.Background(), branching{depth: 4}, Options{})
 	// 1 + 2 + 4 + 8 + 16 = 31 states.
 	if n != 31 {
 		t.Errorf("reachable = %d, want 31", n)
@@ -294,7 +295,7 @@ func TestCountReachable(t *testing.T) {
 func TestCountReachableQuick(t *testing.T) {
 	f := func(d uint8) bool {
 		depth := int(d%5) + 1
-		n, _ := CountReachable(branching{depth: depth}, Options{})
+		n, _ := CountReachable(context.Background(), branching{depth: depth}, Options{})
 		return n == (1<<(depth+1))-1
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -1,6 +1,7 @@
 package modelcheck
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -65,8 +66,9 @@ type search struct {
 	trans     atomic.Int64
 	expanded  []int64 // per-worker expansion counts
 
-	cancel atomic.Bool
-	viol   atomic.Int64 // violating stateID+1; 0 = none
+	cancel    atomic.Bool
+	cancelled atomic.Bool  // context cancellation (vs violation-found cancel)
+	viol      atomic.Int64 // violating stateID+1; 0 = none
 }
 
 func newSearch(sys System, opts Options) *search {
@@ -127,9 +129,22 @@ func (c *search) violate(id stateID) {
 // shortest-trace guarantee at any worker count. check (nil = none) is
 // evaluated once on every admitted state; the first failing state ends
 // the search with its id.
-func (c *search) run(check func(State) bool) (stateID, Stats) {
+func (c *search) run(ctx context.Context, check func(State) bool) (stateID, Stats) {
 	start := time.Now()
 	var stats Stats
+
+	// Cancellation wiring. The hot loops never touch the context: a
+	// watcher flips the same atomic flag a violation uses, workers poll it
+	// per state as before, and the level loop re-checks it between levels.
+	// With a non-cancellable context (Done() == nil — context.Background,
+	// the disabled path) this costs one nil check and zero allocations.
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			c.cancelled.Store(true)
+			c.cancel.Store(true)
+		})
+		defer stop()
+	}
 
 	cur := &frontier{}
 	buf := make([]item, 0, chunkSize)
@@ -182,6 +197,7 @@ func (c *search) run(check func(State) bool) (stateID, Stats) {
 	stats.Transitions = int(c.trans.Load())
 	stats.MaxDepth = depth
 	stats.Truncated = c.truncated.Load()
+	stats.Cancelled = c.cancelled.Load()
 	stats.DedupHits += int(c.dedup.Load())
 	stats.FrontierPeak = peak
 	stats.Elapsed = time.Since(start)

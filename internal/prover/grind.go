@@ -98,6 +98,12 @@ func (p *Prover) solve(g Sequent, depth int) []Sequent {
 	if depth <= 0 {
 		return []Sequent{g}
 	}
+	// Coarse cancellation boundary: a fired context makes grind hand every
+	// remaining sub-goal back unsolved (the proof stays open, never QED),
+	// and the script loop surfaces ErrCancelled.
+	if p.cancelled() {
+		return []Sequent{g}
+	}
 	if p.memo != nil {
 		if prim, ok := p.memo.lookup(g, depth); ok {
 			p.addPrim(prim)

@@ -68,6 +68,7 @@ func (p *Prover) branchClone() *Prover {
 		sem:        p.sem,
 		memo:       p.memo,
 		nonRecN:    p.nonRecN,
+		ctx:        p.ctx,
 	}
 }
 

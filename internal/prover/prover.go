@@ -1,6 +1,7 @@
 package prover
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -13,6 +14,10 @@ import (
 
 // ErrNoOpenGoal is returned by tactics invoked after the proof is complete.
 var ErrNoOpenGoal = errors.New("prover: no open goal")
+
+// ErrCancelled wraps the context error when a proof script is cut short;
+// errors.Is(err, context.Canceled/DeadlineExceeded) also matches.
+var ErrCancelled = errors.New("prover: cancelled")
 
 // Prover is an interactive proof session over one theorem of a theory.
 // Tactics act on the current goal (the top of the open-goal stack); a
@@ -63,6 +68,18 @@ type Prover struct {
 	// unless Instrument was called.
 	col    *obs.Collector
 	tracer *obs.Tracer
+
+	// ctx, when non-nil and cancellable, bounds script execution: it is
+	// polled at coarse boundaries (per script command; per grind sub-goal)
+	// so the kernel's inner loops stay allocation-free. Set by
+	// RunScriptCtx.
+	ctx context.Context
+}
+
+// cancelled reports whether the session's context has fired. The nil/
+// non-cancellable fast path is a pointer check.
+func (p *Prover) cancelled() bool {
+	return p.ctx != nil && p.ctx.Err() != nil
 }
 
 // Instrument attaches a metrics collector and/or trace stream to the

@@ -1,6 +1,7 @@
 package prover
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -60,11 +61,27 @@ func (p *Prover) Summary() Result {
 // be integers, quoted strings, identifiers (skolem constants such as C2!1
 // or variables), or applications f(a,b).
 func (p *Prover) RunScript(script string) error {
+	return p.RunScriptCtx(context.Background(), script)
+}
+
+// RunScriptCtx runs the script under ctx: the context is checked before
+// every script command (and inside grind, per sub-goal), so a cancelled
+// or deadlined proof stops at the next coarse boundary with an error
+// wrapping both ErrCancelled and the context cause. Partial step counts
+// remain readable via Summary; the proof is simply not QED.
+func (p *Prover) RunScriptCtx(ctx context.Context, script string) error {
 	cmds, err := parseScript(script)
 	if err != nil {
 		return err
 	}
+	if ctx.Done() != nil {
+		p.ctx = ctx
+		defer func() { p.ctx = nil }()
+	}
 	for _, cmd := range cmds {
+		if p.cancelled() {
+			return fmt.Errorf("%w before %s: %w", ErrCancelled, cmd.String(), context.Cause(p.ctx))
+		}
 		if err := p.runCommand(cmd); err != nil {
 			return fmt.Errorf("prover: %s: %w", cmd.String(), err)
 		}

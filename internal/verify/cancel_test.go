@@ -1,0 +1,142 @@
+package verify
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base (the runtime needs a moment to retire exiting goroutines).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutine leak after cancelled pipeline run: %d live, baseline %d", n, base)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPipelineCancelMidRun cancels the context between obligations (via
+// a Check obligation that fires the cancel) and asserts the drain
+// contract: Run returns a Result for every obligation, the ones
+// completed before the cancel are real, the rest are marked Cancelled,
+// and no worker goroutine is left behind.
+func TestPipelineCancelMidRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	obls := randObligations(5, 10)
+	oracle := NewPipeline(Options{Workers: 1}).Run(context.Background(), obls)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var list []Obligation
+	list = append(list, obls[:5]...)
+	list = append(list, Obligation{Name: "canceller", Check: func() error { cancel(); return nil }})
+	list = append(list, obls[5:]...)
+
+	rep := NewPipeline(Options{Workers: 1}).Run(ctx, list)
+	if !rep.Cancelled {
+		t.Fatal("report of a cancelled run not marked Cancelled")
+	}
+	if len(rep.Results) != len(list) {
+		t.Fatalf("cancelled run returned %d results, want %d (every obligation gets one)",
+			len(rep.Results), len(list))
+	}
+	// Sequential workers: everything before the canceller completed
+	// normally and must match the uncancelled oracle exactly.
+	for i := 0; i < 5; i++ {
+		sameOutcome(t, "pre-cancel", oracle.Results[i], rep.Results[i])
+		if rep.Results[i].Cancelled {
+			t.Errorf("obligation %d completed before the cancel but is marked Cancelled", i)
+		}
+	}
+	// Everything after it was drained as cancelled: not proved, no fake
+	// verdicts.
+	for i := 6; i < len(list); i++ {
+		r := rep.Results[i]
+		if !r.Cancelled || r.Proved {
+			t.Errorf("post-cancel obligation %d: cancelled=%v proved=%v, want drained (cancelled, unproved)",
+				i, r.Cancelled, r.Proved)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestPipelineCancelDrainsAllWorkers runs wide pools against an
+// already-fired context: every worker must drain its share (all results
+// filled, all cancelled) and exit — goroutine-count before and after
+// must agree.
+func TestPipelineCancelDrainsAllWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	obls := randObligations(11, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{2, 4, 8} {
+		rep := NewPipeline(Options{Workers: workers}).Run(ctx, obls)
+		if len(rep.Results) != len(obls) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(rep.Results), len(obls))
+		}
+		if !rep.Cancelled {
+			t.Errorf("workers=%d: report not marked Cancelled", workers)
+		}
+		for i, r := range rep.Results {
+			if !r.Cancelled || r.Proved || r.Cached {
+				t.Errorf("workers=%d result %d: %+v, want cancelled/unproved/uncached", workers, i, r)
+			}
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestPipelineCancelledResultsNotCached: a cancelled obligation must not
+// poison the result cache — a later uncancelled run has to prove it for
+// real, and replaying the same batch must not serve "cancelled" as a
+// cache hit.
+func TestPipelineCancelledResultsNotCached(t *testing.T) {
+	obls := randObligations(3, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pl := NewPipeline(Options{Workers: 2, Cache: true})
+	rep := pl.Run(ctx, append(append([]Obligation{}, obls...), obls...))
+	for i, r := range rep.Results {
+		if r.Cached {
+			t.Errorf("duplicate %d of a cancelled batch served from cache: %+v", i, r)
+		}
+	}
+	// The same pipeline, uncancelled: real proofs, matching the oracle.
+	fresh := pl.Run(context.Background(), obls)
+	oracle := NewPipeline(Options{Workers: 1}).Run(context.Background(), obls)
+	for i := range obls {
+		sameOutcome(t, "after-cancel", oracle.Results[i], fresh.Results[i])
+		if fresh.Results[i].Cancelled {
+			t.Errorf("uncancelled rerun result %d still marked Cancelled", i)
+		}
+	}
+}
+
+// TestProverRunScriptCtxCancel exercises the prover-level boundary
+// directly: a cancelled script run reports ErrCancelled and leaves the
+// proof open (never QED).
+func TestProverRunScriptCtxCancel(t *testing.T) {
+	obls := randObligations(9, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pl := NewPipeline(Options{Workers: 1})
+	rep := pl.Run(ctx, obls)
+	r := rep.Results[0]
+	if r.Proved || !r.Cancelled {
+		t.Fatalf("pre-cancelled obligation: %+v, want cancelled and unproved", r)
+	}
+	if r.Err != "cancelled" {
+		t.Errorf("Err = %q, want %q", r.Err, "cancelled")
+	}
+}

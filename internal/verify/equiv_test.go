@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -105,7 +106,7 @@ func TestPipelineMatchesSeedKernelOnRandomGoals(t *testing.T) {
 	for _, seed := range []uint64{1, 7, 42} {
 		obls := randObligations(seed, 25)
 
-		oracle := NewPipeline(Options{Workers: 1, Structural: true}).Run(obls)
+		oracle := NewPipeline(Options{Workers: 1, Structural: true}).Run(context.Background(), obls)
 
 		configs := []struct {
 			name string
@@ -117,7 +118,7 @@ func TestPipelineMatchesSeedKernelOnRandomGoals(t *testing.T) {
 			{"interned_w4_cache", Options{Workers: 4, Cache: true}},
 		}
 		for _, cfg := range configs {
-			got := NewPipeline(cfg.opts).Run(obls)
+			got := NewPipeline(cfg.opts).Run(context.Background(), obls)
 			for i := range obls {
 				sameOutcome(t, fmt.Sprintf("seed=%d %s", seed, cfg.name), oracle.Results[i], got.Results[i])
 			}
@@ -126,7 +127,7 @@ func TestPipelineMatchesSeedKernelOnRandomGoals(t *testing.T) {
 		// Cache replay: duplicate the whole batch; the copies must come back
 		// Cached with counts identical to the oracle's fresh proofs.
 		dup := append(append([]Obligation{}, obls...), obls...)
-		got := NewPipeline(Options{Workers: 4, Cache: true}).Run(dup)
+		got := NewPipeline(Options{Workers: 4, Cache: true}).Run(context.Background(), dup)
 		if got.Cached() != len(obls) {
 			t.Errorf("seed=%d: duplicated batch cached %d obligations, want %d", seed, got.Cached(), len(obls))
 		}
@@ -177,11 +178,11 @@ func TestStandardSuiteKernelsAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	oracle := NewPipeline(Options{Workers: 1, Structural: true}).Run(obls)
+	oracle := NewPipeline(Options{Workers: 1, Structural: true}).Run(context.Background(), obls)
 	if !oracle.AllProved() {
 		t.Fatalf("seed kernel failed %d obligations", oracle.Failed())
 	}
-	got := NewPipeline(Options{Workers: 4, Cache: true}).Run(obls)
+	got := NewPipeline(Options{Workers: 4, Cache: true}).Run(context.Background(), obls)
 	if !got.AllProved() {
 		t.Fatalf("interned pipeline failed %d obligations", got.Failed())
 	}

@@ -9,11 +9,13 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/prover"
@@ -42,6 +44,7 @@ type Result struct {
 	Name      string
 	Proved    bool
 	Cached    bool // satisfied by the result cache, not a fresh proof
+	Cancelled bool // context fired before (or while) this obligation ran
 	Err       string
 	Steps     int
 	PrimSteps int
@@ -53,6 +56,10 @@ type Result struct {
 type Report struct {
 	Results []Result
 	Elapsed time.Duration
+	// Cancelled marks a run cut short by its context: every obligation
+	// still has a Result (completed ones are real, the rest are marked
+	// Cancelled), but the report is partial, not a verdict on the suite.
+	Cancelled bool
 }
 
 // Proved counts discharged obligations (including cached ones).
@@ -87,7 +94,9 @@ func (r Report) AllProved() bool { return r.Failed() == 0 }
 func (r Report) WriteTable(w io.Writer) {
 	for _, res := range r.Results {
 		status := "proved"
-		if !res.Proved {
+		if res.Cancelled {
+			status = "cancelled"
+		} else if !res.Proved {
 			status = "FAILED"
 		}
 		cached := ""
@@ -118,6 +127,11 @@ type Options struct {
 	// kernel (SeqProve's kernel) instead of the interned one — the oracle
 	// configuration for equivalence tests.
 	Structural bool
+	// Persist, when non-nil, backs the result cache with a persistent
+	// store shared across pipelines, requests, and processes (see
+	// internal/cache). Setting it implies Cache (unless Structural).
+	// Cancelled results are never persisted.
+	Persist *cache.Store
 
 	// Observability (optional): obligation counters land in component
 	// "verify"; per-obligation durations in the MObligationMs histogram.
@@ -145,8 +159,12 @@ type thmKey struct {
 
 // NewPipeline creates a pipeline with the given options.
 func NewPipeline(opts Options) *Pipeline {
+	if opts.Persist != nil {
+		opts.Cache = true
+	}
 	if opts.Structural {
 		opts.Cache = false
+		opts.Persist = nil
 	}
 	return &Pipeline{opts: opts, thms: map[thmKey]Result{}, chks: map[string]Result{}}
 }
@@ -159,7 +177,14 @@ const DefaultScript = "(skosimp*) (grind)"
 // Scheduling cannot change results: duplicate obligations are grouped
 // before the pool starts (the first occurrence proves, the rest replay),
 // and each proof is a deterministic function of its obligation.
-func (pl *Pipeline) Run(obls []Obligation) Report {
+//
+// ctx bounds the run. On cancellation the pool drains: every worker exits
+// after its current obligation reaches the next coarse boundary (script
+// command / grind sub-goal), no goroutine outlives Run, and the report
+// comes back partial — completed results intact, the remainder marked
+// Cancelled — with Report.Cancelled set. Cancelled results are never
+// cached or persisted.
+func (pl *Pipeline) Run(ctx context.Context, obls []Obligation) Report {
 	start := time.Now()
 
 	// Intern each distinct theory once, up front, so pool workers share
@@ -217,9 +242,13 @@ func (pl *Pipeline) Run(obls []Obligation) Report {
 	}
 	if workers <= 1 {
 		for _, i := range run {
-			results[i] = pl.run1(obls[i])
+			results[i] = pl.run1(ctx, obls[i])
 		}
 	} else {
+		// Every index is sent regardless of cancellation and every worker
+		// drains the channel: run1 short-circuits on a fired context, so a
+		// cancelled run completes the dispatch loop in microseconds with
+		// all workers joined — no goroutine leaks, no unfilled results.
 		idx := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -227,7 +256,7 @@ func (pl *Pipeline) Run(obls []Obligation) Report {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i] = pl.run1(obls[i])
+					results[i] = pl.run1(ctx, obls[i])
 				}
 			}()
 		}
@@ -238,9 +267,13 @@ func (pl *Pipeline) Run(obls []Obligation) Report {
 		wg.Wait()
 	}
 
-	// Store fresh results in the cache and replay duplicates.
+	// Store fresh results in the cache and replay duplicates. A duplicate
+	// of a cancelled first occurrence is itself cancelled, not cached.
 	if pl.opts.Cache {
 		for _, i := range run {
+			if results[i].Cancelled {
+				continue
+			}
 			if key := pl.key(obls[i]); key != nil {
 				pl.cachePut(key, results[i])
 			}
@@ -268,15 +301,25 @@ func (pl *Pipeline) Run(obls []Obligation) Report {
 		c.Counter("verify", obs.MObligationsFailed, "").Add(failed)
 	}
 
-	return Report{Results: results, Elapsed: time.Since(start)}
+	rep2 := Report{Results: results, Elapsed: time.Since(start)}
+	for _, res := range results {
+		if res.Cancelled {
+			rep2.Cancelled = true
+			break
+		}
+	}
+	return rep2
 }
 
 // replay turns a proved-once result into the duplicate's: same verdict and
 // step counts (exactly what re-proving would have produced), marked Cached.
+// A cancelled first occurrence propagates as cancelled, not cached.
 func replay(src Result, name string) Result {
 	src.Name = name
-	src.Cached = true
 	src.Elapsed = 0
+	if !src.Cancelled {
+		src.Cached = true
+	}
 	return src
 }
 
@@ -312,34 +355,101 @@ func (pl *Pipeline) key(ob Obligation) interface{} {
 	return thmKey{theory: logic.TheoryFingerprint(ob.Theory), goal: goal, script: sh}
 }
 
-func (pl *Pipeline) cacheGet(key interface{}) (Result, bool) {
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
+// persistKey renders a cache key for the persistent store. Theorem keys
+// carry the theory fingerprint, interned goal id, and script hash; check
+// keys are namespaced verbatim.
+func persistKey(key interface{}) string {
 	switch k := key.(type) {
 	case thmKey:
-		r, ok := pl.thms[k]
-		return r, ok
+		return fmt.Sprintf("thm1:%016x:%016x:%016x", k.theory, k.goal, k.script)
 	case string:
-		r, ok := pl.chks[k]
-		return r, ok
+		return "chk1:" + k
 	}
-	return Result{}, false
+	return ""
 }
 
-func (pl *Pipeline) cachePut(key interface{}, r Result) {
+// persisted is the durable subset of a Result: identity-independent proof
+// outcome and step counts. Name and Elapsed are per-occurrence.
+type persisted struct {
+	Proved    bool   `json:"proved"`
+	Err       string `json:"err,omitempty"`
+	Steps     int    `json:"steps,omitempty"`
+	PrimSteps int    `json:"prim,omitempty"`
+	AutoPrim  int    `json:"auto,omitempty"`
+}
+
+func (pl *Pipeline) cacheGet(key interface{}) (Result, bool) {
 	pl.mu.Lock()
-	defer pl.mu.Unlock()
+	switch k := key.(type) {
+	case thmKey:
+		if r, ok := pl.thms[k]; ok {
+			pl.mu.Unlock()
+			return r, true
+		}
+	case string:
+		if r, ok := pl.chks[k]; ok {
+			pl.mu.Unlock()
+			return r, true
+		}
+	}
+	pl.mu.Unlock()
+	// Fall through to the persistent store (its own lock): a hit is
+	// promoted into the in-memory maps so repeats stay map lookups.
+	if pl.opts.Persist == nil {
+		return Result{}, false
+	}
+	var pv persisted
+	if !pl.opts.Persist.Get(persistKey(key), &pv) {
+		return Result{}, false
+	}
+	r := Result{
+		Proved:    pv.Proved,
+		Err:       pv.Err,
+		Steps:     pv.Steps,
+		PrimSteps: pv.PrimSteps,
+		AutoPrim:  pv.AutoPrim,
+	}
+	pl.mu.Lock()
 	switch k := key.(type) {
 	case thmKey:
 		pl.thms[k] = r
 	case string:
 		pl.chks[k] = r
 	}
+	pl.mu.Unlock()
+	return r, true
 }
 
-// run1 discharges one obligation from scratch.
-func (pl *Pipeline) run1(ob Obligation) Result {
+func (pl *Pipeline) cachePut(key interface{}, r Result) {
+	pl.mu.Lock()
+	switch k := key.(type) {
+	case thmKey:
+		pl.thms[k] = r
+	case string:
+		pl.chks[k] = r
+	}
+	pl.mu.Unlock()
+	if pl.opts.Persist != nil {
+		// Append errors do not fail the proof: the result is still correct,
+		// the entry is just not durable.
+		_ = pl.opts.Persist.Put(persistKey(key), persisted{
+			Proved:    r.Proved,
+			Err:       r.Err,
+			Steps:     r.Steps,
+			PrimSteps: r.PrimSteps,
+			AutoPrim:  r.AutoPrim,
+		})
+	}
+}
+
+// run1 discharges one obligation from scratch. A context that has already
+// fired short-circuits to a Cancelled result; one that fires mid-proof
+// stops the script at its next command/sub-goal boundary.
+func (pl *Pipeline) run1(ctx context.Context, ob Obligation) Result {
 	t0 := time.Now()
+	if ctx.Err() != nil {
+		return Result{Name: ob.Name, Cancelled: true, Err: "cancelled"}
+	}
 	if ob.Check != nil {
 		err := ob.Check()
 		res := Result{Name: ob.Name, Proved: err == nil, Elapsed: time.Since(t0)}
@@ -367,7 +477,7 @@ func (pl *Pipeline) run1(ob Obligation) Result {
 	if script == "" {
 		script = DefaultScript
 	}
-	runErr := p.RunScript(script)
+	runErr := p.RunScriptCtx(ctx, script)
 	sum := p.Summary()
 	res := Result{
 		Name:      ob.Name,
@@ -376,6 +486,14 @@ func (pl *Pipeline) run1(ob Obligation) Result {
 		PrimSteps: sum.PrimSteps,
 		AutoPrim:  sum.AutoPrim,
 		Elapsed:   time.Since(t0),
+	}
+	if ctx.Err() != nil && !sum.QED {
+		// The context fired while this obligation ran: its non-QED outcome
+		// reflects interruption, not a refuted goal.
+		res.Cancelled = true
+		res.Proved = false
+		res.Err = "cancelled"
+		return res
 	}
 	if runErr != nil {
 		res.Err = runErr.Error()
