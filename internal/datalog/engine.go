@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/ndlog"
@@ -42,8 +43,19 @@ type Engine struct {
 	An   *ndlog.Analysis
 	Mode Mode
 
+	// Scalar forces the scalar (tuple-at-a-time) executor instead of the
+	// default batched columnar one. The scalar executor is the retained
+	// oracle: differential tests run the same program both ways and
+	// require identical results, emissions, and probe counts.
+	Scalar bool
+	// Parallel evaluates independent rule components of each stratum
+	// concurrently (per-goroutine executors over read-only shared
+	// tables). Automatically disabled while observability, tracing,
+	// provenance, or the scalar oracle is attached.
+	Parallel bool
+
 	rels  map[string]*Relation
-	execs map[*ndlog.Plan]*store.Exec
+	execs map[*ndlog.Plan]store.Runner
 	Stats Stats
 
 	// Observability (nil when disabled — see Attach). ruleObs carries
@@ -114,7 +126,7 @@ func NewFromAnalysis(an *ndlog.Analysis) (*Engine, error) {
 	if an.AggInCycle {
 		return nil, fmt.Errorf("datalog: program aggregates on a recursive cycle; it has no stratified model — execute it on the distributed runtime (internal/dist)")
 	}
-	e := &Engine{An: an, rels: map[string]*Relation{}, execs: map[*ndlog.Plan]*store.Exec{}}
+	e := &Engine{An: an, Parallel: true, rels: map[string]*Relation{}, execs: map[*ndlog.Plan]store.Runner{}}
 	for pred, arity := range an.Arity {
 		e.rels[pred] = NewRelation(pred, arity)
 	}
@@ -155,12 +167,24 @@ func (e *Engine) Relation(pred string) *Relation {
 // Table implements store.TableSource for the plan executor.
 func (e *Engine) Table(pred string) *store.Table { return e.rels[pred] }
 
-// exec returns the cached executor for a plan.
-func (e *Engine) exec(p *ndlog.Plan) *store.Exec {
-	x, ok := e.execs[p]
+// evalCtx carries the executor cache and stats sink of one evaluation
+// goroutine: the sequential path shares the engine's, parallel
+// components get their own (executors are single-goroutine state).
+type evalCtx struct {
+	execs map[*ndlog.Plan]store.Runner
+	stats *Stats
+}
+
+// exec returns the context's cached executor for a plan.
+func (e *Engine) exec(c *evalCtx, p *ndlog.Plan) store.Runner {
+	x, ok := c.execs[p]
 	if !ok {
-		x = store.NewExec(p)
-		e.execs[p] = x
+		if e.Scalar {
+			x = store.NewExec(p)
+		} else {
+			x = store.NewBatchExec(p)
+		}
+		c.execs[p] = x
 	}
 	return x
 }
@@ -225,18 +249,137 @@ func (e *Engine) Reset() {
 // and can be called again after base-table changes (including deletions).
 func (e *Engine) Run() error {
 	e.Reset()
+	parallel := e.Parallel && !e.Scalar && e.col == nil && e.tracer == nil && !e.prov.Enabled()
+	ctx := &evalCtx{execs: e.execs, stats: &e.Stats}
 	for stratum := range e.An.Strata {
-		if err := e.runStratum(stratum); err != nil {
+		if parallel {
+			if err := e.runStratumParallel(stratum); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := e.runStratum(ctx, stratum, nil); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// rulesOfStratum partitions the stratum's rules into aggregate rules,
-// delete rules, and plain rules.
-func (e *Engine) rulesOfStratum(stratum int) (plain, aggs, dels []*ndlog.Rule) {
+// components partitions the stratum's rules into independent groups: two
+// rules share a group when their head predicates are connected through
+// predicates of this same stratum (mutual recursion, or one reading the
+// other's head). Groups only read each other's inputs from lower strata,
+// which are immutable during the stratum, so they can evaluate
+// concurrently.
+func (e *Engine) components(stratum int) [][]*ndlog.Rule {
+	var rules []*ndlog.Rule
 	for _, r := range e.An.Prog.Rules {
+		if e.An.StratumOf[r.Head.Pred] == stratum {
+			rules = append(rules, r)
+		}
+	}
+	// Union-find over this stratum's predicates.
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(p string) string {
+		if parent[p] != p {
+			parent[p] = find(parent[p])
+		}
+		return parent[p]
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+	touch := func(p string) {
+		if _, ok := parent[p]; !ok {
+			parent[p] = p
+		}
+	}
+	for _, r := range rules {
+		touch(r.Head.Pred)
+		for _, l := range r.Body {
+			if l.Atom == nil {
+				continue
+			}
+			p := l.Atom.Pred
+			if e.An.StratumOf[p] != stratum || !e.An.Derived[p] {
+				continue
+			}
+			touch(p)
+			union(r.Head.Pred, p)
+		}
+	}
+	order := []string{}
+	groups := map[string][]*ndlog.Rule{}
+	for _, r := range rules {
+		root := find(r.Head.Pred)
+		if _, ok := groups[root]; !ok {
+			order = append(order, root)
+		}
+		groups[root] = append(groups[root], r)
+	}
+	out := make([][]*ndlog.Rule, 0, len(order))
+	for _, root := range order {
+		out = append(out, groups[root])
+	}
+	return out
+}
+
+// runStratumParallel evaluates the stratum's independent rule components
+// on one goroutine each. Shared state is prepared single-threaded first
+// (index builds and compaction are the lazily-mutated structures), then
+// each component runs with its own executors and stats, merged after the
+// barrier.
+func (e *Engine) runStratumParallel(stratum int) error {
+	comps := e.components(stratum)
+	ctx := &evalCtx{execs: e.execs, stats: &e.Stats}
+	if len(comps) <= 1 {
+		return e.runStratum(ctx, stratum, nil)
+	}
+	// Prepare phase: build every index any component will probe, and
+	// compact fully scanned tables, while still single-threaded.
+	for _, comp := range comps {
+		for _, r := range comp {
+			rp := e.An.Plans[r]
+			store.PreparePlan(e, rp.Full)
+			for _, d := range rp.Delta {
+				if d != nil {
+					store.PreparePlan(e, d)
+				}
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(comps))
+	stats := make([]Stats, len(comps))
+	for ci, comp := range comps {
+		wg.Add(1)
+		go func(ci int, comp []*ndlog.Rule) {
+			defer wg.Done()
+			c := &evalCtx{execs: map[*ndlog.Plan]store.Runner{}, stats: &stats[ci]}
+			errs[ci] = e.runStratum(c, stratum, comp)
+		}(ci, comp)
+	}
+	wg.Wait()
+	for ci := range comps {
+		e.Stats.Iterations += stats[ci].Iterations
+		e.Stats.Derivations += stats[ci].Derivations
+		e.Stats.NewTuples += stats[ci].NewTuples
+		e.Stats.JoinProbes += stats[ci].JoinProbes
+		if errs[ci] != nil {
+			return errs[ci]
+		}
+	}
+	return nil
+}
+
+// rulesOfStratum partitions the stratum's rules into aggregate rules,
+// delete rules, and plain rules. A non-nil only restricts the partition
+// to that subset (one parallel component).
+func (e *Engine) rulesOfStratum(stratum int, only []*ndlog.Rule) (plain, aggs, dels []*ndlog.Rule) {
+	rules := e.An.Prog.Rules
+	if only != nil {
+		rules = only
+	}
+	for _, r := range rules {
 		if e.An.StratumOf[r.Head.Pred] != stratum {
 			continue
 		}
@@ -253,8 +396,8 @@ func (e *Engine) rulesOfStratum(stratum int) (plain, aggs, dels []*ndlog.Rule) {
 	return plain, aggs, dels
 }
 
-func (e *Engine) runStratum(stratum int) error {
-	iter0 := e.Stats.Iterations
+func (e *Engine) runStratum(c *evalCtx, stratum int, only []*ndlog.Rule) error {
+	iter0 := c.stats.Iterations
 	var t0 time.Time
 	if e.col != nil || e.tracer != nil {
 		t0 = time.Now()
@@ -265,17 +408,17 @@ func (e *Engine) runStratum(stratum int) error {
 			d := time.Since(t0)
 			e.col.Histogram("datalog", "stratum_eval", strconv.Itoa(stratum)).Observe(d)
 			if e.tracer != nil {
-				e.tracer.Emit(obs.Event{Kind: obs.EvStratumEnd, N: int64(e.Stats.Iterations - iter0), DurNs: int64(d)})
+				e.tracer.Emit(obs.Event{Kind: obs.EvStratumEnd, N: int64(c.stats.Iterations - iter0), DurNs: int64(d)})
 			}
 		}()
 	}
 
-	plain, aggs, dels := e.rulesOfStratum(stratum)
+	plain, aggs, dels := e.rulesOfStratum(stratum, only)
 
 	// Aggregate rules read only lower strata (guaranteed by
 	// stratification), so they run once, first.
 	for _, r := range aggs {
-		if err := e.evalAggregate(r); err != nil {
+		if err := e.evalAggregate(c, r); err != nil {
 			return err
 		}
 	}
@@ -287,10 +430,10 @@ func (e *Engine) runStratum(stratum int) error {
 	switch e.Mode {
 	case Naive:
 		for {
-			e.Stats.Iterations++
+			c.stats.Iterations++
 			added := 0
 			for _, r := range plain {
-				ts, err := e.evalRuleCollect(r, -1, nil)
+				ts, err := e.evalRuleCollect(c, r, -1, nil)
 				if err != nil {
 					return err
 				}
@@ -303,9 +446,9 @@ func (e *Engine) runStratum(stratum int) error {
 	default: // SemiNaive
 		// Round 0: evaluate every rule on the full database.
 		delta := map[string][]value.Tuple{}
-		e.Stats.Iterations++
+		c.stats.Iterations++
 		for _, r := range plain {
-			newTs, err := e.evalRuleCollect(r, -1, nil)
+			newTs, err := e.evalRuleCollect(c, r, -1, nil)
 			if err != nil {
 				return err
 			}
@@ -316,7 +459,7 @@ func (e *Engine) runStratum(stratum int) error {
 		// Subsequent rounds: join each recursive atom against the delta,
 		// through the rule's per-literal delta plan.
 		for len(delta) > 0 {
-			e.Stats.Iterations++
+			c.stats.Iterations++
 			next := map[string][]value.Tuple{}
 			for _, r := range plain {
 				for bi, l := range r.Body {
@@ -327,7 +470,7 @@ func (e *Engine) runStratum(stratum int) error {
 					if len(d) == 0 {
 						continue
 					}
-					newTs, err := e.evalRuleCollect(r, bi, d)
+					newTs, err := e.evalRuleCollect(c, r, bi, d)
 					if err != nil {
 						return err
 					}
@@ -342,7 +485,7 @@ func (e *Engine) runStratum(stratum int) error {
 
 	// Delete rules run after the stratum reaches fixpoint.
 	for _, r := range dels {
-		if err := e.evalDelete(r); err != nil {
+		if err := e.evalDelete(c, r); err != nil {
 			return err
 		}
 	}
@@ -352,13 +495,13 @@ func (e *Engine) runStratum(stratum int) error {
 // evalRuleCollect evaluates r through its compiled plan (the full plan,
 // or the delta plan for body literal deltaIdx) and inserts derived heads,
 // returning the newly inserted tuples.
-func (e *Engine) evalRuleCollect(r *ndlog.Rule, deltaIdx int, delta []value.Tuple) ([]value.Tuple, error) {
+func (e *Engine) evalRuleCollect(c *evalCtx, r *ndlog.Rule, deltaIdx int, delta []value.Tuple) ([]value.Tuple, error) {
 	plans := e.An.Plans[r]
 	plan := plans.Full
 	if deltaIdx >= 0 {
 		plan = plans.Delta[deltaIdx]
 	}
-	x := e.exec(plan)
+	x := e.exec(c, plan)
 
 	ro := e.ruleObs[r]
 	var t0 time.Time
@@ -372,14 +515,14 @@ func (e *Engine) evalRuleCollect(r *ndlog.Rule, deltaIdx int, delta []value.Tupl
 		if err := plan.BuildHead(x.Env(), t); err != nil {
 			return fmt.Errorf("datalog: head of %s: %w", r.Head.Pred, err)
 		}
-		e.Stats.Derivations++
+		c.stats.Derivations++
 		ro.addFiring()
 		isNew, err := rel.Insert(t)
 		if err != nil {
 			return err
 		}
 		if isNew {
-			e.Stats.NewTuples++
+			c.stats.NewTuples++
 			if ro != nil {
 				ro.emitted.Add(1)
 				if e.tracer != nil {
@@ -394,7 +537,7 @@ func (e *Engine) evalRuleCollect(r *ndlog.Rule, deltaIdx int, delta []value.Tupl
 		}
 		return nil
 	})
-	e.Stats.JoinProbes += int(probes)
+	c.stats.JoinProbes += int(probes)
 	if ro != nil {
 		ro.probes.Add(probes)
 		ro.eval.Observe(time.Since(t0))
@@ -404,7 +547,7 @@ func (e *Engine) evalRuleCollect(r *ndlog.Rule, deltaIdx int, delta []value.Tupl
 
 // collectAnts resolves the tuples currently bound by the plan's scan and
 // delta steps to their provenance ids — the antecedents of the firing.
-func (e *Engine) collectAnts(plan *ndlog.Plan, x *store.Exec) []prov.ID {
+func (e *Engine) collectAnts(plan *ndlog.Plan, x store.Runner) []prov.ID {
 	ants := e.provAnts[:0]
 	for _, si := range plan.AntSteps {
 		st := &plan.Steps[si]
@@ -424,9 +567,9 @@ func (ro *ruleObs) addFiring() {
 }
 
 // evalDelete evaluates a delete rule, removing matching head tuples.
-func (e *Engine) evalDelete(r *ndlog.Rule) error {
+func (e *Engine) evalDelete(c *evalCtx, r *ndlog.Rule) error {
 	plan := e.An.Plans[r].Full
-	x := e.exec(plan)
+	x := e.exec(c, plan)
 
 	ro := e.ruleObs[r]
 	var t0 time.Time
@@ -443,7 +586,7 @@ func (e *Engine) evalDelete(r *ndlog.Rule) error {
 		victims = append(victims, t)
 		return nil
 	})
-	e.Stats.JoinProbes += int(probes)
+	c.stats.JoinProbes += int(probes)
 	if ro != nil {
 		ro.probes.Add(probes)
 		ro.eval.Observe(time.Since(t0))
@@ -462,12 +605,12 @@ func (e *Engine) evalDelete(r *ndlog.Rule) error {
 
 // evalAggregate evaluates an aggregate-head rule: group by the non-
 // aggregate head arguments and fold the aggregated variable.
-func (e *Engine) evalAggregate(r *ndlog.Rule) error {
+func (e *Engine) evalAggregate(c *evalCtx, r *ndlog.Rule) error {
 	plan := e.An.Plans[r].Full
 	if plan.AggIdx < 0 {
 		return fmt.Errorf("datalog: rule %s is not an aggregate rule", r.Label)
 	}
-	x := e.exec(plan)
+	x := e.exec(c, plan)
 
 	ro := e.ruleObs[r]
 	var t0 time.Time
@@ -552,7 +695,7 @@ func (e *Engine) evalAggregate(r *ndlog.Rule) error {
 		}
 		return nil
 	})
-	e.Stats.JoinProbes += int(probes)
+	c.stats.JoinProbes += int(probes)
 	if ro != nil {
 		ro.probes.Add(probes)
 		defer func() { ro.eval.Observe(time.Since(t0)) }()
@@ -582,14 +725,14 @@ func (e *Engine) evalAggregate(r *ndlog.Rule) error {
 			out[i] = g.key[gi]
 			gi++
 		}
-		e.Stats.Derivations++
+		c.stats.Derivations++
 		ro.addFiring()
 		isNew, err := rel.Insert(out)
 		if err != nil {
 			return err
 		}
 		if isNew {
-			e.Stats.NewTuples++
+			c.stats.NewTuples++
 			if ro != nil {
 				ro.emitted.Add(1)
 				if e.tracer != nil {

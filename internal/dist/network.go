@@ -55,6 +55,10 @@ type Options struct {
 	// tuple (rule firings, message deliveries, fault events, and
 	// retractions); nil disables provenance at zero cost.
 	Prov *prov.Recorder
+	// ScalarExec forces the scalar (tuple-at-a-time) plan executor — the
+	// retained differential-testing oracle — instead of the default
+	// batched columnar one.
+	ScalarExec bool
 }
 
 // DefaultOptions returns reasonable simulation settings.
@@ -135,7 +139,7 @@ type Network struct {
 	// solutions. Because the stream is seeded, two runs with the same
 	// Options.Seed are bit-for-bit identical; the centralized engine
 	// (internal/datalog) is the fully deterministic counterpart.
-	execs    map[*ndlog.Plan]*store.Exec
+	execs    map[*ndlog.Plan]store.Runner
 	shuf     *store.Shuffler
 	deltaBuf [1]value.Tuple // reusable delta slice for pipelined evaluation
 
@@ -227,7 +231,7 @@ func NewNetwork(prog *ndlog.Program, topo *netgraph.Topology, opts Options) (*Ne
 		topo:     topo,
 		opts:     opts,
 		nodes:    map[string]*Node{},
-		execs:    map[*ndlog.Plan]*store.Exec{},
+		execs:    map[*ndlog.Plan]store.Runner{},
 		shuf:     store.NewShuffler(opts.Seed),
 		rngState: opts.Seed ^ 0xdeadbeefcafef00d,
 		history:  map[string][2]string{},
@@ -351,12 +355,17 @@ func (n *Network) Explain(w io.Writer, title string) {
 	obs.WriteExplain(w, title, "dist", rules, n.col)
 }
 
-// exec returns the cached executor for a plan, with the seeded scan
-// shuffle attached.
-func (n *Network) exec(p *ndlog.Plan) *store.Exec {
+// exec returns the cached executor for a plan (batched by default,
+// scalar under Options.ScalarExec), with the seeded scan shuffle
+// attached.
+func (n *Network) exec(p *ndlog.Plan) store.Runner {
 	x, ok := n.execs[p]
 	if !ok {
-		x = store.NewExec(p)
+		if n.opts.ScalarExec {
+			x = store.NewExec(p)
+		} else {
+			x = store.NewBatchExec(p)
+		}
 		x.SetShuffle(n.shuf)
 		n.execs[p] = x
 	}
@@ -915,7 +924,13 @@ func (n *Network) deliver(from *Node, ds []derivation) error {
 		d := work[0]
 		work = work[1:]
 		if d.loc == from.ID {
-			more, err := from.insert(d.pred, d.tup, n.now, d.cause)
+			var more []derivation
+			var err error
+			if d.del != nil {
+				more, err = from.retractDerived(d.del, d.pred, d.tup)
+			} else {
+				more, err = from.insert(d.pred, d.tup, n.now, d.cause)
+			}
 			if err != nil {
 				return err
 			}

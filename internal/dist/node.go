@@ -50,6 +50,11 @@ type derivation struct {
 	tup   value.Tuple
 	loc   string  // destination node (from the location argument)
 	cause prov.ID // the rule firing that produced it (0 when disabled)
+	// del marks a retraction: the firing delete rule, nil for inserts.
+	// Delete rules retract locally and never cascade through plain
+	// triggers (matching the centralized engine, where deletes run after
+	// the stratum's fixpoint); aggregates over the head do recompute.
+	del *ndlog.Rule
 }
 
 // Table implements store.TableSource for the plan executor: a nil result
@@ -277,6 +282,32 @@ func (n *Node) expire(pred string, tup value.Tuple, now float64) ([]derivation, 
 	return out, nil
 }
 
+// retractDerived applies a delete-rule firing: remove the exact tuple
+// and recompute aggregates over the head predicate, exactly as expiry
+// does. Plain triggers do not re-fire — a retraction cascading through
+// positive rules would diverge from the stratified engine, where delete
+// rules run only after their stratum's fixpoint.
+func (n *Node) retractDerived(r *ndlog.Rule, pred string, tup value.Tuple) ([]derivation, error) {
+	t, ok := n.tables[pred]
+	if !ok || !t.Delete(tup) {
+		return nil, nil // already gone, or never derived
+	}
+	n.net.prov.Retract(n.net.now, n.ID, pred, tup, "delete_rule "+r.Label, 0)
+	if n.net.tracer != nil {
+		n.net.tracer.Emit(obs.Event{T: n.net.now, Kind: obs.EvExpired, Node: n.ID, Pred: pred, Tuple: tup.String()})
+	}
+	n.net.lastChange = n.net.now
+	var out []derivation
+	for _, ar := range n.aggTriggers[pred] {
+		ds, err := n.recomputeAggregate(ar, pred, tup)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	return out, nil
+}
+
 // evalRuleDelta evaluates rule r with body literal idx bound to the new
 // tuple, running the rule's compiled per-literal delta plan on the shared
 // executor against the local store.
@@ -301,6 +332,9 @@ func (n *Node) evalRuleDelta(r *ndlog.Rule, idx int, delta value.Tuple) ([]deriv
 		if err != nil {
 			return err
 		}
+		if r.Delete && loc != n.ID {
+			return fmt.Errorf("dist: delete rule %s retracts at remote node %s; only local retractions are supported", r.Label, loc)
+		}
 		n.net.nm.derivations.Add(1)
 		if ro != nil {
 			ro.firings.Add(1)
@@ -312,7 +346,11 @@ func (n *Node) evalRuleDelta(r *ndlog.Rule, idx int, delta value.Tuple) ([]deriv
 			n.net.provAnts = ants
 			cause = n.net.prov.Rule(n.net.now, n.ID, r.Label, ants)
 		}
-		out = append(out, derivation{pred: r.Head.Pred, tup: tup, loc: loc, cause: cause})
+		d := derivation{pred: r.Head.Pred, tup: tup, loc: loc, cause: cause}
+		if r.Delete {
+			d.del = r
+		}
+		out = append(out, d)
 		return nil
 	})
 	n.net.nm.joinProbes.Add(probes)
@@ -326,7 +364,7 @@ func (n *Node) evalRuleDelta(r *ndlog.Rule, idx int, delta value.Tuple) ([]deriv
 // executor is currently emitting: for each scan/delta step, the bound
 // candidate tuple's live provenance entry at this node. Tuples with no
 // recorded version (externally populated tables) are skipped.
-func (n *Node) collectAnts(plan *ndlog.Plan, x *store.Exec, ants []prov.ID) []prov.ID {
+func (n *Node) collectAnts(plan *ndlog.Plan, x store.Runner, ants []prov.ID) []prov.ID {
 	for _, si := range plan.AntSteps {
 		st := &plan.Steps[si]
 		if id := n.net.prov.Current(n.ID, st.Pred, x.CurTuple(si)); id != 0 {

@@ -90,6 +90,24 @@ func (c cBin) Eval(env *EvalEnv) (value.V, error) {
 
 func (c cBin) String() string { return c.l.String() + c.op + c.r.String() }
 
+// ExprSlot reports whether e is a plain slot reference, and which slot.
+// The batched executor uses this to read such expressions straight out of
+// a batch column instead of materializing a frame.
+func ExprSlot(e CExpr) (int, bool) {
+	if s, ok := e.(cSlot); ok {
+		return s.slot, true
+	}
+	return -1, false
+}
+
+// ExprLit reports whether e is a literal, and its value.
+func ExprLit(e CExpr) (value.V, bool) {
+	if l, ok := e.(cLit); ok {
+		return l.v, true
+	}
+	return value.V{}, false
+}
+
 // StepKind identifies a plan step.
 type StepKind uint8
 
@@ -162,9 +180,13 @@ type Plan struct {
 	SeedSlots []int
 
 	// DeltaIdx is the body index evaluated against the delta, -1 for full
-	// plans. Order lists body-literal indices in executed order.
-	DeltaIdx int
-	Order    []int
+	// plans. DeltaArity is the arity of that literal's atom (-1 for full
+	// plans): executors validate supplied delta tuples against it up front,
+	// so a caller arity bug surfaces as an error instead of an empty join.
+	// Order lists body-literal indices in executed order.
+	DeltaIdx   int
+	DeltaArity int
+	Order      []int
 
 	// AntSteps lists the step indices that bind a candidate tuple
 	// (StepScan and StepDelta), in step order: the antecedent positions
@@ -255,13 +277,17 @@ func planRule(r *Rule, deltaIdx int, seedVars []string) (*Plan, error) {
 	p := &planner{
 		r: r,
 		plan: &Plan{
-			Rule:     r,
-			SlotOf:   map[string]int{},
-			AggIdx:   -1,
-			AggSlot:  -1,
-			DeltaIdx: deltaIdx,
+			Rule:       r,
+			SlotOf:     map[string]int{},
+			AggIdx:     -1,
+			AggSlot:    -1,
+			DeltaIdx:   deltaIdx,
+			DeltaArity: -1,
 		},
 		bound: map[string]bool{},
+	}
+	if deltaIdx >= 0 {
+		p.plan.DeltaArity = len(r.Body[deltaIdx].Atom.Args)
 	}
 	for _, v := range seedVars {
 		p.plan.SeedVars = append(p.plan.SeedVars, v)

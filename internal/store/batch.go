@@ -1,0 +1,875 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/ndlog"
+	"repro/internal/value"
+)
+
+// This file implements the batched (columnar) plan executor. Where the
+// scalar Exec recurses one candidate tuple at a time through the step
+// list — paying per probe for table resolution, string key encoding, and
+// a string-map bucket lookup — BatchExec pushes a Batch of rows through
+// the same steps:
+//
+//   - Rows are column slices, one []value.V per frame slot bound between
+//     the first and the last scan step (slots bound before the first scan
+//     are constant for the whole run and stay in the frame).
+//   - Filters and anti-joins between scans compact the batch through a
+//     selection vector instead of copying columns.
+//   - Index probes hash the key values directly (splitmix64-mixed, see
+//     value.Hash64) into a flat open-addressing table — no string
+//     encoding, collisions verified against the stored key.
+//   - The last scan step is fused with emission: candidates bind straight
+//     into the frame, trailing filters/assigns/negations run per row, and
+//     the frame is handed to emit — so the widest intermediate result is
+//     never materialized.
+//
+// The emit contract is identical to the scalar executor's (same frame
+// layout, same emission order for shuffle-free and one- and two-scan
+// shuffled plans, same probe counts, CurTuple valid per emitted row), so
+// the scalar Exec doubles as a differential-testing oracle.
+
+// Runner is the interface shared by the scalar Exec (the retained
+// oracle) and the batched BatchExec, letting the centralized engine and
+// the distributed runtime switch between them.
+type Runner interface {
+	Run(ts TableSource, delta []value.Tuple, seed []value.V, emit func([]value.V) error) (int64, error)
+	Probes() int64
+	Env() *ndlog.EvalEnv
+	CurTuple(i int) value.Tuple
+	SetShuffle(*Shuffler)
+}
+
+var (
+	_ Runner = (*Exec)(nil)
+	_ Runner = (*BatchExec)(nil)
+)
+
+// view kinds: how a compiled expression is read for one batch row.
+const (
+	vFrame uint8 = iota // constant for the run, or loaded: read env.Frame[slot]
+	vCol                // read cols[slot][row] (assign-materialized slots)
+	vAnt                // read ants[slot][row][col] (scan-bound slots)
+	vLit                // literal value
+	vExpr               // general: load the row into the frame, then Eval
+)
+
+// bview reads one expression for a given row. Slots bound by a non-pivot
+// scan are never materialized as columns — row r of that step's candidate
+// tuples is kept anyway (ants, for CurTuple), so the binding is read
+// straight out of the tuple (vAnt).
+type bview struct {
+	kind uint8
+	slot int // vFrame/vCol: frame slot; vAnt: ant ordinal
+	col  int // vAnt: tuple column
+	val  value.V
+	expr ndlog.CExpr
+}
+
+// bop kinds: how one candidate-tuple column is processed.
+const (
+	bBind    uint8 = iota // bind tup[col] into the batch column for slot
+	bCmpCol               // require tup[col] == tup[cmpCol] (same-step dup var)
+	bCmpView              // require tup[col] == view value
+)
+
+// bop processes one candidate column of a batched scan/delta step.
+type bop struct {
+	kind   uint8
+	col    int
+	slot   int // bBind target
+	cmpCol int
+	view   bview
+}
+
+// bstep is the compiled batched form of one plan step.
+type bstep struct {
+	st        *ndlog.Step
+	keys      []bview // Scan/NotExists index key views
+	checks    []bop   // Scan/Delta candidate checks (run before binds)
+	binds     []bop   // Scan/Delta candidate binds (pivot frame writes)
+	gatherMat []int   // assign-materialized columns copied on expansion
+	nAnts     int     // ant columns existing before this step
+	view      bview   // Assign/Filter expression view
+	load      []int   // batch slots to load for vExpr views at this step
+}
+
+// BatchExec evaluates one compiled plan over columnar batches. Like
+// Exec it is single-goroutine state; create one per plan per evaluator.
+// Parallel evaluators must build the indexes it probes in a
+// single-threaded phase first (see Prepare).
+type BatchExec struct {
+	Plan *ndlog.Plan
+
+	env     ndlog.EvalEnv
+	shuffle *Shuffler
+	dedup   bool
+
+	// static shape, computed once in NewBatchExec
+	firstScan  int       // first Scan/Delta step; len(Steps) if none
+	pivot      int       // last Scan/Delta step; -1 if none
+	batchSlots []int     // slots bound in [firstScan, pivot), in bind order
+	slotAnt    []int32   // per slot: ant ordinal sourcing it, or -1 (cols)
+	slotCol    []int32   // per slot: tuple column within that ant
+	antPre     []int     // ant step indices before the pivot, in step order
+	loadAnts   []loadSrc // pivot frame loads sourced from ant tuples
+	loadCols   []int     // pivot frame loads sourced from materialized columns
+	bsteps     []bstep
+
+	// per-run buffers, reused across runs
+	tabs    []*Table
+	idxs    []*Index
+	idxMap  []map[*Table]*Index // per-step index handle cache
+	cols    [][]value.V         // per slot; non-nil only for batch slots
+	out     [][]value.V         // expansion double-buffer
+	ants    [][]value.Tuple     // per antPre ordinal: candidate tuple per row
+	antsOut [][]value.Tuple
+	sel     []int32
+	selBuf  []int32
+	scratch [][]value.Tuple // per-step shuffle buffers
+	cur     []value.Tuple
+	kvBuf   []value.V
+	fpSeen  map[uint64]struct{}
+
+	nrows     int
+	selAll    bool // selection is the identity over nrows
+	antShared bool // ants[0] aliases the scanned table's window (zero-copy)
+	probes    int64
+	ts        TableSource
+	delta     []value.Tuple
+	emitFunc  func([]value.V) error
+}
+
+// NewBatchExec returns a batched executor for p.
+func NewBatchExec(p *ndlog.Plan) *BatchExec {
+	x := &BatchExec{Plan: p, firstScan: len(p.Steps), pivot: -1}
+	x.env.Frame = make([]value.V, p.NumSlots)
+	x.env.CallBufs = make([][]value.V, len(p.CallArities))
+	for i, n := range p.CallArities {
+		x.env.CallBufs[i] = make([]value.V, n)
+	}
+	for i := range p.Steps {
+		k := p.Steps[i].Kind
+		if k == ndlog.StepScan || k == ndlog.StepDelta {
+			if x.firstScan > i {
+				x.firstScan = i
+			}
+			x.pivot = i
+		}
+	}
+	x.tabs = make([]*Table, len(p.Steps))
+	x.idxs = make([]*Index, len(p.Steps))
+	x.idxMap = make([]map[*Table]*Index, len(p.Steps))
+	x.cols = make([][]value.V, p.NumSlots)
+	x.out = make([][]value.V, p.NumSlots)
+	x.scratch = make([][]value.Tuple, len(p.Steps))
+	x.cur = make([]value.Tuple, len(p.Steps))
+	x.compile()
+	return x
+}
+
+// compile classifies every expression of the batched middle section
+// against the running set of batch-bound slots. Slots bound by non-pivot
+// scans are sourced from the retained candidate tuples (vAnt) instead of
+// materialized columns; only assign results become columns.
+func (x *BatchExec) compile() {
+	p := x.Plan
+	batch := make([]bool, p.NumSlots)
+	x.slotAnt = make([]int32, p.NumSlots)
+	x.slotCol = make([]int32, p.NumSlots)
+	for s := range x.slotAnt {
+		x.slotAnt[s] = -1
+	}
+	x.bsteps = make([]bstep, len(p.Steps))
+	classify := func(e ndlog.CExpr) bview {
+		if v, ok := ndlog.ExprLit(e); ok {
+			return bview{kind: vLit, val: v}
+		}
+		if s, ok := ndlog.ExprSlot(e); ok {
+			if !batch[s] {
+				return bview{kind: vFrame, slot: s}
+			}
+			if a := x.slotAnt[s]; a >= 0 {
+				return bview{kind: vAnt, slot: int(a), col: int(x.slotCol[s])}
+			}
+			return bview{kind: vCol, slot: s}
+		}
+		return bview{kind: vExpr, expr: e}
+	}
+	var mat []int // assign-materialized slots so far
+	for i := x.firstScan; i >= 0 && i <= x.pivot; i++ {
+		st := &p.Steps[i]
+		bs := &x.bsteps[i]
+		bs.st = st
+		bs.gatherMat = append([]int(nil), mat...)
+		bs.nAnts = len(x.antPre)
+		bs.load = append([]int(nil), x.batchSlots...)
+		switch st.Kind {
+		case ndlog.StepScan, ndlog.StepDelta:
+			for j := range st.KeyExprs {
+				bs.keys = append(bs.keys, classify(st.KeyExprs[j]))
+			}
+			local := map[int]int{} // slot bound by this step -> its column
+			for _, op := range st.Ops {
+				if op.Slot >= 0 {
+					bs.binds = append(bs.binds, bop{kind: bBind, col: op.Col, slot: op.Slot})
+					local[op.Slot] = op.Col
+					continue
+				}
+				if s, ok := ndlog.ExprSlot(op.Expr); ok {
+					if c, dup := local[s]; dup {
+						bs.checks = append(bs.checks, bop{kind: bCmpCol, col: op.Col, cmpCol: c})
+						continue
+					}
+				}
+				bs.checks = append(bs.checks, bop{kind: bCmpView, col: op.Col, view: classify(op.Expr)})
+			}
+			if i < x.pivot {
+				for _, b := range bs.binds {
+					batch[b.slot] = true
+					x.batchSlots = append(x.batchSlots, b.slot)
+					x.slotAnt[b.slot] = int32(len(x.antPre))
+					x.slotCol[b.slot] = int32(b.col)
+				}
+				x.antPre = append(x.antPre, i)
+			}
+		case ndlog.StepNotExists:
+			for j := range st.KeyExprs {
+				bs.keys = append(bs.keys, classify(st.KeyExprs[j]))
+			}
+		case ndlog.StepAssign:
+			bs.view = classify(st.Expr)
+			if i < x.pivot {
+				batch[st.Slot] = true
+				x.batchSlots = append(x.batchSlots, st.Slot)
+				mat = append(mat, st.Slot)
+			}
+		case ndlog.StepFilter:
+			bs.view = classify(st.Expr)
+		}
+	}
+	for _, s := range x.batchSlots {
+		if a := x.slotAnt[s]; a >= 0 {
+			x.loadAnts = append(x.loadAnts, loadSrc{slot: s, ant: int(a), col: int(x.slotCol[s])})
+		} else {
+			x.loadCols = append(x.loadCols, s)
+		}
+	}
+	x.ants = make([][]value.Tuple, len(x.antPre))
+	x.antsOut = make([][]value.Tuple, len(x.antPre))
+}
+
+// loadSrc is one precomputed pivot frame load.
+type loadSrc struct{ slot, ant, col int }
+
+// SetShuffle mirrors Exec.SetShuffle: seeded pseudo-random enumeration
+// of scan candidates, consumed per scan step per input row in the same
+// stream order as the scalar executor for one- and two-scan plans.
+func (x *BatchExec) SetShuffle(s *Shuffler) { x.shuffle = s }
+
+// SetDedup enables splitmix64 fingerprint dedup on join output: each
+// fully bound frame is fingerprinted before emission and duplicate
+// frames are suppressed. Like the model checker's state dedup this is
+// unverified — distinct frames collide with probability ~2^-64.
+func (x *BatchExec) SetDedup(on bool) {
+	x.dedup = on
+	if on && x.fpSeen == nil {
+		x.fpSeen = make(map[uint64]struct{})
+	}
+}
+
+// Probes returns the probe count of the last Run.
+func (x *BatchExec) Probes() int64 { return x.probes }
+
+// Env returns the executor's evaluation environment, for evaluating the
+// plan's head expressions inside an emit callback.
+func (x *BatchExec) Env() *ndlog.EvalEnv { return &x.env }
+
+// CurTuple returns the candidate tuple bound at step i for the row
+// currently being emitted (valid inside an emit callback, for steps in
+// Plan.AntSteps).
+func (x *BatchExec) CurTuple(i int) value.Tuple { return x.cur[i] }
+
+// Prepare resolves and builds every index the plan probes, and compacts
+// fully scanned tables. Parallel evaluators call it from a
+// single-threaded phase so that concurrent Runs never mutate shared
+// Table or Index state (Run itself then only reads prebuilt structures,
+// besides whatever the emit callback writes).
+func (x *BatchExec) Prepare(ts TableSource) { PreparePlan(ts, x.Plan) }
+
+// PreparePlan builds every index p's batched executor will probe and
+// compacts its fully scanned tables — the Prepare phase without needing
+// the executor itself.
+func PreparePlan(ts TableSource, p *ndlog.Plan) {
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		switch st.Kind {
+		case ndlog.StepScan, ndlog.StepNotExists:
+			t := ts.Table(st.Pred)
+			if t == nil {
+				continue
+			}
+			if len(st.KeyCols) > 0 {
+				t.HashIndexOn(st.KeyCols)
+			} else {
+				t.All() // compact now, not mid-run
+			}
+		}
+	}
+}
+
+// index returns the step's flat-hash index handle for t, resolving the
+// table's index registry (a string-keyed map) only on first use.
+func (x *BatchExec) index(i int, t *Table, cols []int) *Index {
+	m := x.idxMap[i]
+	if m == nil {
+		m = map[*Table]*Index{}
+		x.idxMap[i] = m
+	}
+	ix, ok := m[t]
+	if !ok {
+		ix = t.indexFor(cols)
+		m[t] = ix
+	}
+	ix.ensureFlat(t)
+	return ix
+}
+
+// Run evaluates the plan; the contract is Exec.Run's.
+func (x *BatchExec) Run(ts TableSource, delta []value.Tuple, seed []value.V, emit func([]value.V) error) (int64, error) {
+	if err := CheckDeltaArity(x.Plan, delta); err != nil {
+		return 0, err
+	}
+	x.ts, x.delta, x.emitFunc = ts, delta, emit
+	x.probes = 0
+	if x.dedup {
+		clear(x.fpSeen)
+	}
+	for i, s := range x.Plan.SeedSlots {
+		x.env.Frame[s] = seed[i]
+	}
+	// Resolve tables and indexes once per run, and pin every scanned
+	// table: deletions triggered from emit leave nil tombstones under our
+	// windows instead of compacting them away.
+	npinned := 0
+	for i := range x.Plan.Steps {
+		st := &x.Plan.Steps[i]
+		x.tabs[i], x.idxs[i] = nil, nil
+		switch st.Kind {
+		case ndlog.StepScan, ndlog.StepNotExists:
+			t := x.ts.Table(st.Pred)
+			if t == nil {
+				continue
+			}
+			x.tabs[i] = t
+			t.Pin()
+			npinned = i + 1
+			if len(st.KeyCols) > 0 {
+				x.idxs[i] = x.index(i, t, st.KeyCols)
+			}
+		}
+	}
+	x.antShared = false
+	err := x.run()
+	if x.antShared {
+		x.ants[0] = nil // drop the aliased table window
+		x.antShared = false
+	}
+	for i := 0; i < npinned; i++ {
+		if x.tabs[i] != nil {
+			x.tabs[i].Unpin()
+		}
+	}
+	x.ts, x.delta, x.emitFunc = nil, nil, nil
+	return x.probes, err
+}
+
+func (x *BatchExec) run() error {
+	steps := x.Plan.Steps
+	// Prelude: steps before the first scan see only run-constant slots;
+	// evaluate them once on the frame.
+	for i := 0; i < x.firstScan; i++ {
+		ok, err := x.scalarStep(i)
+		if err != nil || !ok {
+			return err
+		}
+	}
+	if x.pivot < 0 {
+		// No scans at all: the prelude was the whole plan.
+		return x.emitRow()
+	}
+	// Batched middle: expand scans, compact filters/anti-joins through
+	// the selection vector, append assign columns.
+	x.nrows, x.selAll = 1, true
+	for i := x.firstScan; i < x.pivot; i++ {
+		var err error
+		switch steps[i].Kind {
+		case ndlog.StepScan, ndlog.StepDelta:
+			err = x.expand(i)
+		case ndlog.StepNotExists:
+			err = x.filterNotExists(i)
+		case ndlog.StepAssign:
+			err = x.assignCol(i)
+		case ndlog.StepFilter:
+			err = x.filterRows(i)
+		}
+		if err != nil {
+			return err
+		}
+		if x.nrows == 0 || (!x.selAll && len(x.sel) == 0) {
+			return nil
+		}
+	}
+	return x.runPivot()
+}
+
+// rowAt maps a selection position to a row index.
+func (x *BatchExec) rowAt(si int) int {
+	if x.selAll {
+		return si
+	}
+	return int(x.sel[si])
+}
+
+func (x *BatchExec) selLen() int {
+	if x.selAll {
+		return x.nrows
+	}
+	return len(x.sel)
+}
+
+// slotVal reads batch-bound slot s of row r from its source (ant tuple
+// or materialized column).
+func (x *BatchExec) slotVal(s, r int) value.V {
+	if a := x.slotAnt[s]; a >= 0 {
+		return x.ants[a][r][x.slotCol[s]]
+	}
+	return x.cols[s][r]
+}
+
+// loadRow gathers the batch-bound slots of row r into the frame, so a
+// general expression can be evaluated scalar-style.
+func (x *BatchExec) loadRow(slots []int, r int) {
+	for _, s := range slots {
+		x.env.Frame[s] = x.slotVal(s, r)
+	}
+}
+
+// viewAt reads one view for row r.
+func (x *BatchExec) viewAt(v *bview, load []int, r int) (value.V, error) {
+	switch v.kind {
+	case vAnt:
+		return x.ants[v.slot][r][v.col], nil
+	case vCol:
+		return x.cols[v.slot][r], nil
+	case vFrame:
+		return x.env.Frame[v.slot], nil
+	case vLit:
+		return v.val, nil
+	default:
+		x.loadRow(load, r)
+		return v.expr.Eval(&x.env)
+	}
+}
+
+// stepHashKey evaluates the step's key views for row r, folding them
+// into a probe hash and collecting them for collision verification. The
+// common view kinds are read inline; only general expressions pay the
+// viewAt indirection.
+func (x *BatchExec) stepHashKey(bs *bstep, r int) (uint64, []value.V, error) {
+	h := value.HashSeed
+	kv := x.kvBuf[:0]
+	for j := range bs.keys {
+		k := &bs.keys[j]
+		var v value.V
+		switch k.kind {
+		case vAnt:
+			v = x.ants[k.slot][r][k.col]
+		case vCol:
+			v = x.cols[k.slot][r]
+		case vFrame:
+			v = x.env.Frame[k.slot]
+		case vLit:
+			v = k.val
+		default:
+			var err error
+			v, err = x.viewAt(k, bs.load, r)
+			if err != nil {
+				x.kvBuf = kv[:0]
+				return 0, nil, err
+			}
+		}
+		h = v.Hash64(h)
+		kv = append(kv, v)
+	}
+	x.kvBuf = kv
+	return h, kv, nil
+}
+
+// checkOps runs the step's check ops against a candidate tuple.
+func (x *BatchExec) checkOps(bs *bstep, tup value.Tuple, r int) (bool, error) {
+	for ci := range bs.checks {
+		op := &bs.checks[ci]
+		switch op.kind {
+		case bCmpCol:
+			if !tup[op.col].Equal(tup[op.cmpCol]) {
+				return false, nil
+			}
+		default:
+			v, err := x.viewAt(&op.view, bs.load, r)
+			if err != nil {
+				return false, err
+			}
+			if !v.Equal(tup[op.col]) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// expand evaluates a non-pivot scan/delta step: every surviving row is
+// joined against its candidates, producing a new batch. Bound slots are
+// not materialized — the passing candidate tuples themselves become the
+// step's ant column, and bindings are read out of them (vAnt). Only
+// assign-materialized columns are gathered through the expansion.
+func (x *BatchExec) expand(i int) error {
+	bs := &x.bsteps[i]
+	st := bs.st
+	scan := st.Kind == ndlog.StepScan
+	t := x.tabs[i]
+	if scan && t == nil {
+		x.nrows, x.selAll, x.sel = 0, true, x.sel[:0]
+		return nil
+	}
+	// Zero-copy fast path: an unkeyed, check-free first scan over a
+	// hole-free table is a 1:1 expansion of the table window — alias it
+	// instead of copying tuple pointers.
+	if scan && bs.nAnts == 0 && len(bs.gatherMat) == 0 && len(st.KeyCols) == 0 &&
+		len(bs.checks) == 0 && x.shuffle == nil && t.holes == 0 {
+		cands := t.All()
+		x.probes += int64(len(cands))
+		x.ants[0] = cands
+		x.antShared = true
+		x.nrows, x.selAll, x.sel = len(cands), true, x.sel[:0]
+		return nil
+	}
+	for _, s := range bs.gatherMat {
+		x.out[s] = x.out[s][:0]
+	}
+	for k := 0; k <= bs.nAnts && k < len(x.antsOut); k++ {
+		x.antsOut[k] = x.antsOut[k][:0]
+	}
+	nOut := 0
+	n := x.selLen()
+	for si := 0; si < n; si++ {
+		r := x.rowAt(si)
+		var cands []value.Tuple
+		if !scan {
+			cands = x.delta
+		} else if len(st.KeyCols) == 0 {
+			cands = t.All()
+		} else {
+			h, kv, err := x.stepHashKey(bs, r)
+			if err != nil {
+				return err
+			}
+			cands = x.idxs[i].FlatBucket(h, kv)
+		}
+		if scan && x.shuffle != nil && len(cands) > 1 {
+			cands = x.shuffle.Shuffle(cands, &x.scratch[i])
+		}
+		for _, tup := range cands {
+			if scan && tup == nil { // tombstone of a deletion during this run
+				continue
+			}
+			x.probes++
+			ok, err := x.checkOps(bs, tup, r)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			for _, s := range bs.gatherMat {
+				x.out[s] = append(x.out[s], x.cols[s][r])
+			}
+			for k := 0; k < bs.nAnts; k++ {
+				x.antsOut[k] = append(x.antsOut[k], x.ants[k][r])
+			}
+			x.antsOut[bs.nAnts] = append(x.antsOut[bs.nAnts], tup)
+			nOut++
+		}
+	}
+	for _, s := range bs.gatherMat {
+		x.cols[s], x.out[s] = x.out[s], x.cols[s]
+	}
+	for k := 0; k <= bs.nAnts; k++ {
+		x.ants[k], x.antsOut[k] = x.antsOut[k], x.ants[k]
+	}
+	if x.antShared {
+		// ants[0] aliased the table window; the swap above copied its rows
+		// into an owned buffer and parked the alias in antsOut[0]. Drop the
+		// alias so it is never reused as an append target (that would write
+		// into the table's own backing array).
+		x.antsOut[0] = nil
+		x.antShared = false
+	}
+	x.nrows, x.selAll, x.sel = nOut, true, x.sel[:0]
+	return nil
+}
+
+// filterNotExists keeps the rows whose negation probe comes back empty.
+func (x *BatchExec) filterNotExists(i int) error {
+	bs := &x.bsteps[i]
+	t := x.tabs[i]
+	if t == nil {
+		return nil // unknown predicate: negation trivially holds
+	}
+	keep := x.selBuf[:0]
+	n := x.selLen()
+	for si := 0; si < n; si++ {
+		r := x.rowAt(si)
+		x.probes++
+		if len(bs.st.KeyCols) == 0 {
+			if t.Len() == 0 {
+				keep = append(keep, int32(r))
+			}
+			continue
+		}
+		h, kv, err := x.stepHashKey(bs, r)
+		if err != nil {
+			return err
+		}
+		if len(x.idxs[i].FlatBucket(h, kv)) == 0 {
+			keep = append(keep, int32(r))
+		}
+	}
+	x.selBuf = x.sel[:0]
+	x.sel, x.selAll = keep, false
+	return nil
+}
+
+// filterRows keeps the rows satisfying the filter expression.
+func (x *BatchExec) filterRows(i int) error {
+	bs := &x.bsteps[i]
+	keep := x.selBuf[:0]
+	n := x.selLen()
+	for si := 0; si < n; si++ {
+		r := x.rowAt(si)
+		v, err := x.viewAt(&bs.view, bs.load, r)
+		if err != nil {
+			return err
+		}
+		if v.True() {
+			keep = append(keep, int32(r))
+		}
+	}
+	x.selBuf = x.sel[:0]
+	x.sel, x.selAll = keep, false
+	return nil
+}
+
+// assignCol computes the assign expression per row into a fresh column.
+func (x *BatchExec) assignCol(i int) error {
+	bs := &x.bsteps[i]
+	slot := bs.st.Slot
+	c := x.cols[slot]
+	if cap(c) < x.nrows {
+		c = make([]value.V, x.nrows)
+	} else {
+		c = c[:x.nrows]
+	}
+	n := x.selLen()
+	for si := 0; si < n; si++ {
+		r := x.rowAt(si)
+		v, err := x.viewAt(&bs.view, bs.load, r)
+		if err != nil {
+			return err
+		}
+		c[r] = v
+	}
+	x.cols[slot] = c
+	return nil
+}
+
+// runPivot fuses the last scan/delta step with the trailing scalar steps
+// and emission: per row the bound slots load into the frame once, then
+// every passing candidate binds, runs the tail, and emits.
+func (x *BatchExec) runPivot() error {
+	i := x.pivot
+	bs := &x.bsteps[i]
+	st := bs.st
+	scan := st.Kind == ndlog.StepScan
+	t := x.tabs[i]
+	if scan && t == nil {
+		return nil
+	}
+	n := x.selLen()
+	keyed := scan && len(st.KeyCols) > 0
+	singleKey := keyed && len(bs.keys) == 1
+	hasChecks := len(bs.checks) > 0
+	hasTail := i+1 < len(x.Plan.Steps)
+	frame := x.env.Frame
+	idx := x.idxs[i]
+	lastLoaded := -1
+	for si := 0; si < n; si++ {
+		r := x.rowAt(si)
+		if x.antShared && x.ants[0][r] == nil {
+			continue // deleted under the aliased window by an earlier emit
+		}
+		var cands []value.Tuple
+		if !scan {
+			cands = x.delta
+		} else if singleKey {
+			// The single-value key of the step read inline, hashed, and
+			// probed without the kvBuf round-trip.
+			k := &bs.keys[0]
+			var v value.V
+			switch k.kind {
+			case vAnt:
+				v = x.ants[k.slot][r][k.col]
+			case vCol:
+				v = x.cols[k.slot][r]
+			case vFrame:
+				v = frame[k.slot]
+			case vLit:
+				v = k.val
+			default:
+				var err error
+				v, err = x.viewAt(k, bs.load, r)
+				if err != nil {
+					return err
+				}
+			}
+			cands = idx.FlatBucket1(v.Hash64(value.HashSeed), v)
+		} else if keyed {
+			h, kv, err := x.stepHashKey(bs, r)
+			if err != nil {
+				return err
+			}
+			cands = idx.FlatBucket(h, kv)
+		} else {
+			cands = t.All()
+		}
+		if scan && x.shuffle != nil && len(cands) > 1 {
+			cands = x.shuffle.Shuffle(cands, &x.scratch[i])
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		if lastLoaded != r {
+			for li := range x.loadAnts {
+				ls := &x.loadAnts[li]
+				frame[ls.slot] = x.ants[ls.ant][r][ls.col]
+			}
+			for _, s := range x.loadCols {
+				frame[s] = x.cols[s][r]
+			}
+			for k, ai := range x.antPre {
+				x.cur[ai] = x.ants[k][r]
+			}
+			lastLoaded = r
+		}
+		for _, tup := range cands {
+			if scan && tup == nil {
+				continue
+			}
+			x.probes++
+			if hasChecks {
+				ok, err := x.checkOps(bs, tup, r)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			for bi := range bs.binds {
+				b := &bs.binds[bi]
+				frame[b.slot] = tup[b.col]
+			}
+			x.cur[i] = tup
+			if hasTail {
+				pass := true
+				var err error
+				for ti := i + 1; ti < len(x.Plan.Steps); ti++ {
+					pass, err = x.scalarStep(ti)
+					if err != nil {
+						return err
+					}
+					if !pass {
+						break
+					}
+				}
+				if !pass {
+					continue
+				}
+			}
+			if err := x.emitRow(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scalarStep evaluates a non-scan step against the current frame,
+// reporting whether evaluation continues (assign: always; filter /
+// not-exists: the condition holds).
+func (x *BatchExec) scalarStep(i int) (bool, error) {
+	st := &x.Plan.Steps[i]
+	switch st.Kind {
+	case ndlog.StepAssign:
+		v, err := st.Expr.Eval(&x.env)
+		if err != nil {
+			return false, err
+		}
+		x.env.Frame[st.Slot] = v
+		return true, nil
+	case ndlog.StepFilter:
+		v, err := st.Expr.Eval(&x.env)
+		if err != nil {
+			return false, err
+		}
+		return v.True(), nil
+	case ndlog.StepNotExists:
+		t := x.tabs[i]
+		if t == nil {
+			return true, nil
+		}
+		x.probes++
+		if len(st.KeyCols) == 0 {
+			return t.Len() == 0, nil
+		}
+		h := value.HashSeed
+		kv := x.kvBuf[:0]
+		for _, e := range st.KeyExprs {
+			v, err := e.Eval(&x.env)
+			if err != nil {
+				x.kvBuf = kv[:0]
+				return false, err
+			}
+			h = v.Hash64(h)
+			kv = append(kv, v)
+		}
+		x.kvBuf = kv
+		return len(x.idxs[i].FlatBucket(h, kv)) == 0, nil
+	}
+	return false, fmt.Errorf("store: unexpected step kind %d in scalar tail", st.Kind)
+}
+
+// emitRow hands the fully bound frame to the emit callback, after the
+// optional fingerprint dedup.
+func (x *BatchExec) emitRow() error {
+	if x.dedup {
+		fp := value.Tuple(x.env.Frame).Hash64(value.HashSeed)
+		if _, seen := x.fpSeen[fp]; seen {
+			return nil
+		}
+		x.fpSeen[fp] = struct{}{}
+	}
+	return x.emitFunc(x.env.Frame)
+}

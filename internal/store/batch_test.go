@@ -1,0 +1,311 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/value"
+)
+
+// runPlan drives one executor over a compiled plan and returns the head
+// tuples in emission order plus the probe count.
+func runPlan(t *testing.T, x Runner, plan *ndlog.Plan, src TableSource, delta []value.Tuple) ([]string, int64) {
+	t.Helper()
+	var got []string
+	probes, err := x.Run(src, delta, nil, func([]value.V) error {
+		out := make(value.Tuple, len(plan.HeadExprs))
+		if err := plan.BuildHead(x.Env(), out); err != nil {
+			return err
+		}
+		got = append(got, out.String())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, probes
+}
+
+// TestBatchMatchesScalarOnCompiledPlan runs the same join — two scans,
+// an assignment, a filter, and a negation — through both the scalar
+// oracle and the batched executor, over the full plan and the delta
+// plan, and requires identical emission sequences and probe counts.
+func TestBatchMatchesScalarOnCompiledPlan(t *testing.T) {
+	prog := ndlog.MustParse("x", `
+materialize(e, infinity, infinity, keys(1,2)).
+materialize(block, infinity, infinity, keys(1,2)).
+materialize(two, infinity, infinity, keys(1,2,3)).
+r1 two(@A,C,S) :- e(@A,B), e(@B,C), S=1+1, A != C, !block(@A,C).
+`)
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSrc := func() execSource {
+		e := New("e", 2, nil, 0)
+		for _, pair := range [][2]string{{"a", "b"}, {"b", "c"}, {"b", "a"}, {"c", "d"}} {
+			e.Insert(value.Tuple{value.Addr(pair[0]), value.Addr(pair[1])})
+		}
+		block := New("block", 2, nil, 0)
+		block.Insert(value.Tuple{value.Addr("b"), value.Addr("d")})
+		return execSource{"e": e, "block": block}
+	}
+
+	r := prog.Rules[0]
+	for _, tc := range []struct {
+		name  string
+		plan  *ndlog.Plan
+		delta []value.Tuple
+	}{
+		{"full", an.Plans[r].Full, nil},
+		{"delta", an.Plans[r].Delta[0], []value.Tuple{{value.Addr("a"), value.Addr("b")}, {value.Addr("b"), value.Addr("c")}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sGot, sProbes := runPlan(t, NewExec(tc.plan), tc.plan, mkSrc(), tc.delta)
+			bGot, bProbes := runPlan(t, NewBatchExec(tc.plan), tc.plan, mkSrc(), tc.delta)
+			if len(sGot) == 0 {
+				t.Fatal("scalar oracle emitted nothing; bad test vector")
+			}
+			if strings.Join(sGot, " ") != strings.Join(bGot, " ") {
+				t.Errorf("emissions differ: scalar %v, batched %v", sGot, bGot)
+			}
+			if sProbes != bProbes {
+				t.Errorf("probes differ: scalar %d, batched %d", sProbes, bProbes)
+			}
+		})
+	}
+}
+
+// TestDeltaArityMismatchRejected: a delta tuple whose arity does not
+// match the plan's delta predicate must be a hard error from both
+// executors, not a silently skipped tuple.
+func TestDeltaArityMismatchRejected(t *testing.T) {
+	prog := ndlog.MustParse("x", `
+materialize(e, infinity, infinity, keys(1,2)).
+materialize(two, infinity, infinity, keys(1,2)).
+r1 two(@A,C) :- e(@A,B), e(@B,C).
+`)
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New("e", 2, nil, 0)
+	e.Insert(value.Tuple{value.Addr("a"), value.Addr("b")})
+	src := execSource{"e": e}
+	dplan := an.Plans[prog.Rules[0]].Delta[0]
+	bad := []value.Tuple{{value.Addr("a"), value.Addr("b"), value.Int(3)}}
+	for _, x := range []Runner{NewExec(dplan), NewBatchExec(dplan)} {
+		if _, err := x.Run(src, bad, nil, func([]value.V) error { return nil }); err == nil {
+			t.Errorf("%T accepted arity-3 delta tuple for arity-2 plan", x)
+		}
+	}
+}
+
+// TestStepKeyErrorResetsBuffer: when a key expression errors mid-build
+// (here: string + int), the reusable key buffer must come back empty,
+// and a subsequent clean Run on the same executor must succeed.
+func TestStepKeyErrorResetsBuffer(t *testing.T) {
+	prog := ndlog.MustParse("x", `
+materialize(in, infinity, infinity, keys(1,2)).
+materialize(e, infinity, infinity, keys(1,2,3)).
+materialize(out, infinity, infinity, keys(1,2)).
+rk out(@A,B) :- in(@A,X), e(@A,X+1,B).
+`)
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New("in", 2, nil, 0)
+	in.Insert(value.Tuple{value.Addr("a"), value.Str("s")}) // X+1 will error
+	e := New("e", 3, nil, 0)
+	e.Insert(value.Tuple{value.Addr("a"), value.Int(2), value.Addr("b")})
+	src := execSource{"in": in, "e": e}
+	plan := an.Plans[prog.Rules[0]].Full
+
+	x := NewExec(plan)
+	if _, err := x.Run(src, nil, nil, func([]value.V) error { return nil }); err == nil {
+		t.Fatal("string + int key expression did not error")
+	}
+	if len(x.keyBuf) != 0 {
+		t.Fatalf("keyBuf not reset after key error: %q", x.keyBuf)
+	}
+	bx := NewBatchExec(plan)
+	if _, err := bx.Run(src, nil, nil, func([]value.V) error { return nil }); err == nil {
+		t.Fatal("batched executor did not surface the key error")
+	}
+
+	// Fix the data; the same executors must recover cleanly.
+	in.Delete(value.Tuple{value.Addr("a"), value.Str("s")})
+	in.Insert(value.Tuple{value.Addr("a"), value.Int(1)})
+	for _, x := range []Runner{x, bx} {
+		got, _ := runPlan(t, x, plan, src, nil)
+		if len(got) != 1 || got[0] != "(a,b)" {
+			t.Fatalf("%T after recovery: %v, want [(a,b)]", x, got)
+		}
+	}
+}
+
+// TestLookupNestedKeysStayIndependent: Lookup builds its key in a local
+// buffer, so a nested Lookup on the same index (or a mutation between
+// lookups) cannot corrupt an outer lookup's bucket.
+func TestLookupNestedKeysStayIndependent(t *testing.T) {
+	tb := New("lk", 2, []int{0}, 0)
+	tb.Put(tup(1, 7), 0)
+	tb.Put(tup(2, 7), 0)
+	tb.Put(tup(3, 8), 0)
+	outer := tb.Lookup([]int{1}, []value.V{value.Int(7)})
+	if len(outer) != 2 {
+		t.Fatalf("outer bucket = %d tuples, want 2", len(outer))
+	}
+	for _, o := range outer {
+		inner := tb.Lookup([]int{1}, []value.V{value.Int(8)})
+		if len(inner) != 1 || inner[0][0].I != 3 {
+			t.Fatalf("nested lookup inside iteration = %v", inner)
+		}
+		if o[1].I != 7 {
+			t.Fatalf("outer tuple corrupted by nested lookup: %v", o)
+		}
+	}
+	// A Put between lookups must not invalidate key state either.
+	tb.Put(tup(4, 7), 0)
+	if got := len(tb.Lookup([]int{1}, []value.V{value.Int(7)})); got != 3 {
+		t.Fatalf("after put, bucket 7 = %d, want 3", got)
+	}
+}
+
+// TestNestedScanDeleteRegression is the Table.All aliasing regression:
+// a self-join scans p at two nesting depths while the emit callback
+// deletes a p tuple that both the outer and inner scans have yet to
+// reach. The delete must tombstone in place — never compact and shift
+// tuples under the live iterations — so both executors emit exactly the
+// joins visible at their probe time.
+func TestNestedScanDeleteRegression(t *testing.T) {
+	prog := ndlog.MustParse("x", `
+materialize(p, infinity, infinity, keys(1,2)).
+materialize(q, infinity, infinity, keys(1,2)).
+rq q(@A,C) :- p(@A,B), p(@B,C).
+`)
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := an.Plans[prog.Rules[0]].Full
+
+	for _, mk := range []func(*ndlog.Plan) Runner{
+		func(p *ndlog.Plan) Runner { return NewExec(p) },
+		func(p *ndlog.Plan) Runner { return NewBatchExec(p) },
+	} {
+		p := New("p", 2, nil, 0)
+		for _, pair := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+			p.Insert(value.Tuple{value.Addr(pair[0]), value.Addr(pair[1])})
+		}
+		src := execSource{"p": p}
+		x := mk(plan)
+		var got []string
+		_, err := x.Run(src, nil, nil, func([]value.V) error {
+			out := make(value.Tuple, len(plan.HeadExprs))
+			if err := plan.BuildHead(x.Env(), out); err != nil {
+				return err
+			}
+			got = append(got, out.String())
+			// The first emission (a,c) retracts p(c,d) mid-scan. The pending
+			// join (b,c)+(c,d) must no longer fire, and the outer scan must
+			// skip the tombstone rather than walk shifted memory.
+			p.Delete(value.Tuple{value.Addr("c"), value.Addr("d")})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%T: %v", x, err)
+		}
+		if len(got) != 1 || got[0] != "(a,c)" {
+			t.Errorf("%T emissions = %v, want [(a,c)]", x, got)
+		}
+		if p.Len() != 2 {
+			t.Errorf("%T: p.Len = %d, want 2", x, p.Len())
+		}
+		if all := p.All(); len(all) != 2 {
+			t.Errorf("%T: All after run = %d tuples, want 2", x, len(all))
+		}
+	}
+}
+
+// TestDedupSuppressesDuplicateFrames: the only way a well-formed Run
+// produces duplicate output frames is duplicate delta tuples from the
+// caller; with dedup on, the splitmix64 fingerprint set collapses them.
+func TestDedupSuppressesDuplicateFrames(t *testing.T) {
+	prog := ndlog.MustParse("x", `
+materialize(e, infinity, infinity, keys(1,2)).
+materialize(two, infinity, infinity, keys(1,2)).
+r1 two(@A,C) :- e(@A,B), e(@B,C).
+`)
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New("e", 2, nil, 0)
+	e.Insert(value.Tuple{value.Addr("a"), value.Addr("b")})
+	e.Insert(value.Tuple{value.Addr("b"), value.Addr("c")})
+	src := execSource{"e": e}
+	dplan := an.Plans[prog.Rules[0]].Delta[0]
+	dup := []value.Tuple{
+		{value.Addr("a"), value.Addr("b")},
+		{value.Addr("a"), value.Addr("b")},
+	}
+	count := func(dedup bool) int {
+		x := NewBatchExec(dplan)
+		x.SetDedup(dedup)
+		n := 0
+		if _, err := x.Run(src, dup, nil, func([]value.V) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if n := count(false); n != 2 {
+		t.Fatalf("without dedup: %d emissions, want 2", n)
+	}
+	if n := count(true); n != 1 {
+		t.Fatalf("with dedup: %d emissions, want 1", n)
+	}
+}
+
+// TestShuffleParityScalarVsBatched: with same-seed shufflers, the
+// batched executor draws permutations in the same stream order as the
+// scalar oracle on a two-scan plan, so the jittered emission sequences
+// are identical — the property the distributed runtime's bit-for-bit
+// reproducibility rests on.
+func TestShuffleParityScalarVsBatched(t *testing.T) {
+	prog := ndlog.MustParse("x", `
+materialize(e, infinity, infinity, keys(1,2)).
+materialize(two, infinity, infinity, keys(1,2)).
+r1 two(@A,C) :- e(@A,B), e(@B,C).
+`)
+	an, err := ndlog.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSrc := func() execSource {
+		e := New("e", 2, nil, 0)
+		for _, pair := range [][2]string{
+			{"a", "b"}, {"a", "c"}, {"b", "x"}, {"b", "y"}, {"c", "x"}, {"c", "y"},
+		} {
+			e.Insert(value.Tuple{value.Addr(pair[0]), value.Addr(pair[1])})
+		}
+		return execSource{"e": e}
+	}
+	plan := an.Plans[prog.Rules[0]].Full
+	for seed := uint64(0); seed < 8; seed++ {
+		sx := NewExec(plan)
+		sx.SetShuffle(NewShuffler(seed))
+		sGot, _ := runPlan(t, sx, plan, mkSrc(), nil)
+		bx := NewBatchExec(plan)
+		bx.SetShuffle(NewShuffler(seed))
+		bGot, _ := runPlan(t, bx, plan, mkSrc(), nil)
+		if strings.Join(sGot, " ") != strings.Join(bGot, " ") {
+			t.Fatalf("seed %d: scalar %v, batched %v", seed, sGot, bGot)
+		}
+		if len(sGot) != 4 {
+			t.Fatalf("seed %d: %d emissions, want 4", seed, len(sGot))
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"fmt"
+
 	"repro/internal/ndlog"
 	"repro/internal/value"
 )
@@ -58,6 +60,9 @@ func (x *Exec) SetShuffle(s *Shuffler) { x.shuffle = s }
 // satisfying assignment. The frame is reused across emissions; emit must
 // copy what it keeps. Run returns the number of candidate tuples probed.
 func (x *Exec) Run(ts TableSource, delta []value.Tuple, seed []value.V, emit func([]value.V) error) (int64, error) {
+	if err := CheckDeltaArity(x.Plan, delta); err != nil {
+		return 0, err
+	}
 	x.ts, x.delta, x.emit = ts, delta, emit
 	x.probes = 0
 	for i, s := range x.Plan.SeedSlots {
@@ -66,6 +71,22 @@ func (x *Exec) Run(ts TableSource, delta []value.Tuple, seed []value.V, emit fun
 	err := x.step(0)
 	x.ts, x.delta, x.emit = nil, nil, nil
 	return x.probes, err
+}
+
+// CheckDeltaArity validates the supplied delta tuples against the arity
+// recorded at plan-build time. A mismatch is a planner or caller bug;
+// reporting it up front keeps it from masquerading as an empty join.
+func CheckDeltaArity(p *ndlog.Plan, delta []value.Tuple) error {
+	if p.DeltaIdx < 0 {
+		return nil
+	}
+	for _, tup := range delta {
+		if len(tup) != p.DeltaArity {
+			return fmt.Errorf("store: rule %s: delta tuple %v has arity %d, plan expects %d",
+				p.Rule.Label, tup, len(tup), p.DeltaArity)
+		}
+	}
+	return nil
 }
 
 // Probes returns the probe count of the last Run.
@@ -106,12 +127,20 @@ func (x *Exec) step(i int) error {
 		if t == nil {
 			return nil
 		}
+		// Pin for the duration of the candidate loop: a delete triggered
+		// from inside emit (or a nested scan of the same table) must not
+		// compact t.order — or shift an index bucket — under this
+		// iteration. Deleted candidates become nil tombstones instead.
+		// (Manual Unpin on every exit: a defer here costs ~30% on the
+		// recursive hot path.)
+		t.Pin()
 		var cands []value.Tuple
 		if len(st.KeyCols) == 0 {
 			cands = t.All()
 		} else {
 			key, err := x.stepKey(st)
 			if err != nil {
+				t.Unpin()
 				return err
 			}
 			cands = x.index(i, t, st.KeyCols).Bucket(key)
@@ -123,24 +152,30 @@ func (x *Exec) step(i int) error {
 			cands = x.shuffle.Shuffle(cands, &x.scratch[i])
 		}
 		for _, tup := range cands {
-			x.probes++
-			ok, err := x.applyOps(st, tup)
-			if err != nil {
-				return err
-			}
-			if !ok {
+			if tup == nil { // tombstone of a deletion during this scan
 				continue
 			}
-			x.cur[i] = tup
-			if err := x.step(i + 1); err != nil {
+			x.probes++
+			ok, err := x.applyOps(st, tup)
+			if err == nil && ok {
+				x.cur[i] = tup
+				err = x.step(i + 1)
+			}
+			if err != nil {
+				t.Unpin()
 				return err
 			}
 		}
+		t.Unpin()
 		return nil
 	case ndlog.StepDelta:
 		for _, tup := range x.delta {
 			if len(tup) != len(st.Ops) {
-				continue
+				// Unreachable after the up-front CheckDeltaArity; kept as a
+				// hard failure so a future planner bug cannot silently drop
+				// tuples again.
+				return fmt.Errorf("store: rule %s: delta tuple %v does not match %d step ops",
+					x.Plan.Rule.Label, tup, len(st.Ops))
 			}
 			x.probes++
 			ok, err := x.applyOps(st, tup)
@@ -196,7 +231,9 @@ func (x *Exec) step(i int) error {
 	return nil
 }
 
-// stepKey builds the step's index key into the reusable buffer.
+// stepKey builds the step's index key into the reusable buffer. On
+// error the buffer is reset to empty, never left holding a partially
+// built key a later probe could mistake for a complete one.
 func (x *Exec) stepKey(st *ndlog.Step) ([]byte, error) {
 	b := x.keyBuf[:0]
 	for j, e := range st.KeyExprs {
@@ -205,7 +242,7 @@ func (x *Exec) stepKey(st *ndlog.Step) ([]byte, error) {
 		}
 		v, err := e.Eval(&x.env)
 		if err != nil {
-			x.keyBuf = b
+			x.keyBuf = b[:0]
 			return nil, err
 		}
 		b = v.AppendKey(b)

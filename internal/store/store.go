@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/value"
 )
@@ -43,6 +44,13 @@ type Table struct {
 	refresh map[string]float64 // key -> last Put time (soft state only)
 	indexes map[string]*Index
 	keyBuf  []byte
+
+	// pins counts outstanding live scans of this table. While pinned,
+	// compact() is deferred (so an All window is never rewritten under an
+	// outer iteration — scans skip the nil tombstones instead) and index
+	// bucket removal copies instead of shifting in place. Atomic because
+	// parallel strata may scan a shared lower-stratum table concurrently.
+	pins atomic.Int32
 }
 
 // New returns an empty table. keys are 0-based primary-key columns (nil
@@ -102,8 +110,9 @@ func (t *Table) Put(tup value.Tuple, now float64) (PutResult, value.Tuple, error
 			return PutNoop, old, nil
 		}
 		t.order[pos] = tup
+		cow := t.pins.Load() != 0
 		for _, ix := range t.indexes {
-			ix.remove(old)
+			ix.remove(old, cow)
 			ix.add(tup)
 		}
 		return PutReplace, old, nil
@@ -157,8 +166,9 @@ func (t *Table) removeAt(key string, pos int) {
 	}
 	t.order[pos] = nil
 	t.holes++
+	cow := t.pins.Load() != 0
 	for _, ix := range t.indexes {
-		ix.remove(old)
+		ix.remove(old, cow)
 	}
 }
 
@@ -187,10 +197,21 @@ func (t *Table) RefreshAt(key string) (float64, bool) {
 	return v, ok
 }
 
+// Pin defers compaction (and in-place index bucket shifts) until the
+// matching Unpin, making it safe to iterate an All window across
+// deletions: deleted entries become nil tombstones in place instead of
+// shifting surviving tuples under the iteration. Pins nest. Scanners
+// must skip nil entries while a pin may be held.
+func (t *Table) Pin() { t.pins.Add(1) }
+
+// Unpin releases one Pin.
+func (t *Table) Unpin() { t.pins.Add(-1) }
+
 // All returns the live tuples in insertion order. The slice aliases the
 // table's storage: callers must not mutate it, and deletions invalidate
-// it at the next All call. Inserting while iterating is safe (appends
-// land past the returned window).
+// it at the next unpinned All call. Inserting while iterating is safe
+// (appends land past the returned window). While the table is pinned the
+// window may contain nil tombstones, which scanners must skip.
 func (t *Table) All() []value.Tuple {
 	t.compact()
 	return t.order
@@ -200,11 +221,21 @@ func (t *Table) All() []value.Tuple {
 // safe to hold across mutations.
 func (t *Table) Snapshot() []value.Tuple {
 	t.compact()
-	return append([]value.Tuple(nil), t.order...)
+	if t.holes == 0 {
+		return append([]value.Tuple(nil), t.order...)
+	}
+	// Pinned with outstanding tombstones: copy only the live tuples.
+	out := make([]value.Tuple, 0, len(t.order)-t.holes)
+	for _, tup := range t.order {
+		if tup != nil {
+			out = append(out, tup)
+		}
+	}
+	return out
 }
 
 func (t *Table) compact() {
-	if t.holes == 0 {
+	if t.holes == 0 || t.pins.Load() != 0 {
 		return
 	}
 	live := t.order[:0]
@@ -238,32 +269,34 @@ func (t *Table) Clear() {
 		t.refresh = map[string]float64{}
 	}
 	for _, ix := range t.indexes {
-		ix.buckets = map[string][]value.Tuple{}
+		ix.clear()
 	}
 }
 
 // Lookup returns the tuples whose cols project onto vals, via a hash
 // index built on first use. With no columns it returns all tuples. The
-// result aliases internal storage.
+// result aliases internal storage. The key is built in a local buffer,
+// never in shared index state, so concurrent lookups through distinct
+// callers cannot serve each other stale keys.
 func (t *Table) Lookup(cols []int, vals []value.V) []value.Tuple {
 	if len(cols) == 0 {
 		return t.All()
 	}
 	ix := t.IndexOn(cols)
-	ix.keyBuf = ix.keyBuf[:0]
+	var arr [64]byte
+	b := arr[:0]
 	for i, v := range vals {
 		if i > 0 {
-			ix.keyBuf = append(ix.keyBuf, '|')
+			b = append(b, '|')
 		}
-		ix.keyBuf = v.AppendKey(ix.keyBuf)
+		b = v.AppendKey(b)
 	}
-	return ix.buckets[string(ix.keyBuf)]
+	return ix.buckets[string(b)]
 }
 
-// IndexOn returns the hash index over cols, building it on first use
-// from the insertion-order scan (deterministic) and maintaining it
-// incrementally afterwards.
-func (t *Table) IndexOn(cols []int) *Index {
+// indexFor returns the Index registered for cols, creating an empty one
+// (no representation built yet) on first use.
+func (t *Table) indexFor(cols []int) *Index {
 	var sig strings.Builder
 	for i, c := range cols {
 		if i > 0 {
@@ -274,17 +307,33 @@ func (t *Table) IndexOn(cols []int) *Index {
 	if ix, ok := t.indexes[sig.String()]; ok {
 		return ix
 	}
-	ix := &Index{
-		cols:    append([]int(nil), cols...),
-		buckets: map[string][]value.Tuple{},
-	}
-	for _, tup := range t.All() {
-		ix.add(tup)
-	}
+	ix := &Index{cols: append([]int(nil), cols...)}
 	if t.indexes == nil {
 		t.indexes = map[string]*Index{}
 	}
 	t.indexes[sig.String()] = ix
+	return ix
+}
+
+// IndexOn returns the string-keyed hash index over cols, building it on
+// first use from the insertion-order scan (deterministic) and
+// maintaining it incrementally afterwards.
+func (t *Table) IndexOn(cols []int) *Index {
+	ix := t.indexFor(cols)
+	ix.ensureStr(t)
+	return ix
+}
+
+// HashIndexOn returns the index over cols with its flat fingerprint
+// table built, the representation the batched executor probes by uint64
+// value hash instead of by encoded string key. Building it does not
+// build the string buckets, so a batched-only evaluator never pays for
+// them. Must not be called while another goroutine reads the index;
+// parallel evaluators build all indexes in a single-threaded prepare
+// phase.
+func (t *Table) HashIndexOn(cols []int) *Index {
+	ix := t.indexFor(cols)
+	ix.ensureFlat(t)
 	return ix
 }
 
@@ -300,19 +349,157 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Index is a hash index over a column set.
+// Index is a hash index over a column set, with two lazily built
+// representations maintained side by side: string-encoded buckets (the
+// scalar executor's probe path) and a flat open-addressing table keyed
+// by uint64 value hash (the batched executor's probe path — no key
+// encoding, collisions verified against the stored key tuple). Each
+// representation is built on first use and maintained incrementally by
+// add/remove once built; an index used by only one path never pays for
+// the other.
 type Index struct {
 	cols    []int
-	buckets map[string][]value.Tuple
-	keyBuf  []byte
+	buckets map[string][]value.Tuple // nil until first string probe
+	keyBuf  []byte                   // add/remove scratch; never read by probes
+
+	flat     []hEntry // nil until first hashed probe; length is a power of two
+	flatLive int      // live entries
+	flatUsed int      // live + dead (tombstoned) entries
 }
+
+// hEntry is one slot of the flat hash table. Dead entries (emptied by
+// removals) keep probe chains intact until the next rebuild.
+type hEntry struct {
+	hash  uint64
+	key   value.Tuple // the indexed column values, for collision checks
+	tups  []value.Tuple
+	state uint8 // 0 empty, 1 live, 2 dead
+}
+
+const (
+	hEmpty uint8 = iota
+	hLive
+	hDead
+)
 
 // Bucket returns the tuples whose indexed columns encode to key (built
 // with value.V.AppendKey, '|'-separated). The non-allocating
 // map[string(key)] conversion makes this the zero-allocation probe path.
 func (ix *Index) Bucket(key []byte) []value.Tuple { return ix.buckets[string(key)] }
 
+// HashOf folds the indexed columns of tup into a probe hash.
+func (ix *Index) HashOf(tup value.Tuple) uint64 {
+	h := value.HashSeed
+	for _, c := range ix.cols {
+		h = tup[c].Hash64(h)
+	}
+	return h
+}
+
+// FlatBucket returns the tuples whose indexed columns equal kv, where h
+// is the value hash of kv (value.HashSeed folded through each element).
+// The hit is verified against the stored key, so hash collisions cost an
+// extra comparison, never a wrong bucket.
+func (ix *Index) FlatBucket(h uint64, kv []value.V) []value.Tuple {
+	mask := uint64(len(ix.flat) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := &ix.flat[i]
+		if e.state == hEmpty {
+			return nil
+		}
+		if e.state == hLive && e.hash == h && keyMatch(e.key, kv) {
+			return e.tups
+		}
+	}
+}
+
+// FlatBucket1 is FlatBucket for single-column indexes: the key is one
+// value, so the probe skips the key-slice walk.
+func (ix *Index) FlatBucket1(h uint64, kv value.V) []value.Tuple {
+	mask := uint64(len(ix.flat) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := &ix.flat[i]
+		if e.state == hEmpty {
+			return nil
+		}
+		if e.state == hLive && e.hash == h && e.key[0].Equal(kv) {
+			return e.tups
+		}
+	}
+}
+
+func keyMatch(key value.Tuple, kv []value.V) bool {
+	for i := range key {
+		if !key[i].Equal(kv[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ix *Index) ensureStr(t *Table) {
+	if ix.buckets != nil {
+		return
+	}
+	ix.buckets = map[string][]value.Tuple{}
+	for _, tup := range t.All() {
+		if tup == nil {
+			continue
+		}
+		ix.strAdd(tup)
+	}
+}
+
+func (ix *Index) ensureFlat(t *Table) {
+	if ix.flat != nil {
+		return
+	}
+	size := 8
+	for size*3 < (t.Len()+1)*4 {
+		size *= 2
+	}
+	ix.flat = make([]hEntry, size)
+	for _, tup := range t.All() {
+		if tup == nil {
+			continue
+		}
+		ix.flatAdd(tup)
+	}
+}
+
+func (ix *Index) clear() {
+	if ix.buckets != nil {
+		ix.buckets = map[string][]value.Tuple{}
+	}
+	if ix.flat != nil {
+		ix.flat = make([]hEntry, 8)
+		ix.flatLive, ix.flatUsed = 0, 0
+	}
+}
+
 func (ix *Index) add(tup value.Tuple) {
+	if ix.buckets != nil {
+		ix.strAdd(tup)
+	}
+	if ix.flat != nil {
+		ix.flatAdd(tup)
+	}
+}
+
+// remove drops tup from whichever representations are built. cow forces
+// copy-on-write bucket updates: while the owning table is pinned, an
+// outstanding scan may hold the bucket slice, so surviving tuples must
+// not be shifted under it.
+func (ix *Index) remove(tup value.Tuple, cow bool) {
+	if ix.buckets != nil {
+		ix.strRemove(tup, cow)
+	}
+	if ix.flat != nil {
+		ix.flatRemove(tup, cow)
+	}
+}
+
+func (ix *Index) strAdd(tup value.Tuple) {
 	ix.keyBuf = ix.keyBuf[:0]
 	for i, c := range ix.cols {
 		if i > 0 {
@@ -323,7 +510,7 @@ func (ix *Index) add(tup value.Tuple) {
 	ix.buckets[string(ix.keyBuf)] = append(ix.buckets[string(ix.keyBuf)], tup)
 }
 
-func (ix *Index) remove(tup value.Tuple) {
+func (ix *Index) strRemove(tup value.Tuple, cow bool) {
 	ix.keyBuf = ix.keyBuf[:0]
 	for i, c := range ix.cols {
 		if i > 0 {
@@ -334,10 +521,124 @@ func (ix *Index) remove(tup value.Tuple) {
 	b := ix.buckets[string(ix.keyBuf)]
 	for i, u := range b {
 		if u.Equal(tup) {
+			if cow {
+				nb := make([]value.Tuple, 0, len(b)-1)
+				nb = append(nb, b[:i]...)
+				nb = append(nb, b[i+1:]...)
+				ix.buckets[string(ix.keyBuf)] = nb
+				return
+			}
 			copy(b[i:], b[i+1:])
 			b[len(b)-1] = nil
 			ix.buckets[string(ix.keyBuf)] = b[:len(b)-1]
 			return
+		}
+	}
+}
+
+func (ix *Index) flatAdd(tup value.Tuple) {
+	if (ix.flatUsed+1)*4 >= len(ix.flat)*3 {
+		ix.flatGrow()
+	}
+	h := ix.HashOf(tup)
+	mask := uint64(len(ix.flat) - 1)
+	firstDead := -1
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := &ix.flat[i]
+		switch e.state {
+		case hEmpty:
+			if firstDead >= 0 {
+				e = &ix.flat[firstDead]
+			} else {
+				ix.flatUsed++
+			}
+			key := make(value.Tuple, len(ix.cols))
+			for j, c := range ix.cols {
+				key[j] = tup[c]
+			}
+			e.hash, e.key, e.state = h, key, hLive
+			e.tups = append(e.tups[:0], tup)
+			ix.flatLive++
+			return
+		case hDead:
+			if firstDead < 0 {
+				firstDead = int(i)
+			}
+		case hLive:
+			if e.hash == h && tupMatch(e.key, tup, ix.cols) {
+				e.tups = append(e.tups, tup)
+				return
+			}
+		}
+	}
+}
+
+func (ix *Index) flatRemove(tup value.Tuple, cow bool) {
+	h := ix.HashOf(tup)
+	mask := uint64(len(ix.flat) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := &ix.flat[i]
+		if e.state == hEmpty {
+			return
+		}
+		if e.state != hLive || e.hash != h || !tupMatch(e.key, tup, ix.cols) {
+			continue
+		}
+		for j, u := range e.tups {
+			if u.Equal(tup) {
+				if cow {
+					nb := make([]value.Tuple, 0, len(e.tups)-1)
+					nb = append(nb, e.tups[:j]...)
+					nb = append(nb, e.tups[j+1:]...)
+					e.tups = nb
+				} else {
+					copy(e.tups[j:], e.tups[j+1:])
+					e.tups[len(e.tups)-1] = nil
+					e.tups = e.tups[:len(e.tups)-1]
+				}
+				if len(e.tups) == 0 {
+					e.state, e.key, e.tups = hDead, nil, nil
+					ix.flatLive--
+				}
+				return
+			}
+		}
+		return
+	}
+}
+
+func tupMatch(key value.Tuple, tup value.Tuple, cols []int) bool {
+	for i, c := range cols {
+		if !key[i].Equal(tup[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ix *Index) flatGrow() {
+	old := ix.flat
+	size := len(old) * 2
+	for size*3 < (ix.flatLive+1)*8 {
+		size *= 2
+	}
+	ix.flat = make([]hEntry, size)
+	ix.flatUsed, ix.flatLive = 0, 0
+	mask := uint64(size - 1)
+	for oi := range old {
+		e := &old[oi]
+		if e.state != hLive {
+			continue
+		}
+		for i := e.hash & mask; ; i = (i + 1) & mask {
+			n := &ix.flat[i]
+			if n.state != hEmpty {
+				continue
+			}
+			*n = *e
+			ix.flatUsed++
+			ix.flatLive++
+			break
 		}
 	}
 }
