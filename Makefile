@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench chaos-smoke prov-smoke verify-smoke serve-smoke fmt-check experiments
+.PHONY: all build vet test race bench chaos-smoke determinism-smoke prov-smoke verify-smoke serve-smoke fmt-check experiments
 
 all: vet build test
 
@@ -21,6 +21,10 @@ bench:
 
 chaos-smoke:
 	$(GO) run -race ./cmd/fvn chaos -n 25 -topo ring:6
+	$(GO) run -race ./cmd/fvn chaos -n 12 -topo ring:8 -crashes 3 -reliable -checkpoint-every 10 -anti-entropy
+
+determinism-smoke:
+	$(GO) test -race -count=1 -run 'TestSameSeedRunsBitForBitReproducible' ./internal/dist/
 
 prov-smoke:
 	$(GO) run -race ./cmd/fvn chaos -n 8 -topo ring:6 -prov

@@ -392,6 +392,9 @@ func cmdRun(args []string) error {
 	jitter := fs.Float64("delay-jitter", 0, "max extra per-message delay (uniform)")
 	planPath := fs.String("fault-plan", "", "apply a declarative fault plan (JSON file)")
 	seed := fs.Uint64("seed", 0, "PRNG seed for scan shuffle and fault channels")
+	reliable := fs.Bool("reliable", false, "ack/retransmit message delivery with capped exponential backoff")
+	ckptEvery := fs.Float64("checkpoint-every", 0, "checkpoint base tables every N time units (0: off); restarts restore the last checkpoint")
+	antiEntropy := fs.Bool("anti-entropy", false, "digest-exchange repair after restarts and partition heals")
 	var of obsFlags
 	of.register(fs, true)
 	p, err := parseCmd(fs, args)
@@ -413,6 +416,9 @@ func cmdRun(args []string) error {
 		DelayJitter:       *jitter,
 		Seed:              *seed,
 		LoadTopologyLinks: true,
+		Reliable:          *reliable,
+		CheckpointEvery:   *ckptEvery,
+		AntiEntropy:       *antiEntropy,
 		Trace:             tracer,
 		Prov:              of.recorder(),
 	}
@@ -446,6 +452,11 @@ func cmdRun(args []string) error {
 	fmt.Fprintf(stdout, "converged=%v time=%.1f messages=%d derivations=%d route-changes=%d flips=%d\n",
 		res.Converged, res.Time, res.Stats.MessagesSent, res.Stats.Derivations,
 		res.Stats.RouteChanges, res.Stats.Flips)
+	if *reliable || *ckptEvery > 0 || *antiEntropy {
+		fmt.Fprintf(stdout, "selfheal: retransmits=%d acks=%d give-ups=%d checkpoints=%d restores=%d repair-pulls=%d\n",
+			res.Stats.Retransmits, res.Stats.Acks, res.Stats.RelGiveUps,
+			res.Stats.Checkpoints, res.Stats.Restores, res.Stats.RepairPulls)
+	}
 	if res.Cancelled {
 		closeTrace()
 		return fmt.Errorf("%w: run cancelled at simulated time %.1f (%d messages processed)",
@@ -478,7 +489,11 @@ func cmdChaos(args []string) error {
 	planPath := fs.String("plan", "", "run one explicit fault plan (JSON file) instead of generating")
 	hard := fs.Bool("hard", false, "skip the soft-state rewrite (negative control: expected to fail under link faults)")
 	horizon := fs.Float64("horizon", 0, "generated-plan fault horizon (0: generator default)")
+	crashes := fs.Int("crashes", 0, "generated-plan crash/restart cycles per run (0: generator default)")
 	jsonOut := fs.Bool("json", false, "print each run's report as one machine-readable JSON line")
+	reliable := fs.Bool("reliable", false, "ack/retransmit message delivery with capped exponential backoff")
+	ckptEvery := fs.Float64("checkpoint-every", 0, "checkpoint base tables every N time units (0: off); restarts restore the last checkpoint")
+	antiEntropy := fs.Bool("anti-entropy", false, "digest-exchange repair after restarts and partition heals")
 	var of obsFlags
 	of.register(fs, true)
 	// The program source is an optional positional .ndlog file; the
@@ -498,8 +513,14 @@ func cmdChaos(args []string) error {
 	if *horizon > 0 {
 		gen.Horizon = *horizon
 	}
+	if *crashes > 0 {
+		gen.Crashes = *crashes
+	}
 	opts := dist.DefaultChaosOptions()
 	opts.Hard = *hard
+	opts.Reliable = *reliable
+	opts.CheckpointEvery = *ckptEvery
+	opts.AntiEntropy = *antiEntropy
 	opts.Trace = tracer
 	if of.Explain {
 		opts.Obs = obs.NewCollector()
@@ -527,6 +548,11 @@ func cmdChaos(args []string) error {
 			fmt.Fprintf(stdout, "  live=%d msgs=%d dup=%d drop=%d crash=%d restart=%d checked-at=%.1f\n",
 				len(rep.Live), rep.Stats.MessagesSent, rep.Stats.MessagesDuplicated,
 				rep.Stats.MessagesDropped, rep.Stats.Crashes, rep.Stats.Restarts, rep.CheckedAt)
+			if rep.RecoveryMS != nil {
+				fmt.Fprintf(stdout, "  recovery: %d samples p50=%.0fms p95=%.0fms max=%.0fms unrecovered=%d\n",
+					rep.RecoveryMS.Samples, rep.RecoveryMS.P50, rep.RecoveryMS.P95,
+					rep.RecoveryMS.Max, rep.RecoveryMS.Unrecovered)
+			}
 		}
 		if of.Explain && opts.Obs != nil {
 			obs.WriteMetrics(stdout, opts.Obs)

@@ -61,6 +61,22 @@ type ChaosOptions struct {
 	// carries a root-cause chain from each violating tuple back to the
 	// fault events on its lineage.
 	Prov *prov.Recorder
+	// Self-healing layer (see Options): reliable ack/retransmit channels,
+	// periodic base-table checkpoints, and anti-entropy repair. All three
+	// are forced off under Hard — the negative control runs the bare
+	// runtime, and its report omits the recovery metrics entirely. With
+	// CheckpointEvery > 0 (and a plan whose every crashed node restarts)
+	// the run also re-executes the plan without its node faults as a
+	// never-crashed oracle and requires each restarted node's base and
+	// bestPathCost tables to match it (check "restore"). With Reliable the
+	// per-link at-least-once accounting is checked (check "reliability").
+	Reliable        bool
+	CheckpointEvery float64
+	AntiEntropy     bool
+
+	// oracle marks the internal never-crashed re-run of the restore
+	// check, which must not itself spawn an oracle or measure recovery.
+	oracle bool
 }
 
 // DefaultChaosOptions returns the campaign defaults: a short lifetime
@@ -109,6 +125,85 @@ type ChaosReport struct {
 	// (requires ChaosOptions.Prov): the fault events on the tuple's
 	// lineage, matched against the plan's scheduled events.
 	RootCause []string `json:"root_cause,omitempty"`
+	// Recoveries lists the measured restart→reconvergence time of every
+	// restarted node; RecoveryMS aggregates them as percentiles of
+	// simulated milliseconds. Both are absent (not zero) under Hard, and
+	// on plans that restart no node.
+	Recoveries []Recovery     `json:"recoveries,omitempty"`
+	RecoveryMS *RecoveryStats `json:"recovery_ms,omitempty"`
+	// RetransmitsByLink counts the reliable layer's retransmissions per
+	// directed link (absent unless Reliable).
+	RetransmitsByLink map[string]int64 `json:"retransmits_by_link,omitempty"`
+}
+
+// Recovery is one measured crash-recovery: the time from a node's restart
+// until its bestPathCost table first exactly matched the shortest costs
+// of the then-surviving topology (sampled at 1-time-unit granularity).
+type Recovery struct {
+	Node      string  `json:"node"`
+	RestartAt float64 `json:"restart_at"`
+	MS        float64 `json:"ms"` // simulated milliseconds; -1 if never recovered
+	Recovered bool    `json:"recovered"`
+}
+
+// RecoveryStats summarizes recovery times in simulated milliseconds.
+// Unrecovered nodes are excluded from the percentiles and counted
+// separately (a node that never reconverged has no finite recovery time).
+type RecoveryStats struct {
+	Samples     int     `json:"samples"`
+	Unrecovered int     `json:"unrecovered,omitempty"`
+	P50         float64 `json:"p50"`
+	P95         float64 `json:"p95"`
+	Max         float64 `json:"max"`
+}
+
+// recoveryStats aggregates a run's recoveries (nil when there are none).
+func recoveryStats(rs []Recovery) *RecoveryStats {
+	if len(rs) == 0 {
+		return nil
+	}
+	var ms []float64
+	st := &RecoveryStats{}
+	for _, r := range rs {
+		if r.Recovered {
+			ms = append(ms, r.MS)
+		} else {
+			st.Unrecovered++
+		}
+	}
+	st.Samples = len(ms)
+	if len(ms) > 0 {
+		sort.Float64s(ms)
+		st.P50 = percentile(ms, 0.50)
+		st.P95 = percentile(ms, 0.95)
+		st.Max = ms[len(ms)-1]
+	}
+	return st
+}
+
+// percentile is the nearest-rank percentile of sorted values.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// RecoveryPercentiles pools every run's recovery samples into
+// campaign-level percentiles (nil when no run measured any).
+func RecoveryPercentiles(reports []*ChaosReport) *RecoveryStats {
+	var all []Recovery
+	for _, r := range reports {
+		all = append(all, r.Recoveries...)
+	}
+	return recoveryStats(all)
 }
 
 // Failed reports whether the run violated any invariant.
@@ -131,6 +226,19 @@ func (r *ChaosReport) JSON() []byte {
 // the invariant checks skipped — a cancelled run is inconclusive, never
 // a pass or a violation.
 func RunChaos(ctx context.Context, src string, topo *netgraph.Topology, plan *faults.Plan, o ChaosOptions) (*ChaosReport, error) {
+	rep, _, err := runChaos(ctx, src, topo, plan, o)
+	return rep, err
+}
+
+// runChaos is RunChaos, additionally returning the final network so the
+// restore-equivalence check can compare the oracle's tables.
+func runChaos(ctx context.Context, src string, topo *netgraph.Topology, plan *faults.Plan, o ChaosOptions) (*ChaosReport, *Network, error) {
+	if o.Hard {
+		// The negative control runs the bare runtime: the self-healing
+		// mechanisms are forced off and the recovery metrics are reported
+		// as absent, not zero.
+		o.Reliable, o.CheckpointEvery, o.AntiEntropy = false, 0, false
+	}
 	if o.Lifetime <= 0 || o.RefreshInterval <= 0 || o.Quiet <= 0 {
 		d := DefaultChaosOptions()
 		if o.Lifetime <= 0 {
@@ -151,10 +259,25 @@ func RunChaos(ctx context.Context, src string, topo *netgraph.Topology, plan *fa
 	}
 	prog, err := ndlog.Parse("chaos", src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !o.Hard {
 		soften(prog, o.Lifetime)
+	}
+	// The restore-equivalence check re-runs the plan without its node
+	// faults over a pristine copy of the topology (this run mutates topo
+	// in place). It needs every crashed node to restart — otherwise the
+	// oracle's surviving topology differs and the tables legitimately
+	// diverge.
+	restoreCheck := o.CheckpointEvery > 0 && !o.oracle && len(plan.Nodes) > 0
+	for _, nf := range plan.Nodes {
+		if nf.Restart <= nf.Crash {
+			restoreCheck = false
+		}
+	}
+	var pristine *netgraph.Topology
+	if restoreCheck {
+		pristine = copyTopo(topo)
 	}
 	horizon := plan.Horizon()
 	stableFrom := horizon + o.Settle
@@ -171,28 +294,89 @@ func RunChaos(ctx context.Context, src string, topo *netgraph.Topology, plan *fa
 		Obs:               o.Obs,
 		Trace:             o.Trace,
 		Prov:              o.Prov,
+		Reliable:          o.Reliable,
+		CheckpointEvery:   o.CheckpointEvery,
+		AntiEntropy:       o.AntiEntropy,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := net.ApplyPlan(plan); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !o.Hard {
 		net.InjectRefresh(o.RefreshInterval, o.RefreshInterval, checkAt+o.RefreshInterval)
 	}
 
 	rep := &ChaosReport{Seed: o.Seed, Plan: plan}
-	partial := func() (*ChaosReport, error) {
+	partial := func() (*ChaosReport, *Network, error) {
 		rep.Cancelled = true
 		rep.Live = net.LiveNodes()
 		rep.Stats = net.Stats()
 		rep.CheckedAt = net.Now()
-		return rep, nil
+		return rep, net, nil
 	}
+
+	// Recovery measurement: every restarted node is watched from its
+	// restart instant, sampling at 1-time-unit granularity, until its
+	// bestPathCost table first exactly matches the shortest costs of the
+	// then-surviving topology. Skipped (and absent from the report) under
+	// Hard and in the oracle re-run.
+	var targets []Recovery
+	if !o.Hard && !o.oracle {
+		for _, nf := range plan.Nodes {
+			if nf.Restart > nf.Crash {
+				targets = append(targets, Recovery{Node: nf.Node, RestartAt: nf.Restart, MS: -1})
+			}
+		}
+		sort.Slice(targets, func(i, j int) bool {
+			if targets[i].RestartAt != targets[j].RestartAt {
+				return targets[i].RestartAt < targets[j].RestartAt
+			}
+			return targets[i].Node < targets[j].Node
+		})
+	}
+	sample := func(t float64) {
+		var truth map[string]map[string]int64
+		for i := range targets {
+			tg := &targets[i]
+			if tg.Recovered || tg.RestartAt > t+1e-9 || net.NodeDown(tg.Node) {
+				continue
+			}
+			if truth == nil {
+				truth = net.Topology().ShortestCosts()
+			}
+			if nodeRoutesMatch(net, truth, tg.Node) {
+				tg.Recovered = true
+				tg.MS = (t - tg.RestartAt) * 1000
+			}
+		}
+	}
+	if len(targets) > 0 {
+		for t := targets[0].RestartAt; t < stableFrom; t++ {
+			r, err := net.RunUntilCtx(ctx, t)
+			if err != nil {
+				return nil, nil, err
+			}
+			if r.Cancelled {
+				return partial()
+			}
+			sample(t)
+			done := true
+			for i := range targets {
+				if !targets[i].Recovered {
+					done = false
+				}
+			}
+			if done {
+				break
+			}
+		}
+	}
+
 	r1, err := net.RunUntilCtx(ctx, stableFrom)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if r1.Cancelled {
 		return partial()
@@ -200,7 +384,7 @@ func RunChaos(ctx context.Context, src string, topo *netgraph.Topology, plan *fa
 	d1 := net.Snapshot("bestPathCost")
 	r2, err := net.RunUntilCtx(ctx, checkAt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if r2.Cancelled {
 		return partial()
@@ -208,8 +392,21 @@ func RunChaos(ctx context.Context, src string, topo *netgraph.Topology, plan *fa
 	d2 := net.Snapshot("bestPathCost")
 	rep.Stable = d1 == d2
 	rep.Live = net.LiveNodes()
-	rep.Stats = net.Stats()
 	rep.CheckedAt = net.Now()
+	sample(checkAt) // stragglers that reconverged only inside the settle window
+	if len(targets) > 0 {
+		rep.Recoveries = targets
+		rep.RecoveryMS = recoveryStats(targets)
+	}
+	if o.Reliable {
+		rep.RetransmitsByLink = map[string]int64{}
+		for _, rl := range net.RelLinkStats() {
+			if rl.Retransmits > 0 {
+				rep.RetransmitsByLink[rl.Link] = rl.Retransmits
+			}
+		}
+	}
+	rep.Stats = net.Stats()
 
 	if !rep.Stable {
 		rep.Violations = append(rep.Violations, Violation{
@@ -221,10 +418,117 @@ func RunChaos(ctx context.Context, src string, topo *netgraph.Topology, plan *fa
 	if v := checkConservation(net); v != "" {
 		rep.Violations = append(rep.Violations, Violation{Check: "conservation", Msg: v})
 	}
+	if o.Reliable {
+		rep.Violations = append(rep.Violations, checkReliability(net)...)
+	}
+	if restoreCheck {
+		vs, err := checkRestore(ctx, src, pristine, plan, o, net)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Violations = append(rep.Violations, vs...)
+	}
 	if rep.Failed() && net.Prov().Enabled() {
 		rep.RootCause = rootCause(net, plan, rep.Violations)
 	}
-	return rep, nil
+	return rep, net, nil
+}
+
+// nodeRoutesMatch reports whether src's bestPathCost table exactly equals
+// the shortest costs from src in truth (ignoring routes to currently-down
+// destinations): no wrong, stale, or missing entry.
+func nodeRoutesMatch(net *Network, truth map[string]map[string]int64, src string) bool {
+	want := truth[src]
+	got := map[string]int64{}
+	for _, tup := range net.Query(src, "bestPathCost") {
+		got[tup[1].S] = tup[2].I
+	}
+	for dst, c := range want {
+		if net.NodeDown(dst) {
+			continue
+		}
+		if gc, ok := got[dst]; !ok || gc != c {
+			return false
+		}
+	}
+	for dst := range got {
+		if _, ok := want[dst]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// copyTopo deep-copies a topology (runs mutate theirs in place).
+func copyTopo(t *netgraph.Topology) *netgraph.Topology {
+	return &netgraph.Topology{
+		Name:  t.Name,
+		Nodes: append([]string(nil), t.Nodes...),
+		Links: append([]netgraph.Link(nil), t.Links...),
+	}
+}
+
+// checkReliability asserts the at-least-once accounting of every reliable
+// link: each assigned sequence number is acknowledged, explicitly given
+// up, or still pending — nothing is silently lost by the protocol itself.
+func checkReliability(net *Network) []Violation {
+	var out []Violation
+	for _, rl := range net.RelLinkStats() {
+		if rl.Assigned != rl.Acked+rl.GaveUp+rl.Pending {
+			out = append(out, Violation{
+				Check: "reliability",
+				Msg: fmt.Sprintf("reliability: link %s assigned %d != acked %d + gave_up %d + pending %d",
+					rl.Link, rl.Assigned, rl.Acked, rl.GaveUp, rl.Pending),
+			})
+		}
+	}
+	return out
+}
+
+// checkRestore re-runs the plan stripped of its node faults as a
+// never-crashed oracle and compares, for every restarted node, the base
+// tables and the bestPathCost table (content digests) against the main
+// run — checkpoint restore plus repair must leave a restarted node
+// indistinguishable from one that never crashed. bestPath is excluded:
+// equal-cost ties legitimately break differently across runs.
+func checkRestore(ctx context.Context, src string, pristine *netgraph.Topology, plan *faults.Plan, o ChaosOptions, net *Network) ([]Violation, error) {
+	orPlan := *plan
+	orPlan.Nodes = nil
+	oo := o
+	oo.oracle = true
+	oo.Obs, oo.Trace, oo.Prov = nil, nil, nil
+	orRep, orNet, err := runChaos(ctx, src, pristine, &orPlan, oo)
+	if err != nil {
+		return nil, fmt.Errorf("restore oracle: %w", err)
+	}
+	if orRep.Cancelled {
+		return nil, nil // inconclusive, not a violation
+	}
+	restarted := map[string]bool{}
+	var nodes []string
+	for _, nf := range plan.Nodes {
+		if !restarted[nf.Node] {
+			restarted[nf.Node] = true
+			nodes = append(nodes, nf.Node)
+		}
+	}
+	sort.Strings(nodes)
+	preds := append(net.BasePreds(), "bestPathCost")
+	var out []Violation
+	for _, id := range nodes {
+		for _, pred := range preds {
+			if got, want := net.TableDigest(id, pred), orNet.TableDigest(id, pred); got != want {
+				out = append(out, Violation{
+					Check: "restore",
+					Node:  id,
+					Pred:  pred,
+					Msg: fmt.Sprintf("restore: %s %s digest %016x != never-crashed oracle %016x",
+						id, pred, got, want),
+				})
+			}
+		}
+	}
+	return out, nil
 }
 
 // rootCause walks each violating tuple's recorded lineage and collects
@@ -478,6 +782,10 @@ func (c *Campaign) Execute(ctx context.Context, w io.Writer) ([]*ChaosReport, er
 		}
 	}
 	if w != nil {
+		if agg := RecoveryPercentiles(reports); agg != nil {
+			fmt.Fprintf(w, "recovery: %d samples p50=%.0fms p95=%.0fms max=%.0fms unrecovered=%d\n",
+				agg.Samples, agg.P50, agg.P95, agg.Max, agg.Unrecovered)
+		}
 		fmt.Fprintf(w, "campaign: %d runs, %d failed\n", c.Runs, failures)
 	}
 	return reports, nil

@@ -34,15 +34,28 @@ func determinismPlan() *faults.Plan {
 // determinismPlan plus refresh waves — and returns the run result plus
 // the full rendered trace stream.
 func runSeeded(t *testing.T, seed uint64, withPlan bool) (Result, string) {
+	return runSeededOpts(t, seed, withPlan, false)
+}
+
+// runSeededOpts is runSeeded with the self-healing layer optionally
+// enabled (reliable channels, checkpoints, anti-entropy all at once).
+func runSeededOpts(t *testing.T, seed uint64, withPlan, selfHeal bool) (Result, string) {
 	t.Helper()
 	ring := obs.NewRingSink(1 << 17)
-	net, err := NewNetwork(ndlog.MustParse("pv", pathVectorSrc), netgraph.Ring(6), Options{
+	opts := Options{
 		MaxTime:           10_000,
 		LoadTopologyLinks: true,
 		LossRate:          0.2,
 		Seed:              seed,
 		Trace:             obs.NewTracer(ring),
-	})
+	}
+	if selfHeal {
+		opts.Reliable = true
+		opts.CheckpointEvery = 7
+		opts.AntiEntropy = true
+		opts.AntiEntropyEvery = 13
+	}
+	net, err := NewNetwork(ndlog.MustParse("pv", pathVectorSrc), netgraph.Ring(6), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,15 +88,22 @@ func runSeeded(t *testing.T, seed uint64, withPlan bool) (Result, string) {
 // fault plan (noisy channels, a flap, a crash/restart, a partition with
 // heal, refresh waves).
 func TestSameSeedRunsBitForBitReproducible(t *testing.T) {
-	for _, withPlan := range []bool{false, true} {
-		name := "plain"
-		if withPlan {
-			name = "faultplan"
-		}
-		t.Run(name, func(t *testing.T) {
+	for _, variant := range []struct {
+		name               string
+		withPlan, selfHeal bool
+	}{
+		{"plain", false, false},
+		{"faultplan", true, false},
+		// All three self-healing mechanisms at once: backoff jitter and
+		// ack-loss draw from their own "rel" substreams, so the contract
+		// must hold with the full protocol stack active.
+		{"selfheal", true, true},
+	} {
+		withPlan, selfHeal := variant.withPlan, variant.selfHeal
+		t.Run(variant.name, func(t *testing.T) {
 			for _, seed := range []uint64{0, 1, 42} {
-				r1, t1 := runSeeded(t, seed, withPlan)
-				r2, t2 := runSeeded(t, seed, withPlan)
+				r1, t1 := runSeededOpts(t, seed, withPlan, selfHeal)
+				r2, t2 := runSeededOpts(t, seed, withPlan, selfHeal)
 				if r1.Stats != r2.Stats {
 					t.Errorf("seed %d: stats differ:\n  %+v\n  %+v", seed, r1.Stats, r2.Stats)
 				}

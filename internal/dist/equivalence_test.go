@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/datalog"
+	"repro/internal/faults"
 	"repro/internal/ndlog"
 	"repro/internal/netgraph"
 	"repro/internal/value"
@@ -289,6 +290,144 @@ func TestEngineDistAgreeOnRandomPrograms(t *testing.T) {
 					t.Errorf("seed %d: %s[%d]: engine %v, dist %v\nprogram:\n%s",
 						seed, pred, i, want[i], got[i], src)
 					break
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratedProgramsSurviveCrashRestart extends the random-program
+// oracle to the self-healing layer: each generated program runs once
+// fault-free (the oracle) and once with the node crashing mid-run and
+// restoring from a checkpoint. Checkpoints snapshot only base
+// predicates; every derived relation must be rebuilt by re-evaluation
+// from the restored facts, so agreement here pins down both the
+// checkpoint contents and the restore-as-batch semantics (deletes and
+// negation re-fire exactly as they did in the original t=0 batch).
+func TestGeneratedProgramsSurviveCrashRestart(t *testing.T) {
+	topo := netgraph.Line(1)
+	for seed := uint64(0); seed < 25; seed++ {
+		src, preds := genProgram(seed)
+		prog := "gen" + fmt.Sprint(seed)
+
+		eng, err := datalog.New(ndlog.MustParse(prog, src))
+		if err != nil {
+			t.Fatalf("seed %d: engine: %v\n%s", seed, err, src)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatalf("seed %d: engine run: %v\n%s", seed, err, src)
+		}
+
+		net, err := NewNetwork(ndlog.MustParse(prog, src), topo, Options{
+			MaxTime: 10_000, Seed: seed, CheckpointEvery: 2,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: dist: %v\n%s", seed, err, src)
+		}
+		if err := net.ApplyPlan(&faults.Plan{
+			Nodes: []faults.NodeFault{{Node: "n0", Crash: 5, Restart: 9}},
+		}); err != nil {
+			t.Fatalf("seed %d: plan: %v", seed, err)
+		}
+		res, err := net.Run()
+		if err != nil {
+			t.Fatalf("seed %d: dist run: %v\n%s", seed, err, src)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: dist did not converge\n%s", seed, src)
+		}
+		if res.Stats.Restores != 1 {
+			t.Fatalf("seed %d: restores = %d, want 1", seed, res.Stats.Restores)
+		}
+
+		for _, pred := range preds {
+			want := eng.Query(pred)
+			got := net.Query("n0", pred)
+			if len(want) != len(got) {
+				t.Errorf("seed %d: %s sizes differ after crash/restore: engine %d, dist %d\nengine: %v\ndist:   %v\nprogram:\n%s",
+					seed, pred, len(want), len(got), want, got, src)
+				continue
+			}
+			for i := range want {
+				if !want[i].Equal(got[i]) {
+					t.Errorf("seed %d: %s[%d]: engine %v, dist %v\nprogram:\n%s",
+						seed, pred, i, want[i], got[i], src)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestReliableCrashRestartMatchesFaultFreeOracleQuick is the equivalence
+// oracle for the full self-healing stack: on random connected topologies
+// under randomly generated fault plans (noisy channels, flaps, a healed
+// partition, crash/restart cycles — every fault guaranteed to heal), the
+// path-vector protocol with reliable channels, checkpoints, and periodic
+// anti-entropy must converge to the same bestPathCost relation as a
+// fault-free run on the same topology. Reliable delivery caps what loss
+// can destroy, checkpoints restore base facts, and anti-entropy sweeps
+// repair the rare give-up, so no refresh waves are needed.
+func TestReliableCrashRestartMatchesFaultFreeOracleQuick(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		topo := netgraph.RandomConnected(5, 0.1, 3, seed+1)
+
+		// Fault-free oracle on a pristine copy of the topology.
+		oracle, err := NewNetwork(ndlog.MustParse("pv", pathVectorSrc), copyTopo(topo), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := oracle.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		gen := faults.DefaultGenOptions()
+		gen.Horizon = 60
+		gen.RestartProb = 1 // every crash restarts: final topology == original
+		gen.HealProb = 1    // every partition heals
+		gen.MaxLoss = 0.2
+		plan := faults.Generate(seed, topo, gen)
+
+		net, err := NewNetwork(ndlog.MustParse("pv", pathVectorSrc), topo, Options{
+			MaxTime:           20_000,
+			LoadTopologyLinks: true,
+			Seed:              seed,
+			Reliable:          true,
+			CheckpointEvery:   10,
+			AntiEntropy:       true,
+			AntiEntropyEvery:  15,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.ApplyPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		res, err := net.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: faulted run did not converge", seed)
+		}
+
+		for _, node := range topo.Nodes {
+			want := map[string]bool{}
+			for _, tup := range oracle.Query(node, "bestPathCost") {
+				want[tup.Key()] = true
+			}
+			got := map[string]bool{}
+			for _, tup := range net.Query(node, "bestPathCost") {
+				got[tup.Key()] = true
+			}
+			if len(want) != len(got) {
+				t.Errorf("seed %d: %s bestPathCost sizes differ: oracle %d, healed %d\noracle: %v\nhealed: %v",
+					seed, node, len(want), len(got), oracle.Query(node, "bestPathCost"), net.Query(node, "bestPathCost"))
+				continue
+			}
+			for k := range want {
+				if !got[k] {
+					t.Errorf("seed %d: %s bestPathCost missing %s", seed, node, k)
 				}
 			}
 		}

@@ -59,6 +59,29 @@ type Options struct {
 	// retained differential-testing oracle — instead of the default
 	// batched columnar one.
 	ScalarExec bool
+
+	// Reliable enables the ack/retransmit layer: every message gets a
+	// per-directed-link sequence number, unacked messages are resent with
+	// capped exponential backoff (RetryBase·2^k, capped at RetryCap, with
+	// seeded jitter from the link's own Substream), receivers suppress
+	// duplicates, and after RetryLimit attempts the sender gives up —
+	// degrading back to plain soft-state semantics. Zero-valued knobs get
+	// defaults (RetryLimit 5, RetryBase 3·DefaultLatency, RetryCap 8×base).
+	Reliable   bool
+	RetryLimit int
+	RetryBase  float64
+	RetryCap   float64
+	// CheckpointEvery > 0 snapshots every live node's base tables (derived
+	// state excluded — it is re-derivable) at that period; a crash-restart
+	// then restores from the last checkpoint instead of an empty store.
+	CheckpointEvery float64
+	// AntiEntropy runs a digest-exchange repair round for every restarted
+	// node and partition-heal endpoint: per-relation value.Hash64
+	// fingerprints let the node pull exactly its missing tuples from
+	// neighbors instead of waiting out the refresh staircase.
+	// AntiEntropyEvery > 0 additionally sweeps all live nodes periodically.
+	AntiEntropy      bool
+	AntiEntropyEvery float64
 }
 
 // DefaultOptions returns reasonable simulation settings.
@@ -80,6 +103,19 @@ type Stats struct {
 	Flips              int // A→B→A value oscillations on one key
 	Crashes            int
 	Restarts           int
+	// Self-healing layer (all zero when the mechanisms are disabled).
+	Retransmits  int
+	Acks         int
+	AckDrops     int
+	RelGiveUps   int
+	RelDupDrops  int
+	Checkpoints  int
+	Restores     int
+	RepairRounds int
+	RepairPulls  int
+	// CheckpointAge is the age of the oldest live node's latest
+	// checkpoint at the time Stats was read (0 without checkpoints).
+	CheckpointAge float64
 }
 
 // Result summarizes a run.
@@ -104,6 +140,11 @@ type netMetrics struct {
 	crashes, restarts         *obs.Counter
 	partitions                *obs.Counter
 	linkDowns, linkUps        *obs.Counter
+	retransmits, acks         *obs.Counter
+	ackDrops, relGiveUps      *obs.Counter
+	relDupDrops               *obs.Counter
+	checkpoints, restores     *obs.Counter
+	repairRounds, repairPulls *obs.Counter
 }
 
 // distRuleObs holds the per-rule handles for one localized rule. eval is
@@ -167,6 +208,19 @@ type Network struct {
 	chans         map[string]*chanState
 	hasChans      bool
 
+	// rel holds the per-directed-link reliable-channel state (sequence
+	// numbers, pending retransmits, receiver dedup memory); derived marks
+	// the predicates some localized rule derives — checkpoints snapshot
+	// exactly the complement (base tables). See selfheal.go.
+	rel     map[string]*relState
+	derived map[string]bool
+	// maint counts the periodic maintenance events (checkpoint ticks and
+	// anti-entropy sweeps) currently in the queue. A tick re-arms itself
+	// only while the queue holds events beyond those — otherwise two
+	// periodic timers would keep each other alive and the run would never
+	// quiesce.
+	maint int
+
 	// linkEpoch counts the failures of each directed link. Messages in
 	// flight across a link are stamped with the epoch at send time and
 	// dropped on arrival if the link has since failed (see arrivalDropped).
@@ -225,6 +279,17 @@ func NewNetwork(prog *ndlog.Program, topo *netgraph.Topology, opts Options) (*Ne
 	if opts.DefaultLatency <= 0 {
 		opts.DefaultLatency = 1
 	}
+	if opts.Reliable {
+		if opts.RetryLimit <= 0 {
+			opts.RetryLimit = 5
+		}
+		if opts.RetryBase <= 0 {
+			opts.RetryBase = 3 * opts.DefaultLatency
+		}
+		if opts.RetryCap <= 0 {
+			opts.RetryCap = 8 * opts.RetryBase
+		}
+	}
 	n := &Network{
 		prog:     localized,
 		an:       lan,
@@ -244,15 +309,28 @@ func NewNetwork(prog *ndlog.Program, topo *netgraph.Topology, opts Options) (*Ne
 		},
 		chanOverrides: map[string]faults.Channel{},
 		chans:         map[string]*chanState{},
+		rel:           map[string]*relState{},
+		derived:       map[string]bool{},
 		linkEpoch:     map[string]int{},
 		partCuts:      map[int][]netgraph.Link{},
 		waveSeen:      map[string]bool{},
 		compVer:       -1, // force the first reachability query to compute
 	}
 	n.hasChans = !n.defaultChan.Zero()
+	for _, r := range localized.Rules {
+		n.derived[r.Head.Pred] = true
+	}
 	n.initObs(opts.Obs, opts.Trace)
 	for _, id := range topo.Nodes {
 		n.nodes[id] = n.newNode(id)
+	}
+	if opts.CheckpointEvery > 0 {
+		n.schedule(&event{at: opts.CheckpointEvery, kind: evCheckpoint})
+		n.maint++
+	}
+	if opts.AntiEntropy && opts.AntiEntropyEvery > 0 {
+		n.schedule(&event{at: opts.AntiEntropyEvery, kind: evAntiEntropy})
+		n.maint++
 	}
 
 	// Program facts go to their declared locations.
@@ -304,6 +382,15 @@ func (n *Network) initObs(col *obs.Collector, tracer *obs.Tracer) {
 		partitions:   col.Counter("dist", obs.MPartitions, ""),
 		linkDowns:    col.Counter("dist", obs.MLinkDowns, ""),
 		linkUps:      col.Counter("dist", obs.MLinkUps, ""),
+		retransmits:  col.Counter("dist", obs.MRetransmits, ""),
+		acks:         col.Counter("dist", obs.MAcks, ""),
+		ackDrops:     col.Counter("dist", obs.MAckDrops, ""),
+		relGiveUps:   col.Counter("dist", obs.MRelGiveUps, ""),
+		relDupDrops:  col.Counter("dist", obs.MRelDupDrops, ""),
+		checkpoints:  col.Counter("dist", obs.MCheckpoints, ""),
+		restores:     col.Counter("dist", obs.MRestores, ""),
+		repairRounds: col.Counter("dist", obs.MRepairRounds, ""),
+		repairPulls:  col.Counter("dist", obs.MRepairPulls, ""),
 	}
 	n.ruleObs = make(map[*ndlog.Rule]*distRuleObs, len(n.prog.Rules))
 	for _, r := range n.prog.Rules {
@@ -335,6 +422,16 @@ func (n *Network) Stats() Stats {
 		Flips:              int(n.nm.flips.Value()),
 		Crashes:            int(n.nm.crashes.Value()),
 		Restarts:           int(n.nm.restarts.Value()),
+		Retransmits:        int(n.nm.retransmits.Value()),
+		Acks:               int(n.nm.acks.Value()),
+		AckDrops:           int(n.nm.ackDrops.Value()),
+		RelGiveUps:         int(n.nm.relGiveUps.Value()),
+		RelDupDrops:        int(n.nm.relDupDrops.Value()),
+		Checkpoints:        int(n.nm.checkpoints.Value()),
+		Restores:           int(n.nm.restores.Value()),
+		RepairRounds:       int(n.nm.repairRounds.Value()),
+		RepairPulls:        int(n.nm.repairPulls.Value()),
+		CheckpointAge:      n.CheckpointAge(),
 	}
 }
 
@@ -415,6 +512,11 @@ const (
 	evPartition
 	evPartitionHeal
 	evRefresh
+	// Self-healing layer (selfheal.go).
+	evRelRetx     // retransmit timer for one unacked reliable message
+	evAck         // ack travelling back to the sender
+	evCheckpoint  // periodic base-table snapshot of every live node
+	evAntiEntropy // repair round for one node ("" = sweep all live nodes)
 )
 
 type event struct {
@@ -440,6 +542,14 @@ type event struct {
 	// messages: the sender-side provenance entry (rule firing) that
 	// emitted the carried tuple; resolved into a delivery edge on admit.
 	cause prov.ID
+	// reliable-channel fields: rel marks a message carrying a per-link
+	// sequence number (rseq); attempt is 0 for the original transmission
+	// and the retry count for retransmitted copies; evRelRetx and evAck
+	// reuse rseq. repair marks anti-entropy pulls (provenance label).
+	rel     bool
+	repair  bool
+	rseq    int64
+	attempt int
 }
 
 type eventQueue []*event
@@ -677,12 +787,37 @@ func (n *Network) chanFor(src, dst string) *chanState {
 	return ch
 }
 
-// sendMessage applies the link's fault channel to one outbound message:
+// sendMessage sends one logical message. Under Options.Reliable it first
+// registers the message with the link's reliable-channel state (sequence
+// number, pending entry, first retransmit timer); either way the physical
+// transmission goes through transmit.
+func (n *Network) sendMessage(src, dst, pred string, tup value.Tuple, cause prov.ID) {
+	n.sendMessageOpts(src, dst, pred, tup, cause, false)
+}
+
+// sendMessageOpts is sendMessage with the anti-entropy repair marker
+// (recorded in provenance so `fvn why` explains healed tuples).
+func (n *Network) sendMessageOpts(src, dst, pred string, tup value.Tuple, cause prov.ID, repair bool) {
+	var rseq int64
+	rel := false
+	if n.opts.Reliable {
+		rel = true
+		rs := n.relFor(src, dst)
+		rs.nextSeq++
+		rseq = rs.nextSeq
+		rs.pending[rseq] = &relPending{pred: pred, tup: tup, cause: cause, repair: repair}
+		n.scheduleRetx(rs, rseq, 1)
+	}
+	n.transmit(src, dst, pred, tup, cause, rel, rseq, 0, repair)
+}
+
+// transmit applies the link's fault channel to one physical transmission:
 // duplication (each copy counts as sent and faces loss independently),
 // the legacy global LossRate, channel loss, delay jitter, and reordering
 // delay. Every scheduled copy is stamped with the link epoch so a later
-// link failure drops it in flight.
-func (n *Network) sendMessage(src, dst, pred string, tup value.Tuple, cause prov.ID) {
+// link failure drops it in flight. Retransmissions re-enter here with
+// attempt > 0 and count as sent like any other copy.
+func (n *Network) transmit(src, dst, pred string, tup value.Tuple, cause prov.ID, rel bool, rseq int64, attempt int, repair bool) {
 	ch := n.chanFor(src, dst)
 	copies := 1
 	if ch != nil && ch.cfg.Dup > 0 && ch.rng.Float64() < ch.cfg.Dup {
@@ -717,15 +852,19 @@ func (n *Network) sendMessage(src, dst, pred string, tup value.Tuple, cause prov
 			}
 		}
 		n.schedule(&event{
-			at:     n.now + delay,
-			kind:   evMessage,
-			node:   dst,
-			pred:   pred,
-			tup:    tup,
-			from:   src,
-			epoch:  epoch,
-			direct: direct,
-			cause:  cause,
+			at:      n.now + delay,
+			kind:    evMessage,
+			node:    dst,
+			pred:    pred,
+			tup:     tup,
+			from:    src,
+			epoch:   epoch,
+			direct:  direct,
+			cause:   cause,
+			rel:     rel,
+			repair:  repair,
+			rseq:    rseq,
+			attempt: attempt,
 		})
 	}
 }
@@ -1002,10 +1141,22 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 						return
 					}
 					n.noteDelivered(ev)
+					if ev.rel && !n.relReceive(ev) {
+						return // duplicate suppressed (re-acked above)
+					}
 					// The delivery edge is recorded even when the insert
 					// below turns out to be a no-op: the message crossing
-					// the link is a real causal event either way.
-					cause = n.prov.Message(ev.at, ev.from, ev.node, ev.pred, ev.epoch, int64(ev.seq), ev.cause)
+					// the link is a real causal event either way. Healed
+					// deliveries carry a marked label so `fvn why` shows
+					// how the tuple got there.
+					lbl := ev.pred
+					if ev.attempt > 0 {
+						lbl += "/retx"
+					}
+					if ev.repair {
+						lbl += "/repair"
+					}
+					cause = n.prov.Message(ev.at, ev.from, ev.node, lbl, ev.epoch, int64(ev.seq), ev.cause)
 				} else if node.down {
 					return
 				}
@@ -1083,6 +1234,7 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 			node.down = true
 			node.epoch++ // cancels every pending expiry of the old incarnation
 			node.tables = map[string]*store.Table{}
+			n.relCrash(e.node)
 			n.lastChange = n.now
 			// Snapshot the adjacent links (for restart), then cut them.
 			seen := map[string]bool{}
@@ -1115,7 +1267,7 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 			if n.tracer != nil {
 				n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvNodeRestart, Node: e.node})
 			}
-			n.prov.Fault(n.now, "restart", e.node, "", 0)
+			fid := n.prov.Fault(n.now, "restart", e.node, "", 0)
 			node.down = false
 			n.lastChange = n.now
 			for _, l := range node.downLinks {
@@ -1131,6 +1283,12 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 				}
 			}
 			node.downLinks = nil
+			if n.opts.CheckpointEvery > 0 {
+				n.restoreCheckpoint(node, fid)
+			}
+			if n.opts.AntiEntropy {
+				n.scheduleRepair(e.node, n.now+n.opts.DefaultLatency)
+			}
 		case evPartition:
 			inGroup := map[string]bool{}
 			for _, g := range e.group {
@@ -1186,6 +1344,21 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 				if err := n.linkUp(l.Src, l.Dst, l.Cost, lat); err != nil {
 					return Result{}, err
 				}
+			}
+			if n.opts.AntiEntropy {
+				for _, id := range healEndpoints(n, cut) {
+					n.scheduleRepair(id, n.now+n.opts.DefaultLatency)
+				}
+			}
+		case evRelRetx:
+			n.relRetransmit(e)
+		case evAck:
+			n.relAckArrived(e)
+		case evCheckpoint:
+			n.checkpointTick()
+		case evAntiEntropy:
+			if err := n.antiEntropyEvent(e); err != nil {
+				return Result{}, err
 			}
 		case evRefresh:
 			// New wave: every (node, pred, key) may refresh-fire once more.

@@ -37,6 +37,13 @@ type Node struct {
 	down      bool
 	epoch     int
 	downLinks []netgraph.Link
+
+	// Checkpoint state (Options.CheckpointEvery, selfheal.go): the last
+	// base-table snapshot and when it was taken. Deliberately NOT wiped
+	// by a crash — it models stable storage surviving the process.
+	ckpt    []ckptTable
+	ckptAt  float64
+	hasCkpt bool
 }
 
 type trigger struct {

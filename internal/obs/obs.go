@@ -51,6 +51,19 @@ const (
 	MLinkDowns    = "link_downs"
 	MLinkUps      = "link_ups"
 
+	// Self-healing counters (component "dist", no label): the reliable
+	// channel layer (ack/retransmit), node checkpoints, and anti-entropy
+	// repair rounds.
+	MRetransmits  = "retransmits"   // retransmitted copies (each also counts as sent)
+	MAcks         = "acks"          // retransmit-cancelling acks received by senders
+	MAckDrops     = "ack_drops"     // acks lost to reverse-channel noise
+	MRelGiveUps   = "rel_give_ups"  // messages abandoned after the retry limit (or sender crash)
+	MRelDupDrops  = "rel_dup_drops" // duplicate deliveries suppressed by receiver seqnos
+	MCheckpoints  = "checkpoints"   // per-node base-table snapshots taken
+	MRestores     = "restores"      // crash-restarts that replayed a checkpoint
+	MRepairRounds = "repair_rounds" // anti-entropy digest exchanges
+	MRepairPulls  = "repair_pulls"  // missing tuples pulled by anti-entropy
+
 	// Model-checker search counters (component "mc"; worker expansions are
 	// labelled w0..wN-1, everything else is unlabelled).
 	MMCStates       = "states_visited"

@@ -34,6 +34,14 @@ const (
 	EvPartition     = "partition"      // Name = group, N = partition id
 	EvPartitionHeal = "partition_heal" // N = partition id
 
+	// Self-healing layer (reliable channels, checkpoints, anti-entropy).
+	EvRetransmit = "retransmit"  // unacked message resent (N = attempt)
+	EvAck        = "ack"         // ack arrived back at the sender (N = seq)
+	EvRelGiveUp  = "rel_give_up" // retry limit hit; message abandoned (N = seq)
+	EvCheckpoint = "checkpoint"  // node snapshot of base tables (N = tuples)
+	EvRestore    = "restore"     // restart replayed a checkpoint (N = tuples)
+	EvRepair     = "repair"      // anti-entropy round (N = tuples pulled)
+
 	// Prover.
 	EvProofStep = "proof_step" // one user-visible tactic (N = primitive inferences)
 

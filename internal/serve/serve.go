@@ -102,6 +102,20 @@ type Server struct {
 	jobs    sync.WaitGroup
 	jobID   atomic.Int64
 	mux     *http.ServeMux
+
+	// durMu guards durs, a ring of the most recent job wall-clock times.
+	// Their mean drives the Retry-After estimate on 429 responses.
+	durMu sync.Mutex
+	durs  []time.Duration
+	durAt int
+
+	// Self-healing counters accumulated across chaos jobs that ran with
+	// the reliability layer; /statusz reports them once nonzero.
+	retransmits atomic.Int64
+	checkpoints atomic.Int64
+	restores    atomic.Int64
+	repairPulls atomic.Int64
+	relGiveUps  atomic.Int64
 }
 
 // New builds a Server, opening (or creating) the persistent cache when
@@ -178,7 +192,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	// All slots busy: join the bounded wait queue.
 	if s.waiting.Add(1) > int64(s.opts.QueueDepth) {
 		s.waiting.Add(-1)
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.DefaultTimeout/time.Second)+1))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		http.Error(w, "admission queue full", http.StatusTooManyRequests)
 		return nil, false
 	}
@@ -192,6 +206,58 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	case <-r.Context().Done():
 		return nil, false // client gave up while queued
 	}
+}
+
+// recordDuration feeds a completed job's wall-clock time into the
+// bounded ring the Retry-After estimate averages over.
+func (s *Server) recordDuration(d time.Duration) {
+	const window = 32
+	s.durMu.Lock()
+	if len(s.durs) < window {
+		s.durs = append(s.durs, d)
+	} else {
+		s.durs[s.durAt%window] = d
+	}
+	s.durAt++
+	s.durMu.Unlock()
+}
+
+// meanJobDur is the mean of the recent-duration window (0 with no
+// completed jobs yet).
+func (s *Server) meanJobDur() time.Duration {
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	if len(s.durs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.durs {
+		sum += d
+	}
+	return sum / time.Duration(len(s.durs))
+}
+
+// retryAfter estimates, in whole seconds, when an execution slot should
+// free up for a rejected client: the jobs ahead of it (running plus
+// queued) drain in waves of MaxConcurrent, each wave taking roughly the
+// mean recent job duration. Before any job has completed it falls back
+// to the default per-job timeout; either way the hint is capped at
+// MaxTimeout, the longest any single job may run.
+func (s *Server) retryAfter() int {
+	mean := s.meanJobDur()
+	if mean <= 0 {
+		return int(s.opts.DefaultTimeout/time.Second) + 1
+	}
+	ahead := int64(len(s.sem)) + s.waiting.Load()
+	waves := (ahead + int64(s.opts.MaxConcurrent) - 1) / int64(s.opts.MaxConcurrent)
+	if waves < 1 {
+		waves = 1
+	}
+	est := time.Duration(waves) * mean
+	if est > s.opts.MaxTimeout {
+		est = s.opts.MaxTimeout
+	}
+	return int(est/time.Second) + 1
 }
 
 // request is the common job envelope; endpoint-specific fields ride
@@ -303,6 +369,11 @@ func (s *Server) job(kind string, run runner) http.HandlerFunc {
 		id := s.jobID.Add(1)
 		start := time.Now()
 		payload, err := run(ctx, body, req.Workers, tracer)
+		if err == nil {
+			// Only real executions feed the Retry-After estimate; decode
+			// failures return in microseconds and would drag the mean down.
+			s.recordDuration(time.Since(start))
+		}
 		if err != nil {
 			if req.Stream {
 				// Headers are gone; report the failure as the final line.
@@ -482,6 +553,11 @@ type chaosRequest struct {
 	Runs int    `json:"runs"` // campaign length (default 5; capped)
 	Seed uint64 `json:"seed"` // base seed (default 1)
 	Hard bool   `json:"hard"` // skip the soft-state rewrite
+	// Self-healing layer: ack/retransmit channels, periodic base-table
+	// checkpoints (time units; 0 off), and anti-entropy repair.
+	Reliable        bool    `json:"reliable"`
+	CheckpointEvery float64 `json:"checkpoint_every"`
+	AntiEntropy     bool    `json:"anti_entropy"`
 }
 
 type chaosResult struct {
@@ -489,6 +565,9 @@ type chaosResult struct {
 	Failures  int      `json:"failures"` // runs with invariant violations
 	Cancelled bool     `json:"cancelled,omitempty"`
 	Seeds     []uint64 `json:"failing_seeds,omitempty"`
+	// Recovery is the campaign-wide restart-recovery percentile summary;
+	// present only when runs measured recovery (self-healing on).
+	Recovery *dist.RecoveryStats `json:"recovery_ms,omitempty"`
 }
 
 func (s *Server) runChaos(ctx context.Context, body []byte, workers int, tracer *obs.Tracer) (any, error) {
@@ -521,6 +600,9 @@ func (s *Server) runChaos(ctx context.Context, body []byte, workers int, tracer 
 	}
 	opts := dist.DefaultChaosOptions()
 	opts.Hard = req.Hard
+	opts.Reliable = req.Reliable
+	opts.CheckpointEvery = req.CheckpointEvery
+	opts.AntiEntropy = req.AntiEntropy
 	opts.Trace = tracer
 	c := &dist.Campaign{
 		Source:   src,
@@ -545,7 +627,13 @@ func (s *Server) runChaos(ctx context.Context, body []byte, workers int, tracer 
 			res.Failures++
 			res.Seeds = append(res.Seeds, rep.Seed)
 		}
+		s.retransmits.Add(int64(rep.Stats.Retransmits))
+		s.checkpoints.Add(int64(rep.Stats.Checkpoints))
+		s.restores.Add(int64(rep.Stats.Restores))
+		s.repairPulls.Add(int64(rep.Stats.RepairPulls))
+		s.relGiveUps.Add(int64(rep.Stats.RelGiveUps))
 	}
+	res.Recovery = dist.RecoveryPercentiles(reports)
 	return res, nil
 }
 
@@ -684,6 +772,20 @@ func (s *Server) statusz(w http.ResponseWriter, r *http.Request) {
 			"misses":  st.Misses,
 			"corrupt": st.Corrupt,
 		},
+	}
+	if mean := s.meanJobDur(); mean > 0 {
+		env["mean_job_ms"] = float64(mean) / float64(time.Millisecond)
+	}
+	// Self-healing counters appear once a chaos job has exercised the
+	// reliability layer; absent (not zero) before that.
+	if s.retransmits.Load()+s.checkpoints.Load()+s.restores.Load()+s.repairPulls.Load() > 0 {
+		env["selfheal"] = map[string]any{
+			"retransmits":  s.retransmits.Load(),
+			"checkpoints":  s.checkpoints.Load(),
+			"restores":     s.restores.Load(),
+			"repair_pulls": s.repairPulls.Load(),
+			"give_ups":     s.relGiveUps.Load(),
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	b, _ := json.MarshalIndent(env, "", "  ")

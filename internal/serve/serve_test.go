@@ -350,3 +350,104 @@ func TestHealthzStatusz(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryAfterReflectsLoad: the 429 Retry-After hint is derived from
+// the live queue depth and the mean recent job duration — before any job
+// completes it falls back to the default per-job timeout, afterwards it
+// estimates the drain time of the jobs ahead of the rejected client.
+func TestRetryAfterReflectsLoad(t *testing.T) {
+	s, ts := newTestServer(t, Options{
+		MaxConcurrent: 1, QueueDepth: 1, DefaultTimeout: 45 * time.Second,
+	})
+
+	// Cold server: no completed jobs, so the hint is the old fixed
+	// fallback (DefaultTimeout + 1).
+	if got := s.retryAfter(); got != 46 {
+		t.Fatalf("cold retryAfter = %d, want 46", got)
+	}
+
+	s.recordDuration(2 * time.Second)
+	s.recordDuration(4 * time.Second)
+	s.sem <- struct{}{} // occupy the only slot
+	queued := make(chan int, 1)
+	go func() {
+		code, _ := post(t, ts.URL, "/run", `{}`)
+		queued <- code
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.waiting.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never reached the wait queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Two jobs ahead (one running, one queued) drain in two waves of the
+	// 3s mean: the overflow response must carry that estimate, not the
+	// 46s fallback.
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-queue request: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want \"7\" (2 waves x 3s mean + 1)", got)
+	}
+
+	<-s.sem
+	if code := <-queued; code != http.StatusOK {
+		t.Fatalf("queued job after slot freed: status %d, want 200", code)
+	}
+}
+
+// TestStatuszReportsSelfHealCounters: after a chaos job runs with the
+// reliability layer, /statusz exposes the accumulated checkpoint and
+// repair counters; before any such job the section is absent entirely.
+func TestStatuszReportsSelfHealCounters(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	statusz := func() map[string]any {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/statusz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st map[string]any
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatalf("statusz is not JSON: %v\n%s", err, b)
+		}
+		return st
+	}
+
+	if _, ok := statusz()["selfheal"]; ok {
+		t.Fatal("statusz reports selfheal counters before any self-healing job")
+	}
+
+	code, env := post(t, ts.URL, "/chaos",
+		`{"runs": 3, "topo": "ring:4", "reliable": true, "checkpoint_every": 10, "anti_entropy": true}`)
+	if code != http.StatusOK {
+		t.Fatalf("chaos: status %d", code)
+	}
+	if fails := result(t, env)["failures"].(float64); fails != 0 {
+		t.Fatalf("self-healing chaos campaign had %v failing runs: %v", fails, env)
+	}
+
+	sh, ok := statusz()["selfheal"].(map[string]any)
+	if !ok {
+		t.Fatal("statusz missing selfheal section after a self-healing chaos job")
+	}
+	if sh["checkpoints"].(float64) <= 0 {
+		t.Errorf("selfheal checkpoints = %v, want > 0", sh["checkpoints"])
+	}
+	for _, k := range []string{"retransmits", "restores", "repair_pulls", "give_ups"} {
+		if _, ok := sh[k]; !ok {
+			t.Errorf("selfheal section missing %q: %v", k, sh)
+		}
+	}
+}

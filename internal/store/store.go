@@ -259,6 +259,22 @@ func (t *Table) Sorted() []value.Tuple {
 	return out
 }
 
+// Digest returns an order-independent fingerprint of the live tuples:
+// the XOR of each tuple's splitmix64 content hash. Two tables with the
+// same tuple set digest identically regardless of insertion order, so a
+// digest comparison is the cheap first step of the anti-entropy
+// relation exchange (collisions are as improbable as model-checker
+// fingerprint collisions, ~2^-64 per pair).
+func (t *Table) Digest() uint64 {
+	var d uint64
+	for _, tup := range t.order {
+		if tup != nil {
+			d ^= tup.Hash64(value.HashSeed)
+		}
+	}
+	return d
+}
+
 // Clear removes all tuples. Existing Index handles stay valid (they are
 // emptied in place).
 func (t *Table) Clear() {

@@ -39,6 +39,46 @@ func TestPutReplaceNoop(t *testing.T) {
 	}
 }
 
+// TestDigest pins the relation-fingerprint semantics the anti-entropy
+// digest exchange relies on: a pure content hash — insertion order,
+// tombstones, and pinned-iteration state must never leak into it.
+func TestDigest(t *testing.T) {
+	if d := New("d", 2, nil, 0).Digest(); d != 0 {
+		t.Fatalf("empty table digest = %#x, want 0", d)
+	}
+
+	// Order independence: the same tuple set inserted in opposite orders
+	// digests identically.
+	a, b := New("d", 2, nil, 0), New("d", 2, nil, 0)
+	tups := []value.Tuple{tup(1, 10), tup(2, 20), tup(3, 30)}
+	for _, x := range tups {
+		a.Insert(x)
+	}
+	for i := len(tups) - 1; i >= 0; i-- {
+		b.Insert(tups[i])
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("insertion order leaks into digest: %#x vs %#x", a.Digest(), b.Digest())
+	}
+
+	// Content sensitivity and delete round-trip: removing a tuple changes
+	// the digest, re-adding it restores the original — even while a pin
+	// holds compaction back, so the tombstone is still physically present.
+	orig := a.Digest()
+	a.Pin()
+	defer a.Unpin()
+	if !a.Delete(tup(2, 20)) {
+		t.Fatal("delete failed")
+	}
+	if a.Digest() == orig {
+		t.Fatal("digest unchanged by delete")
+	}
+	a.Insert(tup(2, 20))
+	if got := a.Digest(); got != orig {
+		t.Fatalf("delete+reinsert digest = %#x, want original %#x", got, orig)
+	}
+}
+
 func TestDeleteTombstonesAndCompaction(t *testing.T) {
 	tb := New("s", 1, nil, 0)
 	for i := int64(0); i < 100; i++ {
