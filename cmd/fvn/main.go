@@ -126,9 +126,11 @@ func usage() {
   verify <file.ndlog> -theorem T [-script F | -auto] [-workers N]
   verify -suite [-workers N] [-cache=false] [-seed-kernel]
                                              discharge the full obligation suite
-  run <file.ndlog> -topo <line|ring|grid|clique|star|tree|rand>:<n> [-pred P]
-      [-loss R] [-dup R] [-delay-jitter J] [-fault-plan F.json] [-seed N] [-prov]
-  chaos [file.ndlog] [-topo ring:8] [-n 50] [-seed N] [-hard] [-prov] [-json]
+  run <file.ndlog> -topo <line|ring|grid|clique|star|tree|rand|pa|fattree>:<n>
+      [-pred P] [-loss R] [-dup R] [-delay-jitter J] [-fault-plan F.json]
+      [-seed N] [-prov] [-incremental=false | -scalar-delete]
+  chaos [file.ndlog] [-topo ring:8] [-n 50] [-seed N] [-hard] [-scalar-delete]
+      [-prov] [-json]
       [-replay-seed N | -plan F.json]        fault campaign + invariant checks
   why [file.ndlog] -tuple 'bestPathCost(n0,n1,1)' [-topo ring:6] [-json]
                                              derivation tree of a tuple
@@ -351,7 +353,8 @@ func report(qed bool, theorem string, steps, prim int, auto float64, secs float6
 		status, theorem, steps, prim, auto*100, secs)
 }
 
-// parseTopo builds a topology from a spec like ring:5 or grid:3 (3x3).
+// parseTopo builds a topology from a spec like ring:5, grid:3 (3x3),
+// pa:10000 (preferential-attachment ISP-like graph), or fattree:8.
 func parseTopo(spec string) (*netgraph.Topology, error) {
 	parts := strings.SplitN(spec, ":", 2)
 	n := 4
@@ -377,6 +380,13 @@ func parseTopo(spec string) (*netgraph.Topology, error) {
 		return netgraph.Tree(n), nil
 	case "rand":
 		return netgraph.RandomConnected(n, 0.1, 3, 1), nil
+	case "pa":
+		// Barabási–Albert preferential attachment, 2 links per new node:
+		// the ISP-like heavy-tailed degree graph of the scale tests.
+		return netgraph.PreferentialAttachment(n, 2, 7), nil
+	case "fattree":
+		// n is the fat-tree arity k (k=8: 80 switches + 128 hosts).
+		return netgraph.FatTree(n), nil
 	default:
 		return nil, fmt.Errorf("unknown topology %q", parts[0])
 	}
@@ -395,6 +405,8 @@ func cmdRun(args []string) error {
 	reliable := fs.Bool("reliable", false, "ack/retransmit message delivery with capped exponential backoff")
 	ckptEvery := fs.Float64("checkpoint-every", 0, "checkpoint base tables every N time units (0: off); restarts restore the last checkpoint")
 	antiEntropy := fs.Bool("anti-entropy", false, "digest-exchange repair after restarts and partition heals")
+	incremental := fs.Bool("incremental", true, "incremental deletion (counting/DRed cascade); -incremental=false falls back to scalar deletion")
+	scalarDelete := fs.Bool("scalar-delete", false, "force the pre-cascade deletion oracle: deletions remove only the named tuple, stale state drains by soft-state expiry")
 	var of obsFlags
 	of.register(fs, true)
 	p, err := parseCmd(fs, args)
@@ -419,6 +431,7 @@ func cmdRun(args []string) error {
 		Reliable:          *reliable,
 		CheckpointEvery:   *ckptEvery,
 		AntiEntropy:       *antiEntropy,
+		ScalarDelete:      *scalarDelete || !*incremental,
 		Trace:             tracer,
 		Prov:              of.recorder(),
 	}
@@ -494,6 +507,7 @@ func cmdChaos(args []string) error {
 	reliable := fs.Bool("reliable", false, "ack/retransmit message delivery with capped exponential backoff")
 	ckptEvery := fs.Float64("checkpoint-every", 0, "checkpoint base tables every N time units (0: off); restarts restore the last checkpoint")
 	antiEntropy := fs.Bool("anti-entropy", false, "digest-exchange repair after restarts and partition heals")
+	scalarDelete := fs.Bool("scalar-delete", false, "force the pre-cascade deletion oracle in every run (forced on anyway under -hard)")
 	var of obsFlags
 	of.register(fs, true)
 	// The program source is an optional positional .ndlog file; the
@@ -518,6 +532,7 @@ func cmdChaos(args []string) error {
 	}
 	opts := dist.DefaultChaosOptions()
 	opts.Hard = *hard
+	opts.ScalarDelete = *scalarDelete
 	opts.Reliable = *reliable
 	opts.CheckpointEvery = *ckptEvery
 	opts.AntiEntropy = *antiEntropy

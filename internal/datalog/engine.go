@@ -48,6 +48,11 @@ type Engine struct {
 	// oracle: differential tests run the same program both ways and
 	// require identical results, emissions, and probe counts.
 	Scalar bool
+	// ScalarDelete forces Update onto the full-recompute deletion path
+	// (apply the base changes, re-run the program) instead of incremental
+	// counting/DRed maintenance. The recompute path is the retained
+	// oracle the incremental one is differentially tested against.
+	ScalarDelete bool
 	// Parallel evaluates independent rule components of each stratum
 	// concurrently (per-goroutine executors over read-only shared
 	// tables). Automatically disabled while observability, tracing,
@@ -69,6 +74,13 @@ type Engine struct {
 	// reusable antecedent scratch buffer of the emit path.
 	prov     *prov.Recorder
 	provAnts []prov.ID
+
+	// Incremental maintenance (see ivm.go). ranOnce marks that a fixpoint
+	// exists to maintain; baseDirty marks base mutations made outside
+	// Update, which invalidate it until the next Run.
+	ivm       ivmState
+	ranOnce   bool
+	baseDirty bool
 }
 
 // ruleObs bundles the per-rule metric handles of one rule.
@@ -172,7 +184,11 @@ func (e *Engine) Table(pred string) *store.Table { return e.rels[pred] }
 // components get their own (executors are single-goroutine state).
 type evalCtx struct {
 	execs map[*ndlog.Plan]store.Runner
-	stats *Stats
+	// execs1 caches scalar executors for the incremental-maintenance
+	// paths, which drive plans with one-tuple deltas or a single seed —
+	// there the batch executor's per-run buffer setup dwarfs the join.
+	execs1 map[*ndlog.Plan]store.Runner
+	stats  *Stats
 }
 
 // exec returns the context's cached executor for a plan.
@@ -189,6 +205,23 @@ func (e *Engine) exec(c *evalCtx, p *ndlog.Plan) store.Runner {
 	return x
 }
 
+// execOne returns the context's cached scalar executor for a plan,
+// regardless of the engine's batch setting (see evalCtx.execs1).
+func (e *Engine) execOne(c *evalCtx, p *ndlog.Plan) store.Runner {
+	if e.Scalar {
+		return e.exec(c, p)
+	}
+	x, ok := c.execs1[p]
+	if !ok {
+		if c.execs1 == nil {
+			c.execs1 = map[*ndlog.Plan]store.Runner{}
+		}
+		x = store.NewExec(p)
+		c.execs1[p] = x
+	}
+	return x
+}
+
 // Insert adds a base tuple.
 func (e *Engine) Insert(pred string, t value.Tuple) error {
 	r, ok := e.rels[pred]
@@ -198,6 +231,7 @@ func (e *Engine) Insert(pred string, t value.Tuple) error {
 	}
 	isNew, err := r.Insert(t)
 	if isNew && err == nil {
+		e.baseDirty = true
 		e.prov.Tuple(0, "", pred, t, 0)
 	}
 	return err
@@ -211,6 +245,7 @@ func (e *Engine) DeleteBase(pred string, t value.Tuple) bool {
 		return false
 	}
 	if r.Delete(t) {
+		e.baseDirty = true
 		e.prov.Retract(0, "", pred, t, "delete_base", 0)
 		return true
 	}
@@ -262,6 +297,9 @@ func (e *Engine) Run() error {
 			return err
 		}
 	}
+	// A fresh fixpoint exists; stale incremental bookkeeping (support
+	// counts, aggregate snapshots) re-initializes on the next Update.
+	e.ranOnce, e.baseDirty, e.ivm.ready = true, false, false
 	return nil
 }
 

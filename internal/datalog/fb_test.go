@@ -1,0 +1,48 @@
+package datalog
+
+import (
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/netgraph"
+)
+
+const pvSrcProbe = `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(path, infinity, infinity, keys(1,2,3)).
+materialize(bestPathCost, infinity, infinity, keys(1,2)).
+materialize(bestPath, infinity, infinity, keys(1,2)).
+
+r1 path(@S,D,P,C) :- link(@S,D,C), P=f_init(S,D).
+r2 path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2),
+   C=C1+C2, P=f_concatPath(S,P2),
+   f_inPath(P2,S)=false.
+r3 bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+r4 bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+`
+
+func TestProbeChurnWork(t *testing.T) {
+	e, err := New(ndlog.MustParse("pv", pvSrcProbe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := netgraph.Ring(16).LinkTuples()
+	for _, l := range links {
+		if err := e.Insert("link", l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fixpoint: path=%d bestPathCost=%d bestPath=%d probes=%d derivs=%d",
+		e.Count("path"), e.Count("bestPathCost"), e.Count("bestPath"),
+		e.Stats.JoinProbes, e.Stats.Derivations)
+	before := e.Stats
+	if err := e.Update([]Change{{Pred: "link", Tup: links[0], Del: true}}); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("after delete: path=%d bestPathCost=%d bestPath=%d dProbes=%d dDerivs=%d",
+		e.Count("path"), e.Count("bestPathCost"), e.Count("bestPath"),
+		e.Stats.JoinProbes-before.JoinProbes, e.Stats.Derivations-before.Derivations)
+}

@@ -73,6 +73,11 @@ type ChaosOptions struct {
 	Reliable        bool
 	CheckpointEvery float64
 	AntiEntropy     bool
+	// ScalarDelete disables the incremental deletion cascade (see
+	// Options.ScalarDelete): link failures only delete the link tuple and
+	// stale derivations wait for soft-state expiry. Forced on under Hard —
+	// the negative control is precisely the pre-cascade semantics.
+	ScalarDelete bool
 
 	// oracle marks the internal never-crashed re-run of the restore
 	// check, which must not itself spawn an oracle or measure recovery.
@@ -235,9 +240,10 @@ func RunChaos(ctx context.Context, src string, topo *netgraph.Topology, plan *fa
 func runChaos(ctx context.Context, src string, topo *netgraph.Topology, plan *faults.Plan, o ChaosOptions) (*ChaosReport, *Network, error) {
 	if o.Hard {
 		// The negative control runs the bare runtime: the self-healing
-		// mechanisms are forced off and the recovery metrics are reported
-		// as absent, not zero.
+		// mechanisms are forced off, the deletion cascade with them, and
+		// the recovery metrics are reported as absent, not zero.
 		o.Reliable, o.CheckpointEvery, o.AntiEntropy = false, 0, false
+		o.ScalarDelete = true
 	}
 	if o.Lifetime <= 0 || o.RefreshInterval <= 0 || o.Quiet <= 0 {
 		d := DefaultChaosOptions()
@@ -297,6 +303,7 @@ func runChaos(ctx context.Context, src string, topo *netgraph.Topology, plan *fa
 		Reliable:          o.Reliable,
 		CheckpointEvery:   o.CheckpointEvery,
 		AntiEntropy:       o.AntiEntropy,
+		ScalarDelete:      o.ScalarDelete,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -344,7 +351,7 @@ func runChaos(ctx context.Context, src string, topo *netgraph.Topology, plan *fa
 				continue
 			}
 			if truth == nil {
-				truth = net.Topology().ShortestCosts()
+				truth = net.GroundTruth()
 			}
 			if nodeRoutesMatch(net, truth, tg.Node) {
 				tg.Recovered = true
@@ -601,7 +608,7 @@ func checkRoutes(net *Network) []Violation {
 		}
 		out = append(out, v)
 	}
-	truth := net.Topology().ShortestCosts()
+	truth := net.GroundTruth()
 	hasLink := map[string]int64{}
 	for _, l := range net.Topology().Links {
 		hasLink[l.Src+"|"+l.Dst] = l.Cost

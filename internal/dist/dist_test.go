@@ -152,10 +152,16 @@ func TestLinkFailureReconvergence(t *testing.T) {
 	if _, err := net.Run(); err != nil {
 		t.Fatal(err)
 	}
-	// The stale minimum persists in bestPathCost (no retraction cascade in
-	// pipelined NDlog — the known count-to-infinity-adjacent weakness this
-	// experiment documents); what must hold is that the alternative path
-	// through the ring was discovered before the failure and remains.
+	// The DRed deletion cascade retracts every path supported by the dead
+	// link and recomputes the min aggregate, so the stale direct route is
+	// gone and the long way around (n0->n1->n2->n3, cost 3) is the new
+	// minimum — no waiting for soft-state expiry.
+	if costAfter := bestCost(net, "n0", "n3"); costAfter != 3 {
+		t.Errorf("post-failure n0->n3 = %d, want 3 (cascade should purge the stale direct route)", costAfter)
+	}
+	if net.Stats().Retractions == 0 {
+		t.Error("link failure caused no retractions; deletion cascade did not run")
+	}
 	foundLong := false
 	for _, p := range net.Query("n0", "path") {
 		if p[1].S == "n3" && p[3].I == 3 {

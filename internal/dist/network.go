@@ -59,6 +59,13 @@ type Options struct {
 	// retained differential-testing oracle — instead of the default
 	// batched columnar one.
 	ScalarExec bool
+	// ScalarDelete disables the incremental deletion cascade (the DRed
+	// over-delete / re-derive path that is the default) and falls back to
+	// pre-cascade semantics: a deletion removes only the named tuple and
+	// recomputes aggregates over it, leaving stale downstream derivations
+	// to soft-state expiry and refresh. It is the retained
+	// differential-testing oracle for the incremental deletion path.
+	ScalarDelete bool
 
 	// Reliable enables the ack/retransmit layer: every message gets a
 	// per-directed-link sequence number, unacked messages are resent with
@@ -101,6 +108,7 @@ type Stats struct {
 	RouteChanges       int // keyed-table replacements
 	Expirations        int
 	Flips              int // A→B→A value oscillations on one key
+	Retractions        int // tuples removed by the incremental deletion cascade
 	Crashes            int
 	Restarts           int
 	// Self-healing layer (all zero when the mechanisms are disabled).
@@ -137,6 +145,7 @@ type netMetrics struct {
 	tupleUpdates, derivations *obs.Counter
 	joinProbes, routeChanges  *obs.Counter
 	expirations, flips        *obs.Counter
+	retractions               *obs.Counter
 	crashes, restarts         *obs.Counter
 	partitions                *obs.Counter
 	linkDowns, linkUps        *obs.Counter
@@ -169,6 +178,31 @@ type Network struct {
 	queue eventQueue
 	seq   int // tiebreaker for deterministic event order
 	now   float64
+
+	// Rule indexes, shared by every node (a per-node copy costs O(nodes ×
+	// rules) memory, which matters at 10^5..10^6 nodes): triggers maps a
+	// predicate to the (rule, body-literal index) pairs where it occurs
+	// positively; aggTriggers lists aggregate rules by input predicate;
+	// headRules lists the non-delete, non-aggregate rules that can head a
+	// predicate and have a head-seeded plan — the re-derivation check of
+	// the deletion cascade.
+	triggers    map[string][]trigger
+	aggTriggers map[string][]*ndlog.Rule
+	headRules   map[string][]*ndlog.Rule
+
+	// outbox batches remote derivations by directed link within one event
+	// instant: deliver enqueues entries here and flushOutbox (end of each
+	// event) sends one message per touched link — epoch-batched delivery.
+	// outboxOrder preserves first-touch order for determinism.
+	outbox      map[string][]msgEntry
+	outboxOrder []string
+
+	// tidx caches per-link and per-node topology lookups (lazily rebuilt
+	// when topoVer moves); gt memoizes the all-pairs Dijkstra ground truth
+	// at gtVer for the invariant checkers.
+	tidx  *topoIndex
+	gt    map[string]map[string]int64
+	gtVer int
 
 	// execs caches one executor per compiled plan, shared by all nodes
 	// (evaluation is single-threaded). shuf drives the seeded scan-order
@@ -311,6 +345,10 @@ func NewNetwork(prog *ndlog.Program, topo *netgraph.Topology, opts Options) (*Ne
 		chans:         map[string]*chanState{},
 		rel:           map[string]*relState{},
 		derived:       map[string]bool{},
+		triggers:      map[string][]trigger{},
+		aggTriggers:   map[string][]*ndlog.Rule{},
+		headRules:     map[string][]*ndlog.Rule{},
+		outbox:        map[string][]msgEntry{},
 		linkEpoch:     map[string]int{},
 		partCuts:      map[int][]netgraph.Link{},
 		waveSeen:      map[string]bool{},
@@ -319,6 +357,26 @@ func NewNetwork(prog *ndlog.Program, topo *netgraph.Topology, opts Options) (*Ne
 	n.hasChans = !n.defaultChan.Zero()
 	for _, r := range localized.Rules {
 		n.derived[r.Head.Pred] = true
+		agg, _ := r.Head.HeadAgg()
+		seenAgg := map[string]bool{}
+		for i, l := range r.Body {
+			if l.Atom == nil || l.Neg {
+				continue
+			}
+			if agg != nil {
+				if !seenAgg[l.Atom.Pred] {
+					seenAgg[l.Atom.Pred] = true
+					n.aggTriggers[l.Atom.Pred] = append(n.aggTriggers[l.Atom.Pred], r)
+				}
+				continue
+			}
+			n.triggers[l.Atom.Pred] = append(n.triggers[l.Atom.Pred], trigger{rule: r, idx: i})
+		}
+		if agg == nil && !r.Delete {
+			if rp := lan.Plans[r]; rp != nil && rp.HeadSeeded != nil {
+				n.headRules[r.Head.Pred] = append(n.headRules[r.Head.Pred], r)
+			}
+		}
 	}
 	n.initObs(opts.Obs, opts.Trace)
 	for _, id := range topo.Nodes {
@@ -377,6 +435,7 @@ func (n *Network) initObs(col *obs.Collector, tracer *obs.Tracer) {
 		routeChanges: col.Counter("dist", obs.MRouteChanges, ""),
 		expirations:  col.Counter("dist", obs.MExpirations, ""),
 		flips:        col.Counter("dist", obs.MFlips, ""),
+		retractions:  col.Counter("dist", obs.MRetractions, ""),
 		crashes:      col.Counter("dist", obs.MNodeCrashes, ""),
 		restarts:     col.Counter("dist", obs.MNodeRestarts, ""),
 		partitions:   col.Counter("dist", obs.MPartitions, ""),
@@ -420,6 +479,7 @@ func (n *Network) Stats() Stats {
 		RouteChanges:       int(n.nm.routeChanges.Value()),
 		Expirations:        int(n.nm.expirations.Value()),
 		Flips:              int(n.nm.flips.Value()),
+		Retractions:        int(n.nm.retractions.Value()),
 		Crashes:            int(n.nm.crashes.Value()),
 		Restarts:           int(n.nm.restarts.Value()),
 		Retransmits:        int(n.nm.retransmits.Value()),
@@ -470,31 +530,9 @@ func (n *Network) exec(p *ndlog.Plan) store.Runner {
 }
 
 func (n *Network) newNode(id string) *Node {
-	node := &Node{
-		ID:          id,
-		net:         n,
-		tables:      map[string]*store.Table{},
-		triggers:    map[string][]trigger{},
-		aggTriggers: map[string][]*ndlog.Rule{},
-	}
-	for _, r := range n.prog.Rules {
-		agg, _ := r.Head.HeadAgg()
-		seenAgg := map[string]bool{}
-		for i, l := range r.Body {
-			if l.Atom == nil || l.Neg {
-				continue
-			}
-			if agg != nil {
-				if !seenAgg[l.Atom.Pred] {
-					seenAgg[l.Atom.Pred] = true
-					node.aggTriggers[l.Atom.Pred] = append(node.aggTriggers[l.Atom.Pred], r)
-				}
-				continue
-			}
-			node.triggers[l.Atom.Pred] = append(node.triggers[l.Atom.Pred], trigger{rule: r, idx: i})
-		}
-	}
-	return node
+	// Rule indexes live on the Network (shared by all nodes); a node is
+	// just its identity, tables, and crash/checkpoint state.
+	return &Node{ID: id, net: n, tables: map[string]*store.Table{}}
 }
 
 // --- event queue -----------------------------------------------------------
@@ -550,6 +588,19 @@ type event struct {
 	repair  bool
 	rseq    int64
 	attempt int
+	// entries, when non-nil, marks an epoch-batched message: every remote
+	// derivation one event pushed over this link, delivered (and
+	// retransmitted) as a unit. pred/tup then hold the first entry as the
+	// representative for traces. nil means a classic single-tuple message.
+	entries []msgEntry
+}
+
+// msgEntry is one tuple (or retraction) inside an epoch-batched message.
+type msgEntry struct {
+	pred  string
+	tup   value.Tuple
+	cause prov.ID
+	del   bool // retraction: run the receiver's deletion cascade
 }
 
 type eventQueue []*event
@@ -742,19 +793,70 @@ func (n *Network) rand01() float64 {
 	return float64(n.rngState>>11) / float64(1<<53)
 }
 
+// topoIndex caches per-link and per-node lookups over the live topology.
+// It is rebuilt lazily whenever topoVer moves: at 10^5 nodes and 10^6
+// links the linear scans it replaces (the per-transmit latency lookup,
+// the per-wave out-link enumeration) dominate the whole run.
+type topoIndex struct {
+	ver  int
+	link map[string]netgraph.Link   // "src|dst" -> live directed link
+	out  map[string][]netgraph.Link // node -> out-links
+	nbrs map[string][]string        // node -> sorted, deduplicated neighbors
+}
+
+// tIdx returns the topology index, rebuilding it if stale.
+func (n *Network) tIdx() *topoIndex {
+	if n.tidx != nil && n.tidx.ver == n.topoVer {
+		return n.tidx
+	}
+	ti := &topoIndex{
+		ver:  n.topoVer,
+		link: make(map[string]netgraph.Link, len(n.topo.Links)),
+		out:  make(map[string][]netgraph.Link, len(n.topo.Nodes)),
+		nbrs: make(map[string][]string, len(n.topo.Nodes)),
+	}
+	nbrSeen := map[string]bool{}
+	for _, l := range n.topo.Links {
+		ti.link[l.Src+"|"+l.Dst] = l
+		ti.out[l.Src] = append(ti.out[l.Src], l)
+		for _, pair := range [2][2]string{{l.Src, l.Dst}, {l.Dst, l.Src}} {
+			k := pair[0] + "\x00" + pair[1]
+			if !nbrSeen[k] {
+				nbrSeen[k] = true
+				ti.nbrs[pair[0]] = append(ti.nbrs[pair[0]], pair[1])
+			}
+		}
+	}
+	for _, v := range ti.nbrs {
+		sort.Strings(v)
+	}
+	n.tidx = ti
+	return ti
+}
+
+// GroundTruth returns the all-pairs shortest-path costs of the live
+// topology, memoized per topology version — the invariant checkers call
+// it after every sample, and recomputing Dijkstra for an unchanged
+// topology dominated campaign time on large graphs.
+func (n *Network) GroundTruth() map[string]map[string]int64 {
+	if n.gt != nil && n.gtVer == n.topoVer {
+		return n.gt
+	}
+	n.gt = n.topo.ShortestCosts()
+	n.gtVer = n.topoVer
+	return n.gt
+}
+
 // latency returns the message latency from src to dst and whether a
 // direct topology link carries it.
 func (n *Network) latency(src, dst string) (float64, bool) {
-	direct := false
-	for _, l := range n.topo.Links {
-		if l.Src == src && l.Dst == dst {
-			if l.Latency > 0 {
-				return l.Latency, true
-			}
-			direct = true
+	if l, ok := n.tIdx().link[src+"|"+dst]; ok {
+		if l.Latency > 0 {
+			return l.Latency, true
 		}
+		return n.opts.DefaultLatency, true
 	}
-	return n.opts.DefaultLatency, direct
+	return n.opts.DefaultLatency, false
 }
 
 // chanState is the resolved noise model of one directed link, with its
@@ -808,7 +910,79 @@ func (n *Network) sendMessageOpts(src, dst, pred string, tup value.Tuple, cause 
 		rs.pending[rseq] = &relPending{pred: pred, tup: tup, cause: cause, repair: repair}
 		n.scheduleRetx(rs, rseq, 1)
 	}
-	n.transmit(src, dst, pred, tup, cause, rel, rseq, 0, repair)
+	n.transmit(src, dst, pred, tup, cause, nil, rel, rseq, 0, repair)
+}
+
+// queueRemote adds one tuple (or retraction) to the src→dst epoch batch:
+// every remote derivation of one event instant rides a single message
+// per link, flushed when the event finishes (flushOutbox). Retractions
+// are link-bound: a dead direct link cannot signal a deletion, so the
+// entry is silently discarded before it ever becomes a message — the
+// paper's soft-state stance that retractions cannot cross failed links
+// (refresh and expiry are the backstop for the stale remote state).
+func (n *Network) queueRemote(src, dst string, en msgEntry) {
+	k := src + "|" + dst
+	if en.del {
+		if _, alive := n.tIdx().link[k]; !alive {
+			return
+		}
+	}
+	box := n.outbox[k]
+	for _, have := range box {
+		if have.del == en.del && have.pred == en.pred && have.tup.Equal(en.tup) {
+			return // exact duplicate within this epoch batch
+		}
+	}
+	if box == nil {
+		n.outboxOrder = append(n.outboxOrder, k)
+	}
+	n.outbox[k] = append(box, en)
+}
+
+// flushOutbox sends every pending epoch batch, one message per touched
+// link in first-touch order. A batch of exactly one plain tuple takes
+// the classic single-message path, so sparse traffic keeps its
+// pre-batching shape.
+func (n *Network) flushOutbox() {
+	if len(n.outboxOrder) == 0 {
+		return
+	}
+	order := n.outboxOrder
+	n.outboxOrder = n.outboxOrder[:0]
+	for _, k := range order {
+		entries := n.outbox[k]
+		delete(n.outbox, k)
+		if len(entries) == 0 {
+			continue
+		}
+		i := strings.IndexByte(k, '|')
+		src, dst := k[:i], k[i+1:]
+		if len(entries) == 1 && !entries[0].del {
+			en := entries[0]
+			n.sendMessage(src, dst, en.pred, en.tup, en.cause)
+			continue
+		}
+		n.sendBatch(src, dst, entries)
+	}
+}
+
+// sendBatch transmits one epoch batch (several tuples and retractions
+// for one link) as a single message: one statistics entry, one fault
+// draw set, one reliable-channel sequence number. The first entry is
+// the representative for traces and retransmit bookkeeping.
+func (n *Network) sendBatch(src, dst string, entries []msgEntry) {
+	rep := entries[0]
+	var rseq int64
+	rel := false
+	if n.opts.Reliable {
+		rel = true
+		rs := n.relFor(src, dst)
+		rs.nextSeq++
+		rseq = rs.nextSeq
+		rs.pending[rseq] = &relPending{pred: rep.pred, tup: rep.tup, cause: rep.cause, entries: entries}
+		n.scheduleRetx(rs, rseq, 1)
+	}
+	n.transmit(src, dst, rep.pred, rep.tup, rep.cause, entries, rel, rseq, 0, false)
 }
 
 // transmit applies the link's fault channel to one physical transmission:
@@ -817,7 +991,7 @@ func (n *Network) sendMessageOpts(src, dst, pred string, tup value.Tuple, cause 
 // delay. Every scheduled copy is stamped with the link epoch so a later
 // link failure drops it in flight. Retransmissions re-enter here with
 // attempt > 0 and count as sent like any other copy.
-func (n *Network) transmit(src, dst, pred string, tup value.Tuple, cause prov.ID, rel bool, rseq int64, attempt int, repair bool) {
+func (n *Network) transmit(src, dst, pred string, tup value.Tuple, cause prov.ID, entries []msgEntry, rel bool, rseq int64, attempt int, repair bool) {
 	ch := n.chanFor(src, dst)
 	copies := 1
 	if ch != nil && ch.cfg.Dup > 0 && ch.rng.Float64() < ch.cfg.Dup {
@@ -865,6 +1039,7 @@ func (n *Network) transmit(src, dst, pred string, tup value.Tuple, cause prov.ID
 			repair:  repair,
 			rseq:    rseq,
 			attempt: attempt,
+			entries: entries,
 		})
 	}
 }
@@ -986,21 +1161,18 @@ func (n *Network) linkDown(a, b string) error {
 		if !ok {
 			continue
 		}
-		// Snapshot: the loop deletes while iterating.
+		// Snapshot: the cascade deletes while iterating. This is a primary
+		// (forced) retraction — the link fact is gone by fiat, and the
+		// deletion cascade retracts everything downstream of it (under
+		// ScalarDelete only aggregates recompute, as before the cascade).
 		for _, tup := range t.Snapshot() {
 			if tup[0].S == pair[0] && tup[1].S == pair[1] {
-				t.Delete(tup)
-				n.prov.Retract(n.now, pair[0], "link", tup, "link_down", fid)
-				n.lastChange = n.now
-				// Aggregates over link recompute.
-				for _, r := range node.aggTriggers["link"] {
-					ds, err := node.recomputeAggregate(r, "link", tup)
-					if err != nil {
-						return err
-					}
-					if err := n.deliver(node, ds); err != nil {
-						return err
-					}
+				ds, err := node.retract("link", tup, true, "link_down", fid)
+				if err != nil {
+					return err
+				}
+				if err := n.deliver(node, ds); err != nil {
+					return err
 				}
 			}
 		}
@@ -1054,8 +1226,10 @@ func (n *Network) noteFlip(node, pred, key string, old, new value.Tuple) {
 	n.history[h] = [2]string{old.Key(), new.Key()}
 }
 
-// deliver processes derivations: local heads recurse immediately, remote
-// heads become messages.
+// deliver processes derivations: local heads recurse immediately (the
+// deletion cascade included), remote heads enter the link's epoch batch
+// in the outbox — one message per link per event instant, sent by
+// flushOutbox when the event finishes.
 func (n *Network) deliver(from *Node, ds []derivation) error {
 	// Local worklist (zero simulated time).
 	work := ds
@@ -1065,9 +1239,12 @@ func (n *Network) deliver(from *Node, ds []derivation) error {
 		if d.loc == from.ID {
 			var more []derivation
 			var err error
-			if d.del != nil {
+			switch {
+			case d.retract:
+				more, err = from.retract(d.pred, d.tup, false, "support_lost", d.cause)
+			case d.del != nil:
 				more, err = from.retractDerived(d.del, d.pred, d.tup)
-			} else {
+			default:
 				more, err = from.insert(d.pred, d.tup, n.now, d.cause)
 			}
 			if err != nil {
@@ -1076,7 +1253,7 @@ func (n *Network) deliver(from *Node, ds []derivation) error {
 			work = append(work, more...)
 			continue
 		}
-		n.sendMessage(from.ID, d.loc, d.pred, d.tup, d.cause)
+		n.queueRemote(from.ID, d.loc, msgEntry{pred: d.pred, tup: d.tup, cause: d.cause, del: d.retract})
 	}
 	return nil
 }
@@ -1134,6 +1311,7 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 				cause prov.ID
 			}
 			var batch []update
+			var retracts []update
 			admit := func(ev *event) {
 				cause := ev.cause
 				if ev.kind == evMessage {
@@ -1143,6 +1321,29 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 					n.noteDelivered(ev)
 					if ev.rel && !n.relReceive(ev) {
 						return // duplicate suppressed (re-acked above)
+					}
+					if ev.entries != nil {
+						// Epoch batch: one message, many tuples. Every entry
+						// gets its own delivery edge; retractions are set
+						// aside and run after this instant's inserts, so a
+						// tuple that moves (retract+re-derive in one epoch)
+						// settles on the inserted value.
+						for _, en := range ev.entries {
+							lbl := en.pred
+							if ev.attempt > 0 {
+								lbl += "/retx"
+							}
+							if ev.repair {
+								lbl += "/repair"
+							}
+							c := n.prov.Message(ev.at, ev.from, ev.node, lbl, ev.epoch, int64(ev.seq), en.cause)
+							if en.del {
+								retracts = append(retracts, update{en.pred, en.tup, c})
+							} else {
+								batch = append(batch, update{en.pred, en.tup, c})
+							}
+						}
+						return
 					}
 					// The delivery edge is recorded even when the insert
 					// below turns out to be a no-op: the message crossing
@@ -1173,10 +1374,14 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 			}
 			final := map[string]update{}
 			var order []string
+			var olds []update // key-replaced old tuples: cascade their losses
 			for _, u := range batch {
-				changed, key, err := node.insertQuiet(u.pred, u.tup, n.now, u.cause)
+				changed, key, old, err := node.insertQuiet(u.pred, u.tup, n.now, u.cause)
 				if err != nil {
 					return Result{}, err
+				}
+				if old != nil {
+					olds = append(olds, update{u.pred, old, u.cause})
 				}
 				if !changed {
 					if !n.refreshFire(node, u.pred, u.tup) {
@@ -1193,6 +1398,26 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 			for _, k := range order {
 				u := final[k]
 				ds, err := node.fire(u.pred, u.tup)
+				if err != nil {
+					return Result{}, err
+				}
+				if err := n.deliver(node, ds); err != nil {
+					return Result{}, err
+				}
+			}
+			if !n.opts.ScalarDelete {
+				for _, u := range olds {
+					ds, err := node.replacedLosses(u.pred, u.tup, u.cause)
+					if err != nil {
+						return Result{}, err
+					}
+					if err := n.deliver(node, ds); err != nil {
+						return Result{}, err
+					}
+				}
+			}
+			for _, u := range retracts {
+				ds, err := node.retract(u.pred, u.tup, false, "support_lost", u.cause)
 				if err != nil {
 					return Result{}, err
 				}
@@ -1371,10 +1596,7 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 				if node == nil || node.down {
 					continue
 				}
-				for _, l := range n.topo.Links {
-					if l.Src != id {
-						continue
-					}
+				for _, l := range n.tIdx().out[id] {
 					ds, err := node.insert("link", value.Tuple{value.Addr(l.Src), value.Addr(l.Dst), value.Int(l.Cost)}, n.now, 0)
 					if err != nil {
 						return Result{}, err
@@ -1388,6 +1610,9 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 				n.schedule(&event{at: n.now + n.refreshInterval, kind: evRefresh})
 			}
 		}
+		// Epoch boundary: everything the event pushed toward remote nodes
+		// leaves now, one batched message per touched link.
+		n.flushOutbox()
 	}
 	if n.tracer != nil {
 		n.tracer.Emit(obs.Event{T: n.lastChange, Kind: obs.EvRunEnd, Name: "converged"})

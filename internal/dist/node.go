@@ -15,20 +15,17 @@ import (
 // Node is one network participant: its tables and the localized rules it
 // evaluates. Rules are indexed by the predicates of their body atoms so
 // that tuple arrivals trigger exactly the affected rules (pipelined
-// evaluation). Tables are store.Table instances — the same storage layer
-// the centralized engine uses — and rule bodies run through the compiled
-// join plans of the localized program's analysis on the shared plan
-// executor.
+// evaluation); the indexes live on the Network (identical at every node)
+// so per-node state is just tables plus crash/checkpoint bookkeeping —
+// what lets one process hold 10^5..10^6 nodes. Tables are store.Table
+// instances — the same storage layer the centralized engine uses — and
+// rule bodies run through the compiled join plans of the localized
+// program's analysis on the shared plan executor.
 type Node struct {
 	ID  string
 	net *Network
 
 	tables map[string]*store.Table
-	// triggers maps a predicate to the (rule, body-literal index) pairs
-	// where it occurs positively.
-	triggers map[string][]trigger
-	// aggRules lists aggregate rules by input predicate.
-	aggTriggers map[string][]*ndlog.Rule
 
 	// Crash state (see Network.CrashNode): down marks the node crashed;
 	// epoch counts crashes, so expiry events scheduled by an earlier
@@ -57,11 +54,16 @@ type derivation struct {
 	tup   value.Tuple
 	loc   string  // destination node (from the location argument)
 	cause prov.ID // the rule firing that produced it (0 when disabled)
-	// del marks a retraction: the firing delete rule, nil for inserts.
+	// del marks an explicit delete-rule firing: the rule, nil otherwise.
 	// Delete rules retract locally and never cascade through plain
 	// triggers (matching the centralized engine, where deletes run after
 	// the stratum's fixpoint); aggregates over the head do recompute.
 	del *ndlog.Rule
+	// retract marks a deletion-cascade loss candidate: the tuple may have
+	// lost its last support and must be re-checked (and re-derived or
+	// removed) at loc — the DRed over-delete propagating through the
+	// network.
+	retract bool
 }
 
 // Table implements store.TableSource for the plan executor: a nil result
@@ -102,23 +104,38 @@ func (n *Node) Tuples(pred string) []value.Tuple {
 
 // insert stores a tuple and returns the downstream derivations it enables.
 // It drives plain rules via pipelined semi-naive evaluation (the new tuple
-// as delta) and recomputes affected aggregate groups.
+// as delta), recomputes affected aggregate groups, and — when a keyed put
+// replaced an old tuple — cascades the old tuple's losses after the new
+// tuple's firings (fire-then-losses, so a moved value re-derives its
+// consequences before the stale ones are questioned).
 func (n *Node) insert(pred string, tup value.Tuple, now float64, cause prov.ID) ([]derivation, error) {
-	changed, _, err := n.insertQuiet(pred, tup, now, cause)
+	changed, _, old, err := n.insertQuiet(pred, tup, now, cause)
 	if err != nil {
 		return nil, err
 	}
 	if !changed && !n.net.refreshFire(n, pred, tup) {
 		return nil, nil
 	}
-	return n.fire(pred, tup)
+	ds, err := n.fire(pred, tup)
+	if err != nil {
+		return nil, err
+	}
+	if old != nil && !n.net.opts.ScalarDelete {
+		more, err := n.replacedLosses(pred, old, cause)
+		if err != nil {
+			return nil, err
+		}
+		ds = append(ds, more...)
+	}
+	return ds, nil
 }
 
 // insertQuiet performs the table update (key replacement, expiry
 // scheduling, statistics) without firing rules. It returns whether the
-// table changed and the tuple's primary key, so batch delivery can fire
-// rules once per surviving key.
-func (n *Node) insertQuiet(pred string, tup value.Tuple, now float64, cause prov.ID) (bool, string, error) {
+// table changed, the tuple's primary key (so batch delivery can fire
+// rules once per surviving key), and the old tuple a keyed put replaced
+// (nil otherwise — the caller owes the replaced tuple a loss cascade).
+func (n *Node) insertQuiet(pred string, tup value.Tuple, now float64, cause prov.ID) (bool, string, value.Tuple, error) {
 	t := n.table(pred)
 	if t.Arity == 0 && t.Len() == 0 {
 		// A predicate unknown to the rules (externally populated table):
@@ -126,25 +143,27 @@ func (n *Node) insertQuiet(pred string, tup value.Tuple, now float64, cause prov
 		t.Arity = len(tup)
 	}
 	if len(tup) != t.Arity {
-		return false, "", fmt.Errorf("dist: %s: %s expects %d columns, got %d", n.ID, pred, t.Arity, len(tup))
+		return false, "", nil, fmt.Errorf("dist: %s: %s expects %d columns, got %d", n.ID, pred, t.Arity, len(tup))
 	}
 	res, old, err := t.Put(tup, now)
 	if err != nil {
-		return false, "", err
+		return false, "", nil, err
 	}
 	if res == store.PutNoop {
-		return false, "", nil
+		return false, "", nil, nil
 	}
 	if t.Lifetime > 0 {
 		n.net.scheduleExpiry(n.ID, pred, tup, now+t.Lifetime)
 	}
 	key := t.KeyOf(tup)
+	var replaced value.Tuple
 	if res == store.PutReplace {
 		n.net.nm.routeChanges.Add(1)
 		n.net.noteFlip(n.ID, pred, key, old, tup)
 		// The new version supersedes the old by key replacement; forget
 		// the old content version so Current resolves to the live tuple.
 		n.net.prov.Drop(n.ID, pred, old)
+		replaced = old
 	}
 	n.net.prov.Tuple(now, n.ID, pred, tup, cause)
 	n.net.nm.tupleUpdates.Add(1)
@@ -152,21 +171,21 @@ func (n *Node) insertQuiet(pred string, tup value.Tuple, now float64, cause prov
 		n.net.tracer.Emit(obs.Event{T: now, Kind: obs.EvTupleDerived, Node: n.ID, Pred: pred, Tuple: tup.String()})
 	}
 	n.net.lastChange = now
-	return true, key, nil
+	return true, key, replaced, nil
 }
 
 // fire evaluates the rules triggered by a change to tup of pred: plain
 // rules via delta joins, aggregate rules via group recomputation.
 func (n *Node) fire(pred string, tup value.Tuple) ([]derivation, error) {
 	var out []derivation
-	for _, tr := range n.triggers[pred] {
+	for _, tr := range n.net.triggers[pred] {
 		ds, err := n.evalRuleDelta(tr.rule, tr.idx, tup)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, ds...)
 	}
-	for _, r := range n.aggTriggers[pred] {
+	for _, r := range n.net.aggTriggers[pred] {
 		ds, err := n.recomputeAggregate(r, pred, tup)
 		if err != nil {
 			return nil, err
@@ -250,8 +269,10 @@ func (n *Node) aggSeeds(r *ndlog.Rule, pred string, tup value.Tuple) ([]map[stri
 	return seeds, false, relevant
 }
 
-// expire removes a soft-state tuple if it has not been refreshed, and
-// recomputes aggregates that depended on it.
+// expire removes a soft-state tuple if it has not been refreshed and
+// recomputes aggregates that depended on it. Expiry never cascades (see
+// the comment at the deletion site): derived soft state has its own
+// TTLs and heals by refresh.
 func (n *Node) expire(pred string, tup value.Tuple, now float64) ([]derivation, error) {
 	t, ok := n.tables[pred]
 	if !ok {
@@ -270,6 +291,12 @@ func (n *Node) expire(pred string, tup value.Tuple, now float64) ([]derivation, 
 		n.net.scheduleExpiry(n.ID, pred, tup, last+t.Lifetime)
 		return nil, nil
 	}
+	// Expiry deliberately does NOT run the DRed loss cascade: soft state
+	// ages out on its own TTLs (§4.2), so derived tuples downstream of an
+	// expired fact keep their own lifetimes and heal by refresh. The
+	// cascade is reserved for explicit retractions (link failures, delete
+	// rules, support loss), where waiting for TTLs would leave provably
+	// stale state in place.
 	t.DeleteByKey(k)
 	n.net.nm.expirations.Add(1)
 	n.net.prov.Retract(now, n.ID, pred, cur, "expired", 0)
@@ -279,8 +306,149 @@ func (n *Node) expire(pred string, tup value.Tuple, now float64) ([]derivation, 
 	n.net.lastChange = now
 
 	var out []derivation
-	for _, r := range n.aggTriggers[pred] {
+	for _, r := range n.net.aggTriggers[pred] {
 		ds, err := n.recomputeAggregate(r, pred, cur)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	return out, nil
+}
+
+// retract removes pred(tup) from the node through the incremental
+// deletion path: the tuple is over-deleted, checked for an alternative
+// derivation (DRed re-derive; skipped under force — primary deletions
+// like link failures are facts, not inferences), and, when truly gone,
+// its delta-join consequences are emitted as further retraction
+// candidates so the loss cascades across rules and nodes. reason and
+// cause feed provenance. Under Options.ScalarDelete the cascade and the
+// re-derivation check are disabled and only aggregates recompute — the
+// pre-cascade oracle semantics.
+func (n *Node) retract(pred string, tup value.Tuple, force bool, reason string, cause prov.ID) ([]derivation, error) {
+	t, ok := n.tables[pred]
+	if !ok {
+		return nil, nil
+	}
+	k := t.KeyOf(tup)
+	cur, exists := t.Get(k)
+	if !exists || !cur.Equal(tup) {
+		return nil, nil // already gone or superseded: nothing to retract
+	}
+	// Loss candidates against the pre-deletion state (self-joins over
+	// pred still see the dying tuple).
+	var losses []derivation
+	if !n.net.opts.ScalarDelete {
+		var err error
+		losses, err = n.lossCandidates(pred, tup, cause)
+		if err != nil {
+			return nil, err
+		}
+	}
+	t.DeleteByKey(k)
+	if !force && !n.net.opts.ScalarDelete {
+		ok, err := n.rederive(pred, tup)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			// Alternative support exists: restore the tuple (it never
+			// observably left) and drop the cascade.
+			if _, _, err := t.Put(tup, n.net.now); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+	}
+	n.net.nm.retractions.Add(1)
+	n.net.prov.Retract(n.net.now, n.ID, pred, tup, reason, cause)
+	if n.net.tracer != nil {
+		n.net.tracer.Emit(obs.Event{T: n.net.now, Kind: obs.EvRetracted, Node: n.ID, Pred: pred, Tuple: tup.String()})
+	}
+	n.net.lastChange = n.net.now
+	var out []derivation
+	for _, r := range n.net.aggTriggers[pred] {
+		ds, err := n.recomputeAggregate(r, pred, tup)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	return append(out, losses...), nil
+}
+
+// rederive checks whether pred(tup) still has a derivation from the
+// node's current state, trying every rule that can head the predicate
+// locally via its head-seeded plan (store.Rederivable). A surviving
+// witness re-records the tuple's provenance under the rule's
+// "/rederive" label — mirroring the engine's DRed re-derivation pass.
+func (n *Node) rederive(pred string, tup value.Tuple) (bool, error) {
+	for _, r := range n.net.headRules[pred] {
+		loc, err := n.headLoc(r, tup)
+		if err != nil || loc != n.ID {
+			continue // this rule derives the tuple at another node
+		}
+		rp := n.net.an.Plans[r]
+		x := n.net.exec(rp.HeadSeeded)
+		ok, err := store.Rederivable(x, n, rp.HeadSeeded, rp.HeadSeedCols, tup)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			if n.net.prov.Enabled() {
+				cause := n.net.prov.Rule(n.net.now, n.ID, r.Label+"/rederive", nil)
+				n.net.prov.Tuple(n.net.now, n.ID, pred, tup, cause)
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// lossCandidates evaluates the positive delta plans triggered by a
+// deleted tuple and returns every head that may have lost support — the
+// over-delete half of DRed. Candidates are verification work, not rule
+// firings: they do not count toward derivation statistics, and each one
+// is re-checked (and possibly re-derived) wherever it lands.
+func (n *Node) lossCandidates(pred string, tup value.Tuple, cause prov.ID) ([]derivation, error) {
+	var out []derivation
+	for _, tr := range n.net.triggers[pred] {
+		if tr.rule.Delete {
+			continue // a delete rule's head was never derived by it
+		}
+		plan := n.net.an.Plans[tr.rule].Delta[tr.idx]
+		x := n.net.exec(plan)
+		n.net.deltaBuf[0] = tup
+		_, err := x.Run(n, n.net.deltaBuf[:], nil, func([]value.V) error {
+			head := make(value.Tuple, len(plan.HeadExprs))
+			if err := plan.BuildHead(x.Env(), head); err != nil {
+				return fmt.Errorf("dist: rule %s head: %w", tr.rule.Label, err)
+			}
+			loc, err := n.headLoc(tr.rule, head)
+			if err != nil {
+				return err
+			}
+			out = append(out, derivation{pred: tr.rule.Head.Pred, tup: head, loc: loc, cause: cause, retract: true})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// replacedLosses cascades the disappearance of a key-replaced old tuple:
+// its delta-join consequences become retraction candidates, and its old
+// aggregate groups recompute (the new tuple's groups were already
+// covered when the replacement fired).
+func (n *Node) replacedLosses(pred string, old value.Tuple, cause prov.ID) ([]derivation, error) {
+	out, err := n.lossCandidates(pred, old, cause)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range n.net.aggTriggers[pred] {
+		ds, err := n.recomputeAggregate(r, pred, old)
 		if err != nil {
 			return nil, err
 		}
@@ -305,7 +473,7 @@ func (n *Node) retractDerived(r *ndlog.Rule, pred string, tup value.Tuple) ([]de
 	}
 	n.net.lastChange = n.net.now
 	var out []derivation
-	for _, ar := range n.aggTriggers[pred] {
+	for _, ar := range n.net.aggTriggers[pred] {
 		ds, err := n.recomputeAggregate(ar, pred, tup)
 		if err != nil {
 			return nil, err
@@ -488,10 +656,9 @@ func (n *Node) evalAggregate(r *ndlog.Rule, seed map[string]value.V) ([]derivati
 		return nil, err
 	}
 	// A seeded recompute that finds its group empty retracts the stale
-	// aggregate tuple (locally).
+	// aggregate tuple (locally) and cascades its loss.
 	if seed != nil && len(groups) == 0 {
-		n.retractAggGroup(r, plan.AggIdx, seed)
-		return nil, nil
+		return n.retractAggGroup(r, plan.AggIdx, seed)
 	}
 	var out []derivation
 	for _, k := range order {
@@ -541,35 +708,41 @@ func (n *Node) headLoc(r *ndlog.Rule, tup value.Tuple) (string, error) {
 
 // retractAggGroup removes the stale aggregate tuple for the group named by
 // seed, when the head table's primary key is determined by the group
-// variables.
-func (n *Node) retractAggGroup(r *ndlog.Rule, aggIdx int, seed map[string]value.V) {
+// variables, and cascades the removed tuple's downstream losses.
+func (n *Node) retractAggGroup(r *ndlog.Rule, aggIdx int, seed map[string]value.V) ([]derivation, error) {
 	t := n.table(r.Head.Pred)
 	if len(t.Keys) == 0 {
-		return // whole-tuple key: cannot name the stale tuple without its value
+		return nil, nil // whole-tuple key: cannot name the stale tuple without its value
 	}
 	sub := make(value.Tuple, len(t.Keys))
 	for i, c := range t.Keys {
 		if c == aggIdx {
-			return // the aggregate column is part of the key
+			return nil, nil // the aggregate column is part of the key
 		}
 		v, ok := r.Head.Args[c].(ndlog.VarE)
 		if !ok {
-			return
+			return nil, nil
 		}
 		val, bound := seed[v.Name]
 		if !bound {
-			return
+			return nil, nil
 		}
 		sub[i] = val
 	}
-	if old, ok := t.DeleteByKey(sub.Key()); ok {
-		n.net.nm.expirations.Add(1)
-		n.net.prov.Retract(n.net.now, n.ID, r.Head.Pred, old, "agg_empty", 0)
-		if n.net.tracer != nil {
-			n.net.tracer.Emit(obs.Event{T: n.net.now, Kind: obs.EvExpired, Node: n.ID, Pred: r.Head.Pred})
-		}
-		n.net.lastChange = n.net.now
+	old, ok := t.DeleteByKey(sub.Key())
+	if !ok {
+		return nil, nil
 	}
+	n.net.nm.expirations.Add(1)
+	n.net.prov.Retract(n.net.now, n.ID, r.Head.Pred, old, "agg_empty", 0)
+	if n.net.tracer != nil {
+		n.net.tracer.Emit(obs.Event{T: n.net.now, Kind: obs.EvExpired, Node: n.ID, Pred: r.Head.Pred})
+	}
+	n.net.lastChange = n.net.now
+	if n.net.opts.ScalarDelete {
+		return nil, nil
+	}
+	return n.lossCandidates(r.Head.Pred, old, 0)
 }
 
 // matchAtom matches a stored tuple against an atom's argument patterns,

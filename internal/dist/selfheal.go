@@ -21,12 +21,15 @@ import (
 
 // --- reliable channels ------------------------------------------------------
 
-// relPending is one unacked message awaiting retransmission.
+// relPending is one unacked message awaiting retransmission. entries is
+// non-nil for an epoch-batched message: the whole batch is retransmitted
+// as a unit (pred/tup hold the representative first entry).
 type relPending struct {
-	pred   string
-	tup    value.Tuple
-	cause  prov.ID
-	repair bool // anti-entropy pull (kept across retransmits for provenance)
+	pred    string
+	tup     value.Tuple
+	cause   prov.ID
+	repair  bool // anti-entropy pull (kept across retransmits for provenance)
+	entries []msgEntry
 }
 
 // relState is the reliable-channel state of one directed link: the sender
@@ -125,7 +128,7 @@ func (n *Network) relRetransmit(e *event) {
 	if n.tracer != nil {
 		n.tracer.Emit(obs.Event{T: n.now, Kind: obs.EvRetransmit, From: rs.src, To: rs.dst, Pred: p.pred, Tuple: p.tup.String(), N: int64(e.attempt)})
 	}
-	n.transmit(rs.src, rs.dst, p.pred, p.tup, p.cause, true, e.rseq, e.attempt, p.repair)
+	n.transmit(rs.src, rs.dst, p.pred, p.tup, p.cause, p.entries, true, e.rseq, e.attempt, p.repair)
 	n.scheduleRetx(rs, e.rseq, e.attempt+1)
 }
 
@@ -434,7 +437,7 @@ func (n *Network) antiEntropyNode(x *Node) error {
 					return err
 				}
 				for _, d := range ds {
-					if d.del != nil || d.loc != x.ID {
+					if d.del != nil || d.retract || d.loc != x.ID {
 						continue
 					}
 					m := fp(d.pred)
@@ -457,25 +460,10 @@ func (n *Network) antiEntropyNode(x *Node) error {
 }
 
 // neighborsOf returns the nodes adjacent to id in the current topology,
-// sorted and deduplicated.
+// sorted and deduplicated (served from the lazily-rebuilt topology
+// index).
 func (n *Network) neighborsOf(id string) []string {
-	seen := map[string]bool{}
-	var out []string
-	for _, l := range n.topo.Links {
-		other := ""
-		if l.Src == id {
-			other = l.Dst
-		} else if l.Dst == id {
-			other = l.Src
-		}
-		if other == "" || seen[other] {
-			continue
-		}
-		seen[other] = true
-		out = append(out, other)
-	}
-	sort.Strings(out)
-	return out
+	return n.tIdx().nbrs[id]
 }
 
 // healEndpoints collects the live endpoints of the restored links, sorted

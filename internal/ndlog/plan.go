@@ -2,6 +2,7 @@ package ndlog
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/value"
@@ -192,6 +193,14 @@ type Plan struct {
 	// (StepScan and StepDelta), in step order: the antecedent positions
 	// a provenance recorder reads back via Exec.CurTuple.
 	AntSteps []int
+
+	// CanonSlots maps the rule's variables, in one canonical order shared
+	// by every plan variant of the rule, to this plan's frame slots. A
+	// frame hashed through CanonSlots identifies a derivation (a body
+	// variable assignment) independently of which variant produced it, so
+	// incremental maintenance can deduplicate the frames that a self-join
+	// rule emits once per delta position of the same changed tuple.
+	CanonSlots []int
 }
 
 // RulePlans groups the compiled plan variants of one rule.
@@ -199,12 +208,35 @@ type RulePlans struct {
 	// Full evaluates the body against stored tables only.
 	Full *Plan
 	// Delta[i] is the semi-naive plan with body literal i as the delta;
-	// non-nil exactly for positive atom literals.
+	// non-nil exactly for positive atom literals. The same plan serves
+	// both directions of incremental maintenance: run with an inserted
+	// tuple after it is stored it enumerates the gained derivations, run
+	// with a deleted tuple before it is removed it enumerates the lost
+	// ones.
 	Delta []*Plan
+	// NegDelta[i] is the delete-delta counterpart for negated body
+	// literals; non-nil exactly for negated atom literals. The negated
+	// atom is evaluated against the delta tuple instead of probed: run
+	// with a freshly inserted tuple of the negated predicate (before the
+	// insert is stored) it enumerates the derivations the insert kills,
+	// run with a deleted tuple (after the removal) it enumerates the
+	// derivations the removal revives. Negation is safe (every column
+	// determined), so a fully bound pattern matches exactly one tuple and
+	// no residual probe is needed.
+	NegDelta []*Plan
 	// Seeded recomputes an aggregate rule for a single group (its group
 	// variables pre-bound). Nil unless the head has an aggregate and every
 	// non-aggregate head argument is a plain variable.
 	Seeded *Plan
+	// HeadSeeded re-evaluates the body with the head's plain-variable
+	// arguments pre-bound — the DRed re-derivation check: after an
+	// over-delete, one run seeded from the deleted head tuple decides
+	// whether any alternative derivation survives. Nil for aggregate and
+	// delete rules.
+	HeadSeeded *Plan
+	// HeadSeedCols[i] is the head-tuple column that feeds
+	// HeadSeeded.SeedVars[i].
+	HeadSeedCols []int
 }
 
 // planner holds the state of compiling one plan variant.
@@ -218,23 +250,31 @@ type planner struct {
 func (a *Analysis) buildPlans() error {
 	a.Plans = map[*Rule]*RulePlans{}
 	for _, r := range a.Prog.Rules {
-		rp := &RulePlans{Delta: make([]*Plan, len(r.Body))}
+		rp := &RulePlans{
+			Delta:    make([]*Plan, len(r.Body)),
+			NegDelta: make([]*Plan, len(r.Body)),
+		}
 		full, err := planRule(r, -1, nil)
 		if err != nil {
 			return err
 		}
 		rp.Full = full
 		for i, l := range r.Body {
-			if l.Atom == nil || l.Neg {
+			if l.Atom == nil {
 				continue
 			}
 			d, err := planRule(r, i, nil)
 			if err != nil {
 				return err
 			}
-			rp.Delta[i] = d
+			if l.Neg {
+				rp.NegDelta[i] = d
+			} else {
+				rp.Delta[i] = d
+			}
 		}
-		if _, idx := r.Head.HeadAgg(); idx >= 0 {
+		_, aggIdx := r.Head.HeadAgg()
+		if aggIdx >= 0 {
 			if seeds, ok := aggGroupVars(r); ok {
 				s, err := planRule(r, -1, seeds)
 				if err != nil {
@@ -242,10 +282,69 @@ func (a *Analysis) buildPlans() error {
 				}
 				rp.Seeded = s
 			}
+		} else if !r.Delete {
+			seeds, cols := headSeedVars(r)
+			hs, err := planRule(r, -1, seeds)
+			if err != nil {
+				return err
+			}
+			rp.HeadSeeded, rp.HeadSeedCols = hs, cols
 		}
+		canonizePlans(rp)
 		a.Plans[r] = rp
 	}
 	return nil
+}
+
+// headSeedVars returns the plain-variable head arguments of r (first
+// occurrence each) and the head columns they appear at — the seeds of the
+// DRed re-derivation plan. Computed or constant head arguments carry no
+// seed; the re-derivation caller filters emissions by rebuilt head
+// instead.
+func headSeedVars(r *Rule) ([]string, []int) {
+	var vars []string
+	var cols []int
+	seen := map[string]bool{}
+	for i, arg := range r.Head.Args {
+		if v, isVar := arg.(VarE); isVar && !seen[v.Name] {
+			seen[v.Name] = true
+			vars = append(vars, v.Name)
+			cols = append(cols, i)
+		}
+	}
+	return vars, cols
+}
+
+// canonizePlans fixes one canonical variable order across all plan
+// variants of a rule (the Full plan's variables, sorted by name) and
+// resolves each variant's CanonSlots against it. Every variant compiles
+// the same body and head, so the variable sets coincide.
+func canonizePlans(rp *RulePlans) {
+	vars := make([]string, 0, len(rp.Full.SlotOf))
+	for v := range rp.Full.SlotOf {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	set := func(p *Plan) {
+		if p == nil {
+			return
+		}
+		p.CanonSlots = make([]int, 0, len(vars))
+		for _, v := range vars {
+			if s, ok := p.SlotOf[v]; ok {
+				p.CanonSlots = append(p.CanonSlots, s)
+			}
+		}
+	}
+	set(rp.Full)
+	for _, p := range rp.Delta {
+		set(p)
+	}
+	for _, p := range rp.NegDelta {
+		set(p)
+	}
+	set(rp.Seeded)
+	set(rp.HeadSeeded)
 }
 
 // aggGroupVars returns the non-aggregate head variables of an aggregate
@@ -314,7 +413,7 @@ func planRule(r *Rule, deltaIdx int, seedVars []string) (*Plan, error) {
 				}
 				continue
 			}
-			if l.Neg && allBound(AtomVars(l.Atom), p.bound) {
+			if l.Neg && i != deltaIdx && allBound(AtomVars(l.Atom), p.bound) {
 				p.negStep(l.Atom, i)
 				taken[i] = true
 				remaining--

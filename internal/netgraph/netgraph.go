@@ -172,6 +172,99 @@ func RandomConnected(n int, p float64, maxCost int64, seed uint64) *Topology {
 	return t
 }
 
+// PreferentialAttachment builds a Barabási–Albert scale-free graph: nodes
+// arrive one at a time and attach m distinct links to earlier nodes with
+// probability proportional to degree. The heavy-tailed degree distribution
+// approximates ISP/AS-level topologies at 10^4..10^6 nodes. Deterministic
+// for a given seed.
+func PreferentialAttachment(n, m int, seed uint64) *Topology {
+	if m < 1 {
+		m = 1
+	}
+	t := &Topology{Name: fmt.Sprintf("pa%d_%d", n, seed)}
+	r := &rng{s: seed ^ 0xda942042e4dd58b5}
+	for i := 0; i < n; i++ {
+		t.Nodes = append(t.Nodes, node(i))
+	}
+	// endpoints holds one entry per link endpoint, so a uniform draw from
+	// it is degree-proportional.
+	endpoints := make([]int, 0, 2*m*n)
+	chosen := map[int]bool{}
+	for i := 1; i < n; i++ {
+		k := m
+		if i < k {
+			k = i
+		}
+		for c := range chosen {
+			delete(chosen, c)
+		}
+		picks := make([]int, 0, k)
+		for len(picks) < k {
+			c := -1
+			if len(endpoints) > 0 {
+				c = endpoints[r.intn(len(endpoints))]
+			}
+			if c < 0 || chosen[c] {
+				c = r.intn(i) // duplicate draw: fall back to uniform
+			}
+			if chosen[c] {
+				continue
+			}
+			chosen[c] = true
+			picks = append(picks, c)
+		}
+		for _, c := range picks {
+			t.addBoth(node(i), node(c), 1)
+			endpoints = append(endpoints, i, c)
+		}
+	}
+	return t
+}
+
+// FatTree builds the standard k-ary fat-tree datacenter topology: (k/2)^2
+// core switches, k pods of k/2 aggregation and k/2 edge switches, and k/2
+// hosts per edge switch (k^3/4 hosts total). k is rounded up to even.
+func FatTree(k int) *Topology {
+	if k < 2 {
+		k = 2
+	}
+	if k%2 == 1 {
+		k++
+	}
+	h := k / 2
+	t := &Topology{Name: fmt.Sprintf("fattree%d", k)}
+	core := func(i int) string { return fmt.Sprintf("c%d", i) }
+	agg := func(p, i int) string { return fmt.Sprintf("a%d_%d", p, i) }
+	edge := func(p, i int) string { return fmt.Sprintf("e%d_%d", p, i) }
+	host := func(p, i, j int) string { return fmt.Sprintf("h%d_%d_%d", p, i, j) }
+	for i := 0; i < h*h; i++ {
+		t.Nodes = append(t.Nodes, core(i))
+	}
+	for p := 0; p < k; p++ {
+		for i := 0; i < h; i++ {
+			t.Nodes = append(t.Nodes, agg(p, i), edge(p, i))
+			for j := 0; j < h; j++ {
+				t.Nodes = append(t.Nodes, host(p, i, j))
+			}
+		}
+	}
+	for p := 0; p < k; p++ {
+		for i := 0; i < h; i++ {
+			// Aggregation switch i of every pod uplinks to core group i.
+			for j := 0; j < h; j++ {
+				t.addBoth(agg(p, i), core(i*h+j), 1)
+			}
+			for j := 0; j < h; j++ {
+				t.addBoth(agg(p, i), edge(p, j), 1)
+			}
+			for j := 0; j < h; j++ {
+				t.addBoth(edge(p, i), host(p, i, j), 1)
+			}
+		}
+	}
+	return t
+}
+
 // LinkTuples renders the links as NDlog link(@src, dst, cost) tuples.
 func (t *Topology) LinkTuples() []value.Tuple {
 	out := make([]value.Tuple, 0, len(t.Links))
@@ -247,42 +340,129 @@ func (t *Topology) Connected() bool {
 	return true
 }
 
-// ShortestCosts computes all-pairs shortest path costs by Dijkstra from
-// each node (the imperative ground truth the declarative engine is checked
-// against).
-func (t *Topology) ShortestCosts() map[string]map[string]int64 {
-	adj := map[string][]Link{}
-	for _, l := range t.Links {
-		adj[l.Src] = append(adj[l.Src], l)
+// arc is a compact index-based edge used by the Dijkstra routines.
+type arc struct {
+	to   int
+	cost int64
+}
+
+// indexedAdj builds a name→index map and an index-based adjacency list.
+func (t *Topology) indexedAdj() (map[string]int, [][]arc) {
+	idx := make(map[string]int, len(t.Nodes))
+	for i, n := range t.Nodes {
+		idx[n] = i
 	}
-	out := map[string]map[string]int64{}
-	for _, src := range t.Nodes {
-		dist := map[string]int64{src: 0}
-		done := map[string]bool{}
+	adj := make([][]arc, len(t.Nodes))
+	for _, l := range t.Links {
+		si, ok1 := idx[l.Src]
+		di, ok2 := idx[l.Dst]
+		if ok1 && ok2 {
+			adj[si] = append(adj[si], arc{di, l.Cost})
+		}
+	}
+	return idx, adj
+}
+
+// heapItem is a (node, tentative distance) pair on the Dijkstra heap.
+type heapItem struct {
+	n int
+	d int64
+}
+
+// dijkstra runs a binary-heap Dijkstra (lazy deletion) over the indexed
+// adjacency, returning -1 for unreachable nodes. O((V+E) log V), which is
+// what lets the 10^5-node generated topologies validate in-process.
+func dijkstra(adj [][]arc, src int) []int64 {
+	dist := make([]int64, len(adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	heap := []heapItem{{src, 0}}
+	dist[src] = 0
+	pop := func() heapItem {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
 		for {
-			// Extract min (linear scan: n is small in experiments).
-			best, bestD := "", int64(-1)
-			for n, d := range dist {
-				if done[n] {
-					continue
-				}
-				if bestD < 0 || d < bestD {
-					best, bestD = n, d
-				}
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heap) && heap[l].d < heap[m].d {
+				m = l
 			}
-			if best == "" {
+			if r < len(heap) && heap[r].d < heap[m].d {
+				m = r
+			}
+			if m == i {
 				break
 			}
-			done[best] = true
-			for _, l := range adj[best] {
-				nd := bestD + l.Cost
-				if cur, ok := dist[l.Dst]; !ok || nd < cur {
-					dist[l.Dst] = nd
-				}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+		return top
+	}
+	push := func(it heapItem) {
+		heap = append(heap, it)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].d <= heap[i].d {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	for len(heap) > 0 {
+		it := pop()
+		if it.d != dist[it.n] {
+			continue // stale entry
+		}
+		for _, a := range adj[it.n] {
+			nd := it.d + a.cost
+			if dist[a.to] < 0 || nd < dist[a.to] {
+				dist[a.to] = nd
+				push(heapItem{a.to, nd})
 			}
 		}
-		delete(dist, src)
-		out[src] = dist
+	}
+	return dist
+}
+
+// ShortestFrom computes single-source shortest path costs from src to
+// every reachable node, including src itself at cost 0.
+func (t *Topology) ShortestFrom(src string) map[string]int64 {
+	idx, adj := t.indexedAdj()
+	si, ok := idx[src]
+	if !ok {
+		return nil
+	}
+	dist := dijkstra(adj, si)
+	out := make(map[string]int64, len(dist))
+	for i, d := range dist {
+		if d >= 0 {
+			out[t.Nodes[i]] = d
+		}
+	}
+	return out
+}
+
+// ShortestCosts computes all-pairs shortest path costs by Dijkstra from
+// each node (the imperative ground truth the declarative engine is checked
+// against). The source itself is omitted from each row.
+func (t *Topology) ShortestCosts() map[string]map[string]int64 {
+	_, adj := t.indexedAdj()
+	out := map[string]map[string]int64{}
+	for si, src := range t.Nodes {
+		dist := dijkstra(adj, si)
+		row := map[string]int64{}
+		for i, d := range dist {
+			if d >= 0 && i != si {
+				row[t.Nodes[i]] = d
+			}
+		}
+		out[src] = row
 	}
 	return out
 }

@@ -43,6 +43,7 @@ const (
 	MRouteChanges  = "route_changes"
 	MExpirations   = "expirations"
 	MFlips         = "flips"
+	MRetractions   = "retractions" // derived tuples removed by the deletion cascade
 
 	// Fault-injection counters (component "dist", no label).
 	MNodeCrashes  = "node_crashes"

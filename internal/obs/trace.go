@@ -24,6 +24,7 @@ const (
 	// Distributed runtime state changes.
 	EvRouteFlip = "route_flip" // A->B->A oscillation on one table key
 	EvExpired   = "expired"    // soft-state tuple timed out
+	EvRetracted = "retracted"  // derived tuple removed by the deletion cascade
 	EvLinkDown  = "link_down"
 	EvLinkUp    = "link_up"
 	EvRunEnd    = "run_end" // simulation quiesced or hit MaxTime (N=1 if converged)

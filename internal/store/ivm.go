@@ -1,0 +1,132 @@
+package store
+
+import (
+	"errors"
+
+	"repro/internal/ndlog"
+	"repro/internal/value"
+)
+
+// This file is the storage side of incremental view maintenance: per-tuple
+// support counts on Table (the counting algorithm for non-recursive
+// strata) and the DRed re-derivation check (for recursive strata, where a
+// cycle gives a tuple unboundedly many derivation trees and counts are
+// unsound). Both are driven through the Runner interface, so the scalar
+// Exec and the batched BatchExec execute the identical maintenance passes.
+
+// ErrStop aborts a Runner.Run from inside its emit callback without
+// reporting a failure — the early-exit signal of existence checks such as
+// Rederivable. Run's other results are undefined after a stop; callers
+// must treat the run as a boolean probe.
+var ErrStop = errors.New("store: stop scan")
+
+// AddSupport increments the derivation-support count of tup, returning
+// the new count. Support counts identify tuples by full content (not by
+// primary key): counting maintenance applies to set-semantics derived
+// relations, where the two coincide.
+func (t *Table) AddSupport(tup value.Tuple) int {
+	if t.support == nil {
+		t.support = map[string]int32{}
+	}
+	t.keyBuf = tup.AppendKey(t.keyBuf[:0])
+	n := t.support[string(t.keyBuf)] + 1
+	t.support[string(t.keyBuf)] = n
+	return int(n)
+}
+
+// DropSupport decrements the support count of tup, returning the new
+// count. A count never goes below zero; zero-count entries are removed.
+func (t *Table) DropSupport(tup value.Tuple) int {
+	if t.support == nil {
+		return 0
+	}
+	t.keyBuf = tup.AppendKey(t.keyBuf[:0])
+	n := t.support[string(t.keyBuf)]
+	if n <= 1 {
+		delete(t.support, string(t.keyBuf))
+		return 0
+	}
+	t.support[string(t.keyBuf)] = n - 1
+	return int(n - 1)
+}
+
+// SupportCount returns the current support count of tup.
+func (t *Table) SupportCount(tup value.Tuple) int {
+	if t.support == nil {
+		return 0
+	}
+	t.keyBuf = tup.AppendKey(t.keyBuf[:0])
+	return int(t.support[string(t.keyBuf)])
+}
+
+// ResetSupport discards all support counts (the table's contents are
+// untouched). The next maintenance pass re-initializes them from a full
+// evaluation.
+func (t *Table) ResetSupport() { t.support = nil }
+
+// HasSupport reports whether any support counts are currently tracked.
+func (t *Table) HasSupport() bool { return t.support != nil }
+
+// FrameSet deduplicates derivation frames across the plan variants of one
+// rule. A rule with k body occurrences of a changed predicate emits the
+// same derivation up to k times (once per delta position); hashing the
+// frame through the plan's CanonSlots identifies the derivation
+// independently of the emitting variant. Like every fingerprint dedup in
+// this codebase, distinct frames collide with probability ~2^-64.
+type FrameSet struct {
+	seen map[uint64]struct{}
+}
+
+// Reset clears the set for the next changed tuple.
+func (f *FrameSet) Reset() {
+	if f.seen == nil {
+		f.seen = map[uint64]struct{}{}
+		return
+	}
+	clear(f.seen)
+}
+
+// Seen records the frame's canonical fingerprint, reporting whether it
+// was already present.
+func (f *FrameSet) Seen(p *ndlog.Plan, frame []value.V) bool {
+	h := value.HashSeed
+	for _, s := range p.CanonSlots {
+		h = frame[s].Hash64(h)
+	}
+	if _, ok := f.seen[h]; ok {
+		return true
+	}
+	if f.seen == nil {
+		f.seen = map[uint64]struct{}{}
+	}
+	f.seen[h] = struct{}{}
+	return false
+}
+
+// Rederivable is the DRed re-derivation check: it reports whether head
+// can still be derived by the rule compiled into plan (a HeadSeeded
+// variant) against the current contents of ts. seedCols are the plan's
+// HeadSeedCols; run must be an executor for plan (scalar or batched —
+// both drive the identical pass). The scan stops at the first witness.
+func Rederivable(run Runner, ts TableSource, plan *ndlog.Plan, seedCols []int, head value.Tuple) (bool, error) {
+	seed := make([]value.V, len(seedCols))
+	for i, c := range seedCols {
+		seed[i] = head[c]
+	}
+	buf := make(value.Tuple, len(head))
+	found := false
+	_, err := run.Run(ts, nil, seed, func(frame []value.V) error {
+		if err := plan.BuildHead(run.Env(), buf); err != nil {
+			return err
+		}
+		if buf.Equal(head) {
+			found = true
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, ErrStop) {
+		return false, err
+	}
+	return found, nil
+}
